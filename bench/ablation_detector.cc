@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation (beyond the paper): the AR-fit inflection detector
+ * against two classical sequential baselines — two-sided CUSUM and
+ * Page-Hinkley — applied to the gradient of each WD-merger
+ * diagnostic. The comparison answers "why curve-fit at all?": the
+ * sequential tests are cheaper but fire only after an
+ * operator-tuned detection delay and provide no fitted curve for
+ * prediction or early ROI search, while the paper's method lands on
+ * the inflection itself.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/changepoint.hh"
+#include "wdmerger/runner.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+using namespace tdfe::wd;
+
+namespace
+{
+
+/** Alarm time of a detector over a diagnostic's gradient series. */
+template <typename Detector>
+double
+detectorDelayTime(const std::vector<double> &series, double dt,
+                  const ChangePointConfig &cfg)
+{
+    Detector det(cfg);
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        if (det.push(series[i] - series[i - 1])) {
+            // Gradient sample i covers series index i.
+            return static_cast<double>(i) * dt;
+        }
+    }
+    return -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: inflection tracker vs CUSUM vs "
+                   "Page-Hinkley");
+    args.addInt("resolution", 10,
+                "star lattice resolution (paper: 32)");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    WdMergerConfig cfg;
+    cfg.resolution = static_cast<int>(args.getInt("resolution"));
+
+    WdRunOptions opt;
+    opt.instrument = true;
+    opt.trainFraction = 0.25;
+    const WdRunResult r = runWdMerger(cfg, nullptr, opt);
+
+    banner("Ablation: delay-time detector comparison",
+           "resolution " + std::to_string(cfg.resolution) +
+               ", physical detonation at t = " +
+               AsciiTable::fmt(r.detonationTime, 2));
+
+    ChangePointConfig cp;
+    cp.calibration = 15;
+    cp.drift = 0.8;
+    cp.threshold = 12.0;
+
+    AsciiTable table({"Diagnostic Var.", "truth", "AR inflection",
+                      "CUSUM", "Page-Hinkley"});
+    for (int v = 0; v < numDiagVars; ++v) {
+        const double truth =
+            truthDelayTime(r.history[v], cfg.dumpInterval, 5);
+        const double cusum = detectorDelayTime<CusumDetector>(
+            r.history[v], cfg.dumpInterval, cp);
+        const double ph = detectorDelayTime<PageHinkleyDetector>(
+            r.history[v], cfg.dumpInterval, cp);
+        table.addRow({diagName(static_cast<DiagVar>(v)),
+                      AsciiTable::fmt(truth, 2),
+                      AsciiTable::fmt(r.delayTime[v], 2),
+                      cusum < 0 ? "missed" : AsciiTable::fmt(cusum, 2),
+                      ph < 0 ? "missed" : AsciiTable::fmt(ph, 2)});
+    }
+    table.print();
+    std::printf("note: sequential tests alarm *after* the change by "
+                "a threshold-dependent delay\nand never before it; "
+                "the AR fit localizes the inflection itself.\n");
+    return 0;
+}

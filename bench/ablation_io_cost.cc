@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: in-situ vs post-analysis data cost (the paper's Sec. II
+ * motivation). Compares the in-situ method's retained bytes and
+ * analysis time against dumping the full trace to disk and fitting
+ * offline.
+ */
+
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+
+#include "core/region.hh"
+#include "postproc/offline_fit.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: in-situ vs post-analysis I/O cost");
+    args.addInt("size", 30, "blast domain size");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Ablation: in-situ vs post-analysis",
+           "domain " + std::to_string(size) + "; the post-analysis "
+           "trace stores every probe at every iteration");
+
+    // Post-analysis pipeline: dump the full trace, reload, fit.
+    const std::string path = "ablation_trace.bin";
+    Timer t;
+    const std::size_t bytes = truth.trace.dump(path);
+    const double dump_s = t.elapsed();
+    t.reset();
+    const FullTrace loaded = FullTrace::load(path);
+    ArConfig offline_cfg;
+    offline_cfg.order = 3;
+    offline_cfg.lag = std::max<long>(1, truth.run.iterations / 20);
+    offline_cfg.axis = LagAxis::Space;
+    const OfflineArFit fit = fitOfflineAr(
+        loaded, offline_cfg, 4, 10, offline_cfg.lag,
+        static_cast<long>(loaded.iterCount()) - 1);
+    const double offline_s = t.elapsed();
+    std::remove(path.c_str());
+
+    // In-situ pipeline.
+    AnalysisConfig ac = blastAnalysis(truth, 0.4, 0.0, 1, 10);
+    ac.provider = [](void *d, long l) {
+        return static_cast<blast::Domain *>(d)->xd(l);
+    };
+    blast::Domain domain(truth.config, nullptr);
+    Region region("io", &domain);
+    region.addAnalysis(std::move(ac));
+    while (!domain.finished()) {
+        region.begin();
+        blast::TimeIncrement(domain);
+        blast::LagrangeLeapFrog(domain);
+        domain.gatherProbes();
+        region.end();
+    }
+    const CurveFitAnalysis &a = region.analysis(0);
+
+    AsciiTable table({"pipeline", "data retained (bytes)",
+                      "analysis time (s)", "train RMSE"});
+    table.addRow({"post-analysis (dump+load+OLS)",
+                  std::to_string(bytes),
+                  AsciiTable::fmt(dump_s + offline_s, 4),
+                  AsciiTable::fmt(fit.trainRmse, 6)});
+    table.addRow({"in-situ (mini-batch GD)",
+                  std::to_string(a.observed().memoryBytes()),
+                  AsciiTable::fmt(region.overheadSeconds(), 4),
+                  AsciiTable::fmt(
+                      std::sqrt(a.lastValidationMse()), 6) +
+                      " (norm.)"});
+    table.print();
+    return 0;
+}

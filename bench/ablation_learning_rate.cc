@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: gradient-descent learning rate (DESIGN.md sweep). Too
+ * small never converges inside the training window; too large
+ * oscillates. The standardized feature space makes one default work
+ * across problems — this sweep shows the usable plateau.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/predictor.hh"
+#include "core/region.hh"
+#include "stats/metrics.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: GD learning rate");
+    args.addInt("size", 24, "blast domain size");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Ablation: learning rate (blast curve fit)",
+           "domain " + std::to_string(size) + ", training 40%");
+
+    AsciiTable table({"learning rate", "fit error (loc 8)",
+                      "converged at iter", "val. RMSE (norm.)"});
+    for (const double lr : {0.002, 0.01, 0.05, 0.1, 0.3, 0.8}) {
+        AnalysisConfig ac = blastAnalysis(truth, 0.4, 0.0, 1, 10);
+        ac.ar.sgd.learningRate = lr;
+        ac.provider = [](void *d, long l) {
+            return static_cast<blast::Domain *>(d)->xd(l);
+        };
+
+        blast::Domain domain(truth.config, nullptr);
+        Region region("lr", &domain);
+        region.addAnalysis(std::move(ac));
+        while (!domain.finished()) {
+            region.begin();
+            blast::TimeIncrement(domain);
+            blast::LagrangeLeapFrog(domain);
+            domain.gatherProbes();
+            region.end();
+        }
+
+        const CurveFitAnalysis &a = region.analysis(0);
+        const Predictor pred(a.model(), a.observed());
+        const FittedSeries fit = pred.oneStepSeries(8);
+        const double err =
+            fit.predicted.empty()
+                ? -1.0
+                : errorRatePct(fit.predicted, fit.actual);
+        table.addRow(
+            {AsciiTable::fmt(lr, 3),
+             AsciiTable::fmt(err, 2) + "%",
+             std::to_string(a.convergedIteration()),
+             AsciiTable::fmt(std::sqrt(a.lastValidationMse()), 4)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: mini-batch size (DESIGN.md design-choice sweep). Larger
+ * batches smooth the gradient but delay updates; the paper's
+ * "update as soon as the batch fills" scheme favours small batches.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/predictor.hh"
+#include "core/region.hh"
+#include "stats/metrics.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: mini-batch size");
+    args.addInt("size", 24, "blast domain size");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Ablation: mini-batch size (blast curve fit)",
+           "domain " + std::to_string(size) + ", training 40%");
+
+    AsciiTable table({"batch size", "training rounds",
+                      "fit error (loc 8)", "overhead (s)"});
+    for (const long batch : {4L, 8L, 16L, 32L, 64L, 128L}) {
+        AnalysisConfig ac =
+            blastAnalysis(truth, 0.4, 0.0, 1, 10);
+        ac.ar.batchSize = static_cast<std::size_t>(batch);
+        ac.provider = [](void *d, long l) {
+            return static_cast<blast::Domain *>(d)->xd(l);
+        };
+
+        blast::Domain domain(truth.config, nullptr);
+        Region region("ab", &domain);
+        region.addAnalysis(std::move(ac));
+        while (!domain.finished()) {
+            region.begin();
+            blast::TimeIncrement(domain);
+            blast::LagrangeLeapFrog(domain);
+            domain.gatherProbes();
+            region.end();
+        }
+
+        const CurveFitAnalysis &a = region.analysis(0);
+        const Predictor pred(a.model(), a.observed());
+        const FittedSeries fit = pred.oneStepSeries(8);
+        const double err =
+            fit.predicted.empty()
+                ? -1.0
+                : errorRatePct(fit.predicted, fit.actual);
+        table.addRow({std::to_string(batch),
+                      std::to_string(a.trainingRounds()),
+                      AsciiTable::fmt(err, 2) + "%",
+                      AsciiTable::fmt(region.overheadSeconds(), 4)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: AR model order n (the paper's "model size"). Too small
+ * underfits the wave structure; larger orders add cost with
+ * diminishing returns.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/predictor.hh"
+#include "core/region.hh"
+#include "stats/metrics.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Ablation: AR model order");
+    args.addInt("size", 24, "blast domain size");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Ablation: AR model order (blast curve fit)",
+           "domain " + std::to_string(size) + ", training 40%");
+
+    AsciiTable table({"order n", "fit error (loc 10)",
+                      "breakpoint @5% (truth shown once)",
+                      "overhead (s)"});
+    const double thr = 0.05 * truth.run.initialVelocity;
+    const long truth_radius =
+        truthBreakpointRadius(truth.trace, thr);
+
+    for (const long order : {1L, 2L, 3L, 4L, 6L, 8L}) {
+        AnalysisConfig ac = blastAnalysis(truth, 0.4, thr, 1, 10);
+        ac.ar.order = static_cast<std::size_t>(order);
+        ac.provider = [](void *d, long l) {
+            return static_cast<blast::Domain *>(d)->xd(l);
+        };
+
+        blast::Domain domain(truth.config, nullptr);
+        Region region("ab", &domain);
+        region.addAnalysis(std::move(ac));
+        while (!domain.finished()) {
+            region.begin();
+            blast::TimeIncrement(domain);
+            blast::LagrangeLeapFrog(domain);
+            domain.gatherProbes();
+            region.end();
+        }
+
+        const CurveFitAnalysis &a = region.analysis(0);
+        const Predictor pred(a.model(), a.observed());
+        const FittedSeries fit = pred.oneStepSeries(10);
+        const double err =
+            fit.predicted.empty()
+                ? -1.0
+                : errorRatePct(fit.predicted, fit.actual);
+        table.addRow(
+            {std::to_string(order),
+             AsciiTable::fmt(err, 2) + "%",
+             std::to_string(a.breakPoint().radius) + " (truth " +
+                 std::to_string(truth_radius) + ")",
+             AsciiTable::fmt(region.overheadSeconds(), 4)});
+    }
+    table.print();
+    return 0;
+}

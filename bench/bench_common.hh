@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper from a live run and
+ * prints it via AsciiTable; figures additionally write CSV series
+ * next to the binary for external plotting.
+ */
+
+#ifndef TDFE_BENCH_BENCH_COMMON_HH
+#define TDFE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "base/cli.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "base/timer.hh"
+#include "blastapp/runner.hh"
+#include "postproc/ground_truth.hh"
+#include "postproc/trace.hh"
+
+namespace tdfe
+{
+
+namespace bench
+{
+
+/** One recorded ground-truth blast run. */
+struct BlastTruth
+{
+    blast::BlastConfig config;
+    blast::RunResult run;
+    FullTrace trace;
+
+    explicit BlastTruth(int size)
+        : trace(static_cast<std::size_t>(size))
+    {
+        config.size = size;
+        blast::RunOptions opt;
+        opt.recordTrace = true;
+        run = blast::runBlast(config, nullptr, opt);
+        for (const auto &row : run.trace)
+            trace.appendRow(row);
+    }
+};
+
+/**
+ * Analysis configuration mirroring the paper's LULESH experiment:
+ * spatial window [loc_begin, loc_end], temporal window = the first
+ * @p train_fraction of the run, Space-axis AR.
+ */
+inline AnalysisConfig
+blastAnalysis(const BlastTruth &truth, double train_fraction,
+              double threshold_abs, long loc_begin = 1,
+              long loc_end = 10, bool stop = false, long lag = -1)
+{
+    AnalysisConfig ac;
+    ac.space = IterParam(loc_begin, loc_end, 1);
+    const long total = truth.run.iterations;
+    const long t_begin = std::max<long>(4, total / 20);
+    const long t_end = std::max(
+        t_begin + 8,
+        static_cast<long>(train_fraction * static_cast<double>(total)));
+    ac.time = IterParam(t_begin, t_end, 1);
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.threshold = threshold_abs;
+    ac.searchEnd = truth.config.size;
+    ac.minLocation = 1;
+    ac.stopWhenConverged = stop;
+    ac.ar.order = 3;
+    ac.ar.lag = lag > 0 ? lag : std::max<long>(1, total / 20);
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.batchSize = 32;
+    ac.ar.convergeTol = 0.1;
+    ac.ar.convergePatience = 3;
+    ac.ar.minBatches = 4;
+    return ac;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &scale_note)
+{
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("-- %s\n", scale_note.c_str());
+}
+
+} // namespace bench
+
+} // namespace tdfe
+
+#endif // TDFE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the in-situ hot path: the
+ * per-iteration collector cost, one GD training round, and one
+ * model prediction. These are the numbers behind the "minimal
+ * performance impact" claim.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clover2d/solver.hh"
+#include "core/ar_model.hh"
+#include "core/changepoint.hh"
+#include "core/collector.hh"
+#include "core/trainer.hh"
+#include "stats/rls.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+void
+BM_CollectorIteration(benchmark::State &state)
+{
+    ArConfig cfg;
+    cfg.order = 4;
+    cfg.lag = 10;
+    cfg.axis = LagAxis::Space;
+    cfg.batchSize = 1 << 12;
+    DataCollector collector(IterParam(1, state.range(0), 1),
+                            IterParam(0, 1 << 28, 1), cfg, 1);
+    // Discard filled batches: the benchmark isolates collection
+    // cost; BM_TrainRound prices the training rounds.
+    collector.setBatchSink([](MiniBatch &b) { b.clear(); });
+    long iter = 0;
+    for (auto _ : state) {
+        collector.collect(iter++, [](long loc) {
+            return static_cast<double>(loc) * 0.5;
+        });
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_CollectorIteration)->Arg(10)->Arg(30)->Arg(90);
+
+void
+BM_TrainRound(benchmark::State &state)
+{
+    ArConfig cfg;
+    cfg.order = 4;
+    cfg.batchSize = static_cast<std::size_t>(state.range(0));
+    ArModel model(cfg);
+    ArTrainer trainer(model);
+    MiniBatch batch(cfg.batchSize, cfg.order);
+    for (auto _ : state) {
+        state.PauseTiming();
+        batch.clear();
+        double v = 0.37;
+        while (!batch.full()) {
+            v = v * 1.7 - static_cast<long>(v * 1.7) + 0.1;
+            batch.push({v, v * 0.9, v * 0.8, v * 0.7}, v * 2.0);
+        }
+        state.ResumeTiming();
+        trainer.trainRound(batch);
+    }
+}
+BENCHMARK(BM_TrainRound)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_Predict(benchmark::State &state)
+{
+    ArConfig cfg;
+    cfg.order = 4;
+    ArModel model(cfg);
+    ArTrainer trainer(model);
+    MiniBatch batch(cfg.batchSize, cfg.order);
+    double v = 0.5;
+    while (!batch.full()) {
+        v = v * 1.7 - static_cast<long>(v * 1.7) + 0.1;
+        batch.push({v, v * 0.9, v * 0.8, v * 0.7}, v * 2.0);
+    }
+    trainer.trainRound(batch);
+
+    const std::vector<double> lags{0.4, 0.3, 0.2, 0.1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(lags));
+}
+BENCHMARK(BM_Predict);
+
+} // namespace
+
+void
+BM_RlsUpdate(benchmark::State &state)
+{
+    const std::size_t order = static_cast<std::size_t>(state.range(0));
+    RlsEstimator rls(order, RlsConfig{});
+    std::vector<double> coeffs(order + 1, 0.0);
+    std::vector<double> x(order, 0.5);
+    double y = 1.0;
+    for (auto _ : state) {
+        rls.update(coeffs, x, y);
+        y = 1.0 - y; // keep the estimator moving
+        benchmark::DoNotOptimize(coeffs.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RlsUpdate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_CusumPush(benchmark::State &state)
+{
+    ChangePointConfig cfg;
+    cfg.threshold = 1e18; // never alarms: measures the steady path
+    CusumDetector det(cfg);
+    double v = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(det.push(v));
+        v = v < 1.0 ? v + 0.1 : 0.0;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CusumPush);
+
+void
+BM_CloverCycle(benchmark::State &state)
+{
+    clover::CloverConfig cfg;
+    cfg.nx = cfg.ny = static_cast<int>(state.range(0));
+    clover::CloverSolver2D solver(cfg);
+    solver.depositCornerEnergy(2.0);
+    for (auto _ : state)
+        solver.advance();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * state.range(0));
+}
+BENCHMARK(BM_CloverCycle)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Paper Table I: error rates of curve-fitting (%) for velocity,
+ * using training data from 40/60/80% of total iterations, for the
+ * location intervals (1,10), (10,20), (20,30), domain size 30.
+ *
+ * Expected shape: large errors for the outer intervals at small
+ * training fractions (the shock has not reached them yet, so the
+ * model extrapolates from quiescent data), converging as the
+ * training window grows; the innermost interval is accurate
+ * throughout.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/predictor.hh"
+#include "core/region.hh"
+#include "stats/metrics.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+namespace
+{
+
+/** Pooled one-step error over an interval's locations. */
+double
+intervalErrorPct(const BlastTruth &truth, double fraction,
+                 long loc_begin, long loc_end)
+{
+    blast::RunOptions opt;
+    opt.instrument = true;
+    opt.analysis = blastAnalysis(truth, fraction, 0.0, loc_begin,
+                                 loc_end);
+
+    blast::Domain domain(truth.config, nullptr);
+    Region region("t1", &domain);
+    opt.analysis.provider = [](void *d, long loc) {
+        return static_cast<blast::Domain *>(d)->xd(loc);
+    };
+    region.addAnalysis(std::move(opt.analysis));
+    while (!domain.finished()) {
+        region.begin();
+        blast::TimeIncrement(domain);
+        blast::LagrangeLeapFrog(domain);
+        domain.gatherProbes();
+        region.end();
+    }
+
+    const CurveFitAnalysis &a = region.analysis(0);
+    const Predictor pred(a.model(), a.observed());
+    std::vector<double> all_pred, all_act;
+    for (long l = loc_begin; l <= loc_end; ++l) {
+        const FittedSeries fit = pred.oneStepSeries(l);
+        all_pred.insert(all_pred.end(), fit.predicted.begin(),
+                        fit.predicted.end());
+        all_act.insert(all_act.end(), fit.actual.begin(),
+                       fit.actual.end());
+    }
+    return all_pred.empty() ? -1.0
+                            : errorRatePct(all_pred, all_act);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Table I: curve-fit error by location interval "
+                   "and training fraction");
+    args.addInt("size", 30, "domain size (paper: 30)");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Table I: error rates of curve-fitting (%), velocity",
+           "domain " + std::to_string(size) + ", " +
+               std::to_string(truth.run.iterations) +
+               " total iterations");
+
+    const long third = size / 3;
+    const std::vector<std::pair<long, long>> intervals = {
+        {1, third}, {third, 2 * third}, {2 * third, size}};
+    const std::vector<double> fractions = {0.4, 0.6, 0.8};
+
+    AsciiTable table({"Locations", "40%", "60%", "80%"});
+    for (const auto &[lo, hi] : intervals) {
+        std::vector<std::string> row;
+        row.push_back("(" + std::to_string(lo) + ", " +
+                      std::to_string(hi) + ")");
+        for (const double f : fractions) {
+            row.push_back(AsciiTable::fmt(
+                intervalErrorPct(truth, f, lo, hi), 1) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

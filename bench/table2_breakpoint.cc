@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paper Table II: derived break-point radius via in-situ feature
+ * extraction vs the simulation ground truth, across velocity
+ * thresholds from 0.1% to 20% of the initial blast velocity,
+ * domain size 30.
+ *
+ * Expected shape: at tiny thresholds extraction saturates at the
+ * domain radius (crossing lies beyond the boundary) while the truth
+ * sits a little inside; from a few percent upward the two agree.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Table II: break-point radius, feature "
+                   "extraction vs simulation");
+    args.addInt("size", 30, "domain size (paper: 30)");
+    args.addDouble("fraction", 0.4, "training fraction of the run");
+    args.parse(argc, argv);
+    setLogQuiet(true);
+
+    const int size = static_cast<int>(args.getInt("size"));
+    BlastTruth truth(size);
+    banner("Table II: derived break-point radius vs ground truth",
+           "domain " + std::to_string(size) + ", vInit = " +
+               AsciiTable::fmt(truth.run.initialVelocity, 4) +
+               ", training " +
+               AsciiTable::pct(args.getDouble("fraction"), 0));
+
+    const std::vector<double> thresholds_pct = {
+        0.1, 0.2, 0.5, 0.75, 1.0, 2.0, 5.0, 10.0, 20.0};
+
+    AsciiTable table({"Threshold(%)", "From Sim.", "Feat. Extraction",
+                      "Difference(%)"});
+    for (const double pct : thresholds_pct) {
+        const double thr =
+            pct / 100.0 * truth.run.initialVelocity;
+        const long sim_radius = truthBreakpointRadius(truth.trace,
+                                                      thr);
+
+        blast::RunOptions opt;
+        opt.instrument = true;
+        opt.analysis = blastAnalysis(
+            truth, args.getDouble("fraction"), thr, 1, size / 2);
+        const blast::RunResult fe =
+            blast::runBlast(truth.config, nullptr, opt);
+        const long fe_radius =
+            static_cast<long>(fe.featureValue + 0.5);
+
+        const long diff = sim_radius - fe_radius;
+        const double diff_pct =
+            fe_radius != 0
+                ? 100.0 * static_cast<double>(diff) / fe_radius
+                : 0.0;
+        table.addRow({AsciiTable::fmt(pct, 2),
+                      std::to_string(sim_radius),
+                      std::to_string(fe_radius),
+                      std::to_string(diff) + " (" +
+                          AsciiTable::fmt(diff_pct, 2) + "%)"});
+    }
+    table.print();
+    return 0;
+}

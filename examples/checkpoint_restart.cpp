@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Checkpoint/restart: long-running HPC jobs are routinely killed at
+ * queue limits and resumed from application checkpoints. The td
+ * region participates: Region::saveCheckpoint() captures the model,
+ * optimizer, collected series, pending mini-batch, and early-stop
+ * state; an identically-configured region restores it and continues
+ * as if never interrupted. This example demonstrates the round trip
+ * on the blast experiment and verifies that the resumed run extracts
+ * the same feature as an uninterrupted one.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "blastapp/domain.hh"
+#include "core/region.hh"
+
+using namespace tdfe;
+using namespace tdfe::blast;
+
+namespace
+{
+
+AnalysisConfig
+analysisFor(long total_iters)
+{
+    AnalysisConfig ac;
+    ac.provider = [](void *d, long loc) {
+        return static_cast<Domain *>(d)->xd(loc);
+    };
+    ac.space = IterParam(1, 8, 1);
+    ac.time = IterParam(total_iters / 20, (total_iters * 2) / 5, 1);
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.searchEnd = 24;
+    ac.minLocation = 1;
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.order = 3;
+    ac.ar.lag = 2;
+    ac.ar.batchSize = 16;
+    return ac;
+}
+
+/** One blast iteration with the region attached. */
+void
+iterate(Domain &domain, Region &region)
+{
+    region.begin();
+    TimeIncrement(domain);
+    LagrangeLeapFrog(domain);
+    domain.gatherProbes();
+    region.end();
+}
+
+} // namespace
+
+int
+main()
+{
+    BlastConfig config;
+    config.size = 24;
+
+    // Dry run to size the windows, as in the other examples.
+    long total = 0;
+    {
+        Domain probe(config);
+        while (!probe.finished()) {
+            TimeIncrement(probe);
+            LagrangeLeapFrog(probe);
+            ++total;
+        }
+    }
+
+    // Reference: uninterrupted instrumented run.
+    double ref_threshold = 0.0;
+    long ref_radius = 0;
+    {
+        Domain domain(config);
+        Region region("reference", &domain);
+        region.addAnalysis(analysisFor(total));
+        while (!domain.finished())
+            iterate(domain, region);
+        ref_threshold = 0.05 * domain.initialVelocity();
+        region.analysis(0).setThreshold(ref_threshold);
+        ref_radius = region.analysis(0).breakPoint().radius;
+        std::printf("uninterrupted: %ld iterations, radius %ld\n",
+                    domain.cycle(), ref_radius);
+    }
+
+    // Interrupted run: stop at 50%, checkpoint to disk, "lose" the
+    // process, restore and finish.
+    const char *ckpt_path = "blast_region.ckpt";
+    {
+        Domain domain(config);
+        Region region("before-kill", &domain);
+        region.addAnalysis(analysisFor(total));
+        for (long i = 0; i < total / 2 && !domain.finished(); ++i)
+            iterate(domain, region);
+
+        std::ofstream out(ckpt_path, std::ios::binary);
+        region.saveCheckpoint(out);
+        std::printf("checkpointed at iteration %ld (%zu bytes)\n",
+                    domain.cycle(),
+                    static_cast<std::size_t>(out.tellp()));
+        // NOTE: the *simulation* would checkpoint its own state
+        // here too; this example re-runs the first half instead,
+        // since the region only needs its own state back.
+    }
+    {
+        Domain domain(config);
+        // Replay the simulation half without the region (stands in
+        // for the solver's own checkpoint restore).
+        for (long i = 0; i < total / 2 && !domain.finished(); ++i) {
+            TimeIncrement(domain);
+            LagrangeLeapFrog(domain);
+            domain.gatherProbes();
+        }
+
+        Region region("after-restart", &domain);
+        region.addAnalysis(analysisFor(total));
+        std::ifstream in(ckpt_path, std::ios::binary);
+        region.loadCheckpoint(in);
+        std::printf("restored at region iteration %ld\n",
+                    region.iteration());
+
+        while (!domain.finished())
+            iterate(domain, region);
+        region.analysis(0).setThreshold(ref_threshold);
+        const long radius = region.analysis(0).breakPoint().radius;
+        std::printf("resumed: %ld iterations, radius %ld\n",
+                    domain.cycle(), radius);
+        std::printf("feature identical to uninterrupted run: %s\n",
+                    radius == ref_radius ? "yes" : "NO");
+    }
+    std::remove(ckpt_path);
+    return 0;
+}

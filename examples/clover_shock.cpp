@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Second-substrate demo: attach the same in-situ auto-regression
+ * analysis used on the LULESH stand-in to a structurally different
+ * hydro code — the CloverLeaf-style 2D staggered Lagrangian-remap
+ * solver. The paper's integration pattern (Fig. 2) is unchanged:
+ * a provider reading one scalar per location, begin()/end() around
+ * the solver kernels, and a threshold break-point query at the end.
+ *
+ * This demonstrates the library's portability claim: nothing in the
+ * analysis knows whether the substrate is 3D Godunov, 2D staggered
+ * remap, or SPH — only the provider changes.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "clover2d/app.hh"
+#include "core/region.hh"
+
+using namespace tdfe;
+using namespace tdfe::clover;
+
+int
+main(int argc, char **argv)
+{
+    CloverAppConfig config;
+    config.size = argc > 1 ? std::atoi(argv[1]) : 48;
+    config.blastEnergy = 2.0;
+
+    CloverField field(config);
+
+    // Probe the first pass to size the temporal window, exactly as
+    // the blast harness does: a cheap dry run caps the iteration
+    // budget.
+    CloverField probe(config);
+    long total = 0;
+    while (!probe.finished()) {
+        Timestep(probe);
+        HydroCycle(probe);
+        ++total;
+    }
+    std::printf("full 2D blast run: %ld cycles to t = %.2f\n", total,
+                probe.time());
+
+    Region region("clover_shock", &field);
+    AnalysisConfig cfg;
+    cfg.name = "clover-breakpoint";
+    cfg.provider = [](void *domain, long loc) {
+        return static_cast<CloverField *>(domain)->fieldAt(loc);
+    };
+    cfg.space = IterParam(1, 20, 1);
+    cfg.time = IterParam(total / 20, (total * 3) / 5, 1);
+    cfg.feature = FeatureKind::BreakpointRadius;
+    cfg.searchEnd = config.size;
+    cfg.minLocation = 1;
+    cfg.ar.axis = LagAxis::Space;
+    cfg.ar.order = 3;
+    cfg.ar.lag = std::max<long>(2, total / 150);
+    cfg.ar.batchSize = 16;
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+
+    // The instrumented run; probe peaks double as ground truth.
+    std::vector<double> peak(static_cast<std::size_t>(config.size),
+                             0.0);
+    while (!field.finished()) {
+        region.begin();
+        Timestep(field);
+        HydroCycle(field);
+        region.end();
+        field.gatherProbes();
+        for (long loc = 1; loc <= field.probeCount(); ++loc) {
+            auto &p = peak[static_cast<std::size_t>(loc - 1)];
+            p = std::max(p, field.fieldAt(loc));
+        }
+    }
+
+    CurveFitAnalysis &a = region.analysis(id);
+    std::printf("mini-batch rounds: %zu, validation MSE %.2e\n",
+                a.trainingRounds(), a.lastValidationMse());
+
+    // Threshold sweep in the style of the paper's Table II. The 2D
+    // cylindrical blast attenuates much more slowly (~r^-1/2) than
+    // the 3D one, so low thresholds sit below anything the wave
+    // reaches inside the grid and the extraction clamps to the
+    // boundary — the same behaviour as the paper's -16.67% rows.
+    // Once the threshold crosses into the observed/attenuated
+    // range, extraction matches the ground truth exactly.
+    std::printf("%-14s %-12s %-12s\n", "threshold(%)", "extracted",
+                "ground-truth");
+    for (const double pct : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+        const double thr =
+            0.01 * pct * field.initialVelocity();
+        a.setThreshold(thr);
+        const long extracted = a.breakPoint().radius;
+        long truth_radius = 0;
+        for (long loc = 1; loc <= field.probeCount(); ++loc)
+            if (peak[static_cast<std::size_t>(loc - 1)] >= thr)
+                truth_radius = loc;
+        std::printf("%-14.1f %-12ld %-12ld\n", pct, extracted,
+                    truth_radius);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Early termination: the same blast experiment run to completion
+ * and with the analysis allowed to stop the simulation once its
+ * model converges — the paper's headline cost saving.
+ */
+
+#include <cstdio>
+
+#include "blastapp/runner.hh"
+
+using namespace tdfe;
+using namespace tdfe::blast;
+
+int
+main(int argc, char **argv)
+{
+    BlastConfig config;
+    config.size = argc > 1 ? std::atoi(argv[1]) : 24;
+
+    // Full run, recording the trace for reference.
+    RunOptions full;
+    full.recordTrace = true;
+    const RunResult reference = runBlast(config, nullptr, full);
+    std::printf("full run: %ld iterations, %.3f s\n",
+                reference.iterations, reference.seconds);
+
+    // Early-terminated run: stop once the model is trained.
+    RunOptions stop;
+    stop.instrument = true;
+    stop.honorStop = true;
+    stop.analysis.space = IterParam(1, 10, 1);
+    stop.analysis.time =
+        IterParam(reference.iterations / 20,
+                  (reference.iterations * 3) / 5, 1);
+    stop.analysis.feature = FeatureKind::BreakpointRadius;
+    stop.analysis.threshold = 0.05 * reference.initialVelocity;
+    stop.analysis.searchEnd = config.size;
+    stop.analysis.minLocation = 1;
+    stop.analysis.stopWhenConverged = true;
+    stop.analysis.ar.axis = LagAxis::Space;
+    stop.analysis.ar.order = 3;
+    stop.analysis.ar.lag =
+        std::max<long>(1, reference.iterations / 20);
+    stop.analysis.ar.convergeTol = 0.1;
+    const RunResult early = runBlast(config, nullptr, stop);
+
+    std::printf("early-terminated run: %ld iterations, %.3f s "
+                "(stopped %s)\n",
+                early.iterations, early.seconds,
+                early.stoppedEarly ? "early" : "at the end");
+    std::printf("model converged at iteration %ld\n",
+                early.convergedIteration);
+    std::printf("extracted break-point radius: %.0f\n",
+                early.featureValue);
+    if (early.stoppedEarly) {
+        std::printf("acceleration: %.1f%% of the runtime saved\n",
+                    100.0 * (reference.seconds - early.seconds) /
+                        reference.seconds);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * White-dwarf merger delay-time extraction: runs the SPH binary
+ * merger with four in-situ analyses (temperature, angular momentum,
+ * mass, energy), extracts a delay time from each, and combines a
+ * small sweep of initial separations into a delay-time distribution
+ * (DTD) — the paper's Sec. V application.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "postproc/ground_truth.hh"
+#include "wdmerger/dtd.hh"
+#include "wdmerger/runner.hh"
+
+using namespace tdfe;
+using namespace tdfe::wd;
+
+int
+main(int argc, char **argv)
+{
+    const int resolution = argc > 1 ? std::atoi(argv[1]) : 8;
+
+    // One instrumented run: delay time per diagnostic.
+    WdMergerConfig config;
+    config.resolution = resolution;
+    WdRunOptions options;
+    options.instrument = true;
+    options.trainFraction = 0.25;
+
+    std::printf("running wdmerger at resolution %d...\n",
+                resolution);
+    const WdRunResult r = runWdMerger(config, nullptr, options);
+
+    std::printf("merger at t = %.2f, detonation at t = %.2f\n",
+                r.mergeTime, r.detonationTime);
+    for (int v = 0; v < numDiagVars; ++v) {
+        const double truth =
+            truthDelayTime(r.history[v], config.dumpInterval, 5);
+        std::printf("  %-12s delay time: extracted %.1f, "
+                    "ground truth %.1f\n",
+                    diagName(static_cast<DiagVar>(v)),
+                    r.delayTime[v], truth);
+    }
+
+    // A small DTD: sweep initial separations; wider binaries take
+    // longer to merge, shifting the delay time (the paper's
+    // progenitor-scenario connection).
+    std::printf("\ndelay-time distribution over initial "
+                "separations:\n");
+    DelayTimeDistribution dtd(0.0, 100.0, 10);
+    for (const double sep : {2.0, 2.2, 2.4}) {
+        WdMergerConfig c = config;
+        c.separation = sep;
+        WdRunOptions bare;
+        const WdRunResult s = runWdMerger(c, nullptr, bare);
+        std::printf("  a0 = %.1f -> detonation delay %.1f\n", sep,
+                    s.detonationTime);
+        dtd.add({sep, s.detonationTime, "detonation"});
+    }
+    const auto bins = dtd.histogram();
+    std::printf("DTD histogram (bin centre: count):\n");
+    for (std::size_t b = 0; b < bins.size(); ++b)
+        if (bins[b] > 0)
+            std::printf("  %5.1f: %zu\n", dtd.binCentre(b), bins[b]);
+    std::printf("mean delay time: %.1f (range %.1f..%.1f)\n",
+                dtd.mean(), dtd.min(), dtd.max());
+    return 0;
+}

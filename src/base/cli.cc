@@ -1,0 +1,158 @@
+#include "base/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+ArgParser::ArgParser(std::string description)
+    : description(std::move(description))
+{
+}
+
+void
+ArgParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    options[name] = Option{Kind::String, def, help};
+}
+
+void
+ArgParser::addInt(const std::string &name, std::int64_t def,
+                  const std::string &help)
+{
+    options[name] = Option{Kind::Int, std::to_string(def), help};
+}
+
+void
+ArgParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    std::ostringstream os;
+    os << def;
+    options[name] = Option{Kind::Double, os.str(), help};
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    options[name] = Option{Kind::Flag, "0", help};
+}
+
+std::string
+ArgParser::usage(const std::string &prog) const
+{
+    std::ostringstream os;
+    os << prog << " - " << description << "\n\noptions:\n";
+    for (const auto &[name, opt] : options) {
+        os << "  --" << name;
+        if (opt.kind != Kind::Flag)
+            os << " <value>";
+        os << "\n      " << opt.help << " (default: " << opt.value
+           << ")\n";
+    }
+    return os.str();
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            TDFE_FATAL("unexpected positional argument: ", arg);
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+
+        auto it = options.find(name);
+        if (it == options.end())
+            TDFE_FATAL("unknown option --", name, "; try --help");
+
+        if (it->second.kind == Kind::Flag) {
+            it->second.value = has_value ? value : "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option --", name, " needs a value");
+            value = argv[++i];
+        }
+        it->second.value = value;
+    }
+}
+
+const ArgParser::Option &
+ArgParser::lookup(const std::string &name, Kind kind) const
+{
+    auto it = options.find(name);
+    if (it == options.end())
+        TDFE_PANIC("option --", name, " was never registered");
+    if (it->second.kind != kind)
+        TDFE_PANIC("option --", name, " accessed with the wrong type");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return std::stoll(lookup(name, Kind::Int).value);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return std::stod(lookup(name, Kind::Double).value);
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return lookup(name, Kind::Flag).value != "0";
+}
+
+std::vector<std::int64_t>
+ArgParser::parseIntList(const std::string &text)
+{
+    std::vector<std::int64_t> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(std::stoll(item));
+    return out;
+}
+
+std::vector<double>
+ArgParser::parseDoubleList(const std::string &text)
+{
+    std::vector<double> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(std::stod(item));
+    return out;
+}
+
+} // namespace tdfe

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small command-line parser shared by examples and bench binaries.
+ * Supports `--name value`, `--name=value`, and boolean `--flag`
+ * options, with typed accessors and generated --help text.
+ */
+
+#ifndef TDFE_BASE_CLI_HH
+#define TDFE_BASE_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+/**
+ * Declarative option registry plus parser. Options are registered
+ * with a default value before parse() runs; unknown options are a
+ * fatal error so typos never silently fall back to defaults.
+ */
+class ArgParser
+{
+  public:
+    /** @param description One-line program description for --help. */
+    explicit ArgParser(std::string description);
+
+    /** Register a string-valued option. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register an integer-valued option. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+
+    /** Register a double-valued option. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Register a boolean flag (presence sets it true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Handles --help by printing usage and exiting 0.
+     * Fatal on unknown option names or missing values.
+     */
+    void parse(int argc, char **argv);
+
+    /** @return value of a registered string option. */
+    std::string getString(const std::string &name) const;
+
+    /** @return value of a registered integer option. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** @return value of a registered double option. */
+    double getDouble(const std::string &name) const;
+
+    /** @return value of a registered flag. */
+    bool getFlag(const std::string &name) const;
+
+    /** Parse a comma-separated integer list, e.g. "30,60,90". */
+    static std::vector<std::int64_t>
+    parseIntList(const std::string &text);
+
+    /** Parse a comma-separated double list, e.g. "0.1,0.2,0.5". */
+    static std::vector<double> parseDoubleList(const std::string &text);
+
+  private:
+    enum class Kind { String, Int, Double, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string help;
+    };
+
+    const Option &lookup(const std::string &name, Kind kind) const;
+    std::string usage(const std::string &prog) const;
+
+    std::string description;
+    std::map<std::string, Option> options;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_CLI_HH

@@ -1,0 +1,57 @@
+#include "base/csv.hh"
+
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &columns)
+    : out(path), columnCount(columns.size())
+{
+    if (!out)
+        TDFE_FATAL("cannot open CSV file for writing: ", path);
+    TDFE_ASSERT(!columns.empty(), "CSV needs at least one column");
+
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out << ',';
+        out << columns[i];
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    TDFE_ASSERT(values.size() == columnCount,
+                "expected ", columnCount, " columns, got ",
+                values.size());
+    out << std::setprecision(12);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out << ',';
+        out << values[i];
+    }
+    out << '\n';
+    ++rows;
+}
+
+void
+CsvWriter::writeRowText(const std::vector<std::string> &cells)
+{
+    TDFE_ASSERT(cells.size() == columnCount,
+                "expected ", columnCount, " columns, got ",
+                cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << cells[i];
+    }
+    out << '\n';
+    ++rows;
+}
+
+} // namespace tdfe

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV writer used to export benchmark series (the paper's
+ * figures) for external plotting.
+ */
+
+#ifndef TDFE_BASE_CSV_HH
+#define TDFE_BASE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+/**
+ * Streams rows of doubles/strings to a CSV file. The header is fixed
+ * at construction; each writeRow() call must supply one value per
+ * column.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header line.
+     *
+     * @param path Destination file; fatal() on open failure.
+     * @param columns Header names, one per column.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &columns);
+
+    /** Write one numeric row. Panics on column-count mismatch. */
+    void writeRow(const std::vector<double> &values);
+
+    /** Write one row of preformatted cells. */
+    void writeRowText(const std::vector<std::string> &cells);
+
+    /** @return number of data rows written so far. */
+    std::size_t rowCount() const { return rows; }
+
+  private:
+    std::ofstream out;
+    std::size_t columnCount;
+    std::size_t rows = 0;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_CSV_HH

@@ -1,0 +1,85 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace tdfe
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+/** Serializes stderr output across ThreadComm ranks. */
+std::mutex logMutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+detail::emitLog(LogLevel level, const char *file, int line,
+                const std::string &message)
+{
+    const bool is_terminal =
+        level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (!is_terminal && logQuiet())
+        return;
+
+    {
+        std::lock_guard<std::mutex> guard(logMutex);
+        if (is_terminal) {
+            std::fprintf(stderr, "%s: %s (%s:%d)\n", levelTag(level),
+                         message.c_str(), file, line);
+        } else {
+            std::fprintf(stderr, "%s: %s\n", levelTag(level),
+                         message.c_str());
+        }
+        std::fflush(stderr);
+    }
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+void
+detail::emitTerminal(LogLevel level, const char *file, int line,
+                     const std::string &message)
+{
+    emitLog(level, file, line, message);
+    // emitLog terminates for Fatal/Panic; guard against misuse.
+    std::abort();
+}
+
+} // namespace tdfe

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, following the gem5
+ * panic()/fatal()/warn()/inform() convention.
+ *
+ * panic() is for internal invariant violations (library bugs): it
+ * aborts. fatal() is for unrecoverable user errors (bad configuration,
+ * invalid arguments): it exits with status 1. warn() and inform() are
+ * non-fatal status channels.
+ */
+
+#ifndef TDFE_BASE_LOGGING_HH
+#define TDFE_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace tdfe
+{
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one message string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit one log record to stderr (Inform/Warn) and terminate when
+ *  the level is Fatal (exit(1)) or Panic (abort()). */
+[[gnu::cold]] void emitLog(LogLevel level, const char *file, int line,
+                           const std::string &message);
+
+/** As emitLog for terminal levels; never returns. */
+[[noreturn, gnu::cold]] void emitTerminal(LogLevel level,
+                                          const char *file, int line,
+                                          const std::string &message);
+
+} // namespace detail
+
+/** Suppress (or re-enable) Inform/Warn output, e.g. in benchmarks. */
+void setLogQuiet(bool quiet);
+
+/** @return true if Inform/Warn output is currently suppressed. */
+bool logQuiet();
+
+} // namespace tdfe
+
+/**
+ * Report an internal library bug and abort. Use only for conditions
+ * that cannot be caused by user input.
+ */
+#define TDFE_PANIC(...)                                                 \
+    ::tdfe::detail::emitTerminal(                                       \
+        ::tdfe::LogLevel::Panic, __FILE__, __LINE__,                    \
+        ::tdfe::detail::concatMessage(__VA_ARGS__))
+
+/** Report an unrecoverable user-facing error and exit(1). */
+#define TDFE_FATAL(...)                                                 \
+    ::tdfe::detail::emitTerminal(                                       \
+        ::tdfe::LogLevel::Fatal, __FILE__, __LINE__,                    \
+        ::tdfe::detail::concatMessage(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define TDFE_WARN(...)                                                  \
+    ::tdfe::detail::emitLog(::tdfe::LogLevel::Warn, __FILE__, __LINE__, \
+                            ::tdfe::detail::concatMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define TDFE_INFORM(...)                                                \
+    ::tdfe::detail::emitLog(::tdfe::LogLevel::Inform, __FILE__,         \
+                            __LINE__,                                   \
+                            ::tdfe::detail::concatMessage(__VA_ARGS__))
+
+/** Panic unless @p cond holds; message describes the invariant. */
+#define TDFE_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            TDFE_PANIC("assertion failed: ", #cond, ": ",               \
+                       ::tdfe::detail::concatMessage(__VA_ARGS__));     \
+        }                                                               \
+    } while (0)
+
+#endif // TDFE_BASE_LOGGING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules.
+ */
+
+#ifndef TDFE_BASE_MATH_UTIL_HH
+#define TDFE_BASE_MATH_UTIL_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** @return x*x. */
+inline double
+sqr(double x)
+{
+    return x * x;
+}
+
+/** @return x*x*x. */
+inline double
+cube(double x)
+{
+    return x * x * x;
+}
+
+/** @return n evenly spaced samples covering [lo, hi] inclusive. */
+inline std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    std::vector<double> out(n);
+    if (n == 1) {
+        out[0] = lo;
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    return out;
+}
+
+/** @return true iff every element of @p values is finite. */
+inline bool
+allFinite(const std::vector<double> &values)
+{
+    for (double v : values)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+/**
+ * Relative difference |a-b| / max(|b|, floor); @p floor guards the
+ * near-zero denominator case that otherwise inflates error rates.
+ */
+inline double
+relativeError(double a, double b, double floor = 1e-12)
+{
+    const double denom = std::max(std::abs(b), floor);
+    return std::abs(a - b) / denom;
+}
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_MATH_UTIL_HH

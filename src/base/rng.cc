@@ -1,0 +1,45 @@
+#include "base/rng.hh"
+
+#include <algorithm>
+
+namespace tdfe
+{
+
+Rng::Rng(std::uint64_t seed) : engine(seed)
+{
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine);
+}
+
+void
+Rng::shuffle(std::vector<std::size_t> &indices)
+{
+    std::shuffle(indices.begin(), indices.end(), engine);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(engine());
+}
+
+} // namespace tdfe

@@ -1,0 +1,117 @@
+#include "base/serial.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+void
+BinaryWriter::writeU64(std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeI64(std::int64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeF64(double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeBool(bool v)
+{
+    const std::uint8_t b = v ? 1 : 0;
+    out.write(reinterpret_cast<const char *>(&b), sizeof(b));
+}
+
+void
+BinaryWriter::writeVec(const std::vector<double> &v)
+{
+    writeU64(v.size());
+    if (!v.empty()) {
+        out.write(reinterpret_cast<const char *>(v.data()),
+                  static_cast<std::streamsize>(v.size() *
+                                               sizeof(double)));
+    }
+}
+
+void
+BinaryWriter::writeTag(const std::string &tag)
+{
+    writeU64(tag.size());
+    out.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+}
+
+void
+BinaryReader::readBytes(void *dst, std::size_t n)
+{
+    in.read(static_cast<char *>(dst),
+            static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n)
+        TDFE_FATAL("checkpoint truncated: wanted ", n, " bytes, got ",
+                   in.gcount());
+}
+
+std::uint64_t
+BinaryReader::readU64()
+{
+    std::uint64_t v = 0;
+    readBytes(&v, sizeof(v));
+    return v;
+}
+
+std::int64_t
+BinaryReader::readI64()
+{
+    std::int64_t v = 0;
+    readBytes(&v, sizeof(v));
+    return v;
+}
+
+double
+BinaryReader::readF64()
+{
+    double v = 0.0;
+    readBytes(&v, sizeof(v));
+    return v;
+}
+
+bool
+BinaryReader::readBool()
+{
+    std::uint8_t b = 0;
+    readBytes(&b, sizeof(b));
+    return b != 0;
+}
+
+std::vector<double>
+BinaryReader::readVec()
+{
+    const std::uint64_t n = readU64();
+    std::vector<double> v(n, 0.0);
+    if (n > 0)
+        readBytes(v.data(), n * sizeof(double));
+    return v;
+}
+
+void
+BinaryReader::expectTag(const std::string &tag)
+{
+    const std::uint64_t n = readU64();
+    std::string got(n, '\0');
+    if (n > 0)
+        readBytes(got.data(), n);
+    if (got != tag)
+        TDFE_FATAL("checkpoint section mismatch: expected '", tag,
+                   "', found '", got, "'");
+}
+
+} // namespace tdfe

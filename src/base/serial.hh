@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal binary serialization for checkpoint/restart: fixed-width
+ * little-endian primitives and length-prefixed vectors over
+ * std::iostream. The library's checkpoint model mirrors gem5's:
+ * configuration is reconstructed by the application (the same code
+ * that built the objects the first time), and only *mutable state*
+ * travels through the checkpoint, guarded by magic/version tags and
+ * shape checks on load.
+ */
+
+#ifndef TDFE_BASE_SERIAL_HH
+#define TDFE_BASE_SERIAL_HH
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+/** Sequential binary writer. */
+class BinaryWriter
+{
+  public:
+    /** @param out Destination stream (must outlive the writer). */
+    explicit BinaryWriter(std::ostream &out) : out(out) {}
+
+    /** Fixed-width primitives. @{ */
+    void writeU64(std::uint64_t v);
+    void writeI64(std::int64_t v);
+    void writeF64(double v);
+    void writeBool(bool v);
+    /** @} */
+
+    /** Length-prefixed double vector. */
+    void writeVec(const std::vector<double> &v);
+
+    /** Length-prefixed byte tag (magic / section names). */
+    void writeTag(const std::string &tag);
+
+  private:
+    std::ostream &out;
+};
+
+/**
+ * Sequential binary reader. Every mismatch (bad tag, short read,
+ * shape disagreement) raises fatal(): a corrupt checkpoint is a
+ * user-environment error, not a library bug.
+ */
+class BinaryReader
+{
+  public:
+    /** @param in Source stream (must outlive the reader). */
+    explicit BinaryReader(std::istream &in) : in(in) {}
+
+    /** Fixed-width primitives. @{ */
+    std::uint64_t readU64();
+    std::int64_t readI64();
+    double readF64();
+    bool readBool();
+    /** @} */
+
+    /** Length-prefixed double vector. */
+    std::vector<double> readVec();
+
+    /**
+     * Read a tag and check it against the expectation; fatal() on
+     * mismatch so section skew fails loudly at the boundary where
+     * it happened.
+     */
+    void expectTag(const std::string &tag);
+
+  private:
+    void readBytes(void *dst, std::size_t n);
+
+    std::istream &in;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_SERIAL_HH

@@ -1,0 +1,81 @@
+#include "base/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> columns)
+    : header(std::move(columns))
+{
+    TDFE_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    TDFE_ASSERT(cells.size() == header.size(),
+                "expected ", header.size(), " cells, got ",
+                cells.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? " | " : "| ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    emit_row(header);
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        os << (c ? "-+-" : "+-");
+        os << std::string(widths[c], '-');
+    }
+    os << "-+\n";
+    for (const auto &row : body)
+        emit_row(row);
+    return os.str();
+}
+
+void
+AsciiTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+AsciiTable::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+AsciiTable::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace tdfe

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table formatter. The benchmark harness prints every paper
+ * table through this class so rows line up and are easy to diff
+ * against the paper.
+ */
+
+#ifndef TDFE_BASE_TABLE_HH
+#define TDFE_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+/**
+ * Collects rows of string cells and renders them with padded,
+ * pipe-separated columns plus a header rule.
+ */
+class AsciiTable
+{
+  public:
+    /** @param columns Header cells; fixes the column count. */
+    explicit AsciiTable(std::vector<std::string> columns);
+
+    /** Append a row; panics if the cell count mismatches. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the whole table (header, rule, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** @return the number of data rows added. */
+    std::size_t rowCount() const { return body.size(); }
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double value, int digits = 4);
+
+    /** Format helper: percentage with @p digits decimals, e.g. 4.76%. */
+    static std::string pct(double fraction, int digits = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_TABLE_HH

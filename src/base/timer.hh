@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by the overhead benchmarks.
+ */
+
+#ifndef TDFE_BASE_TIMER_HH
+#define TDFE_BASE_TIMER_HH
+
+#include <chrono>
+
+namespace tdfe
+{
+
+/**
+ * Simple steady-clock stopwatch. Construction starts the clock;
+ * elapsed() may be called repeatedly; reset() restarts.
+ */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** @return seconds elapsed since construction or last reset(). */
+    double
+    elapsed() const
+    {
+        const auto now = Clock::now();
+        return std::chrono::duration<double>(now - start).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Clock::time_point start;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_TIMER_HH

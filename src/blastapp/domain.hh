@@ -1,0 +1,150 @@
+/**
+ * @file
+ * LULESH-shaped application wrapper around the 3D Euler blast
+ * solver. The paper instruments LULESH as:
+ *
+ *   while (...) {
+ *       td_region_begin(region);
+ *       TimeIncrement(*locDom);      // time-step update
+ *       LagrangeLeapFrog(*locDom);   // main computation
+ *       td_region_end(region);
+ *   }
+ *
+ * with a provider reading `locDom->xd(loc)`. This module offers the
+ * identical surface: a Domain with xd(), and free functions
+ * TimeIncrement / LagrangeLeapFrog, so the paper's integration code
+ * compiles against this repository nearly verbatim.
+ *
+ * The probe line runs along the z axis away from the blast corner;
+ * location l (1-based) is cell (0, 0, l-1). Under slab decomposition
+ * each rank owns a segment of the line, and gatherProbes() merges it
+ * across ranks every iteration.
+ */
+
+#ifndef TDFE_BLASTAPP_DOMAIN_HH
+#define TDFE_BLASTAPP_DOMAIN_HH
+
+#include <memory>
+#include <vector>
+
+#include "euler3d/sedov.hh"
+#include "euler3d/solver.hh"
+
+namespace tdfe
+{
+
+class Communicator;
+
+namespace blast
+{
+
+/** Configuration of a material-deformation (blast) experiment. */
+struct BlastConfig
+{
+    /** Cube edge in cells (the paper's domain sizes 30/60/90). */
+    int size = 30;
+    /** Blast energy deposited at the corner. */
+    double sedovEnergy = 2.0;
+    /** Run until the shock would reach this fraction of the edge. */
+    double tEndFactor = 0.9;
+    /** Optional hard iteration cap (0 = none). */
+    long maxIterations = 0;
+    /** CFL number for the Euler solver. */
+    double cfl = 0.25;
+};
+
+/**
+ * The simulation domain: solver + probe line + bookkeeping. Mirrors
+ * the role of LULESH's Domain object.
+ */
+class Domain
+{
+  public:
+    /**
+     * @param config Experiment parameters.
+     * @param comm Optional communicator (slab decomposition).
+     */
+    explicit Domain(const BlastConfig &config,
+                    Communicator *comm = nullptr);
+
+    /**
+     * Probe accessor used by the td provider: |velocity| at probe
+     * location @p loc in [1, size]. Valid after the first
+     * gatherProbes().
+     */
+    double xd(long loc) const;
+
+    /** @return current deltatime (set by TimeIncrement). */
+    double deltatime() const { return dt; }
+
+    /** @return simulation time. */
+    double time() const { return solver_.time(); }
+
+    /** @return completed iterations. */
+    long cycle() const { return solver_.cycle(); }
+
+    /** @return true once time() has reached the configured end. */
+    bool finished() const;
+
+    /** @return the end time of the experiment. */
+    double tEnd() const { return tEnd_; }
+
+    /**
+     * Merge the probe line across ranks (allreduce-sum of owner
+     * contributions) and refresh the running initial-velocity peak.
+     * Call once per iteration after LagrangeLeapFrog.
+     */
+    void gatherProbes();
+
+    /**
+     * "Velocity initiated by the blast": running maximum of the
+     * probe at location 1, the reference for threshold percentages.
+     */
+    double initialVelocity() const { return vInit; }
+
+    /** @return rank owning probe location @p loc. */
+    int rankOfLocation(long loc) const;
+
+    /** @return probe line length (== size). */
+    long probeCount() const
+    {
+        return static_cast<long>(probeLine.size());
+    }
+
+    /** @return the latest gathered probe line (index 0 = loc 1). */
+    const std::vector<double> &probes() const { return probeLine; }
+
+    /** @return the underlying solver (tests/diagnostics). */
+    EulerSolver3D &solver() { return solver_; }
+    const EulerSolver3D &solver() const { return solver_; }
+
+    /** @return the communicator (may be nullptr). */
+    Communicator *comm() const { return comm_; }
+
+    /** Friends implementing the LULESH-shaped driver API. @{ */
+    friend void TimeIncrement(Domain &domain);
+    friend void LagrangeLeapFrog(Domain &domain);
+    /** @} */
+
+  private:
+    BlastConfig cfg;
+    Communicator *comm_;
+    EulerSolver3D solver_;
+    double tEnd_;
+    double dt = 0.0;
+    std::vector<double> probeLine;
+    std::vector<double> probeScratch;
+    double vInit = 0.0;
+};
+
+/** Compute the next timestep (collective), as in LULESH. */
+void TimeIncrement(Domain &domain);
+
+/** Advance the hydro state by the current deltatime. */
+void LagrangeLeapFrog(Domain &domain);
+
+} // namespace blast
+
+} // namespace tdfe
+
+#endif // TDFE_BLASTAPP_DOMAIN_HH

@@ -1,0 +1,80 @@
+#include "blastapp/runner.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+#include "base/timer.hh"
+#include "core/region.hh"
+
+namespace tdfe
+{
+
+namespace blast
+{
+
+RunResult
+runBlast(const BlastConfig &config, Communicator *comm,
+         const RunOptions &options)
+{
+    Domain domain(config, comm);
+    RunResult result;
+
+    std::unique_ptr<Region> region;
+    if (options.instrument) {
+        region = std::make_unique<Region>("blast", &domain, comm);
+        region->setSyncInterval(options.syncInterval);
+        region->setRankOfLocation([&domain](long loc) {
+            return domain.rankOfLocation(loc);
+        });
+        AnalysisConfig ac = options.analysis;
+        ac.provider = [](void *d, long loc) {
+            return static_cast<Domain *>(d)->xd(loc);
+        };
+        region->addAnalysis(std::move(ac));
+    }
+
+    const bool gather = options.instrument || options.recordTrace;
+
+    Timer timer;
+    while (!domain.finished()) {
+        if (region)
+            region->begin();
+
+        TimeIncrement(domain);
+        LagrangeLeapFrog(domain);
+        if (gather)
+            domain.gatherProbes();
+        if (options.recordTrace)
+            result.trace.push_back(domain.probes());
+
+        if (region) {
+            region->end();
+            if (options.honorStop && region->shouldStop()) {
+                result.stoppedEarly = true;
+                break;
+            }
+        }
+    }
+    result.seconds = timer.elapsed();
+
+    result.iterations = domain.cycle();
+    result.initialVelocity = domain.initialVelocity();
+    if (region) {
+        const CurveFitAnalysis &a = region->analysis(0);
+        result.overheadSeconds = region->overheadSeconds();
+        result.convergedIteration = a.convergedIteration();
+        result.validationMse = a.lastValidationMse();
+        if (a.config().feature == FeatureKind::BreakpointRadius) {
+            result.breakPoint = a.breakPoint();
+            result.featureValue =
+                static_cast<double>(result.breakPoint.radius);
+        } else {
+            result.featureValue = a.extractFeature();
+        }
+    }
+    return result;
+}
+
+} // namespace blast
+
+} // namespace tdfe

@@ -1,0 +1,95 @@
+#include "clover2d/app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace clover
+{
+
+namespace
+{
+
+CloverConfig
+makeSolverConfig(const CloverAppConfig &cfg)
+{
+    CloverConfig sc;
+    sc.nx = cfg.size;
+    sc.ny = cfg.size;
+    sc.cfl = cfg.cfl;
+    return sc;
+}
+
+} // namespace
+
+double
+cylindricalShockTime(double energy, double rho0, double radius)
+{
+    TDFE_ASSERT(energy > 0.0 && rho0 > 0.0 && radius > 0.0,
+                "shock-time arguments must be positive");
+    // r = xi (E t^2 / rho)^(1/4)  =>  t = r^2 sqrt(rho / E) / xi^2.
+    const double xi = 1.0;
+    return radius * radius * std::sqrt(rho0 / energy) / (xi * xi);
+}
+
+CloverField::CloverField(const CloverAppConfig &config)
+    : cfg(config), solver_(makeSolverConfig(config))
+{
+    TDFE_ASSERT(cfg.size >= 4, "clover domain too small");
+
+    solver_.depositCornerEnergy(cfg.blastEnergy);
+
+    // The corner deposit represents 1/4 of a full-plane blast.
+    tEnd_ = cylindricalShockTime(4.0 * cfg.blastEnergy, 1.0,
+                                 cfg.tEndFactor * cfg.size);
+
+    probeLine.assign(static_cast<std::size_t>(cfg.size), 0.0);
+}
+
+double
+CloverField::fieldAt(long loc) const
+{
+    TDFE_ASSERT(loc >= 1 && loc <= probeCount(),
+                "probe location ", loc, " out of [1, ", probeCount(),
+                "]");
+    return probeLine[static_cast<std::size_t>(loc - 1)];
+}
+
+bool
+CloverField::finished() const
+{
+    if (cfg.maxIterations > 0 && solver_.cycle() >= cfg.maxIterations)
+        return true;
+    return solver_.time() >= tEnd_;
+}
+
+void
+CloverField::gatherProbes()
+{
+    for (long loc = 1; loc <= probeCount(); ++loc) {
+        probeLine[static_cast<std::size_t>(loc - 1)] =
+            solver_.speedAt(static_cast<int>(loc - 1), 0);
+    }
+    vInit = std::max(vInit, probeLine[0]);
+}
+
+void
+Timestep(CloverField &field)
+{
+    field.dt = field.solver_.calcDt();
+}
+
+void
+HydroCycle(CloverField &field)
+{
+    TDFE_ASSERT(field.dt > 0.0, "HydroCycle before Timestep");
+    field.solver_.step(field.dt);
+}
+
+} // namespace clover
+
+} // namespace tdfe

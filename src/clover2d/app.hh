@@ -1,0 +1,123 @@
+/**
+ * @file
+ * CloverLeaf-shaped application wrapper around the 2D staggered
+ * solver: a Field object with a probe accessor plus free driver
+ * functions Timestep / HydroCycle, mirroring how the library couples
+ * to LULESH in src/blastapp (paper Fig. 2). The probe line runs
+ * along the x axis away from the blast corner; location l (1-based)
+ * is the cell-centered speed of cell (l-1, 0).
+ *
+ * This gives the feature-extraction library a second, structurally
+ * different hydro substrate: staggered Lagrangian-remap (CloverLeaf
+ * family) instead of cell-centered Godunov (LULESH stand-in), and a
+ * cylindrical r ~ t^(1/2) blast instead of the spherical t^(2/5) one.
+ */
+
+#ifndef TDFE_CLOVER2D_APP_HH
+#define TDFE_CLOVER2D_APP_HH
+
+#include <vector>
+
+#include "clover2d/solver.hh"
+
+namespace tdfe
+{
+
+namespace clover
+{
+
+/** Configuration of a 2D blast experiment. */
+struct CloverAppConfig
+{
+    /** Square grid edge in cells. */
+    int size = 64;
+    /** Blast energy deposited at the corner (quarter-plane). */
+    double blastEnergy = 2.0;
+    /** Run until the shock would reach this fraction of the edge. */
+    double tEndFactor = 0.85;
+    /** Optional hard iteration cap (0 = none). */
+    long maxIterations = 0;
+    /** CFL number. */
+    double cfl = 0.2;
+};
+
+/**
+ * Estimated arrival time of a cylindrical (2D) Sedov shock at radius
+ * @p radius for full-plane blast energy @p energy in a medium of
+ * density @p rho0: r(t) = xi * (E t^2 / rho)^(1/4), with xi ~ 1 for
+ * gamma = 1.4.
+ */
+double cylindricalShockTime(double energy, double rho0, double radius);
+
+/** The 2D blast application state (CloverLeaf's "field" object). */
+class CloverField
+{
+  public:
+    /** @param config Experiment parameters. */
+    explicit CloverField(const CloverAppConfig &config);
+
+    /**
+     * Probe accessor used by the td provider: cell-centered speed
+     * at probe location @p loc in [1, size].
+     */
+    double fieldAt(long loc) const;
+
+    /** Refresh the probe line; call once per completed cycle. */
+    void gatherProbes();
+
+    /** Running peak of the probe at location 1 (threshold ref). */
+    double initialVelocity() const { return vInit; }
+
+    /** @return current deltatime (set by Timestep). */
+    double deltatime() const { return dt; }
+
+    /** @return simulation time. */
+    double time() const { return solver_.time(); }
+
+    /** @return completed cycles. */
+    long cycle() const { return solver_.cycle(); }
+
+    /** @return true once the run end condition is met. */
+    bool finished() const;
+
+    /** @return the end time of the experiment. */
+    double tEnd() const { return tEnd_; }
+
+    /** @return probe line length (== size). */
+    long probeCount() const
+    {
+        return static_cast<long>(probeLine.size());
+    }
+
+    /** @return the latest gathered probe line (index 0 = loc 1). */
+    const std::vector<double> &probes() const { return probeLine; }
+
+    /** @return the underlying solver (tests/diagnostics). */
+    CloverSolver2D &solver() { return solver_; }
+    const CloverSolver2D &solver() const { return solver_; }
+
+    /** Friends implementing the driver API. @{ */
+    friend void Timestep(CloverField &field);
+    friend void HydroCycle(CloverField &field);
+    /** @} */
+
+  private:
+    CloverAppConfig cfg;
+    CloverSolver2D solver_;
+    double tEnd_;
+    double dt = 0.0;
+    std::vector<double> probeLine;
+    double vInit = 0.0;
+};
+
+/** Compute the next timestep (CloverLeaf's timestep kernel). */
+void Timestep(CloverField &field);
+
+/** Advance one hydro cycle by the current deltatime. */
+void HydroCycle(CloverField &field);
+
+} // namespace clover
+
+} // namespace tdfe
+
+#endif // TDFE_CLOVER2D_APP_HH

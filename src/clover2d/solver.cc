@@ -1,0 +1,655 @@
+#include "clover2d/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace clover
+{
+
+namespace
+{
+
+/** Smallest admissible density / specific energy (vacuum guard). */
+constexpr double fieldFloor = 1e-12;
+
+} // namespace
+
+CloverSolver2D::CloverSolver2D(const CloverConfig &config)
+    : cfg(config), eos_(config.gamma)
+{
+    TDFE_ASSERT(cfg.nx > 0 && cfg.ny > 0,
+                "grid extents must be positive");
+    TDFE_ASSERT(cfg.dx > 0.0 && cfg.dy > 0.0,
+                "cell widths must be positive");
+    TDFE_ASSERT(cfg.cfl > 0.0 && cfg.cfl < 1.0,
+                "CFL must be in (0, 1)");
+
+    pcx = cfg.nx + 2 * ghosts;
+    pcy = cfg.ny + 2 * ghosts;
+    pnx = pcx + 1;
+    pny = pcy + 1;
+
+    const std::size_t nc = static_cast<std::size_t>(pcx) * pcy;
+    const std::size_t nn = static_cast<std::size_t>(pnx) * pny;
+
+    rho0_.assign(nc, cfg.rho0);
+    rho1_.assign(nc, cfg.rho0);
+    const double e_ambient = eos_.energy(cfg.rho0, cfg.p0);
+    e0_.assign(nc, e_ambient);
+    e1_.assign(nc, e_ambient);
+    p_.assign(nc, cfg.p0);
+    q_.assign(nc, 0.0);
+    cs_.assign(nc, eos_.soundSpeed(cfg.rho0, cfg.p0));
+    preVol.assign(nc, cfg.dx * cfg.dy);
+    postVol.assign(nc, cfg.dx * cfg.dy);
+
+    vx_.assign(nn, 0.0);
+    vy_.assign(nn, 0.0);
+    vxBar.assign(nn, 0.0);
+    vyBar.assign(nn, 0.0);
+    nodeMass0.assign(nn, 0.0);
+    nodeMass1.assign(nn, 0.0);
+    volFluxX.assign(nn, 0.0);
+    volFluxY.assign(nn, 0.0);
+    massFluxX.assign(nn, 0.0);
+    massFluxY.assign(nn, 0.0);
+    eFlux.assign(nn, 0.0);
+}
+
+std::size_t
+CloverSolver2D::cid(int i, int j) const
+{
+    return static_cast<std::size_t>(j) * pcx +
+           static_cast<std::size_t>(i);
+}
+
+std::size_t
+CloverSolver2D::nid(int i, int j) const
+{
+    return static_cast<std::size_t>(j) * pnx +
+           static_cast<std::size_t>(i);
+}
+
+void
+CloverSolver2D::depositCornerEnergy(double energy)
+{
+    TDFE_ASSERT(energy > 0.0, "blast energy must be positive");
+    const double cell_mass = cfg.rho0 * cfg.dx * cfg.dy;
+    e0_[cid(ghosts, ghosts)] = energy / cell_mass;
+    e1_[cid(ghosts, ghosts)] = energy / cell_mass;
+}
+
+double
+CloverSolver2D::density(int i, int j) const
+{
+    return rho0_[cid(i + ghosts, j + ghosts)];
+}
+
+double
+CloverSolver2D::energy(int i, int j) const
+{
+    return e0_[cid(i + ghosts, j + ghosts)];
+}
+
+double
+CloverSolver2D::pressure(int i, int j) const
+{
+    const std::size_t c = cid(i + ghosts, j + ghosts);
+    return eos_.pressure(rho0_[c], e0_[c]);
+}
+
+double
+CloverSolver2D::xvel(int i, int j) const
+{
+    return vx_[nid(i + ghosts, j + ghosts)];
+}
+
+double
+CloverSolver2D::yvel(int i, int j) const
+{
+    return vy_[nid(i + ghosts, j + ghosts)];
+}
+
+double
+CloverSolver2D::speedAt(int i, int j) const
+{
+    const int gi = i + ghosts;
+    const int gj = j + ghosts;
+    const double u = 0.25 * (vx_[nid(gi, gj)] + vx_[nid(gi + 1, gj)] +
+                             vx_[nid(gi, gj + 1)] +
+                             vx_[nid(gi + 1, gj + 1)]);
+    const double v = 0.25 * (vy_[nid(gi, gj)] + vy_[nid(gi + 1, gj)] +
+                             vy_[nid(gi, gj + 1)] +
+                             vy_[nid(gi + 1, gj + 1)]);
+    return std::sqrt(u * u + v * v);
+}
+
+double
+CloverSolver2D::totalMass() const
+{
+    double sum = 0.0;
+    for (int j = ghosts; j < ghosts + cfg.ny; ++j)
+        for (int i = ghosts; i < ghosts + cfg.nx; ++i)
+            sum += rho0_[cid(i, j)];
+    return sum * cfg.dx * cfg.dy;
+}
+
+double
+CloverSolver2D::totalEnergy() const
+{
+    double sum = 0.0;
+    for (int j = 0; j < cfg.ny; ++j) {
+        for (int i = 0; i < cfg.nx; ++i) {
+            const std::size_t c = cid(i + ghosts, j + ghosts);
+            const double v = speedAt(i, j);
+            sum += rho0_[c] * (e0_[c] + 0.5 * v * v);
+        }
+    }
+    return sum * cfg.dx * cfg.dy;
+}
+
+void
+CloverSolver2D::idealGas()
+{
+    const std::size_t nc = rho0_.size();
+    for (std::size_t c = 0; c < nc; ++c) {
+        p_[c] = eos_.pressure(rho0_[c], e0_[c]);
+        cs_[c] = eos_.soundSpeed(rho0_[c], p_[c]);
+    }
+}
+
+namespace
+{
+
+/**
+ * Mirror a ghost-padded cell field: reflective on the low edges
+ * (blast symmetry planes), zero-gradient outflow on the high edges.
+ */
+void
+haloFillCell(std::vector<double> &f, int pcx, int pcy, int nx, int ny,
+             int g)
+{
+    // X direction, every row (ghost rows fixed by the y pass below).
+    for (int j = 0; j < pcy; ++j) {
+        double *row = f.data() + static_cast<std::size_t>(j) * pcx;
+        for (int k = 0; k < g; ++k) {
+            row[g - 1 - k] = row[g + k];
+            row[g + nx + k] = row[g + nx - 1];
+        }
+    }
+    // Y direction, whole rows at a time.
+    for (int k = 0; k < g; ++k) {
+        const std::size_t lo_dst =
+            static_cast<std::size_t>(g - 1 - k) * pcx;
+        const std::size_t lo_src = static_cast<std::size_t>(g + k) * pcx;
+        const std::size_t hi_dst =
+            static_cast<std::size_t>(g + ny + k) * pcx;
+        const std::size_t hi_src =
+            static_cast<std::size_t>(g + ny - 1) * pcx;
+        for (int i = 0; i < pcx; ++i) {
+            f[lo_dst + i] = f[lo_src + i];
+            f[hi_dst + i] = f[hi_src + i];
+        }
+    }
+}
+
+} // namespace
+
+void
+CloverSolver2D::updateHalo()
+{
+    haloFillCell(rho0_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+    haloFillCell(e0_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+}
+
+void
+CloverSolver2D::viscosity()
+{
+    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+        for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            // Velocity jumps across the cell (face-averaged).
+            const double du =
+                0.5 * (vx_[nid(i + 1, j)] + vx_[nid(i + 1, j + 1)] -
+                       vx_[nid(i, j)] - vx_[nid(i, j + 1)]);
+            const double dv =
+                0.5 * (vy_[nid(i, j + 1)] + vy_[nid(i + 1, j + 1)] -
+                       vy_[nid(i, j)] - vy_[nid(i + 1, j)]);
+            const double jump = du + dv;
+            if (jump < 0.0) {
+                q_[c] = rho0_[c] *
+                        (cfg.cvisc2 * jump * jump +
+                         cfg.cvisc1 * cs_[c] * std::fabs(jump));
+            } else {
+                q_[c] = 0.0;
+            }
+        }
+    }
+    haloFillCell(q_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+}
+
+double
+CloverSolver2D::calcDt()
+{
+    updateHalo();
+    idealGas();
+    viscosity();
+
+    double dt = lastDt > 0.0 ? lastDt * cfg.dtGrowth : cfg.dtInit;
+    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+        for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double cs2 =
+                cs_[c] * cs_[c] + 2.0 * q_[c] / rho0_[c];
+            const double cs_eff = std::sqrt(cs2);
+            const double u = 0.25 *
+                (std::fabs(vx_[nid(i, j)]) +
+                 std::fabs(vx_[nid(i + 1, j)]) +
+                 std::fabs(vx_[nid(i, j + 1)]) +
+                 std::fabs(vx_[nid(i + 1, j + 1)]));
+            const double v = 0.25 *
+                (std::fabs(vy_[nid(i, j)]) +
+                 std::fabs(vy_[nid(i + 1, j)]) +
+                 std::fabs(vy_[nid(i, j + 1)]) +
+                 std::fabs(vy_[nid(i + 1, j + 1)]));
+            const double dt_x = cfg.dx / (cs_eff + u + 1e-30);
+            const double dt_y = cfg.dy / (cs_eff + v + 1e-30);
+            dt = std::min(dt, cfg.cfl * std::min(dt_x, dt_y));
+        }
+    }
+    TDFE_ASSERT(dt > 0.0 && std::isfinite(dt),
+                "clover2d produced a non-positive timestep");
+    return dt;
+}
+
+void
+CloverSolver2D::applyVelocityBc()
+{
+    const int g = ghosts;
+    const int inx = g + cfg.nx;
+    const int iny = g + cfg.ny;
+
+    // Low-x symmetry plane: no normal flow, mirrored ghosts.
+    for (int j = 0; j < pny; ++j) {
+        vx_[nid(g, j)] = 0.0;
+        for (int k = 1; k <= g; ++k) {
+            vx_[nid(g - k, j)] = -vx_[nid(g + k, j)];
+            vy_[nid(g - k, j)] = vy_[nid(g + k, j)];
+        }
+        for (int k = 1; k <= g; ++k) {
+            vx_[nid(inx + k, j)] = vx_[nid(inx, j)];
+            vy_[nid(inx + k, j)] = vy_[nid(inx, j)];
+        }
+    }
+    // Low-y symmetry plane and high-y outflow.
+    for (int i = 0; i < pnx; ++i) {
+        vy_[nid(i, g)] = 0.0;
+        for (int k = 1; k <= g; ++k) {
+            vy_[nid(i, g - k)] = -vy_[nid(i, g + k)];
+            vx_[nid(i, g - k)] = vx_[nid(i, g + k)];
+        }
+        for (int k = 1; k <= g; ++k) {
+            vy_[nid(i, iny + k)] = vy_[nid(i, iny)];
+            vx_[nid(i, iny + k)] = vx_[nid(i, iny)];
+        }
+    }
+}
+
+void
+CloverSolver2D::accelerate(double dt)
+{
+    // Time-centering: remember the pre-acceleration velocities, the
+    // PdV/flux stage uses the average of old and new.
+    vxBar = vx_;
+    vyBar = vy_;
+
+    const double inv_dx = 1.0 / cfg.dx;
+    const double inv_dy = 1.0 / cfg.dy;
+    for (int j = ghosts; j <= ghosts + cfg.ny; ++j) {
+        for (int i = ghosts; i <= ghosts + cfg.nx; ++i) {
+            const std::size_t sw = cid(i - 1, j - 1);
+            const std::size_t se = cid(i, j - 1);
+            const std::size_t nw = cid(i - 1, j);
+            const std::size_t ne = cid(i, j);
+            const double rho_n = 0.25 * (rho0_[sw] + rho0_[se] +
+                                         rho0_[nw] + rho0_[ne]);
+            const double dpqdx =
+                0.5 * ((p_[se] + q_[se] + p_[ne] + q_[ne]) -
+                       (p_[sw] + q_[sw] + p_[nw] + q_[nw])) * inv_dx;
+            const double dpqdy =
+                0.5 * ((p_[nw] + q_[nw] + p_[ne] + q_[ne]) -
+                       (p_[sw] + q_[sw] + p_[se] + q_[se])) * inv_dy;
+            vx_[nid(i, j)] -= dt * dpqdx / rho_n;
+            vy_[nid(i, j)] -= dt * dpqdy / rho_n;
+        }
+    }
+    applyVelocityBc();
+
+    const std::size_t nn = vx_.size();
+    for (std::size_t n = 0; n < nn; ++n) {
+        vxBar[n] = 0.5 * (vxBar[n] + vx_[n]);
+        vyBar[n] = 0.5 * (vyBar[n] + vy_[n]);
+    }
+}
+
+void
+CloverSolver2D::fluxCalc(double dt)
+{
+    // Face volume fluxes from time-centered node velocities; the
+    // extended range (one ghost ring) also feeds the momentum remap.
+    for (int j = ghosts - 1; j < ghosts + cfg.ny + 1; ++j) {
+        for (int i = ghosts - 1; i < ghosts + cfg.nx + 2; ++i) {
+            volFluxX[nid(i, j)] =
+                0.5 * dt * cfg.dy *
+                (vxBar[nid(i, j)] + vxBar[nid(i, j + 1)]);
+        }
+    }
+    for (int j = ghosts - 1; j < ghosts + cfg.ny + 2; ++j) {
+        for (int i = ghosts - 1; i < ghosts + cfg.nx + 1; ++i) {
+            volFluxY[nid(i, j)] =
+                0.5 * dt * cfg.dx *
+                (vyBar[nid(i, j)] + vyBar[nid(i + 1, j)]);
+        }
+    }
+}
+
+void
+CloverSolver2D::pdv()
+{
+    const double vol = cfg.dx * cfg.dy;
+    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+        for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double total_flux =
+                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)] +
+                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
+            double vol_lagr = vol + total_flux;
+            if (vol_lagr < 0.1 * vol) {
+                TDFE_WARN("clover2d: clamped collapsing cell (",
+                          i - ghosts, ", ", j - ghosts, ") at cycle ",
+                          cycleCount);
+                vol_lagr = 0.1 * vol;
+            }
+            rho1_[c] = std::max(rho0_[c] * vol / vol_lagr, fieldFloor);
+            const double de =
+                (p_[c] + q_[c]) * total_flux / (rho0_[c] * vol);
+            e1_[c] = std::max(e0_[c] - de, fieldFloor);
+        }
+    }
+    haloFillCell(rho1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+    haloFillCell(e1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+}
+
+void
+CloverSolver2D::advectCellX()
+{
+    const double vol = cfg.dx * cfg.dy;
+    const bool first_sweep = (cycleCount % 2) == 0;
+    const int g = ghosts;
+
+    haloFillCell(rho1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+    haloFillCell(e1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+
+    // Lagrangian (pre) and post-sweep control volumes, one ghost
+    // ring included so boundary node masses see consistent values.
+    // The first sweep of a cycle starts from the fully-expanded
+    // Lagrangian volume (both directions' fluxes); the second sweep
+    // only has its own direction left to remap.
+    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double fx =
+                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)];
+            const double fy =
+                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
+            preVol[c] = vol + fx + (first_sweep ? fy : 0.0);
+            postVol[c] = preVol[c] - fx;
+        }
+    }
+
+    // Donor-cell mass and internal-energy fluxes, all from
+    // pre-update values so the update loop below has no ordering
+    // hazard.
+    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx + 1; ++i) {
+            const double vf = volFluxX[nid(i, j)];
+            const std::size_t donor =
+                vf > 0.0 ? cid(i - 1, j) : cid(i, j);
+            massFluxX[nid(i, j)] = vf * rho1_[donor];
+            eFlux[nid(i, j)] = massFluxX[nid(i, j)] * e1_[donor];
+        }
+    }
+
+    // Node masses on the Lagrangian volumes, for the momentum remap.
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            nodeMass0[nid(i, j)] = 0.25 *
+                (rho1_[cid(i - 1, j - 1)] * preVol[cid(i - 1, j - 1)] +
+                 rho1_[cid(i, j - 1)] * preVol[cid(i, j - 1)] +
+                 rho1_[cid(i - 1, j)] * preVol[cid(i - 1, j)] +
+                 rho1_[cid(i, j)] * preVol[cid(i, j)]);
+        }
+    }
+
+    // Conservative remap of mass and internal energy.
+    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double pre_mass = rho1_[c] * preVol[c];
+            const double post_mass = pre_mass + massFluxX[nid(i, j)] -
+                                     massFluxX[nid(i + 1, j)];
+            const double post_energy = e1_[c] * pre_mass +
+                                       eFlux[nid(i, j)] -
+                                       eFlux[nid(i + 1, j)];
+            rho1_[c] = std::max(post_mass / postVol[c], fieldFloor);
+            e1_[c] = std::max(
+                post_energy / std::max(post_mass, fieldFloor),
+                fieldFloor);
+        }
+    }
+}
+
+void
+CloverSolver2D::advectMomX()
+{
+    const int g = ghosts;
+
+    // Node masses after the cell remap.
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            nodeMass1[nid(i, j)] = 0.25 *
+                (rho1_[cid(i - 1, j - 1)] * postVol[cid(i - 1, j - 1)] +
+                 rho1_[cid(i, j - 1)] * postVol[cid(i, j - 1)] +
+                 rho1_[cid(i - 1, j)] * postVol[cid(i - 1, j)] +
+                 rho1_[cid(i, j)] * postVol[cid(i, j)]);
+        }
+    }
+
+    // Donor velocities come from a frozen copy of the node fields.
+    vxBar = vx_;
+    vyBar = vy_;
+
+    // Node-control-volume mass flux across the face between nodes
+    // (i-1, j) and (i, j): interpolated from the four surrounding
+    // cell-face mass fluxes.
+    auto node_flux = [this](int i, int j) {
+        return 0.25 * (massFluxX[nid(i - 1, j - 1)] +
+                       massFluxX[nid(i, j - 1)] +
+                       massFluxX[nid(i - 1, j)] + massFluxX[nid(i, j)]);
+    };
+
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            const double f_in = node_flux(i, j);
+            const double f_out = node_flux(i + 1, j);
+            const std::size_t don_in =
+                f_in > 0.0 ? nid(i - 1, j) : nid(i, j);
+            const std::size_t don_out =
+                f_out > 0.0 ? nid(i, j) : nid(i + 1, j);
+            const double m1 = std::max(nodeMass1[nid(i, j)], fieldFloor);
+            vx_[nid(i, j)] = (nodeMass0[nid(i, j)] * vxBar[nid(i, j)] +
+                              f_in * vxBar[don_in] -
+                              f_out * vxBar[don_out]) / m1;
+            vy_[nid(i, j)] = (nodeMass0[nid(i, j)] * vyBar[nid(i, j)] +
+                              f_in * vyBar[don_in] -
+                              f_out * vyBar[don_out]) / m1;
+        }
+    }
+    applyVelocityBc();
+}
+
+void
+CloverSolver2D::advectCellY()
+{
+    const double vol = cfg.dx * cfg.dy;
+    const bool first_sweep = (cycleCount % 2) != 0;
+    const int g = ghosts;
+
+    haloFillCell(rho1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+    haloFillCell(e1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
+
+    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double fx =
+                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)];
+            const double fy =
+                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
+            preVol[c] = vol + fy + (first_sweep ? fx : 0.0);
+            postVol[c] = preVol[c] - fy;
+        }
+    }
+
+    for (int j = g - 1; j <= g + cfg.ny + 1; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx; ++i) {
+            const double vf = volFluxY[nid(i, j)];
+            const std::size_t donor =
+                vf > 0.0 ? cid(i, j - 1) : cid(i, j);
+            massFluxY[nid(i, j)] = vf * rho1_[donor];
+            eFlux[nid(i, j)] = massFluxY[nid(i, j)] * e1_[donor];
+        }
+    }
+
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            nodeMass0[nid(i, j)] = 0.25 *
+                (rho1_[cid(i - 1, j - 1)] * preVol[cid(i - 1, j - 1)] +
+                 rho1_[cid(i, j - 1)] * preVol[cid(i, j - 1)] +
+                 rho1_[cid(i - 1, j)] * preVol[cid(i - 1, j)] +
+                 rho1_[cid(i, j)] * preVol[cid(i, j)]);
+        }
+    }
+
+    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+        for (int i = g - 1; i <= g + cfg.nx; ++i) {
+            const std::size_t c = cid(i, j);
+            const double pre_mass = rho1_[c] * preVol[c];
+            const double post_mass = pre_mass + massFluxY[nid(i, j)] -
+                                     massFluxY[nid(i, j + 1)];
+            const double post_energy = e1_[c] * pre_mass +
+                                       eFlux[nid(i, j)] -
+                                       eFlux[nid(i, j + 1)];
+            rho1_[c] = std::max(post_mass / postVol[c], fieldFloor);
+            e1_[c] = std::max(
+                post_energy / std::max(post_mass, fieldFloor),
+                fieldFloor);
+        }
+    }
+}
+
+void
+CloverSolver2D::advectMomY()
+{
+    const int g = ghosts;
+
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            nodeMass1[nid(i, j)] = 0.25 *
+                (rho1_[cid(i - 1, j - 1)] * postVol[cid(i - 1, j - 1)] +
+                 rho1_[cid(i, j - 1)] * postVol[cid(i, j - 1)] +
+                 rho1_[cid(i - 1, j)] * postVol[cid(i - 1, j)] +
+                 rho1_[cid(i, j)] * postVol[cid(i, j)]);
+        }
+    }
+
+    vxBar = vx_;
+    vyBar = vy_;
+
+    auto node_flux = [this](int i, int j) {
+        return 0.25 * (massFluxY[nid(i - 1, j - 1)] +
+                       massFluxY[nid(i - 1, j)] +
+                       massFluxY[nid(i, j - 1)] + massFluxY[nid(i, j)]);
+    };
+
+    for (int j = g; j <= g + cfg.ny; ++j) {
+        for (int i = g; i <= g + cfg.nx; ++i) {
+            const double f_in = node_flux(i, j);
+            const double f_out = node_flux(i, j + 1);
+            const std::size_t don_in =
+                f_in > 0.0 ? nid(i, j - 1) : nid(i, j);
+            const std::size_t don_out =
+                f_out > 0.0 ? nid(i, j) : nid(i, j + 1);
+            const double m1 = std::max(nodeMass1[nid(i, j)], fieldFloor);
+            vx_[nid(i, j)] = (nodeMass0[nid(i, j)] * vxBar[nid(i, j)] +
+                              f_in * vxBar[don_in] -
+                              f_out * vxBar[don_out]) / m1;
+            vy_[nid(i, j)] = (nodeMass0[nid(i, j)] * vyBar[nid(i, j)] +
+                              f_in * vyBar[don_in] -
+                              f_out * vyBar[don_out]) / m1;
+        }
+    }
+    applyVelocityBc();
+}
+
+void
+CloverSolver2D::step(double dt)
+{
+    TDFE_ASSERT(dt > 0.0 && std::isfinite(dt),
+                "step requires a positive finite dt");
+
+    updateHalo();
+    idealGas();
+    viscosity();
+    accelerate(dt);
+    fluxCalc(dt);
+    pdv();
+
+    // Directionally-split remap; alternate the sweep order each
+    // cycle to avoid a preferred axis.
+    if (cycleCount % 2 == 0) {
+        advectCellX();
+        advectMomX();
+        advectCellY();
+        advectMomY();
+    } else {
+        advectCellY();
+        advectMomY();
+        advectCellX();
+        advectMomX();
+    }
+
+    // Reset: remapped state becomes the start-of-cycle state.
+    std::swap(rho0_, rho1_);
+    std::swap(e0_, e1_);
+
+    t += dt;
+    ++cycleCount;
+    lastDt = dt;
+}
+
+double
+CloverSolver2D::advance()
+{
+    const double dt = calcDt();
+    step(dt);
+    return dt;
+}
+
+} // namespace clover
+
+} // namespace tdfe

@@ -1,0 +1,206 @@
+#include "core/analysis.hh"
+
+#include "base/serial.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "stats/metrics.hh"
+
+namespace tdfe
+{
+
+CurveFitAnalysis::CurveFitAnalysis(AnalysisConfig config)
+    : cfg(std::move(config)), model_(cfg.ar),
+      collector_(cfg.space, cfg.time, cfg.ar, cfg.minLocation),
+      trainer_(model_),
+      stopper(cfg.ar.convergeTol, cfg.ar.convergePatience,
+              cfg.ar.minBatches)
+{
+    TDFE_ASSERT(cfg.provider, "analysis needs a variable provider");
+    TDFE_ASSERT(cfg.method == AnalysisMethod::CurveFitting,
+                "only Curve_Fitting is implemented");
+    if (cfg.searchEnd <= 0)
+        cfg.searchEnd = cfg.space.end;
+
+    collector_.setBatchSink([this](MiniBatch &batch) {
+        // Training continues for every filled batch inside the
+        // temporal window (paper Sec. III-B.2); convergence below
+        // only feeds the early-termination protocol — if the app
+        // honours it the simulation ends, otherwise later batches
+        // keep refining the fit.
+        const double val_mse = trainer_.trainRound(batch);
+
+        // Convergence is judged on the *relative* validation error:
+        // the raw-space RMS error of fresh predictions over the
+        // magnitude scale of the diagnostic. A normalized-MSE
+        // criterion would never fire on a flat-but-noisy diagnostic
+        // (its standardized residual is all noise), yet predictions
+        // there are already as accurate as they can meaningfully
+        // get.
+        const Standardizer &st = model_.standardizer();
+        const double scale = std::max(std::abs(st.targetMean()),
+                                      st.targetStd());
+        const double raw_rmse =
+            std::sqrt(std::max(val_mse, 0.0)) * st.targetStd();
+        const double rel =
+            scale > 0.0 ? raw_rmse / scale : raw_rmse;
+        stopper.update(rel);
+        if (stopper.converged() && convergedIter < 0)
+            convergedIter = lastIter;
+    });
+}
+
+void
+CurveFitAnalysis::onIteration(long iter, void *domain)
+{
+    lastIter = iter;
+    if (collector_.windowFinished(iter))
+        windowDone = true;
+
+    collector_.collect(iter, [&](long loc) {
+        return cfg.provider(domain, loc);
+    });
+}
+
+long
+CurveFitAnalysis::featureLoc() const
+{
+    return cfg.featureLocation >= 0 ? cfg.featureLocation
+                                    : cfg.space.begin;
+}
+
+double
+CurveFitAnalysis::extractFeature() const
+{
+    switch (cfg.feature) {
+      case FeatureKind::BreakpointRadius:
+        return static_cast<double>(breakPoint().radius);
+      case FeatureKind::DelayTime: {
+        // Track the model's fitted curve only when the model is
+        // trustworthy. Two guards: (a) a degenerate fit — the
+        // training window was (near-)constant, so the target spread
+        // collapsed onto the standardizer floor and the curve
+        // carries no signal (the paper's mass diagnostic is flat
+        // until ejection); (b) a quality gate — when the one-step
+        // error of the fitted curve against the collected series
+        // exceeds fitQualityGatePct, the curve is a worse witness
+        // than the data the collector already holds.
+        const Standardizer &st = model_.standardizer();
+        const bool degenerate =
+            st.count() == 0 ||
+            st.targetStd() <=
+                1e-9 * (std::abs(st.targetMean()) + 1.0);
+
+        const Predictor pred(model_, observed());
+        const FittedSeries fit = pred.oneStepSeries(featureLoc());
+        bool unfit = degenerate || fit.predicted.size() < 3;
+        if (!unfit && cfg.fitQualityGatePct > 0.0) {
+            unfit = errorRatePct(fit.predicted, fit.actual) >
+                    cfg.fitQualityGatePct;
+        }
+        if (unfit) {
+            const auto raw = observed().seriesAt(featureLoc());
+            if (raw.size() < 3)
+                return -1.0;
+            const auto p = VariableTracker::strongestGradientChange(
+                raw, cfg.smoothWindow);
+            return static_cast<double>(
+                observed().iterBegin() + static_cast<long>(p.index));
+        }
+        const auto p = VariableTracker::strongestGradientChange(
+            fit.predicted, cfg.smoothWindow);
+        return static_cast<double>(fit.iters[p.index]);
+      }
+      case FeatureKind::PeakValue: {
+        const Predictor pred(model_, observed());
+        const FittedSeries fit = pred.oneStepSeries(featureLoc());
+        const auto &s =
+            fit.predicted.size() >= 4 ? fit.predicted
+                                      : observed().seriesAt(featureLoc());
+        const auto maxima = VariableTracker::localMaxima(s);
+        if (maxima.empty())
+            return s.empty() ? 0.0
+                             : *std::max_element(s.begin(), s.end());
+        return maxima.back().value;
+      }
+    }
+    TDFE_PANIC("unhandled feature kind");
+}
+
+BreakPoint
+CurveFitAnalysis::breakPoint() const
+{
+    TDFE_ASSERT(cfg.feature == FeatureKind::BreakpointRadius,
+                "breakPoint() requires a BreakpointRadius analysis");
+
+    const Predictor pred(model_, observed());
+    const std::vector<double> peaks = pred.peakProfile(cfg.searchEnd);
+    const long lo = observed().locBegin();
+    const long step = observed().locStep();
+
+    ThresholdExtractor extractor(cfg.threshold, cfg.coarseStep);
+    return extractor.find(
+        [&](long l) -> double {
+            const std::size_t idx =
+                static_cast<std::size_t>((l - lo) / step);
+            TDFE_ASSERT(idx < peaks.size(),
+                        "break-point probe outside profile");
+            return peaks[idx];
+        },
+        cfg.space.begin, cfg.searchEnd);
+}
+
+double
+CurveFitAnalysis::currentPrediction() const
+{
+    const Predictor pred(model_, observed());
+    const FittedSeries fit = pred.oneStepSeries(featureLoc());
+    if (fit.predicted.empty()) {
+        const auto raw = observed().seriesAt(featureLoc());
+        return raw.empty() ? 0.0 : raw.back();
+    }
+    return fit.predicted.back();
+}
+
+long
+CurveFitAnalysis::wavefrontLocation() const
+{
+    const ObservedSeries &s = observed();
+    if (s.iterCount() == 0)
+        return s.locBegin();
+    const std::vector<double> row = s.profileAt(s.iterEnd() - 1);
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    return s.locBegin() + static_cast<long>(best) * s.locStep();
+}
+
+
+void
+CurveFitAnalysis::save(BinaryWriter &w) const
+{
+    w.writeTag("analysis");
+    model_.save(w);
+    collector_.save(w);
+    trainer_.save(w);
+    stopper.save(w);
+    w.writeI64(convergedIter);
+    w.writeI64(lastIter);
+    w.writeBool(windowDone);
+}
+
+void
+CurveFitAnalysis::load(BinaryReader &r)
+{
+    r.expectTag("analysis");
+    model_.load(r);
+    collector_.load(r);
+    trainer_.load(r);
+    stopper.load(r);
+    convergedIter = static_cast<long>(r.readI64());
+    lastIter = static_cast<long>(r.readI64());
+    windowDone = r.readBool();
+}
+
+} // namespace tdfe

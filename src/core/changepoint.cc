@@ -1,0 +1,124 @@
+#include "core/changepoint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+CusumDetector::CusumDetector(const ChangePointConfig &config)
+    : cfg(config)
+{
+    TDFE_ASSERT(cfg.calibration >= 2,
+                "CUSUM needs at least 2 calibration samples");
+    TDFE_ASSERT(cfg.threshold > 0.0 && cfg.drift >= 0.0,
+                "CUSUM threshold must be positive, drift >= 0");
+}
+
+void
+CusumDetector::reset()
+{
+    calib.clear();
+    armed = false;
+    sHigh = 0.0;
+    sLow = 0.0;
+    pushed = 0;
+    alarmIndex_ = -1;
+}
+
+bool
+CusumDetector::push(double value)
+{
+    const long index = static_cast<long>(pushed);
+    ++pushed;
+
+    if (!std::isfinite(value))
+        return false;
+
+    if (!armed) {
+        calib.push(value);
+        if (calib.count() >= cfg.calibration) {
+            mu = calib.mean();
+            sigma = std::max(calib.stddev(), cfg.minSigma);
+            armed = true;
+        }
+        return false;
+    }
+    if (alarmed())
+        return false;
+
+    const double z = (value - mu) / sigma;
+    sHigh = std::max(0.0, sHigh + z - cfg.drift);
+    sLow = std::max(0.0, sLow - z - cfg.drift);
+    if (sHigh > cfg.threshold || sLow > cfg.threshold) {
+        alarmIndex_ = index;
+        return true;
+    }
+    return false;
+}
+
+PageHinkleyDetector::PageHinkleyDetector(
+    const ChangePointConfig &config)
+    : cfg(config)
+{
+    TDFE_ASSERT(cfg.calibration >= 2,
+                "Page-Hinkley needs at least 2 calibration samples");
+    TDFE_ASSERT(cfg.threshold > 0.0 && cfg.drift >= 0.0,
+                "Page-Hinkley threshold must be positive, drift >= 0");
+}
+
+void
+PageHinkleyDetector::reset()
+{
+    calib.clear();
+    armed = false;
+    mHigh = 0.0;
+    mHighMin = 0.0;
+    mLow = 0.0;
+    mLowMax = 0.0;
+    pushed = 0;
+    alarmIndex_ = -1;
+}
+
+bool
+PageHinkleyDetector::push(double value)
+{
+    const long index = static_cast<long>(pushed);
+    ++pushed;
+
+    if (!std::isfinite(value))
+        return false;
+
+    if (!armed) {
+        calib.push(value);
+        if (calib.count() >= cfg.calibration) {
+            mu = calib.mean();
+            sigma = std::max(calib.stddev(), cfg.minSigma);
+            armed = true;
+        }
+        return false;
+    }
+    if (alarmed())
+        return false;
+
+    const double z = (value - mu) / sigma;
+
+    // Upward shift: cumulative sum of (z - delta) escaping its
+    // running minimum.
+    mHigh += z - cfg.drift;
+    mHighMin = std::min(mHighMin, mHigh);
+    // Downward shift, mirrored.
+    mLow += z + cfg.drift;
+    mLowMax = std::max(mLowMax, mLow);
+
+    if (mHigh - mHighMin > cfg.threshold ||
+        mLowMax - mLow > cfg.threshold) {
+        alarmIndex_ = index;
+        return true;
+    }
+    return false;
+}
+
+} // namespace tdfe

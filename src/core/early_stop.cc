@@ -1,0 +1,48 @@
+#include "core/early_stop.hh"
+
+#include "base/serial.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+EarlyStop::EarlyStop(double tol, std::size_t patience,
+                     std::size_t min_batches)
+    : tol(tol), patience(patience), minBatches(min_batches)
+{
+    TDFE_ASSERT(tol > 0.0, "early-stop tolerance must be positive");
+    TDFE_ASSERT(patience > 0, "early-stop patience must be >= 1");
+}
+
+void
+EarlyStop::update(double validation_mse)
+{
+    ++roundsSeen;
+    if (validation_mse <= tol)
+        ++consecutiveOk;
+    else
+        consecutiveOk = 0;
+
+    if (roundsSeen >= minBatches && consecutiveOk >= patience)
+        convergedFlag = true;
+}
+
+
+void
+EarlyStop::save(BinaryWriter &w) const
+{
+    w.writeU64(roundsSeen);
+    w.writeU64(consecutiveOk);
+    w.writeBool(convergedFlag);
+}
+
+void
+EarlyStop::load(BinaryReader &r)
+{
+    roundsSeen = static_cast<std::size_t>(r.readU64());
+    consecutiveOk = static_cast<std::size_t>(r.readU64());
+    convergedFlag = r.readBool();
+}
+
+} // namespace tdfe

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Early-termination controller (paper Secs. IV/V): once the
+ * auto-regressive model has reached a predefined accuracy threshold
+ * for long enough, the simulation may stop, saving up to 67% of the
+ * runtime in the paper's wdmerger runs.
+ */
+
+#ifndef TDFE_CORE_EARLY_STOP_HH
+#define TDFE_CORE_EARLY_STOP_HH
+
+#include <cstddef>
+
+namespace tdfe
+{
+
+class BinaryReader;
+class BinaryWriter;
+
+/**
+ * Declares convergence after `patience` consecutive training rounds
+ * whose validation MSE stays below `tol`, with at least `minBatches`
+ * rounds seen overall. Validation MSE is measured in standardized
+ * space, making `tol` problem-scale independent.
+ */
+class EarlyStop
+{
+  public:
+    /**
+     * @param tol Normalized validation-MSE threshold.
+     * @param patience Consecutive below-threshold rounds required.
+     * @param min_batches Lower bound on total rounds first.
+     */
+    EarlyStop(double tol, std::size_t patience,
+              std::size_t min_batches);
+
+    /** Feed the validation error of one training round. */
+    void update(double validation_mse);
+
+    /** @return true once the convergence criterion has been met. */
+    bool converged() const { return convergedFlag; }
+
+    /** @return training rounds observed so far. */
+    std::size_t rounds() const { return roundsSeen; }
+
+    /** @return current run of consecutive below-tol rounds. */
+    std::size_t streak() const { return consecutiveOk; }
+
+    /** Checkpoint the controller state. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
+
+  private:
+    double tol;
+    std::size_t patience;
+    std::size_t minBatches;
+    std::size_t roundsSeen = 0;
+    std::size_t consecutiveOk = 0;
+    bool convergedFlag = false;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_EARLY_STOP_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Temporal/spatial sampling windows (paper Sec. III-C): a tuple of
+ * (begin, end, step) describing which iterations or locations the
+ * in-situ collector should sample. Mirrors `td_iter_param_init`.
+ */
+
+#ifndef TDFE_CORE_ITER_PARAM_HH
+#define TDFE_CORE_ITER_PARAM_HH
+
+#include <cstddef>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+/**
+ * Inclusive arithmetic window {begin, begin+step, ..., <= end}.
+ * Used both for iteration (temporal) and location (spatial)
+ * characteristics of data collection.
+ */
+struct IterParam
+{
+    long begin = 0;
+    long end = 0;
+    long step = 1;
+
+    IterParam() = default;
+
+    IterParam(long begin, long end, long step)
+        : begin(begin), end(end), step(step)
+    {
+        TDFE_ASSERT(step > 0, "window step must be positive");
+        TDFE_ASSERT(end >= begin, "window end before begin");
+    }
+
+    /** @return true iff @p v lies on the window's lattice. */
+    bool
+    contains(long v) const
+    {
+        if (v < begin || v > end)
+            return false;
+        return (v - begin) % step == 0;
+    }
+
+    /** @return number of lattice points in the window. */
+    std::size_t
+    count() const
+    {
+        return static_cast<std::size_t>((end - begin) / step) + 1;
+    }
+
+    /** @return the i-th lattice point (no bounds check on end). */
+    long
+    at(std::size_t i) const
+    {
+        return begin + static_cast<long>(i) * step;
+    }
+
+    /** @return lattice index of @p v; panics unless contains(v). */
+    std::size_t
+    indexOf(long v) const
+    {
+        TDFE_ASSERT(contains(v), "value ", v, " not in window [",
+                    begin, ", ", end, "] step ", step);
+        return static_cast<std::size_t>((v - begin) / step);
+    }
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_ITER_PARAM_HH

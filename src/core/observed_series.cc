@@ -1,0 +1,128 @@
+#include "core/observed_series.hh"
+
+#include "base/serial.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+ObservedSeries::ObservedSeries(long loc_begin, long loc_step,
+                               std::size_t n_locs, long iter_begin)
+    : locBegin_(loc_begin), locStep_(loc_step), nLocs(n_locs),
+      iterBegin_(iter_begin)
+{
+    TDFE_ASSERT(loc_step > 0, "location step must be positive");
+    TDFE_ASSERT(n_locs > 0, "need at least one location");
+}
+
+void
+ObservedSeries::appendRow(const std::vector<double> &values)
+{
+    TDFE_ASSERT(values.size() == nLocs,
+                "row has ", values.size(), " values, expected ",
+                nLocs);
+    data.insert(data.end(), values.begin(), values.end());
+    ++rows;
+}
+
+bool
+ObservedSeries::hasIter(long iter) const
+{
+    return iter >= iterBegin_ &&
+           iter < iterBegin_ + static_cast<long>(rows);
+}
+
+bool
+ObservedSeries::hasLoc(long loc) const
+{
+    if (loc < locBegin_ || loc > locEnd())
+        return false;
+    return (loc - locBegin_) % locStep_ == 0;
+}
+
+long
+ObservedSeries::locEnd() const
+{
+    return locBegin_ + static_cast<long>(nLocs - 1) * locStep_;
+}
+
+long
+ObservedSeries::iterEnd() const
+{
+    return iterBegin_ + static_cast<long>(rows);
+}
+
+std::size_t
+ObservedSeries::locIndex(long loc) const
+{
+    TDFE_ASSERT(hasLoc(loc), "location ", loc, " not sampled");
+    return static_cast<std::size_t>((loc - locBegin_) / locStep_);
+}
+
+double
+ObservedSeries::at(long loc, long iter) const
+{
+    TDFE_ASSERT(hasIter(iter), "iteration ", iter, " not recorded");
+    const std::size_t row =
+        static_cast<std::size_t>(iter - iterBegin_);
+    return data[row * nLocs + locIndex(loc)];
+}
+
+std::vector<double>
+ObservedSeries::seriesAt(long loc) const
+{
+    const std::size_t li = locIndex(loc);
+    std::vector<double> out(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        out[r] = data[r * nLocs + li];
+    return out;
+}
+
+std::vector<double>
+ObservedSeries::profileAt(long iter) const
+{
+    TDFE_ASSERT(hasIter(iter), "iteration ", iter, " not recorded");
+    const std::size_t row =
+        static_cast<std::size_t>(iter - iterBegin_);
+    return std::vector<double>(data.begin() + row * nLocs,
+                               data.begin() + (row + 1) * nLocs);
+}
+
+std::size_t
+ObservedSeries::memoryBytes() const
+{
+    return data.size() * sizeof(double);
+}
+
+
+void
+ObservedSeries::save(BinaryWriter &w) const
+{
+    w.writeI64(locBegin_);
+    w.writeI64(locStep_);
+    w.writeU64(nLocs);
+    w.writeI64(iterBegin_);
+    w.writeU64(rows);
+    w.writeVec(data);
+}
+
+void
+ObservedSeries::load(BinaryReader &r)
+{
+    const long lb = static_cast<long>(r.readI64());
+    const long ls = static_cast<long>(r.readI64());
+    const std::uint64_t nl = r.readU64();
+    const long ib = static_cast<long>(r.readI64());
+    if (lb != locBegin_ || ls != locStep_ || nl != nLocs ||
+        ib != iterBegin_) {
+        TDFE_FATAL("observed-series checkpoint lattice mismatch "
+                   "(was the analysis reconfigured?)");
+    }
+    rows = static_cast<std::size_t>(r.readU64());
+    data = r.readVec();
+    if (data.size() != rows * nLocs)
+        TDFE_FATAL("observed-series checkpoint shape mismatch");
+}
+
+} // namespace tdfe

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense store of the in-situ samples actually collected: a growing
+ * (iteration x location) matrix restricted to the user's spatial
+ * window. This *is* the "reduced dataset" of the in-situ method —
+ * a handful of probes per iteration instead of the full field.
+ */
+
+#ifndef TDFE_CORE_OBSERVED_SERIES_HH
+#define TDFE_CORE_OBSERVED_SERIES_HH
+
+#include <vector>
+
+namespace tdfe
+{
+
+class BinaryReader;
+class BinaryWriter;
+
+/**
+ * Row-per-iteration value store over a fixed location lattice
+ * {locBegin, locBegin+locStep, ...} with nLocs entries. Iterations
+ * must be appended in order starting at iterBegin.
+ */
+class ObservedSeries
+{
+  public:
+    /**
+     * @param loc_begin First sampled location.
+     * @param loc_step Spacing of the location lattice.
+     * @param n_locs Number of sampled locations.
+     * @param iter_begin First iteration that will be appended.
+     */
+    ObservedSeries(long loc_begin, long loc_step, std::size_t n_locs,
+                   long iter_begin);
+
+    /** Append the sample row for the next iteration. */
+    void appendRow(const std::vector<double> &values);
+
+    /** @return true iff @p iter has been recorded. */
+    bool hasIter(long iter) const;
+
+    /** @return true iff @p loc is on the sampled lattice. */
+    bool hasLoc(long loc) const;
+
+    /** @return recorded value at (loc, iter); panics if absent. */
+    double at(long loc, long iter) const;
+
+    /** @return the full series at one location, oldest first. */
+    std::vector<double> seriesAt(long loc) const;
+
+    /** @return the spatial profile recorded at one iteration. */
+    std::vector<double> profileAt(long iter) const;
+
+    long locBegin() const { return locBegin_; }
+    long locStep() const { return locStep_; }
+    long locEnd() const;
+    std::size_t locCount() const { return nLocs; }
+
+    long iterBegin() const { return iterBegin_; }
+    /** @return one past the last recorded iteration. */
+    long iterEnd() const;
+    std::size_t iterCount() const { return rows; }
+
+    /** @return bytes retained (the in-situ memory footprint). */
+    std::size_t memoryBytes() const;
+
+    /** Checkpoint the collected rows. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
+
+  private:
+    std::size_t locIndex(long loc) const;
+
+    long locBegin_;
+    long locStep_;
+    std::size_t nLocs;
+    long iterBegin_;
+    std::size_t rows = 0;
+    std::vector<double> data;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_OBSERVED_SERIES_HH

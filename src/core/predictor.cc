@@ -1,0 +1,155 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+Predictor::Predictor(const ArModel &model, const ObservedSeries &series)
+    : model(model), series(series)
+{
+}
+
+FittedSeries
+Predictor::oneStepSeries(long loc) const
+{
+    const ArConfig &cfg = model.config();
+    FittedSeries out;
+    std::vector<double> lags(cfg.order, 0.0);
+
+    const long t0 = series.iterBegin();
+    const long t1 = series.iterEnd();
+    for (long t = t0; t < t1; ++t) {
+        bool ok = true;
+        if (cfg.axis == LagAxis::Time) {
+            for (std::size_t i = 0; i < cfg.order && ok; ++i) {
+                const long src = t - static_cast<long>(i + 1) * cfg.lag;
+                if (!series.hasIter(src))
+                    ok = false;
+                else
+                    lags[i] = series.at(loc, src);
+            }
+        } else {
+            const long src_t = t - cfg.lag;
+            if (!series.hasIter(src_t))
+                ok = false;
+            for (std::size_t i = 0; i < cfg.order && ok; ++i) {
+                const long src_l =
+                    loc - static_cast<long>(i + 1) * series.locStep();
+                if (!series.hasLoc(src_l))
+                    ok = false;
+                else
+                    lags[i] = series.at(src_l, src_t);
+            }
+        }
+        if (!ok)
+            continue;
+        out.iters.push_back(t);
+        out.predicted.push_back(model.predict(lags));
+        out.actual.push_back(series.at(loc, t));
+    }
+    return out;
+}
+
+std::vector<double>
+Predictor::forecastSeries(long loc, long t_end) const
+{
+    const ArConfig &cfg = model.config();
+    TDFE_ASSERT(cfg.axis == LagAxis::Time,
+                "temporal forecast requires a Time-axis model");
+
+    std::vector<double> out = series.seriesAt(loc);
+    const long t0 = series.iterBegin();
+    TDFE_ASSERT(static_cast<long>(out.size()) >=
+                    static_cast<long>(cfg.order) * cfg.lag,
+                "not enough observed history to seed the forecast");
+
+    std::vector<double> lags(cfg.order, 0.0);
+    for (long t = series.iterEnd(); t <= t_end; ++t) {
+        for (std::size_t i = 0; i < cfg.order; ++i) {
+            const long src = t - static_cast<long>(i + 1) * cfg.lag;
+            TDFE_ASSERT(src >= t0, "forecast lag ran before history");
+            lags[i] = out[static_cast<std::size_t>(src - t0)];
+        }
+        out.push_back(model.predict(lags));
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+Predictor::spatialRollout(long loc_end, double quiescent,
+                          bool homogeneous) const
+{
+    const ArConfig &cfg = model.config();
+    TDFE_ASSERT(cfg.axis == LagAxis::Space,
+                "spatial rollout requires a Space-axis model");
+
+    const long step = series.locStep();
+    const long first = series.locEnd() + step;
+    if (loc_end < first)
+        return {};
+
+    const std::size_t n_new = static_cast<std::size_t>(
+        (loc_end - first) / step) + 1;
+    const std::size_t n_iters = series.iterCount();
+    const long t0 = series.iterBegin();
+
+    std::vector<std::vector<double>> rolled(
+        n_new, std::vector<double>(n_iters, quiescent));
+
+    // Value lookup that transparently switches from observed
+    // (on-lattice) locations to already-rolled ones.
+    auto value_at = [&](long loc, long t) -> double {
+        if (loc <= series.locEnd())
+            return series.at(loc, t);
+        const std::size_t k =
+            static_cast<std::size_t>((loc - first) / step);
+        return rolled[k][static_cast<std::size_t>(t - t0)];
+    };
+
+    std::vector<double> lags(cfg.order, 0.0);
+    for (std::size_t k = 0; k < n_new; ++k) {
+        const long loc = first + static_cast<long>(k) * step;
+        for (long t = t0 + cfg.lag; t < series.iterEnd(); ++t) {
+            for (std::size_t i = 0; i < cfg.order; ++i) {
+                const long src_l =
+                    loc - static_cast<long>(i + 1) * step;
+                lags[i] = value_at(src_l, t - cfg.lag);
+            }
+            rolled[k][static_cast<std::size_t>(t - t0)] =
+                homogeneous ? model.predictHomogeneous(lags)
+                            : model.predict(lags);
+        }
+    }
+    return rolled;
+}
+
+std::vector<double>
+Predictor::peakProfile(long loc_end) const
+{
+    const long step = series.locStep();
+    std::vector<double> peaks;
+
+    for (long loc = series.locBegin(); loc <= series.locEnd();
+         loc += step) {
+        const std::vector<double> s = series.seriesAt(loc);
+        peaks.push_back(s.empty()
+                        ? 0.0
+                        : *std::max_element(s.begin(), s.end()));
+    }
+
+    if (loc_end > series.locEnd()) {
+        const auto rolled = spatialRollout(loc_end);
+        for (const auto &column : rolled) {
+            peaks.push_back(column.empty()
+                            ? 0.0
+                            : *std::max_element(column.begin(),
+                                                column.end()));
+        }
+    }
+    return peaks;
+}
+
+} // namespace tdfe

@@ -1,0 +1,170 @@
+#include "core/region.hh"
+
+#include "base/serial.hh"
+
+#include "base/logging.hh"
+#include "par/comm.hh"
+
+namespace tdfe
+{
+
+Region::Region(std::string name, void *domain, Communicator *comm)
+    : name(std::move(name)), domain(domain), comm(comm)
+{
+}
+
+Region::~Region() = default;
+
+std::size_t
+Region::addAnalysis(AnalysisConfig config)
+{
+    TDFE_ASSERT(iter == 0,
+                "analyses must be registered before the first "
+                "iteration");
+    analyses.push_back(
+        std::make_unique<CurveFitAnalysis>(std::move(config)));
+    return analyses.size() - 1;
+}
+
+void
+Region::begin()
+{
+    TDFE_ASSERT(!inBlock, "td_region_begin without matching end");
+    inBlock = true;
+    blockTimer.reset();
+}
+
+void
+Region::end()
+{
+    TDFE_ASSERT(inBlock, "td_region_end without matching begin");
+    inBlock = false;
+    stepTime += blockTimer.elapsed();
+
+    Timer work;
+
+    bool all_done = !analyses.empty();
+    bool want_stop = false;
+    bool any_stopper = false;
+    bool all_stoppers_converged = true;
+    for (auto &a : analyses) {
+        a->onIteration(iter, domain);
+        const bool done = a->trainingFinished(iter);
+        all_done = all_done && done;
+        if (a->config().stopWhenConverged) {
+            any_stopper = true;
+            all_stoppers_converged =
+                all_stoppers_converged && a->converged();
+        }
+    }
+    // Termination requires every stop-requesting analysis to have
+    // converged (the wdmerger case trains four models at once).
+    want_stop = any_stopper && all_stoppers_converged;
+
+    // Convergence broadcast (paper Sec. III-C): once every analysis
+    // finished training, rank 0 publishes the current prediction,
+    // the wave-front rank, and the termination flag.
+    if (all_done && !broadcastDone) {
+        broadcastDone = true;
+        const CurveFitAnalysis &lead = *analyses.front();
+        const long front_loc = lead.wavefrontLocation();
+        wavefrontRank_ =
+            rankOfLocation ? rankOfLocation(front_loc) : 0;
+        broadcastBuf[0] = lead.currentPrediction();
+        broadcastBuf[1] = static_cast<double>(wavefrontRank_);
+        broadcastBuf[2] = want_stop ? 1.0 : 0.0;
+        if (comm)
+            comm->bcast(broadcastBuf, 3, 0);
+        wavefrontRank_ = static_cast<int>(broadcastBuf[1]);
+    }
+
+    bool stop_now = want_stop;
+    if (comm && (iter % syncInterval) == syncInterval - 1) {
+        // Keep all ranks agreed on the stop decision. Analyses are
+        // replicated, so this is belt-and-braces, but it is the MPI
+        // traffic whose cost the paper's overhead tables include.
+        stop_now =
+            comm->allreduce(stop_now ? 1.0 : 0.0, ReduceOp::Max) > 0.5;
+    }
+    stopFlag = stopFlag || stop_now;
+
+    ++iter;
+    overhead += work.elapsed();
+}
+
+CurveFitAnalysis &
+Region::analysis(std::size_t id)
+{
+    TDFE_ASSERT(id < analyses.size(), "analysis id out of range");
+    return *analyses[id];
+}
+
+const CurveFitAnalysis &
+Region::analysis(std::size_t id) const
+{
+    TDFE_ASSERT(id < analyses.size(), "analysis id out of range");
+    return *analyses[id];
+}
+
+void
+Region::setSyncInterval(long interval)
+{
+    TDFE_ASSERT(interval > 0, "sync interval must be positive");
+    syncInterval = interval;
+}
+
+void
+Region::setCommunicator(Communicator *c)
+{
+    TDFE_ASSERT(iter == 0,
+                "communicator must be attached before iterating");
+    comm = c;
+}
+
+
+void
+Region::saveCheckpoint(std::ostream &out) const
+{
+    BinaryWriter w(out);
+    w.writeTag("TDFECKPT");
+    w.writeU64(1); // format version
+    w.writeU64(analyses.size());
+    w.writeI64(iter);
+    w.writeBool(stopFlag);
+    w.writeBool(broadcastDone);
+    w.writeI64(wavefrontRank_);
+    for (const double v : broadcastBuf)
+        w.writeF64(v);
+    w.writeF64(overhead);
+    w.writeF64(stepTime);
+    for (const auto &a : analyses)
+        a->save(w);
+}
+
+void
+Region::loadCheckpoint(std::istream &in)
+{
+    BinaryReader r(in);
+    r.expectTag("TDFECKPT");
+    const std::uint64_t version = r.readU64();
+    if (version != 1)
+        TDFE_FATAL("unsupported checkpoint version ", version);
+    const std::uint64_t count = r.readU64();
+    if (count != analyses.size()) {
+        TDFE_FATAL("checkpoint has ", count, " analyses, region has ",
+                   analyses.size(),
+                   " (reconstruct the region identically first)");
+    }
+    iter = static_cast<long>(r.readI64());
+    stopFlag = r.readBool();
+    broadcastDone = r.readBool();
+    wavefrontRank_ = static_cast<int>(r.readI64());
+    for (double &v : broadcastBuf)
+        v = r.readF64();
+    overhead = r.readF64();
+    stepTime = r.readF64();
+    for (auto &a : analyses)
+        a->load(r);
+}
+
+} // namespace tdfe

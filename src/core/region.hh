@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The td_region: the user-facing orchestration object of the library
+ * framework (paper Sec. III-C). A Region brackets the simulation's
+ * main computation with begin()/end(); end() drives every registered
+ * analysis, handles convergence broadcasts (prediction, wave-front
+ * rank, stop flag) and exposes the aggregate stop decision.
+ */
+
+#ifndef TDFE_CORE_REGION_HH
+#define TDFE_CORE_REGION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/timer.hh"
+#include "core/analysis.hh"
+
+namespace tdfe
+{
+
+class Communicator;
+
+/**
+ * Container of analyses attached to one instrumented code block.
+ *
+ * Ranks running a decomposed simulation must construct identical
+ * Regions and feed them identical probe data (the applications
+ * gather probe lines across ranks first); the analyses are then
+ * replicated deterministically and collective calls stay aligned.
+ */
+class Region
+{
+  public:
+    /**
+     * @param name Region label.
+     * @param domain Opaque pointer handed to variable providers.
+     * @param comm Optional communicator for the broadcast/stop
+     *        protocol; nullptr runs fully local.
+     */
+    Region(std::string name, void *domain,
+           Communicator *comm = nullptr);
+
+    ~Region();
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    /** Register an analysis; @return its id for queries. */
+    std::size_t addAnalysis(AnalysisConfig config);
+
+    /** Mark the start of the instrumented block (one iteration). */
+    void begin();
+
+    /**
+     * Mark the end of the instrumented block: runs data collection
+     * and training for every analysis, evaluates the stop protocol,
+     * and advances the iteration counter.
+     */
+    void end();
+
+    /** @return true when the simulation should terminate early. */
+    bool shouldStop() const { return stopFlag; }
+
+    /** @return iterations completed (end() calls). */
+    long iteration() const { return iter; }
+
+    /** @return analysis by id. @{ */
+    CurveFitAnalysis &analysis(std::size_t id);
+    const CurveFitAnalysis &analysis(std::size_t id) const;
+    /** @} */
+
+    /** @return number of registered analyses. */
+    std::size_t analysisCount() const { return analyses.size(); }
+
+    /** @return cumulative seconds spent inside begin()+end(). */
+    double overheadSeconds() const { return overhead; }
+
+    /** @return cumulative seconds between begin() and end(). */
+    double stepSeconds() const { return stepTime; }
+
+    /** @return rank owning the wave front (0 without a comm). */
+    int wavefrontRank() const { return wavefrontRank_; }
+
+    /**
+     * Install the location->rank map used to report the wave-front
+     * rank under domain decomposition.
+     */
+    void
+    setRankOfLocation(std::function<int(long)> fn)
+    {
+        rankOfLocation = std::move(fn);
+    }
+
+    /** Iterations between collective stop-flag syncs (default 10). */
+    void setSyncInterval(long interval);
+
+    /** Attach a communicator (before the first begin()). */
+    void setCommunicator(Communicator *c);
+
+    /** Values of the last completed broadcast:
+     *  [prediction, wavefront rank, stop flag]. */
+    const double *lastBroadcast() const { return broadcastBuf; }
+
+    /**
+     * Write a checkpoint of the region and all its analyses.
+     * Restore by constructing an identically-configured Region
+     * (same analyses in the same order) and calling
+     * loadCheckpoint(); the checkpoint carries only mutable state.
+     * @{ */
+    void saveCheckpoint(std::ostream &out) const;
+    void loadCheckpoint(std::istream &in);
+    /** @} */
+
+  private:
+    std::string name;
+    void *domain;
+    Communicator *comm;
+    std::vector<std::unique_ptr<CurveFitAnalysis>> analyses;
+
+    long iter = 0;
+    bool stopFlag = false;
+    bool broadcastDone = false;
+    long syncInterval = 10;
+    int wavefrontRank_ = 0;
+    std::function<int(long)> rankOfLocation;
+    double broadcastBuf[3] = {0.0, 0.0, 0.0};
+
+    Timer blockTimer;
+    bool inBlock = false;
+    double overhead = 0.0;
+    double stepTime = 0.0;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_REGION_HH

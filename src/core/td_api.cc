@@ -1,0 +1,253 @@
+#include "core/td_api.h"
+
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/iter_param.hh"
+#include "core/region.hh"
+
+/** C-side region handle: owns the C++ Region. */
+struct td_region
+{
+    explicit td_region(const char *name, void *domain)
+        : region(name ? name : "", domain)
+    {
+    }
+
+    tdfe::Region region;
+};
+
+/** C-side window handle. */
+struct td_iter_param
+{
+    tdfe::IterParam window;
+};
+
+extern "C" {
+
+void
+td_ar_options_default(td_ar_options_t *opts)
+{
+    TDFE_ASSERT(opts, "null options pointer");
+    const tdfe::ArConfig def;
+    opts->order = static_cast<int>(def.order);
+    opts->lag = def.lag;
+    opts->axis = TD_AXIS_SPACE;
+    opts->batch_size = static_cast<int>(def.batchSize);
+    opts->learning_rate = def.sgd.learningRate;
+    opts->converge_tol = def.convergeTol;
+    opts->patience = static_cast<int>(def.convergePatience);
+    opts->min_batches = static_cast<int>(def.minBatches);
+    opts->feature_kind = TD_FEATURE_BREAKPOINT_RADIUS;
+    opts->search_end = 0;
+    opts->coarse_step = 4;
+    opts->smooth_window = 5;
+    opts->feature_location = -1;
+    opts->min_location = 0;
+}
+
+td_region_t *
+td_region_init(const char *name, void *domain)
+{
+    return new td_region(name, domain);
+}
+
+void
+td_region_destroy(td_region_t *region)
+{
+    delete region;
+}
+
+td_iter_param_t *
+td_iter_param_init(long begin, long end, long step)
+{
+    auto *p = new td_iter_param;
+    p->window = tdfe::IterParam(begin, end, step);
+    return p;
+}
+
+void
+td_iter_param_destroy(td_iter_param_t *param)
+{
+    delete param;
+}
+
+int
+td_region_add_analysis_ex(td_region_t *region,
+                          td_var_provider_fn provider,
+                          td_iter_param_t *loc, int method,
+                          td_iter_param_t *iter, double threshold,
+                          int if_simulation_will_terminate,
+                          const td_ar_options_t *opts)
+{
+    TDFE_ASSERT(region && provider && loc && iter && opts,
+                "td_region_add_analysis_ex: null argument");
+
+    tdfe::AnalysisConfig cfg;
+    cfg.provider = [provider](void *domain, long l) {
+        return provider(domain, static_cast<int>(l));
+    };
+    cfg.space = loc->window;
+    cfg.time = iter->window;
+    cfg.method = static_cast<tdfe::AnalysisMethod>(method);
+    cfg.threshold = threshold;
+    cfg.stopWhenConverged = if_simulation_will_terminate != 0;
+
+    cfg.ar.order = static_cast<std::size_t>(opts->order);
+    cfg.ar.lag = opts->lag;
+    cfg.ar.axis = opts->axis == TD_AXIS_TIME ? tdfe::LagAxis::Time
+                                             : tdfe::LagAxis::Space;
+    cfg.ar.batchSize = static_cast<std::size_t>(opts->batch_size);
+    cfg.ar.sgd.learningRate = opts->learning_rate;
+    cfg.ar.convergeTol = opts->converge_tol;
+    cfg.ar.convergePatience =
+        static_cast<std::size_t>(opts->patience);
+    cfg.ar.minBatches = static_cast<std::size_t>(opts->min_batches);
+
+    switch (opts->feature_kind) {
+      case TD_FEATURE_BREAKPOINT_RADIUS:
+        cfg.feature = tdfe::FeatureKind::BreakpointRadius;
+        break;
+      case TD_FEATURE_DELAY_TIME:
+        cfg.feature = tdfe::FeatureKind::DelayTime;
+        break;
+      case TD_FEATURE_PEAK_VALUE:
+        cfg.feature = tdfe::FeatureKind::PeakValue;
+        break;
+      default:
+        TDFE_FATAL("unknown feature kind ", opts->feature_kind);
+    }
+    cfg.searchEnd = opts->search_end;
+    cfg.coarseStep = opts->coarse_step;
+    cfg.smoothWindow =
+        static_cast<std::size_t>(opts->smooth_window);
+    cfg.featureLocation = opts->feature_location;
+    cfg.minLocation = opts->min_location;
+
+    return static_cast<int>(
+        region->region.addAnalysis(std::move(cfg)));
+}
+
+int
+td_region_add_analysis(td_region_t *region,
+                       td_var_provider_fn provider,
+                       td_iter_param_t *loc, int method,
+                       td_iter_param_t *iter, double threshold,
+                       int if_simulation_will_terminate)
+{
+    td_ar_options_t opts;
+    td_ar_options_default(&opts);
+    return td_region_add_analysis_ex(region, provider, loc, method,
+                                     iter, threshold,
+                                     if_simulation_will_terminate,
+                                     &opts);
+}
+
+void
+td_region_begin(td_region_t *region)
+{
+    region->region.begin();
+}
+
+void
+td_region_end(td_region_t *region)
+{
+    region->region.end();
+}
+
+int
+td_region_should_stop(const td_region_t *region)
+{
+    return region->region.shouldStop() ? 1 : 0;
+}
+
+long
+td_region_iteration(const td_region_t *region)
+{
+    return region->region.iteration();
+}
+
+double
+td_region_feature(const td_region_t *region, int analysis)
+{
+    return region->region
+        .analysis(static_cast<std::size_t>(analysis))
+        .extractFeature();
+}
+
+double
+td_region_predicted_value(const td_region_t *region, int analysis)
+{
+    return region->region
+        .analysis(static_cast<std::size_t>(analysis))
+        .currentPrediction();
+}
+
+int
+td_region_analysis_converged(const td_region_t *region, int analysis)
+{
+    return region->region
+                   .analysis(static_cast<std::size_t>(analysis))
+                   .converged()
+               ? 1
+               : 0;
+}
+
+long
+td_region_converged_iteration(const td_region_t *region, int analysis)
+{
+    return region->region
+        .analysis(static_cast<std::size_t>(analysis))
+        .convergedIteration();
+}
+
+int
+td_region_wavefront_rank(const td_region_t *region)
+{
+    return region->region.wavefrontRank();
+}
+
+double
+td_region_overhead_seconds(const td_region_t *region)
+{
+    return region->region.overheadSeconds();
+}
+
+int
+td_region_checkpoint(const td_region_t *region, const char *path)
+{
+    TDFE_ASSERT(region && path, "null region or path");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return -1;
+    region->region.saveCheckpoint(out);
+    return out.good() ? 0 : -1;
+}
+
+int
+td_region_restore(td_region_t *region, const char *path)
+{
+    TDFE_ASSERT(region && path, "null region or path");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return -1;
+    region->region.loadCheckpoint(in);
+    return 0;
+}
+
+} // extern "C"
+
+void
+td_region_use_communicator(td_region_t *region,
+                           tdfe::Communicator *comm)
+{
+    region->region.setCommunicator(comm);
+}
+
+tdfe::Region *
+td_region_cxx(td_region_t *region)
+{
+    return &region->region;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The paper's C API (Sec. III-C / Fig. 2), verbatim names:
+ *
+ *   - td_region_init / td_region_destroy
+ *   - td_iter_param_init / td_iter_param_destroy
+ *   - td_region_add_analysis (+ _ex with explicit AR options)
+ *   - td_region_begin / td_region_end
+ *
+ * plus the query functions the callbacks "broadcast": the current
+ * predicted value, the rank holding the wave front, and the flag
+ * indicating the action taken when the analysis concludes.
+ *
+ * The header is plain C so that C simulations (the usual LULESH
+ * build) can link against the library unchanged.
+ */
+
+#ifndef TDFE_CORE_TD_API_H
+#define TDFE_CORE_TD_API_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** Opaque region handle (wraps tdfe::Region). */
+typedef struct td_region td_region_t;
+
+/** Opaque (begin, end, step) window handle. */
+typedef struct td_iter_param td_iter_param_t;
+
+/**
+ * User-implemented diagnostic-variable accessor: returns the value
+ * of the tracked variable at @p loc for the given simulation domain.
+ */
+typedef double (*td_var_provider_fn)(void *domain, int loc);
+
+/** Data-analysis methods (paper: 'Curve_Fitting'). */
+enum
+{
+    Curve_Fitting = 1
+};
+
+/** Feature kinds selectable through td_ar_options_t. */
+enum
+{
+    TD_FEATURE_BREAKPOINT_RADIUS = 0,
+    TD_FEATURE_DELAY_TIME = 1,
+    TD_FEATURE_PEAK_VALUE = 2
+};
+
+/** Lag axes selectable through td_ar_options_t. */
+enum
+{
+    TD_AXIS_SPACE = 0,
+    TD_AXIS_TIME = 1
+};
+
+/** Explicit model/training options for td_region_add_analysis_ex. */
+typedef struct td_ar_options
+{
+    /** Model size n (number of AR terms). */
+    int order;
+    /** Time-step lag in iterations. */
+    long lag;
+    /** TD_AXIS_SPACE or TD_AXIS_TIME. */
+    int axis;
+    /** Samples per mini-batch. */
+    int batch_size;
+    /** Gradient-descent step size (normalized space). */
+    double learning_rate;
+    /** Normalized validation-MSE convergence tolerance. */
+    double converge_tol;
+    /** Consecutive converged batches required. */
+    int patience;
+    /** Minimum batches before convergence may fire. */
+    int min_batches;
+    /** TD_FEATURE_* selector. */
+    int feature_kind;
+    /** Outermost location of the break-point search. */
+    long search_end;
+    /** Coarse step of the threshold search. */
+    long coarse_step;
+    /** Smoothing window for delay-time tracking. */
+    int smooth_window;
+    /** Location whose curve yields the feature (-1: window begin). */
+    long feature_location;
+    /** Lowest legal location in the domain. */
+    long min_location;
+} td_ar_options_t;
+
+/** Fill @p opts with the library defaults. */
+void td_ar_options_default(td_ar_options_t *opts);
+
+/**
+ * Create a feature-extraction region.
+ *
+ * @param name Optional label ("" is fine, as in the paper example).
+ * @param domain Opaque simulation domain passed to providers.
+ */
+td_region_t *td_region_init(const char *name, void *domain);
+
+/** Release a region and everything it owns. */
+void td_region_destroy(td_region_t *region);
+
+/** Create a (begin, end, step) window ("tuple of three"). */
+td_iter_param_t *td_iter_param_init(long begin, long end, long step);
+
+/** Release a window created by td_iter_param_init. */
+void td_iter_param_destroy(td_iter_param_t *param);
+
+/**
+ * Register an analysis with default AR options (paper signature).
+ *
+ * @param region Target region.
+ * @param provider Diagnostic accessor.
+ * @param loc Spatial characteristics.
+ * @param method Data-analysis method (Curve_Fitting).
+ * @param iter Temporal characteristics.
+ * @param threshold Threshold for break-point extraction.
+ * @param if_simulation_will_terminate Nonzero requests early
+ *        termination once the model converges.
+ * @return analysis id (>= 0) for the query functions.
+ */
+int td_region_add_analysis(td_region_t *region,
+                           td_var_provider_fn provider,
+                           td_iter_param_t *loc, int method,
+                           td_iter_param_t *iter, double threshold,
+                           int if_simulation_will_terminate);
+
+/** As td_region_add_analysis with explicit AR options. */
+int td_region_add_analysis_ex(td_region_t *region,
+                              td_var_provider_fn provider,
+                              td_iter_param_t *loc, int method,
+                              td_iter_param_t *iter, double threshold,
+                              int if_simulation_will_terminate,
+                              const td_ar_options_t *opts);
+
+/** Mark the start of the instrumented block (paper Fig. 2 line 23). */
+void td_region_begin(td_region_t *region);
+
+/** Mark the end of the block; runs the in-situ analysis step. */
+void td_region_end(td_region_t *region);
+
+/** @return nonzero when the simulation should terminate early. */
+int td_region_should_stop(const td_region_t *region);
+
+/** @return iterations seen so far (end() calls). */
+long td_region_iteration(const td_region_t *region);
+
+/** @return extracted feature of one analysis (radius / iteration). */
+double td_region_feature(const td_region_t *region, int analysis);
+
+/** @return latest predicted value of the diagnostic variable. */
+double td_region_predicted_value(const td_region_t *region,
+                                 int analysis);
+
+/** @return nonzero once the analysis' model converged. */
+int td_region_analysis_converged(const td_region_t *region,
+                                 int analysis);
+
+/** @return iteration at which the model converged (-1: not yet). */
+long td_region_converged_iteration(const td_region_t *region,
+                                   int analysis);
+
+/** @return rank owning the wave front (0 without decomposition). */
+int td_region_wavefront_rank(const td_region_t *region);
+
+/** @return cumulative seconds spent inside the library. */
+double td_region_overhead_seconds(const td_region_t *region);
+
+/**
+ * Write the region's mutable state (models, collected data,
+ * optimizer and early-stop state) to @p path. Restore by building
+ * an identically-configured region and calling td_region_restore.
+ *
+ * @return 0 on success, -1 when the file cannot be written.
+ */
+int td_region_checkpoint(const td_region_t *region,
+                         const char *path);
+
+/**
+ * Restore state written by td_region_checkpoint into an
+ * identically-configured region.
+ *
+ * @return 0 on success, -1 when the file cannot be read. Shape
+ * mismatches (different analyses or model orders) terminate with a
+ * fatal diagnostic.
+ */
+int td_region_restore(td_region_t *region, const char *path);
+
+#ifdef __cplusplus
+} // extern "C"
+
+// C++-only bridge: attach a communicator (tdfe::Communicator*) so the
+// convergence broadcast and stop protocol run across ranks.
+namespace tdfe
+{
+class Communicator;
+class Region;
+} // namespace tdfe
+
+/** Attach a communicator; call before the first td_region_begin. */
+void td_region_use_communicator(td_region_t *region,
+                                tdfe::Communicator *comm);
+
+/** @return the underlying C++ region (advanced queries). */
+tdfe::Region *td_region_cxx(td_region_t *region);
+
+#endif // __cplusplus
+
+#endif // TDFE_CORE_TD_API_H

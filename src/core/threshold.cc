@@ -1,0 +1,78 @@
+#include "core/threshold.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+ThresholdExtractor::ThresholdExtractor(double threshold,
+                                       long coarse_step)
+    : thr(threshold), coarseStep(coarse_step)
+{
+    TDFE_ASSERT(coarse_step >= 1, "coarse step must be >= 1");
+}
+
+BreakPoint
+ThresholdExtractor::find(const std::function<double(long)> &profile,
+                         long lo, long hi) const
+{
+    TDFE_ASSERT(hi >= lo, "empty threshold search range");
+
+    BreakPoint bp;
+
+    // Coarse outward sweep: stop at the first location below the
+    // threshold.
+    long below = -1;
+    long last_above = lo - 1;
+    double last_above_value = 0.0;
+    for (long l = lo; l <= hi; l += coarseStep) {
+        const double v = profile(l);
+        ++bp.evaluations;
+        if (v >= thr) {
+            last_above = l;
+            last_above_value = v;
+        } else {
+            below = l;
+            break;
+        }
+    }
+
+    if (below < 0) {
+        // Never dropped below the threshold inside the domain: the
+        // break-point lies at or beyond the boundary (the paper's
+        // low-threshold rows, where extraction reports the full
+        // domain radius).
+        bp.radius = hi;
+        bp.value = profile(hi);
+        ++bp.evaluations;
+        bp.clamped = true;
+        return bp;
+    }
+
+    if (last_above < lo) {
+        // Below threshold immediately: no in-range break-point.
+        bp.radius = lo;
+        bp.value = profile(lo);
+        ++bp.evaluations;
+        return bp;
+    }
+
+    // Refinement: single-location steps between the last coarse
+    // point above and the first below ("the location is adjusted by
+    // a specified radius").
+    bp.radius = last_above;
+    bp.value = last_above_value;
+    for (long l = last_above + 1; l < below; ++l) {
+        const double v = profile(l);
+        ++bp.evaluations;
+        if (v >= thr) {
+            bp.radius = l;
+            bp.value = v;
+        } else {
+            break;
+        }
+    }
+    return bp;
+}
+
+} // namespace tdfe

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Threshold-based feature extraction: the break-point / region-of-
+ * interest search of paper Sec. IV. Given a (predicted) peak-value
+ * profile over locations, find the largest radius where the value
+ * still meets the threshold. Implements the paper's refinement rule:
+ * "if a predicted value does not exceed the threshold, the location
+ * is adjusted by a specified radius, enabling a more refined search".
+ */
+
+#ifndef TDFE_CORE_THRESHOLD_HH
+#define TDFE_CORE_THRESHOLD_HH
+
+#include <functional>
+
+namespace tdfe
+{
+
+/** Result of a break-point search. */
+struct BreakPoint
+{
+    /** Largest location whose value meets the threshold; equals the
+     *  search upper bound when the profile never drops below it. */
+    long radius = 0;
+    /** Profile value at the radius. */
+    double value = 0.0;
+    /** True when the threshold crossing lies beyond the domain and
+     *  the radius was clamped to the search upper bound. */
+    bool clamped = false;
+    /** Profile evaluations spent (coarse scan + refinement). */
+    long evaluations = 0;
+};
+
+/**
+ * Outward coarse-to-fine threshold search over a location-indexed
+ * profile.
+ */
+class ThresholdExtractor
+{
+  public:
+    /**
+     * @param threshold Absolute threshold the profile is compared
+     *        against (callers convert "percent of initial velocity"
+     *        to absolute units).
+     * @param coarse_step The paper's "specified radius" used for the
+     *        first outward sweep before single-step refinement.
+     */
+    ThresholdExtractor(double threshold, long coarse_step = 4);
+
+    /**
+     * Find the break-point of @p profile on [lo, hi].
+     *
+     * The profile must be (weakly) decreasing in the large for the
+     * result to be meaningful — true of attenuating blast waves.
+     * The search walks outward in coarse steps until the profile
+     * falls below the threshold, then backtracks one coarse step and
+     * refines by single increments.
+     *
+     * @param profile Value accessor by location.
+     * @param lo First candidate location (inclusive).
+     * @param hi Last candidate location (inclusive).
+     */
+    BreakPoint find(const std::function<double(long)> &profile,
+                    long lo, long hi) const;
+
+    /** @return the configured absolute threshold. */
+    double threshold() const { return thr; }
+
+  private:
+    double thr;
+    long coarseStep;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_THRESHOLD_HH

@@ -1,0 +1,146 @@
+#include "core/tracker.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+int
+VariableTracker::push(double value)
+{
+    v[0] = v[1];
+    v[1] = v[2];
+    v[2] = v[3];
+    v[3] = value;
+    ++pushed;
+    if (pushed < 4)
+        return 0;
+
+    const double k2 = v[2] - v[1];
+    const double k3 = v[3] - v[2];
+    // v[2] is "the velocity sampled from the former iteration
+    // generating k3" (paper Fig. 1); its index is pushed-2.
+    if (k2 > 0.0 && k3 <= 0.0) {
+        lastIndex = pushed - 2;
+        lastValue = v[2];
+        return 1;
+    }
+    if (k2 < 0.0 && k3 >= 0.0) {
+        lastIndex = pushed - 2;
+        lastValue = v[2];
+        return -1;
+    }
+    return 0;
+}
+
+namespace
+{
+
+std::vector<TrackedPoint>
+extremaOf(const std::vector<double> &series, bool maxima)
+{
+    std::vector<TrackedPoint> out;
+    VariableTracker tracker;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const int hit = tracker.push(series[i]);
+        if ((maxima && hit == 1) || (!maxima && hit == -1)) {
+            out.push_back(TrackedPoint{tracker.lastExtremumIndex(),
+                                       tracker.lastExtremumValue()});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<TrackedPoint>
+VariableTracker::localMaxima(const std::vector<double> &series)
+{
+    return extremaOf(series, true);
+}
+
+std::vector<TrackedPoint>
+VariableTracker::localMinima(const std::vector<double> &series)
+{
+    return extremaOf(series, false);
+}
+
+std::vector<TrackedPoint>
+VariableTracker::inflections(const std::vector<double> &series)
+{
+    if (series.size() < 5)
+        return {};
+    std::vector<double> diff(series.size() - 1);
+    for (std::size_t i = 0; i + 1 < series.size(); ++i)
+        diff[i] = series[i + 1] - series[i];
+
+    std::vector<TrackedPoint> out;
+    for (const auto &p : localMaxima(diff))
+        out.push_back(TrackedPoint{p.index, series[p.index]});
+    for (const auto &p : localMinima(diff))
+        out.push_back(TrackedPoint{p.index, series[p.index]});
+    return out;
+}
+
+std::vector<double>
+VariableTracker::smooth(const std::vector<double> &series,
+                        std::size_t window)
+{
+    if (window <= 1 || series.empty())
+        return series;
+    const long half = static_cast<long>(window) / 2;
+    const long n = static_cast<long>(series.size());
+    std::vector<double> out(series.size(), 0.0);
+    for (long i = 0; i < n; ++i) {
+        double acc = 0.0;
+        long cnt = 0;
+        for (long j = i - half; j <= i + half; ++j) {
+            if (j < 0 || j >= n)
+                continue;
+            acc += series[static_cast<std::size_t>(j)];
+            ++cnt;
+        }
+        out[static_cast<std::size_t>(i)] =
+            acc / static_cast<double>(cnt);
+    }
+    return out;
+}
+
+TrackedPoint
+VariableTracker::strongestGradientChange(
+    const std::vector<double> &series, std::size_t smooth_window)
+{
+    TDFE_ASSERT(series.size() >= 3,
+                "gradient-change detection needs >= 3 samples");
+    const std::vector<double> s = smooth(series, smooth_window);
+
+    // The truncated moving average bends otherwise-straight data
+    // near the array ends; exclude that margin from the search when
+    // the series is long enough to afford it.
+    std::size_t lo = 1;
+    std::size_t hi = s.size() - 1;
+    const std::size_t margin = smooth_window;
+    if (s.size() > 2 * margin + 4) {
+        lo += margin;
+        hi -= margin;
+    }
+
+    TrackedPoint best;
+    double best_mag = -1.0;
+    for (std::size_t i = lo; i + 1 < hi + 1 && i + 1 < s.size();
+         ++i) {
+        const double g_prev = s[i] - s[i - 1];
+        const double g_next = s[i + 1] - s[i];
+        const double mag = std::abs(g_next - g_prev);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best.index = i;
+            best.value = series[i];
+        }
+    }
+    return best;
+}
+
+} // namespace tdfe

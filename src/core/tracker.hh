@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Variable tracking (paper Sec. III-B.3 and Fig. 1): locate focal
+ * points of a curve — local maxima/minima from back-to-back gradient
+ * signs (k1, k2, k3) and inflection points from extrema of the first
+ * difference. These drive both the break-point search (Case 1) and
+ * delay-time extraction (Case 2).
+ */
+
+#ifndef TDFE_CORE_TRACKER_HH
+#define TDFE_CORE_TRACKER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** One focal point on a curve. */
+struct TrackedPoint
+{
+    /** Index into the analyzed series. */
+    std::size_t index = 0;
+    /** Series value at that index. */
+    double value = 0.0;
+};
+
+/**
+ * Batch and streaming detectors for curve focal points.
+ *
+ * The streaming detector mirrors the paper's Fig. 1 exactly: with
+ * four back-to-back values v0..v3 the gradients are k1=v1-v0,
+ * k2=v2-v1, k3=v3-v2; a positive k2 followed by a non-positive k3
+ * flags v2 as a local maximum, the mirrored signs flag a minimum.
+ */
+class VariableTracker
+{
+  public:
+    /** Streaming state: feed values one at a time. */
+    VariableTracker() = default;
+
+    /**
+     * Push the next sample.
+     *
+     * @return +1 if a local maximum was just detected (at the
+     *         previous sample), -1 for a local minimum, 0 otherwise.
+     */
+    int push(double value);
+
+    /** Index of the last detected extremum (push count based). */
+    std::size_t lastExtremumIndex() const { return lastIndex; }
+
+    /** Value at the last detected extremum. */
+    double lastExtremumValue() const { return lastValue; }
+
+    /** Number of samples pushed. */
+    std::size_t count() const { return pushed; }
+
+    /** Batch: all local maxima of @p series (k1k2k3 rule). @{ */
+    static std::vector<TrackedPoint>
+    localMaxima(const std::vector<double> &series);
+
+    static std::vector<TrackedPoint>
+    localMinima(const std::vector<double> &series);
+    /** @} */
+
+    /**
+     * Batch: inflection points, i.e. extrema of the first
+     * difference ("detecting local maxima in the derivative of the
+     * data enables precise identification of inflection points").
+     */
+    static std::vector<TrackedPoint>
+    inflections(const std::vector<double> &series);
+
+    /**
+     * The paper's delay-time rule: the timestamp where the gradient
+     * drops fastest relative to its neighbours ("the gradient of the
+     * time-scale ratio quickly drops"). Returns the index of the
+     * largest magnitude of the discrete second difference after
+     * optional smoothing.
+     *
+     * @param series Diagnostic values, one per timestep.
+     * @param smooth_window Centered moving-average width (1 = off);
+     *        noisy SPH diagnostics need modest smoothing.
+     * @return index of the strongest gradient change.
+     */
+    static TrackedPoint
+    strongestGradientChange(const std::vector<double> &series,
+                            std::size_t smooth_window = 1);
+
+    /** Centered moving average used by the detectors. */
+    static std::vector<double>
+    smooth(const std::vector<double> &series, std::size_t window);
+
+  private:
+    double v[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t pushed = 0;
+    std::size_t lastIndex = 0;
+    double lastValue = 0.0;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_CORE_TRACKER_HH

@@ -1,0 +1,70 @@
+#include "core/trainer.hh"
+
+#include "base/logging.hh"
+#include "base/serial.hh"
+
+namespace tdfe
+{
+
+ArTrainer::ArTrainer(ArModel &model)
+    : model(model), optimizer(model.order(), model.config().sgd),
+      rls(model.order(), model.config().rls),
+      normBatch(model.config().batchSize, model.order()),
+      xScratch(model.order(), 0.0)
+{
+}
+
+double
+ArTrainer::trainRound(MiniBatch &batch)
+{
+    TDFE_ASSERT(!batch.empty(), "training round on an empty batch");
+
+    Standardizer &stdzr = model.standardizer();
+
+    // Fold the fresh samples into the running statistics first so
+    // normalization reflects everything seen so far.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Sample &s = batch.sample(i);
+        stdzr.observe(s.x, s.y);
+    }
+
+    normBatch.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Sample &s = batch.sample(i);
+        xScratch = s.x;
+        stdzr.normalize(xScratch);
+        normBatch.push(xScratch, stdzr.normalizeTarget(s.y));
+    }
+
+    if (model.config().optimizer == OptimizerKind::Rls)
+        lastValMse = rls.trainRound(model.normCoeffs(), normBatch);
+    else
+        lastValMse = optimizer.trainRound(model.normCoeffs(),
+                                          normBatch);
+    model.markTrained();
+    ++roundCount;
+
+    batch.clear();
+    return lastValMse;
+}
+
+
+void
+ArTrainer::save(BinaryWriter &w) const
+{
+    optimizer.save(w);
+    rls.save(w);
+    w.writeU64(roundCount);
+    w.writeF64(lastValMse);
+}
+
+void
+ArTrainer::load(BinaryReader &r)
+{
+    optimizer.load(r);
+    rls.load(r);
+    roundCount = static_cast<std::size_t>(r.readU64());
+    lastValMse = r.readF64();
+}
+
+} // namespace tdfe

@@ -1,0 +1,39 @@
+#include "euler3d/sedov.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+/** Similarity constant for gamma = 1.4 (Sedov 1959, tabulated). */
+constexpr double xi0 = 1.15;
+
+} // namespace
+
+void
+applySedov(EulerSolver3D &solver, const SedovSetup &setup)
+{
+    solver.depositCornerEnergy(setup.energy);
+}
+
+double
+sedovShockRadius(double energy, double rho0, double t)
+{
+    TDFE_ASSERT(energy > 0.0 && rho0 > 0.0, "bad Sedov parameters");
+    return xi0 * std::pow(energy * t * t / rho0, 0.2);
+}
+
+double
+sedovShockTime(double energy, double rho0, double radius)
+{
+    TDFE_ASSERT(energy > 0.0 && rho0 > 0.0 && radius > 0.0,
+                "bad Sedov parameters");
+    return std::sqrt(rho0 * std::pow(radius / xi0, 5.0) / energy);
+}
+
+} // namespace tdfe

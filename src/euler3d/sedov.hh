@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sedov-Taylor point-blast helpers: standard initial conditions for
+ * the Euler solver plus the self-similar reference solution used by
+ * property tests (shock radius r_s(t) = xi0 * (E t^2 / rho)^(1/5)).
+ */
+
+#ifndef TDFE_EULER3D_SEDOV_HH
+#define TDFE_EULER3D_SEDOV_HH
+
+#include "euler3d/solver.hh"
+
+namespace tdfe
+{
+
+/** Parameters of a Sedov blast experiment. */
+struct SedovSetup
+{
+    /** Total blast energy deposited at the corner (code units).
+     *  Because the corner cell sits on three symmetry planes, this
+     *  represents 1/8 of a full-space explosion. */
+    double energy = 2.0;
+};
+
+/** Apply Sedov initial conditions to a freshly built solver. */
+void applySedov(EulerSolver3D &solver, const SedovSetup &setup);
+
+/**
+ * Self-similar shock radius for a gamma = 1.4 point explosion:
+ * r_s = xi0 (E t^2 / rho)^(1/5) with xi0 ~= 1.15.
+ *
+ * @param energy Full-space blast energy (8x the corner deposit).
+ * @param rho0 Ambient density.
+ * @param t Time since the explosion.
+ */
+double sedovShockRadius(double energy, double rho0, double t);
+
+/** Invert sedovShockRadius: time when the shock reaches @p radius. */
+double sedovShockTime(double energy, double rho0, double radius);
+
+} // namespace tdfe
+
+#endif // TDFE_EULER3D_SEDOV_HH

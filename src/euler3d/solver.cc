@@ -1,0 +1,424 @@
+#include "euler3d/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "hydro/flux.hh"
+#include "par/comm.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+/** Split @p n cells across @p parts slabs; @return begin of @p r. */
+int
+slabBegin(int n, int parts, int r)
+{
+    return static_cast<int>(
+        (static_cast<long>(n) * r) / parts);
+}
+
+} // namespace
+
+EulerSolver3D::EulerSolver3D(const Euler3Config &config,
+                             Communicator *comm)
+    : cfg(config), comm(comm), eos_(config.gamma)
+{
+    TDFE_ASSERT(cfg.nx > 0 && cfg.ny > 0 && cfg.nz > 0,
+                "grid extents must be positive");
+
+    const int nranks = comm ? comm->size() : 1;
+    const int rank = comm ? comm->rank() : 0;
+    TDFE_ASSERT(nranks <= cfg.nz,
+                "more ranks than z planes (", nranks, " > ", cfg.nz,
+                ")");
+    zBegin_ = slabBegin(cfg.nz, nranks, rank);
+    zCount_ = slabBegin(cfg.nz, nranks, rank + 1) - zBegin_;
+
+    px = cfg.nx + 2;
+    py = cfg.ny + 2;
+    pz = zCount_ + 2;
+    const std::size_t n = static_cast<std::size_t>(px) * py * pz;
+
+    // Background state everywhere, ghosts included, so corner ghost
+    // cells never hold zero density.
+    rho.assign(n, cfg.rho0);
+    mx.assign(n, 0.0);
+    my.assign(n, 0.0);
+    mz.assign(n, 0.0);
+    en.assign(n, cfg.rho0 * eos_.energy(cfg.rho0, cfg.p0));
+
+    wr.assign(n, 0.0);
+    wx.assign(n, 0.0);
+    wy.assign(n, 0.0);
+    wz.assign(n, 0.0);
+    wp.assign(n, 0.0);
+    wc.assign(n, 0.0);
+
+    d_rho.assign(n, 0.0);
+    d_mx.assign(n, 0.0);
+    d_my.assign(n, 0.0);
+    d_mz.assign(n, 0.0);
+    d_en.assign(n, 0.0);
+}
+
+std::size_t
+EulerSolver3D::id(int i, int j, int k) const
+{
+    return (static_cast<std::size_t>(k + 1) * py +
+            static_cast<std::size_t>(j + 1)) * px +
+           static_cast<std::size_t>(i + 1);
+}
+
+void
+EulerSolver3D::depositCornerEnergy(double energy)
+{
+    TDFE_ASSERT(energy > 0.0, "blast energy must be positive");
+    if (zBegin_ == 0) {
+        const double volume = cfg.dx * cfg.dx * cfg.dx;
+        en[id(0, 0, 0)] += energy / volume;
+    }
+}
+
+void
+EulerSolver3D::exchangeHalos()
+{
+    if (!comm || comm->size() == 1)
+        return;
+
+    const int rank = comm->rank();
+    const int nranks = comm->size();
+    const std::size_t plane =
+        static_cast<std::size_t>(cfg.nx) * cfg.ny;
+
+    auto pack = [&](int k, std::vector<double> &buf) {
+        buf.resize(plane * 5);
+        std::size_t o = 0;
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t c = id(i, j, k);
+                buf[o] = rho[c];
+                buf[o + plane] = mx[c];
+                buf[o + 2 * plane] = my[c];
+                buf[o + 3 * plane] = mz[c];
+                buf[o + 4 * plane] = en[c];
+                ++o;
+            }
+        }
+    };
+    auto unpack = [&](int k, const std::vector<double> &buf) {
+        TDFE_ASSERT(buf.size() == plane * 5, "halo size mismatch");
+        std::size_t o = 0;
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t c = id(i, j, k);
+                rho[c] = buf[o];
+                mx[c] = buf[o + plane];
+                my[c] = buf[o + 2 * plane];
+                mz[c] = buf[o + 3 * plane];
+                en[c] = buf[o + 4 * plane];
+                ++o;
+            }
+        }
+    };
+
+    constexpr int tagUp = 100;
+    constexpr int tagDown = 101;
+    std::vector<double> buf;
+    if (rank + 1 < nranks) {
+        pack(zCount_ - 1, buf);
+        comm->send(rank + 1, tagUp, buf);
+    }
+    if (rank > 0) {
+        pack(0, buf);
+        comm->send(rank - 1, tagDown, buf);
+    }
+    if (rank > 0)
+        unpack(-1, comm->recv(rank - 1, tagUp));
+    if (rank + 1 < nranks)
+        unpack(zCount_, comm->recv(rank + 1, tagDown));
+}
+
+void
+EulerSolver3D::fillGhosts()
+{
+    // X faces: reflective at i=0 plane, outflow at i=nx.
+    for (int k = 0; k < zCount_; ++k) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            const std::size_t lo_g = id(-1, j, k);
+            const std::size_t lo_i = id(0, j, k);
+            rho[lo_g] = rho[lo_i];
+            mx[lo_g] = -mx[lo_i];
+            my[lo_g] = my[lo_i];
+            mz[lo_g] = mz[lo_i];
+            en[lo_g] = en[lo_i];
+
+            const std::size_t hi_g = id(cfg.nx, j, k);
+            const std::size_t hi_i = id(cfg.nx - 1, j, k);
+            rho[hi_g] = rho[hi_i];
+            mx[hi_g] = mx[hi_i];
+            my[hi_g] = my[hi_i];
+            mz[hi_g] = mz[hi_i];
+            en[hi_g] = en[hi_i];
+        }
+    }
+    // Y faces.
+    for (int k = 0; k < zCount_; ++k) {
+        for (int i = 0; i < cfg.nx; ++i) {
+            const std::size_t lo_g = id(i, -1, k);
+            const std::size_t lo_i = id(i, 0, k);
+            rho[lo_g] = rho[lo_i];
+            mx[lo_g] = mx[lo_i];
+            my[lo_g] = -my[lo_i];
+            mz[lo_g] = mz[lo_i];
+            en[lo_g] = en[lo_i];
+
+            const std::size_t hi_g = id(i, cfg.ny, k);
+            const std::size_t hi_i = id(i, cfg.ny - 1, k);
+            rho[hi_g] = rho[hi_i];
+            mx[hi_g] = mx[hi_i];
+            my[hi_g] = my[hi_i];
+            mz[hi_g] = mz[hi_i];
+            en[hi_g] = en[hi_i];
+        }
+    }
+    // Z faces: halo planes between ranks, physical boundaries at the
+    // global ends.
+    exchangeHalos();
+    if (zBegin_ == 0) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t g = id(i, j, -1);
+                const std::size_t c = id(i, j, 0);
+                rho[g] = rho[c];
+                mx[g] = mx[c];
+                my[g] = my[c];
+                mz[g] = -mz[c];
+                en[g] = en[c];
+            }
+        }
+    }
+    if (zBegin_ + zCount_ == cfg.nz) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t g = id(i, j, zCount_);
+                const std::size_t c = id(i, j, zCount_ - 1);
+                rho[g] = rho[c];
+                mx[g] = mx[c];
+                my[g] = my[c];
+                mz[g] = mz[c];
+                en[g] = en[c];
+            }
+        }
+    }
+}
+
+void
+EulerSolver3D::computePrims()
+{
+    const double gm1 = cfg.gamma - 1.0;
+    const std::size_t n = rho.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        const double r = rho[c];
+        const double inv = 1.0 / r;
+        const double vx = mx[c] * inv;
+        const double vy = my[c] * inv;
+        const double vz = mz[c] * inv;
+        const double kin =
+            0.5 * (mx[c] * vx + my[c] * vy + mz[c] * vz);
+        const double internal = en[c] - kin;
+        wr[c] = r;
+        wx[c] = vx;
+        wy[c] = vy;
+        wz[c] = vz;
+        wp[c] = gm1 * std::max(internal, 1e-14);
+        wc[c] = std::sqrt(cfg.gamma * wp[c] * inv);
+    }
+}
+
+double
+EulerSolver3D::computeDt()
+{
+    computePrims();
+    double smax = 1e-30;
+    for (int k = 0; k < zCount_; ++k) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t c = id(i, j, k);
+                const double s = std::max(
+                    {std::abs(wx[c]), std::abs(wy[c]),
+                     std::abs(wz[c])}) + wc[c];
+                smax = std::max(smax, s);
+            }
+        }
+    }
+    double dt = cfg.cfl * cfg.dx / smax;
+    if (comm)
+        dt = comm->allreduce(dt, ReduceOp::Min);
+    if (lastDt > 0.0)
+        dt = std::min(dt, lastDt * cfg.dtGrowth);
+    lastDt = dt;
+    return dt;
+}
+
+void
+EulerSolver3D::step(double dt)
+{
+    fillGhosts();
+    computePrims();
+
+    std::fill(d_rho.begin(), d_rho.end(), 0.0);
+    std::fill(d_mx.begin(), d_mx.end(), 0.0);
+    std::fill(d_my.begin(), d_my.end(), 0.0);
+    std::fill(d_mz.begin(), d_mz.end(), 0.0);
+    std::fill(d_en.begin(), d_en.end(), 0.0);
+
+    // Scalar Rusanov sweep over the SoA fields. The normal velocity
+    // array and the momentum delta receiving the pressure term are
+    // selected per axis; everything else is axis-independent. This
+    // is the hot loop of the whole repository, hence no Prim/Cons
+    // temporaries (see hydro/flux.hh for the reference version the
+    // tests validate against).
+    auto sweep = [&](Axis3 axis) {
+        const int fx = axis == Axis3::X ? 1 : 0;
+        const int fy = axis == Axis3::Y ? 1 : 0;
+        const int fz = axis == Axis3::Z ? 1 : 0;
+        const double *wn = axis == Axis3::X   ? wx.data()
+                           : axis == Axis3::Y ? wy.data()
+                                              : wz.data();
+        const int ni = cfg.nx + fx;
+        const int nj = cfg.ny + fy;
+        const int nk = zCount_ + fz;
+        const std::size_t off =
+            id(fx, fy, fz) - id(0, 0, 0);
+        for (int k = 0; k < nk; ++k) {
+            for (int j = 0; j < nj; ++j) {
+                const std::size_t row = id(0, j, k);
+                for (int i = 0; i < ni; ++i) {
+                    const std::size_t rc = row + i;
+                    const std::size_t lc = rc - off;
+
+                    const double vn_l = wn[lc];
+                    const double vn_r = wn[rc];
+                    const double s_l = std::abs(vn_l) + wc[lc];
+                    const double s_r = std::abs(vn_r) + wc[rc];
+                    const double smax = std::max(s_l, s_r);
+
+                    const double f_rho =
+                        0.5 * (rho[lc] * vn_l + rho[rc] * vn_r) -
+                        0.5 * smax * (rho[rc] - rho[lc]);
+                    double f_mx =
+                        0.5 * (mx[lc] * vn_l + mx[rc] * vn_r) -
+                        0.5 * smax * (mx[rc] - mx[lc]);
+                    double f_my =
+                        0.5 * (my[lc] * vn_l + my[rc] * vn_r) -
+                        0.5 * smax * (my[rc] - my[lc]);
+                    double f_mz =
+                        0.5 * (mz[lc] * vn_l + mz[rc] * vn_r) -
+                        0.5 * smax * (mz[rc] - mz[lc]);
+                    const double f_en =
+                        0.5 * ((en[lc] + wp[lc]) * vn_l +
+                               (en[rc] + wp[rc]) * vn_r) -
+                        0.5 * smax * (en[rc] - en[lc]);
+                    const double p_avg = 0.5 * (wp[lc] + wp[rc]);
+                    if (axis == Axis3::X)
+                        f_mx += p_avg;
+                    else if (axis == Axis3::Y)
+                        f_my += p_avg;
+                    else
+                        f_mz += p_avg;
+
+                    d_rho[lc] -= f_rho;
+                    d_mx[lc] -= f_mx;
+                    d_my[lc] -= f_my;
+                    d_mz[lc] -= f_mz;
+                    d_en[lc] -= f_en;
+                    d_rho[rc] += f_rho;
+                    d_mx[rc] += f_mx;
+                    d_my[rc] += f_my;
+                    d_mz[rc] += f_mz;
+                    d_en[rc] += f_en;
+                }
+            }
+        }
+    };
+    sweep(Axis3::X);
+    sweep(Axis3::Y);
+    sweep(Axis3::Z);
+
+    const double scale = dt / cfg.dx;
+    for (int k = 0; k < zCount_; ++k) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            for (int i = 0; i < cfg.nx; ++i) {
+                const std::size_t c = id(i, j, k);
+                rho[c] += scale * d_rho[c];
+                mx[c] += scale * d_mx[c];
+                my[c] += scale * d_my[c];
+                mz[c] += scale * d_mz[c];
+                en[c] += scale * d_en[c];
+                // Positivity floors (strong blasts on coarse grids).
+                if (rho[c] < 1e-12)
+                    rho[c] = 1e-12;
+            }
+        }
+    }
+
+    t += dt;
+    ++cycleCount;
+}
+
+double
+EulerSolver3D::advance()
+{
+    const double dt = computeDt();
+    step(dt);
+    return dt;
+}
+
+double
+EulerSolver3D::velocityMagnitude(int i, int j, int k) const
+{
+    TDFE_ASSERT(ownsZ(k), "cell not owned by this rank");
+    const std::size_t c = id(i, j, k - zBegin_);
+    const double inv = 1.0 / rho[c];
+    const double vx = mx[c] * inv;
+    const double vy = my[c] * inv;
+    const double vz = mz[c] * inv;
+    return std::sqrt(vx * vx + vy * vy + vz * vz);
+}
+
+Prim
+EulerSolver3D::primAt(int i, int j, int k) const
+{
+    TDFE_ASSERT(ownsZ(k), "cell not owned by this rank");
+    const std::size_t c = id(i, j, k - zBegin_);
+    Cons u{rho[c], mx[c], my[c], mz[c], en[c]};
+    return toPrim(u, eos_);
+}
+
+double
+EulerSolver3D::totalMass() const
+{
+    double acc = 0.0;
+    for (int k = 0; k < zCount_; ++k)
+        for (int j = 0; j < cfg.ny; ++j)
+            for (int i = 0; i < cfg.nx; ++i)
+                acc += rho[id(i, j, k)];
+    return acc;
+}
+
+double
+EulerSolver3D::totalEnergy() const
+{
+    double acc = 0.0;
+    for (int k = 0; k < zCount_; ++k)
+        for (int j = 0; j < cfg.ny; ++j)
+            for (int i = 0; i < cfg.nx; ++i)
+                acc += en[id(i, j, k)];
+    return acc;
+}
+
+} // namespace tdfe

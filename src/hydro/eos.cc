@@ -1,0 +1,62 @@
+#include "hydro/eos.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+IdealGasEos::IdealGasEos(double gamma) : gamma_(gamma)
+{
+    TDFE_ASSERT(gamma > 1.0, "ideal-gas gamma must exceed 1");
+}
+
+double
+IdealGasEos::pressure(double rho, double e) const
+{
+    return (gamma_ - 1.0) * rho * e;
+}
+
+double
+IdealGasEos::energy(double rho, double p) const
+{
+    TDFE_ASSERT(rho > 0.0, "non-positive density in EOS");
+    return p / ((gamma_ - 1.0) * rho);
+}
+
+double
+IdealGasEos::soundSpeed(double rho, double p) const
+{
+    TDFE_ASSERT(rho > 0.0, "non-positive density in EOS");
+    return std::sqrt(gamma_ * std::max(p, 0.0) / rho);
+}
+
+PolytropeEos::PolytropeEos(double k, double gamma)
+    : k_(k), gamma_(gamma)
+{
+    TDFE_ASSERT(k > 0.0, "polytropic constant must be positive");
+    TDFE_ASSERT(gamma > 1.0, "polytropic gamma must exceed 1");
+}
+
+double
+PolytropeEos::pressure(double rho) const
+{
+    return k_ * std::pow(rho, gamma_);
+}
+
+double
+PolytropeEos::energy(double rho) const
+{
+    TDFE_ASSERT(rho > 0.0, "non-positive density in EOS");
+    return pressure(rho) / ((gamma_ - 1.0) * rho);
+}
+
+double
+PolytropeEos::soundSpeed(double rho) const
+{
+    TDFE_ASSERT(rho > 0.0, "non-positive density in EOS");
+    return std::sqrt(gamma_ * pressure(rho) / rho);
+}
+
+} // namespace tdfe

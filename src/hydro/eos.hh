@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Equations of state shared by the hydrodynamics substrates: an
+ * ideal gas (blast-wave solvers) and a polytrope (white-dwarf star
+ * construction for the merger case).
+ */
+
+#ifndef TDFE_HYDRO_EOS_HH
+#define TDFE_HYDRO_EOS_HH
+
+namespace tdfe
+{
+
+/** Ideal-gas (gamma-law) equation of state: p = (gamma-1) rho e. */
+class IdealGasEos
+{
+  public:
+    /** @param gamma Adiabatic index (default 1.4, LULESH's value). */
+    explicit IdealGasEos(double gamma = 1.4);
+
+    /** Pressure from density and specific internal energy. */
+    double pressure(double rho, double e) const;
+
+    /** Specific internal energy from density and pressure. */
+    double energy(double rho, double p) const;
+
+    /** Adiabatic sound speed. */
+    double soundSpeed(double rho, double p) const;
+
+    /** @return adiabatic index. */
+    double gamma() const { return gamma_; }
+
+  private:
+    double gamma_;
+};
+
+/**
+ * Polytropic equation of state p = K rho^gamma, used to build
+ * hydrostatic white-dwarf models (gamma = 2 corresponds to the
+ * n = 1 Lane-Emden polytrope with an analytic density profile).
+ */
+class PolytropeEos
+{
+  public:
+    /**
+     * @param k Polytropic constant K.
+     * @param gamma Polytropic exponent.
+     */
+    PolytropeEos(double k, double gamma = 2.0);
+
+    /** Pressure from density. */
+    double pressure(double rho) const;
+
+    /** Specific internal energy consistent with a gamma-law gas. */
+    double energy(double rho) const;
+
+    /** Sound speed sqrt(gamma p / rho). */
+    double soundSpeed(double rho) const;
+
+    double k() const { return k_; }
+    double gamma() const { return gamma_; }
+
+  private:
+    double k_;
+    double gamma_;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_HYDRO_EOS_HH

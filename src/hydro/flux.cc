@@ -1,0 +1,66 @@
+#include "hydro/flux.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdfe
+{
+
+Cons
+physicalFlux(const Prim &w, Axis3 axis, const IdealGasEos &eos)
+{
+    const Cons u = toCons(w, eos);
+    const double vn = axis == Axis3::X   ? w.vx
+                      : axis == Axis3::Y ? w.vy
+                                         : w.vz;
+    Cons f;
+    f.rho = u.rho * vn;
+    f.mx = u.mx * vn;
+    f.my = u.my * vn;
+    f.mz = u.mz * vn;
+    f.E = (u.E + w.p) * vn;
+    switch (axis) {
+      case Axis3::X:
+        f.mx += w.p;
+        break;
+      case Axis3::Y:
+        f.my += w.p;
+        break;
+      case Axis3::Z:
+        f.mz += w.p;
+        break;
+    }
+    return f;
+}
+
+Cons
+rusanovFlux(const Prim &left, const Prim &right, Axis3 axis,
+            const IdealGasEos &eos)
+{
+    const double vn_l = axis == Axis3::X   ? left.vx
+                        : axis == Axis3::Y ? left.vy
+                                           : left.vz;
+    const double vn_r = axis == Axis3::X   ? right.vx
+                        : axis == Axis3::Y ? right.vy
+                                           : right.vz;
+    const double s_l =
+        std::abs(vn_l) + eos.soundSpeed(left.rho, left.p);
+    const double s_r =
+        std::abs(vn_r) + eos.soundSpeed(right.rho, right.p);
+    const double smax = std::max(s_l, s_r);
+
+    const Cons fl = physicalFlux(left, axis, eos);
+    const Cons fr = physicalFlux(right, axis, eos);
+    const Cons ul = toCons(left, eos);
+    const Cons ur = toCons(right, eos);
+
+    Cons f;
+    f.rho = 0.5 * (fl.rho + fr.rho) - 0.5 * smax * (ur.rho - ul.rho);
+    f.mx = 0.5 * (fl.mx + fr.mx) - 0.5 * smax * (ur.mx - ul.mx);
+    f.my = 0.5 * (fl.my + fr.my) - 0.5 * smax * (ur.my - ul.my);
+    f.mz = 0.5 * (fl.mz + fr.mz) - 0.5 * smax * (ur.mz - ul.mz);
+    f.E = 0.5 * (fl.E + fr.E) - 0.5 * smax * (ur.E - ul.E);
+    return f;
+}
+
+} // namespace tdfe

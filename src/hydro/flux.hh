@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Numerical fluxes for the 3D Euler equations. The blast solver uses
+ * the robust Rusanov (local Lax-Friedrichs) flux: diffusive but
+ * positivity-friendly, which is what a Sedov point explosion needs.
+ */
+
+#ifndef TDFE_HYDRO_FLUX_HH
+#define TDFE_HYDRO_FLUX_HH
+
+#include "hydro/state.hh"
+
+namespace tdfe
+{
+
+/** Spatial axes. */
+enum class Axis3
+{
+    X = 0,
+    Y = 1,
+    Z = 2,
+};
+
+/** Exact Euler flux of state @p w along @p axis. */
+Cons physicalFlux(const Prim &w, Axis3 axis, const IdealGasEos &eos);
+
+/**
+ * Rusanov flux across a face between states @p left and @p right.
+ *
+ * F = 1/2 (F(L) + F(R)) - smax/2 (U(R) - U(L)),
+ * smax = max(|v|+c) over both sides.
+ */
+Cons rusanovFlux(const Prim &left, const Prim &right, Axis3 axis,
+                 const IdealGasEos &eos);
+
+} // namespace tdfe
+
+#endif // TDFE_HYDRO_FLUX_HH

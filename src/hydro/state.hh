@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Conserved and primitive state vectors for the 3D compressible
+ * Euler equations, with conversions.
+ */
+
+#ifndef TDFE_HYDRO_STATE_HH
+#define TDFE_HYDRO_STATE_HH
+
+#include <cmath>
+
+#include "hydro/eos.hh"
+
+namespace tdfe
+{
+
+/** Conserved variables per unit volume. */
+struct Cons
+{
+    double rho = 0.0;
+    double mx = 0.0;
+    double my = 0.0;
+    double mz = 0.0;
+    /** Total energy density (internal + kinetic). */
+    double E = 0.0;
+};
+
+/** Primitive variables. */
+struct Prim
+{
+    double rho = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+    double vz = 0.0;
+    double p = 0.0;
+};
+
+/** Convert conserved to primitive under @p eos. */
+inline Prim
+toPrim(const Cons &u, const IdealGasEos &eos)
+{
+    Prim w;
+    w.rho = u.rho;
+    const double inv_rho = 1.0 / u.rho;
+    w.vx = u.mx * inv_rho;
+    w.vy = u.my * inv_rho;
+    w.vz = u.mz * inv_rho;
+    const double kinetic =
+        0.5 * (u.mx * w.vx + u.my * w.vy + u.mz * w.vz);
+    const double internal = (u.E - kinetic) * inv_rho;
+    w.p = eos.pressure(u.rho, internal > 0.0 ? internal : 0.0);
+    return w;
+}
+
+/** Convert primitive to conserved under @p eos. */
+inline Cons
+toCons(const Prim &w, const IdealGasEos &eos)
+{
+    Cons u;
+    u.rho = w.rho;
+    u.mx = w.rho * w.vx;
+    u.my = w.rho * w.vy;
+    u.mz = w.rho * w.vz;
+    const double kinetic =
+        0.5 * w.rho * (w.vx * w.vx + w.vy * w.vy + w.vz * w.vz);
+    u.E = w.rho * eos.energy(w.rho, w.p) + kinetic;
+    return u;
+}
+
+/** Velocity magnitude of a primitive state. */
+inline double
+speed(const Prim &w)
+{
+    return std::sqrt(w.vx * w.vx + w.vy * w.vy + w.vz * w.vz);
+}
+
+} // namespace tdfe
+
+#endif // TDFE_HYDRO_STATE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract message-passing interface.
+ *
+ * The paper runs its applications under MPI and uses broadcasts to
+ * distribute the current prediction, the rank holding the wave front,
+ * and the stop flag (Sec. III-C). This repository has no MPI
+ * installation, so the same call pattern is provided behind this
+ * interface with two implementations: SerialComm (single rank) and
+ * ThreadComm (std::thread-backed ranks with real synchronisation).
+ */
+
+#ifndef TDFE_PAR_COMM_HH
+#define TDFE_PAR_COMM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** Reduction operators for allreduce(). */
+enum class ReduceOp
+{
+    Sum,
+    Min,
+    Max,
+};
+
+/**
+ * Minimal communicator: the subset of MPI the paper's library and
+ * the rank-decomposed solvers actually use.
+ */
+class Communicator
+{
+  public:
+    virtual ~Communicator() = default;
+
+    /** @return this rank's id in [0, size()). */
+    virtual int rank() const = 0;
+
+    /** @return number of ranks in the communicator. */
+    virtual int size() const = 0;
+
+    /** Block until every rank has entered the barrier. */
+    virtual void barrier() = 0;
+
+    /**
+     * Broadcast @p count doubles from @p root to all ranks.
+     * @p data is both input (on root) and output (elsewhere).
+     */
+    virtual void bcast(double *data, std::size_t count, int root) = 0;
+
+    /** Reduce one double across ranks; every rank gets the result. */
+    virtual double allreduce(double value, ReduceOp op) = 0;
+
+    /**
+     * Elementwise in-place reduction of @p count doubles across all
+     * ranks (used to gather distributed probe lines: owners
+     * contribute values, the rest contribute zeros, Sum merges).
+     */
+    virtual void allreduceVec(double *data, std::size_t count,
+                              ReduceOp op) = 0;
+
+    /** Non-blocking enqueue of a message to @p dest. */
+    virtual void send(int dest, int tag,
+                      const std::vector<double> &payload) = 0;
+
+    /** Blocking receive of the next message from @p src with @p tag. */
+    virtual std::vector<double> recv(int src, int tag) = 0;
+
+    /** Convenience: broadcast a single double. */
+    double
+    bcastValue(double value, int root)
+    {
+        bcast(&value, 1, root);
+        return value;
+    }
+};
+
+} // namespace tdfe
+
+#endif // TDFE_PAR_COMM_HH

@@ -1,0 +1,50 @@
+#include "par/serial_comm.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+void
+SerialComm::bcast(double *data, std::size_t count, int root)
+{
+    TDFE_ASSERT(root == 0, "serial comm has only rank 0");
+    (void)data;
+    (void)count;
+}
+
+double
+SerialComm::allreduce(double value, ReduceOp op)
+{
+    (void)op;
+    return value;
+}
+
+void
+SerialComm::allreduceVec(double *data, std::size_t count, ReduceOp op)
+{
+    (void)data;
+    (void)count;
+    (void)op;
+}
+
+void
+SerialComm::send(int dest, int tag, const std::vector<double> &payload)
+{
+    TDFE_ASSERT(dest == 0, "serial comm can only self-send");
+    loopback[tag].push_back(payload);
+}
+
+std::vector<double>
+SerialComm::recv(int src, int tag)
+{
+    TDFE_ASSERT(src == 0, "serial comm can only self-receive");
+    auto &queue = loopback[tag];
+    TDFE_ASSERT(!queue.empty(),
+                "serial recv with no matching send (tag ", tag, ")");
+    std::vector<double> out = std::move(queue.front());
+    queue.pop_front();
+    return out;
+}
+
+} // namespace tdfe

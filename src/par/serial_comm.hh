@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Single-rank communicator: every operation is a no-op or an
+ * identity. Used whenever an application runs without decomposition.
+ */
+
+#ifndef TDFE_PAR_SERIAL_COMM_HH
+#define TDFE_PAR_SERIAL_COMM_HH
+
+#include <deque>
+#include <map>
+
+#include "par/comm.hh"
+
+namespace tdfe
+{
+
+/** Trivial Communicator for one rank (self-sends still work). */
+class SerialComm : public Communicator
+{
+  public:
+    int rank() const override { return 0; }
+    int size() const override { return 1; }
+    void barrier() override {}
+    void bcast(double *data, std::size_t count, int root) override;
+    double allreduce(double value, ReduceOp op) override;
+    void allreduceVec(double *data, std::size_t count,
+                      ReduceOp op) override;
+    void send(int dest, int tag,
+              const std::vector<double> &payload) override;
+    std::vector<double> recv(int src, int tag) override;
+
+  private:
+    /** Self-send queue keyed by tag. */
+    std::map<int, std::deque<std::vector<double>>> loopback;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_PAR_SERIAL_COMM_HH

@@ -1,0 +1,187 @@
+#include "par/thread_comm.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+ThreadCommWorld::ThreadCommWorld(int nranks) : nRanks(nranks)
+{
+    TDFE_ASSERT(nranks > 0, "need at least one rank");
+    bcastBuffer.resize(1, 0.0);
+    reduceSlots.resize(static_cast<std::size_t>(nranks), 0.0);
+}
+
+void
+ThreadCommWorld::barrier()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    const std::uint64_t my_generation = generation;
+    if (++arrived == nRanks) {
+        arrived = 0;
+        ++generation;
+        cv.notify_all();
+    } else {
+        cv.wait(lock, [&] { return generation != my_generation; });
+    }
+}
+
+void
+ThreadCommWorld::run(const std::function<void(Communicator &)> &body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nRanks));
+    for (int r = 0; r < nRanks; ++r) {
+        threads.emplace_back([this, r, &body] {
+            ThreadCommRank comm(*this, r);
+            body(comm);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    TDFE_ASSERT(arrived == 0, "ranks left a barrier half-entered");
+    for (const auto &[key, queue] : mailboxes) {
+        if (!queue.empty()) {
+            TDFE_WARN("undelivered messages remain from rank ",
+                      std::get<0>(key), " to rank ", std::get<1>(key),
+                      " (tag ", std::get<2>(key), ")");
+        }
+    }
+}
+
+ThreadCommRank::ThreadCommRank(ThreadCommWorld &world, int rank)
+    : world(world), myRank(rank)
+{
+}
+
+void
+ThreadCommRank::bcast(double *data, std::size_t count, int root)
+{
+    TDFE_ASSERT(root >= 0 && root < size(), "bcast root out of range");
+
+    // Root publishes under the lock, then a barrier releases the
+    // readers; the trailing barrier keeps the buffer stable until
+    // every rank has copied it out.
+    if (myRank == root) {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        world.bcastBuffer.assign(data, data + count);
+    }
+    world.barrier();
+    if (myRank != root) {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        TDFE_ASSERT(world.bcastBuffer.size() == count,
+                    "bcast count mismatch across ranks");
+        std::copy(world.bcastBuffer.begin(), world.bcastBuffer.end(),
+                  data);
+    }
+    world.barrier();
+}
+
+double
+ThreadCommRank::allreduce(double value, ReduceOp op)
+{
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        world.reduceSlots[static_cast<std::size_t>(myRank)] = value;
+    }
+    world.barrier();
+
+    double result;
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        result = world.reduceSlots[0];
+        for (int r = 1; r < size(); ++r) {
+            const double v =
+                world.reduceSlots[static_cast<std::size_t>(r)];
+            switch (op) {
+              case ReduceOp::Sum:
+                result += v;
+                break;
+              case ReduceOp::Min:
+                result = std::min(result, v);
+                break;
+              case ReduceOp::Max:
+                result = std::max(result, v);
+                break;
+            }
+        }
+    }
+    world.barrier();
+    return result;
+}
+
+void
+ThreadCommRank::allreduceVec(double *data, std::size_t count,
+                             ReduceOp op)
+{
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        // The previous round's contributors counter resets when the
+        // first rank of a new round arrives; barrier #2 of the old
+        // round guarantees nobody is still reading vecSlot.
+        if (world.vecContributors == world.nRanks)
+            world.vecContributors = 0;
+        if (world.vecContributors == 0) {
+            world.vecSlot.assign(data, data + count);
+        } else {
+            TDFE_ASSERT(world.vecSlot.size() == count,
+                        "allreduceVec count mismatch across ranks");
+            for (std::size_t i = 0; i < count; ++i) {
+                switch (op) {
+                  case ReduceOp::Sum:
+                    world.vecSlot[i] += data[i];
+                    break;
+                  case ReduceOp::Min:
+                    world.vecSlot[i] =
+                        std::min(world.vecSlot[i], data[i]);
+                    break;
+                  case ReduceOp::Max:
+                    world.vecSlot[i] =
+                        std::max(world.vecSlot[i], data[i]);
+                    break;
+                }
+            }
+        }
+        ++world.vecContributors;
+    }
+    world.barrier();
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        std::copy(world.vecSlot.begin(), world.vecSlot.end(), data);
+    }
+    world.barrier();
+}
+
+void
+ThreadCommRank::send(int dest, int tag,
+                     const std::vector<double> &payload)
+{
+    TDFE_ASSERT(dest >= 0 && dest < size(), "send dest out of range");
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        world.mailboxes[{myRank, dest, tag}].push_back(payload);
+    }
+    world.mailCv.notify_all();
+}
+
+std::vector<double>
+ThreadCommRank::recv(int src, int tag)
+{
+    TDFE_ASSERT(src >= 0 && src < size(), "recv src out of range");
+    std::unique_lock<std::mutex> lock(world.mtx);
+    auto key = std::make_tuple(src, myRank, tag);
+    world.mailCv.wait(lock, [&] {
+        auto it = world.mailboxes.find(key);
+        return it != world.mailboxes.end() && !it->second.empty();
+    });
+    auto &queue = world.mailboxes[key];
+    std::vector<double> out = std::move(queue.front());
+    queue.pop_front();
+    return out;
+}
+
+} // namespace tdfe

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thread-backed rank emulation.
+ *
+ * ThreadCommWorld::run(nranks, body) spawns one std::thread per rank
+ * and hands each a Communicator bound to shared state. Collectives
+ * synchronise through a central generation-counted barrier; point-to-
+ * point messages flow through mutex-protected mailboxes. This gives
+ * the paper's MPI call pattern real synchronisation cost (which the
+ * overhead tables measure) without an MPI installation.
+ */
+
+#ifndef TDFE_PAR_THREAD_COMM_HH
+#define TDFE_PAR_THREAD_COMM_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "par/comm.hh"
+
+namespace tdfe
+{
+
+/**
+ * Owns the shared synchronisation state for a set of thread ranks
+ * and runs a rank body across all of them.
+ */
+class ThreadCommWorld
+{
+  public:
+    /** @param nranks Number of emulated ranks (threads). */
+    explicit ThreadCommWorld(int nranks);
+
+    /**
+     * Execute @p body once per rank, each on its own thread, and
+     * join. The Communicator passed in is valid only for the call.
+     */
+    void run(const std::function<void(Communicator &)> &body);
+
+    /** @return configured rank count. */
+    int size() const { return nRanks; }
+
+  private:
+    friend class ThreadCommRank;
+
+    /** Generation-counted central barrier. */
+    void barrier();
+
+    int nRanks;
+
+    std::mutex mtx;
+    std::condition_variable cv;
+
+    // Barrier state.
+    int arrived = 0;
+    std::uint64_t generation = 0;
+
+    // Collective scratch.
+    std::vector<double> bcastBuffer;
+    std::vector<double> reduceSlots;
+    std::vector<double> vecSlot;
+    int vecContributors = 0;
+
+    // Mailboxes keyed by (src, dest, tag).
+    std::map<std::tuple<int, int, int>,
+             std::deque<std::vector<double>>> mailboxes;
+    std::condition_variable mailCv;
+};
+
+/**
+ * Per-rank Communicator view onto a ThreadCommWorld. Instances are
+ * created by ThreadCommWorld::run and passed to the rank body.
+ */
+class ThreadCommRank : public Communicator
+{
+  public:
+    ThreadCommRank(ThreadCommWorld &world, int rank);
+
+    int rank() const override { return myRank; }
+    int size() const override { return world.nRanks; }
+    void barrier() override { world.barrier(); }
+    void bcast(double *data, std::size_t count, int root) override;
+    double allreduce(double value, ReduceOp op) override;
+    void allreduceVec(double *data, std::size_t count,
+                      ReduceOp op) override;
+    void send(int dest, int tag,
+              const std::vector<double> &payload) override;
+    std::vector<double> recv(int src, int tag) override;
+
+  private:
+    ThreadCommWorld &world;
+    int myRank;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_PAR_THREAD_COMM_HH

@@ -1,0 +1,41 @@
+#include "postproc/ground_truth.hh"
+
+#include "base/logging.hh"
+#include "core/tracker.hh"
+
+namespace tdfe
+{
+
+long
+truthBreakpointRadius(const std::vector<double> &peaks,
+                      double threshold)
+{
+    TDFE_ASSERT(!peaks.empty(), "empty peak profile");
+    long radius = 0;
+    for (std::size_t l = 0; l < peaks.size(); ++l) {
+        if (peaks[l] >= threshold)
+            radius = static_cast<long>(l) + 1;
+        else if (radius > 0)
+            break;
+    }
+    return radius == 0 ? static_cast<long>(peaks.size()) == 0 ? 0 : 1
+                       : radius;
+}
+
+long
+truthBreakpointRadius(const FullTrace &trace, double threshold)
+{
+    return truthBreakpointRadius(trace.peakProfile(), threshold);
+}
+
+double
+truthDelayTime(const std::vector<double> &series, double dt_per_index,
+               std::size_t smooth_window)
+{
+    const TrackedPoint p =
+        VariableTracker::strongestGradientChange(series,
+                                                 smooth_window);
+    return static_cast<double>(p.index) * dt_per_index;
+}
+
+} // namespace tdfe

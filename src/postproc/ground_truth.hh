@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ground-truth feature extraction from complete simulation data —
+ * the "From Sim." columns of the paper's Tables II and VI. The same
+ * detectors as the in-situ path run here on the raw, full-fidelity
+ * series instead of the AR model's fitted curves.
+ */
+
+#ifndef TDFE_POSTPROC_GROUND_TRUTH_HH
+#define TDFE_POSTPROC_GROUND_TRUTH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "postproc/trace.hh"
+
+namespace tdfe
+{
+
+/**
+ * Break-point radius from a full trace: the largest 1-based location
+ * whose peak value over the entire run meets @p threshold. Returns
+ * the location count when the profile never drops below it.
+ */
+long truthBreakpointRadius(const FullTrace &trace, double threshold);
+
+/**
+ * Break-point radius from a precomputed peak profile (index 0 =
+ * location 1).
+ */
+long truthBreakpointRadius(const std::vector<double> &peaks,
+                           double threshold);
+
+/**
+ * Detonation delay time from a raw diagnostic series: the index of
+ * the strongest gradient change (paper Sec. V-A), scaled by
+ * @p dt_per_index.
+ *
+ * @param series Diagnostic values (index k = time k*dt_per_index).
+ * @param dt_per_index Time units per series index.
+ * @param smooth_window Moving-average width for noise robustness.
+ */
+double truthDelayTime(const std::vector<double> &series,
+                      double dt_per_index,
+                      std::size_t smooth_window = 5);
+
+} // namespace tdfe
+
+#endif // TDFE_POSTPROC_GROUND_TRUTH_HH

@@ -1,0 +1,95 @@
+#include "postproc/offline_fit.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+/**
+ * Gather the lag vector for target (loc, iter) from the trace;
+ * @return false when a source index falls outside the trace.
+ * Locations are 1-based probe indices; trace columns are 0-based.
+ */
+bool
+lagVector(const FullTrace &trace, const ArConfig &cfg, long loc,
+          long iter, std::vector<double> &out)
+{
+    for (std::size_t i = 0; i < cfg.order; ++i) {
+        long src_loc = loc;
+        long src_iter = iter;
+        if (cfg.axis == LagAxis::Space) {
+            src_loc = loc - static_cast<long>(i + 1);
+            src_iter = iter - cfg.lag;
+        } else {
+            src_iter = iter - static_cast<long>(i + 1) * cfg.lag;
+        }
+        if (src_loc < 1 ||
+            src_loc > static_cast<long>(trace.locCount()))
+            return false;
+        if (src_iter < 0 ||
+            src_iter >= static_cast<long>(trace.iterCount()))
+            return false;
+        out[i] = trace.at(static_cast<std::size_t>(src_iter),
+                          static_cast<std::size_t>(src_loc - 1));
+    }
+    return true;
+}
+
+} // namespace
+
+OfflineArFit
+fitOfflineAr(const FullTrace &trace, const ArConfig &config,
+             long loc_begin, long loc_end, long iter_begin,
+             long iter_end)
+{
+    TDFE_ASSERT(loc_begin >= 1 && loc_end >= loc_begin,
+                "bad location range");
+    TDFE_ASSERT(iter_begin >= 0 && iter_end >= iter_begin,
+                "bad iteration range");
+
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    std::vector<double> lags(config.order, 0.0);
+    for (long t = iter_begin; t <= iter_end; ++t) {
+        if (t >= static_cast<long>(trace.iterCount()))
+            break;
+        for (long l = loc_begin; l <= loc_end; ++l) {
+            if (!lagVector(trace, config, l, t, lags))
+                continue;
+            xs.push_back(lags);
+            ys.push_back(trace.at(static_cast<std::size_t>(t),
+                                  static_cast<std::size_t>(l - 1)));
+        }
+    }
+    TDFE_ASSERT(!xs.empty(), "no offline design rows available");
+
+    const OlsFit ols = fitOls(xs, ys);
+    OfflineArFit fit;
+    fit.coeffs = ols.coeffs;
+    fit.trainRmse = ols.trainRmse;
+    fit.rows = xs.size();
+    return fit;
+}
+
+void
+evalOfflineAr(const FullTrace &trace, const ArConfig &config,
+              const OfflineArFit &fit, long loc,
+              std::vector<double> &predicted,
+              std::vector<double> &actual)
+{
+    predicted.clear();
+    actual.clear();
+    std::vector<double> lags(config.order, 0.0);
+    for (long t = 0; t < static_cast<long>(trace.iterCount()); ++t) {
+        if (!lagVector(trace, config, loc, t, lags))
+            continue;
+        predicted.push_back(evalLinear(fit.coeffs, lags));
+        actual.push_back(trace.at(static_cast<std::size_t>(t),
+                                  static_cast<std::size_t>(loc - 1)));
+    }
+}
+
+} // namespace tdfe

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Offline (post-analysis) curve fitting: builds the same AR design
+ * matrix as the in-situ collector from a complete trace and solves
+ * it in closed form by ordinary least squares. This is the
+ * traditional high-accuracy pipeline of paper Sec. II — it needs the
+ * full dataset on disk/in memory, which is exactly the cost the
+ * in-situ method avoids — and it bounds the accuracy the mini-batch
+ * GD trainer can reach.
+ */
+
+#ifndef TDFE_POSTPROC_OFFLINE_FIT_HH
+#define TDFE_POSTPROC_OFFLINE_FIT_HH
+
+#include "core/ar_model.hh"
+#include "postproc/trace.hh"
+#include "stats/ols.hh"
+
+namespace tdfe
+{
+
+/** Result of an offline AR fit. */
+struct OfflineArFit
+{
+    /** Intercept-first raw-space coefficients. */
+    std::vector<double> coeffs;
+    /** Training RMSE over the design rows. */
+    double trainRmse = 0.0;
+    /** Number of design rows. */
+    std::size_t rows = 0;
+};
+
+/**
+ * Fit the paper's AR model to a complete trace by OLS.
+ *
+ * @param trace Full recording (iteration x location).
+ * @param config Model shape (order, lag, axis).
+ * @param loc_begin First target location (1-based probe index).
+ * @param loc_end Last target location (inclusive).
+ * @param iter_begin First target iteration.
+ * @param iter_end Last target iteration (inclusive; the lag sources
+ *        must exist inside the trace).
+ */
+OfflineArFit fitOfflineAr(const FullTrace &trace,
+                          const ArConfig &config, long loc_begin,
+                          long loc_end, long iter_begin,
+                          long iter_end);
+
+/**
+ * Evaluate an offline fit one-step-ahead over the trace at one
+ * location; @return predictions aligned with `actual`.
+ */
+void evalOfflineAr(const FullTrace &trace, const ArConfig &config,
+                   const OfflineArFit &fit, long loc,
+                   std::vector<double> &predicted,
+                   std::vector<double> &actual);
+
+} // namespace tdfe
+
+#endif // TDFE_POSTPROC_OFFLINE_FIT_HH

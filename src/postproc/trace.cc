@@ -1,0 +1,93 @@
+#include "postproc/trace.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+FullTrace::FullTrace(std::size_t n_locs) : nLocs(n_locs)
+{
+    TDFE_ASSERT(n_locs > 0, "trace needs at least one location");
+}
+
+void
+FullTrace::appendRow(const std::vector<double> &row)
+{
+    TDFE_ASSERT(row.size() == nLocs,
+                "trace row size ", row.size(), " != ", nLocs);
+    values.insert(values.end(), row.begin(), row.end());
+}
+
+double
+FullTrace::at(std::size_t iter, std::size_t loc) const
+{
+    TDFE_ASSERT(iter < iterCount() && loc < nLocs,
+                "trace index out of range");
+    return values[iter * nLocs + loc];
+}
+
+std::vector<double>
+FullTrace::seriesAt(std::size_t loc) const
+{
+    TDFE_ASSERT(loc < nLocs, "location index out of range");
+    std::vector<double> out(iterCount());
+    for (std::size_t r = 0; r < out.size(); ++r)
+        out[r] = values[r * nLocs + loc];
+    return out;
+}
+
+std::vector<double>
+FullTrace::peakProfile() const
+{
+    std::vector<double> peaks(nLocs, 0.0);
+    for (std::size_t r = 0; r < iterCount(); ++r)
+        for (std::size_t l = 0; l < nLocs; ++l)
+            peaks[l] = std::max(peaks[l], values[r * nLocs + l]);
+    return peaks;
+}
+
+std::size_t
+FullTrace::dump(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        TDFE_FATAL("cannot open trace file for writing: ", path);
+
+    const std::uint64_t header[2] = {
+        static_cast<std::uint64_t>(nLocs),
+        static_cast<std::uint64_t>(iterCount()),
+    };
+    out.write(reinterpret_cast<const char *>(header), sizeof(header));
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(values.size() *
+                                           sizeof(double)));
+    TDFE_ASSERT(out.good(), "trace write failed: ", path);
+    return sizeof(header) + values.size() * sizeof(double);
+}
+
+FullTrace
+FullTrace::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        TDFE_FATAL("cannot open trace file for reading: ", path);
+
+    std::uint64_t header[2] = {0, 0};
+    in.read(reinterpret_cast<char *>(header), sizeof(header));
+    TDFE_ASSERT(in.good() && header[0] > 0, "corrupt trace header");
+
+    FullTrace trace(static_cast<std::size_t>(header[0]));
+    trace.values.resize(static_cast<std::size_t>(header[0]) *
+                        static_cast<std::size_t>(header[1]));
+    in.read(reinterpret_cast<char *>(trace.values.data()),
+            static_cast<std::streamsize>(trace.values.size() *
+                                         sizeof(double)));
+    TDFE_ASSERT(in.good(), "corrupt trace payload");
+    return trace;
+}
+
+} // namespace tdfe

@@ -1,0 +1,31 @@
+#include "sph/cell_list.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+void
+CellList::build(const double *x, const double *y, const double *z,
+                std::size_t n, double cell_size)
+{
+    TDFE_ASSERT(cell_size > 0.0, "cell size must be positive");
+    invCell = 1.0 / cell_size;
+    bins.clear();
+    index.clear();
+    index.reserve(n / 2 + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t ci = cellCoord(x[i]);
+        const std::int64_t cj = cellCoord(y[i]);
+        const std::int64_t ck = cellCoord(z[i]);
+        const std::uint64_t k = key(ci, cj, ck);
+        auto it = index.find(k);
+        if (it == index.end()) {
+            it = index.emplace(k, bins.size()).first;
+            bins.push_back(Bin{ci, cj, ck, {}});
+        }
+        bins[it->second].members.push_back(i);
+    }
+}
+
+} // namespace tdfe

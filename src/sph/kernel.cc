@@ -1,0 +1,48 @@
+#include "sph/kernel.hh"
+
+#include <cmath>
+
+namespace tdfe
+{
+
+namespace
+{
+
+constexpr double sigma3d = 1.0 / M_PI;
+
+} // namespace
+
+double
+CubicSplineKernel::w(double r, double h)
+{
+    const double q = r / h;
+    const double norm = sigma3d / (h * h * h);
+    if (q < 1.0)
+        return norm * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+    if (q < 2.0) {
+        const double two_q = 2.0 - q;
+        return norm * 0.25 * two_q * two_q * two_q;
+    }
+    return 0.0;
+}
+
+double
+CubicSplineKernel::gradFactor(double r, double h)
+{
+    const double q = r / h;
+    const double norm = sigma3d / (h * h * h * h * h);
+    if (q < 1.0) {
+        // dW/dr = norm_h4 * (-3q + 2.25q^2); divide by r = q*h.
+        return norm * (-3.0 + 2.25 * q);
+    }
+    if (q < 2.0) {
+        const double two_q = 2.0 - q;
+        // dW/dr = -0.75 norm_h4 (2-q)^2; divide by r.
+        if (r <= 0.0)
+            return 0.0;
+        return -0.75 * sigma3d / (h * h * h * h) * two_q * two_q / r;
+    }
+    return 0.0;
+}
+
+} // namespace tdfe

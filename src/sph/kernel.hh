@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cubic-spline SPH smoothing kernel (Monaghan & Lattanzio 1985),
+ * the standard kernel for compressible astrophysical SPH.
+ */
+
+#ifndef TDFE_SPH_KERNEL_HH
+#define TDFE_SPH_KERNEL_HH
+
+namespace tdfe
+{
+
+/**
+ * 3D cubic spline with compact support 2h:
+ *
+ *   W(r,h) = sigma/h^3 * { 1 - 1.5 q^2 + 0.75 q^3        0 <= q < 1
+ *                          0.25 (2 - q)^3                1 <= q < 2
+ *                          0                             q >= 2 }
+ *
+ * with q = r/h and sigma = 1/pi.
+ */
+class CubicSplineKernel
+{
+  public:
+    /** Kernel value W(r, h). */
+    static double w(double r, double h);
+
+    /**
+     * Scalar gradient factor g(r,h) such that
+     * grad W = g(r,h) * (r_i - r_j)  (vector from j to i).
+     * g = (dW/dr) / r, finite at r -> 0.
+     */
+    static double gradFactor(double r, double h);
+
+    /** Support radius (2h). */
+    static double support(double h) { return 2.0 * h; }
+};
+
+} // namespace tdfe
+
+#endif // TDFE_SPH_KERNEL_HH

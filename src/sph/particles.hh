@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Structure-of-arrays particle storage for the SPH engine.
+ */
+
+#ifndef TDFE_SPH_PARTICLES_HH
+#define TDFE_SPH_PARTICLES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** All per-particle fields, SoA for cache-friendly sweeps. */
+struct ParticleSet
+{
+    std::vector<double> x, y, z;
+    std::vector<double> vx, vy, vz;
+    std::vector<double> ax, ay, az;
+    std::vector<double> m;
+    /** Specific internal energy and its rate. */
+    std::vector<double> u, du;
+    std::vector<double> rho, p, cs;
+    /** Gravitational potential (filled by the gravity solver). */
+    std::vector<double> phi;
+    /** Body id (0/1 for the two stars of a merger). */
+    std::vector<int> body;
+
+    /** Resize every field to @p n, zero-initialized. */
+    void
+    resize(std::size_t n)
+    {
+        x.assign(n, 0.0);
+        y.assign(n, 0.0);
+        z.assign(n, 0.0);
+        vx.assign(n, 0.0);
+        vy.assign(n, 0.0);
+        vz.assign(n, 0.0);
+        ax.assign(n, 0.0);
+        ay.assign(n, 0.0);
+        az.assign(n, 0.0);
+        m.assign(n, 0.0);
+        u.assign(n, 0.0);
+        du.assign(n, 0.0);
+        rho.assign(n, 0.0);
+        p.assign(n, 0.0);
+        cs.assign(n, 0.0);
+        phi.assign(n, 0.0);
+        body.assign(n, 0);
+    }
+
+    /** @return particle count. */
+    std::size_t size() const { return x.size(); }
+};
+
+} // namespace tdfe
+
+#endif // TDFE_SPH_PARTICLES_HH

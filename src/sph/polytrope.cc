@@ -1,0 +1,123 @@
+#include "sph/polytrope.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+
+namespace tdfe
+{
+
+double
+polytropeDensity(double rho_central, double radius, double r)
+{
+    if (r >= radius)
+        return 0.0;
+    if (r <= 1e-12)
+        return rho_central;
+    const double xi = M_PI * r / radius;
+    return rho_central * std::sin(xi) / xi;
+}
+
+StarModel
+buildPolytropeStar(int resolution, double mass, double radius)
+{
+    TDFE_ASSERT(resolution >= 4, "resolution must be >= 4");
+    TDFE_ASSERT(mass > 0.0 && radius > 0.0, "bad star parameters");
+
+    StarModel star;
+    const double spacing = 2.0 * radius / resolution;
+    // Keep a small margin so edge particles have nonzero profile
+    // density (the analytic profile vanishes at R).
+    const double r_max = radius * (1.0 - 0.5 / resolution);
+
+    // M = rho_c 4 R^3 / pi  =>  rho_c = pi M / (4 R^3).
+    star.rhoCentral = M_PI * mass / (4.0 * cube(radius));
+    // Hydrostatic balance of an n = 1 polytrope: K = 2 G R^2 / pi
+    // (G = 1 in code units).
+    star.k = 2.0 * radius * radius / M_PI;
+    star.h = 1.2 * spacing;
+
+    double mass_acc = 0.0;
+    const int half = resolution / 2 + 1;
+    for (int kz = -half; kz <= half; ++kz) {
+        for (int ky = -half; ky <= half; ++ky) {
+            for (int kx = -half; kx <= half; ++kx) {
+                const double px = (kx + 0.5) * spacing;
+                const double py = (ky + 0.5) * spacing;
+                const double pz = (kz + 0.5) * spacing;
+                const double r =
+                    std::sqrt(px * px + py * py + pz * pz);
+                if (r > r_max)
+                    continue;
+                const double rho =
+                    polytropeDensity(star.rhoCentral, radius, r);
+                const double pm = rho * cube(spacing);
+                star.x.push_back(px);
+                star.y.push_back(py);
+                star.z.push_back(pz);
+                star.m.push_back(pm);
+                mass_acc += pm;
+            }
+        }
+    }
+    TDFE_ASSERT(!star.x.empty(), "no particles generated");
+
+    // Rescale to the requested total mass; internal energy from the
+    // gamma = 2 relation u = p / rho = K rho.
+    const double scale = mass / mass_acc;
+    star.u.resize(star.size());
+    for (std::size_t i = 0; i < star.size(); ++i) {
+        star.m[i] *= scale;
+        const double r = std::sqrt(sqr(star.x[i]) + sqr(star.y[i]) +
+                                   sqr(star.z[i]));
+        const double rho =
+            polytropeDensity(star.rhoCentral, radius, r) * scale;
+        star.u[i] = std::max(star.k * rho, 1e-8);
+    }
+    return star;
+}
+
+void
+placeStar(SphSystem &system, const StarModel &star,
+          const double centre[3], const double velocity[3], int body)
+{
+    ParticleSet &p = system.particles();
+    const std::size_t base = p.size();
+    const std::size_t n = base + star.size();
+
+    // Extend every field, preserving existing particles.
+    auto extend = [&](std::vector<double> &v) { v.resize(n, 0.0); };
+    extend(p.x);
+    extend(p.y);
+    extend(p.z);
+    extend(p.vx);
+    extend(p.vy);
+    extend(p.vz);
+    extend(p.ax);
+    extend(p.ay);
+    extend(p.az);
+    extend(p.m);
+    extend(p.u);
+    extend(p.du);
+    extend(p.rho);
+    extend(p.p);
+    extend(p.cs);
+    extend(p.phi);
+    p.body.resize(n, body);
+
+    for (std::size_t i = 0; i < star.size(); ++i) {
+        const std::size_t d = base + i;
+        p.x[d] = star.x[i] + centre[0];
+        p.y[d] = star.y[i] + centre[1];
+        p.z[d] = star.z[i] + centre[2];
+        p.vx[d] = velocity[0];
+        p.vy[d] = velocity[1];
+        p.vz[d] = velocity[2];
+        p.m[d] = star.m[i];
+        p.u[d] = star.u[i];
+        p.body[d] = body;
+    }
+}
+
+} // namespace tdfe

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * White-dwarf model construction: an n = 1 polytrope (gamma = 2),
+ * whose Lane-Emden equation has the analytic solution
+ * rho(r) = rho_c * sin(pi r / R) / (pi r / R). Particles sit on a
+ * uniform lattice with masses weighted by the profile, giving a
+ * near-hydrostatic star after a short damped relaxation.
+ */
+
+#ifndef TDFE_SPH_POLYTROPE_HH
+#define TDFE_SPH_POLYTROPE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sph/sph_system.hh"
+
+namespace tdfe
+{
+
+/** A star ready to be placed into an SphSystem. */
+struct StarModel
+{
+    /** Particle positions relative to the star's centre. */
+    std::vector<double> x, y, z;
+    /** Particle masses (sum = the requested stellar mass). */
+    std::vector<double> m;
+    /** Specific internal energies from the polytropic relation. */
+    std::vector<double> u;
+    /** Suggested smoothing length (eta * lattice spacing). */
+    double h = 0.0;
+    /** Polytropic constant consistent with hydrostatic balance. */
+    double k = 0.0;
+    /** Central density of the analytic model. */
+    double rhoCentral = 0.0;
+
+    /** @return particle count. */
+    std::size_t size() const { return x.size(); }
+};
+
+/**
+ * Build an n = 1 polytropic star.
+ *
+ * @param resolution Lattice points across the star's diameter (the
+ *        experiment's "domain resolution" axis).
+ * @param mass Total stellar mass.
+ * @param radius Stellar radius (independent of mass for n = 1).
+ * @return the particle model.
+ */
+StarModel buildPolytropeStar(int resolution, double mass,
+                             double radius);
+
+/** Analytic n = 1 density profile at radius @p r. */
+double polytropeDensity(double rho_central, double radius, double r);
+
+/**
+ * Insert @p star into @p system at @p centre with bulk velocity
+ * @p velocity and body tag @p body.
+ */
+void placeStar(SphSystem &system, const StarModel &star,
+               const double centre[3], const double velocity[3],
+               int body);
+
+} // namespace tdfe
+
+#endif // TDFE_SPH_POLYTROPE_HH

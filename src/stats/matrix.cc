@@ -1,0 +1,129 @@
+#include "stats/matrix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : nRows(rows), nCols(cols), data(rows * cols, 0.0)
+{
+    TDFE_ASSERT(rows > 0 && cols > 0, "matrix dimensions must be > 0");
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    TDFE_ASSERT(r < nRows && c < nCols, "matrix index out of range");
+    return data[r * nCols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    TDFE_ASSERT(r < nRows && c < nCols, "matrix index out of range");
+    return data[r * nCols + c];
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    TDFE_ASSERT(v.size() == nCols, "multiply: size mismatch");
+    std::vector<double> out(nRows, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < nCols; ++c)
+            acc += data[r * nCols + c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiplyTransposed(const std::vector<double> &v) const
+{
+    TDFE_ASSERT(v.size() == nRows, "multiplyTransposed: size mismatch");
+    std::vector<double> out(nCols, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out[c] += data[r * nCols + c] * v[r];
+    return out;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(nCols, nCols);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t i = 0; i < nCols; ++i)
+            for (std::size_t j = 0; j < nCols; ++j)
+                g.at(i, j) += data[r * nCols + i] * data[r * nCols + j];
+    return g;
+}
+
+void
+Matrix::addDiagonal(double value)
+{
+    const std::size_t n = std::min(nRows, nCols);
+    for (std::size_t i = 0; i < n; ++i)
+        at(i, i) += value;
+}
+
+std::vector<double>
+Matrix::solveSpd(const std::vector<double> &b) const
+{
+    TDFE_ASSERT(nRows == nCols, "solveSpd needs a square matrix");
+    TDFE_ASSERT(b.size() == nRows, "solveSpd: rhs size mismatch");
+
+    const std::size_t n = nRows;
+    // Lower-triangular Cholesky factor, built in a scratch copy.
+    std::vector<double> l(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l[i * n + k] * l[j * n + k];
+            if (i == j) {
+                if (acc <= 0.0)
+                    TDFE_PANIC("solveSpd: matrix is not positive "
+                               "definite (pivot ", acc, " at ", i,
+                               "); add a ridge term");
+                l[i * n + i] = std::sqrt(acc);
+            } else {
+                l[i * n + j] = acc / l[j * n + j];
+            }
+        }
+    }
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l[i * n + k] * y[k];
+        y[i] = acc / l[i * n + i];
+    }
+
+    // Back substitution: L^T x = y.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l[k * n + ii] * x[k];
+        x[ii] = acc / l[ii * n + ii];
+    }
+    return x;
+}
+
+} // namespace tdfe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small dense matrix with the two factorizations the library needs:
+ * Cholesky (for OLS normal equations) and matrix-vector products.
+ * AR model orders are tiny (n <= ~32) so no external BLAS is needed.
+ */
+
+#ifndef TDFE_STATS_MATRIX_HH
+#define TDFE_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** @return identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Element access (bounds-checked in debug via assert). */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    /** @return this * v. */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+    /** @return transpose(this) * v. */
+    std::vector<double>
+    multiplyTransposed(const std::vector<double> &v) const;
+
+    /** @return transpose(this) * this (Gram matrix). */
+    Matrix gram() const;
+
+    /** Add @p value to every diagonal entry (ridge regularizer). */
+    void addDiagonal(double value);
+
+    /**
+     * Solve this * x = b for symmetric positive-definite `this`
+     * using an in-place Cholesky factorization of a copy.
+     *
+     * @return the solution vector; panics if the matrix is not SPD
+     * (callers regularize first).
+     */
+    std::vector<double> solveSpd(const std::vector<double> &b) const;
+
+  private:
+    std::size_t nRows;
+    std::size_t nCols;
+    std::vector<double> data;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STATS_MATRIX_HH

@@ -1,0 +1,96 @@
+#include "stats/metrics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+void
+checkSizes(const std::vector<double> &a, const std::vector<double> &b)
+{
+    TDFE_ASSERT(a.size() == b.size(),
+                "series size mismatch: ", a.size(), " vs ", b.size());
+    TDFE_ASSERT(!a.empty(), "metrics need at least one sample");
+}
+
+} // namespace
+
+double
+rmse(const std::vector<double> &predicted,
+     const std::vector<double> &actual)
+{
+    checkSizes(predicted, actual);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        acc += sqr(predicted[i] - actual[i]);
+    return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double
+mape(const std::vector<double> &predicted,
+     const std::vector<double> &actual, double floor)
+{
+    checkSizes(predicted, actual);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double denom = std::max(std::abs(actual[i]), floor);
+        acc += std::abs(predicted[i] - actual[i]) / denom;
+    }
+    return acc / static_cast<double>(actual.size());
+}
+
+double
+errorRatePct(const std::vector<double> &predicted,
+             const std::vector<double> &actual)
+{
+    checkSizes(predicted, actual);
+    double abs_err = 0.0;
+    double scale = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        abs_err += std::abs(predicted[i] - actual[i]);
+        scale += std::abs(actual[i]);
+    }
+    const double n = static_cast<double>(actual.size());
+    const double denom = std::max(scale / n, 1e-12);
+    return 100.0 * (abs_err / n) / denom;
+}
+
+double
+r2Score(const std::vector<double> &predicted,
+        const std::vector<double> &actual)
+{
+    checkSizes(predicted, actual);
+    double mean = 0.0;
+    for (double v : actual)
+        mean += v;
+    mean /= static_cast<double>(actual.size());
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += sqr(actual[i] - predicted[i]);
+        ss_tot += sqr(actual[i] - mean);
+    }
+    if (ss_tot <= 0.0)
+        return ss_res <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+maxAbsError(const std::vector<double> &predicted,
+            const std::vector<double> &actual)
+{
+    checkSizes(predicted, actual);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        worst = std::max(worst, std::abs(predicted[i] - actual[i]));
+    return worst;
+}
+
+} // namespace tdfe

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error metrics for comparing fitted/predicted series against
+ * simulation ground truth. The paper reports "error rates" as mean
+ * relative errors in percent; errorRatePct() reproduces that metric.
+ */
+
+#ifndef TDFE_STATS_METRICS_HH
+#define TDFE_STATS_METRICS_HH
+
+#include <vector>
+
+namespace tdfe
+{
+
+/** Root-mean-square error between two equal-length series. */
+double rmse(const std::vector<double> &predicted,
+            const std::vector<double> &actual);
+
+/**
+ * Mean absolute percentage error, in [0, inf). Denominators smaller
+ * than @p floor are clamped to it so near-zero truth values (common
+ * ahead of the shock front) do not produce infinities.
+ */
+double mape(const std::vector<double> &predicted,
+            const std::vector<double> &actual, double floor = 1e-9);
+
+/**
+ * The paper's "error rate (%)": mean relative error against the mean
+ * magnitude of the actual series. Using the series scale as the
+ * denominator matches the paper's tables, where a flat-zero region
+ * still yields a finite (if large) percentage.
+ */
+double errorRatePct(const std::vector<double> &predicted,
+                    const std::vector<double> &actual);
+
+/** Coefficient of determination R^2 (1 = perfect fit). */
+double r2Score(const std::vector<double> &predicted,
+               const std::vector<double> &actual);
+
+/** Largest absolute elementwise difference. */
+double maxAbsError(const std::vector<double> &predicted,
+                   const std::vector<double> &actual);
+
+} // namespace tdfe
+
+#endif // TDFE_STATS_METRICS_HH

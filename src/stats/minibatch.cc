@@ -1,0 +1,76 @@
+#include "stats/minibatch.hh"
+
+#include "base/serial.hh"
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+MiniBatch::MiniBatch(std::size_t capacity, std::size_t dims)
+    : cap(capacity), nDims(dims), storage(capacity)
+{
+    TDFE_ASSERT(capacity > 0, "mini-batch capacity must be > 0");
+    TDFE_ASSERT(dims > 0, "mini-batch dimension must be > 0");
+    for (auto &s : storage)
+        s.x.resize(dims, 0.0);
+}
+
+void
+MiniBatch::push(const std::vector<double> &x, double y)
+{
+    TDFE_ASSERT(!full(), "push into a full mini-batch; consume first");
+    TDFE_ASSERT(x.size() == nDims,
+                "sample dimension ", x.size(), " != batch dimension ",
+                nDims);
+    Sample &slot = storage[used];
+    slot.x = x;
+    slot.y = y;
+    ++used;
+    ++pushes;
+}
+
+const Sample &
+MiniBatch::sample(std::size_t i) const
+{
+    TDFE_ASSERT(i < used, "sample index ", i, " out of range ", used);
+    return storage[i];
+}
+
+
+void
+MiniBatch::save(BinaryWriter &w) const
+{
+    w.writeU64(cap);
+    w.writeU64(nDims);
+    w.writeU64(used);
+    for (std::size_t i = 0; i < used; ++i) {
+        w.writeVec(storage[i].x);
+        w.writeF64(storage[i].y);
+    }
+    w.writeU64(pushes);
+}
+
+void
+MiniBatch::load(BinaryReader &r)
+{
+    const std::uint64_t ckpt_cap = r.readU64();
+    const std::uint64_t ckpt_dims = r.readU64();
+    if (ckpt_cap != cap || ckpt_dims != nDims) {
+        TDFE_FATAL("mini-batch checkpoint shape (", ckpt_cap, ", ",
+                   ckpt_dims, ") != configured (", cap, ", ", nDims,
+                   ")");
+    }
+    used = static_cast<std::size_t>(r.readU64());
+    if (used > cap)
+        TDFE_FATAL("mini-batch checkpoint overfilled: ", used);
+    for (std::size_t i = 0; i < used; ++i) {
+        storage[i].x = r.readVec();
+        if (storage[i].x.size() != nDims)
+            TDFE_FATAL("mini-batch checkpoint sample dims mismatch");
+        storage[i].y = r.readF64();
+    }
+    pushes = static_cast<std::size_t>(r.readU64());
+}
+
+} // namespace tdfe

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-capacity mini-batch buffer (paper Sec. III-B.2): samples
+ * accumulate during simulation iterations; when the batch fills, the
+ * trainer consumes it in one gradient-descent round and the batch
+ * resets to collect the next round.
+ */
+
+#ifndef TDFE_STATS_MINIBATCH_HH
+#define TDFE_STATS_MINIBATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+class BinaryReader;
+class BinaryWriter;
+
+/** One supervised sample: feature vector plus scalar target. */
+struct Sample
+{
+    std::vector<double> x;
+    double y = 0.0;
+};
+
+/**
+ * Bounded sample buffer with fill/consume semantics. The buffer never
+ * reallocates after construction, keeping the per-iteration in-situ
+ * cost constant.
+ */
+class MiniBatch
+{
+  public:
+    /**
+     * @param capacity Samples per training round.
+     * @param dims Feature dimensions per sample.
+     */
+    MiniBatch(std::size_t capacity, std::size_t dims);
+
+    /**
+     * Append one sample. Panics if full (callers must consume or
+     * clear first) or on dimension mismatch.
+     */
+    void push(const std::vector<double> &x, double y);
+
+    /** @return true once size() == capacity(). */
+    bool full() const { return used == cap; }
+
+    /** @return true when no samples are buffered. */
+    bool empty() const { return used == 0; }
+
+    /** @return samples currently buffered. */
+    std::size_t size() const { return used; }
+
+    /** @return configured capacity. */
+    std::size_t capacity() const { return cap; }
+
+    /** @return configured feature dimension count. */
+    std::size_t dims() const { return nDims; }
+
+    /** @return sample @p i (0 <= i < size()). */
+    const Sample &sample(std::size_t i) const;
+
+    /** Drop all buffered samples (capacity is retained). */
+    void clear() { used = 0; }
+
+    /** @return total samples pushed over the buffer's lifetime. */
+    std::size_t lifetimePushes() const { return pushes; }
+
+    /** Checkpoint the buffered samples. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
+
+  private:
+    std::size_t cap;
+    std::size_t nDims;
+    std::vector<Sample> storage;
+    std::size_t used = 0;
+    std::size_t pushes = 0;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STATS_MINIBATCH_HH

@@ -1,0 +1,57 @@
+#include "stats/ols.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "stats/matrix.hh"
+
+namespace tdfe
+{
+
+OlsFit
+fitOls(const std::vector<std::vector<double>> &xs,
+       const std::vector<double> &ys, double ridge)
+{
+    TDFE_ASSERT(!xs.empty(), "OLS needs at least one row");
+    TDFE_ASSERT(xs.size() == ys.size(), "row/target count mismatch");
+
+    const std::size_t dims = xs.front().size();
+    const std::size_t n = xs.size();
+
+    // Design matrix with a leading column of ones for the intercept.
+    Matrix design(n, dims + 1);
+    for (std::size_t r = 0; r < n; ++r) {
+        TDFE_ASSERT(xs[r].size() == dims, "ragged OLS rows");
+        design.at(r, 0) = 1.0;
+        for (std::size_t c = 0; c < dims; ++c)
+            design.at(r, c + 1) = xs[r][c];
+    }
+
+    Matrix gram = design.gram();
+    gram.addDiagonal(ridge);
+    const std::vector<double> rhs = design.multiplyTransposed(ys);
+
+    OlsFit fit;
+    fit.coeffs = gram.solveSpd(rhs);
+
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        acc += sqr(evalLinear(fit.coeffs, xs[r]) - ys[r]);
+    fit.trainRmse = std::sqrt(acc / static_cast<double>(n));
+    return fit;
+}
+
+double
+evalLinear(const std::vector<double> &coeffs,
+           const std::vector<double> &x)
+{
+    TDFE_ASSERT(coeffs.size() == x.size() + 1,
+                "coefficient/feature size mismatch");
+    double acc = coeffs[0];
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += coeffs[i + 1] * x[i];
+    return acc;
+}
+
+} // namespace tdfe

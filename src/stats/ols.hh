@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ordinary-least-squares fit via ridge-regularized normal equations.
+ * This is the offline comparator used by the post-analysis baseline
+ * (`src/postproc`) and by tests that validate the mini-batch GD
+ * trainer against a closed-form solution.
+ */
+
+#ifndef TDFE_STATS_OLS_HH
+#define TDFE_STATS_OLS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdfe
+{
+
+/** Result of an OLS fit: intercept-first coefficients + residuals. */
+struct OlsFit
+{
+    /** coeffs[0] is the intercept, coeffs[i>=1] the slopes. */
+    std::vector<double> coeffs;
+    /** Root-mean-square residual on the training rows. */
+    double trainRmse = 0.0;
+};
+
+/**
+ * Fit y ~ b0 + sum_i b_i x_i by least squares.
+ *
+ * @param xs Feature rows (all the same length).
+ * @param ys Targets, one per row.
+ * @param ridge Tikhonov term added to the Gram diagonal; the default
+ *        keeps the solve well-posed when rows are collinear (flat
+ *        pre-shock data is rank-deficient).
+ */
+OlsFit fitOls(const std::vector<std::vector<double>> &xs,
+              const std::vector<double> &ys, double ridge = 1e-8);
+
+/** Evaluate an intercept-first linear model on one feature vector. */
+double evalLinear(const std::vector<double> &coeffs,
+                  const std::vector<double> &x);
+
+} // namespace tdfe
+
+#endif // TDFE_STATS_OLS_HH

@@ -1,0 +1,129 @@
+#include "stats/rls.hh"
+
+#include "base/serial.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "stats/minibatch.hh"
+#include "stats/ols.hh"
+
+namespace tdfe
+{
+
+RlsEstimator::RlsEstimator(std::size_t dims, const RlsConfig &config)
+    : cfg(config), nDims(dims)
+{
+    TDFE_ASSERT(cfg.forgetting > 0.0 && cfg.forgetting <= 1.0,
+                "RLS forgetting factor must be in (0, 1]");
+    TDFE_ASSERT(cfg.delta > 0.0, "RLS prior scale must be positive");
+    const std::size_t n = nDims + 1;
+    phi.assign(n, 0.0);
+    gain.assign(n, 0.0);
+    pPhi.assign(n, 0.0);
+    reset();
+}
+
+void
+RlsEstimator::reset()
+{
+    const std::size_t n = nDims + 1;
+    p.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        p[i * n + i] = cfg.delta;
+}
+
+double
+RlsEstimator::update(std::vector<double> &coeffs,
+                     const std::vector<double> &x, double y)
+{
+    const std::size_t n = nDims + 1;
+    TDFE_ASSERT(coeffs.size() == n, "coefficient size mismatch");
+    TDFE_ASSERT(x.size() == nDims, "feature size mismatch");
+
+    phi[0] = 1.0;
+    for (std::size_t i = 0; i < nDims; ++i)
+        phi[i + 1] = x[i];
+
+    // pPhi = P * phi  (P is symmetric).
+    double denom = cfg.forgetting;
+    for (std::size_t r = 0; r < n; ++r) {
+        double acc = 0.0;
+        const double *row = p.data() + r * n;
+        for (std::size_t c = 0; c < n; ++c)
+            acc += row[c] * phi[c];
+        pPhi[r] = acc;
+        denom += phi[r] * acc;
+    }
+
+    // Gain k = P phi / (lambda + phi' P phi).
+    const double inv_denom = 1.0 / denom;
+    for (std::size_t r = 0; r < n; ++r)
+        gain[r] = pPhi[r] * inv_denom;
+
+    // A-priori error and coefficient update.
+    double pred = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        pred += coeffs[r] * phi[r];
+    const double err = y - pred;
+    if (std::isfinite(err)) {
+        for (std::size_t r = 0; r < n; ++r)
+            coeffs[r] += gain[r] * err;
+
+        // P = (P - k (P phi)') / lambda, kept symmetric.
+        const double inv_lambda = 1.0 / cfg.forgetting;
+        for (std::size_t r = 0; r < n; ++r) {
+            double *row = p.data() + r * n;
+            for (std::size_t c = 0; c < n; ++c)
+                row[c] = (row[c] - gain[r] * pPhi[c]) * inv_lambda;
+        }
+    }
+
+    ++stepCount;
+    return err;
+}
+
+double
+RlsEstimator::trainRound(std::vector<double> &coeffs,
+                         const MiniBatch &batch)
+{
+    TDFE_ASSERT(!batch.empty(), "RLS round on an empty batch");
+
+    // Validation signal: error of the entering coefficients on the
+    // whole (unseen) batch, matching SgdOptimizer::trainRound.
+    double mse = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Sample &s = batch.sample(i);
+        const double r = s.y - evalLinear(coeffs, s.x);
+        mse += r * r;
+    }
+    mse /= static_cast<double>(batch.size());
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Sample &s = batch.sample(i);
+        update(coeffs, s.x, s.y);
+    }
+    return mse;
+}
+
+
+void
+RlsEstimator::save(BinaryWriter &w) const
+{
+    w.writeVec(p);
+    w.writeU64(stepCount);
+}
+
+void
+RlsEstimator::load(BinaryReader &r)
+{
+    std::vector<double> pm = r.readVec();
+    if (pm.size() != p.size()) {
+        TDFE_FATAL("RLS checkpoint size ", pm.size(),
+                   " != configured ", p.size());
+    }
+    p = std::move(pm);
+    stepCount = static_cast<std::size_t>(r.readU64());
+}
+
+} // namespace tdfe

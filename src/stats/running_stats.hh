@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Welford-style streaming mean/variance accumulator. Used by the
+ * online Standardizer and by diagnostic summaries.
+ */
+
+#ifndef TDFE_STATS_RUNNING_STATS_HH
+#define TDFE_STATS_RUNNING_STATS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "base/serial.hh"
+
+namespace tdfe
+{
+
+/**
+ * Numerically stable single-pass accumulator for count, mean,
+ * variance, min, and max.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void
+    push(double x)
+    {
+        ++n;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n);
+        m2 += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Reset to the empty state. */
+    void
+    clear()
+    {
+        n = 0;
+        mean_ = 0.0;
+        m2 = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    /** @return number of observations folded in. */
+    std::size_t count() const { return n; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** @return population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** @return population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** @return smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Serialize the accumulator state. */
+    void
+    save(BinaryWriter &w) const
+    {
+        w.writeU64(n);
+        w.writeF64(mean_);
+        w.writeF64(m2);
+        w.writeF64(min_);
+        w.writeF64(max_);
+    }
+
+    /** Restore the accumulator state. */
+    void
+    load(BinaryReader &r)
+    {
+        n = static_cast<std::size_t>(r.readU64());
+        mean_ = r.readF64();
+        m2 = r.readF64();
+        min_ = r.readF64();
+        max_ = r.readF64();
+    }
+
+  private:
+    std::size_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STATS_RUNNING_STATS_HH

@@ -1,0 +1,107 @@
+#include "stats/sgd.hh"
+
+#include "base/serial.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "stats/minibatch.hh"
+
+namespace tdfe
+{
+
+SgdOptimizer::SgdOptimizer(std::size_t dims, const SgdConfig &config)
+    : cfg(config), velocity(dims + 1, 0.0)
+{
+    TDFE_ASSERT(cfg.learningRate > 0.0, "learning rate must be > 0");
+    TDFE_ASSERT(cfg.momentum >= 0.0 && cfg.momentum < 1.0,
+                "momentum must lie in [0, 1)");
+    TDFE_ASSERT(cfg.epochsPerBatch > 0, "need at least one epoch");
+}
+
+double
+SgdOptimizer::gradient(const std::vector<double> &coeffs,
+                       const MiniBatch &batch,
+                       std::vector<double> &grad) const
+{
+    const std::size_t n = batch.size();
+    const double inv_n = 1.0 / static_cast<double>(n);
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Sample &s = batch.sample(i);
+        double pred = coeffs[0];
+        for (std::size_t d = 0; d < s.x.size(); ++d)
+            pred += coeffs[d + 1] * s.x[d];
+        const double err = pred - s.y;
+        mse += sqr(err);
+        grad[0] += 2.0 * err * inv_n;
+        for (std::size_t d = 0; d < s.x.size(); ++d)
+            grad[d + 1] += 2.0 * err * s.x[d] * inv_n;
+    }
+    // L2 penalty on slopes only; the intercept is never shrunk.
+    for (std::size_t d = 1; d < coeffs.size(); ++d)
+        grad[d] += 2.0 * cfg.l2 * coeffs[d];
+    return mse * inv_n;
+}
+
+double
+SgdOptimizer::trainRound(std::vector<double> &coeffs,
+                         const MiniBatch &batch)
+{
+    TDFE_ASSERT(coeffs.size() == velocity.size(),
+                "coefficient vector has wrong size");
+    TDFE_ASSERT(!batch.empty(), "cannot train on an empty batch");
+
+    std::vector<double> grad(coeffs.size(), 0.0);
+    double pre_update_mse = 0.0;
+    for (std::size_t epoch = 0; epoch < cfg.epochsPerBatch; ++epoch) {
+        const double mse = gradient(coeffs, batch, grad);
+        if (epoch == 0)
+            pre_update_mse = mse;
+
+        if (cfg.gradClip > 0.0) {
+            double norm2 = 0.0;
+            for (const double g : grad)
+                norm2 += sqr(g);
+            const double norm = std::sqrt(norm2);
+            if (norm > cfg.gradClip) {
+                const double scale = cfg.gradClip / norm;
+                for (double &g : grad)
+                    g *= scale;
+            }
+        }
+
+        for (std::size_t d = 0; d < coeffs.size(); ++d) {
+            velocity[d] =
+                cfg.momentum * velocity[d] - cfg.learningRate * grad[d];
+            coeffs[d] += velocity[d];
+        }
+        ++stepCount;
+    }
+    return pre_update_mse;
+}
+
+
+void
+SgdOptimizer::save(BinaryWriter &w) const
+{
+    w.writeVec(velocity);
+    w.writeU64(stepCount);
+}
+
+void
+SgdOptimizer::load(BinaryReader &r)
+{
+    std::vector<double> v = r.readVec();
+    if (v.size() != velocity.size()) {
+        TDFE_FATAL("SGD checkpoint size ", v.size(),
+                   " != configured ", velocity.size());
+    }
+    velocity = std::move(v);
+    stepCount = static_cast<std::size_t>(r.readU64());
+}
+
+} // namespace tdfe

@@ -1,0 +1,82 @@
+#include "wdmerger/dtd.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace wd
+{
+
+DelayTimeDistribution::DelayTimeDistribution(double t_min,
+                                             double t_max,
+                                             std::size_t bins)
+    : tMin(t_min), tMax(t_max), nBins(bins)
+{
+    TDFE_ASSERT(t_max > t_min, "empty DTD range");
+    TDFE_ASSERT(bins > 0, "DTD needs at least one bin");
+}
+
+void
+DelayTimeDistribution::add(const DtdSample &sample)
+{
+    TDFE_ASSERT(sample.delayTime >= 0.0,
+                "negative delay time recorded");
+    samples.push_back(sample);
+}
+
+std::vector<std::size_t>
+DelayTimeDistribution::histogram() const
+{
+    std::vector<std::size_t> bins(nBins, 0);
+    const double width = (tMax - tMin) / static_cast<double>(nBins);
+    for (const auto &s : samples) {
+        long b = static_cast<long>((s.delayTime - tMin) / width);
+        b = std::clamp<long>(b, 0, static_cast<long>(nBins) - 1);
+        ++bins[static_cast<std::size_t>(b)];
+    }
+    return bins;
+}
+
+double
+DelayTimeDistribution::binCentre(std::size_t i) const
+{
+    TDFE_ASSERT(i < nBins, "bin index out of range");
+    const double width = (tMax - tMin) / static_cast<double>(nBins);
+    return tMin + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+DelayTimeDistribution::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &s : samples)
+        acc += s.delayTime;
+    return acc / static_cast<double>(samples.size());
+}
+
+double
+DelayTimeDistribution::min() const
+{
+    double best = samples.empty() ? 0.0 : samples[0].delayTime;
+    for (const auto &s : samples)
+        best = std::min(best, s.delayTime);
+    return best;
+}
+
+double
+DelayTimeDistribution::max() const
+{
+    double best = samples.empty() ? 0.0 : samples[0].delayTime;
+    for (const auto &s : samples)
+        best = std::max(best, s.delayTime);
+    return best;
+}
+
+} // namespace wd
+
+} // namespace tdfe

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the LULESH-shaped blast application wrapper:
+ * probe semantics, ownership mapping, the Fig. 2 driver functions,
+ * and run-to-completion invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blastapp/domain.hh"
+#include "par/thread_comm.hh"
+
+namespace
+{
+
+using namespace tdfe;
+using namespace tdfe::blast;
+
+BlastConfig
+tiny()
+{
+    BlastConfig cfg;
+    cfg.size = 12;
+    return cfg;
+}
+
+TEST(BlastDomain, ProbeLineShapeAndBounds)
+{
+    Domain dom(tiny());
+    EXPECT_EQ(dom.probeCount(), 12);
+    TimeIncrement(dom);
+    LagrangeLeapFrog(dom);
+    dom.gatherProbes();
+    // All probes finite and non-negative (velocity magnitudes).
+    for (long l = 1; l <= 12; ++l) {
+        EXPECT_GE(dom.xd(l), 0.0);
+        EXPECT_TRUE(std::isfinite(dom.xd(l)));
+    }
+}
+
+TEST(BlastDomainDeathTest, ProbeOutOfRangePanics)
+{
+    Domain dom(tiny());
+    EXPECT_DEATH(dom.xd(0), "out of");
+    EXPECT_DEATH(dom.xd(13), "out of");
+}
+
+TEST(BlastDomainDeathTest, LeapFrogBeforeTimeIncrementPanics)
+{
+    Domain dom(tiny());
+    EXPECT_DEATH(LagrangeLeapFrog(dom), "before TimeIncrement");
+}
+
+TEST(BlastDomain, InitialVelocityIsMonotoneRunningMax)
+{
+    Domain dom(tiny());
+    double prev = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        TimeIncrement(dom);
+        LagrangeLeapFrog(dom);
+        dom.gatherProbes();
+        EXPECT_GE(dom.initialVelocity(), prev);
+        prev = dom.initialVelocity();
+    }
+    EXPECT_GT(prev, 0.0);
+}
+
+TEST(BlastDomain, FinishesAtConfiguredEnd)
+{
+    BlastConfig cfg = tiny();
+    Domain dom(cfg);
+    EXPECT_FALSE(dom.finished());
+    long guard = 0;
+    while (!dom.finished() && ++guard < 100000) {
+        TimeIncrement(dom);
+        LagrangeLeapFrog(dom);
+    }
+    EXPECT_TRUE(dom.finished());
+    EXPECT_GE(dom.time(), dom.tEnd());
+    EXPECT_EQ(dom.cycle(), guard);
+}
+
+TEST(BlastDomain, IterationCapOverridesTimeEnd)
+{
+    BlastConfig cfg = tiny();
+    cfg.maxIterations = 7;
+    Domain dom(cfg);
+    long steps = 0;
+    while (!dom.finished()) {
+        TimeIncrement(dom);
+        LagrangeLeapFrog(dom);
+        ++steps;
+    }
+    EXPECT_EQ(steps, 7);
+}
+
+TEST(BlastDomain, RankOfLocationCoversLineExactlyOnce)
+{
+    ThreadCommWorld world(3);
+    world.run([&](Communicator &comm) {
+        Domain dom(tiny(), &comm);
+        for (long loc = 1; loc <= dom.probeCount(); ++loc) {
+            const int owner = dom.rankOfLocation(loc);
+            EXPECT_GE(owner, 0);
+            EXPECT_LT(owner, comm.size());
+            // Ownership agrees with the solver's slab split.
+            const int k = static_cast<int>(loc - 1);
+            EXPECT_EQ(owner == comm.rank(),
+                      dom.solver().ownsZ(k));
+        }
+    });
+}
+
+TEST(BlastDomain, GatheredProbesAgreeAcrossRanks)
+{
+    ThreadCommWorld world(2);
+    std::vector<std::vector<double>> lines(2);
+    world.run([&](Communicator &comm) {
+        Domain dom(tiny(), &comm);
+        for (int i = 0; i < 20; ++i) {
+            TimeIncrement(dom);
+            LagrangeLeapFrog(dom);
+            dom.gatherProbes();
+        }
+        lines[static_cast<std::size_t>(comm.rank())] = dom.probes();
+    });
+    ASSERT_EQ(lines[0].size(), lines[1].size());
+    for (std::size_t i = 0; i < lines[0].size(); ++i)
+        EXPECT_DOUBLE_EQ(lines[0][i], lines[1][i]);
+}
+
+} // namespace

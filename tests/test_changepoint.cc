@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests of the CUSUM and Page-Hinkley change-point baselines:
+ * no-alarm behaviour on stationary noise, prompt detection of mean
+ * shifts in both directions, detection-delay ordering, latching,
+ * reset, NaN tolerance, and a parameterized sweep over shift sizes.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "core/changepoint.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+ChangePointConfig
+defaultConfig()
+{
+    ChangePointConfig cfg;
+    cfg.calibration = 30;
+    cfg.drift = 0.8;
+    cfg.threshold = 12.0;
+    return cfg;
+}
+
+/** Gaussian noise around 0 for @p n samples, then around @p shift. */
+std::vector<double>
+stepSeries(std::size_t n_before, std::size_t n_after, double shift,
+           double noise, unsigned seed)
+{
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n_before + n_after);
+    for (std::size_t i = 0; i < n_before; ++i)
+        out.push_back(rng.normal(0.0, noise));
+    for (std::size_t i = 0; i < n_after; ++i)
+        out.push_back(shift + rng.normal(0.0, noise));
+    return out;
+}
+
+TEST(Cusum, StationaryNoiseDoesNotAlarm)
+{
+    CusumDetector det(defaultConfig());
+    const auto series = stepSeries(500, 0, 0.0, 1.0, 5);
+    for (const double v : series)
+        EXPECT_FALSE(det.push(v));
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Cusum, DetectsUpwardShiftPromptly)
+{
+    CusumDetector det(defaultConfig());
+    const auto series = stepSeries(100, 100, 4.0, 1.0, 7);
+    for (const double v : series)
+        det.push(v);
+    ASSERT_TRUE(det.alarmed());
+    // Alarm after the change (index 100), within a modest delay.
+    EXPECT_GE(det.alarmIndex(), 100);
+    EXPECT_LE(det.alarmIndex(), 112);
+}
+
+TEST(Cusum, DetectsDownwardShift)
+{
+    CusumDetector det(defaultConfig());
+    const auto series = stepSeries(100, 100, -4.0, 1.0, 9);
+    for (const double v : series)
+        det.push(v);
+    ASSERT_TRUE(det.alarmed());
+    EXPECT_GE(det.alarmIndex(), 100);
+    EXPECT_LE(det.alarmIndex(), 112);
+}
+
+TEST(Cusum, AlarmLatchesAndPushKeepsCounting)
+{
+    CusumDetector det(defaultConfig());
+    const auto series = stepSeries(60, 60, 5.0, 0.5, 11);
+    int alarms = 0;
+    for (const double v : series)
+        alarms += det.push(v) ? 1 : 0;
+    EXPECT_EQ(alarms, 1);
+    EXPECT_EQ(det.count(), series.size());
+}
+
+TEST(Cusum, ResetRearmsTheDetector)
+{
+    CusumDetector det(defaultConfig());
+    auto series = stepSeries(60, 60, 5.0, 0.5, 13);
+    for (const double v : series)
+        det.push(v);
+    ASSERT_TRUE(det.alarmed());
+
+    det.reset();
+    EXPECT_FALSE(det.alarmed());
+    EXPECT_EQ(det.count(), 0u);
+    for (const double v : series)
+        det.push(v);
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(Cusum, IgnoresNonFiniteSamples)
+{
+    CusumDetector det(defaultConfig());
+    const auto series = stepSeries(100, 0, 0.0, 1.0, 15);
+    for (const double v : series)
+        det.push(v);
+    EXPECT_FALSE(det.push(std::nan("")));
+    EXPECT_FALSE(det.push(INFINITY));
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Cusum, FlatCalibrationUsesSigmaFloor)
+{
+    // Constant calibration: stddev 0 would divide by zero without
+    // the floor; a subsequent tiny shift is then gigantic in floored
+    // units and must alarm rather than crash.
+    CusumDetector det(defaultConfig());
+    for (int i = 0; i < 30; ++i)
+        det.push(1.0);
+    for (int i = 0; i < 20 && !det.alarmed(); ++i)
+        det.push(1.0 + 1e-6);
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(PageHinkley, StationaryNoiseDoesNotAlarm)
+{
+    PageHinkleyDetector det(defaultConfig());
+    const auto series = stepSeries(500, 0, 0.0, 1.0, 17);
+    for (const double v : series)
+        det.push(v);
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(PageHinkley, DetectsBothDirections)
+{
+    for (const double shift : {4.0, -4.0}) {
+        PageHinkleyDetector det(defaultConfig());
+        const auto series = stepSeries(100, 100, shift, 1.0, 19);
+        for (const double v : series)
+            det.push(v);
+        ASSERT_TRUE(det.alarmed()) << "shift " << shift;
+        EXPECT_GE(det.alarmIndex(), 100);
+        EXPECT_LE(det.alarmIndex(), 115);
+    }
+}
+
+TEST(PageHinkley, ResetRearms)
+{
+    PageHinkleyDetector det(defaultConfig());
+    const auto series = stepSeries(60, 60, 5.0, 0.5, 21);
+    for (const double v : series)
+        det.push(v);
+    ASSERT_TRUE(det.alarmed());
+    det.reset();
+    EXPECT_FALSE(det.alarmed());
+    for (const double v : series)
+        det.push(v);
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(ChangePoint, LargerShiftsDetectFaster)
+{
+    auto delay = [](double shift) {
+        CusumDetector det(defaultConfig());
+        const auto series = stepSeries(100, 200, shift, 1.0, 23);
+        for (const double v : series)
+            det.push(v);
+        return det.alarmed() ? det.alarmIndex() - 100 : 1000L;
+    };
+    const long d_small = delay(1.5);
+    const long d_large = delay(6.0);
+    EXPECT_LT(d_large, d_small);
+    EXPECT_LT(d_small, 1000);
+}
+
+/** Parameterized sweep: both detectors across shift magnitudes. */
+class ShiftSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ShiftSweep, BothDetectorsFireAfterTheChange)
+{
+    const double shift = GetParam();
+    const auto series = stepSeries(120, 200, shift, 1.0, 31);
+
+    CusumDetector cusum(defaultConfig());
+    PageHinkleyDetector ph(defaultConfig());
+    for (const double v : series) {
+        cusum.push(v);
+        ph.push(v);
+    }
+    ASSERT_TRUE(cusum.alarmed()) << "CUSUM missed shift " << shift;
+    ASSERT_TRUE(ph.alarmed()) << "PH missed shift " << shift;
+    EXPECT_GE(cusum.alarmIndex(), 120);
+    EXPECT_GE(ph.alarmIndex(), 120);
+    EXPECT_LE(cusum.alarmIndex(), 160);
+    EXPECT_LE(ph.alarmIndex(), 160);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftMagnitudes, ShiftSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 6.0, 8.0,
+                                           -2.0, -4.0, -8.0));
+
+TEST(ChangePoint, RampChangeDetectedOnGradient)
+{
+    // A detonation-like signature: flat, then a ramp. On raw values
+    // a slow ramp dilutes the calibration; on the gradient it is a
+    // clean mean shift — the form the delay-time ablation uses.
+    Rng rng(37);
+    std::vector<double> series;
+    for (int i = 0; i < 150; ++i)
+        series.push_back(rng.normal(0.0, 0.05));
+    for (int i = 0; i < 100; ++i)
+        series.push_back(0.5 * i + rng.normal(0.0, 0.05));
+
+    ChangePointConfig cfg = defaultConfig();
+    CusumDetector det(cfg);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        det.push(series[i] - series[i - 1]);
+    ASSERT_TRUE(det.alarmed());
+    // Gradient index i corresponds to series index i+1.
+    EXPECT_GE(det.alarmIndex() + 1, 150);
+    EXPECT_LE(det.alarmIndex() + 1, 160);
+}
+
+} // namespace

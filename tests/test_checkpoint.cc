@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Checkpoint/restart tests: bit-exact resume equivalence for the
+ * full Region (model, collector, trainer, early-stop), both
+ * optimizers, multi-analysis regions, corrupt-checkpoint rejection
+ * via death tests, and the binary reader/writer primitives.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "base/serial.hh"
+#include "core/region.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(Serial, PrimitivesRoundTrip)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(42);
+    w.writeI64(-7);
+    w.writeF64(3.25);
+    w.writeBool(true);
+    w.writeBool(false);
+    w.writeVec({1.0, -2.0, 0.5});
+    w.writeTag("section");
+
+    BinaryReader r(ss);
+    EXPECT_EQ(r.readU64(), 42u);
+    EXPECT_EQ(r.readI64(), -7);
+    EXPECT_DOUBLE_EQ(r.readF64(), 3.25);
+    EXPECT_TRUE(r.readBool());
+    EXPECT_FALSE(r.readBool());
+    const std::vector<double> v = r.readVec();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[1], -2.0);
+    r.expectTag("section"); // must not die
+}
+
+TEST(SerialDeathTest, TruncatedStreamIsFatal)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(7);
+    BinaryReader r(ss);
+    r.readU64();
+    EXPECT_DEATH(
+        {
+            BinaryReader r2(ss);
+            r2.readF64();
+        },
+        "truncated");
+}
+
+TEST(SerialDeathTest, WrongTagIsFatal)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeTag("alpha");
+    EXPECT_DEATH(
+        {
+            BinaryReader r(ss);
+            r.expectTag("beta");
+        },
+        "section mismatch");
+}
+
+/** Toy simulation: noisy damped travelling wave. */
+struct ToySim
+{
+    long step = 0;
+
+    double
+    value(long site) const
+    {
+        const double ramp = 1.0 - std::exp(-step / 30.0);
+        const double wobble =
+            0.05 * std::sin(0.37 * static_cast<double>(step + site));
+        return 5.0 * std::pow(0.75, site - 1) * ramp + wobble;
+    }
+};
+
+AnalysisConfig
+toyAnalysis(OptimizerKind kind = OptimizerKind::MiniBatchGd)
+{
+    AnalysisConfig cfg;
+    cfg.provider = [](void *domain, long site) {
+        return static_cast<ToySim *>(domain)->value(site);
+    };
+    cfg.space = IterParam(1, 8, 1);
+    cfg.time = IterParam(10, 180, 1);
+    cfg.feature = FeatureKind::BreakpointRadius;
+    cfg.threshold = 0.4;
+    cfg.searchEnd = 20;
+    cfg.minLocation = 1;
+    cfg.ar.axis = LagAxis::Space;
+    cfg.ar.order = 2;
+    cfg.ar.batchSize = 16;
+    cfg.ar.optimizer = kind;
+    return cfg;
+}
+
+/** Drive @p region over steps (from, to]. */
+void
+drive(Region &region, ToySim &sim, long from, long to)
+{
+    for (sim.step = from; sim.step <= to; ++sim.step) {
+        region.begin();
+        region.end();
+    }
+}
+
+TEST(Checkpoint, ResumedRunIsBitExact)
+{
+    // Reference: uninterrupted run.
+    ToySim ref_sim;
+    Region ref("ref", &ref_sim);
+    const std::size_t id = ref.addAnalysis(toyAnalysis());
+    drive(ref, ref_sim, 0, 180);
+
+    // Checkpointed run: stop at 90, save, restore into a fresh
+    // region, continue.
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    drive(a, sim_a, 0, 90);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis());
+    b.loadCheckpoint(ckpt);
+    drive(b, sim_b, 91, 180);
+
+    const CurveFitAnalysis &ra = ref.analysis(id);
+    const CurveFitAnalysis &rb = b.analysis(0);
+    EXPECT_EQ(ref.iteration(), b.iteration());
+    EXPECT_EQ(ra.trainingRounds(), rb.trainingRounds());
+    EXPECT_DOUBLE_EQ(ra.lastValidationMse(), rb.lastValidationMse());
+    EXPECT_EQ(ra.breakPoint().radius, rb.breakPoint().radius);
+    // Coefficients must match bit-for-bit: the resumed trainer saw
+    // exactly the same sample stream and optimizer state.
+    const auto &ca = ra.model().normCoeffs();
+    const auto &cb = rb.model().normCoeffs();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        EXPECT_DOUBLE_EQ(ca[i], cb[i]) << "coefficient " << i;
+}
+
+TEST(Checkpoint, ResumedRlsRunIsBitExact)
+{
+    ToySim ref_sim;
+    Region ref("ref", &ref_sim);
+    ref.addAnalysis(toyAnalysis(OptimizerKind::Rls));
+    drive(ref, ref_sim, 0, 180);
+
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis(OptimizerKind::Rls));
+    drive(a, sim_a, 0, 75);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis(OptimizerKind::Rls));
+    b.loadCheckpoint(ckpt);
+    drive(b, sim_b, 76, 180);
+
+    const auto &ca = ref.analysis(0).model().normCoeffs();
+    const auto &cb = b.analysis(0).model().normCoeffs();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        EXPECT_DOUBLE_EQ(ca[i], cb[i]) << "coefficient " << i;
+}
+
+TEST(Checkpoint, MultiAnalysisRegionRoundTrips)
+{
+    auto second = []() {
+        AnalysisConfig c = toyAnalysis();
+        c.feature = FeatureKind::DelayTime;
+        c.featureLocation = 2;
+        c.ar.axis = LagAxis::Time;
+        c.ar.order = 3;
+        return c;
+    };
+
+    ToySim ref_sim;
+    Region ref("ref", &ref_sim);
+    ref.addAnalysis(toyAnalysis());
+    ref.addAnalysis(second());
+    drive(ref, ref_sim, 0, 180);
+
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    a.addAnalysis(second());
+    drive(a, sim_a, 0, 60);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis());
+    b.addAnalysis(second());
+    b.loadCheckpoint(ckpt);
+    drive(b, sim_b, 61, 180);
+
+    for (std::size_t k = 0; k < 2; ++k) {
+        const auto &ca = ref.analysis(k).model().normCoeffs();
+        const auto &cb = b.analysis(k).model().normCoeffs();
+        ASSERT_EQ(ca.size(), cb.size());
+        for (std::size_t i = 0; i < ca.size(); ++i)
+            EXPECT_DOUBLE_EQ(ca[i], cb[i])
+                << "analysis " << k << " coefficient " << i;
+    }
+}
+
+TEST(Checkpoint, CheckpointAtStepZeroIsAFullRun)
+{
+    ToySim ref_sim;
+    Region ref("ref", &ref_sim);
+    ref.addAnalysis(toyAnalysis());
+    drive(ref, ref_sim, 0, 180);
+
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt); // nothing has run yet
+
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis());
+    b.loadCheckpoint(ckpt);
+    drive(b, sim_b, 0, 180);
+
+    EXPECT_EQ(ref.analysis(0).breakPoint().radius,
+              b.analysis(0).breakPoint().radius);
+    EXPECT_EQ(ref.analysis(0).trainingRounds(),
+              b.analysis(0).trainingRounds());
+}
+
+TEST(CheckpointDeathTest, AnalysisCountMismatchIsFatal)
+{
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    drive(a, sim_a, 0, 40);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    EXPECT_DEATH(
+        {
+            ToySim sim_b;
+            Region b("b", &sim_b);
+            b.addAnalysis(toyAnalysis());
+            b.addAnalysis(toyAnalysis());
+            b.loadCheckpoint(ckpt);
+        },
+        "analyses");
+}
+
+TEST(CheckpointDeathTest, ReconfiguredModelOrderIsFatal)
+{
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    drive(a, sim_a, 0, 40);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    EXPECT_DEATH(
+        {
+            ToySim sim_b;
+            Region b("b", &sim_b);
+            AnalysisConfig cfg = toyAnalysis();
+            cfg.ar.order = 5; // different model shape
+            b.addAnalysis(std::move(cfg));
+            b.loadCheckpoint(ckpt);
+        },
+        "checkpoint dims");
+}
+
+} // namespace

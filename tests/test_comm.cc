@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the message-passing substrate: SerialComm and the
+ * thread-backed ThreadCommWorld collectives.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "par/serial_comm.hh"
+#include "par/thread_comm.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(SerialComm, TrivialCollectives)
+{
+    SerialComm c;
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    EXPECT_DOUBLE_EQ(c.allreduce(5.0, ReduceOp::Sum), 5.0);
+    EXPECT_DOUBLE_EQ(c.bcastValue(3.0, 0), 3.0);
+    double buf[2] = {1.0, 2.0};
+    c.allreduceVec(buf, 2, ReduceOp::Max);
+    EXPECT_DOUBLE_EQ(buf[0], 1.0);
+}
+
+TEST(SerialComm, SelfSendReceive)
+{
+    SerialComm c;
+    c.send(0, 7, {1.0, 2.0});
+    c.send(0, 7, {3.0});
+    EXPECT_EQ(c.recv(0, 7), (std::vector<double>{1.0, 2.0}));
+    EXPECT_EQ(c.recv(0, 7), (std::vector<double>{3.0}));
+}
+
+TEST(ThreadComm, RanksAndSizes)
+{
+    ThreadCommWorld world(4);
+    std::atomic<int> sum{0};
+    world.run([&](Communicator &c) {
+        EXPECT_EQ(c.size(), 4);
+        sum += c.rank();
+    });
+    EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(ThreadComm, AllreduceOps)
+{
+    ThreadCommWorld world(5);
+    world.run([&](Communicator &c) {
+        const double r = static_cast<double>(c.rank());
+        EXPECT_DOUBLE_EQ(c.allreduce(r, ReduceOp::Sum), 10.0);
+        EXPECT_DOUBLE_EQ(c.allreduce(r, ReduceOp::Min), 0.0);
+        EXPECT_DOUBLE_EQ(c.allreduce(r, ReduceOp::Max), 4.0);
+    });
+}
+
+TEST(ThreadComm, BroadcastFromEveryRoot)
+{
+    ThreadCommWorld world(4);
+    world.run([&](Communicator &c) {
+        for (int root = 0; root < c.size(); ++root) {
+            double v = c.rank() == root ? 42.0 + root : -1.0;
+            c.bcast(&v, 1, root);
+            EXPECT_DOUBLE_EQ(v, 42.0 + root);
+        }
+    });
+}
+
+TEST(ThreadComm, VectorAllreduceSum)
+{
+    ThreadCommWorld world(3);
+    world.run([&](Communicator &c) {
+        // Each rank owns one slot of the "probe line".
+        std::vector<double> line(3, 0.0);
+        line[static_cast<std::size_t>(c.rank())] =
+            10.0 * (c.rank() + 1);
+        c.allreduceVec(line.data(), line.size(), ReduceOp::Sum);
+        EXPECT_DOUBLE_EQ(line[0], 10.0);
+        EXPECT_DOUBLE_EQ(line[1], 20.0);
+        EXPECT_DOUBLE_EQ(line[2], 30.0);
+    });
+}
+
+TEST(ThreadComm, VectorAllreduceRepeatedRounds)
+{
+    ThreadCommWorld world(4);
+    world.run([&](Communicator &c) {
+        for (int round = 0; round < 50; ++round) {
+            std::vector<double> v(8, static_cast<double>(c.rank()));
+            c.allreduceVec(v.data(), v.size(), ReduceOp::Max);
+            for (double x : v)
+                EXPECT_DOUBLE_EQ(x, 3.0);
+        }
+    });
+}
+
+TEST(ThreadComm, PointToPointRing)
+{
+    ThreadCommWorld world(4);
+    world.run([&](Communicator &c) {
+        const int next = (c.rank() + 1) % c.size();
+        const int prev = (c.rank() + c.size() - 1) % c.size();
+        c.send(next, 0, {static_cast<double>(c.rank())});
+        const auto got = c.recv(prev, 0);
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_DOUBLE_EQ(got[0], static_cast<double>(prev));
+    });
+}
+
+TEST(ThreadComm, MessagesKeepFifoOrderPerTag)
+{
+    ThreadCommWorld world(2);
+    world.run([&](Communicator &c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 20; ++i)
+                c.send(1, 5, {static_cast<double>(i)});
+        } else {
+            for (int i = 0; i < 20; ++i)
+                EXPECT_DOUBLE_EQ(c.recv(0, 5)[0],
+                                 static_cast<double>(i));
+        }
+    });
+}
+
+TEST(ThreadComm, BarrierSeparatesPhases)
+{
+    ThreadCommWorld world(8);
+    std::atomic<int> phase_one{0};
+    std::atomic<bool> ok{true};
+    world.run([&](Communicator &c) {
+        ++phase_one;
+        c.barrier();
+        if (phase_one.load() != 8)
+            ok = false;
+    });
+    EXPECT_TRUE(ok.load());
+}
+
+/** Property: collectives agree for any rank count. */
+class ThreadCommSizeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ThreadCommSizeProperty, SumOfRanksMatchesFormula)
+{
+    const int n = GetParam();
+    ThreadCommWorld world(n);
+    world.run([&](Communicator &c) {
+        const double s = c.allreduce(
+            static_cast<double>(c.rank()), ReduceOp::Sum);
+        EXPECT_DOUBLE_EQ(s, n * (n - 1) / 2.0);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadCommSizeProperty,
+                         ::testing::Values(1, 2, 3, 8, 16, 27));
+
+} // namespace

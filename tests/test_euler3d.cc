@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the 3D Euler blast solver: conservation, octant
+ * symmetry, positivity, dt limiting, and serial-vs-decomposed
+ * equivalence.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "euler3d/sedov.hh"
+#include "euler3d/solver.hh"
+#include "par/thread_comm.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+Euler3Config
+smallConfig(int n)
+{
+    Euler3Config cfg;
+    cfg.nx = cfg.ny = cfg.nz = n;
+    return cfg;
+}
+
+TEST(Euler3D, MassConservedWhileShockIsInterior)
+{
+    EulerSolver3D solver(smallConfig(12));
+    solver.depositCornerEnergy(2.0);
+    const double m0 = solver.totalMass();
+    for (int i = 0; i < 40; ++i)
+        solver.advance();
+    // Outflow boundaries only matter once the shock arrives; the
+    // far-field flux is ~0 before that.
+    EXPECT_NEAR(solver.totalMass() / m0, 1.0, 1e-6);
+}
+
+TEST(Euler3D, EnergyConservedWhileShockIsInterior)
+{
+    EulerSolver3D solver(smallConfig(12));
+    solver.depositCornerEnergy(2.0);
+    const double e0 = solver.totalEnergy();
+    for (int i = 0; i < 40; ++i)
+        solver.advance();
+    EXPECT_NEAR(solver.totalEnergy() / e0, 1.0, 1e-6);
+}
+
+TEST(Euler3D, OctantSymmetryAlongAxes)
+{
+    EulerSolver3D solver(smallConfig(10));
+    solver.depositCornerEnergy(2.0);
+    for (int i = 0; i < 50; ++i)
+        solver.advance();
+    // The corner blast is symmetric in x/y/z: the velocity along
+    // each axis must agree.
+    for (int l = 0; l < 10; ++l) {
+        const double vx = solver.velocityMagnitude(l, 0, 0);
+        const double vy = solver.velocityMagnitude(0, l, 0);
+        const double vz = solver.velocityMagnitude(0, 0, l);
+        EXPECT_NEAR(vx, vy, 1e-9 + 1e-9 * vx);
+        EXPECT_NEAR(vx, vz, 1e-9 + 1e-9 * vx);
+    }
+}
+
+TEST(Euler3D, ShockExpandsMonotonically)
+{
+    EulerSolver3D solver(smallConfig(16));
+    solver.depositCornerEnergy(2.0);
+    int prev_front = 0;
+    for (int block = 0; block < 6; ++block) {
+        for (int i = 0; i < 25; ++i)
+            solver.advance();
+        // Shock front proxy: outermost axis cell above 1% of peak.
+        double peak = 0.0;
+        for (int l = 0; l < 16; ++l)
+            peak = std::max(peak, solver.velocityMagnitude(0, 0, l));
+        int front = 0;
+        for (int l = 0; l < 16; ++l)
+            if (solver.velocityMagnitude(0, 0, l) > 0.01 * peak)
+                front = l;
+        EXPECT_GE(front, prev_front);
+        prev_front = front;
+    }
+    EXPECT_GT(prev_front, 4);
+}
+
+TEST(Euler3D, StatesStayPhysical)
+{
+    EulerSolver3D solver(smallConfig(12));
+    solver.depositCornerEnergy(4.0);
+    for (int i = 0; i < 120; ++i)
+        solver.advance();
+    for (int k = 0; k < 12; ++k) {
+        for (int j = 0; j < 12; ++j) {
+            for (int i = 0; i < 12; ++i) {
+                const Prim w = solver.primAt(i, j, k);
+                EXPECT_GT(w.rho, 0.0);
+                EXPECT_GE(w.p, 0.0);
+                EXPECT_TRUE(std::isfinite(w.vx + w.vy + w.vz));
+            }
+        }
+    }
+}
+
+TEST(Euler3D, DtGrowthIsLimited)
+{
+    EulerSolver3D solver(smallConfig(10));
+    solver.depositCornerEnergy(2.0);
+    double prev = solver.computeDt();
+    solver.step(prev);
+    for (int i = 0; i < 30; ++i) {
+        const double dt = solver.computeDt();
+        EXPECT_LE(dt, prev * 1.03 + 1e-15);
+        EXPECT_GT(dt, 0.0);
+        solver.step(dt);
+        prev = dt;
+    }
+}
+
+TEST(Euler3D, DecomposedRunMatchesSerialRun)
+{
+    const int n = 12;
+    const int steps = 35;
+
+    EulerSolver3D serial(smallConfig(n));
+    serial.depositCornerEnergy(2.0);
+    for (int i = 0; i < steps; ++i)
+        serial.advance();
+    std::vector<double> expected(n);
+    for (int l = 0; l < n; ++l)
+        expected[l] = serial.velocityMagnitude(0, 0, l);
+
+    for (const int nranks : {2, 3}) {
+        ThreadCommWorld world(nranks);
+        std::mutex mtx;
+        std::vector<double> gathered(n, 0.0);
+        world.run([&](Communicator &comm) {
+            EulerSolver3D local(smallConfig(n), &comm);
+            local.depositCornerEnergy(2.0);
+            for (int i = 0; i < steps; ++i)
+                local.advance();
+            std::lock_guard<std::mutex> lock(mtx);
+            for (int l = 0; l < n; ++l)
+                if (local.ownsZ(l))
+                    gathered[l] = local.velocityMagnitude(0, 0, l);
+        });
+        for (int l = 0; l < n; ++l) {
+            EXPECT_NEAR(gathered[l], expected[l],
+                        1e-11 + 1e-11 * expected[l])
+                << "ranks=" << nranks << " loc=" << l;
+        }
+    }
+}
+
+TEST(Euler3D, SlabOwnershipCoversDomainExactly)
+{
+    for (const int nranks : {1, 2, 3, 5}) {
+        ThreadCommWorld world(nranks);
+        std::atomic<int> owned{0};
+        world.run([&](Communicator &comm) {
+            EulerSolver3D local(smallConfig(10), &comm);
+            owned += local.zCount();
+            for (int k = local.zBegin();
+                 k < local.zBegin() + local.zCount(); ++k)
+                EXPECT_TRUE(local.ownsZ(k));
+        });
+        EXPECT_EQ(owned.load(), 10);
+    }
+}
+
+TEST(SedovReference, RadiusTimeInverse)
+{
+    const double e = 16.0, rho = 1.0;
+    const double t = sedovShockTime(e, rho, 20.0);
+    EXPECT_NEAR(sedovShockRadius(e, rho, t), 20.0, 1e-9);
+    // r ~ t^(2/5): doubling time scales radius by 2^0.4.
+    EXPECT_NEAR(sedovShockRadius(e, rho, 2.0 * t) /
+                    sedovShockRadius(e, rho, t),
+                std::pow(2.0, 0.4), 1e-9);
+}
+
+} // namespace

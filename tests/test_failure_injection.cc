@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Failure-injection tests: the in-situ library must survive a
+ * misbehaving substrate — NaN/Inf provider values, all-garbage
+ * providers, constant (rank-deficient) series, never-crossed
+ * thresholds, empty training windows, and degenerate batch sizes —
+ * without crashing or poisoning its statistics.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+
+#include "core/region.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Damped wave with fault injection hooks. */
+struct FaultySim
+{
+    long step = 0;
+    /** Iterations whose samples come back NaN. */
+    long nan_from = -1;
+    long nan_to = -2;
+    /** Inject +inf instead of NaN. */
+    bool use_inf = false;
+    /** Return a constant instead of the wave. */
+    bool constant = false;
+
+    double
+    value(long site) const
+    {
+        if (step >= nan_from && step <= nan_to) {
+            return use_inf
+                ? std::numeric_limits<double>::infinity()
+                : std::nan("");
+        }
+        if (constant)
+            return 1.0;
+        const double ramp = 1.0 - std::exp(-step / 30.0);
+        return 5.0 * std::pow(0.75, site - 1) * ramp;
+    }
+};
+
+AnalysisConfig
+faultyAnalysis()
+{
+    AnalysisConfig cfg;
+    cfg.provider = [](void *domain, long site) {
+        return static_cast<FaultySim *>(domain)->value(site);
+    };
+    cfg.space = IterParam(1, 8, 1);
+    cfg.time = IterParam(10, 150, 1);
+    cfg.feature = FeatureKind::BreakpointRadius;
+    cfg.threshold = 0.4;
+    cfg.searchEnd = 20;
+    cfg.minLocation = 1;
+    cfg.ar.axis = LagAxis::Space;
+    cfg.ar.order = 2;
+    cfg.ar.batchSize = 16;
+    return cfg;
+}
+
+void
+drive(Region &region, FaultySim &sim, long to)
+{
+    for (sim.step = 0; sim.step <= to; ++sim.step) {
+        region.begin();
+        region.end();
+    }
+}
+
+TEST(FailureInjection, NanBurstIsAbsorbedAndCounted)
+{
+    FaultySim sim;
+    sim.nan_from = 60;
+    sim.nan_to = 64;
+    Region region("nan-burst", &sim);
+    const std::size_t id = region.addAnalysis(faultyAnalysis());
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    // 5 iterations x 8-ish sampled locations.
+    EXPECT_GE(a.collector().nonFiniteSamples(), 5u);
+    EXPECT_GT(a.trainingRounds(), 0u);
+    EXPECT_TRUE(std::isfinite(a.lastValidationMse()));
+    // The wave still dominates the window; extraction stays close
+    // to the clean-run answer (9).
+    EXPECT_NEAR(static_cast<double>(a.breakPoint().radius), 9.0, 2.0);
+}
+
+TEST(FailureInjection, InfinityIsTreatedLikeNan)
+{
+    FaultySim sim;
+    sim.nan_from = 80;
+    sim.nan_to = 82;
+    sim.use_inf = true;
+    Region region("inf-burst", &sim);
+    const std::size_t id = region.addAnalysis(faultyAnalysis());
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_GT(a.collector().nonFiniteSamples(), 0u);
+    EXPECT_TRUE(std::isfinite(a.lastValidationMse()));
+    for (const double c : a.model().normCoeffs())
+        EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(FailureInjection, AllNanProviderNeverCrashes)
+{
+    FaultySim sim;
+    sim.nan_from = 0;
+    sim.nan_to = 1000;
+    Region region("all-nan", &sim);
+    const std::size_t id = region.addAnalysis(faultyAnalysis());
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    // Every sample was replaced by the quiescent hold value (0), so
+    // the model trains on a flat zero series and must stay finite.
+    for (const double c : a.model().normCoeffs())
+        EXPECT_TRUE(std::isfinite(c));
+    EXPECT_TRUE(std::isfinite(a.extractFeature()));
+}
+
+TEST(FailureInjection, ConstantSeriesIsRankDeficientButSafe)
+{
+    FaultySim sim;
+    sim.constant = true;
+    Region region("constant", &sim);
+    const std::size_t id = region.addAnalysis(faultyAnalysis());
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_GT(a.trainingRounds(), 0u);
+    for (const double c : a.model().normCoeffs())
+        EXPECT_TRUE(std::isfinite(c));
+    // Constant 1.0 >= threshold 0.4 across every *observed*
+    // location; beyond them the homogeneous (slope-only) rollout
+    // cannot represent a constant, so the guaranteed answer is the
+    // full observed window.
+    EXPECT_GE(a.breakPoint().radius, 8);
+}
+
+TEST(FailureInjection, ImpossiblyHighThresholdReportsInnermost)
+{
+    FaultySim sim;
+    Region region("high-thr", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    cfg.threshold = 1e9;
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    const BreakPoint bp = a.breakPoint();
+    EXPECT_EQ(bp.radius, 1);
+    EXPECT_FALSE(bp.clamped);
+}
+
+TEST(FailureInjection, NegativeThresholdClampsAtSearchEnd)
+{
+    FaultySim sim;
+    Region region("neg-thr", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    cfg.threshold = -1.0;
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+    drive(region, sim, 150);
+
+    const BreakPoint bp = region.analysis(id).breakPoint();
+    EXPECT_EQ(bp.radius, 20);
+    EXPECT_TRUE(bp.clamped);
+}
+
+TEST(FailureInjection, WindowAfterSimulationEndTrainsNothing)
+{
+    FaultySim sim;
+    Region region("late-window", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    cfg.time = IterParam(500, 900, 1); // never reached
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_EQ(a.trainingRounds(), 0u);
+    EXPECT_FALSE(a.converged());
+    EXPECT_FALSE(region.shouldStop());
+}
+
+TEST(FailureInjection, BatchSizeOneTrainsEverySample)
+{
+    FaultySim sim;
+    Region region("batch-1", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    cfg.ar.batchSize = 1;
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_EQ(a.trainingRounds(),
+              a.collector().samplesEmitted());
+    EXPECT_TRUE(std::isfinite(a.lastValidationMse()));
+}
+
+TEST(FailureInjection, SparseStepsSampleOnTheLattice)
+{
+    FaultySim sim;
+    Region region("sparse", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    cfg.space = IterParam(1, 7, 3); // locations 1, 4, 7
+    cfg.time = IterParam(10, 150, 5); // every 5th iteration
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+    drive(region, sim, 150);
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_GT(a.collector().samplesEmitted(), 0u);
+    for (const double c : a.model().normCoeffs())
+        EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(FailureInjection, RegionWithoutAnalysesIsANoOp)
+{
+    FaultySim sim;
+    Region region("empty", &sim);
+    drive(region, sim, 50);
+    EXPECT_EQ(region.iteration(), 51);
+    EXPECT_FALSE(region.shouldStop());
+}
+
+TEST(FailureInjection, ProviderSeesTheDomainPointer)
+{
+    FaultySim sim;
+    Region region("domain-ptr", &sim);
+    AnalysisConfig cfg = faultyAnalysis();
+    bool *seen = new bool(false);
+    cfg.provider = [seen](void *domain, long site) {
+        *seen = domain != nullptr;
+        return static_cast<FaultySim *>(domain)->value(site);
+    };
+    region.addAnalysis(std::move(cfg));
+    drive(region, sim, 30);
+    EXPECT_TRUE(*seen);
+    delete seen;
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the gravity solvers: direct-sum sanity and Barnes-Hut
+ * accuracy against the direct reference.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/math_util.hh"
+#include "base/rng.hh"
+#include "sph/gravity.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+ParticleSet
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    ParticleSet p;
+    p.resize(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        p.x[i] = rng.normal(0.0, 1.0);
+        p.y[i] = rng.normal(0.0, 1.0);
+        p.z[i] = rng.normal(0.0, 1.0);
+        p.m[i] = rng.uniform(0.5, 1.5);
+    }
+    return p;
+}
+
+TEST(DirectGravity, TwoBodyInverseSquare)
+{
+    ParticleSet p;
+    p.resize(2);
+    p.x[0] = 0.0;
+    p.x[1] = 2.0;
+    p.m[0] = 3.0;
+    p.m[1] = 5.0;
+
+    DirectGravity solver;
+    solver.accumulate(p, 0.0);
+
+    // a_0 = m_1 / r^2 toward +x; a_1 = m_0 / r^2 toward -x.
+    EXPECT_NEAR(p.ax[0], 5.0 / 4.0, 1e-12);
+    EXPECT_NEAR(p.ax[1], -3.0 / 4.0, 1e-12);
+    EXPECT_NEAR(p.ay[0], 0.0, 1e-12);
+    // phi_0 = -m_1 / r.
+    EXPECT_NEAR(p.phi[0], -2.5, 1e-12);
+    EXPECT_NEAR(p.phi[1], -1.5, 1e-12);
+}
+
+TEST(DirectGravity, NewtonThirdLawMomentumBalance)
+{
+    ParticleSet p = randomCloud(60, 91);
+    DirectGravity solver;
+    solver.accumulate(p, 0.05);
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        fx += p.m[i] * p.ax[i];
+        fy += p.m[i] * p.ay[i];
+        fz += p.m[i] * p.az[i];
+    }
+    EXPECT_NEAR(fx, 0.0, 1e-9);
+    EXPECT_NEAR(fy, 0.0, 1e-9);
+    EXPECT_NEAR(fz, 0.0, 1e-9);
+}
+
+TEST(BarnesHut, MatchesDirectSummation)
+{
+    ParticleSet direct = randomCloud(400, 92);
+    ParticleSet tree = direct;
+
+    DirectGravity ref;
+    ref.accumulate(direct, 0.05);
+    BarnesHutGravity bh(0.5);
+    bh.accumulate(tree, 0.05);
+    EXPECT_GT(bh.nodeCount(), 400u);
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        const double mag =
+            std::sqrt(sqr(direct.ax[i]) + sqr(direct.ay[i]) +
+                      sqr(direct.az[i]));
+        const double err =
+            std::sqrt(sqr(direct.ax[i] - tree.ax[i]) +
+                      sqr(direct.ay[i] - tree.ay[i]) +
+                      sqr(direct.az[i] - tree.az[i]));
+        worst = std::max(worst, err / (mag + 1e-12));
+        EXPECT_NEAR(tree.phi[i] / direct.phi[i], 1.0, 0.02);
+    }
+    EXPECT_LT(worst, 0.03);
+}
+
+TEST(BarnesHut, HandlesCoincidentParticles)
+{
+    // Co-located particles exercise the depth-limited overflow path.
+    ParticleSet p;
+    p.resize(4);
+    for (std::size_t i = 0; i < 3; ++i) {
+        p.x[i] = 1.0;
+        p.m[i] = 1.0;
+    }
+    p.x[3] = -1.0;
+    p.m[3] = 1.0;
+
+    BarnesHutGravity bh(0.5);
+    bh.accumulate(p, 0.01);
+    // The lone particle must feel ~3 units of mass at distance 2
+    // along +x.
+    EXPECT_NEAR(p.ax[3], 3.0 / 4.0, 0.02);
+    EXPECT_NEAR(p.ay[3], 0.0, 1e-9);
+}
+
+TEST(BarnesHut, ThetaZeroLimitIsNearExact)
+{
+    ParticleSet direct = randomCloud(100, 93);
+    ParticleSet tree = direct;
+    DirectGravity ref;
+    ref.accumulate(direct, 0.1);
+    BarnesHutGravity bh(0.1);
+    bh.accumulate(tree, 0.1);
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_NEAR(tree.ax[i], direct.ax[i],
+                    1e-3 * (std::abs(direct.ax[i]) + 1.0));
+    }
+}
+
+TEST(GravitySlicing, PartialRangesComposeToFullResult)
+{
+    ParticleSet full = randomCloud(120, 94);
+    ParticleSet sliced = full;
+
+    BarnesHutGravity bh(0.5);
+    bh.accumulate(full, 0.05);
+
+    BarnesHutGravity bh2(0.5);
+    bh2.accumulate(sliced, 0.05, 0, 60);
+    bh2.accumulate(sliced, 0.05, 60, 120);
+
+    for (std::size_t i = 0; i < full.size(); ++i)
+        EXPECT_NEAR(sliced.ax[i], full.ax[i],
+                    1e-12 + 1e-12 * std::abs(full.ax[i]));
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the shared hydro primitives: EOS, state
+ * conversions, and numerical fluxes.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "hydro/eos.hh"
+#include "hydro/flux.hh"
+#include "hydro/state.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(IdealGas, PressureEnergyRoundTrip)
+{
+    const IdealGasEos eos(1.4);
+    const double rho = 2.0, e = 3.0;
+    const double p = eos.pressure(rho, e);
+    EXPECT_DOUBLE_EQ(p, 0.4 * rho * e);
+    EXPECT_DOUBLE_EQ(eos.energy(rho, p), e);
+    EXPECT_DOUBLE_EQ(eos.soundSpeed(rho, p),
+                     std::sqrt(1.4 * p / rho));
+    EXPECT_DOUBLE_EQ(eos.gamma(), 1.4);
+}
+
+TEST(Polytrope, PressureAndEnergy)
+{
+    const PolytropeEos eos(0.5, 2.0);
+    EXPECT_DOUBLE_EQ(eos.pressure(3.0), 0.5 * 9.0);
+    EXPECT_DOUBLE_EQ(eos.energy(3.0), 0.5 * 9.0 / (1.0 * 3.0));
+    EXPECT_DOUBLE_EQ(eos.soundSpeed(3.0),
+                     std::sqrt(2.0 * 4.5 / 3.0));
+}
+
+TEST(State, PrimConsRoundTrip)
+{
+    const IdealGasEos eos(1.4);
+    Prim w;
+    w.rho = 1.3;
+    w.vx = 0.5;
+    w.vy = -0.2;
+    w.vz = 2.0;
+    w.p = 0.7;
+    const Cons u = toCons(w, eos);
+    const Prim back = toPrim(u, eos);
+    EXPECT_NEAR(back.rho, w.rho, 1e-12);
+    EXPECT_NEAR(back.vx, w.vx, 1e-12);
+    EXPECT_NEAR(back.vy, w.vy, 1e-12);
+    EXPECT_NEAR(back.vz, w.vz, 1e-12);
+    EXPECT_NEAR(back.p, w.p, 1e-12);
+    EXPECT_NEAR(speed(w), std::sqrt(0.25 + 0.04 + 4.0), 1e-12);
+}
+
+TEST(Flux, RusanovOfEqualStatesIsPhysicalFlux)
+{
+    const IdealGasEos eos(1.4);
+    Prim w;
+    w.rho = 1.0;
+    w.vx = 0.3;
+    w.vy = 0.1;
+    w.vz = -0.4;
+    w.p = 0.9;
+    for (const Axis3 axis : {Axis3::X, Axis3::Y, Axis3::Z}) {
+        const Cons direct = physicalFlux(w, axis, eos);
+        const Cons rus = rusanovFlux(w, w, axis, eos);
+        EXPECT_NEAR(rus.rho, direct.rho, 1e-12);
+        EXPECT_NEAR(rus.mx, direct.mx, 1e-12);
+        EXPECT_NEAR(rus.my, direct.my, 1e-12);
+        EXPECT_NEAR(rus.mz, direct.mz, 1e-12);
+        EXPECT_NEAR(rus.E, direct.E, 1e-12);
+    }
+}
+
+TEST(Flux, StaticStateHasOnlyPressureFlux)
+{
+    const IdealGasEos eos(1.4);
+    Prim w;
+    w.rho = 1.0;
+    w.p = 2.0;
+    const Cons f = physicalFlux(w, Axis3::X, eos);
+    EXPECT_DOUBLE_EQ(f.rho, 0.0);
+    EXPECT_DOUBLE_EQ(f.mx, 2.0);
+    EXPECT_DOUBLE_EQ(f.my, 0.0);
+    EXPECT_DOUBLE_EQ(f.E, 0.0);
+}
+
+TEST(Flux, RusanovIsDissipativeAcrossAJump)
+{
+    const IdealGasEos eos(1.4);
+    Prim hot, cold;
+    hot.rho = 1.0;
+    hot.p = 10.0;
+    cold.rho = 0.125;
+    cold.p = 0.1;
+    // Mass flux across a Sod-like jump must move mass toward the
+    // low-density side through the dissipation term.
+    const Cons f = rusanovFlux(hot, cold, Axis3::X, eos);
+    EXPECT_GT(f.rho, 0.0);
+}
+
+TEST(Flux, MirrorSymmetryGivesZeroMassFlux)
+{
+    const IdealGasEos eos(1.4);
+    Prim left, right;
+    left.rho = right.rho = 1.0;
+    left.p = right.p = 1.0;
+    left.vx = 0.5;
+    right.vx = -0.5; // reflective-wall configuration
+    const Cons f = rusanovFlux(left, right, Axis3::X, eos);
+    EXPECT_NEAR(f.rho, 0.0, 1e-12);
+    EXPECT_NEAR(f.E, 0.0, 1e-12);
+}
+
+TEST(EosDeathTest, InvalidInputsPanic)
+{
+    EXPECT_DEATH(IdealGasEos(1.0), "gamma");
+    const IdealGasEos eos(1.4);
+    EXPECT_DEATH(eos.energy(0.0, 1.0), "density");
+    EXPECT_DEATH(PolytropeEos(-1.0), "positive");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Integration tests: the full material-deformation pipeline — blast
+ * app + td region + feature extraction + early termination —
+ * validated against post-analysis ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blastapp/runner.hh"
+#include "par/thread_comm.hh"
+#include "postproc/ground_truth.hh"
+#include "postproc/trace.hh"
+
+namespace
+{
+
+using namespace tdfe;
+using namespace tdfe::blast;
+
+BlastConfig
+smallBlast()
+{
+    BlastConfig cfg;
+    cfg.size = 16;
+    return cfg;
+}
+
+/** Analysis settings mirroring the paper's LULESH experiment. */
+AnalysisConfig
+blastAnalysis(long total_iters, double threshold_abs, bool stop)
+{
+    AnalysisConfig ac;
+    ac.space = IterParam(1, 8, 1);
+    ac.time = IterParam(total_iters / 20,
+                        (total_iters * 2) / 5, 1); // first 40%
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.threshold = threshold_abs;
+    ac.searchEnd = 16;
+    ac.minLocation = 1;
+    ac.stopWhenConverged = stop;
+    ac.ar.order = 3;
+    ac.ar.lag = 2;
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.batchSize = 16;
+    ac.ar.convergeTol = 0.1;
+    ac.ar.convergePatience = 3;
+    ac.ar.minBatches = 4;
+    return ac;
+}
+
+TEST(BlastIntegration, FeatureMatchesGroundTruthAtModerateThreshold)
+{
+    // Pass 1: bare run with trace recording -> ground truth.
+    RunOptions record;
+    record.recordTrace = true;
+    const RunResult truth_run = runBlast(smallBlast(), nullptr,
+                                         record);
+    ASSERT_GT(truth_run.iterations, 40);
+    ASSERT_GT(truth_run.initialVelocity, 0.0);
+
+    FullTrace trace(16);
+    for (const auto &row : truth_run.trace)
+        trace.appendRow(row);
+
+    const double threshold = 0.05 * truth_run.initialVelocity;
+    const long truth_radius = truthBreakpointRadius(trace, threshold);
+    ASSERT_GT(truth_radius, 2);
+    ASSERT_LT(truth_radius, 16);
+
+    // Pass 2: instrumented run (no stop), same threshold.
+    RunOptions fe;
+    fe.instrument = true;
+    fe.analysis =
+        blastAnalysis(truth_run.iterations, threshold, false);
+    const RunResult fe_run = runBlast(smallBlast(), nullptr, fe);
+
+    EXPECT_GE(fe_run.featureValue, 1.0);
+    EXPECT_NEAR(fe_run.featureValue,
+                static_cast<double>(truth_radius), 2.0);
+    EXPECT_GT(fe_run.overheadSeconds, 0.0);
+    // In-situ overhead stays a small fraction of the runtime.
+    EXPECT_LT(fe_run.overheadSeconds, 0.25 * fe_run.seconds);
+}
+
+TEST(BlastIntegration, EarlyTerminationShortensTheRun)
+{
+    RunOptions record;
+    record.recordTrace = true;
+    const RunResult full = runBlast(smallBlast(), nullptr, record);
+
+    RunOptions stop;
+    stop.instrument = true;
+    stop.honorStop = true;
+    stop.analysis = blastAnalysis(
+        full.iterations, 0.05 * full.initialVelocity, true);
+    const RunResult stopped = runBlast(smallBlast(), nullptr, stop);
+
+    EXPECT_TRUE(stopped.stoppedEarly);
+    EXPECT_GT(stopped.convergedIteration, 0);
+    EXPECT_LT(stopped.iterations, full.iterations);
+}
+
+TEST(BlastIntegration, DeterministicIterationCounts)
+{
+    RunOptions bare;
+    const RunResult a = runBlast(smallBlast(), nullptr, bare);
+    const RunResult b = runBlast(smallBlast(), nullptr, bare);
+    EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(BlastIntegration, RankDecomposedRunAgreesWithSerial)
+{
+    RunOptions record;
+    record.recordTrace = true;
+    const RunResult serial = runBlast(smallBlast(), nullptr, record);
+
+    ThreadCommWorld world(3);
+    std::vector<long> iters(3, 0);
+    std::vector<double> features(3, -2.0);
+    world.run([&](Communicator &comm) {
+        RunOptions fe;
+        fe.instrument = true;
+        fe.analysis = blastAnalysis(
+            serial.iterations, 0.05 * serial.initialVelocity,
+            false);
+        const RunResult r = runBlast(smallBlast(), &comm, fe);
+        iters[static_cast<std::size_t>(comm.rank())] = r.iterations;
+        features[static_cast<std::size_t>(comm.rank())] =
+            r.featureValue;
+    });
+    // All ranks agree with each other and with the serial run.
+    EXPECT_EQ(iters[0], serial.iterations);
+    EXPECT_EQ(iters[1], serial.iterations);
+    EXPECT_EQ(iters[2], serial.iterations);
+    EXPECT_DOUBLE_EQ(features[0], features[1]);
+    EXPECT_DOUBLE_EQ(features[0], features[2]);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Integration tests of the td library against the second hydro
+ * substrate (clover2d): instrumented runs must extract the same
+ * break-point the recorded probe peaks give, overhead must stay a
+ * small fraction of the runtime, and early termination must shorten
+ * the run — the same guarantees the blast-app integration suite
+ * asserts, on a structurally different solver.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/timer.hh"
+#include "clover2d/app.hh"
+#include "core/region.hh"
+
+namespace
+{
+
+using namespace tdfe;
+using namespace tdfe::clover;
+
+struct CloverRun
+{
+    long cycles = 0;
+    double initialVelocity = 0.0;
+    std::vector<double> peaks;
+};
+
+/** Bare reference run recording per-location peak speeds. */
+CloverRun
+bareRun(const CloverAppConfig &cfg)
+{
+    CloverField field(cfg);
+    CloverRun out;
+    out.peaks.assign(static_cast<std::size_t>(cfg.size), 0.0);
+    while (!field.finished()) {
+        Timestep(field);
+        HydroCycle(field);
+        field.gatherProbes();
+        for (long loc = 1; loc <= field.probeCount(); ++loc) {
+            auto &p = out.peaks[static_cast<std::size_t>(loc - 1)];
+            p = std::max(p, field.fieldAt(loc));
+        }
+    }
+    out.cycles = field.cycle();
+    out.initialVelocity = field.initialVelocity();
+    return out;
+}
+
+AnalysisConfig
+cloverAnalysis(const CloverRun &ref, int size, double threshold)
+{
+    AnalysisConfig ac;
+    ac.provider = [](void *domain, long loc) {
+        return static_cast<CloverField *>(domain)->fieldAt(loc);
+    };
+    ac.space = IterParam(1, std::min<long>(20, size - 2), 1);
+    ac.time = IterParam(ref.cycles / 20, (ref.cycles * 3) / 5, 1);
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.threshold = threshold;
+    ac.searchEnd = size;
+    ac.minLocation = 1;
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.order = 3;
+    ac.ar.lag = 2;
+    ac.ar.batchSize = 16;
+    return ac;
+}
+
+TEST(CloverIntegration, BreakpointMatchesProbeTruthInObservedRange)
+{
+    CloverAppConfig cfg;
+    cfg.size = 32;
+    cfg.blastEnergy = 2.0;
+    const CloverRun ref = bareRun(cfg);
+    ASSERT_GT(ref.initialVelocity, 0.0);
+
+    // A threshold well inside the observed window (cf. the paper's
+    // high-threshold rows where extraction is exact).
+    const double threshold = 0.3 * ref.initialVelocity;
+    long truth = 0;
+    for (long loc = 1; loc <= cfg.size; ++loc)
+        if (ref.peaks[static_cast<std::size_t>(loc - 1)] >= threshold)
+            truth = loc;
+    ASSERT_GT(truth, 1);
+    ASSERT_LT(truth, 20);
+
+    CloverField field(cfg);
+    Region region("clover-it", &field);
+    const std::size_t id =
+        region.addAnalysis(cloverAnalysis(ref, cfg.size, threshold));
+    while (!field.finished()) {
+        region.begin();
+        Timestep(field);
+        HydroCycle(field);
+        region.end();
+        field.gatherProbes();
+    }
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_GT(a.trainingRounds(), 3u);
+    EXPECT_NEAR(static_cast<double>(a.breakPoint().radius),
+                static_cast<double>(truth), 2.0);
+}
+
+TEST(CloverIntegration, OverheadIsASmallFractionOfRuntime)
+{
+    CloverAppConfig cfg;
+    cfg.size = 32;
+    const CloverRun ref = bareRun(cfg);
+
+    CloverField field(cfg);
+    Region region("clover-ovh", &field);
+    region.addAnalysis(
+        cloverAnalysis(ref, cfg.size, 0.2 * ref.initialVelocity));
+    Timer timer;
+    while (!field.finished()) {
+        region.begin();
+        Timestep(field);
+        HydroCycle(field);
+        region.end();
+        field.gatherProbes();
+    }
+    const double total = timer.elapsed();
+    ASSERT_GT(total, 0.0);
+    // The paper's headline: in-situ overhead stays in the
+    // low-single-digit percent range. Allow slack for timer jitter
+    // on a busy CI core.
+    EXPECT_LT(region.overheadSeconds() / total, 0.25);
+}
+
+TEST(CloverIntegration, EarlyTerminationShortensTheRun)
+{
+    CloverAppConfig cfg;
+    cfg.size = 32;
+    const CloverRun ref = bareRun(cfg);
+
+    CloverField field(cfg);
+    Region region("clover-stop", &field);
+    AnalysisConfig ac =
+        cloverAnalysis(ref, cfg.size, 0.2 * ref.initialVelocity);
+    ac.stopWhenConverged = true;
+    ac.ar.convergeTol = 0.1;
+    region.addAnalysis(std::move(ac));
+
+    bool stopped = false;
+    while (!field.finished()) {
+        region.begin();
+        Timestep(field);
+        HydroCycle(field);
+        region.end();
+        field.gatherProbes();
+        if (region.shouldStop()) {
+            stopped = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(stopped);
+    EXPECT_LT(field.cycle(), ref.cycles);
+}
+
+TEST(CloverIntegration, DeterministicCycleCounts)
+{
+    CloverAppConfig cfg;
+    cfg.size = 24;
+    const CloverRun a = bareRun(cfg);
+    const CloverRun b = bareRun(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.initialVelocity, b.initialVelocity);
+    EXPECT_EQ(a.peaks, b.peaks);
+}
+
+} // namespace

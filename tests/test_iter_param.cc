@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit + property tests for the (begin, end, step) window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/iter_param.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(IterParam, ContainsAndCount)
+{
+    const IterParam w(50, 373, 10); // the paper's Fig. 2 window
+    EXPECT_TRUE(w.contains(50));
+    EXPECT_TRUE(w.contains(370));
+    EXPECT_FALSE(w.contains(371));
+    EXPECT_FALSE(w.contains(49));
+    EXPECT_FALSE(w.contains(380));
+    EXPECT_EQ(w.count(), 33u); // 50, 60, ..., 370
+}
+
+TEST(IterParam, SingleElementWindow)
+{
+    const IterParam w(5, 5, 1);
+    EXPECT_TRUE(w.contains(5));
+    EXPECT_FALSE(w.contains(6));
+    EXPECT_EQ(w.count(), 1u);
+    EXPECT_EQ(w.at(0), 5);
+    EXPECT_EQ(w.indexOf(5), 0u);
+}
+
+TEST(IterParamDeathTest, InvalidWindowsPanic)
+{
+    EXPECT_DEATH(IterParam(0, 10, 0), "step");
+    EXPECT_DEATH(IterParam(10, 0, 1), "end");
+    const IterParam w(0, 10, 2);
+    EXPECT_DEATH(w.indexOf(1), "not in window");
+}
+
+struct WindowCase
+{
+    long begin, end, step;
+};
+
+class IterParamProperty : public ::testing::TestWithParam<WindowCase>
+{
+};
+
+TEST_P(IterParamProperty, AtIndexOfRoundTripAndMembership)
+{
+    const auto c = GetParam();
+    const IterParam w(c.begin, c.end, c.step);
+    // Every lattice point round-trips through at()/indexOf().
+    for (std::size_t i = 0; i < w.count(); ++i) {
+        const long v = w.at(i);
+        EXPECT_TRUE(w.contains(v));
+        EXPECT_EQ(w.indexOf(v), i);
+        EXPECT_LE(v, c.end);
+        EXPECT_GE(v, c.begin);
+    }
+    // Off-lattice points are excluded.
+    if (c.step > 1)
+        EXPECT_FALSE(w.contains(c.begin + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, IterParamProperty,
+    ::testing::Values(WindowCase{0, 0, 1}, WindowCase{0, 9, 1},
+                      WindowCase{6, 10, 1}, WindowCase{50, 373, 10},
+                      WindowCase{-10, 10, 5}, WindowCase{3, 100, 7}));
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the 1D spherical Lagrangian solver, including the Sedov
+ * self-similarity property r_s(t) ~ t^(2/5).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "lagrangian/solver1d.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+Lagrangian1Config
+defaultConfig(int zones)
+{
+    Lagrangian1Config cfg;
+    cfg.zones = zones;
+    cfg.length = static_cast<double>(zones);
+    return cfg;
+}
+
+TEST(Lagrangian1D, InitialStateIsAmbient)
+{
+    const LagrangianSolver1D s(defaultConfig(30));
+    EXPECT_EQ(s.zones(), 30);
+    EXPECT_DOUBLE_EQ(s.nodeRadius(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.nodeRadius(30), 30.0);
+    for (int j = 0; j < 30; ++j) {
+        EXPECT_NEAR(s.zoneDensity(j), 1.0, 1e-12);
+        EXPECT_NEAR(s.zonePressure(j), 1e-6, 1e-12);
+    }
+    for (int i = 0; i <= 30; ++i)
+        EXPECT_DOUBLE_EQ(s.nodeVelocity(i), 0.0);
+}
+
+TEST(Lagrangian1D, BlastConservesEnergy)
+{
+    LagrangianSolver1D s(defaultConfig(40));
+    s.depositCenterEnergy(1.0);
+    const double e0 = s.totalEnergy();
+    for (int i = 0; i < 400; ++i)
+        s.advance();
+    EXPECT_NEAR(s.totalEnergy() / e0, 1.0, 0.03);
+}
+
+TEST(Lagrangian1D, MeshStaysOrderedAndMassIsExact)
+{
+    LagrangianSolver1D s(defaultConfig(30));
+    s.depositCenterEnergy(1.0);
+    for (int i = 0; i < 300; ++i)
+        s.advance();
+    for (int i = 1; i <= 30; ++i)
+        EXPECT_GT(s.nodeRadius(i), s.nodeRadius(i - 1));
+    // Lagrangian zones carry fixed mass: density * volume sums to
+    // the initial mass exactly.
+    double mass = 0.0;
+    for (int j = 0; j < 30; ++j) {
+        const double vol = (std::pow(s.nodeRadius(j + 1), 3) -
+                            std::pow(s.nodeRadius(j), 3)) / 3.0;
+        mass += s.zoneDensity(j) * vol;
+    }
+    EXPECT_NEAR(mass, std::pow(30.0, 3) / 3.0, 1e-6);
+}
+
+TEST(Lagrangian1D, SedovSimilarityExponent)
+{
+    LagrangianSolver1D s(defaultConfig(120));
+    s.depositCenterEnergy(1.0);
+
+    // Let the blast develop, then sample shock radius vs time.
+    std::vector<double> log_t, log_r;
+    while (s.shockRadius() < 25.0)
+        s.advance();
+    while (s.shockRadius() < 90.0) {
+        for (int i = 0; i < 30; ++i)
+            s.advance();
+        log_t.push_back(std::log(s.time()));
+        log_r.push_back(std::log(s.shockRadius()));
+    }
+    ASSERT_GE(log_t.size(), 5u);
+
+    // Least-squares slope of log r vs log t.
+    double mt = 0.0, mr = 0.0;
+    for (std::size_t i = 0; i < log_t.size(); ++i) {
+        mt += log_t[i];
+        mr += log_r[i];
+    }
+    mt /= log_t.size();
+    mr /= log_r.size();
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < log_t.size(); ++i) {
+        num += (log_t[i] - mt) * (log_r[i] - mr);
+        den += (log_t[i] - mt) * (log_t[i] - mt);
+    }
+    const double slope = num / den;
+    EXPECT_NEAR(slope, 0.4, 0.08);
+}
+
+TEST(Lagrangian1D, VelocityProbeTracksAttenuation)
+{
+    LagrangianSolver1D s(defaultConfig(30));
+    s.depositCenterEnergy(1.0);
+    std::vector<double> peaks(31, 0.0);
+    for (int i = 0; i < 1500 && s.shockRadius() < 27.0; ++i) {
+        s.advance();
+        for (int l = 1; l <= 30; ++l)
+            peaks[l] = std::max(peaks[l], s.velocityAt(l));
+    }
+    // Peak velocity decays with radius past the early zones.
+    EXPECT_GT(peaks[3], peaks[10]);
+    EXPECT_GT(peaks[10], peaks[20]);
+    EXPECT_GT(peaks[20], peaks[26]);
+}
+
+TEST(Lagrangian1D, DtIsPositiveAndGrowthLimited)
+{
+    LagrangianSolver1D s(defaultConfig(30));
+    s.depositCenterEnergy(1.0);
+    double prev = s.advance();
+    for (int i = 0; i < 100; ++i) {
+        const double dt = s.advance();
+        EXPECT_GT(dt, 0.0);
+        EXPECT_LE(dt, prev * s.config().dtGrowth + 1e-15);
+        prev = dt;
+    }
+}
+
+TEST(Lagrangian1DDeathTest, BadProbePanics)
+{
+    const LagrangianSolver1D s(defaultConfig(10));
+    EXPECT_DEATH(s.velocityAt(11), "out of range");
+}
+
+} // namespace

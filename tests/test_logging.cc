@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the logging/assertion layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(Logging, ConcatMessageJoinsHeterogeneousArguments)
+{
+    EXPECT_EQ(detail::concatMessage("a", 1, ':', 2.5), "a1:2.5");
+    EXPECT_EQ(detail::concatMessage(), "");
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    setLogQuiet(true);
+    TDFE_WARN("warning from test ", 42);
+    TDFE_INFORM("inform from test ", 42);
+    setLogQuiet(false);
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(TDFE_PANIC("boom ", 1), "boom 1");
+}
+
+TEST(LoggingDeathTest, AssertFailureAborts)
+{
+    EXPECT_DEATH(TDFE_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingDeathTest, AssertPassesSilently)
+{
+    TDFE_ASSERT(1 == 1, "never shown");
+    SUCCEED();
+}
+
+} // namespace

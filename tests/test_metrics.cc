@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit + property tests for error metrics and math helpers.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/math_util.hh"
+#include "stats/metrics.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(MathUtil, Basics)
+{
+    EXPECT_DOUBLE_EQ(sqr(-3.0), 9.0);
+    EXPECT_DOUBLE_EQ(cube(2.0), 8.0);
+    EXPECT_TRUE(allFinite({1.0, 2.0}));
+    EXPECT_FALSE(allFinite({1.0, NAN}));
+    EXPECT_FALSE(allFinite({1.0, INFINITY}));
+}
+
+TEST(MathUtil, Linspace)
+{
+    const auto v = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+    EXPECT_DOUBLE_EQ(linspace(3.0, 9.0, 1)[0], 3.0);
+}
+
+TEST(MathUtil, RelativeErrorGuardsZeroDenominator)
+{
+    EXPECT_NEAR(relativeError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_LT(relativeError(1e-13, 0.0, 1e-12), 1.0);
+}
+
+TEST(Metrics, PerfectPredictionIsZeroError)
+{
+    const std::vector<double> v{1.0, -2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(mape(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(errorRatePct(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(maxAbsError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(r2Score(v, v), 1.0);
+}
+
+TEST(Metrics, KnownValues)
+{
+    const std::vector<double> actual{1.0, 2.0, 3.0};
+    const std::vector<double> pred{1.0, 2.0, 4.0};
+    EXPECT_NEAR(rmse(pred, actual), std::sqrt(1.0 / 3.0), 1e-12);
+    EXPECT_NEAR(mape(pred, actual), (1.0 / 3.0) / 3.0, 1e-12);
+    // errorRatePct: mean |err| = 1/3 over mean |actual| = 2 -> 16.7%
+    EXPECT_NEAR(errorRatePct(pred, actual), 100.0 / 6.0, 1e-9);
+    EXPECT_DOUBLE_EQ(maxAbsError(pred, actual), 1.0);
+}
+
+TEST(Metrics, R2OfMeanPredictorIsZero)
+{
+    const std::vector<double> actual{1.0, 2.0, 3.0};
+    const std::vector<double> mean_pred{2.0, 2.0, 2.0};
+    EXPECT_NEAR(r2Score(mean_pred, actual), 0.0, 1e-12);
+}
+
+TEST(Metrics, MapeFloorPreventsInfinity)
+{
+    const std::vector<double> actual{0.0, 1.0};
+    const std::vector<double> pred{0.5, 1.0};
+    EXPECT_TRUE(std::isfinite(mape(pred, actual, 1e-9)));
+}
+
+TEST(MetricsDeathTest, SizeMismatchPanics)
+{
+    EXPECT_DEATH(rmse({1.0}, {1.0, 2.0}), "size mismatch");
+    EXPECT_DEATH(rmse({}, {}), "at least one");
+}
+
+/** Property sweep: scaling both series scales rmse linearly and
+ *  leaves the relative metrics unchanged. */
+class MetricsScaleProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MetricsScaleProperty, ScaleInvariants)
+{
+    const double s = GetParam();
+    const std::vector<double> actual{1.0, 2.0, 3.0, 5.0};
+    const std::vector<double> pred{1.1, 1.9, 3.3, 4.5};
+    std::vector<double> sa, sp;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        sa.push_back(s * actual[i]);
+        sp.push_back(s * pred[i]);
+    }
+    EXPECT_NEAR(rmse(sp, sa), std::abs(s) * rmse(pred, actual),
+                1e-9 * std::abs(s));
+    EXPECT_NEAR(errorRatePct(sp, sa), errorRatePct(pred, actual),
+                1e-9);
+    EXPECT_NEAR(r2Score(sp, sa), r2Score(pred, actual), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricsScaleProperty,
+                         ::testing::Values(0.01, 0.5, 2.0, 100.0,
+                                           -3.0));
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the mini-batch buffer and the gradient-descent
+ * optimizer, including convergence to the OLS solution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "stats/minibatch.hh"
+#include "stats/ols.hh"
+#include "stats/sgd.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(MiniBatch, FillConsumeCycle)
+{
+    MiniBatch b(3, 2);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    b.push({1.0, 2.0}, 3.0);
+    b.push({4.0, 5.0}, 6.0);
+    EXPECT_EQ(b.size(), 2u);
+    b.push({7.0, 8.0}, 9.0);
+    EXPECT_TRUE(b.full());
+    EXPECT_DOUBLE_EQ(b.sample(1).y, 6.0);
+    EXPECT_DOUBLE_EQ(b.sample(2).x[0], 7.0);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.capacity(), 3u);
+    EXPECT_EQ(b.lifetimePushes(), 3u);
+}
+
+TEST(MiniBatchDeathTest, OverflowPanics)
+{
+    MiniBatch b(1, 1);
+    b.push({1.0}, 1.0);
+    EXPECT_DEATH(b.push({2.0}, 2.0), "full");
+}
+
+TEST(MiniBatchDeathTest, DimensionMismatchPanics)
+{
+    MiniBatch b(2, 2);
+    EXPECT_DEATH(b.push({1.0}, 1.0), "dimension");
+}
+
+TEST(Sgd, ConvergesToOlsSolutionOnRepeatedBatches)
+{
+    // y = 1 + 2 x0 - 3 x1 with standardized-ish inputs.
+    Rng rng(31);
+    MiniBatch batch(64, 2);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 64; ++i) {
+        const double x0 = rng.normal(0.0, 1.0);
+        const double x1 = rng.normal(0.0, 1.0);
+        const double y = 1.0 + 2.0 * x0 - 3.0 * x1;
+        batch.push({x0, x1}, y);
+        xs.push_back({x0, x1});
+        ys.push_back(y);
+    }
+
+    SgdConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.momentum = 0.9;
+    cfg.epochsPerBatch = 40;
+    cfg.l2 = 0.0;
+    SgdOptimizer opt(2, cfg);
+    std::vector<double> coeffs(3, 0.0);
+    for (int round = 0; round < 20; ++round)
+        opt.trainRound(coeffs, batch);
+
+    const OlsFit ols = fitOls(xs, ys, 0.0);
+    EXPECT_NEAR(coeffs[0], ols.coeffs[0], 1e-3);
+    EXPECT_NEAR(coeffs[1], ols.coeffs[1], 1e-3);
+    EXPECT_NEAR(coeffs[2], ols.coeffs[2], 1e-3);
+}
+
+TEST(Sgd, PreUpdateMseIsReportedAndDecreases)
+{
+    Rng rng(37);
+    MiniBatch batch(32, 1);
+    for (int i = 0; i < 32; ++i) {
+        const double x = rng.normal(0.0, 1.0);
+        batch.push({x}, 2.0 * x);
+    }
+    SgdConfig cfg;
+    cfg.epochsPerBatch = 10;
+    SgdOptimizer opt(1, cfg);
+    std::vector<double> coeffs(2, 0.0);
+    const double first = opt.trainRound(coeffs, batch);
+    const double later = opt.trainRound(coeffs, batch);
+    EXPECT_GT(first, later);
+    EXPECT_GT(opt.steps(), 0u);
+}
+
+TEST(Sgd, L2ShrinksSlopesNotIntercept)
+{
+    MiniBatch batch(16, 1);
+    for (int i = 0; i < 16; ++i)
+        batch.push({static_cast<double>(i % 4) - 1.5}, 5.0);
+
+    SgdConfig strong;
+    strong.l2 = 10.0;
+    strong.epochsPerBatch = 200;
+    strong.learningRate = 0.05;
+    strong.momentum = 0.0;
+    SgdOptimizer opt(1, strong);
+    std::vector<double> coeffs{0.0, 5.0};
+    for (int r = 0; r < 10; ++r)
+        opt.trainRound(coeffs, batch);
+    // Slope crushed toward zero, intercept free to fit the mean.
+    EXPECT_NEAR(coeffs[1], 0.0, 0.05);
+    EXPECT_NEAR(coeffs[0], 5.0, 0.05);
+}
+
+TEST(SgdDeathTest, EmptyBatchPanics)
+{
+    MiniBatch batch(4, 1);
+    SgdOptimizer opt(1, SgdConfig{});
+    std::vector<double> coeffs(2, 0.0);
+    EXPECT_DEATH(opt.trainRound(coeffs, batch), "empty");
+}
+
+/** Property: convergence holds across batch sizes. */
+class SgdBatchSizeProperty
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SgdBatchSizeProperty, FitsLineForAnyBatchSize)
+{
+    const std::size_t batch_size = GetParam();
+    Rng rng(41);
+    SgdConfig cfg;
+    cfg.learningRate = 0.05;
+    cfg.epochsPerBatch = 8;
+    SgdOptimizer opt(1, cfg);
+    std::vector<double> coeffs(2, 0.0);
+
+    MiniBatch batch(batch_size, 1);
+    for (int rounds = 0; rounds < 400; ++rounds) {
+        batch.clear();
+        while (!batch.full()) {
+            const double x = rng.normal(0.0, 1.0);
+            batch.push({x}, -1.0 + 4.0 * x);
+        }
+        opt.trainRound(coeffs, batch);
+    }
+    EXPECT_NEAR(coeffs[0], -1.0, 0.05);
+    EXPECT_NEAR(coeffs[1], 4.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, SgdBatchSizeProperty,
+                         ::testing::Values(1, 4, 16, 64));
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the in-situ observation store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/observed_series.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(ObservedSeries, AppendAndAccess)
+{
+    ObservedSeries s(2, 2, 3, 100); // locations 2, 4, 6 from iter 100
+    EXPECT_EQ(s.locEnd(), 6);
+    EXPECT_FALSE(s.hasIter(100));
+
+    s.appendRow({1.0, 2.0, 3.0});
+    s.appendRow({4.0, 5.0, 6.0});
+    EXPECT_TRUE(s.hasIter(100));
+    EXPECT_TRUE(s.hasIter(101));
+    EXPECT_FALSE(s.hasIter(102));
+    EXPECT_EQ(s.iterEnd(), 102);
+
+    EXPECT_DOUBLE_EQ(s.at(2, 100), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(6, 101), 6.0);
+    EXPECT_EQ(s.seriesAt(4), (std::vector<double>{2.0, 5.0}));
+    EXPECT_EQ(s.profileAt(101), (std::vector<double>{4.0, 5.0, 6.0}));
+    EXPECT_EQ(s.memoryBytes(), 6 * sizeof(double));
+}
+
+TEST(ObservedSeries, LocLattice)
+{
+    ObservedSeries s(3, 4, 2, 0); // locations 3 and 7
+    EXPECT_TRUE(s.hasLoc(3));
+    EXPECT_TRUE(s.hasLoc(7));
+    EXPECT_FALSE(s.hasLoc(5));
+    EXPECT_FALSE(s.hasLoc(11));
+    EXPECT_FALSE(s.hasLoc(2));
+}
+
+TEST(ObservedSeriesDeathTest, OutOfRangePanics)
+{
+    ObservedSeries s(0, 1, 2, 0);
+    s.appendRow({1.0, 2.0});
+    EXPECT_DEATH(s.at(0, 5), "not recorded");
+    EXPECT_DEATH(s.at(9, 0), "not sampled");
+    EXPECT_DEATH(s.appendRow({1.0}), "row has");
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for inference: one-step fitted curves, free-run
+ * temporal forecasts, and recursive spatial rollout.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/ar_model.hh"
+#include "core/collector.hh"
+#include "core/predictor.hh"
+#include "core/trainer.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Train a model on synthetic data satisfying an exact recurrence. */
+ArModel
+trainedModel(const ArConfig &cfg,
+             const std::function<double(const std::vector<double> &)>
+                 &target,
+             double lo = 0.0, double hi = 10.0)
+{
+    ArModel model(cfg);
+    ArTrainer trainer(model);
+    MiniBatch batch(cfg.batchSize, cfg.order);
+    double seed = lo;
+    for (int round = 0; round < 150; ++round) {
+        batch.clear();
+        while (!batch.full()) {
+            std::vector<double> x(cfg.order);
+            for (std::size_t d = 0; d < cfg.order; ++d) {
+                seed = std::fmod(seed * 1.61803 + 0.7, hi - lo) + lo;
+                x[d] = seed;
+            }
+            batch.push(x, target(x));
+        }
+        trainer.trainRound(batch);
+    }
+    return model;
+}
+
+TEST(Predictor, OneStepSeriesMatchesExactRecurrence)
+{
+    ArConfig cfg;
+    cfg.order = 2;
+    cfg.lag = 1;
+    cfg.axis = LagAxis::Time;
+    cfg.batchSize = 32;
+    cfg.sgd.epochsPerBatch = 30;
+    const ArModel model = trainedModel(
+        cfg, [](const std::vector<double> &x) {
+            return 0.6 * x[0] + 0.2 * x[1] + 1.0;
+        });
+
+    // Observed series follows the same recurrence.
+    ObservedSeries series(0, 1, 1, 0);
+    std::vector<double> v{2.0, 3.0};
+    series.appendRow({v[0]});
+    series.appendRow({v[1]});
+    for (int i = 2; i < 30; ++i) {
+        const double next = 0.6 * v[i - 1] + 0.2 * v[i - 2] + 1.0;
+        v.push_back(next);
+        series.appendRow({next});
+    }
+
+    const Predictor pred(model, series);
+    const FittedSeries fit = pred.oneStepSeries(0);
+    ASSERT_EQ(fit.predicted.size(), 28u); // first 2 lack lags
+    for (std::size_t i = 0; i < fit.predicted.size(); ++i)
+        EXPECT_NEAR(fit.predicted[i], fit.actual[i],
+                    0.02 * std::abs(fit.actual[i]) + 0.05);
+}
+
+TEST(Predictor, ForecastContinuesTheRecurrence)
+{
+    ArConfig cfg;
+    cfg.order = 1;
+    cfg.lag = 1;
+    cfg.axis = LagAxis::Time;
+    cfg.batchSize = 16;
+    cfg.sgd.epochsPerBatch = 30;
+    // V(t) = 0.8 V(t-1): geometric decay.
+    const ArModel model =
+        trainedModel(cfg, [](const std::vector<double> &x) {
+            return 0.8 * x[0];
+        });
+
+    ObservedSeries series(0, 1, 1, 0);
+    double v = 8.0;
+    for (int i = 0; i < 10; ++i) {
+        series.appendRow({v});
+        v *= 0.8;
+    }
+
+    const Predictor pred(model, series);
+    const auto forecast = pred.forecastSeries(0, 19);
+    ASSERT_EQ(forecast.size(), 20u);
+    // Free-run continuation should track the analytic decay.
+    for (int t = 10; t < 20; ++t)
+        EXPECT_NEAR(forecast[t], 8.0 * std::pow(0.8, t),
+                    0.1 * 8.0 * std::pow(0.8, t) + 0.02);
+}
+
+TEST(Predictor, SpatialRolloutExtendsProfile)
+{
+    ArConfig cfg;
+    cfg.order = 1;
+    cfg.lag = 1;
+    cfg.axis = LagAxis::Space;
+    cfg.batchSize = 16;
+    cfg.sgd.epochsPerBatch = 30;
+    // V(l, t) = 0.5 V(l-1, t-1): each location halves the inner one.
+    const ArModel model =
+        trainedModel(cfg, [](const std::vector<double> &x) {
+            return 0.5 * x[0];
+        });
+
+    // Observed: locations 1..4, V(l, t) = 16 * 0.5^(l-1) constant in
+    // time (so the lagged source equals the current value).
+    ObservedSeries series(1, 1, 4, 0);
+    for (int t = 0; t < 12; ++t)
+        series.appendRow({16.0, 8.0, 4.0, 2.0});
+
+    const Predictor pred(model, series);
+    const auto rolled = pred.spatialRollout(7);
+    ASSERT_EQ(rolled.size(), 3u); // locations 5, 6, 7
+    // After the lag warm-up row, values follow the halving rule.
+    EXPECT_NEAR(rolled[0][6], 1.0, 0.05);
+    EXPECT_NEAR(rolled[1][6], 0.5, 0.05);
+    EXPECT_NEAR(rolled[2][6], 0.25, 0.05);
+
+    const auto peaks = pred.peakProfile(7);
+    ASSERT_EQ(peaks.size(), 7u);
+    EXPECT_DOUBLE_EQ(peaks[0], 16.0); // observed peak
+    EXPECT_NEAR(peaks[4], 1.0, 0.05); // rolled peak
+}
+
+TEST(PredictorDeathTest, AxisMisuseIsRejected)
+{
+    ArConfig time_cfg;
+    time_cfg.axis = LagAxis::Time;
+    const ArModel time_model(time_cfg);
+    ObservedSeries series(0, 1, 1, 0);
+    for (int i = 0; i < 10; ++i)
+        series.appendRow({1.0});
+    const Predictor p(time_model, series);
+    EXPECT_DEATH(p.spatialRollout(5), "Space-axis");
+
+    ArConfig space_cfg;
+    space_cfg.axis = LagAxis::Space;
+    const ArModel space_model(space_cfg);
+    const Predictor q(space_model, series);
+    EXPECT_DEATH(q.forecastSeries(0, 20), "Time-axis");
+}
+
+} // namespace

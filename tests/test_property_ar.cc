@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Property sweeps on the core pipeline: the analysis must recover a
+ * synthetic AR(n) process across model orders, lags, and noise
+ * levels (one-step error approaching the noise floor), and the
+ * variable tracker must locate extrema and inflections across
+ * waveform families. TEST_P keeps each point of the sweep an
+ * independently-reported test.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "base/rng.hh"
+#include "core/predictor.hh"
+#include "core/region.hh"
+#include "core/tracker.hh"
+#include "stats/metrics.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Synthetic AR(n) generator with decaying stable coefficients. */
+struct ArProcess
+{
+    std::size_t order;
+    long lag;
+    double noise;
+    std::vector<double> series;
+
+    ArProcess(std::size_t order, long lag, double noise,
+              unsigned seed, std::size_t n)
+        : order(order), lag(lag), noise(noise)
+    {
+        // a_i proportional to 0.6^i, scaled to sum 0.7: stable and
+        // well inside the unit circle for every order.
+        std::vector<double> a(order);
+        double norm = 0.0;
+        for (std::size_t i = 0; i < order; ++i) {
+            a[i] = std::pow(0.6, static_cast<double>(i));
+            norm += a[i];
+        }
+        for (double &ai : a)
+            ai *= 0.7 / norm;
+
+        Rng rng(seed);
+        const std::size_t burnin =
+            static_cast<std::size_t>(lag) * order + 50;
+        series.assign(n + burnin, 0.0);
+        for (std::size_t t = 0; t < series.size(); ++t) {
+            double v = 0.25; // intercept
+            for (std::size_t i = 0; i < order; ++i) {
+                const long src = static_cast<long>(t) -
+                                 static_cast<long>(i + 1) * lag;
+                if (src >= 0)
+                    v += a[i] * series[static_cast<std::size_t>(src)];
+            }
+            series[t] = v + rng.normal(0.0, noise);
+        }
+        series.erase(series.begin(),
+                     series.begin() + static_cast<long>(burnin));
+    }
+
+    double
+    at(long t) const
+    {
+        return series[static_cast<std::size_t>(t)];
+    }
+};
+
+class ArRecovery
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, long, double>>
+{
+};
+
+TEST_P(ArRecovery, OneStepErrorApproachesTheNoiseFloor)
+{
+    const auto [order, lag, noise] = GetParam();
+    ArProcess proc(order, lag, noise, 42, 600);
+
+    // The provider reads the playback object's current step — the
+    // same pattern the real apps use for their domain pointer.
+    struct Playback
+    {
+        const ArProcess *proc;
+        long step = 0;
+    } playback{&proc, 0};
+
+    AnalysisConfig cfg;
+    cfg.provider = [](void *domain, long) {
+        const auto *p = static_cast<Playback *>(domain);
+        return p->proc->at(p->step);
+    };
+    cfg.space = IterParam(1, 1, 1);
+    cfg.time = IterParam(static_cast<long>(order) * lag + 2, 580, 1);
+    cfg.feature = FeatureKind::PeakValue;
+    cfg.featureLocation = 1;
+    cfg.ar.axis = LagAxis::Time;
+    cfg.ar.order = order;
+    cfg.ar.lag = lag;
+    cfg.ar.batchSize = 16;
+    cfg.ar.optimizer = OptimizerKind::Rls; // exact online LS
+    Region region("ar-recovery", &playback);
+    const std::size_t id = region.addAnalysis(std::move(cfg));
+
+    for (playback.step = 0; playback.step <= 580; ++playback.step) {
+        region.begin();
+        region.end();
+    }
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    ASSERT_GT(a.trainingRounds(), 4u);
+
+    const Predictor pred(a.model(), a.observed());
+    const FittedSeries fit = pred.oneStepSeries(1);
+    ASSERT_GT(fit.predicted.size(), 100u);
+    const double err = rmse(fit.predicted, fit.actual);
+
+    if (noise == 0.0) {
+        // Noiseless: the model must be essentially exact.
+        EXPECT_LT(err, 1e-3);
+    } else {
+        // One-step error cannot beat the innovation noise; it must
+        // approach it from above.
+        EXPECT_LT(err, 1.8 * noise);
+        EXPECT_GT(err, 0.5 * noise);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderLagNoise, ArRecovery,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values<long>(1, 3),
+                       ::testing::Values(0.0, 0.05)));
+
+class SinusoidPeaks : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SinusoidPeaks, TrackerCountsTheRightNumberOfMaxima)
+{
+    const double omega = GetParam();
+    const std::size_t n = 800;
+    std::vector<double> series(n);
+    for (std::size_t t = 0; t < n; ++t)
+        series[t] = std::sin(omega * static_cast<double>(t));
+
+    const auto maxima = VariableTracker::localMaxima(series);
+    const double expected =
+        omega * static_cast<double>(n) / (2.0 * M_PI);
+    EXPECT_NEAR(static_cast<double>(maxima.size()), expected, 1.5)
+        << "omega = " << omega;
+
+    // Every reported maximum must actually dominate its neighbours.
+    for (const TrackedPoint &p : maxima) {
+        ASSERT_GT(p.index, 0u);
+        ASSERT_LT(p.index + 1, n);
+        EXPECT_GE(series[p.index], series[p.index - 1]);
+        EXPECT_GE(series[p.index], series[p.index + 1]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, SinusoidPeaks,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.35,
+                                           0.5));
+
+class SigmoidInflection : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SigmoidInflection, StrongestGradientChangeNearTheCenter)
+{
+    const double steepness = GetParam();
+    const long center = 300;
+    const std::size_t n = 600;
+    std::vector<double> series(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double x =
+            steepness * (static_cast<double>(t) - center);
+        series[t] = 1.0 / (1.0 + std::exp(-x));
+    }
+
+    // The logistic's second difference peaks just off-center (the
+    // curvature extremes flank the midpoint); the detector must land
+    // within the transition region, whose width scales as 1/k.
+    const TrackedPoint p =
+        VariableTracker::strongestGradientChange(series, 5);
+    const double width = 4.0 / steepness;
+    EXPECT_NEAR(static_cast<double>(p.index),
+                static_cast<double>(center), width)
+        << "steepness " << steepness;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steepness, SigmoidInflection,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.6));
+
+TEST(TrackerProperty, InflectionsOfACubicSitAtItsTruePoint)
+{
+    // f(t) = (t - c)^3 has a single inflection at c.
+    const long c = 200;
+    std::vector<double> series(400);
+    for (std::size_t t = 0; t < series.size(); ++t) {
+        const double x = (static_cast<double>(t) - c) / 50.0;
+        series[t] = x * x * x;
+    }
+    const auto inflections = VariableTracker::inflections(series);
+    ASSERT_FALSE(inflections.empty());
+    // The nearest reported inflection to the analytic one.
+    double best = 1e9;
+    for (const TrackedPoint &p : inflections) {
+        best = std::min(best,
+                        std::fabs(static_cast<double>(p.index) - c));
+    }
+    EXPECT_LE(best, 6.0);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-analysis Region semantics: several diagnostics tracked at
+ * once (the wdmerger usage), the all-stoppers-converge termination
+ * rule, and the PeakValue feature.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/region.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Two synthetic diagnostics with different convergence speeds. */
+struct MultiDomain
+{
+    long iter = 0;
+
+    double
+    value(long which) const
+    {
+        if (which == 0) {
+            // Clean geometric decay: trivially learnable.
+            return 8.0 * std::pow(0.9, iter);
+        }
+        // Kinked ramp: learnable only once the kink has passed.
+        return iter < 60 ? 0.5 * iter : 30.0;
+    }
+};
+
+AnalysisConfig
+diag(long which, FeatureKind kind, bool stop, long train_end)
+{
+    AnalysisConfig ac;
+    ac.provider = [](void *d, long loc) {
+        return static_cast<MultiDomain *>(d)->value(loc);
+    };
+    ac.space = IterParam(which, which, 1);
+    ac.time = IterParam(4, train_end, 1);
+    ac.feature = kind;
+    ac.featureLocation = which;
+    ac.minLocation = which;
+    ac.smoothWindow = 3;
+    ac.stopWhenConverged = stop;
+    ac.ar.order = 2;
+    ac.ar.lag = 1;
+    ac.ar.axis = LagAxis::Time;
+    ac.ar.batchSize = 8;
+    ac.ar.convergeTol = 0.05;
+    ac.ar.convergePatience = 2;
+    ac.ar.minBatches = 2;
+    return ac;
+}
+
+TEST(RegionMulti, TracksSeveralDiagnosticsIndependently)
+{
+    MultiDomain domain;
+    Region region("multi", &domain);
+    const std::size_t a =
+        region.addAnalysis(diag(0, FeatureKind::PeakValue, false,
+                                120));
+    const std::size_t b =
+        region.addAnalysis(diag(1, FeatureKind::DelayTime, false,
+                                120));
+    EXPECT_EQ(region.analysisCount(), 2u);
+
+    for (domain.iter = 0; domain.iter <= 150; ++domain.iter) {
+        region.begin();
+        region.end();
+    }
+
+    // Analysis b finds the kink at iteration 60.
+    EXPECT_NEAR(region.analysis(b).extractFeature(), 60.0, 4.0);
+    // Analysis a's series is monotone decreasing: the peak feature
+    // reports the largest observed/fitted value.
+    EXPECT_GT(region.analysis(a).extractFeature(), 0.0);
+    // Each analysis saw only its own diagnostic.
+    EXPECT_NEAR(region.analysis(a).observed().at(0, 100),
+                8.0 * std::pow(0.9, 100), 1e-9);
+    EXPECT_NEAR(region.analysis(b).observed().at(1, 100), 30.0,
+                1e-9);
+}
+
+TEST(RegionMulti, StopRequiresEveryStopperToConverge)
+{
+    MultiDomain domain;
+    Region region("multi", &domain);
+    // Both analyses request termination; the easy decay converges
+    // quickly, the kinked ramp keeps resetting the streak around
+    // the kink, so the stop must not fire before both are done.
+    region.addAnalysis(diag(0, FeatureKind::PeakValue, true, 120));
+    region.addAnalysis(diag(1, FeatureKind::DelayTime, true, 120));
+
+    long first_converged = -1;
+    long stop_iter = -1;
+    for (domain.iter = 0; domain.iter <= 150; ++domain.iter) {
+        region.begin();
+        region.end();
+        if (first_converged < 0 && region.analysis(0).converged())
+            first_converged = domain.iter;
+        if (region.shouldStop()) {
+            stop_iter = domain.iter;
+            break;
+        }
+    }
+    ASSERT_GT(first_converged, 0);
+    if (stop_iter >= 0) {
+        // If the stop fired, both had converged by then.
+        EXPECT_TRUE(region.analysis(0).converged());
+        EXPECT_TRUE(region.analysis(1).converged());
+        EXPECT_GE(stop_iter, first_converged);
+    }
+}
+
+TEST(RegionMulti, NonStopperDoesNotTriggerTermination)
+{
+    MultiDomain domain;
+    Region region("multi", &domain);
+    region.addAnalysis(diag(0, FeatureKind::PeakValue, false, 120));
+    for (domain.iter = 0; domain.iter <= 150; ++domain.iter) {
+        region.begin();
+        region.end();
+    }
+    EXPECT_TRUE(region.analysis(0).converged());
+    EXPECT_FALSE(region.shouldStop());
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests of the recursive-least-squares optimizer: exact recovery on
+ * noiseless data, agreement with the closed-form OLS solution,
+ * drift tracking under forgetting, the trainRound() validation
+ * contract, and end-to-end use as the analysis optimizer.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "core/region.hh"
+#include "stats/minibatch.hh"
+#include "stats/ols.hh"
+#include "stats/rls.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(Rls, RecoversNoiselessLinearModelExactly)
+{
+    RlsConfig cfg;
+    cfg.forgetting = 1.0;
+    cfg.delta = 1e8; // diffuse prior: no measurable ridge bias
+    RlsEstimator rls(2, cfg);
+    std::vector<double> coeffs(3, 0.0);
+
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<double> x{rng.uniform(-2.0, 2.0),
+                                    rng.uniform(-2.0, 2.0)};
+        const double y = 2.0 + 3.0 * x[0] - 1.5 * x[1];
+        rls.update(coeffs, x, y);
+    }
+    EXPECT_NEAR(coeffs[0], 2.0, 1e-6);
+    EXPECT_NEAR(coeffs[1], 3.0, 1e-6);
+    EXPECT_NEAR(coeffs[2], -1.5, 1e-6);
+}
+
+TEST(Rls, MatchesOlsOnNoisyData)
+{
+    RlsConfig cfg;
+    cfg.forgetting = 1.0;
+    cfg.delta = 1e6; // near-flat prior so RLS == OLS
+    RlsEstimator rls(3, cfg);
+    std::vector<double> coeffs(4, 0.0);
+
+    Rng rng(11);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 300; ++i) {
+        std::vector<double> x{rng.uniform(-1.0, 1.0),
+                              rng.uniform(-1.0, 1.0),
+                              rng.uniform(-1.0, 1.0)};
+        const double y = 0.5 - 1.0 * x[0] + 2.0 * x[1] +
+                         0.25 * x[2] + 0.05 * rng.normal();
+        rls.update(coeffs, x, y);
+        xs.push_back(std::move(x));
+        ys.push_back(y);
+    }
+    const OlsFit ols = fitOls(xs, ys);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(coeffs[i], ols.coeffs[i], 1e-3)
+            << "coefficient " << i;
+}
+
+TEST(Rls, ForgettingTracksDriftingCoefficients)
+{
+    // The slope flips sign halfway; a forgetting estimator must
+    // track the new regime, an infinite-memory one lags.
+    auto run = [](double lambda) {
+        RlsConfig cfg;
+        cfg.forgetting = lambda;
+        RlsEstimator rls(1, cfg);
+        std::vector<double> coeffs(2, 0.0);
+        Rng rng(3);
+        for (int i = 0; i < 800; ++i) {
+            const double slope = i < 400 ? 1.0 : -1.0;
+            const std::vector<double> x{rng.uniform(-1.0, 1.0)};
+            rls.update(coeffs, x, slope * x[0]);
+        }
+        return coeffs[1];
+    };
+
+    const double tracked = run(0.95);
+    const double lagged = run(1.0);
+    EXPECT_NEAR(tracked, -1.0, 0.05);
+    // Infinite memory averages the two regimes.
+    EXPECT_GT(lagged, -0.8);
+}
+
+TEST(Rls, UpdateReturnsAprioriError)
+{
+    RlsEstimator rls(1, RlsConfig{});
+    std::vector<double> coeffs(2, 0.0);
+    // First sample: prediction is 0, so the error is y itself.
+    const double e0 = rls.update(coeffs, {1.0}, 5.0);
+    EXPECT_DOUBLE_EQ(e0, 5.0);
+    // The update must have moved the prediction toward the target.
+    const double pred = coeffs[0] + coeffs[1];
+    EXPECT_GT(pred, 2.5);
+}
+
+TEST(Rls, NonFiniteTargetIsIgnored)
+{
+    RlsEstimator rls(1, RlsConfig{});
+    std::vector<double> coeffs(2, 0.0);
+    for (int i = 0; i < 20; ++i)
+        rls.update(coeffs, {1.0 + 0.1 * i}, 2.0 * (1.0 + 0.1 * i));
+    const std::vector<double> before = coeffs;
+    rls.update(coeffs, {1.0}, std::nan(""));
+    EXPECT_EQ(coeffs, before);
+}
+
+TEST(Rls, TrainRoundReportsPreUpdateMse)
+{
+    RlsConfig cfg;
+    RlsEstimator rls(1, cfg);
+    std::vector<double> coeffs(2, 0.0);
+
+    MiniBatch batch(8, 1);
+    for (int i = 0; i < 8; ++i)
+        batch.push({static_cast<double>(i)},
+                   3.0 * static_cast<double>(i));
+
+    // With zero coefficients the pre-update MSE is mean(y^2).
+    double expected = 0.0;
+    for (int i = 0; i < 8; ++i)
+        expected += 9.0 * i * i;
+    expected /= 8.0;
+
+    const double mse1 = rls.trainRound(coeffs, batch);
+    EXPECT_NEAR(mse1, expected, 1e-9);
+
+    // Second identical round: the fitted model must do far better.
+    const double mse2 = rls.trainRound(coeffs, batch);
+    EXPECT_LT(mse2, 1e-3 * mse1);
+}
+
+TEST(Rls, StepsCountSamples)
+{
+    RlsEstimator rls(2, RlsConfig{});
+    std::vector<double> coeffs(3, 0.0);
+    EXPECT_EQ(rls.steps(), 0u);
+    rls.update(coeffs, {1.0, 2.0}, 3.0);
+    rls.update(coeffs, {2.0, 1.0}, 4.0);
+    EXPECT_EQ(rls.steps(), 2u);
+}
+
+TEST(Rls, ResetRestoresDiffusePrior)
+{
+    RlsConfig cfg;
+    RlsEstimator rls(1, cfg);
+    std::vector<double> coeffs(2, 0.0);
+    for (int i = 0; i < 100; ++i)
+        rls.update(coeffs, {1.0}, 1.0);
+    // After many consistent samples the gain is tiny: one
+    // contradicting sample barely moves the estimate.
+    const double before = coeffs[0] + coeffs[1];
+    rls.update(coeffs, {1.0}, 10.0);
+    EXPECT_NEAR(coeffs[0] + coeffs[1], before, 0.5);
+
+    // After reset the prior is diffuse again and one sample jumps.
+    rls.reset();
+    rls.update(coeffs, {1.0}, 10.0);
+    EXPECT_GT(coeffs[0] + coeffs[1], 5.0);
+}
+
+/** Toy damped travelling wave, as in the quickstart example. */
+struct ToySim
+{
+    long step = 0;
+
+    double
+    value(long site) const
+    {
+        const double ramp = 1.0 - std::exp(-step / 30.0);
+        return 5.0 * std::pow(0.75, site - 1) * ramp;
+    }
+};
+
+AnalysisConfig
+toyAnalysis(OptimizerKind kind)
+{
+    AnalysisConfig cfg;
+    cfg.provider = [](void *domain, long site) {
+        return static_cast<ToySim *>(domain)->value(site);
+    };
+    cfg.space = IterParam(1, 8, 1);
+    cfg.time = IterParam(10, 150, 1);
+    cfg.feature = FeatureKind::BreakpointRadius;
+    cfg.threshold = 0.4;
+    cfg.searchEnd = 20;
+    cfg.minLocation = 1;
+    cfg.ar.axis = LagAxis::Space;
+    cfg.ar.order = 2;
+    cfg.ar.batchSize = 16;
+    cfg.ar.optimizer = kind;
+    return cfg;
+}
+
+TEST(RlsIntegration, AnalysisTrainsWithRlsOptimizer)
+{
+    ToySim sim;
+    Region region("rls-integration", &sim);
+    const std::size_t id =
+        region.addAnalysis(toyAnalysis(OptimizerKind::Rls));
+
+    for (sim.step = 0; sim.step <= 150; ++sim.step) {
+        region.begin();
+        region.end();
+    }
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    EXPECT_GT(a.trainingRounds(), 0u);
+    // 5 * 0.75^(r-1) >= 0.4 up to r = 9.
+    EXPECT_NEAR(static_cast<double>(a.breakPoint().radius), 9.0, 1.0);
+}
+
+TEST(RlsIntegration, RlsAndGdAgreeOnTheToyProblem)
+{
+    auto extract = [](OptimizerKind kind) {
+        ToySim sim;
+        Region region("opt-compare", &sim);
+        const std::size_t id = region.addAnalysis(toyAnalysis(kind));
+        for (sim.step = 0; sim.step <= 150; ++sim.step) {
+            region.begin();
+            region.end();
+        }
+        return region.analysis(id).breakPoint().radius;
+    };
+
+    const long rls_radius = extract(OptimizerKind::Rls);
+    const long gd_radius = extract(OptimizerKind::MiniBatchGd);
+    EXPECT_NEAR(static_cast<double>(rls_radius),
+                static_cast<double>(gd_radius), 1.0);
+}
+
+TEST(RlsIntegration, RlsConvergesAtLeastAsFastAsGd)
+{
+    auto rounds_to_converge = [](OptimizerKind kind) {
+        ToySim sim;
+        Region region("opt-speed", &sim);
+        AnalysisConfig cfg = toyAnalysis(kind);
+        cfg.stopWhenConverged = true;
+        cfg.ar.convergeTol = 0.05;
+        const std::size_t id = region.addAnalysis(std::move(cfg));
+        for (sim.step = 0; sim.step <= 150; ++sim.step) {
+            region.begin();
+            region.end();
+            if (region.analysis(id).converged())
+                break;
+        }
+        const auto &a = region.analysis(id);
+        return a.converged() ? static_cast<long>(a.trainingRounds())
+                             : 1000L;
+    };
+
+    const long rls_rounds = rounds_to_converge(OptimizerKind::Rls);
+    const long gd_rounds =
+        rounds_to_converge(OptimizerKind::MiniBatchGd);
+    EXPECT_LE(rls_rounds, gd_rounds);
+    EXPECT_LT(rls_rounds, 1000);
+}
+
+} // namespace

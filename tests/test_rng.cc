@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the deterministic random source.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "base/rng.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 5);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 5);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasRoughlyRequestedMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(6);
+    std::vector<std::size_t> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto w = v;
+    rng.shuffle(w);
+    EXPECT_NE(v, w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng a(9);
+    Rng c1 = a.split();
+    Rng a2(9);
+    Rng c2 = a2.split();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for RunningStats, Standardizer, Matrix, and OLS.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "stats/matrix.hh"
+#include "stats/ols.hh"
+#include "stats/running_stats.hh"
+#include "stats/standardizer.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    RunningStats rs;
+    const std::vector<double> data{1.0, 4.0, -2.0, 8.0, 3.0};
+    double sum = 0.0;
+    for (double v : data) {
+        rs.push(v);
+        sum += v;
+    }
+    const double mean = sum / data.size();
+    double var = 0.0;
+    for (double v : data)
+        var += (v - mean) * (v - mean);
+    var /= data.size();
+
+    EXPECT_EQ(rs.count(), data.size());
+    EXPECT_NEAR(rs.mean(), mean, 1e-12);
+    EXPECT_NEAR(rs.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+}
+
+TEST(RunningStats, ClearResets)
+{
+    RunningStats rs;
+    rs.push(5.0);
+    rs.clear();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, NumericalStabilityWithLargeOffset)
+{
+    RunningStats rs;
+    const double offset = 1e9;
+    for (int i = 0; i < 1000; ++i)
+        rs.push(offset + (i % 2 ? 1.0 : -1.0));
+    EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+TEST(Standardizer, NormalizeRoundTrip)
+{
+    Standardizer s(2);
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        s.observe({rng.normal(5.0, 2.0), rng.normal(-3.0, 0.5)},
+                  rng.normal(100.0, 10.0));
+    }
+    std::vector<double> x{6.0, -2.8};
+    auto xn = x;
+    s.normalize(xn);
+    EXPECT_NEAR(xn[0] * s.featureStd(0) + s.featureMean(0), x[0],
+                1e-9);
+    const double y = 95.0;
+    EXPECT_NEAR(s.denormalizeTarget(s.normalizeTarget(y)), y, 1e-9);
+}
+
+TEST(Standardizer, CoefficientDenormalizationIsExact)
+{
+    Standardizer s(2);
+    Rng rng(13);
+    for (int i = 0; i < 300; ++i)
+        s.observe({rng.normal(2.0, 3.0), rng.normal(-1.0, 0.2)},
+                  rng.normal(7.0, 4.0));
+
+    const std::vector<double> coeffs_norm{0.3, -1.2, 0.7};
+    const auto raw = s.denormalizeCoefficients(coeffs_norm);
+
+    // Both forms must agree on arbitrary inputs.
+    Rng probe(17);
+    for (int i = 0; i < 20; ++i) {
+        std::vector<double> x{probe.normal(2.0, 3.0),
+                              probe.normal(-1.0, 0.2)};
+        auto xn = x;
+        s.normalize(xn);
+        const double via_norm = s.denormalizeTarget(
+            coeffs_norm[0] + coeffs_norm[1] * xn[0] +
+            coeffs_norm[2] * xn[1]);
+        const double via_raw = raw[0] + raw[1] * x[0] + raw[2] * x[1];
+        EXPECT_NEAR(via_norm, via_raw, 1e-9);
+    }
+}
+
+TEST(Matrix, IdentitySolve)
+{
+    const Matrix eye = Matrix::identity(3);
+    const std::vector<double> b{1.0, 2.0, 3.0};
+    EXPECT_EQ(eye.solveSpd(b), b);
+}
+
+TEST(Matrix, SolveKnownSpdSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 4.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 3.0;
+    // x = (1, 2): b = (6, 7).
+    const auto x = a.solveSpd({6.0, 7.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, GramAndMultiply)
+{
+    Matrix d(3, 2);
+    d.at(0, 0) = 1.0;
+    d.at(1, 0) = 2.0;
+    d.at(2, 1) = 3.0;
+    const Matrix g = d.gram();
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 1), 9.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 0.0);
+
+    const auto mv = d.multiply({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(mv[0], 1.0);
+    EXPECT_DOUBLE_EQ(mv[2], 3.0);
+
+    const auto mtv = d.multiplyTransposed({1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(mtv[0], 3.0);
+    EXPECT_DOUBLE_EQ(mtv[1], 3.0);
+}
+
+TEST(MatrixDeathTest, NonSpdPanics)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 0.0;
+    a.at(1, 1) = 1.0;
+    EXPECT_DEATH(a.solveSpd({1.0, 1.0}), "positive");
+}
+
+TEST(Ols, RecoversExactLinearModel)
+{
+    // y = 2 + 3 x0 - 0.5 x1, noiseless.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    Rng rng(23);
+    for (int i = 0; i < 60; ++i) {
+        const double x0 = rng.uniform(-5.0, 5.0);
+        const double x1 = rng.uniform(0.0, 10.0);
+        xs.push_back({x0, x1});
+        ys.push_back(2.0 + 3.0 * x0 - 0.5 * x1);
+    }
+    const OlsFit fit = fitOls(xs, ys);
+    EXPECT_NEAR(fit.coeffs[0], 2.0, 1e-6);
+    EXPECT_NEAR(fit.coeffs[1], 3.0, 1e-6);
+    EXPECT_NEAR(fit.coeffs[2], -0.5, 1e-6);
+    EXPECT_NEAR(fit.trainRmse, 0.0, 1e-6);
+}
+
+TEST(Ols, RidgeHandlesCollinearRows)
+{
+    // All rows identical: rank deficient without the ridge term.
+    std::vector<std::vector<double>> xs(20, {1.0, 1.0});
+    std::vector<double> ys(20, 3.0);
+    const OlsFit fit = fitOls(xs, ys, 1e-6);
+    EXPECT_NEAR(evalLinear(fit.coeffs, {1.0, 1.0}), 3.0, 1e-3);
+}
+
+TEST(Ols, EvalLinear)
+{
+    EXPECT_DOUBLE_EQ(evalLinear({1.0, 2.0}, {3.0}), 7.0);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit + property tests for the threshold (break-point) search and
+ * the early-stop controller.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/early_stop.hh"
+#include "core/threshold.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Attenuating profile: v(l) = 1 / l^2. */
+double
+decayProfile(long l)
+{
+    return 1.0 / static_cast<double>(l * l);
+}
+
+TEST(Threshold, FindsExactCrossing)
+{
+    // v >= 0.01 up to l = 10.
+    ThresholdExtractor x(0.01, 4);
+    const BreakPoint bp = x.find(decayProfile, 1, 30);
+    EXPECT_EQ(bp.radius, 10);
+    EXPECT_FALSE(bp.clamped);
+    EXPECT_DOUBLE_EQ(bp.value, decayProfile(10));
+}
+
+TEST(Threshold, ClampsWhenNeverBelowThreshold)
+{
+    ThresholdExtractor x(1e-9, 4);
+    const BreakPoint bp = x.find(decayProfile, 1, 30);
+    EXPECT_EQ(bp.radius, 30);
+    EXPECT_TRUE(bp.clamped);
+}
+
+TEST(Threshold, ImmediateBelowReturnsLowerBound)
+{
+    ThresholdExtractor x(10.0, 4);
+    const BreakPoint bp = x.find(decayProfile, 2, 30);
+    EXPECT_EQ(bp.radius, 2);
+    EXPECT_FALSE(bp.clamped);
+}
+
+TEST(Threshold, CoarseToFineUsesFewerEvaluationsThanLinear)
+{
+    ThresholdExtractor coarse(1e-3, 8);
+    const BreakPoint bp = coarse.find(decayProfile, 1, 1000);
+    EXPECT_EQ(bp.radius, 31); // 1/31^2 = 1.04e-3 >= 1e-3
+    EXPECT_LT(bp.evaluations, 31);
+}
+
+TEST(ThresholdDeathTest, BadRangesPanic)
+{
+    ThresholdExtractor x(0.1, 4);
+    EXPECT_DEATH(x.find(decayProfile, 10, 5), "empty");
+    EXPECT_DEATH(ThresholdExtractor(0.1, 0), "coarse");
+}
+
+/** Property: the coarse-to-fine result equals a plain linear scan
+ *  for any coarse step and threshold. */
+struct ThresholdCase
+{
+    double threshold;
+    long coarse;
+};
+
+class ThresholdProperty
+    : public ::testing::TestWithParam<ThresholdCase>
+{
+};
+
+TEST_P(ThresholdProperty, MatchesLinearScan)
+{
+    const auto c = GetParam();
+    ThresholdExtractor x(c.threshold, c.coarse);
+    const BreakPoint bp = x.find(decayProfile, 1, 200);
+
+    long linear = 0;
+    for (long l = 1; l <= 200; ++l) {
+        if (decayProfile(l) >= c.threshold)
+            linear = l;
+        else
+            break;
+    }
+    if (linear == 200) {
+        EXPECT_TRUE(bp.clamped);
+        EXPECT_EQ(bp.radius, 200);
+    } else {
+        EXPECT_EQ(bp.radius, linear);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ThresholdProperty,
+    ::testing::Values(ThresholdCase{0.5, 1}, ThresholdCase{0.01, 3},
+                      ThresholdCase{0.0004, 4},
+                      ThresholdCase{1e-4, 7},
+                      ThresholdCase{1e-5, 16},
+                      ThresholdCase{1e-9, 5}));
+
+TEST(EarlyStop, RequiresPatienceAndMinBatches)
+{
+    EarlyStop es(0.01, 3, 5);
+    // Three good rounds, but fewer than minBatches total.
+    es.update(0.001);
+    es.update(0.001);
+    es.update(0.001);
+    EXPECT_FALSE(es.converged());
+    es.update(0.5); // breaks the streak
+    es.update(0.001);
+    es.update(0.001);
+    EXPECT_FALSE(es.converged());
+    es.update(0.001); // round 7, streak 3 -> converged
+    EXPECT_TRUE(es.converged());
+    EXPECT_EQ(es.rounds(), 7u);
+}
+
+TEST(EarlyStop, StaysConvergedOnceFired)
+{
+    EarlyStop es(0.01, 1, 1);
+    es.update(0.001);
+    EXPECT_TRUE(es.converged());
+    es.update(100.0);
+    EXPECT_TRUE(es.converged());
+}
+
+TEST(EarlyStop, NeverConvergesAboveTolerance)
+{
+    EarlyStop es(0.01, 2, 2);
+    for (int i = 0; i < 50; ++i)
+        es.update(0.02);
+    EXPECT_FALSE(es.converged());
+    EXPECT_EQ(es.streak(), 0u);
+}
+
+TEST(EarlyStopDeathTest, BadParamsPanic)
+{
+    EXPECT_DEATH(EarlyStop(-1.0, 1, 1), "tolerance");
+    EXPECT_DEATH(EarlyStop(0.1, 0, 1), "patience");
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit + property tests for variable tracking (the paper's k1/k2/k3
+ * scheme): streaming extrema, batch extrema, inflection points, and
+ * the delay-time gradient-change detector.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/tracker.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+TEST(Tracker, StreamingDetectsSinglePeak)
+{
+    // 0 1 2 3 2 1 -> peak value 3 at index 3.
+    VariableTracker t;
+    const std::vector<double> v{0, 1, 2, 3, 2, 1};
+    int peaks = 0;
+    for (double x : v)
+        if (t.push(x) == 1)
+            ++peaks;
+    EXPECT_EQ(peaks, 1);
+    EXPECT_EQ(t.lastExtremumIndex(), 3u);
+    EXPECT_DOUBLE_EQ(t.lastExtremumValue(), 3.0);
+}
+
+TEST(Tracker, StreamingDetectsTrough)
+{
+    VariableTracker t;
+    const std::vector<double> v{3, 2, 1, 2, 3};
+    int troughs = 0;
+    for (double x : v)
+        if (t.push(x) == -1)
+            ++troughs;
+    EXPECT_EQ(troughs, 1);
+    EXPECT_EQ(t.lastExtremumIndex(), 2u);
+    EXPECT_DOUBLE_EQ(t.lastExtremumValue(), 1.0);
+}
+
+TEST(Tracker, MonotoneSeriesHasNoExtrema)
+{
+    EXPECT_TRUE(VariableTracker::localMaxima({1, 2, 3, 4, 5}).empty());
+    EXPECT_TRUE(VariableTracker::localMinima({5, 4, 3, 2, 1}).empty());
+}
+
+TEST(Tracker, PlateauPeakIsDetectedOnce)
+{
+    // Rise, flat top, fall: k2 > 0 then k3 == 0 flags the plateau
+    // entrance (k3 <= 0 per the paper's rule).
+    const auto maxima = VariableTracker::localMaxima({0, 1, 2, 2, 1});
+    ASSERT_EQ(maxima.size(), 1u);
+    EXPECT_DOUBLE_EQ(maxima[0].value, 2.0);
+}
+
+TEST(Tracker, SineWavePeaksAndTroughs)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 200; ++i)
+        s.push_back(std::sin(2.0 * M_PI * i / 50.0));
+    const auto maxima = VariableTracker::localMaxima(s);
+    const auto minima = VariableTracker::localMinima(s);
+    EXPECT_EQ(maxima.size(), 4u);
+    EXPECT_EQ(minima.size(), 4u);
+    for (const auto &p : maxima)
+        EXPECT_NEAR(p.value, 1.0, 0.01);
+    for (const auto &p : minima)
+        EXPECT_NEAR(p.value, -1.0, 0.01);
+}
+
+TEST(Tracker, InflectionOfLogisticNearMidpoint)
+{
+    // Logistic curve: inflection at t = 50 where the slope peaks.
+    std::vector<double> s;
+    for (int i = 0; i < 100; ++i)
+        s.push_back(1.0 / (1.0 + std::exp(-(i - 50.0) / 8.0)));
+    const auto infl = VariableTracker::inflections(s);
+    ASSERT_FALSE(infl.empty());
+    bool near_mid = false;
+    for (const auto &p : infl)
+        if (std::abs(static_cast<long>(p.index) - 50) <= 2)
+            near_mid = true;
+    EXPECT_TRUE(near_mid);
+}
+
+TEST(Tracker, StrongestGradientChangeFindsKink)
+{
+    // Piecewise linear: slope 1 then slope 0 after index 30.
+    std::vector<double> s;
+    for (int i = 0; i < 60; ++i)
+        s.push_back(i < 30 ? static_cast<double>(i) : 30.0);
+    const auto p = VariableTracker::strongestGradientChange(s, 1);
+    EXPECT_NEAR(static_cast<double>(p.index), 30.0, 1.0);
+}
+
+TEST(Tracker, SmoothingSuppressesNoiseInKinkDetection)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 80; ++i) {
+        const double base = i < 40 ? 0.5 * i : 20.0;
+        // Deterministic "noise" that alternates sign.
+        const double noise = 0.2 * ((i % 2) ? 1.0 : -1.0);
+        s.push_back(base + noise);
+    }
+    const auto smooth = VariableTracker::strongestGradientChange(s, 7);
+    EXPECT_NEAR(static_cast<double>(smooth.index), 40.0, 4.0);
+}
+
+TEST(Tracker, SmoothIsIdentityForWindowOne)
+{
+    const std::vector<double> s{1, 5, 2};
+    EXPECT_EQ(VariableTracker::smooth(s, 1), s);
+    const auto w3 = VariableTracker::smooth(s, 3);
+    EXPECT_NEAR(w3[1], (1 + 5 + 2) / 3.0, 1e-12);
+    // Edges average the available samples only.
+    EXPECT_NEAR(w3[0], 3.0, 1e-12);
+}
+
+TEST(TrackerDeathTest, TooShortSeriesPanics)
+{
+    EXPECT_DEATH(VariableTracker::strongestGradientChange({1.0, 2.0}),
+                 ">= 3");
+}
+
+/** Property: for any sine period, peak count matches cycles. */
+class TrackerPeriodProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrackerPeriodProperty, PeakCountMatchesCycles)
+{
+    const int period = GetParam();
+    const int cycles = 3;
+    std::vector<double> s;
+    for (int i = 0; i < period * cycles; ++i)
+        s.push_back(std::sin(2.0 * M_PI * i / period));
+    EXPECT_EQ(VariableTracker::localMaxima(s).size(),
+              static_cast<std::size_t>(cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, TrackerPeriodProperty,
+                         ::testing::Values(16, 25, 50, 100));
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the WD-merger application: binary assembly, inspiral,
+ * merger, detonation, and the four diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wdmerger/app.hh"
+
+namespace
+{
+
+using namespace tdfe;
+using namespace tdfe::wd;
+
+WdMergerConfig
+tinyConfig()
+{
+    WdMergerConfig cfg;
+    cfg.resolution = 6;
+    cfg.tEnd = 45.0;
+    cfg.relaxSteps = 40;
+    return cfg;
+}
+
+TEST(WdMergerApp, BinaryAssembly)
+{
+    WdMergerConfig cfg = tinyConfig();
+    WdMergerApp app(cfg);
+
+    EXPECT_FALSE(app.finished());
+    EXPECT_NEAR(app.system().totalMass(), cfg.m1 + cfg.m2, 1e-9);
+    EXPECT_NEAR(app.bodySeparation(), cfg.separation, 0.05);
+    // Orbiting binary carries positive angular momentum.
+    EXPECT_GT(app.system().angularMomentumZ(), 0.0);
+    // One diagnostic row is recorded at t = 0.
+    EXPECT_EQ(app.history(DiagVar::Mass).size(), 1u);
+    EXPECT_EQ(app.dumpIndex(), 1);
+    EXPECT_STREQ(diagName(DiagVar::Temperature), "Temperature");
+}
+
+TEST(WdMergerApp, FullScenarioMergesAndDetonates)
+{
+    WdMergerConfig cfg = tinyConfig();
+    WdMergerApp app(cfg);
+    while (!app.finished())
+        app.advanceDump();
+
+    EXPECT_TRUE(app.merged());
+    EXPECT_TRUE(app.detonated());
+    EXPECT_GT(app.mergeTime(), 5.0);
+    EXPECT_LT(app.mergeTime(), 40.0);
+    EXPECT_GT(app.detonationTime(), app.mergeTime());
+
+    const auto &mass = app.history(DiagVar::Mass);
+    const auto &lz = app.history(DiagVar::AngularMomentum);
+    const auto &temp = app.history(DiagVar::Temperature);
+    const auto &energy = app.history(DiagVar::Energy);
+    ASSERT_EQ(mass.size(), 46u); // t=0 plus one per dump
+    ASSERT_EQ(lz.size(), temp.size());
+    ASSERT_EQ(energy.size(), mass.size());
+
+    // Bound mass drops after detonation (ejecta).
+    EXPECT_LT(mass.back(), mass.front() - 0.05);
+    // Angular momentum decays during inspiral.
+    const std::size_t pre =
+        static_cast<std::size_t>(app.mergeTime()) - 2;
+    EXPECT_LT(lz[pre], lz[1]);
+    // Detonation heats the remnant.
+    EXPECT_GT(temp.back(), 1.5 * temp.front());
+    // Detonation energy raises the total energy.
+    EXPECT_GT(energy.back(), energy.front());
+}
+
+TEST(WdMergerApp, DiagnosticsShowInflectionNearDetonation)
+{
+    WdMergerConfig cfg = tinyConfig();
+    WdMergerApp app(cfg);
+    while (!app.finished())
+        app.advanceDump();
+    ASSERT_TRUE(app.detonated());
+
+    // The strongest gradient change of each diagnostic should land
+    // near the merger/detonation window.
+    for (const DiagVar v :
+         {DiagVar::Temperature, DiagVar::Mass, DiagVar::Energy}) {
+        const auto &h = app.history(v);
+        double best = -1.0;
+        std::size_t best_idx = 0;
+        for (std::size_t i = 1; i + 1 < h.size(); ++i) {
+            const double change =
+                std::abs((h[i + 1] - h[i]) - (h[i] - h[i - 1]));
+            if (change > best) {
+                best = change;
+                best_idx = i;
+            }
+        }
+        const double t_feature =
+            static_cast<double>(best_idx) * cfg.dumpInterval;
+        EXPECT_NEAR(t_feature, app.detonationTime(), 5.0)
+            << diagName(v);
+    }
+}
+
+TEST(WdMergerApp, DeterministicAcrossRuns)
+{
+    WdMergerConfig cfg = tinyConfig();
+    cfg.tEnd = 12.0;
+    WdMergerApp a(cfg), b(cfg);
+    while (!a.finished())
+        a.advanceDump();
+    while (!b.finished())
+        b.advanceDump();
+    const auto &ha = a.history(DiagVar::Energy);
+    const auto &hb = b.history(DiagVar::Energy);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (std::size_t i = 0; i < ha.size(); ++i)
+        EXPECT_DOUBLE_EQ(ha[i], hb[i]);
+}
+
+} // namespace
