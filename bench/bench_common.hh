@@ -10,7 +10,10 @@
 #define TDFE_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "base/cli.hh"
 #include "base/logging.hh"
@@ -84,6 +87,91 @@ banner(const std::string &what, const std::string &scale_note)
 {
     std::printf("== %s ==\n", what.c_str());
     std::printf("-- %s\n", scale_note.c_str());
+}
+
+/**
+ * One benchmark measurement: a named record holding numeric metrics
+ * (timings, speedups, digests) and free-form string notes.
+ */
+struct BenchRecord
+{
+    std::string name;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> notes;
+};
+
+/**
+ * Serialize benchmark results to a JSON file (the schema PERF.md
+ * documents): `{"meta": {...}, "records": [{"name", "metrics",
+ * "notes"}, ...]}`. Values are emitted with enough digits to
+ * round-trip doubles, so baselines diff cleanly between runs.
+ *
+ * @return true when the file was written.
+ */
+inline bool
+bench_to_json(const std::string &path,
+              const std::map<std::string, std::string> &meta,
+              const std::vector<BenchRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+
+    auto esc = [](const std::string &s) {
+        std::string r;
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                r += '\\';
+                r += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                // RFC 8259: control characters must be escaped.
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+        return r;
+    };
+    auto num = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return std::string(buf);
+    };
+
+    out << "{\n  \"meta\": {";
+    bool first = true;
+    for (const auto &kv : meta) {
+        out << (first ? "" : ",") << "\n    \"" << esc(kv.first)
+            << "\": \"" << esc(kv.second) << "\"";
+        first = false;
+    }
+    out << "\n  },\n  \"records\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord &r = records[i];
+        out << (i ? "," : "") << "\n    {\n      \"name\": \""
+            << esc(r.name) << "\",\n      \"metrics\": {";
+        first = true;
+        for (const auto &kv : r.metrics) {
+            out << (first ? "" : ",") << "\n        \""
+                << esc(kv.first) << "\": " << num(kv.second);
+            first = false;
+        }
+        out << "\n      },\n      \"notes\": {";
+        first = true;
+        for (const auto &kv : r.notes) {
+            out << (first ? "" : ",") << "\n        \""
+                << esc(kv.first) << "\": \"" << esc(kv.second)
+                << "\"";
+            first = false;
+        }
+        out << "\n      }\n    }";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
 }
 
 } // namespace bench

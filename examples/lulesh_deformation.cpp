@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "blastapp/domain.hh"
 #include "core/td_api.h"

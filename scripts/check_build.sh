@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite
+# (including the bench_smoke label that exercises the bench binaries).
+# This is the command CI and the roadmap's "tier-1 verify" refer to.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)" "$@"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace tdfe
 {
@@ -16,6 +17,34 @@ namespace
 
 /** Smallest admissible density / specific energy (vacuum guard). */
 constexpr double fieldFloor = 1e-12;
+
+/**
+ * Rows per parallel chunk. Fixed (never derived from the thread
+ * count) so the dt reduction's chunking — and therefore its result —
+ * is identical for every pool size.
+ */
+constexpr std::size_t rowGrain = 4;
+
+/** Cells per chunk for flat (whole-array) loops. */
+constexpr std::size_t flatGrain = 4096;
+
+/**
+ * Run @p fn(j) for j in [j_begin, j_end) on the global pool. Rows
+ * are the parallel unit everywhere in this solver: every kernel
+ * writes only to its own row of the cell or node arrays.
+ */
+template <typename Fn>
+void
+forRows(int j_begin, int j_end, Fn &&fn)
+{
+    const std::size_t n =
+        j_end > j_begin ? static_cast<std::size_t>(j_end - j_begin)
+                        : 0;
+    parallelForRange(n, rowGrain, [&](std::size_t b, std::size_t e) {
+        for (std::size_t r = b; r < e; ++r)
+            fn(j_begin + static_cast<int>(r));
+    });
+}
 
 } // namespace
 
@@ -157,10 +186,17 @@ void
 CloverSolver2D::idealGas()
 {
     const std::size_t nc = rho0_.size();
-    for (std::size_t c = 0; c < nc; ++c) {
-        p_[c] = eos_.pressure(rho0_[c], e0_[c]);
-        cs_[c] = eos_.soundSpeed(rho0_[c], p_[c]);
-    }
+    const double *rho = rho0_.data();
+    const double *e = e0_.data();
+    double *p = p_.data();
+    double *cs = cs_.data();
+    parallelForRange(nc, flatGrain,
+                     [&](std::size_t b, std::size_t end) {
+                         for (std::size_t c = b; c < end; ++c) {
+                             p[c] = eos_.pressure(rho[c], e[c]);
+                             cs[c] = eos_.soundSpeed(rho[c], p[c]);
+                         }
+                     });
 }
 
 namespace
@@ -210,26 +246,31 @@ CloverSolver2D::updateHalo()
 void
 CloverSolver2D::viscosity()
 {
-    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+    forRows(ghosts, ghosts + cfg.ny, [&](int j) {
+        // Flattened row bases: cells of row j, nodes of rows j/j+1.
+        double *qr = q_.data() + cid(0, j);
+        const double *rr = rho0_.data() + cid(0, j);
+        const double *cr = cs_.data() + cid(0, j);
+        const double *vx0 = vx_.data() + nid(0, j);
+        const double *vx1 = vx_.data() + nid(0, j + 1);
+        const double *vy0 = vy_.data() + nid(0, j);
+        const double *vy1 = vy_.data() + nid(0, j + 1);
         for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
             // Velocity jumps across the cell (face-averaged).
-            const double du =
-                0.5 * (vx_[nid(i + 1, j)] + vx_[nid(i + 1, j + 1)] -
-                       vx_[nid(i, j)] - vx_[nid(i, j + 1)]);
-            const double dv =
-                0.5 * (vy_[nid(i, j + 1)] + vy_[nid(i + 1, j + 1)] -
-                       vy_[nid(i, j)] - vy_[nid(i + 1, j)]);
+            const double du = 0.5 * (vx0[i + 1] + vx1[i + 1] -
+                                     vx0[i] - vx1[i]);
+            const double dv = 0.5 * (vy1[i] + vy1[i + 1] -
+                                     vy0[i] - vy0[i + 1]);
             const double jump = du + dv;
             if (jump < 0.0) {
-                q_[c] = rho0_[c] *
+                qr[i] = rr[i] *
                         (cfg.cvisc2 * jump * jump +
-                         cfg.cvisc1 * cs_[c] * std::fabs(jump));
+                         cfg.cvisc1 * cr[i] * std::fabs(jump));
             } else {
-                q_[c] = 0.0;
+                qr[i] = 0.0;
             }
         }
-    }
+    });
     haloFillCell(q_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
 }
 
@@ -240,28 +281,42 @@ CloverSolver2D::calcDt()
     idealGas();
     viscosity();
 
-    double dt = lastDt > 0.0 ? lastDt * cfg.dtGrowth : cfg.dtInit;
-    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
-        for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
-            const double cs2 =
-                cs_[c] * cs_[c] + 2.0 * q_[c] / rho0_[c];
-            const double cs_eff = std::sqrt(cs2);
-            const double u = 0.25 *
-                (std::fabs(vx_[nid(i, j)]) +
-                 std::fabs(vx_[nid(i + 1, j)]) +
-                 std::fabs(vx_[nid(i, j + 1)]) +
-                 std::fabs(vx_[nid(i + 1, j + 1)]));
-            const double v = 0.25 *
-                (std::fabs(vy_[nid(i, j)]) +
-                 std::fabs(vy_[nid(i + 1, j)]) +
-                 std::fabs(vy_[nid(i, j + 1)]) +
-                 std::fabs(vy_[nid(i + 1, j + 1)]));
-            const double dt_x = cfg.dx / (cs_eff + u + 1e-30);
-            const double dt_y = cfg.dy / (cs_eff + v + 1e-30);
-            dt = std::min(dt, cfg.cfl * std::min(dt_x, dt_y));
-        }
-    }
+    const double dt0 =
+        lastDt > 0.0 ? lastDt * cfg.dtGrowth : cfg.dtInit;
+    // Per-row CFL minima, combined by min: bitwise identical for any
+    // chunking or thread count.
+    const double dt = parallelReduce(
+        static_cast<std::size_t>(cfg.ny), rowGrain, dt0,
+        [&](std::size_t rb, std::size_t re) {
+            double best = dt0;
+            for (std::size_t r = rb; r < re; ++r) {
+                const int j = ghosts + static_cast<int>(r);
+                const double *cr = cs_.data() + cid(0, j);
+                const double *qr = q_.data() + cid(0, j);
+                const double *rr = rho0_.data() + cid(0, j);
+                const double *vx0 = vx_.data() + nid(0, j);
+                const double *vx1 = vx_.data() + nid(0, j + 1);
+                const double *vy0 = vy_.data() + nid(0, j);
+                const double *vy1 = vy_.data() + nid(0, j + 1);
+                for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
+                    const double cs2 =
+                        cr[i] * cr[i] + 2.0 * qr[i] / rr[i];
+                    const double cs_eff = std::sqrt(cs2);
+                    const double u = 0.25 *
+                        (std::fabs(vx0[i]) + std::fabs(vx0[i + 1]) +
+                         std::fabs(vx1[i]) + std::fabs(vx1[i + 1]));
+                    const double v = 0.25 *
+                        (std::fabs(vy0[i]) + std::fabs(vy0[i + 1]) +
+                         std::fabs(vy1[i]) + std::fabs(vy1[i + 1]));
+                    const double dt_x = cfg.dx / (cs_eff + u + 1e-30);
+                    const double dt_y = cfg.dy / (cs_eff + v + 1e-30);
+                    best = std::min(
+                        best, cfg.cfl * std::min(dt_x, dt_y));
+                }
+            }
+            return best;
+        },
+        [](double a, double b) { return std::min(a, b); });
     TDFE_ASSERT(dt > 0.0 && std::isfinite(dt),
                 "clover2d produced a non-positive timestep");
     return dt;
@@ -310,31 +365,45 @@ CloverSolver2D::accelerate(double dt)
 
     const double inv_dx = 1.0 / cfg.dx;
     const double inv_dy = 1.0 / cfg.dy;
-    for (int j = ghosts; j <= ghosts + cfg.ny; ++j) {
+    forRows(ghosts, ghosts + cfg.ny + 1, [&](int j) {
+        double *vxr = vx_.data() + nid(0, j);
+        double *vyr = vy_.data() + nid(0, j);
+        const double *rho_s = rho0_.data() + cid(0, j - 1);
+        const double *rho_n = rho0_.data() + cid(0, j);
+        const double *p_s = p_.data() + cid(0, j - 1);
+        const double *p_n = p_.data() + cid(0, j);
+        const double *q_s = q_.data() + cid(0, j - 1);
+        const double *q_n = q_.data() + cid(0, j);
         for (int i = ghosts; i <= ghosts + cfg.nx; ++i) {
-            const std::size_t sw = cid(i - 1, j - 1);
-            const std::size_t se = cid(i, j - 1);
-            const std::size_t nw = cid(i - 1, j);
-            const std::size_t ne = cid(i, j);
-            const double rho_n = 0.25 * (rho0_[sw] + rho0_[se] +
-                                         rho0_[nw] + rho0_[ne]);
+            const double pq_sw = p_s[i - 1] + q_s[i - 1];
+            const double pq_se = p_s[i] + q_s[i];
+            const double pq_nw = p_n[i - 1] + q_n[i - 1];
+            const double pq_ne = p_n[i] + q_n[i];
+            const double rho_node =
+                0.25 * (rho_s[i - 1] + rho_s[i] + rho_n[i - 1] +
+                        rho_n[i]);
             const double dpqdx =
-                0.5 * ((p_[se] + q_[se] + p_[ne] + q_[ne]) -
-                       (p_[sw] + q_[sw] + p_[nw] + q_[nw])) * inv_dx;
+                0.5 * ((pq_se + pq_ne) - (pq_sw + pq_nw)) * inv_dx;
             const double dpqdy =
-                0.5 * ((p_[nw] + q_[nw] + p_[ne] + q_[ne]) -
-                       (p_[sw] + q_[sw] + p_[se] + q_[se])) * inv_dy;
-            vx_[nid(i, j)] -= dt * dpqdx / rho_n;
-            vy_[nid(i, j)] -= dt * dpqdy / rho_n;
+                0.5 * ((pq_nw + pq_ne) - (pq_sw + pq_se)) * inv_dy;
+            vxr[i] -= dt * dpqdx / rho_node;
+            vyr[i] -= dt * dpqdy / rho_node;
         }
-    }
+    });
     applyVelocityBc();
 
     const std::size_t nn = vx_.size();
-    for (std::size_t n = 0; n < nn; ++n) {
-        vxBar[n] = 0.5 * (vxBar[n] + vx_[n]);
-        vyBar[n] = 0.5 * (vyBar[n] + vy_[n]);
-    }
+    double *vxb = vxBar.data();
+    double *vyb = vyBar.data();
+    const double *vx = vx_.data();
+    const double *vy = vy_.data();
+    parallelForRange(nn, flatGrain,
+                     [&](std::size_t b, std::size_t e) {
+                         for (std::size_t n = b; n < e; ++n) {
+                             vxb[n] = 0.5 * (vxb[n] + vx[n]);
+                             vyb[n] = 0.5 * (vyb[n] + vy[n]);
+                         }
+                     });
 }
 
 void
@@ -342,32 +411,40 @@ CloverSolver2D::fluxCalc(double dt)
 {
     // Face volume fluxes from time-centered node velocities; the
     // extended range (one ghost ring) also feeds the momentum remap.
-    for (int j = ghosts - 1; j < ghosts + cfg.ny + 1; ++j) {
-        for (int i = ghosts - 1; i < ghosts + cfg.nx + 2; ++i) {
-            volFluxX[nid(i, j)] =
-                0.5 * dt * cfg.dy *
-                (vxBar[nid(i, j)] + vxBar[nid(i, j + 1)]);
-        }
-    }
-    for (int j = ghosts - 1; j < ghosts + cfg.ny + 2; ++j) {
-        for (int i = ghosts - 1; i < ghosts + cfg.nx + 1; ++i) {
-            volFluxY[nid(i, j)] =
-                0.5 * dt * cfg.dx *
-                (vyBar[nid(i, j)] + vyBar[nid(i + 1, j)]);
-        }
-    }
+    const double hdt_dy = 0.5 * dt * cfg.dy;
+    const double hdt_dx = 0.5 * dt * cfg.dx;
+    forRows(ghosts - 1, ghosts + cfg.ny + 1, [&](int j) {
+        double *fx = volFluxX.data() + nid(0, j);
+        const double *vb0 = vxBar.data() + nid(0, j);
+        const double *vb1 = vxBar.data() + nid(0, j + 1);
+        for (int i = ghosts - 1; i < ghosts + cfg.nx + 2; ++i)
+            fx[i] = hdt_dy * (vb0[i] + vb1[i]);
+    });
+    forRows(ghosts - 1, ghosts + cfg.ny + 2, [&](int j) {
+        double *fy = volFluxY.data() + nid(0, j);
+        const double *vb = vyBar.data() + nid(0, j);
+        for (int i = ghosts - 1; i < ghosts + cfg.nx + 1; ++i)
+            fy[i] = hdt_dx * (vb[i] + vb[i + 1]);
+    });
 }
 
 void
 CloverSolver2D::pdv()
 {
     const double vol = cfg.dx * cfg.dy;
-    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+    forRows(ghosts, ghosts + cfg.ny, [&](int j) {
+        double *rho1 = rho1_.data() + cid(0, j);
+        double *e1 = e1_.data() + cid(0, j);
+        const double *rho0 = rho0_.data() + cid(0, j);
+        const double *e0 = e0_.data() + cid(0, j);
+        const double *pr = p_.data() + cid(0, j);
+        const double *qr = q_.data() + cid(0, j);
+        const double *fx = volFluxX.data() + nid(0, j);
+        const double *fy0 = volFluxY.data() + nid(0, j);
+        const double *fy1 = volFluxY.data() + nid(0, j + 1);
         for (int i = ghosts; i < ghosts + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
             const double total_flux =
-                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)] +
-                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
+                fx[i + 1] - fx[i] + fy1[i] - fy0[i];
             double vol_lagr = vol + total_flux;
             if (vol_lagr < 0.1 * vol) {
                 TDFE_WARN("clover2d: clamped collapsing cell (",
@@ -375,12 +452,12 @@ CloverSolver2D::pdv()
                           cycleCount);
                 vol_lagr = 0.1 * vol;
             }
-            rho1_[c] = std::max(rho0_[c] * vol / vol_lagr, fieldFloor);
+            rho1[i] = std::max(rho0[i] * vol / vol_lagr, fieldFloor);
             const double de =
-                (p_[c] + q_[c]) * total_flux / (rho0_[c] * vol);
-            e1_[c] = std::max(e0_[c] - de, fieldFloor);
+                (pr[i] + qr[i]) * total_flux / (rho0[i] * vol);
+            e1[i] = std::max(e0[i] - de, fieldFloor);
         }
-    }
+    });
     haloFillCell(rho1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
     haloFillCell(e1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
 }
@@ -400,58 +477,72 @@ CloverSolver2D::advectCellX()
     // The first sweep of a cycle starts from the fully-expanded
     // Lagrangian volume (both directions' fluxes); the second sweep
     // only has its own direction left to remap.
-    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+    forRows(g - 1, g + cfg.ny + 1, [&](int j) {
+        double *pre = preVol.data() + cid(0, j);
+        double *post = postVol.data() + cid(0, j);
+        const double *fvx = volFluxX.data() + nid(0, j);
+        const double *fvy0 = volFluxY.data() + nid(0, j);
+        const double *fvy1 = volFluxY.data() + nid(0, j + 1);
         for (int i = g - 1; i <= g + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
-            const double fx =
-                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)];
-            const double fy =
-                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
-            preVol[c] = vol + fx + (first_sweep ? fy : 0.0);
-            postVol[c] = preVol[c] - fx;
+            const double fx = fvx[i + 1] - fvx[i];
+            const double fy = fvy1[i] - fvy0[i];
+            pre[i] = vol + fx + (first_sweep ? fy : 0.0);
+            post[i] = pre[i] - fx;
         }
-    }
+    });
 
     // Donor-cell mass and internal-energy fluxes, all from
     // pre-update values so the update loop below has no ordering
     // hazard.
-    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+    forRows(g - 1, g + cfg.ny + 1, [&](int j) {
+        double *mfx = massFluxX.data() + nid(0, j);
+        double *ef = eFlux.data() + nid(0, j);
+        const double *fvx = volFluxX.data() + nid(0, j);
+        const double *rho1 = rho1_.data() + cid(0, j);
+        const double *e1 = e1_.data() + cid(0, j);
         for (int i = g - 1; i <= g + cfg.nx + 1; ++i) {
-            const double vf = volFluxX[nid(i, j)];
-            const std::size_t donor =
-                vf > 0.0 ? cid(i - 1, j) : cid(i, j);
-            massFluxX[nid(i, j)] = vf * rho1_[donor];
-            eFlux[nid(i, j)] = massFluxX[nid(i, j)] * e1_[donor];
+            const double vf = fvx[i];
+            const int donor = vf > 0.0 ? i - 1 : i;
+            mfx[i] = vf * rho1[donor];
+            ef[i] = mfx[i] * e1[donor];
         }
-    }
+    });
 
     // Node masses on the Lagrangian volumes, for the momentum remap.
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *nm = nodeMass0.data() + nid(0, j);
+        const double *rho_s = rho1_.data() + cid(0, j - 1);
+        const double *rho_n = rho1_.data() + cid(0, j);
+        const double *pre_s = preVol.data() + cid(0, j - 1);
+        const double *pre_n = preVol.data() + cid(0, j);
         for (int i = g; i <= g + cfg.nx; ++i) {
-            nodeMass0[nid(i, j)] = 0.25 *
-                (rho1_[cid(i - 1, j - 1)] * preVol[cid(i - 1, j - 1)] +
-                 rho1_[cid(i, j - 1)] * preVol[cid(i, j - 1)] +
-                 rho1_[cid(i - 1, j)] * preVol[cid(i - 1, j)] +
-                 rho1_[cid(i, j)] * preVol[cid(i, j)]);
+            nm[i] = 0.25 * (rho_s[i - 1] * pre_s[i - 1] +
+                            rho_s[i] * pre_s[i] +
+                            rho_n[i - 1] * pre_n[i - 1] +
+                            rho_n[i] * pre_n[i]);
         }
-    }
+    });
 
     // Conservative remap of mass and internal energy.
-    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+    forRows(g - 1, g + cfg.ny + 1, [&](int j) {
+        double *rho1 = rho1_.data() + cid(0, j);
+        double *e1 = e1_.data() + cid(0, j);
+        const double *pre = preVol.data() + cid(0, j);
+        const double *post = postVol.data() + cid(0, j);
+        const double *mfx = massFluxX.data() + nid(0, j);
+        const double *ef = eFlux.data() + nid(0, j);
         for (int i = g - 1; i <= g + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
-            const double pre_mass = rho1_[c] * preVol[c];
-            const double post_mass = pre_mass + massFluxX[nid(i, j)] -
-                                     massFluxX[nid(i + 1, j)];
-            const double post_energy = e1_[c] * pre_mass +
-                                       eFlux[nid(i, j)] -
-                                       eFlux[nid(i + 1, j)];
-            rho1_[c] = std::max(post_mass / postVol[c], fieldFloor);
-            e1_[c] = std::max(
+            const double pre_mass = rho1[i] * pre[i];
+            const double post_mass =
+                pre_mass + mfx[i] - mfx[i + 1];
+            const double post_energy =
+                e1[i] * pre_mass + ef[i] - ef[i + 1];
+            rho1[i] = std::max(post_mass / post[i], fieldFloor);
+            e1[i] = std::max(
                 post_energy / std::max(post_mass, fieldFloor),
                 fieldFloor);
         }
-    }
+    });
 }
 
 void
@@ -460,46 +551,52 @@ CloverSolver2D::advectMomX()
     const int g = ghosts;
 
     // Node masses after the cell remap.
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *nm = nodeMass1.data() + nid(0, j);
+        const double *rho_s = rho1_.data() + cid(0, j - 1);
+        const double *rho_n = rho1_.data() + cid(0, j);
+        const double *post_s = postVol.data() + cid(0, j - 1);
+        const double *post_n = postVol.data() + cid(0, j);
         for (int i = g; i <= g + cfg.nx; ++i) {
-            nodeMass1[nid(i, j)] = 0.25 *
-                (rho1_[cid(i - 1, j - 1)] * postVol[cid(i - 1, j - 1)] +
-                 rho1_[cid(i, j - 1)] * postVol[cid(i, j - 1)] +
-                 rho1_[cid(i - 1, j)] * postVol[cid(i - 1, j)] +
-                 rho1_[cid(i, j)] * postVol[cid(i, j)]);
+            nm[i] = 0.25 * (rho_s[i - 1] * post_s[i - 1] +
+                            rho_s[i] * post_s[i] +
+                            rho_n[i - 1] * post_n[i - 1] +
+                            rho_n[i] * post_n[i]);
         }
-    }
+    });
 
     // Donor velocities come from a frozen copy of the node fields.
     vxBar = vx_;
     vyBar = vy_;
 
-    // Node-control-volume mass flux across the face between nodes
-    // (i-1, j) and (i, j): interpolated from the four surrounding
-    // cell-face mass fluxes.
-    auto node_flux = [this](int i, int j) {
-        return 0.25 * (massFluxX[nid(i - 1, j - 1)] +
-                       massFluxX[nid(i, j - 1)] +
-                       massFluxX[nid(i - 1, j)] + massFluxX[nid(i, j)]);
-    };
-
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *vxr = vx_.data() + nid(0, j);
+        double *vyr = vy_.data() + nid(0, j);
+        const double *vbx = vxBar.data() + nid(0, j);
+        const double *vby = vyBar.data() + nid(0, j);
+        const double *nm0 = nodeMass0.data() + nid(0, j);
+        const double *nm1 = nodeMass1.data() + nid(0, j);
+        const double *mf_s = massFluxX.data() + nid(0, j - 1);
+        const double *mf_n = massFluxX.data() + nid(0, j);
+        // Node-control-volume mass flux across the face between
+        // nodes (i-1, j) and (i, j): interpolated from the four
+        // surrounding cell-face mass fluxes.
+        auto node_flux = [&](int i) {
+            return 0.25 * (mf_s[i - 1] + mf_s[i] + mf_n[i - 1] +
+                           mf_n[i]);
+        };
         for (int i = g; i <= g + cfg.nx; ++i) {
-            const double f_in = node_flux(i, j);
-            const double f_out = node_flux(i + 1, j);
-            const std::size_t don_in =
-                f_in > 0.0 ? nid(i - 1, j) : nid(i, j);
-            const std::size_t don_out =
-                f_out > 0.0 ? nid(i, j) : nid(i + 1, j);
-            const double m1 = std::max(nodeMass1[nid(i, j)], fieldFloor);
-            vx_[nid(i, j)] = (nodeMass0[nid(i, j)] * vxBar[nid(i, j)] +
-                              f_in * vxBar[don_in] -
-                              f_out * vxBar[don_out]) / m1;
-            vy_[nid(i, j)] = (nodeMass0[nid(i, j)] * vyBar[nid(i, j)] +
-                              f_in * vyBar[don_in] -
-                              f_out * vyBar[don_out]) / m1;
+            const double f_in = node_flux(i);
+            const double f_out = node_flux(i + 1);
+            const int don_in = f_in > 0.0 ? i - 1 : i;
+            const int don_out = f_out > 0.0 ? i : i + 1;
+            const double m1 = std::max(nm1[i], fieldFloor);
+            vxr[i] = (nm0[i] * vbx[i] + f_in * vbx[don_in] -
+                      f_out * vbx[don_out]) / m1;
+            vyr[i] = (nm0[i] * vby[i] + f_in * vby[don_in] -
+                      f_out * vby[don_out]) / m1;
         }
-    }
+    });
     applyVelocityBc();
 }
 
@@ -513,53 +610,71 @@ CloverSolver2D::advectCellY()
     haloFillCell(rho1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
     haloFillCell(e1_, pcx, pcy, cfg.nx, cfg.ny, ghosts);
 
-    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+    forRows(g - 1, g + cfg.ny + 1, [&](int j) {
+        double *pre = preVol.data() + cid(0, j);
+        double *post = postVol.data() + cid(0, j);
+        const double *fvx = volFluxX.data() + nid(0, j);
+        const double *fvy0 = volFluxY.data() + nid(0, j);
+        const double *fvy1 = volFluxY.data() + nid(0, j + 1);
         for (int i = g - 1; i <= g + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
-            const double fx =
-                volFluxX[nid(i + 1, j)] - volFluxX[nid(i, j)];
-            const double fy =
-                volFluxY[nid(i, j + 1)] - volFluxY[nid(i, j)];
-            preVol[c] = vol + fy + (first_sweep ? fx : 0.0);
-            postVol[c] = preVol[c] - fy;
+            const double fx = fvx[i + 1] - fvx[i];
+            const double fy = fvy1[i] - fvy0[i];
+            pre[i] = vol + fy + (first_sweep ? fx : 0.0);
+            post[i] = pre[i] - fy;
         }
-    }
+    });
 
-    for (int j = g - 1; j <= g + cfg.ny + 1; ++j) {
+    forRows(g - 1, g + cfg.ny + 2, [&](int j) {
+        double *mfy = massFluxY.data() + nid(0, j);
+        double *ef = eFlux.data() + nid(0, j);
+        const double *fvy = volFluxY.data() + nid(0, j);
+        const double *rho_s = rho1_.data() + cid(0, j - 1);
+        const double *rho_c = rho1_.data() + cid(0, j);
+        const double *e_s = e1_.data() + cid(0, j - 1);
+        const double *e_c = e1_.data() + cid(0, j);
         for (int i = g - 1; i <= g + cfg.nx; ++i) {
-            const double vf = volFluxY[nid(i, j)];
-            const std::size_t donor =
-                vf > 0.0 ? cid(i, j - 1) : cid(i, j);
-            massFluxY[nid(i, j)] = vf * rho1_[donor];
-            eFlux[nid(i, j)] = massFluxY[nid(i, j)] * e1_[donor];
+            const double vf = fvy[i];
+            const double rho_d = vf > 0.0 ? rho_s[i] : rho_c[i];
+            const double e_d = vf > 0.0 ? e_s[i] : e_c[i];
+            mfy[i] = vf * rho_d;
+            ef[i] = mfy[i] * e_d;
         }
-    }
+    });
 
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *nm = nodeMass0.data() + nid(0, j);
+        const double *rho_s = rho1_.data() + cid(0, j - 1);
+        const double *rho_n = rho1_.data() + cid(0, j);
+        const double *pre_s = preVol.data() + cid(0, j - 1);
+        const double *pre_n = preVol.data() + cid(0, j);
         for (int i = g; i <= g + cfg.nx; ++i) {
-            nodeMass0[nid(i, j)] = 0.25 *
-                (rho1_[cid(i - 1, j - 1)] * preVol[cid(i - 1, j - 1)] +
-                 rho1_[cid(i, j - 1)] * preVol[cid(i, j - 1)] +
-                 rho1_[cid(i - 1, j)] * preVol[cid(i - 1, j)] +
-                 rho1_[cid(i, j)] * preVol[cid(i, j)]);
+            nm[i] = 0.25 * (rho_s[i - 1] * pre_s[i - 1] +
+                            rho_s[i] * pre_s[i] +
+                            rho_n[i - 1] * pre_n[i - 1] +
+                            rho_n[i] * pre_n[i]);
         }
-    }
+    });
 
-    for (int j = g - 1; j <= g + cfg.ny; ++j) {
+    forRows(g - 1, g + cfg.ny + 1, [&](int j) {
+        double *rho1 = rho1_.data() + cid(0, j);
+        double *e1 = e1_.data() + cid(0, j);
+        const double *pre = preVol.data() + cid(0, j);
+        const double *post = postVol.data() + cid(0, j);
+        const double *mf0 = massFluxY.data() + nid(0, j);
+        const double *mf1 = massFluxY.data() + nid(0, j + 1);
+        const double *ef0 = eFlux.data() + nid(0, j);
+        const double *ef1 = eFlux.data() + nid(0, j + 1);
         for (int i = g - 1; i <= g + cfg.nx; ++i) {
-            const std::size_t c = cid(i, j);
-            const double pre_mass = rho1_[c] * preVol[c];
-            const double post_mass = pre_mass + massFluxY[nid(i, j)] -
-                                     massFluxY[nid(i, j + 1)];
-            const double post_energy = e1_[c] * pre_mass +
-                                       eFlux[nid(i, j)] -
-                                       eFlux[nid(i, j + 1)];
-            rho1_[c] = std::max(post_mass / postVol[c], fieldFloor);
-            e1_[c] = std::max(
+            const double pre_mass = rho1[i] * pre[i];
+            const double post_mass = pre_mass + mf0[i] - mf1[i];
+            const double post_energy =
+                e1[i] * pre_mass + ef0[i] - ef1[i];
+            rho1[i] = std::max(post_mass / post[i], fieldFloor);
+            e1[i] = std::max(
                 post_energy / std::max(post_mass, fieldFloor),
                 fieldFloor);
         }
-    }
+    });
 }
 
 void
@@ -567,42 +682,55 @@ CloverSolver2D::advectMomY()
 {
     const int g = ghosts;
 
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *nm = nodeMass1.data() + nid(0, j);
+        const double *rho_s = rho1_.data() + cid(0, j - 1);
+        const double *rho_n = rho1_.data() + cid(0, j);
+        const double *post_s = postVol.data() + cid(0, j - 1);
+        const double *post_n = postVol.data() + cid(0, j);
         for (int i = g; i <= g + cfg.nx; ++i) {
-            nodeMass1[nid(i, j)] = 0.25 *
-                (rho1_[cid(i - 1, j - 1)] * postVol[cid(i - 1, j - 1)] +
-                 rho1_[cid(i, j - 1)] * postVol[cid(i, j - 1)] +
-                 rho1_[cid(i - 1, j)] * postVol[cid(i - 1, j)] +
-                 rho1_[cid(i, j)] * postVol[cid(i, j)]);
+            nm[i] = 0.25 * (rho_s[i - 1] * post_s[i - 1] +
+                            rho_s[i] * post_s[i] +
+                            rho_n[i - 1] * post_n[i - 1] +
+                            rho_n[i] * post_n[i]);
         }
-    }
+    });
 
     vxBar = vx_;
     vyBar = vy_;
 
-    auto node_flux = [this](int i, int j) {
-        return 0.25 * (massFluxY[nid(i - 1, j - 1)] +
-                       massFluxY[nid(i - 1, j)] +
-                       massFluxY[nid(i, j - 1)] + massFluxY[nid(i, j)]);
-    };
-
-    for (int j = g; j <= g + cfg.ny; ++j) {
+    forRows(g, g + cfg.ny + 1, [&](int j) {
+        double *vxr = vx_.data() + nid(0, j);
+        double *vyr = vy_.data() + nid(0, j);
+        const double *nm0 = nodeMass0.data() + nid(0, j);
+        const double *nm1 = nodeMass1.data() + nid(0, j);
+        const double *mf_s = massFluxY.data() + nid(0, j - 1);
+        const double *mf_c = massFluxY.data() + nid(0, j);
+        const double *mf_n = massFluxY.data() + nid(0, j + 1);
+        const double *vbx_s = vxBar.data() + nid(0, j - 1);
+        const double *vbx_c = vxBar.data() + nid(0, j);
+        const double *vbx_n = vxBar.data() + nid(0, j + 1);
+        const double *vby_s = vyBar.data() + nid(0, j - 1);
+        const double *vby_c = vyBar.data() + nid(0, j);
+        const double *vby_n = vyBar.data() + nid(0, j + 1);
         for (int i = g; i <= g + cfg.nx; ++i) {
-            const double f_in = node_flux(i, j);
-            const double f_out = node_flux(i, j + 1);
-            const std::size_t don_in =
-                f_in > 0.0 ? nid(i, j - 1) : nid(i, j);
-            const std::size_t don_out =
-                f_out > 0.0 ? nid(i, j) : nid(i, j + 1);
-            const double m1 = std::max(nodeMass1[nid(i, j)], fieldFloor);
-            vx_[nid(i, j)] = (nodeMass0[nid(i, j)] * vxBar[nid(i, j)] +
-                              f_in * vxBar[don_in] -
-                              f_out * vxBar[don_out]) / m1;
-            vy_[nid(i, j)] = (nodeMass0[nid(i, j)] * vyBar[nid(i, j)] +
-                              f_in * vyBar[don_in] -
-                              f_out * vyBar[don_out]) / m1;
+            const double f_in =
+                0.25 * (mf_s[i - 1] + mf_c[i - 1] + mf_s[i] +
+                        mf_c[i]);
+            const double f_out =
+                0.25 * (mf_c[i - 1] + mf_n[i - 1] + mf_c[i] +
+                        mf_n[i]);
+            const double *vbx_in = f_in > 0.0 ? vbx_s : vbx_c;
+            const double *vbx_out = f_out > 0.0 ? vbx_c : vbx_n;
+            const double *vby_in = f_in > 0.0 ? vby_s : vby_c;
+            const double *vby_out = f_out > 0.0 ? vby_c : vby_n;
+            const double m1 = std::max(nm1[i], fieldFloor);
+            vxr[i] = (nm0[i] * vbx_c[i] + f_in * vbx_in[i] -
+                      f_out * vbx_out[i]) / m1;
+            vyr[i] = (nm0[i] * vby_c[i] + f_in * vby_in[i] -
+                      f_out * vby_out[i]) / m1;
         }
-    }
+    });
     applyVelocityBc();
 }
 

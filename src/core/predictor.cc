@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace tdfe
 {
@@ -130,15 +131,23 @@ std::vector<double>
 Predictor::peakProfile(long loc_end) const
 {
     const long step = series.locStep();
-    std::vector<double> peaks;
+    const long t0 = series.iterBegin();
+    const long t1 = series.iterEnd();
 
-    for (long loc = series.locBegin(); loc <= series.locEnd();
-         loc += step) {
-        const std::vector<double> s = series.seriesAt(loc);
-        peaks.push_back(s.empty()
-                        ? 0.0
-                        : *std::max_element(s.begin(), s.end()));
-    }
+    // Per-location peaks over the observed window: independent
+    // columns, computed in place without materialising each series.
+    std::vector<double> peaks(series.locCount(), 0.0);
+    parallelFor(series.locCount(), std::size_t{16},
+                [&](std::size_t k) {
+                    const long loc = series.locBegin() +
+                                     static_cast<long>(k) * step;
+                    if (t1 <= t0)
+                        return;
+                    double best = series.at(loc, t0);
+                    for (long t = t0 + 1; t < t1; ++t)
+                        best = std::max(best, series.at(loc, t));
+                    peaks[k] = best;
+                });
 
     if (loc_end > series.locEnd()) {
         const auto rolled = spatialRollout(loc_end);

@@ -3,6 +3,7 @@
 #include "base/serial.hh"
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "par/comm.hh"
 
 namespace tdfe
@@ -47,8 +48,23 @@ Region::end()
     bool want_stop = false;
     bool any_stopper = false;
     bool all_stoppers_converged = true;
+    // Each analysis owns its collector/model/trainer, so the
+    // per-iteration ingest (sampling plus any training round) fans
+    // out across the pool. This invokes the variable providers
+    // concurrently (see td_var_provider_fn's thread-safety note);
+    // setSerialAnalyses() opts out for providers that are not pure
+    // reads. Single-analysis regions take the serial fast path
+    // inside parallelFor.
+    if (serialAnalyses) {
+        for (auto &a : analyses)
+            a->onIteration(iter, domain);
+    } else {
+        parallelFor(analyses.size(), std::size_t{1},
+                    [&](std::size_t a) {
+                        analyses[a]->onIteration(iter, domain);
+                    });
+    }
     for (auto &a : analyses) {
-        a->onIteration(iter, domain);
         const bool done = a->trainingFinished(iter);
         all_done = all_done && done;
         if (a->config().stopWhenConverged) {

@@ -99,6 +99,16 @@ class Region
     /** Attach a communicator (before the first begin()). */
     void setCommunicator(Communicator *c);
 
+    /**
+     * Force the per-iteration analysis ingest back onto the calling
+     * thread. By default a region with several analyses fans their
+     * ingest (sampling + training) across the process-wide thread
+     * pool, which invokes the analyses' variable providers
+     * concurrently against the shared domain; providers that are
+     * not pure reads need this escape hatch.
+     */
+    void setSerialAnalyses(bool serial) { serialAnalyses = serial; }
+
     /** Values of the last completed broadcast:
      *  [prediction, wavefront rank, stop flag]. */
     const double *lastBroadcast() const { return broadcastBuf; }
@@ -122,6 +132,7 @@ class Region
     long iter = 0;
     bool stopFlag = false;
     bool broadcastDone = false;
+    bool serialAnalyses = false;
     long syncInterval = 10;
     int wavefrontRank_ = 0;
     std::function<int(long)> rankOfLocation;

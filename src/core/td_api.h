@@ -31,6 +31,14 @@ typedef struct td_iter_param td_iter_param_t;
 /**
  * User-implemented diagnostic-variable accessor: returns the value
  * of the tracked variable at @p loc for the given simulation domain.
+ *
+ * Thread-safety: when a region hosts more than one analysis and the
+ * process-wide thread pool has more than one thread, providers of
+ * different analyses may be invoked concurrently (each against the
+ * same @p domain). Providers must therefore be pure reads of the
+ * domain. Providers that mutate shared state (lazy caches, handles
+ * bound to one thread) must either be made thread-safe or the region
+ * switched to serial ingest via tdfe::Region::setSerialAnalyses().
  */
 typedef double (*td_var_provider_fn)(void *domain, int loc);
 

@@ -28,6 +28,10 @@ ArTrainer::trainRound(MiniBatch &batch)
         stdzr.observe(s.x, s.y);
     }
 
+    // Zero-allocation invariant: xScratch and normBatch are sized at
+    // construction and only ever refilled here (same-size vector
+    // assignments reuse capacity), so a training round performs no
+    // heap allocation no matter how many rounds run.
     normBatch.clear();
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const Sample &s = batch.sample(i);

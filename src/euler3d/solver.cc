@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "hydro/flux.hh"
 #include "par/comm.hh"
 
@@ -20,6 +21,9 @@ slabBegin(int n, int parts, int r)
     return static_cast<int>(
         (static_cast<long>(n) * r) / parts);
 }
+
+/** Cells per chunk for flat loops (fixed: keeps reductions stable). */
+constexpr std::size_t flatGrain = 8192;
 
 } // namespace
 
@@ -221,40 +225,53 @@ EulerSolver3D::computePrims()
 {
     const double gm1 = cfg.gamma - 1.0;
     const std::size_t n = rho.size();
-    for (std::size_t c = 0; c < n; ++c) {
-        const double r = rho[c];
-        const double inv = 1.0 / r;
-        const double vx = mx[c] * inv;
-        const double vy = my[c] * inv;
-        const double vz = mz[c] * inv;
-        const double kin =
-            0.5 * (mx[c] * vx + my[c] * vy + mz[c] * vz);
-        const double internal = en[c] - kin;
-        wr[c] = r;
-        wx[c] = vx;
-        wy[c] = vy;
-        wz[c] = vz;
-        wp[c] = gm1 * std::max(internal, 1e-14);
-        wc[c] = std::sqrt(cfg.gamma * wp[c] * inv);
-    }
+    parallelForRange(n, flatGrain, [&](std::size_t b,
+                                       std::size_t e) {
+        for (std::size_t c = b; c < e; ++c) {
+            const double r = rho[c];
+            const double inv = 1.0 / r;
+            const double vx = mx[c] * inv;
+            const double vy = my[c] * inv;
+            const double vz = mz[c] * inv;
+            const double kin =
+                0.5 * (mx[c] * vx + my[c] * vy + mz[c] * vz);
+            const double internal = en[c] - kin;
+            wr[c] = r;
+            wx[c] = vx;
+            wy[c] = vy;
+            wz[c] = vz;
+            wp[c] = gm1 * std::max(internal, 1e-14);
+            wc[c] = std::sqrt(cfg.gamma * wp[c] * inv);
+        }
+    });
 }
 
 double
 EulerSolver3D::computeDt()
 {
     computePrims();
-    double smax = 1e-30;
-    for (int k = 0; k < zCount_; ++k) {
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t c = id(i, j, k);
-                const double s = std::max(
-                    {std::abs(wx[c]), std::abs(wy[c]),
-                     std::abs(wz[c])}) + wc[c];
-                smax = std::max(smax, s);
+    // Per-plane maxima combined by max: order-insensitive, so the
+    // result is identical for any thread count.
+    const double smax = parallelReduce(
+        static_cast<std::size_t>(zCount_), std::size_t{1}, 1e-30,
+        [&](std::size_t kb, std::size_t ke) {
+            double best = 1e-30;
+            for (std::size_t kk = kb; kk < ke; ++kk) {
+                const int k = static_cast<int>(kk);
+                for (int j = 0; j < cfg.ny; ++j) {
+                    const std::size_t row = id(0, j, k);
+                    for (int i = 0; i < cfg.nx; ++i) {
+                        const std::size_t c = row + i;
+                        const double s = std::max(
+                            {std::abs(wx[c]), std::abs(wy[c]),
+                             std::abs(wz[c])}) + wc[c];
+                        best = std::max(best, s);
+                    }
+                }
             }
-        }
-    }
+            return best;
+        },
+        [](double a, double b) { return std::max(a, b); });
     double dt = cfg.cfl * cfg.dx / smax;
     if (comm)
         dt = comm->allreduce(dt, ReduceOp::Min);
@@ -282,89 +299,124 @@ EulerSolver3D::step(double dt)
     // is the hot loop of the whole repository, hence no Prim/Cons
     // temporaries (see hydro/flux.hh for the reference version the
     // tests validate against).
-    auto sweep = [&](Axis3 axis) {
-        const int fx = axis == Axis3::X ? 1 : 0;
-        const int fy = axis == Axis3::Y ? 1 : 0;
-        const int fz = axis == Axis3::Z ? 1 : 0;
-        const double *wn = axis == Axis3::X   ? wx.data()
-                           : axis == Axis3::Y ? wy.data()
-                                              : wz.data();
-        const int ni = cfg.nx + fx;
-        const int nj = cfg.ny + fy;
-        const int nk = zCount_ + fz;
-        const std::size_t off =
-            id(fx, fy, fz) - id(0, 0, 0);
-        for (int k = 0; k < nk; ++k) {
-            for (int j = 0; j < nj; ++j) {
-                const std::size_t row = id(0, j, k);
-                for (int i = 0; i < ni; ++i) {
-                    const std::size_t rc = row + i;
-                    const std::size_t lc = rc - off;
+    //
+    // Each face writes to the cells on both its sides, so the
+    // parallel unit must keep both endpoints inside one task: faces
+    // along X stay within a (j, k) row, along Y within a k plane,
+    // and along Z within a j row-of-planes. Within a task, faces
+    // run in the same ascending order as the serial sweep, so the
+    // per-cell accumulation order — and the result — is unchanged.
+    auto face = [&](Axis3 axis, const double *wn, std::size_t off,
+                    std::size_t rc) {
+        const std::size_t lc = rc - off;
 
-                    const double vn_l = wn[lc];
-                    const double vn_r = wn[rc];
-                    const double s_l = std::abs(vn_l) + wc[lc];
-                    const double s_r = std::abs(vn_r) + wc[rc];
-                    const double smax = std::max(s_l, s_r);
+        const double vn_l = wn[lc];
+        const double vn_r = wn[rc];
+        const double s_l = std::abs(vn_l) + wc[lc];
+        const double s_r = std::abs(vn_r) + wc[rc];
+        const double smax = std::max(s_l, s_r);
 
-                    const double f_rho =
-                        0.5 * (rho[lc] * vn_l + rho[rc] * vn_r) -
-                        0.5 * smax * (rho[rc] - rho[lc]);
-                    double f_mx =
-                        0.5 * (mx[lc] * vn_l + mx[rc] * vn_r) -
-                        0.5 * smax * (mx[rc] - mx[lc]);
-                    double f_my =
-                        0.5 * (my[lc] * vn_l + my[rc] * vn_r) -
-                        0.5 * smax * (my[rc] - my[lc]);
-                    double f_mz =
-                        0.5 * (mz[lc] * vn_l + mz[rc] * vn_r) -
-                        0.5 * smax * (mz[rc] - mz[lc]);
-                    const double f_en =
-                        0.5 * ((en[lc] + wp[lc]) * vn_l +
-                               (en[rc] + wp[rc]) * vn_r) -
-                        0.5 * smax * (en[rc] - en[lc]);
-                    const double p_avg = 0.5 * (wp[lc] + wp[rc]);
-                    if (axis == Axis3::X)
-                        f_mx += p_avg;
-                    else if (axis == Axis3::Y)
-                        f_my += p_avg;
-                    else
-                        f_mz += p_avg;
+        const double f_rho =
+            0.5 * (rho[lc] * vn_l + rho[rc] * vn_r) -
+            0.5 * smax * (rho[rc] - rho[lc]);
+        double f_mx =
+            0.5 * (mx[lc] * vn_l + mx[rc] * vn_r) -
+            0.5 * smax * (mx[rc] - mx[lc]);
+        double f_my =
+            0.5 * (my[lc] * vn_l + my[rc] * vn_r) -
+            0.5 * smax * (my[rc] - my[lc]);
+        double f_mz =
+            0.5 * (mz[lc] * vn_l + mz[rc] * vn_r) -
+            0.5 * smax * (mz[rc] - mz[lc]);
+        const double f_en =
+            0.5 * ((en[lc] + wp[lc]) * vn_l +
+                   (en[rc] + wp[rc]) * vn_r) -
+            0.5 * smax * (en[rc] - en[lc]);
+        const double p_avg = 0.5 * (wp[lc] + wp[rc]);
+        if (axis == Axis3::X)
+            f_mx += p_avg;
+        else if (axis == Axis3::Y)
+            f_my += p_avg;
+        else
+            f_mz += p_avg;
 
-                    d_rho[lc] -= f_rho;
-                    d_mx[lc] -= f_mx;
-                    d_my[lc] -= f_my;
-                    d_mz[lc] -= f_mz;
-                    d_en[lc] -= f_en;
-                    d_rho[rc] += f_rho;
-                    d_mx[rc] += f_mx;
-                    d_my[rc] += f_my;
-                    d_mz[rc] += f_mz;
-                    d_en[rc] += f_en;
-                }
-            }
-        }
+        d_rho[lc] -= f_rho;
+        d_mx[lc] -= f_mx;
+        d_my[lc] -= f_my;
+        d_mz[lc] -= f_mz;
+        d_en[lc] -= f_en;
+        d_rho[rc] += f_rho;
+        d_mx[rc] += f_mx;
+        d_my[rc] += f_my;
+        d_mz[rc] += f_mz;
+        d_en[rc] += f_en;
     };
-    sweep(Axis3::X);
-    sweep(Axis3::Y);
-    sweep(Axis3::Z);
+
+    {
+        // X: faces differ by one i; parallel over (k, j) rows.
+        const int ni = cfg.nx + 1;
+        const std::size_t off = id(1, 0, 0) - id(0, 0, 0);
+        const std::size_t rows =
+            static_cast<std::size_t>(zCount_) * cfg.ny;
+        parallelFor(rows, std::size_t{8}, [&](std::size_t rj) {
+            const int k = static_cast<int>(rj) / cfg.ny;
+            const int j = static_cast<int>(rj) % cfg.ny;
+            const std::size_t row = id(0, j, k);
+            for (int i = 0; i < ni; ++i)
+                face(Axis3::X, wx.data(), off, row + i);
+        });
+    }
+    {
+        // Y: faces differ by one j; parallel over k planes.
+        const int nj = cfg.ny + 1;
+        const std::size_t off = id(0, 1, 0) - id(0, 0, 0);
+        parallelFor(static_cast<std::size_t>(zCount_),
+                    std::size_t{1}, [&](std::size_t kk) {
+                        const int k = static_cast<int>(kk);
+                        for (int j = 0; j < nj; ++j) {
+                            const std::size_t row = id(0, j, k);
+                            for (int i = 0; i < cfg.nx; ++i)
+                                face(Axis3::Y, wy.data(), off,
+                                     row + i);
+                        }
+                    });
+    }
+    {
+        // Z: faces differ by one k; parallel over j rows-of-planes.
+        const int nk = zCount_ + 1;
+        const std::size_t off = id(0, 0, 1) - id(0, 0, 0);
+        parallelFor(static_cast<std::size_t>(cfg.ny),
+                    std::size_t{1}, [&](std::size_t jj) {
+                        const int j = static_cast<int>(jj);
+                        for (int k = 0; k < nk; ++k) {
+                            const std::size_t row = id(0, j, k);
+                            for (int i = 0; i < cfg.nx; ++i)
+                                face(Axis3::Z, wz.data(), off,
+                                     row + i);
+                        }
+                    });
+    }
 
     const double scale = dt / cfg.dx;
-    for (int k = 0; k < zCount_; ++k) {
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t c = id(i, j, k);
-                rho[c] += scale * d_rho[c];
-                mx[c] += scale * d_mx[c];
-                my[c] += scale * d_my[c];
-                mz[c] += scale * d_mz[c];
-                en[c] += scale * d_en[c];
-                // Positivity floors (strong blasts on coarse grids).
-                if (rho[c] < 1e-12)
-                    rho[c] = 1e-12;
-            }
-        }
-    }
+    parallelFor(static_cast<std::size_t>(zCount_), std::size_t{1},
+                [&](std::size_t kk) {
+                    const int k = static_cast<int>(kk);
+                    for (int j = 0; j < cfg.ny; ++j) {
+                        const std::size_t row = id(0, j, k);
+                        for (int i = 0; i < cfg.nx; ++i) {
+                            const std::size_t c = row + i;
+                            rho[c] += scale * d_rho[c];
+                            mx[c] += scale * d_mx[c];
+                            my[c] += scale * d_my[c];
+                            mz[c] += scale * d_mz[c];
+                            en[c] += scale * d_en[c];
+                            // Positivity floors (strong blasts on
+                            // coarse grids).
+                            if (rho[c] < 1e-12)
+                                rho[c] = 1e-12;
+                        }
+                    }
+                });
 
     t += dt;
     ++cycleCount;

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
+#include "base/thread_pool.hh"
 
 namespace tdfe
 {
@@ -18,6 +19,13 @@ shellVolume(double a, double b)
 {
     return (cube(b) - cube(a)) / 3.0;
 }
+
+/**
+ * Zones per parallel chunk. 1D runs are small, so the grain is
+ * large: typical configurations stay on the serial fast path and
+ * only production-scale zone counts fan out.
+ */
+constexpr std::size_t zoneGrain = 2048;
 
 } // namespace
 
@@ -57,31 +65,44 @@ LagrangianSolver1D::depositCenterEnergy(double energy)
 void
 LagrangianSolver1D::updateEosAndViscosity()
 {
-    for (int j = 0; j < cfg.zones; ++j) {
-        p[j] = eos.pressure(rho[j], std::max(e[j], 0.0));
-        const double du = u[j + 1] - u[j];
-        if (du < 0.0) {
-            const double cs = eos.soundSpeed(rho[j], p[j]);
-            q[j] = cfg.q1 * cfg.q1 * rho[j] * du * du +
-                   cfg.q2 * rho[j] * cs * std::abs(du);
-        } else {
-            q[j] = 0.0;
-        }
-    }
+    parallelForRange(
+        static_cast<std::size_t>(cfg.zones), zoneGrain,
+        [&](std::size_t b, std::size_t e_) {
+            for (std::size_t jz = b; jz < e_; ++jz) {
+                const int j = static_cast<int>(jz);
+                p[j] = eos.pressure(rho[j], std::max(e[j], 0.0));
+                const double du = u[j + 1] - u[j];
+                if (du < 0.0) {
+                    const double cs = eos.soundSpeed(rho[j], p[j]);
+                    q[j] = cfg.q1 * cfg.q1 * rho[j] * du * du +
+                           cfg.q2 * rho[j] * cs * std::abs(du);
+                } else {
+                    q[j] = 0.0;
+                }
+            }
+        });
 }
 
 double
 LagrangianSolver1D::computeDt()
 {
     updateEosAndViscosity();
-    double dt = 1e30;
-    for (int j = 0; j < cfg.zones; ++j) {
-        const double dr = r[j + 1] - r[j];
-        const double cs =
-            eos.soundSpeed(rho[j], p[j] + q[j]);
-        const double du = std::abs(u[j + 1] - u[j]);
-        dt = std::min(dt, cfg.cfl * dr / (cs + du + 1e-30));
-    }
+    double dt = parallelReduce(
+        static_cast<std::size_t>(cfg.zones), zoneGrain, 1e30,
+        [&](std::size_t b, std::size_t e_) {
+            double best = 1e30;
+            for (std::size_t jz = b; jz < e_; ++jz) {
+                const int j = static_cast<int>(jz);
+                const double dr = r[j + 1] - r[j];
+                const double cs =
+                    eos.soundSpeed(rho[j], p[j] + q[j]);
+                const double du = std::abs(u[j + 1] - u[j]);
+                best = std::min(best,
+                                cfg.cfl * dr / (cs + du + 1e-30));
+            }
+            return best;
+        },
+        [](double a, double b) { return std::min(a, b); });
     if (lastDt > 0.0)
         dt = std::min(dt, lastDt * cfg.dtGrowth);
     lastDt = dt;
@@ -97,14 +118,19 @@ LagrangianSolver1D::step(double dt)
     // Nodal accelerations from the pressure (+q) jump across the
     // node, weighted by the node area; the centre node is pinned by
     // symmetry, the outer node feels the ambient pressure.
-    for (int i = 1; i <= n; ++i) {
-        const double area = sqr(r[i]);
-        const double p_in = p[i - 1] + q[i - 1];
-        const double p_out = i < n ? p[i] + q[i] : cfg.p0;
-        const double m_node =
-            i < n ? 0.5 * (m[i - 1] + m[i]) : 0.5 * m[i - 1];
-        u[i] += dt * area * (p_in - p_out) / m_node;
-    }
+    parallelForRange(
+        static_cast<std::size_t>(n), zoneGrain,
+        [&](std::size_t b, std::size_t e_) {
+            for (std::size_t iz = b; iz < e_; ++iz) {
+                const int i = static_cast<int>(iz) + 1;
+                const double area = sqr(r[i]);
+                const double p_in = p[i - 1] + q[i - 1];
+                const double p_out = i < n ? p[i] + q[i] : cfg.p0;
+                const double m_node =
+                    i < n ? 0.5 * (m[i - 1] + m[i]) : 0.5 * m[i - 1];
+                u[i] += dt * area * (p_in - p_out) / m_node;
+            }
+        });
     u[0] = 0.0;
 
     // Move nodes; volumes, densities, and the internal-energy update
@@ -116,24 +142,31 @@ LagrangianSolver1D::step(double dt)
                     "mesh tangling at node ", i, " (t=", t, ")");
     }
 
-    for (int j = 0; j < n; ++j) {
-        const double v_new = shellVolume(r[j], r[j + 1]);
-        const double dv_over_m = (v_new - vol[j]) / m[j];
-        const double rho_new = m[j] / v_new;
-        // Semi-implicit pdV work with the time-centred pressure
-        // 0.5*(p_old + p_new). For a gamma-law gas p_new is linear
-        // in e_new, so the update solves in closed form; this keeps
-        // total energy conserved to O(dt^2) instead of O(dt).
-        const double gm1 = cfg.gamma - 1.0;
-        const double numer =
-            e[j] - (0.5 * p[j] + q[j]) * dv_over_m;
-        const double denom = 1.0 + 0.5 * gm1 * rho_new * dv_over_m;
-        e[j] = numer / denom;
-        if (e[j] < 0.0)
-            e[j] = 0.0;
-        vol[j] = v_new;
-        rho[j] = rho_new;
-    }
+    parallelForRange(
+        static_cast<std::size_t>(n), zoneGrain,
+        [&](std::size_t b, std::size_t e_) {
+            for (std::size_t jz = b; jz < e_; ++jz) {
+                const int j = static_cast<int>(jz);
+                const double v_new = shellVolume(r[j], r[j + 1]);
+                const double dv_over_m = (v_new - vol[j]) / m[j];
+                const double rho_new = m[j] / v_new;
+                // Semi-implicit pdV work with the time-centred
+                // pressure 0.5*(p_old + p_new). For a gamma-law gas
+                // p_new is linear in e_new, so the update solves in
+                // closed form; this keeps total energy conserved to
+                // O(dt^2) instead of O(dt).
+                const double gm1 = cfg.gamma - 1.0;
+                const double numer =
+                    e[j] - (0.5 * p[j] + q[j]) * dv_over_m;
+                const double denom =
+                    1.0 + 0.5 * gm1 * rho_new * dv_over_m;
+                e[j] = numer / denom;
+                if (e[j] < 0.0)
+                    e[j] = 0.0;
+                vol[j] = v_new;
+                rho[j] = rho_new;
+            }
+        });
 
     t += dt;
     ++cycleCount;

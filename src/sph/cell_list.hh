@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_pool.hh"
+
 namespace tdfe
 {
 
@@ -32,6 +34,43 @@ class CellList
      */
     void build(const double *x, const double *y, const double *z,
                std::size_t n, double cell_size);
+
+    /** @return number of occupied cells (indexable via members()). */
+    std::size_t binCount() const { return bins.size(); }
+
+    /** @return member particle indices of occupied cell @p b. */
+    const std::vector<std::size_t> &
+    members(std::size_t b) const
+    {
+        return bins[b].members;
+    }
+
+    /**
+     * Gather the candidate neighbour indices of occupied cell @p b
+     * (every particle in its 27 surrounding cells) into @p out,
+     * replacing its contents. The caller owns @p out, so parallel
+     * traversals can keep one scratch buffer per task.
+     */
+    void
+    gatherCandidates(std::size_t b,
+                     std::vector<std::size_t> &out) const
+    {
+        const Bin &bin = bins[b];
+        out.clear();
+        for (std::int64_t dk = -1; dk <= 1; ++dk) {
+            for (std::int64_t dj = -1; dj <= 1; ++dj) {
+                for (std::int64_t di = -1; di <= 1; ++di) {
+                    const auto it = index.find(
+                        key(bin.ci + di, bin.cj + dj, bin.ck + dk));
+                    if (it == index.end())
+                        continue;
+                    const Bin &nb = bins[it->second];
+                    out.insert(out.end(), nb.members.begin(),
+                               nb.members.end());
+                }
+            }
+        }
+    }
 
     /**
      * Visit every occupied cell assigned to @p rank (cells are dealt
@@ -49,25 +88,39 @@ class CellList
                                          nranks)) != rank) {
                 continue;
             }
-            const Bin &bin = bins[b];
-            candidates.clear();
-            for (std::int64_t dk = -1; dk <= 1; ++dk) {
-                for (std::int64_t dj = -1; dj <= 1; ++dj) {
-                    for (std::int64_t di = -1; di <= 1; ++di) {
-                        const auto it = index.find(
-                            key(bin.ci + di, bin.cj + dj,
-                                bin.ck + dk));
-                        if (it == index.end())
-                            continue;
-                        const Bin &nb = bins[it->second];
-                        candidates.insert(candidates.end(),
-                                          nb.members.begin(),
-                                          nb.members.end());
-                    }
-                }
-            }
-            fn(bin.members, candidates);
+            gatherCandidates(b, candidates);
+            fn(bins[b].members, candidates);
         }
+    }
+
+    /**
+     * Parallel forEachBlock: occupied cells fan out across the
+     * global pool in chunks of @p grain, each task reusing one
+     * candidate buffer. Cells partition the particles, so @p fn
+     * invocations touch disjoint member sets; @p fn must only write
+     * per-member state. Visit order within a task matches the
+     * serial traversal, so per-particle results are identical for
+     * any thread count.
+     */
+    template <typename Fn>
+    void
+    forEachBlockParallel(int rank, int nranks, std::size_t grain,
+                         Fn &&fn) const
+    {
+        parallelForRange(
+            bins.size(), grain,
+            [&](std::size_t bb, std::size_t be) {
+                std::vector<std::size_t> candidates;
+                for (std::size_t b = bb; b < be; ++b) {
+                    if (static_cast<int>(
+                            b % static_cast<std::size_t>(nranks)) !=
+                        rank) {
+                        continue;
+                    }
+                    gatherCandidates(b, candidates);
+                    fn(bins[b].members, candidates);
+                }
+            });
     }
 
     /**

@@ -4,9 +4,19 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace tdfe
 {
+
+namespace
+{
+
+/** Target particles per parallel chunk (each costs O(n) or a tree
+ *  walk, so chunks are small). */
+constexpr std::size_t gravGrain = 64;
+
+} // namespace
 
 void
 DirectGravity::accumulate(ParticleSet &p, double softening,
@@ -14,28 +24,34 @@ DirectGravity::accumulate(ParticleSet &p, double softening,
 {
     const std::size_t n = p.size();
     end = std::min(end, n);
+    if (end <= begin)
+        return;
     const double eps2 = softening * softening;
-    for (std::size_t i = begin; i < end; ++i) {
-        double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (i == j)
-                continue;
-            const double dx = p.x[j] - p.x[i];
-            const double dy = p.y[j] - p.y[i];
-            const double dz = p.z[j] - p.z[i];
-            const double r2 = dx * dx + dy * dy + dz * dz + eps2;
-            const double inv_r = 1.0 / std::sqrt(r2);
-            const double inv_r3 = inv_r * inv_r * inv_r;
-            ax += p.m[j] * dx * inv_r3;
-            ay += p.m[j] * dy * inv_r3;
-            az += p.m[j] * dz * inv_r3;
-            phi -= p.m[j] * inv_r;
-        }
-        p.ax[i] += ax;
-        p.ay[i] += ay;
-        p.az[i] += az;
-        p.phi[i] = phi;
-    }
+    parallelForRange(
+        end - begin, gravGrain, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = begin + b; i < begin + e; ++i) {
+                double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (i == j)
+                        continue;
+                    const double dx = p.x[j] - p.x[i];
+                    const double dy = p.y[j] - p.y[i];
+                    const double dz = p.z[j] - p.z[i];
+                    const double r2 =
+                        dx * dx + dy * dy + dz * dz + eps2;
+                    const double inv_r = 1.0 / std::sqrt(r2);
+                    const double inv_r3 = inv_r * inv_r * inv_r;
+                    ax += p.m[j] * dx * inv_r3;
+                    ay += p.m[j] * dy * inv_r3;
+                    az += p.m[j] * dz * inv_r3;
+                    phi -= p.m[j] * inv_r;
+                }
+                p.ax[i] += ax;
+                p.ay[i] += ay;
+                p.az[i] += az;
+                p.phi[i] = phi;
+            }
+        });
 }
 
 BarnesHutGravity::BarnesHutGravity(double theta) : theta(theta)
@@ -209,17 +225,20 @@ BarnesHutGravity::accumulate(ParticleSet &p, double softening,
         insert(0, static_cast<int>(i), p, 0);
     finalize(0, p);
 
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-    for (std::size_t i = begin; i < end; ++i) {
-        double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
-        evaluate(p, i, softening, ax, ay, az, phi);
-        p.ax[i] += ax;
-        p.ay[i] += ay;
-        p.az[i] += az;
-        p.phi[i] = phi;
-    }
+    if (end <= begin)
+        return;
+
+    parallelForRange(
+        end - begin, gravGrain, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = begin + b; i < begin + e; ++i) {
+                double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
+                evaluate(p, i, softening, ax, ay, az, phi);
+                p.ax[i] += ax;
+                p.ay[i] += ay;
+                p.az[i] += az;
+                p.phi[i] = phi;
+            }
+        });
 }
 
 } // namespace tdfe

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
+#include "base/thread_pool.hh"
 #include "par/comm.hh"
 #include "sph/kernel.hh"
 
@@ -16,6 +17,12 @@ namespace
 
 /** Internal-energy floor keeping the EOS well defined. */
 constexpr double uFloor = 1e-10;
+
+/** Occupied cells per parallel chunk of the pair loops. */
+constexpr std::size_t binGrain = 8;
+
+/** Particles per parallel chunk of the flat per-particle loops. */
+constexpr std::size_t particleGrain = 2048;
 
 } // namespace
 
@@ -72,8 +79,10 @@ SphSystem::computeDensity()
     const int nranks = comm ? comm->size() : 1;
 
     std::fill(part.rho.begin(), part.rho.end(), 0.0);
-    cells.forEachBlock(
-        rank, nranks,
+    // Occupied cells partition the particles, so tasks own disjoint
+    // slices of part.rho.
+    cells.forEachBlockParallel(
+        rank, nranks, binGrain,
         [&](const std::vector<std::size_t> &members,
             const std::vector<std::size_t> &cand) {
             for (const std::size_t i : members) {
@@ -95,11 +104,16 @@ SphSystem::computeDensity()
     mergeSlices(part.rho, 0, n);
 
     const double gm1 = cfg.gamma - 1.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        part.u[i] = std::max(part.u[i], uFloor);
-        part.p[i] = gm1 * part.rho[i] * part.u[i];
-        part.cs[i] = std::sqrt(cfg.gamma * part.p[i] / part.rho[i]);
-    }
+    parallelForRange(n, particleGrain,
+                     [&](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) {
+                             part.u[i] = std::max(part.u[i], uFloor);
+                             part.p[i] =
+                                 gm1 * part.rho[i] * part.u[i];
+                             part.cs[i] = std::sqrt(
+                                 cfg.gamma * part.p[i] / part.rho[i]);
+                         }
+                     });
 }
 
 void
@@ -119,8 +133,8 @@ SphSystem::computeForces()
     std::fill(part.du.begin(), part.du.end(), 0.0);
     std::fill(part.phi.begin(), part.phi.end(), 0.0);
 
-    cells.forEachBlock(
-        rank, nranks,
+    cells.forEachBlockParallel(
+        rank, nranks, binGrain,
         [&](const std::vector<std::size_t> &members,
             const std::vector<std::size_t> &cand) {
             for (const std::size_t i : members) {
@@ -194,20 +208,28 @@ double
 SphSystem::computeDt() const
 {
     const std::size_t n = part.size();
-    double dt = 1e30;
-    for (std::size_t i = 0; i < n; ++i) {
-        const double a = std::sqrt(sqr(part.ax[i]) + sqr(part.ay[i]) +
-                                   sqr(part.az[i]));
-        // Signal velocity: sound crossing plus the viscous term;
-        // bulk advection is exact in a Lagrangian method and does
-        // not constrain dt.
-        const double sig =
-            part.cs[i] * (1.0 + 0.6 * cfg.alpha) + 1e-12;
-        dt = std::min(dt, cfg.cfl * cfg.h / sig);
-        if (a > 0.0)
-            dt = std::min(dt, cfg.cfl * std::sqrt(cfg.h / a));
-    }
-    return dt;
+    // Per-chunk CFL minima combined by min: thread-count invariant.
+    return parallelReduce(
+        n, particleGrain, 1e30,
+        [&](std::size_t b, std::size_t e) {
+            double dt = 1e30;
+            for (std::size_t i = b; i < e; ++i) {
+                const double a =
+                    std::sqrt(sqr(part.ax[i]) + sqr(part.ay[i]) +
+                              sqr(part.az[i]));
+                // Signal velocity: sound crossing plus the viscous
+                // term; bulk advection is exact in a Lagrangian
+                // method and does not constrain dt.
+                const double sig =
+                    part.cs[i] * (1.0 + 0.6 * cfg.alpha) + 1e-12;
+                dt = std::min(dt, cfg.cfl * cfg.h / sig);
+                if (a > 0.0)
+                    dt = std::min(dt,
+                                  cfg.cfl * std::sqrt(cfg.h / a));
+            }
+            return dt;
+        },
+        [](double a, double b) { return std::min(a, b); });
 }
 
 void
@@ -222,16 +244,20 @@ SphSystem::step(double dt)
     }
 
     // Kick (half) + drift.
-    for (std::size_t i = 0; i < n; ++i) {
-        part.vx[i] += 0.5 * dt * part.ax[i];
-        part.vy[i] += 0.5 * dt * part.ay[i];
-        part.vz[i] += 0.5 * dt * part.az[i];
-        part.u[i] =
-            std::max(part.u[i] + 0.5 * dt * part.du[i], uFloor);
-        part.x[i] += dt * part.vx[i];
-        part.y[i] += dt * part.vy[i];
-        part.z[i] += dt * part.vz[i];
-    }
+    parallelForRange(n, particleGrain,
+                     [&](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) {
+                             part.vx[i] += 0.5 * dt * part.ax[i];
+                             part.vy[i] += 0.5 * dt * part.ay[i];
+                             part.vz[i] += 0.5 * dt * part.az[i];
+                             part.u[i] = std::max(
+                                 part.u[i] + 0.5 * dt * part.du[i],
+                                 uFloor);
+                             part.x[i] += dt * part.vx[i];
+                             part.y[i] += dt * part.vy[i];
+                             part.z[i] += dt * part.vz[i];
+                         }
+                     });
 
     computeDensity();
     computeForces();
@@ -240,13 +266,19 @@ SphSystem::step(double dt)
     const double damp =
         cfg.damping > 0.0 ? std::max(0.0, 1.0 - cfg.damping * dt)
                           : 1.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        part.vx[i] = (part.vx[i] + 0.5 * dt * part.ax[i]) * damp;
-        part.vy[i] = (part.vy[i] + 0.5 * dt * part.ay[i]) * damp;
-        part.vz[i] = (part.vz[i] + 0.5 * dt * part.az[i]) * damp;
-        part.u[i] =
-            std::max(part.u[i] + 0.5 * dt * part.du[i], uFloor);
-    }
+    parallelForRange(
+        n, particleGrain, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                part.vx[i] =
+                    (part.vx[i] + 0.5 * dt * part.ax[i]) * damp;
+                part.vy[i] =
+                    (part.vy[i] + 0.5 * dt * part.ay[i]) * damp;
+                part.vz[i] =
+                    (part.vz[i] + 0.5 * dt * part.az[i]) * damp;
+                part.u[i] = std::max(
+                    part.u[i] + 0.5 * dt * part.du[i], uFloor);
+            }
+        });
 
     t += dt;
     ++cycleCount;

@@ -12,7 +12,7 @@ namespace tdfe
 {
 
 SgdOptimizer::SgdOptimizer(std::size_t dims, const SgdConfig &config)
-    : cfg(config), velocity(dims + 1, 0.0)
+    : cfg(config), velocity(dims + 1, 0.0), gradScratch(dims + 1, 0.0)
 {
     TDFE_ASSERT(cfg.learningRate > 0.0, "learning rate must be > 0");
     TDFE_ASSERT(cfg.momentum >= 0.0 && cfg.momentum < 1.0,
@@ -55,7 +55,7 @@ SgdOptimizer::trainRound(std::vector<double> &coeffs,
                 "coefficient vector has wrong size");
     TDFE_ASSERT(!batch.empty(), "cannot train on an empty batch");
 
-    std::vector<double> grad(coeffs.size(), 0.0);
+    std::vector<double> &grad = gradScratch;
     double pre_update_mse = 0.0;
     for (std::size_t epoch = 0; epoch < cfg.epochsPerBatch; ++epoch) {
         const double mse = gradient(coeffs, batch, grad);

@@ -79,6 +79,9 @@ class SgdOptimizer
 
     SgdConfig cfg;
     std::vector<double> velocity;
+    /** Gradient scratch reused across rounds: the training hot path
+     *  must not allocate per mini-batch. */
+    std::vector<double> gradScratch;
     std::size_t stepCount = 0;
 };
 
