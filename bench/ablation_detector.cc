@@ -47,7 +47,9 @@ main(int argc, char **argv)
                    "Page-Hinkley");
     args.addInt("resolution", 10,
                 "star lattice resolution (paper: 32)");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     WdMergerConfig cfg;

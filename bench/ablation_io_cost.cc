@@ -21,7 +21,9 @@ main(int argc, char **argv)
 {
     ArgParser args("Ablation: in-situ vs post-analysis I/O cost");
     args.addInt("size", 30, "blast domain size");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

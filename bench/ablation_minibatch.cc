@@ -19,7 +19,9 @@ main(int argc, char **argv)
 {
     ArgParser args("Ablation: mini-batch size");
     args.addInt("size", 24, "blast domain size");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

@@ -57,7 +57,9 @@ main(int argc, char **argv)
     ArgParser args("Figure 4: lag sweep at location 10");
     args.addInt("size", 30, "domain size (paper: 30)");
     args.addString("csv", "figure4_lag_sweep.csv", "CSV output");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

@@ -19,7 +19,9 @@ main(int argc, char **argv)
                    "1..10");
     args.addInt("size", 30, "domain size (paper: 30)");
     args.addString("csv", "figure5_velocity.csv", "CSV output");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

@@ -21,7 +21,9 @@ main(int argc, char **argv)
                 "star lattice resolution (paper: 32)");
     args.addDouble("fraction", 0.25, "training fraction");
     args.addString("csv", "figure7_wd_fit.csv", "CSV output");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     WdMergerConfig cfg;

@@ -25,7 +25,9 @@ main(int argc, char **argv)
                 "star lattice resolution (paper: 32)");
     args.addString("csv", "figure8_wd_diagnostics.csv",
                    "CSV output");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     WdMergerConfig cfg;

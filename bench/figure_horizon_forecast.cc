@@ -73,7 +73,9 @@ main(int argc, char **argv)
 {
     ArgParser args("Horizon figure: multi-step forecast error");
     args.addInt("resolution", 8, "star lattice resolution");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     // One bare merger run provides the diagnostic series.

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "base/cli.hh"
 #include "clover2d/solver.hh"
 #include "core/ar_model.hh"
 #include "core/changepoint.hh"
@@ -140,4 +141,16 @@ BM_CloverCycle(benchmark::State &state)
 }
 BENCHMARK(BM_CloverCycle)->Arg(32)->Arg(64);
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --threads flag can size
+// the global pool before google-benchmark sees (and would reject)
+// the unknown option.
+int
+main(int argc, char **argv)
+{
+    tdfe::applyThreadsFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

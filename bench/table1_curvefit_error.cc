@@ -69,7 +69,9 @@ main(int argc, char **argv)
     ArgParser args("Table I: curve-fit error by location interval "
                    "and training fraction");
     args.addInt("size", 30, "domain size (paper: 30)");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

@@ -22,7 +22,9 @@ main(int argc, char **argv)
                    "extraction vs simulation");
     args.addInt("size", 30, "domain size (paper: 30)");
     args.addDouble("fraction", 0.4, "training fraction of the run");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const int size = static_cast<int>(args.getInt("size"));

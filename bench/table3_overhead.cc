@@ -90,7 +90,9 @@ main(int argc, char **argv)
     args.addString("ranks", "1,2,4",
                    "rank counts (paper: 1,8,27; thread-emulated)");
     args.addFlag("paper", "use the paper's sizes and rank counts");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     auto sizes = ArgParser::parseIntList(args.getString("sizes"));

@@ -24,7 +24,9 @@ main(int argc, char **argv)
     args.addString("sizes", "24,36",
                    "domain sizes (paper: 30,60,90)");
     args.addFlag("paper", "use the paper's domain sizes");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     auto sizes = ArgParser::parseIntList(args.getString("sizes"));

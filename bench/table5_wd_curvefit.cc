@@ -26,7 +26,9 @@ main(int argc, char **argv)
                 "star lattice resolution (paper: 32)");
     args.addFlag("paper", "use resolution 16 (closest paper-scale "
                           "run that fits one core)");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     WdMergerConfig cfg;

@@ -24,7 +24,9 @@ main(int argc, char **argv)
     args.addInt("resolution", 10,
                 "star lattice resolution (paper: 32)");
     args.addDouble("fraction", 0.25, "training fraction");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     WdMergerConfig cfg;

@@ -54,7 +54,9 @@ main(int argc, char **argv)
     args.addDouble("tol", 0.05,
                    "relative validation-error convergence tolerance "
                    "(coarse resolutions have noisier diagnostics)");
+    addThreadsOption(args);
     args.parse(argc, argv);
+    applyThreadsOption(args);
     setLogQuiet(true);
 
     const auto resolutions =

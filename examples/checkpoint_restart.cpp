@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "base/cli.hh"
 #include "blastapp/domain.hh"
 #include "core/region.hh"
 
@@ -55,8 +56,10 @@ iterate(Domain &domain, Region &region)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     BlastConfig config;
     config.size = 24;
 

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/cli.hh"
 #include "clover2d/app.hh"
 #include "core/region.hh"
 
@@ -25,6 +26,8 @@ using namespace tdfe::clover;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     CloverAppConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 48;
     config.blastEnergy = 2.0;
@@ -45,6 +48,9 @@ main(int argc, char **argv)
                 probe.time());
 
     Region region("clover_shock", &field);
+    // Pipelined ingest: end() snapshots the probe line and the
+    // training digest overlaps the next hydro cycle on the pool.
+    region.setAsyncAnalyses(true);
     AnalysisConfig cfg;
     cfg.name = "clover-breakpoint";
     cfg.provider = [](void *domain, long loc) {

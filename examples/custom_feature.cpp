@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "base/cli.hh"
 #include "core/region.hh"
 #include "core/threshold.hh"
 #include "core/tracker.hh"
@@ -31,8 +32,10 @@ struct RingDomain
 };
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     // 1. In-situ peak tracking through the Region API.
     RingDomain sim;
     Region region("ring", &sim);

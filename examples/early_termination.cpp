@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "base/cli.hh"
 #include "blastapp/runner.hh"
 
 using namespace tdfe;
@@ -15,6 +16,8 @@ using namespace tdfe::blast;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
 
@@ -25,10 +28,17 @@ main(int argc, char **argv)
     std::printf("full run: %ld iterations, %.3f s\n",
                 reference.iterations, reference.seconds);
 
-    // Early-terminated run: stop once the model is trained.
+    // Early-terminated run: stop once the model is trained. The
+    // ingest runs on the async pipeline; because this harness polls
+    // shouldStop() every iteration, each epoch is drained right
+    // after submission — demonstrating that the stop fires on
+    // exactly the iteration a synchronous run would pick. Full
+    // overlap with the solver needs a run that does not poll every
+    // step (the paper's "non-stop" mode, see bench/async_pipeline).
     RunOptions stop;
     stop.instrument = true;
     stop.honorStop = true;
+    stop.asyncAnalyses = true;
     stop.analysis.space = IterParam(1, 10, 1);
     stop.analysis.time =
         IterParam(reference.iterations / 20,

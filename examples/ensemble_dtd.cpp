@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "base/cli.hh"
 #include "base/logging.hh"
 #include "wdmerger/dtd.hh"
 #include "wdmerger/runner.hh"
@@ -34,6 +35,8 @@ using namespace tdfe::wd;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     const int count = argc > 1 ? std::atoi(argv[1]) : 8;
     const int resolution = argc > 2 ? std::atoi(argv[2]) : 6;
     setLogQuiet(true);

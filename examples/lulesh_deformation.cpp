@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/cli.hh"
 #include "blastapp/domain.hh"
 #include "core/td_api.h"
 
@@ -26,6 +27,8 @@ td_var_provider(void *loc_dom, int loc)
 int
 main(int argc, char **argv)
 {
+    tdfe::applyThreadsFlag(argc, argv);
+
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
 

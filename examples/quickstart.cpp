@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "base/cli.hh"
 #include "core/region.hh"
 
 using namespace tdfe;
@@ -27,8 +28,10 @@ struct ToySim
 };
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     ToySim sim;
 
     // 1. A region bound to the simulation domain.

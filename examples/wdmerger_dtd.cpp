@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "base/cli.hh"
 #include "postproc/ground_truth.hh"
 #include "wdmerger/dtd.hh"
 #include "wdmerger/runner.hh"
@@ -20,6 +21,8 @@ using namespace tdfe::wd;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
+
     const int resolution = argc > 1 ? std::atoi(argv[1]) : 8;
 
     // One instrumented run: delay time per diagnostic.

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite
-# (including the bench_smoke label that exercises the bench binaries).
+# Tier-1 verification: configure, build, run the tier-1 test suite,
+# then run the bench_smoke label on its own so a regression in either
+# pipeline (library correctness or bench wiring, including the
+# async_pipeline digest-equality gate) fails fast and visibly.
 # This is the command CI and the roadmap's "tier-1 verify" refer to.
 set -euo pipefail
 
@@ -9,4 +11,5 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build
-ctest --output-on-failure -j"$(nproc)" "$@"
+ctest --output-on-failure -j"$(nproc)" -L tier1 "$@"
+ctest --output-on-failure -L bench_smoke

@@ -1,10 +1,12 @@
 #include "base/cli.hh"
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace tdfe
 {
@@ -153,6 +155,54 @@ ArgParser::parseDoubleList(const std::string &text)
         if (!item.empty())
             out.push_back(std::stod(item));
     return out;
+}
+
+void
+addThreadsOption(ArgParser &args)
+{
+    args.addInt("threads", 0,
+                "thread-pool size, workers + caller (0: "
+                "TDFE_NUM_THREADS or hardware concurrency)");
+}
+
+void
+applyThreadsOption(const ArgParser &args)
+{
+    const std::int64_t n = args.getInt("threads");
+    if (n > 0)
+        setGlobalThreadCount(static_cast<int>(n));
+}
+
+int
+applyThreadsFlag(int &argc, char **argv)
+{
+    int applied = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--threads") {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option --threads needs a value");
+            value = argv[++i];
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            value = arg.substr(std::string("--threads=").size());
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        char *end = nullptr;
+        const long n = std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || n < 1 ||
+            n > static_cast<long>(INT_MAX))
+            TDFE_FATAL("invalid --threads value '", value, "'");
+        applied = static_cast<int>(n);
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (applied > 0)
+        setGlobalThreadCount(applied);
+    return applied;
 }
 
 } // namespace tdfe

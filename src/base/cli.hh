@@ -84,6 +84,30 @@ class ArgParser
     std::map<std::string, Option> options;
 };
 
+/**
+ * Register the standard `--threads` option: total thread count of
+ * the process-wide pool, workers + caller. The default 0 keeps the
+ * environment sizing (TDFE_NUM_THREADS, else hardware concurrency).
+ */
+void addThreadsOption(ArgParser &args);
+
+/**
+ * Apply a parsed `--threads` value (see addThreadsOption) to the
+ * global pool. Call after parse() and before the first parallel
+ * region; 0 leaves the environment sizing untouched.
+ */
+void applyThreadsOption(const ArgParser &args);
+
+/**
+ * Raw-argv variant for binaries without an ArgParser (examples,
+ * google-benchmark mains): strip `--threads <n>` / `--threads=<n>`
+ * from argv, resize the global pool accordingly, and leave every
+ * other argument in place for the program's own parsing.
+ *
+ * @return the thread count applied, or 0 when the flag was absent.
+ */
+int applyThreadsFlag(int &argc, char **argv);
+
 } // namespace tdfe
 
 #endif // TDFE_BASE_CLI_HH

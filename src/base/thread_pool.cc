@@ -113,6 +113,43 @@ ThreadPool::workerLoop()
 }
 
 void
+ThreadPool::enqueue(const std::shared_ptr<Job> &job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        pending.push_back(job);
+    }
+    cv.notify_all();
+}
+
+void
+ThreadPool::awaitJob(const std::shared_ptr<Job> &job)
+{
+    // Participate: the waiter claims chunks like any worker, so the
+    // job completes even if every worker is busy elsewhere
+    // (including the nested case where *this thread* is a worker).
+    helpWith(*job);
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->get() == job.get()) {
+                pending.erase(it);
+                break;
+            }
+        }
+    }
+
+    if (job->done.load(std::memory_order_acquire) != job->nchunks) {
+        std::unique_lock<std::mutex> lock(job->m);
+        job->cv.wait(lock, [&job] {
+            return job->done.load(std::memory_order_acquire) ==
+                   job->nchunks;
+        });
+    }
+}
+
+void
 ThreadPool::runChunks(std::size_t nchunks,
                       const std::function<void(std::size_t)> &fn)
 {
@@ -127,34 +164,40 @@ ThreadPool::runChunks(std::size_t nchunks,
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->nchunks = nchunks;
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        pending.push_back(job);
-    }
-    cv.notify_all();
+    enqueue(job);
+    awaitJob(job);
+}
 
-    // Participate: the submitter claims chunks like any worker, so
-    // the job completes even if every worker is busy elsewhere
-    // (including the nested case where *this thread* is a worker).
-    helpWith(*job);
-
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        for (auto it = pending.begin(); it != pending.end(); ++it) {
-            if (it->get() == job.get()) {
-                pending.erase(it);
-                break;
-            }
-        }
+ThreadPool::JobHandle
+ThreadPool::submit(std::size_t nchunks,
+                   std::function<void(std::size_t)> fn)
+{
+    auto job = std::make_shared<Job>();
+    job->owned = std::move(fn);
+    job->fn = &job->owned;
+    job->nchunks = nchunks;
+    if (nchunks == 0) {
+        // Nothing to run: return an already-completed token so
+        // finished()/wait() stay uniform for the caller.
+        return job;
     }
+    enqueue(job);
+    return job;
+}
 
-    if (job->done.load(std::memory_order_acquire) != nchunks) {
-        std::unique_lock<std::mutex> lock(job->m);
-        job->cv.wait(lock, [&job] {
-            return job->done.load(std::memory_order_acquire) ==
-                   job->nchunks;
-        });
-    }
+bool
+ThreadPool::finished(const JobHandle &job)
+{
+    return !job ||
+           job->done.load(std::memory_order_acquire) == job->nchunks;
+}
+
+void
+ThreadPool::wait(const JobHandle &job)
+{
+    if (!job || job->nchunks == 0)
+        return;
+    awaitJob(job);
 }
 
 ThreadPool &

@@ -53,6 +53,27 @@ class ThreadPool
 {
   public:
     /**
+     * One unit of pool work: a chunk counter plus a body. Treat as
+     * opaque outside the pool — it is public only so JobHandle can
+     * name it; submit()/wait()/finished() are the API.
+     */
+    struct Job
+    {
+        /** Body to run (runChunks points at the caller's stack
+         *  copy; submit() stores its own in `owned`). */
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::function<void(std::size_t)> owned;
+        std::size_t nchunks = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex m;
+        std::condition_variable cv;
+    };
+
+    /** Completion token of an asynchronously submitted job. */
+    using JobHandle = std::shared_ptr<Job>;
+
+    /**
      * @param threads Total thread count including the caller
      *        (so `threads - 1` workers are spawned). 0 means
      *        auto-size from TDFE_NUM_THREADS / the hardware.
@@ -82,26 +103,48 @@ class ThreadPool
     void runChunks(std::size_t nchunks,
                    const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Enqueue @p nchunks chunks of @p fn for asynchronous execution
+     * and return immediately; workers pick the job up in submission
+     * order. The body is moved into the job, so it may outlive the
+     * caller's scope — but everything it captures must stay valid
+     * until the job is waited on. Unlike runChunks there is no
+     * inline fast path: with zero workers (or all of them busy) the
+     * chunks simply run during wait(), on the waiting thread.
+     *
+     * @return completion token for finished()/wait().
+     */
+    JobHandle submit(std::size_t nchunks,
+                     std::function<void(std::size_t)> fn);
+
+    /** @return true once every chunk of @p job completed (a null
+     *  handle counts as finished). */
+    static bool finished(const JobHandle &job);
+
+    /**
+     * Block until @p job completes. The caller claims outstanding
+     * chunks like any worker, so waiting is nested-safe: it makes
+     * progress even from inside another job's chunk and with zero
+     * workers.
+     */
+    void wait(const JobHandle &job);
+
     /** Process-wide shared pool (lazily constructed). */
     static ThreadPool &global();
 
   private:
-    struct Job
-    {
-        const std::function<void(std::size_t)> *fn = nullptr;
-        std::size_t nchunks = 0;
-        std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> done{0};
-        std::mutex m;
-        std::condition_variable cv;
-    };
-
     void spawnWorkers();
     void joinWorkers();
     void workerLoop();
 
     /** Claim and run chunks of @p job until the cursor is spent. */
     static void helpWith(Job &job);
+
+    /** Push @p job onto the queue and wake the workers. */
+    void enqueue(const std::shared_ptr<Job> &job);
+
+    /** Help with @p job, unlink it from the queue, await stragglers. */
+    void awaitJob(const std::shared_ptr<Job> &job);
 
     int nThreads = 1;
     std::vector<std::thread> workers;

@@ -23,6 +23,7 @@ runBlast(const BlastConfig &config, Communicator *comm,
     if (options.instrument) {
         region = std::make_unique<Region>("blast", &domain, comm);
         region->setSyncInterval(options.syncInterval);
+        region->setAsyncAnalyses(options.asyncAnalyses);
         region->setRankOfLocation([&domain](long loc) {
             return domain.rankOfLocation(loc);
         });

@@ -30,6 +30,15 @@ struct RunOptions
     bool honorStop = false;
     /** Record the full probe trace (ground-truth extraction). */
     bool recordTrace = false;
+    /** Pipeline the analysis ingest: snapshot at end(), digest on
+     *  the pool (results stay bitwise identical; see
+     *  Region::setAsyncAnalyses). The digest overlaps the next
+     *  solver step in non-stop runs; with honorStop the harness
+     *  polls shouldStop() every iteration, which drains the epoch
+     *  there — the stop still fires on the identical iteration, and
+     *  the drained digest runs on the pool workers, but nothing is
+     *  hidden under the solver. */
+    bool asyncAnalyses = false;
     /** Analysis specification (provider is filled by the harness). */
     AnalysisConfig analysis;
     /** Iterations between collective stop syncs. */

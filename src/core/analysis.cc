@@ -55,13 +55,31 @@ CurveFitAnalysis::CurveFitAnalysis(AnalysisConfig config)
 void
 CurveFitAnalysis::onIteration(long iter, void *domain)
 {
+    snapshotIteration(iter, domain);
+    digestIteration();
+}
+
+void
+CurveFitAnalysis::snapshotIteration(long iter, void *domain)
+{
+    TDFE_ASSERT(!pendingDigest,
+                "snapshot while a digest is still pending");
     lastIter = iter;
     if (collector_.windowFinished(iter))
         windowDone = true;
 
-    collector_.collect(iter, [&](long loc) {
+    pendingDigest = collector_.snapshot(iter, [&](long loc) {
         return cfg.provider(domain, loc);
     });
+}
+
+void
+CurveFitAnalysis::digestIteration()
+{
+    if (!pendingDigest)
+        return;
+    pendingDigest = false;
+    collector_.digest(lastIter);
 }
 
 long

@@ -105,12 +105,33 @@ class CurveFitAnalysis
 
     /**
      * Ingest one simulation iteration: sample, maybe train.
+     * Equivalent to snapshotIteration() + digestIteration(); the
+     * async region runs the same two phases with the digest
+     * deferred to a pool worker.
      *
      * @param iter Iteration number (must increase by 1 per call once
      *        sampling has started).
      * @param domain Opaque pointer handed to the provider.
      */
     void onIteration(long iter, void *domain);
+
+    /**
+     * Phase 1 (synchronous, cheap): invoke the variable provider to
+     * copy the per-location probe values into the reusable staging
+     * row. The provider is only ever called from here, so under the
+     * async pipeline it always runs on the caller's thread while
+     * the domain is quiescent.
+     */
+    void snapshotIteration(long iter, void *domain);
+
+    /**
+     * Phase 2 (deferrable, heavy): validate and append the staged
+     * row, emit training pairs, and run any mini-batch rounds plus
+     * early-stop checks they trigger. Never touches the simulation
+     * domain, so it may overlap the next solver step. No-op when
+     * the matching snapshot was outside the sampling window.
+     */
+    void digestIteration();
 
     /** @return true once the model converged (early-stop). */
     bool converged() const { return stopper.converged(); }
@@ -207,6 +228,9 @@ class CurveFitAnalysis
     long convergedIter = -1;
     long lastIter = -1;
     bool windowDone = false;
+    /** Staged row awaits digestIteration() (not checkpointed: the
+     *  region drains every epoch before saving). */
+    bool pendingDigest = false;
 };
 
 } // namespace tdfe

@@ -66,31 +66,47 @@ DataCollector::DataCollector(const IterParam &space,
 void
 DataCollector::collect(long iter, const SampleFn &sample)
 {
+    if (snapshot(iter, sample))
+        digest(iter);
+}
+
+bool
+DataCollector::snapshot(long iter, const SampleFn &sample)
+{
     if (iter < storeBegin)
-        return;
+        return false;
+    for (std::size_t i = 0; i < series.locCount(); ++i) {
+        const long loc =
+            series.locBegin() + static_cast<long>(i) * series.locStep();
+        rowScratch[i] = sample(loc);
+    }
+    return true;
+}
+
+void
+DataCollector::digest(long iter)
+{
     TDFE_ASSERT(iter == series.iterEnd(),
                 "iterations must arrive consecutively: got ", iter,
                 ", expected ", series.iterEnd());
 
     for (std::size_t i = 0; i < series.locCount(); ++i) {
+        if (std::isfinite(rowScratch[i]))
+            continue;
+        // A solver hiccup (NaN pressure, overflowed kernel) must
+        // not poison the running statistics: hold the location's
+        // previous value, or its quiescent zero before any.
         const long loc =
             series.locBegin() + static_cast<long>(i) * series.locStep();
-        double v = sample(loc);
-        if (!std::isfinite(v)) {
-            // A solver hiccup (NaN pressure, overflowed kernel) must
-            // not poison the running statistics: hold the location's
-            // previous value, or its quiescent zero before any.
-            v = series.iterCount() > 0
-                ? series.at(loc, series.iterEnd() - 1)
-                : 0.0;
-            if (++nonFinite == 1) {
-                TDFE_WARN("non-finite sample at location ", loc,
-                          ", iteration ", iter,
-                          "; holding the previous value (further "
-                          "occurrences counted silently)");
-            }
+        rowScratch[i] = series.iterCount() > 0
+            ? series.at(loc, series.iterEnd() - 1)
+            : 0.0;
+        if (++nonFinite == 1) {
+            TDFE_WARN("non-finite sample at location ", loc,
+                      ", iteration ", iter,
+                      "; holding the previous value (further "
+                      "occurrences counted silently)");
         }
-        rowScratch[i] = v;
     }
     series.appendRow(rowScratch);
 

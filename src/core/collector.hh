@@ -52,13 +52,40 @@ class DataCollector
     /**
      * Ingest one simulation iteration. Samples all lattice
      * locations via @p sample and emits any training pairs that
-     * became constructible.
+     * became constructible. Equivalent to snapshot() immediately
+     * followed by digest() — the async pipeline runs the same two
+     * phases with the digest deferred, which is why the two modes
+     * produce bitwise-identical state.
      *
      * @param iter Current iteration number (must arrive in order,
      *        gaps before the first sampled iteration are fine).
      * @param sample Value accessor for this iteration.
      */
     void collect(long iter, const SampleFn &sample);
+
+    /**
+     * Phase 1 of collect(): copy the raw sample of every lattice
+     * location for @p iter into the reusable staging row. This is
+     * the only phase that invokes @p sample, so it is the only one
+     * that may touch the simulation domain; it allocates nothing
+     * after construction.
+     *
+     * @return true when @p iter is inside the sampling window and a
+     *         digest() must follow; false when the iteration was
+     *         skipped (before the first lag source).
+     */
+    bool snapshot(long iter, const SampleFn &sample);
+
+    /**
+     * Phase 2 of collect(): validate the staged row (non-finite
+     * hold-previous repair), append it to the ObservedSeries, and
+     * emit any training pairs that became constructible (running
+     * the batch sink — i.e. training — for every batch that fills).
+     * Must be called exactly once after each snapshot() that
+     * returned true, in iteration order; safe to run on a worker
+     * thread as it never touches the simulation domain.
+     */
+    void digest(long iter);
 
     /**
      * Install the consumer invoked the moment the mini-batch fills

@@ -14,7 +14,17 @@ Region::Region(std::string name, void *domain, Communicator *comm)
 {
 }
 
-Region::~Region() = default;
+Region::~Region()
+{
+    // Never let digest tasks outlive the analyses they mutate. The
+    // deferred stop protocol is skipped: nobody can query a region
+    // that is going away.
+    if (epochOpen) {
+        ThreadPool::global().wait(epochHandle);
+        epochHandle.reset();
+        epochOpen = false;
+    }
+}
 
 std::size_t
 Region::addAnalysis(AnalysisConfig config)
@@ -44,28 +54,68 @@ Region::end()
 
     Timer work;
 
+    // Pipeline discipline: the previous epoch's digest must finish
+    // (and its stop protocol run, for *its* iteration) before this
+    // iteration snapshots into the same staging rows.
+    drainNow();
+
+    // With a single-thread pool there is no worker to overlap the
+    // digest onto: deferring would only add queue bookkeeping and
+    // run the same work at the next drain anyway, so the pipeline
+    // degenerates to the synchronous path (the phase order —
+    // snapshot, digest, protocol, all for iteration k — and thus
+    // every result stays identical; only the execution moment moves).
+    if (asyncAnalyses_ && !serialAnalyses && !analyses.empty() &&
+        ThreadPool::global().threadCount() > 1) {
+        // Snapshot phase, synchronous and one analysis at a time:
+        // the providers only ever run here, on the caller's thread,
+        // so even non-pure providers are safe under the pipeline.
+        for (auto &a : analyses)
+            a->snapshotIteration(iter, domain);
+
+        // Digest phase: one pool task per analysis trains against
+        // the snapshot while the caller returns to the solver. The
+        // protocol for this iteration runs at drain time.
+        epochIter = iter;
+        epochHandle = ThreadPool::global().submit(
+            analyses.size(), [this](std::size_t a) {
+                analyses[a]->digestIteration();
+            });
+        epochOpen = true;
+    } else {
+        // Synchronous ingest. Each analysis owns its
+        // collector/model/trainer, so the per-iteration ingest
+        // (sampling plus any training round) fans out across the
+        // pool. This invokes the variable providers concurrently
+        // (see td_var_provider_fn's thread-safety note);
+        // setSerialAnalyses() opts out for providers that are not
+        // pure reads. Single-analysis regions take the serial fast
+        // path inside parallelFor.
+        if (serialAnalyses) {
+            for (auto &a : analyses)
+                a->onIteration(iter, domain);
+        } else {
+            parallelFor(analyses.size(), std::size_t{1},
+                        [&](std::size_t a) {
+                            analyses[a]->onIteration(iter, domain);
+                        });
+        }
+        finishIteration(iter);
+    }
+
+    ++iter;
+    overhead += work.elapsed();
+}
+
+void
+Region::finishIteration(long it)
+{
     bool all_done = !analyses.empty();
     bool want_stop = false;
     bool any_stopper = false;
     bool all_stoppers_converged = true;
-    // Each analysis owns its collector/model/trainer, so the
-    // per-iteration ingest (sampling plus any training round) fans
-    // out across the pool. This invokes the variable providers
-    // concurrently (see td_var_provider_fn's thread-safety note);
-    // setSerialAnalyses() opts out for providers that are not pure
-    // reads. Single-analysis regions take the serial fast path
-    // inside parallelFor.
-    if (serialAnalyses) {
-        for (auto &a : analyses)
-            a->onIteration(iter, domain);
-    } else {
-        parallelFor(analyses.size(), std::size_t{1},
-                    [&](std::size_t a) {
-                        analyses[a]->onIteration(iter, domain);
-                    });
-    }
     for (auto &a : analyses) {
-        const bool done = a->trainingFinished(iter);
+        const bool done = a->trainingFinished(it);
         all_done = all_done && done;
         if (a->config().stopWhenConverged) {
             any_stopper = true;
@@ -79,7 +129,10 @@ Region::end()
 
     // Convergence broadcast (paper Sec. III-C): once every analysis
     // finished training, rank 0 publishes the current prediction,
-    // the wave-front rank, and the termination flag.
+    // the wave-front rank, and the termination flag. Collectives
+    // always run on the application thread — under the async
+    // pipeline this method executes at drain time, never on a pool
+    // worker — and fire on the same iterations as synchronous mode.
     if (all_done && !broadcastDone) {
         broadcastDone = true;
         const CurveFitAnalysis &lead = *analyses.front();
@@ -95,7 +148,7 @@ Region::end()
     }
 
     bool stop_now = want_stop;
-    if (comm && (iter % syncInterval) == syncInterval - 1) {
+    if (comm && (it % syncInterval) == syncInterval - 1) {
         // Keep all ranks agreed on the stop decision. Analyses are
         // replicated, so this is belt-and-braces, but it is the MPI
         // traffic whose cost the paper's overhead tables include.
@@ -103,15 +156,73 @@ Region::end()
             comm->allreduce(stop_now ? 1.0 : 0.0, ReduceOp::Max) > 0.5;
     }
     stopFlag = stopFlag || stop_now;
+}
 
-    ++iter;
-    overhead += work.elapsed();
+void
+Region::drainNow()
+{
+    if (!epochOpen)
+        return;
+    ThreadPool::global().wait(epochHandle);
+    epochHandle.reset();
+    epochOpen = false;
+    finishIteration(epochIter);
+}
+
+void
+Region::drainQuery()
+{
+    if (!epochOpen)
+        return;
+    // The stall (wait + deferred protocol) blocks the caller, so it
+    // counts as exposed overhead; work already hidden under the
+    // solver does not.
+    Timer stall;
+    drainNow();
+    overhead += stall.elapsed();
+}
+
+void
+Region::setAsyncAnalyses(bool async)
+{
+    if (!async)
+        drainQuery();
+    asyncAnalyses_ = async;
+}
+
+bool
+Region::shouldStop() const
+{
+    drainPending();
+    return stopFlag;
+}
+
+double
+Region::overheadSeconds() const
+{
+    drainPending();
+    return overhead;
+}
+
+int
+Region::wavefrontRank() const
+{
+    drainPending();
+    return wavefrontRank_;
+}
+
+const double *
+Region::lastBroadcast() const
+{
+    drainPending();
+    return broadcastBuf;
 }
 
 CurveFitAnalysis &
 Region::analysis(std::size_t id)
 {
     TDFE_ASSERT(id < analyses.size(), "analysis id out of range");
+    drainQuery();
     return *analyses[id];
 }
 
@@ -119,6 +230,7 @@ const CurveFitAnalysis &
 Region::analysis(std::size_t id) const
 {
     TDFE_ASSERT(id < analyses.size(), "analysis id out of range");
+    drainPending();
     return *analyses[id];
 }
 
@@ -141,6 +253,7 @@ Region::setCommunicator(Communicator *c)
 void
 Region::saveCheckpoint(std::ostream &out) const
 {
+    drainPending();
     BinaryWriter w(out);
     w.writeTag("TDFECKPT");
     w.writeU64(1); // format version
@@ -160,6 +273,7 @@ Region::saveCheckpoint(std::ostream &out) const
 void
 Region::loadCheckpoint(std::istream &in)
 {
+    drainQuery();
     BinaryReader r(in);
     r.expectTag("TDFECKPT");
     const std::uint64_t version = r.readU64();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.hh"
 #include "base/timer.hh"
 #include "core/analysis.hh"
 
@@ -56,17 +57,25 @@ class Region
     /**
      * Mark the end of the instrumented block: runs data collection
      * and training for every analysis, evaluates the stop protocol,
-     * and advances the iteration counter.
+     * and advances the iteration counter. In async mode (see
+     * setAsyncAnalyses) only the provider snapshot happens here;
+     * the digest is deferred to the thread pool and drained at the
+     * next end() or the first query, whichever comes first.
      */
     void end();
 
-    /** @return true when the simulation should terminate early. */
-    bool shouldStop() const { return stopFlag; }
+    /**
+     * @return true when the simulation should terminate early.
+     * Drains any in-flight async epoch first, so the answer on
+     * iteration k is bitwise identical to synchronous mode.
+     */
+    bool shouldStop() const;
 
     /** @return iterations completed (end() calls). */
     long iteration() const { return iter; }
 
-    /** @return analysis by id. @{ */
+    /** @return analysis by id (drains any in-flight epoch, so every
+     *  query on the returned analysis sees fully-digested state). @{ */
     CurveFitAnalysis &analysis(std::size_t id);
     const CurveFitAnalysis &analysis(std::size_t id) const;
     /** @} */
@@ -74,14 +83,21 @@ class Region
     /** @return number of registered analyses. */
     std::size_t analysisCount() const { return analyses.size(); }
 
-    /** @return cumulative seconds spent inside begin()+end(). */
-    double overheadSeconds() const { return overhead; }
+    /**
+     * @return cumulative seconds of analysis work *exposed* to the
+     * caller: time inside end() plus any stalls draining an
+     * in-flight epoch at a query. Digest work hidden under the
+     * solver in async mode is deliberately not counted — this is
+     * the per-step cost the paper's overhead tables (Table III/VII)
+     * report.
+     */
+    double overheadSeconds() const;
 
     /** @return cumulative seconds between begin() and end(). */
     double stepSeconds() const { return stepTime; }
 
     /** @return rank owning the wave front (0 without a comm). */
-    int wavefrontRank() const { return wavefrontRank_; }
+    int wavefrontRank() const;
 
     /**
      * Install the location->rank map used to report the wave-front
@@ -105,13 +121,38 @@ class Region
      * ingest (sampling + training) across the process-wide thread
      * pool, which invokes the analyses' variable providers
      * concurrently against the shared domain; providers that are
-     * not pure reads need this escape hatch.
+     * not pure reads need this escape hatch. Takes precedence over
+     * setAsyncAnalyses().
      */
     void setSerialAnalyses(bool serial) { serialAnalyses = serial; }
 
+    /**
+     * Pipeline the per-iteration ingest: end() invokes the
+     * providers synchronously (on the calling thread, one analysis
+     * at a time) to snapshot the probe values into reusable staging
+     * rows, then defers the digest — normalize, append, mini-batch
+     * training, early-stop checks — to the process-wide thread pool
+     * so it overlaps the next solver step. The in-flight epoch is
+     * drained, and its stop protocol evaluated for the iteration it
+     * belongs to, at the next end() or at the first query
+     * (shouldStop(), analysis(), lastBroadcast(), wavefrontRank(),
+     * overheadSeconds(), checkpoints), so extracted features, stop
+     * decisions, and checkpoints are bitwise identical to the
+     * synchronous modes. setSerialAnalyses(true) wins over this
+     * flag and forces everything back on-thread, and a
+     * single-thread pool degenerates to the synchronous path (no
+     * worker to overlap onto, so deferring would only add queue
+     * bookkeeping).
+     */
+    void setAsyncAnalyses(bool async);
+
+    /** @return true while a deferred digest epoch awaits drain
+     *  (diagnostics/tests; does not drain). */
+    bool epochInFlight() const { return epochOpen; }
+
     /** Values of the last completed broadcast:
      *  [prediction, wavefront rank, stop flag]. */
-    const double *lastBroadcast() const { return broadcastBuf; }
+    const double *lastBroadcast() const;
 
     /**
      * Write a checkpoint of the region and all its analyses.
@@ -124,6 +165,24 @@ class Region
     /** @} */
 
   private:
+    /** Stop protocol + broadcast for completed iteration @p it. */
+    void finishIteration(long it);
+
+    /** Complete the in-flight epoch: wait for the digest tasks,
+     *  then run its deferred stop protocol on this thread. */
+    void drainNow();
+
+    /** Query-path drain: like drainNow() but charges the stall to
+     *  the exposed overhead (end() already times its own drain). */
+    void drainQuery();
+
+    /** Const-query bridge: drains via const_cast — queries are
+     *  logically const, the epoch is bookkeeping. */
+    void drainPending() const
+    {
+        const_cast<Region *>(this)->drainQuery();
+    }
+
     std::string name;
     void *domain;
     Communicator *comm;
@@ -133,10 +192,17 @@ class Region
     bool stopFlag = false;
     bool broadcastDone = false;
     bool serialAnalyses = false;
+    bool asyncAnalyses_ = false;
     long syncInterval = 10;
     int wavefrontRank_ = 0;
     std::function<int(long)> rankOfLocation;
     double broadcastBuf[3] = {0.0, 0.0, 0.0};
+
+    /** In-flight digest epoch (async mode). @{ */
+    ThreadPool::JobHandle epochHandle;
+    long epochIter = -1;
+    bool epochOpen = false;
+    /** @} */
 
     Timer blockTimer;
     bool inBlock = false;

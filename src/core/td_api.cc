@@ -146,6 +146,12 @@ td_region_add_analysis(td_region_t *region,
 }
 
 void
+td_region_set_async(td_region_t *region, int async)
+{
+    region->region.setAsyncAnalyses(async != 0);
+}
+
+void
 td_region_begin(td_region_t *region)
 {
     region->region.begin();

@@ -32,13 +32,22 @@ typedef struct td_iter_param td_iter_param_t;
  * User-implemented diagnostic-variable accessor: returns the value
  * of the tracked variable at @p loc for the given simulation domain.
  *
- * Thread-safety: when a region hosts more than one analysis and the
- * process-wide thread pool has more than one thread, providers of
- * different analyses may be invoked concurrently (each against the
- * same @p domain). Providers must therefore be pure reads of the
- * domain. Providers that mutate shared state (lazy caches, handles
- * bound to one thread) must either be made thread-safe or the region
- * switched to serial ingest via tdfe::Region::setSerialAnalyses().
+ * Thread-safety and lifetime: in the default synchronous mode, when
+ * a region hosts more than one analysis and the process-wide thread
+ * pool has more than one thread, providers of different analyses may
+ * be invoked concurrently (each against the same @p domain), so they
+ * must be pure reads of the domain. Under the asynchronous pipeline
+ * (td_region_set_async / tdfe::Region::setAsyncAnalyses) providers
+ * are only ever called during the synchronous snapshot phase inside
+ * td_region_end — on the calling thread, one analysis at a time,
+ * while the domain is quiescent — so providers that mutate shared
+ * state (lazy caches, handles bound to one thread) are safe again;
+ * only the deferred digest (which never calls providers) overlaps
+ * the next solver step. Alternatively, serial ingest via
+ * tdfe::Region::setSerialAnalyses() keeps everything on-thread.
+ * Either way a provider must stay valid for the whole simulation:
+ * the region keeps invoking it every td_region_end until the run
+ * (or the sampling window) finishes.
  */
 typedef double (*td_var_provider_fn)(void *domain, int loc);
 
@@ -142,6 +151,17 @@ int td_region_add_analysis_ex(td_region_t *region,
                               td_iter_param_t *iter, double threshold,
                               int if_simulation_will_terminate,
                               const td_ar_options_t *opts);
+
+/**
+ * Pipeline the per-iteration analysis work: nonzero makes
+ * td_region_end snapshot the providers synchronously and defer the
+ * training digest to the process-wide thread pool so it overlaps
+ * the next solver step. Every query (stop flag, features,
+ * predictions, checkpoints) first drains the in-flight work, so
+ * results are bitwise identical to the synchronous mode; see the
+ * td_var_provider_fn note for the provider lifetime rules.
+ */
+void td_region_set_async(td_region_t *region, int async);
 
 /** Mark the start of the instrumented block (paper Fig. 2 line 23). */
 void td_region_begin(td_region_t *region);

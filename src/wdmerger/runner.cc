@@ -28,6 +28,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
     if (options.instrument) {
         region = std::make_unique<Region>("wdmerger", &app, comm);
         region->setSyncInterval(options.syncInterval);
+        region->setAsyncAnalyses(options.asyncAnalyses);
 
         const long span =
             static_cast<long>(options.ar.order) * options.ar.lag;

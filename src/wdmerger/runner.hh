@@ -28,6 +28,14 @@ struct WdRunOptions
     bool instrument = false;
     /** Honour early termination. */
     bool honorStop = false;
+    /** Pipeline the four analyses' ingest: snapshot at end(),
+     *  digest on the pool (results stay bitwise identical; see
+     *  Region::setAsyncAnalyses). The digest overlaps the next
+     *  dump interval in non-stop runs; with honorStop the
+     *  per-iteration shouldStop() poll drains the epoch, so the
+     *  four digests still fan out across workers but nothing is
+     *  hidden under the solver. */
+    bool asyncAnalyses = false;
     /** Training window ends at this fraction of the full run. */
     double trainFraction = 0.25;
     /** AR model settings shared by the four analyses. */

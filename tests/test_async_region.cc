@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests of the asynchronous ingest pipeline: async (snapshot-and-
+ * defer) runs must produce bitwise-identical features, predictions,
+ * stop iterations, and checkpoints to synchronous runs at every
+ * thread count; queries must drain the in-flight epoch; and
+ * setSerialAnalyses must still force everything on-thread.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/serial.hh"
+#include "base/thread_pool.hh"
+#include "core/region.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/**
+ * Deterministic synthetic substrate: an attenuating gaussian pulse
+ * travelling outward, plus a small deterministic ripple so the fit
+ * never degenerates. The "solver step" is bumping `iter`.
+ */
+struct WaveDomain
+{
+    long iter = 0;
+
+    double
+    at(long loc) const
+    {
+        const double x = static_cast<double>(loc);
+        const double t = static_cast<double>(iter);
+        const double front = 0.35 * t;
+        const double amp = 1.0 / (1.0 + 0.03 * x);
+        return amp * std::exp(-(x - front) * (x - front) / 24.0) +
+               0.01 * std::sin(0.7 * x + 0.3 * t);
+    }
+};
+
+double
+waveProvider(void *domain, long loc)
+{
+    return static_cast<WaveDomain *>(domain)->at(loc);
+}
+
+AnalysisConfig
+waveAnalysis(bool stopper)
+{
+    AnalysisConfig ac;
+    ac.name = "wave";
+    ac.provider = waveProvider;
+    ac.space = IterParam(1, 16, 1);
+    ac.time = IterParam(5, 60, 1);
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.threshold = 0.3;
+    ac.searchEnd = 16;
+    ac.minLocation = 1;
+    ac.stopWhenConverged = stopper;
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.order = 3;
+    ac.ar.lag = 2;
+    ac.ar.batchSize = 8;
+    ac.ar.convergeTol = 0.2;
+    ac.ar.convergePatience = 2;
+    ac.ar.minBatches = 2;
+    return ac;
+}
+
+enum class Mode { Serial, Fanout, Async };
+
+void
+applyMode(Region &region, Mode mode)
+{
+    region.setSerialAnalyses(mode == Mode::Serial);
+    region.setAsyncAnalyses(mode == Mode::Async);
+}
+
+/** Mutable state of one analysis, byte-exact. */
+std::string
+analysisBytes(Region &region, std::size_t id)
+{
+    std::ostringstream os;
+    BinaryWriter w(os);
+    region.analysis(id).save(w);
+    return os.str();
+}
+
+/** Everything a run produced that must be mode-invariant. */
+struct RunOut
+{
+    double feature = 0.0;
+    double prediction = 0.0;
+    long convergedIter = -2;
+    long stopIter = -1;
+    std::size_t rounds = 0;
+    std::string bytes;
+    std::vector<double> perIterPrediction;
+};
+
+/**
+ * Drive @p iters iterations of the wave through a two-analysis
+ * region. When @p query_each_iter, shouldStop() and
+ * currentPrediction() are polled after every end() — mid-flight
+ * queries that must drain the epoch and observe exactly the
+ * synchronous per-iteration state.
+ */
+RunOut
+runWave(Mode mode, long iters, bool query_each_iter)
+{
+    WaveDomain dom;
+    Region region("wave", &dom);
+    applyMode(region, mode);
+    const std::size_t id = region.addAnalysis(waveAnalysis(true));
+    AnalysisConfig second = waveAnalysis(false);
+    second.feature = FeatureKind::PeakValue;
+    second.featureLocation = 4;
+    region.addAnalysis(second);
+
+    RunOut out;
+    for (long k = 0; k < iters; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+        if (query_each_iter) {
+            out.perIterPrediction.push_back(
+                region.analysis(id).currentPrediction());
+            if (out.stopIter < 0 && region.shouldStop())
+                out.stopIter = k;
+        }
+    }
+
+    const CurveFitAnalysis &a = region.analysis(id);
+    out.feature = a.extractFeature();
+    out.prediction = a.currentPrediction();
+    out.convergedIter = a.convergedIteration();
+    out.rounds = a.trainingRounds();
+    out.bytes = analysisBytes(region, id) + analysisBytes(region, 1);
+    return out;
+}
+
+class AsyncRegionTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setGlobalThreadCount(1); }
+};
+
+TEST_F(AsyncRegionTest, AsyncMatchesSerialAtEveryThreadCount)
+{
+    setGlobalThreadCount(1);
+    const RunOut ref = runWave(Mode::Serial, 80, false);
+    ASSERT_GT(ref.rounds, 2u);
+    ASSERT_GE(ref.convergedIter, 0);
+
+    for (const int t : {1, 2, 4}) {
+        setGlobalThreadCount(t);
+        for (const Mode mode : {Mode::Fanout, Mode::Async}) {
+            const RunOut r = runWave(mode, 80, false);
+            EXPECT_EQ(ref.feature, r.feature) << "threads " << t;
+            EXPECT_EQ(ref.prediction, r.prediction)
+                << "threads " << t;
+            EXPECT_EQ(ref.convergedIter, r.convergedIter)
+                << "threads " << t;
+            EXPECT_EQ(ref.rounds, r.rounds) << "threads " << t;
+            EXPECT_EQ(ref.bytes, r.bytes)
+                << "checkpoint bytes differ at " << t << " threads";
+        }
+    }
+}
+
+TEST_F(AsyncRegionTest, StopIterationAndQueriesIdenticalMidFlight)
+{
+    setGlobalThreadCount(1);
+    const RunOut ref = runWave(Mode::Serial, 80, true);
+    ASSERT_GE(ref.stopIter, 0)
+        << "reference run never requested a stop";
+
+    for (const int t : {1, 2, 4}) {
+        setGlobalThreadCount(t);
+        const RunOut r = runWave(Mode::Async, 80, true);
+        EXPECT_EQ(ref.stopIter, r.stopIter) << "threads " << t;
+        EXPECT_EQ(ref.perIterPrediction, r.perIterPrediction)
+            << "threads " << t;
+        EXPECT_EQ(ref.bytes, r.bytes) << "threads " << t;
+    }
+}
+
+TEST_F(AsyncRegionTest, QueriesDrainTheEpoch)
+{
+    setGlobalThreadCount(2);
+    WaveDomain dom;
+    Region region("wave-drain", &dom);
+    region.setAsyncAnalyses(true);
+    const std::size_t id = region.addAnalysis(waveAnalysis(false));
+
+    for (long k = 0; k < 20; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+        // end() leaves the digest in flight...
+        EXPECT_TRUE(region.epochInFlight());
+        // ...and any query drains it before answering.
+        region.analysis(id).observed();
+        EXPECT_FALSE(region.epochInFlight());
+    }
+
+    region.begin();
+    dom.iter = 20;
+    region.end();
+    EXPECT_TRUE(region.epochInFlight());
+    EXPECT_FALSE(region.shouldStop());
+    EXPECT_FALSE(region.epochInFlight());
+}
+
+TEST_F(AsyncRegionTest, SerialAnalysesStillForcesOnThread)
+{
+    setGlobalThreadCount(4);
+    WaveDomain dom;
+    Region region("wave-serial", &dom);
+    region.setAsyncAnalyses(true);
+    region.setSerialAnalyses(true);
+    region.addAnalysis(waveAnalysis(false));
+
+    for (long k = 0; k < 20; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+        // Serial mode wins: the digest ran inside end(), no epoch
+        // was deferred.
+        EXPECT_FALSE(region.epochInFlight());
+    }
+
+    setGlobalThreadCount(1);
+    const RunOut ref = runWave(Mode::Serial, 50, false);
+    setGlobalThreadCount(4);
+    const RunOut both = [&] {
+        WaveDomain d2;
+        Region r2("wave-serial2", &d2);
+        r2.setAsyncAnalyses(true);
+        r2.setSerialAnalyses(true);
+        const std::size_t id = r2.addAnalysis(waveAnalysis(true));
+        AnalysisConfig second = waveAnalysis(false);
+        second.feature = FeatureKind::PeakValue;
+        second.featureLocation = 4;
+        r2.addAnalysis(second);
+        for (long k = 0; k < 50; ++k) {
+            r2.begin();
+            d2.iter = k;
+            r2.end();
+        }
+        RunOut out;
+        out.bytes = analysisBytes(r2, id) + analysisBytes(r2, 1);
+        return out;
+    }();
+    EXPECT_EQ(ref.bytes, both.bytes);
+}
+
+TEST_F(AsyncRegionTest, CheckpointDrainsAndRoundTripsAcrossModes)
+{
+    const long split = 30, total = 70;
+
+    // Serial reference: checkpoint at the split, state at the end.
+    setGlobalThreadCount(1);
+    WaveDomain dref;
+    Region serial("wave-ck", &dref);
+    serial.setSerialAnalyses(true);
+    serial.addAnalysis(waveAnalysis(true));
+    std::stringstream serial_split;
+    for (long k = 0; k < total; ++k) {
+        serial.begin();
+        dref.iter = k;
+        serial.end();
+        if (k == split - 1)
+            serial.saveCheckpoint(serial_split);
+    }
+    const std::string serial_end = analysisBytes(serial, 0);
+
+    // Async run up to the split: saveCheckpoint must drain the
+    // in-flight epoch and emit the same analysis payload the serial
+    // run saved.
+    setGlobalThreadCount(2);
+    std::stringstream async_split;
+    {
+        WaveDomain dom;
+        Region async_r("wave-ck", &dom);
+        async_r.setAsyncAnalyses(true);
+        async_r.addAnalysis(waveAnalysis(true));
+        for (long k = 0; k < split; ++k) {
+            async_r.begin();
+            dom.iter = k;
+            async_r.end();
+        }
+        EXPECT_TRUE(async_r.epochInFlight());
+        async_r.saveCheckpoint(async_split);
+        EXPECT_FALSE(async_r.epochInFlight());
+    }
+
+    // The region checkpoint carries wall-clock overhead/step
+    // timings, which legitimately differ between runs; the analysis
+    // payloads and protocol state must not. Restore both
+    // checkpoints and continue both restored regions to the end —
+    // one synchronously, one async — and compare final states.
+    auto continue_from = [&](std::stringstream &ck,
+                             bool async_mode) -> std::string {
+        WaveDomain dom;
+        Region region("wave-ck", &dom);
+        region.setAsyncAnalyses(async_mode);
+        region.addAnalysis(waveAnalysis(true));
+        region.loadCheckpoint(ck);
+        EXPECT_EQ(split, region.iteration());
+        for (long k = split; k < total; ++k) {
+            region.begin();
+            dom.iter = k;
+            region.end();
+        }
+        return analysisBytes(region, 0);
+    };
+    const std::string from_serial = continue_from(serial_split, false);
+    const std::string from_async = continue_from(async_split, true);
+    EXPECT_EQ(serial_end, from_serial);
+    EXPECT_EQ(serial_end, from_async);
+}
+
+} // namespace

@@ -201,4 +201,37 @@ TEST(ThreadPool, ResizeAndEnvSizing)
     EXPECT_EQ(runs.load(), 15);
 }
 
+TEST(ThreadPool, SubmitWaitFinished)
+{
+    // Null and empty handles count as finished; wait is a no-op.
+    ThreadPool::JobHandle null_job;
+    EXPECT_TRUE(ThreadPool::finished(null_job));
+
+    ThreadPool pool(3);
+    const ThreadPool::JobHandle empty =
+        pool.submit(0, [](std::size_t) { FAIL(); });
+    EXPECT_TRUE(ThreadPool::finished(empty));
+    pool.wait(empty);
+
+    // Deferred chunks complete exactly once each; wait() blocks
+    // until the counter is spent, after which finished() is stable.
+    std::atomic<int> runs{0};
+    const ThreadPool::JobHandle job =
+        pool.submit(64, [&](std::size_t) { ++runs; });
+    pool.wait(job);
+    EXPECT_TRUE(ThreadPool::finished(job));
+    EXPECT_EQ(runs.load(), 64);
+
+    // Zero workers: nothing runs until the waiter helps.
+    ThreadPool solo(1);
+    std::atomic<int> solo_runs{0};
+    const ThreadPool::JobHandle deferred =
+        solo.submit(8, [&](std::size_t) { ++solo_runs; });
+    EXPECT_EQ(solo_runs.load(), 0);
+    EXPECT_FALSE(ThreadPool::finished(deferred));
+    solo.wait(deferred);
+    EXPECT_TRUE(ThreadPool::finished(deferred));
+    EXPECT_EQ(solo_runs.load(), 8);
+}
+
 } // namespace
