@@ -58,13 +58,7 @@ hashAnalyses(Region &region)
     BinaryWriter w(os);
     for (std::size_t a = 0; a < region.analysisCount(); ++a)
         region.analysis(a).save(w);
-    const std::string bytes = os.str();
-    std::uint64_t h = 1469598103934665603ull;
-    for (const unsigned char c : bytes) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a(os.str());
 }
 
 /** Three analyses on the probe line: the paper's break-point plus

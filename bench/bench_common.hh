@@ -9,6 +9,7 @@
 #ifndef TDFE_BENCH_BENCH_COMMON_HH
 #define TDFE_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -79,6 +80,34 @@ blastAnalysis(const BlastTruth &truth, double train_fraction,
     ac.ar.convergePatience = 3;
     ac.ar.minBatches = 4;
     return ac;
+}
+
+/** FNV-1a offset basis (seed for fnv1a). */
+constexpr std::uint64_t fnv1aBasis = 1469598103934665603ull;
+
+/**
+ * FNV-1a over @p count raw bytes, continuing from @p h (pass
+ * fnv1aBasis to start a digest). The digest-equality gates hash
+ * checkpoint payloads with this so the same constants govern every
+ * bench's "digest" column.
+ */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t count,
+      std::uint64_t h = fnv1aBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < count; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** FNV-1a over a byte string (checkpoint payloads). */
+inline std::uint64_t
+fnv1a(const std::string &bytes, std::uint64_t h = fnv1aBasis)
+{
+    return fnv1a(bytes.data(), bytes.size(), h);
 }
 
 /** Print the standard bench banner. */

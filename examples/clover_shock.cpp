@@ -50,7 +50,12 @@ main(int argc, char **argv)
     Region region("clover_shock", &field);
     // Pipelined ingest: end() snapshots the probe line and the
     // training digest overlaps the next hydro cycle on the pool.
+    // The relaxed stop query composes with it: polling shouldStop()
+    // every cycle no longer drains the in-flight digest, so the
+    // overlap survives the poll (the decision is at most one cycle
+    // stale — irrelevant here, the analysis never requests a stop).
     region.setAsyncAnalyses(true);
+    region.setRelaxedStopQuery(true);
     AnalysisConfig cfg;
     cfg.name = "clover-breakpoint";
     cfg.provider = [](void *domain, long loc) {
@@ -75,6 +80,8 @@ main(int argc, char **argv)
         Timestep(field);
         HydroCycle(field);
         region.end();
+        if (region.shouldStop()) // relaxed: no drain, no stall
+            break;
         field.gatherProbes();
         for (long loc = 1; loc <= field.probeCount(); ++loc) {
             auto &p = peak[static_cast<std::size_t>(loc - 1)];

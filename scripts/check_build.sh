@@ -2,14 +2,38 @@
 # Tier-1 verification: configure, build, run the tier-1 test suite,
 # then run the bench_smoke label on its own so a regression in either
 # pipeline (library correctness or bench wiring, including the
-# async_pipeline digest-equality gate) fails fast and visibly.
+# async_pipeline and rank_pipeline digest-equality gates) fails fast
+# and visibly. Finally the TSan battery rebuilds the concurrency
+# tests with -fsanitize=thread (TIER1_TSAN) in their own tree and
+# runs the tsan_smoke label — skipped with a notice when the
+# toolchain cannot produce TSan binaries, or when SKIP_TSAN=1.
 # This is the command CI and the roadmap's "tier-1 verify" refer to.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+root=$(pwd)
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build
 ctest --output-on-failure -j"$(nproc)" -L tier1 "$@"
 ctest --output-on-failure -L bench_smoke
+
+cd "$root"
+tsan_probe=$(mktemp /tmp/tsan_probe.XXXXXX)
+if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
+   echo 'int main(){return 0;}' |
+       c++ -fsanitize=thread -x c++ - -o "$tsan_probe" 2>/dev/null &&
+   "$tsan_probe"; then
+  rm -f "$tsan_probe"
+  cmake -B build-tsan -S . -DTIER1_TSAN=ON
+  cmake --build build-tsan -j"$(nproc)" --target \
+      test_comm_tsan test_comm_nonblocking_tsan \
+      test_async_region_tsan test_relaxed_stop_tsan \
+      test_parallel_for_tsan
+  cd build-tsan
+  ctest --output-on-failure -L tsan_smoke
+else
+  rm -f "$tsan_probe"
+  echo "-- tsan battery skipped (no -fsanitize=thread or SKIP_TSAN=1)"
+fi

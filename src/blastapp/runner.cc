@@ -23,7 +23,9 @@ runBlast(const BlastConfig &config, Communicator *comm,
     if (options.instrument) {
         region = std::make_unique<Region>("blast", &domain, comm);
         region->setSyncInterval(options.syncInterval);
+        region->setBlockingSync(options.blockingSync);
         region->setAsyncAnalyses(options.asyncAnalyses);
+        region->setRelaxedStopQuery(options.relaxedStop);
         region->setRankOfLocation([&domain](long loc) {
             return domain.rankOfLocation(loc);
         });

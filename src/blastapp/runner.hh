@@ -39,6 +39,16 @@ struct RunOptions
      *  the drained digest runs on the pool workers, but nothing is
      *  hidden under the solver. */
     bool asyncAnalyses = false;
+    /** Relaxed stop query (see Region::setRelaxedStopQuery): the
+     *  per-iteration shouldStop() poll returns the last published
+     *  decision without draining the pipeline, so the digest keeps
+     *  overlapping the solver even with honorStop — at the cost of
+     *  stopping at most one iteration later. */
+    bool relaxedStop = false;
+    /** Reference mode: blocking collectives inside end() (the
+     *  pre-pipelined protocol; bench/rank_pipeline measures the
+     *  overlapped protocol against it). */
+    bool blockingSync = false;
     /** Analysis specification (provider is filled by the harness). */
     AnalysisConfig analysis;
     /** Iterations between collective stop syncs. */

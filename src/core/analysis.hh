@@ -170,6 +170,15 @@ class CurveFitAnalysis
     /** @return training rounds completed. */
     std::size_t trainingRounds() const { return trainer_.rounds(); }
 
+    /** @return the training round that published the convergence
+     *  decision (0: not converged yet) — the model state behind
+     *  convergedIteration(), invariant across the sync/async and
+     *  strict/relaxed stop-query modes. */
+    std::size_t convergedRound() const
+    {
+        return stopper.convergedRound();
+    }
+
     /**
      * Re-arm the threshold used by BreakpointRadius extraction.
      * Useful when the threshold is a fraction of a reference value

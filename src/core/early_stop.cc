@@ -24,8 +24,11 @@ EarlyStop::update(double validation_mse)
     else
         consecutiveOk = 0;
 
-    if (roundsSeen >= minBatches && consecutiveOk >= patience)
+    if (!convergedFlag && roundsSeen >= minBatches &&
+        consecutiveOk >= patience) {
         convergedFlag = true;
+        convergedRound_ = roundsSeen;
+    }
 }
 
 
@@ -35,6 +38,7 @@ EarlyStop::save(BinaryWriter &w) const
     w.writeU64(roundsSeen);
     w.writeU64(consecutiveOk);
     w.writeBool(convergedFlag);
+    w.writeU64(convergedRound_);
 }
 
 void
@@ -43,6 +47,7 @@ EarlyStop::load(BinaryReader &r)
     roundsSeen = static_cast<std::size_t>(r.readU64());
     consecutiveOk = static_cast<std::size_t>(r.readU64());
     convergedFlag = r.readBool();
+    convergedRound_ = static_cast<std::size_t>(r.readU64());
 }
 
 } // namespace tdfe

@@ -40,6 +40,14 @@ class EarlyStop
     /** @return true once the convergence criterion has been met. */
     bool converged() const { return convergedFlag; }
 
+    /**
+     * @return the training round whose update() published the
+     * convergence decision (0: not yet converged). Publication
+     * metadata surfaced as CurveFitAnalysis::convergedRound():
+     * pinned to the round that fired, never moved by later updates.
+     */
+    std::size_t convergedRound() const { return convergedRound_; }
+
     /** @return training rounds observed so far. */
     std::size_t rounds() const { return roundsSeen; }
 
@@ -58,6 +66,7 @@ class EarlyStop
     std::size_t roundsSeen = 0;
     std::size_t consecutiveOk = 0;
     bool convergedFlag = false;
+    std::size_t convergedRound_ = 0;
 };
 
 } // namespace tdfe

@@ -18,7 +18,10 @@ Region::~Region()
 {
     // Never let digest tasks outlive the analyses they mutate. The
     // deferred stop protocol is skipped: nobody can query a region
-    // that is going away.
+    // that is going away. Posted collectives are simply dropped —
+    // the contribution made at post time still completes them for
+    // the other ranks, and results only ever land in our buffers
+    // from our own test()/wait() calls, so no dangling writes.
     if (epochOpen) {
         ThreadPool::global().wait(epochHandle);
         epochHandle.reset();
@@ -53,6 +56,12 @@ Region::end()
     stepTime += blockTimer.elapsed();
 
     Timer work;
+
+    // Opportunistic harvest: fold any collective that completed
+    // while the solver ran (a test under the lock, no stall). Keeps
+    // the published stop decision fresh for relaxed-mode queries.
+    completeSync(false);
+    completeBcast(false);
 
     // Pipeline discipline: the previous epoch's digest must finish
     // (and its stop protocol run, for *its* iteration) before this
@@ -133,6 +142,10 @@ Region::finishIteration(long it)
     // always run on the application thread — under the async
     // pipeline this method executes at drain time, never on a pool
     // worker — and fire on the same iterations as synchronous mode.
+    // In the overlapped (default) protocol the broadcast is only
+    // *posted* here and completed lazily at the first query that
+    // needs it (wavefrontRank / lastBroadcast / checkpoint), so no
+    // rank stalls inside end().
     if (all_done && !broadcastDone) {
         broadcastDone = true;
         const CurveFitAnalysis &lead = *analyses.front();
@@ -142,9 +155,16 @@ Region::finishIteration(long it)
         broadcastBuf[0] = lead.currentPrediction();
         broadcastBuf[1] = static_cast<double>(wavefrontRank_);
         broadcastBuf[2] = want_stop ? 1.0 : 0.0;
-        if (comm)
-            comm->bcast(broadcastBuf, 3, 0);
-        wavefrontRank_ = static_cast<int>(broadcastBuf[1]);
+        if (comm) {
+            if (blockingSync_) {
+                comm->bcast(broadcastBuf, 3, 0);
+                wavefrontRank_ =
+                    static_cast<int>(broadcastBuf[1]);
+            } else {
+                bcastReq = comm->ibcast(broadcastBuf, 3, 0);
+                bcastPending = true;
+            }
+        }
     }
 
     bool stop_now = want_stop;
@@ -152,10 +172,91 @@ Region::finishIteration(long it)
         // Keep all ranks agreed on the stop decision. Analyses are
         // replicated, so this is belt-and-braces, but it is the MPI
         // traffic whose cost the paper's overhead tables include.
-        stop_now =
-            comm->allreduce(stop_now ? 1.0 : 0.0, ReduceOp::Max) > 0.5;
+        if (blockingSync_) {
+            stop_now = comm->allreduce(stop_now ? 1.0 : 0.0,
+                                       ReduceOp::Max) > 0.5;
+        } else {
+            // Overlapped protocol: harvest the reduction posted one
+            // sync window ago (usually long complete — that is the
+            // rank pipelining), then post this window's. The result
+            // folds into the stop flag at the next harvest point; a
+            // strict shouldStop() forces it with a wait.
+            completeSync(true);
+            syncResult = 0.0;
+            syncIter = it;
+            syncReq = comm->iallreduce(stop_now ? 1.0 : 0.0,
+                                       ReduceOp::Max, &syncResult);
+            syncPending = true;
+        }
     }
+    publishStop(stop_now, it);
+}
+
+void
+Region::publishStop(bool stop_now, long it)
+{
+    if (stop_now && !stopFlag)
+        stopIter_ = it;
     stopFlag = stopFlag || stop_now;
+}
+
+void
+Region::completeSync(bool block)
+{
+    if (!syncPending)
+        return;
+    if (block)
+        syncReq.wait();
+    else if (!syncReq.test())
+        return;
+    syncReq.reset();
+    syncPending = false;
+    // Attribute a remote-triggered stop to the iteration the
+    // reduction was evaluated for — exactly where blocking mode
+    // would have published it, however late the harvest runs.
+    publishStop(syncResult > 0.5, syncIter);
+}
+
+void
+Region::completeBcast(bool block)
+{
+    if (!bcastPending)
+        return;
+    if (block)
+        bcastReq.wait();
+    else if (!bcastReq.test())
+        return;
+    bcastReq.reset();
+    bcastPending = false;
+    wavefrontRank_ = static_cast<int>(broadcastBuf[1]);
+}
+
+void
+Region::completeSyncQuery()
+{
+    if (!syncPending)
+        return;
+    if (syncReq.test()) {
+        completeSync(false);
+        return;
+    }
+    Timer stall;
+    completeSync(true);
+    overhead += stall.elapsed();
+}
+
+void
+Region::completeBcastQuery()
+{
+    if (!bcastPending)
+        return;
+    if (bcastReq.test()) {
+        completeBcast(false);
+        return;
+    }
+    Timer stall;
+    completeBcast(true);
+    overhead += stall.elapsed();
 }
 
 void
@@ -193,7 +294,18 @@ Region::setAsyncAnalyses(bool async)
 bool
 Region::shouldStop() const
 {
+    auto *self = const_cast<Region *>(this);
+    if (relaxedStop_) {
+        // Relaxed stop query: report the last published decision.
+        // No epoch drain, no collective wait — only a lock-free-ish
+        // poll that folds in a reduction that already completed.
+        // The answer trails strict mode by at most one iteration
+        // (the in-flight epoch); all other results are untouched.
+        self->completeSync(false);
+        return stopFlag;
+    }
     drainPending();
+    self->completeSyncQuery();
     return stopFlag;
 }
 
@@ -208,6 +320,7 @@ int
 Region::wavefrontRank() const
 {
     drainPending();
+    const_cast<Region *>(this)->completeBcastQuery();
     return wavefrontRank_;
 }
 
@@ -215,6 +328,7 @@ const double *
 Region::lastBroadcast() const
 {
     drainPending();
+    const_cast<Region *>(this)->completeBcastQuery();
     return broadcastBuf;
 }
 
@@ -249,17 +363,33 @@ Region::setCommunicator(Communicator *c)
     comm = c;
 }
 
+void
+Region::setBlockingSync(bool blocking)
+{
+    TDFE_ASSERT(iter == 0,
+                "sync mode must be chosen before iterating");
+    blockingSync_ = blocking;
+}
+
 
 void
 Region::saveCheckpoint(std::ostream &out) const
 {
+    // Settle everything in flight: the epoch drain runs the
+    // deferred protocol, and completing the posted collectives
+    // makes the saved stop/broadcast state independent of how far
+    // the overlap had progressed.
     drainPending();
+    auto *self = const_cast<Region *>(this);
+    self->completeSyncQuery();
+    self->completeBcastQuery();
     BinaryWriter w(out);
     w.writeTag("TDFECKPT");
-    w.writeU64(1); // format version
+    w.writeU64(2); // format version
     w.writeU64(analyses.size());
     w.writeI64(iter);
     w.writeBool(stopFlag);
+    w.writeI64(stopIter_);
     w.writeBool(broadcastDone);
     w.writeI64(wavefrontRank_);
     for (const double v : broadcastBuf)
@@ -274,10 +404,15 @@ void
 Region::loadCheckpoint(std::istream &in)
 {
     drainQuery();
+    // A pending collective harvested after the restore would fold a
+    // pre-restore stop decision into the restored state: settle it
+    // now instead.
+    completeSyncQuery();
+    completeBcastQuery();
     BinaryReader r(in);
     r.expectTag("TDFECKPT");
     const std::uint64_t version = r.readU64();
-    if (version != 1)
+    if (version != 2)
         TDFE_FATAL("unsupported checkpoint version ", version);
     const std::uint64_t count = r.readU64();
     if (count != analyses.size()) {
@@ -287,6 +422,7 @@ Region::loadCheckpoint(std::istream &in)
     }
     iter = static_cast<long>(r.readI64());
     stopFlag = r.readBool();
+    stopIter_ = static_cast<long>(r.readI64());
     broadcastDone = r.readBool();
     wavefrontRank_ = static_cast<int>(r.readI64());
     for (double &v : broadcastBuf)

@@ -17,11 +17,10 @@
 #include "base/thread_pool.hh"
 #include "base/timer.hh"
 #include "core/analysis.hh"
+#include "par/comm.hh"
 
 namespace tdfe
 {
-
-class Communicator;
 
 /**
  * Container of analyses attached to one instrumented code block.
@@ -66,13 +65,28 @@ class Region
 
     /**
      * @return true when the simulation should terminate early.
-     * Drains any in-flight async epoch first, so the answer on
-     * iteration k is bitwise identical to synchronous mode.
+     *
+     * Strict mode (default): drains any in-flight async epoch and
+     * completes any posted stop collective first, so the answer on
+     * iteration k is bitwise identical to synchronous, blocking-
+     * collective mode.
+     *
+     * Relaxed mode (setRelaxedStopQuery): returns the last
+     * *published* decision — the stop protocol state as of the most
+     * recently digested iteration — without draining the epoch or
+     * waiting on a posted collective. The answer is at most one
+     * iteration stale; every other result (features, predictions,
+     * checkpoints) stays bitwise identical.
      */
     bool shouldStop() const;
 
     /** @return iterations completed (end() calls). */
     long iteration() const { return iter; }
+
+    /** @return the iteration whose protocol first published a stop
+     *  decision (-1: none yet). Does not drain; in relaxed mode this
+     *  is exactly what shouldStop() reports. */
+    long stopIteration() const { return stopIter_; }
 
     /** @return analysis by id (drains any in-flight epoch, so every
      *  query on the returned analysis sees fully-digested state). @{ */
@@ -114,6 +128,28 @@ class Region
 
     /** Attach a communicator (before the first begin()). */
     void setCommunicator(Communicator *c);
+
+    /**
+     * Relax shouldStop(): instead of draining the in-flight async
+     * epoch and completing the posted stop collective, return the
+     * last published decision (at most one iteration stale,
+     * everything else bitwise identical). Composes with
+     * setAsyncAnalyses() for full solver/analysis/communication
+     * overlap in apps that poll shouldStop() every step.
+     */
+    void setRelaxedStopQuery(bool relaxed) { relaxedStop_ = relaxed; }
+
+    /** @return true when shouldStop() runs in relaxed mode. */
+    bool relaxedStopQuery() const { return relaxedStop_; }
+
+    /**
+     * Reference mode: run the sync-interval reduction and the
+     * convergence broadcast as blocking collectives inside end(),
+     * exactly the pre-pipelined protocol. Only for measurement
+     * (bench/rank_pipeline) and debugging; results are bitwise
+     * identical either way. Set before the first begin().
+     */
+    void setBlockingSync(bool blocking);
 
     /**
      * Force the per-iteration analysis ingest back onto the calling
@@ -168,6 +204,25 @@ class Region
     /** Stop protocol + broadcast for completed iteration @p it. */
     void finishIteration(long it);
 
+    /** Publish @p stop_now into the stop flag for iteration @p it. */
+    void publishStop(bool stop_now, long it);
+
+    /** Harvest the posted stop reduction: fold its result into the
+     *  stop flag once complete. @p block waits; otherwise a test()
+     *  that comes back pending leaves the request posted. */
+    void completeSync(bool block);
+
+    /** Harvest the posted convergence broadcast (wave-front rank and
+     *  broadcast values land on completion). */
+    void completeBcast(bool block);
+
+    /** Query-path harvests: like the above with block = true, but
+     *  any actual stall is charged to the exposed overhead (a
+     *  collective that already completed costs nothing). @{ */
+    void completeSyncQuery();
+    void completeBcastQuery();
+    /** @} */
+
     /** Complete the in-flight epoch: wait for the digest tasks,
      *  then run its deferred stop protocol on this thread. */
     void drainNow();
@@ -190,13 +245,30 @@ class Region
 
     long iter = 0;
     bool stopFlag = false;
+    long stopIter_ = -1;
     bool broadcastDone = false;
     bool serialAnalyses = false;
     bool asyncAnalyses_ = false;
+    bool relaxedStop_ = false;
+    bool blockingSync_ = false;
     long syncInterval = 10;
     int wavefrontRank_ = 0;
     std::function<int(long)> rankOfLocation;
     double broadcastBuf[3] = {0.0, 0.0, 0.0};
+
+    /** Posted-but-not-yet-harvested collectives (overlapped sync).
+     *  At most one of each kind is in flight: the stop reduction is
+     *  harvested before the next one is posted, the convergence
+     *  broadcast fires once per run. @{ */
+    CommRequest syncReq;
+    bool syncPending = false;
+    double syncResult = 0.0;
+    /** Iteration the posted reduction was evaluated for, so a late
+     *  harvest publishes the stop where blocking mode would have. */
+    long syncIter = -1;
+    CommRequest bcastReq;
+    bool bcastPending = false;
+    /** @} */
 
     /** In-flight digest epoch (async mode). @{ */
     ThreadPool::JobHandle epochHandle;

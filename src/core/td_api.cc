@@ -152,6 +152,12 @@ td_region_set_async(td_region_t *region, int async)
 }
 
 void
+td_region_set_relaxed_stop(td_region_t *region, int relaxed)
+{
+    region->region.setRelaxedStopQuery(relaxed != 0);
+}
+
+void
 td_region_begin(td_region_t *region)
 {
     region->region.begin();

@@ -163,6 +163,18 @@ int td_region_add_analysis_ex(td_region_t *region,
  */
 void td_region_set_async(td_region_t *region, int async);
 
+/**
+ * Relax the stop query: nonzero makes td_region_should_stop return
+ * the last *published* stop decision instead of draining the
+ * in-flight pipeline work and completing the posted stop
+ * collective. The answer trails the strict query by at most one
+ * iteration; every other result (features, predictions,
+ * checkpoints) stays bitwise identical. Composes with
+ * td_region_set_async for full solver/analysis/communication
+ * overlap in codes that poll the stop flag every step.
+ */
+void td_region_set_relaxed_stop(td_region_t *region, int relaxed);
+
 /** Mark the start of the instrumented block (paper Fig. 2 line 23). */
 void td_region_begin(td_region_t *region);
 

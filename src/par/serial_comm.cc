@@ -28,6 +28,30 @@ SerialComm::allreduceVec(double *data, std::size_t count, ReduceOp op)
     (void)op;
 }
 
+CommRequest
+SerialComm::iallreduce(double value, ReduceOp op, double *result)
+{
+    // One rank: the reduction is the identity and completes at post
+    // time; the returned (null) request immediately tests true.
+    (void)op;
+    *result = value;
+    return CommRequest();
+}
+
+CommRequest
+SerialComm::iallreduceVec(double *data, std::size_t count, ReduceOp op)
+{
+    allreduceVec(data, count, op);
+    return CommRequest();
+}
+
+CommRequest
+SerialComm::ibcast(double *data, std::size_t count, int root)
+{
+    bcast(data, count, root);
+    return CommRequest();
+}
+
 void
 SerialComm::send(int dest, int tag, const std::vector<double> &payload)
 {

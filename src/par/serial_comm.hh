@@ -26,6 +26,12 @@ class SerialComm : public Communicator
     double allreduce(double value, ReduceOp op) override;
     void allreduceVec(double *data, std::size_t count,
                       ReduceOp op) override;
+    CommRequest iallreduce(double value, ReduceOp op,
+                           double *result) override;
+    CommRequest iallreduceVec(double *data, std::size_t count,
+                              ReduceOp op) override;
+    CommRequest ibcast(double *data, std::size_t count,
+                       int root) override;
     void send(int dest, int tag,
               const std::vector<double> &payload) override;
     std::vector<double> recv(int src, int tag) override;

@@ -44,6 +44,12 @@ ThreadCommWorld::run(const std::function<void(Communicator &)> &body)
         t.join();
 
     TDFE_ASSERT(arrived == 0, "ranks left a barrier half-entered");
+    if (!nbOps.empty()) {
+        TDFE_WARN(nbOps.size(), " non-blocking collective(s) were "
+                  "never completed by every rank (posted on some "
+                  "ranks only); clearing them");
+        nbOps.clear();
+    }
     for (const auto &[key, queue] : mailboxes) {
         if (!queue.empty()) {
             TDFE_WARN("undelivered messages remain from rank ",
@@ -56,6 +62,161 @@ ThreadCommWorld::run(const std::function<void(Communicator &)> &body)
 ThreadCommRank::ThreadCommRank(ThreadCommWorld &world, int rank)
     : world(world), myRank(rank)
 {
+}
+
+namespace
+{
+
+/** Fold @p v into @p acc with @p op. */
+inline double
+reduceOne(double acc, double v, ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::Sum:
+        return acc + v;
+      case ReduceOp::Min:
+        return std::min(acc, v);
+      case ReduceOp::Max:
+        return std::max(acc, v);
+    }
+    return acc;
+}
+
+} // namespace
+
+/**
+ * Per-rank view of one posted collective: completion is observed —
+ * and the result copied into this rank's output buffer — only from
+ * this rank's own test()/wait() calls.
+ */
+class ThreadNbOp : public CommOp
+{
+  public:
+    ThreadNbOp(ThreadCommWorld &world,
+               std::shared_ptr<NbCollective> op, double *out)
+        : world(world), op(std::move(op)), out(out)
+    {
+    }
+
+    bool
+    test() override
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        if (!op->complete)
+            return false;
+        copyOut();
+        return true;
+    }
+
+    void
+    wait() override
+    {
+        std::unique_lock<std::mutex> lock(world.mtx);
+        world.nbCv.wait(lock, [&] { return op->complete; });
+        copyOut();
+    }
+
+  private:
+    /** Idempotent: the result is immutable once complete. */
+    void
+    copyOut()
+    {
+        if (out)
+            std::copy(op->result.begin(), op->result.end(), out);
+    }
+
+    ThreadCommWorld &world;
+    std::shared_ptr<NbCollective> op;
+    double *out;
+};
+
+CommRequest
+ThreadCommRank::postCollective(NbCollective::Kind kind,
+                               const double *contribution,
+                               std::size_t count, ReduceOp op,
+                               int root, double *out)
+{
+    const std::uint64_t seq = nbSeq++;
+    std::shared_ptr<NbCollective> c;
+    bool completed = false;
+    {
+        std::lock_guard<std::mutex> lock(world.mtx);
+        auto &slot = world.nbOps[seq];
+        if (!slot) {
+            slot = std::make_shared<NbCollective>();
+            slot->kind = kind;
+            slot->op = op;
+            slot->count = count;
+            slot->root = root;
+            slot->parts.resize(
+                static_cast<std::size_t>(world.nRanks));
+        }
+        c = slot;
+        TDFE_ASSERT(c->kind == kind && c->count == count &&
+                        c->root == root && c->op == op,
+                    "non-blocking collective mismatch across ranks "
+                    "(slot ", seq, "): every rank must post the same "
+                    "operations in the same order");
+
+        if (contribution) {
+            c->parts[static_cast<std::size_t>(myRank)].assign(
+                contribution, contribution + count);
+        }
+        if (++c->contributions == world.nRanks) {
+            // Last contributor completes the op: reduce the parts in
+            // rank order (deterministic; matches the blocking
+            // scalar allreduce bitwise) and retire the slot —
+            // nobody will look it up again.
+            if (kind == NbCollective::Kind::Bcast) {
+                c->result =
+                    c->parts[static_cast<std::size_t>(c->root)];
+            } else {
+                c->result = c->parts[0];
+                for (int r = 1; r < world.nRanks; ++r) {
+                    const auto &part =
+                        c->parts[static_cast<std::size_t>(r)];
+                    for (std::size_t i = 0; i < count; ++i)
+                        c->result[i] = reduceOne(c->result[i],
+                                                 part[i], c->op);
+                }
+            }
+            c->parts.clear();
+            c->complete = true;
+            world.nbOps.erase(seq);
+            completed = true;
+        }
+    }
+    if (completed)
+        world.nbCv.notify_all();
+    return CommRequest(
+        std::make_shared<ThreadNbOp>(world, std::move(c), out));
+}
+
+CommRequest
+ThreadCommRank::iallreduce(double value, ReduceOp op, double *result)
+{
+    return postCollective(NbCollective::Kind::Allreduce, &value, 1,
+                          op, 0, result);
+}
+
+CommRequest
+ThreadCommRank::iallreduceVec(double *data, std::size_t count,
+                              ReduceOp op)
+{
+    return postCollective(NbCollective::Kind::AllreduceVec, data,
+                          count, op, 0, data);
+}
+
+CommRequest
+ThreadCommRank::ibcast(double *data, std::size_t count, int root)
+{
+    TDFE_ASSERT(root >= 0 && root < size(),
+                "ibcast root out of range");
+    // Only the root's payload matters; other ranks contribute just
+    // their arrival and receive the payload into data at completion.
+    return postCollective(NbCollective::Kind::Bcast,
+                          myRank == root ? data : nullptr, count,
+                          ReduceOp::Sum, root, data);
 }
 
 void

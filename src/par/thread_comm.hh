@@ -14,6 +14,7 @@
 #define TDFE_PAR_THREAD_COMM_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -26,6 +27,41 @@
 
 namespace tdfe
 {
+
+/**
+ * Shared state of one in-flight non-blocking collective. Ranks
+ * match by per-rank sequence number (all ranks must post their
+ * non-blocking collectives in the same order); the op completes when
+ * the last rank posts, which reduces the per-rank contributions *in
+ * rank order* — deterministic run to run, and bitwise identical to
+ * the blocking scalar allreduce (which also folds in rank order;
+ * the blocking allreduceVec folds in arrival order instead, so for
+ * floating-point Sum only the non-blocking vec path is
+ * reproducible). Each rank then copies the result into its own output
+ * buffer from its own thread, at its first successful test() or at
+ * wait() — never from another rank's thread, so a rank may drop its
+ * request (and even free its buffers) without affecting the rest.
+ */
+struct NbCollective
+{
+    enum class Kind
+    {
+        Allreduce,
+        AllreduceVec,
+        Bcast,
+    };
+
+    Kind kind = Kind::Allreduce;
+    ReduceOp op = ReduceOp::Sum;
+    std::size_t count = 0;
+    int root = 0;
+    int contributions = 0;
+    /** Per-rank contributions (bcast: only parts[root] is used). */
+    std::vector<std::vector<double>> parts;
+    /** Reduced/broadcast payload, written by the last contributor. */
+    std::vector<double> result;
+    bool complete = false;
+};
 
 /**
  * Owns the shared synchronisation state for a set of thread ranks
@@ -48,6 +84,7 @@ class ThreadCommWorld
 
   private:
     friend class ThreadCommRank;
+    friend class ThreadNbOp;
 
     /** Generation-counted central barrier. */
     void barrier();
@@ -66,6 +103,12 @@ class ThreadCommWorld
     std::vector<double> reduceSlots;
     std::vector<double> vecSlot;
     int vecContributors = 0;
+
+    // In-flight non-blocking collectives keyed by sequence slot; the
+    // last contributor completes the op and erases the entry (the
+    // requests keep the shared state alive).
+    std::map<std::uint64_t, std::shared_ptr<NbCollective>> nbOps;
+    std::condition_variable nbCv;
 
     // Mailboxes keyed by (src, dest, tag).
     std::map<std::tuple<int, int, int>,
@@ -89,13 +132,29 @@ class ThreadCommRank : public Communicator
     double allreduce(double value, ReduceOp op) override;
     void allreduceVec(double *data, std::size_t count,
                       ReduceOp op) override;
+    CommRequest iallreduce(double value, ReduceOp op,
+                           double *result) override;
+    CommRequest iallreduceVec(double *data, std::size_t count,
+                              ReduceOp op) override;
+    CommRequest ibcast(double *data, std::size_t count,
+                       int root) override;
     void send(int dest, int tag,
               const std::vector<double> &payload) override;
     std::vector<double> recv(int src, int tag) override;
 
   private:
+    /** Post one non-blocking collective into the next sequence
+     *  slot; @p contribution is this rank's payload (ignored for
+     *  non-root bcast posts), @p out where the result lands. */
+    CommRequest postCollective(NbCollective::Kind kind,
+                               const double *contribution,
+                               std::size_t count, ReduceOp op,
+                               int root, double *out);
+
     ThreadCommWorld &world;
     int myRank;
+    /** Next non-blocking collective slot this rank will post into. */
+    std::uint64_t nbSeq = 0;
 };
 
 } // namespace tdfe

@@ -28,7 +28,9 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
     if (options.instrument) {
         region = std::make_unique<Region>("wdmerger", &app, comm);
         region->setSyncInterval(options.syncInterval);
+        region->setBlockingSync(options.blockingSync);
         region->setAsyncAnalyses(options.asyncAnalyses);
+        region->setRelaxedStopQuery(options.relaxedStop);
 
         const long span =
             static_cast<long>(options.ar.order) * options.ar.lag;

@@ -36,6 +36,14 @@ struct WdRunOptions
      *  four digests still fan out across workers but nothing is
      *  hidden under the solver. */
     bool asyncAnalyses = false;
+    /** Relaxed stop query (Region::setRelaxedStopQuery): the
+     *  per-dump shouldStop() poll reports the last published
+     *  decision without draining the in-flight digest, keeping the
+     *  four analyses overlapped with the next dump interval even
+     *  under honorStop; the stop may fire one dump late. */
+    bool relaxedStop = false;
+    /** Reference mode: blocking collectives inside end(). */
+    bool blockingSync = false;
     /** Training window ends at this fraction of the full run. */
     double trainFraction = 0.25;
     /** AR model settings shared by the four analyses. */

@@ -15,7 +15,9 @@
 
 #include "base/serial.hh"
 #include "base/thread_pool.hh"
+#include "base/timer.hh"
 #include "core/region.hh"
+#include "par/thread_comm.hh"
 
 namespace
 {
@@ -258,6 +260,105 @@ TEST_F(AsyncRegionTest, SerialAnalysesStillForcesOnThread)
         return out;
     }();
     EXPECT_EQ(ref.bytes, both.bytes);
+}
+
+TEST_F(AsyncRegionTest, OverheadChargesDrainStallsExactlyOnce)
+{
+    // overheadSeconds() reports exposed time only. A query that
+    // drains an in-flight epoch charges the stall once; asking
+    // again without new work must return the exact same number (no
+    // hidden re-charging), and the running total must be monotone.
+    setGlobalThreadCount(2);
+    WaveDomain dom;
+    Region region("wave-ovh", &dom);
+    region.setAsyncAnalyses(true);
+    region.addAnalysis(waveAnalysis(false));
+
+    double last = 0.0;
+    for (long k = 0; k < 30; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+        const double charged = region.overheadSeconds(); // drains
+        EXPECT_FALSE(region.epochInFlight());
+        const double again = region.overheadSeconds();
+        EXPECT_EQ(charged, again) << "iteration " << k;
+        EXPECT_GE(charged, last);
+        last = charged;
+    }
+    // Exposed time never exceeds wall time: the overlap hides the
+    // digest, it does not double-bill it.
+    Timer wall;
+    const double before = region.overheadSeconds();
+    for (long k = 30; k < 60; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+    }
+    (void)region.overheadSeconds(); // final drain charged here
+    EXPECT_LE(region.overheadSeconds() - before,
+              wall.elapsed() + 1e-9);
+}
+
+TEST_F(AsyncRegionTest, RelaxedStopQueryDoesNotDrainTheEpoch)
+{
+    setGlobalThreadCount(2);
+    WaveDomain dom;
+    Region region("wave-relaxed", &dom);
+    region.setAsyncAnalyses(true);
+    region.setRelaxedStopQuery(true);
+    region.addAnalysis(waveAnalysis(false));
+
+    for (long k = 0; k < 10; ++k) {
+        region.begin();
+        dom.iter = k;
+        region.end();
+        EXPECT_TRUE(region.epochInFlight());
+        // The relaxed poll reports the published decision without
+        // touching the in-flight epoch...
+        EXPECT_FALSE(region.shouldStop());
+        EXPECT_TRUE(region.epochInFlight());
+        // ...while stopIteration() mirrors it drain-free.
+        EXPECT_EQ(region.stopIteration(), -1);
+    }
+    // Measurement queries still drain (and charge) as before.
+    (void)region.overheadSeconds();
+    EXPECT_FALSE(region.epochInFlight());
+}
+
+TEST_F(AsyncRegionTest, OverheadAccountingUnderOverlappedSync)
+{
+    // Two thread-ranks with the overlapped sync protocol: the
+    // strict stop query completes the posted collective and charges
+    // any stall exactly once — repeated queries with no intervening
+    // end() leave both the answer and the accounted overhead
+    // untouched on every rank.
+    setGlobalThreadCount(2);
+    ThreadCommWorld world(2);
+    world.run([&](Communicator &comm) {
+        WaveDomain dom;
+        Region region("wave-sync-ovh", &dom, &comm);
+        region.setAsyncAnalyses(true);
+        region.setSyncInterval(4);
+        region.addAnalysis(waveAnalysis(true));
+
+        for (long k = 0; k < 80; ++k) {
+            region.begin();
+            dom.iter = k;
+            region.end();
+            const bool stop1 = region.shouldStop(); // drain+harvest
+            const double o1 = region.overheadSeconds();
+            const double o2 = region.overheadSeconds();
+            EXPECT_EQ(o1, o2) << "rank " << comm.rank() << " it "
+                              << k;
+            const bool stop2 = region.shouldStop();
+            EXPECT_EQ(stop1, stop2);
+            EXPECT_EQ(region.overheadSeconds(), o2)
+                << "repeat query re-charged overhead";
+        }
+        EXPECT_TRUE(region.shouldStop())
+            << "stopper analysis never converged";
+    });
 }
 
 TEST_F(AsyncRegionTest, CheckpointDrainsAndRoundTripsAcrossModes)

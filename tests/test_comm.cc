@@ -127,6 +127,72 @@ TEST(ThreadComm, MessagesKeepFifoOrderPerTag)
     });
 }
 
+TEST(ThreadComm, SendIsBufferedEnqueueNoRendezvous)
+{
+    // The doc promise on Communicator::send: the payload is copied
+    // and buffered before the call returns, with no rendezvous.
+    // Rank 0 completes every send before rank 1 posts a single
+    // recv (the barrier separates the two phases), so a send that
+    // blocked on its receiver would deadlock here.
+    ThreadCommWorld world(2);
+    world.run([&](Communicator &c) {
+        const int msgs = 64;
+        if (c.rank() == 0) {
+            for (int i = 0; i < msgs; ++i)
+                c.send(1, 3, {static_cast<double>(i), 0.5 * i});
+            c.barrier();
+        } else {
+            c.barrier();
+            for (int i = 0; i < msgs; ++i) {
+                const auto got = c.recv(0, 3);
+                ASSERT_EQ(got.size(), 2u);
+                EXPECT_DOUBLE_EQ(got[0], static_cast<double>(i));
+                EXPECT_DOUBLE_EQ(got[1], 0.5 * i);
+            }
+        }
+    });
+}
+
+TEST(ThreadComm, SendOrderingFifoPerSourceAndTagUnderContention)
+{
+    // Completion/ordering guarantee: messages from one (src, dest)
+    // pair with the same tag arrive in send order even when several
+    // senders and several tags interleave heavily. Payload encodes
+    // (src, tag, seq) so any reordering is caught exactly.
+    const int n = 4, per_tag = 250;
+    ThreadCommWorld world(n);
+    world.run([&](Communicator &c) {
+        if (c.rank() == 0) {
+            // Drain per (src, tag) stream; FIFO within each stream
+            // must hold regardless of cross-stream interleaving.
+            for (int src = 1; src < n; ++src) {
+                for (int tag = 0; tag < 2; ++tag) {
+                    for (int i = 0; i < per_tag; ++i) {
+                        const auto got = c.recv(src, tag);
+                        ASSERT_EQ(got.size(), 3u);
+                        EXPECT_DOUBLE_EQ(got[0],
+                                         static_cast<double>(src));
+                        EXPECT_DOUBLE_EQ(got[1],
+                                         static_cast<double>(tag));
+                        EXPECT_DOUBLE_EQ(got[2],
+                                         static_cast<double>(i));
+                    }
+                }
+            }
+        } else {
+            // Interleave the two tag streams message by message.
+            for (int i = 0; i < per_tag; ++i) {
+                for (int tag = 0; tag < 2; ++tag) {
+                    c.send(0, tag,
+                           {static_cast<double>(c.rank()),
+                            static_cast<double>(tag),
+                            static_cast<double>(i)});
+                }
+            }
+        }
+    });
+}
+
 TEST(ThreadComm, BarrierSeparatesPhases)
 {
     ThreadCommWorld world(8);

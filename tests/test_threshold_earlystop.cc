@@ -120,15 +120,20 @@ TEST(EarlyStop, RequiresPatienceAndMinBatches)
     es.update(0.001); // round 7, streak 3 -> converged
     EXPECT_TRUE(es.converged());
     EXPECT_EQ(es.rounds(), 7u);
+    EXPECT_EQ(es.convergedRound(), 7u);
 }
 
 TEST(EarlyStop, StaysConvergedOnceFired)
 {
     EarlyStop es(0.01, 1, 1);
+    EXPECT_EQ(es.convergedRound(), 0u); // nothing published yet
     es.update(0.001);
     EXPECT_TRUE(es.converged());
     es.update(100.0);
     EXPECT_TRUE(es.converged());
+    // The publication round is pinned to the decision that fired,
+    // not to later updates.
+    EXPECT_EQ(es.convergedRound(), 1u);
 }
 
 TEST(EarlyStop, NeverConvergesAboveTolerance)
