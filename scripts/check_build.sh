@@ -2,11 +2,17 @@
 # Tier-1 verification: configure, build, run the tier-1 test suite,
 # then run the bench_smoke label on its own so a regression in either
 # pipeline (library correctness or bench wiring, including the
-# async_pipeline and rank_pipeline digest-equality gates) fails fast
-# and visibly. Finally the TSan battery rebuilds the concurrency
-# tests with -fsanitize=thread (TIER1_TSAN) in their own tree and
-# runs the tsan_smoke label — skipped with a notice when the
-# toolchain cannot produce TSan binaries, or when SKIP_TSAN=1.
+# async_pipeline, rank_pipeline, and simd_hotpath digest/equality
+# gates) fails fast and visibly. A second Release tree then builds
+# with TDFE_NATIVE=ON (-march=native -ffast-math) and runs the
+# tier-1 tests only — the vectorized build is not bitwise-comparable
+# to the default one, so the digest-gated benches are skipped there;
+# the point is that the native build cannot silently rot (set
+# SKIP_NATIVE=1 to opt out, e.g. for cross-compilation). Finally the
+# TSan battery rebuilds the concurrency tests with -fsanitize=thread
+# (TIER1_TSAN) in their own tree and runs the tsan_smoke label —
+# skipped with a notice when the toolchain cannot produce TSan
+# binaries, or when SKIP_TSAN=1.
 # This is the command CI and the roadmap's "tier-1 verify" refer to.
 set -euo pipefail
 
@@ -20,6 +26,16 @@ ctest --output-on-failure -j"$(nproc)" -L tier1 "$@"
 ctest --output-on-failure -L bench_smoke
 
 cd "$root"
+if [[ "${SKIP_NATIVE:-0}" != 1 ]]; then
+  cmake -B build-native -S . -DTDFE_NATIVE=ON \
+      -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-native -j"$(nproc)"
+  cd build-native
+  ctest --output-on-failure -j"$(nproc)" -L tier1
+  cd "$root"
+else
+  echo "-- native (TDFE_NATIVE=ON) tier-1 run skipped (SKIP_NATIVE=1)"
+fi
 tsan_probe=$(mktemp /tmp/tsan_probe.XXXXXX)
 if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
    echo 'int main(){return 0;}' |

@@ -162,9 +162,11 @@ double
 CloverSolver2D::totalMass() const
 {
     double sum = 0.0;
-    for (int j = ghosts; j < ghosts + cfg.ny; ++j)
+    for (int j = ghosts; j < ghosts + cfg.ny; ++j) {
+        const double *__restrict row = rho0_.data() + cid(0, j);
         for (int i = ghosts; i < ghosts + cfg.nx; ++i)
-            sum += rho0_[cid(i, j)];
+            sum += row[i];
+    }
     return sum * cfg.dx * cfg.dy;
 }
 
@@ -173,10 +175,22 @@ CloverSolver2D::totalEnergy() const
 {
     double sum = 0.0;
     for (int j = 0; j < cfg.ny; ++j) {
+        const int gj = j + ghosts;
+        const double *__restrict rr = rho0_.data() + cid(0, gj);
+        const double *__restrict er = e0_.data() + cid(0, gj);
+        const double *__restrict vx0 = vx_.data() + nid(0, gj);
+        const double *__restrict vx1 = vx_.data() + nid(0, gj + 1);
+        const double *__restrict vy0 = vy_.data() + nid(0, gj);
+        const double *__restrict vy1 = vy_.data() + nid(0, gj + 1);
         for (int i = 0; i < cfg.nx; ++i) {
-            const std::size_t c = cid(i + ghosts, j + ghosts);
-            const double v = speedAt(i, j);
-            sum += rho0_[c] * (e0_[c] + 0.5 * v * v);
+            const int gi = i + ghosts;
+            // Same corner-average order as speedAt().
+            const double u = 0.25 * (vx0[gi] + vx0[gi + 1] +
+                                     vx1[gi] + vx1[gi + 1]);
+            const double v = 0.25 * (vy0[gi] + vy0[gi + 1] +
+                                     vy1[gi] + vy1[gi + 1]);
+            const double speed = std::sqrt(u * u + v * v);
+            sum += rr[gi] * (er[gi] + 0.5 * speed * speed);
         }
     }
     return sum * cfg.dx * cfg.dy;
@@ -329,28 +343,46 @@ CloverSolver2D::applyVelocityBc()
     const int inx = g + cfg.nx;
     const int iny = g + cfg.ny;
 
-    // Low-x symmetry plane: no normal flow, mirrored ghosts.
+    // Low-x symmetry plane: no normal flow, mirrored ghosts. One
+    // row-base pointer pair per node row instead of nid() per cell.
     for (int j = 0; j < pny; ++j) {
-        vx_[nid(g, j)] = 0.0;
+        double *__restrict vxr = vx_.data() + nid(0, j);
+        double *__restrict vyr = vy_.data() + nid(0, j);
+        vxr[g] = 0.0;
         for (int k = 1; k <= g; ++k) {
-            vx_[nid(g - k, j)] = -vx_[nid(g + k, j)];
-            vy_[nid(g - k, j)] = vy_[nid(g + k, j)];
+            vxr[g - k] = -vxr[g + k];
+            vyr[g - k] = vyr[g + k];
         }
         for (int k = 1; k <= g; ++k) {
-            vx_[nid(inx + k, j)] = vx_[nid(inx, j)];
-            vy_[nid(inx + k, j)] = vy_[nid(inx, j)];
+            vxr[inx + k] = vxr[inx];
+            vyr[inx + k] = vyr[inx];
         }
     }
-    // Low-y symmetry plane and high-y outflow.
-    for (int i = 0; i < pnx; ++i) {
-        vy_[nid(i, g)] = 0.0;
-        for (int k = 1; k <= g; ++k) {
-            vy_[nid(i, g - k)] = -vy_[nid(i, g + k)];
-            vx_[nid(i, g - k)] = vx_[nid(i, g + k)];
+    // Low-y symmetry plane and high-y outflow: whole node rows at a
+    // time (stride-1 copies between row pairs).
+    {
+        double *__restrict vy_wall = vy_.data() + nid(0, g);
+        for (int i = 0; i < pnx; ++i)
+            vy_wall[i] = 0.0;
+    }
+    for (int k = 1; k <= g; ++k) {
+        double *__restrict vy_dst = vy_.data() + nid(0, g - k);
+        double *__restrict vx_dst = vx_.data() + nid(0, g - k);
+        const double *__restrict vy_src = vy_.data() + nid(0, g + k);
+        const double *__restrict vx_src = vx_.data() + nid(0, g + k);
+        for (int i = 0; i < pnx; ++i) {
+            vy_dst[i] = -vy_src[i];
+            vx_dst[i] = vx_src[i];
         }
-        for (int k = 1; k <= g; ++k) {
-            vy_[nid(i, iny + k)] = vy_[nid(i, iny)];
-            vx_[nid(i, iny + k)] = vx_[nid(i, iny)];
+    }
+    for (int k = 1; k <= g; ++k) {
+        double *__restrict vy_dst = vy_.data() + nid(0, iny + k);
+        double *__restrict vx_dst = vx_.data() + nid(0, iny + k);
+        const double *__restrict vy_src = vy_.data() + nid(0, iny);
+        const double *__restrict vx_src = vx_.data() + nid(0, iny);
+        for (int i = 0; i < pnx; ++i) {
+            vy_dst[i] = vy_src[i];
+            vx_dst[i] = vx_src[i];
         }
     }
 }

@@ -176,7 +176,7 @@ CurveFitAnalysis::currentPrediction() const
     const Predictor pred(model_, observed());
     const FittedSeries fit = pred.oneStepSeries(featureLoc());
     if (fit.predicted.empty()) {
-        const auto raw = observed().seriesAt(featureLoc());
+        const SeriesView raw = observed().seriesView(featureLoc());
         return raw.empty() ? 0.0 : raw.back();
     }
     return fit.predicted.back();
@@ -188,9 +188,12 @@ CurveFitAnalysis::wavefrontLocation() const
     const ObservedSeries &s = observed();
     if (s.iterCount() == 0)
         return s.locBegin();
-    const std::vector<double> row = s.profileAt(s.iterEnd() - 1);
+    // The latest profile is one contiguous row of the store: scan it
+    // in place instead of copying it out.
+    const SeriesView row = s.profileView(s.iterEnd() - 1);
     const std::size_t best = static_cast<std::size_t>(
-        std::max_element(row.begin(), row.end()) - row.begin());
+        std::max_element(row.data(), row.data() + row.size()) -
+        row.data());
     return s.locBegin() + static_cast<long>(best) * s.locStep();
 }
 

@@ -117,7 +117,7 @@ DataCollector::digest(long iter)
 void
 DataCollector::emitPairs(long iter)
 {
-    auto push = [&](double target) {
+    auto push = [&](const double *lags, double target) {
         if (batch_.full()) {
             TDFE_ASSERT(batchSink,
                         "mini-batch overflowed with no sink installed");
@@ -125,7 +125,7 @@ DataCollector::emitPairs(long iter)
             TDFE_ASSERT(!batch_.full(),
                         "batch sink must clear the mini-batch");
         }
-        batch_.push(lagScratch, target);
+        batch_.push(lags, target);
         ++emitted;
         if (batch_.full() && batchSink) {
             batchSink(batch_);
@@ -134,34 +134,53 @@ DataCollector::emitPairs(long iter)
         }
     };
 
+    // Lag gathering runs on zero-copy views of the series store
+    // instead of per-element at() calls: the target iteration's
+    // profile is one contiguous row, the lag sources are either a
+    // second row (Space axis) or a strided column (Time axis).
+    const SeriesView cur = series.profileView(iter);
+    const long loc0 = series.locBegin();
+    const long lstep = series.locStep();
+
     if (cfg.axis == LagAxis::Space) {
         const long src_iter = iter - cfg.lag;
         if (!series.hasIter(src_iter))
             return;
+        const SeriesView src = series.profileView(src_iter);
+        const double *__restrict src_row = src.data();
+        double *__restrict lags = lagScratch.data();
         for (long l = space.begin; l <= space.end; l += space.step) {
             const long deepest =
                 l - static_cast<long>(cfg.order) * space.step;
-            if (deepest < series.locBegin())
+            if (deepest < loc0)
                 continue;
-            for (std::size_t i = 0; i < cfg.order; ++i) {
-                const long src_loc =
-                    l - static_cast<long>(i + 1) * space.step;
-                lagScratch[i] = series.at(src_loc, src_iter);
-            }
-            push(series.at(l, iter));
+            const std::size_t li =
+                static_cast<std::size_t>((l - loc0) / lstep);
+            // The order spatial predecessors are the li-1 .. li-order
+            // entries of the lagged row: a descending stride-1 walk.
+            for (std::size_t i = 0; i < cfg.order; ++i)
+                lags[i] = src_row[li - 1 - i];
+            push(lags, cur[li]);
         }
     } else {
         const long deepest =
             iter - static_cast<long>(cfg.order) * cfg.lag;
         if (deepest < storeBegin)
             return;
+        const long row = iter - series.iterBegin();
+        double *__restrict lags = lagScratch.data();
         for (long l = space.begin; l <= space.end; l += space.step) {
+            const std::size_t li =
+                static_cast<std::size_t>((l - loc0) / lstep);
+            // The order temporal predecessors form a strided column
+            // walk at this location.
+            const SeriesView col = series.seriesView(l);
             for (std::size_t i = 0; i < cfg.order; ++i) {
-                const long src_iter =
-                    iter - static_cast<long>(i + 1) * cfg.lag;
-                lagScratch[i] = series.at(l, src_iter);
+                const std::size_t src_row = static_cast<std::size_t>(
+                    row - static_cast<long>(i + 1) * cfg.lag);
+                lags[i] = col[src_row];
             }
-            push(series.at(l, iter));
+            push(lags, cur[li]);
         }
     }
 }

@@ -72,21 +72,35 @@ ObservedSeries::at(long loc, long iter) const
 std::vector<double>
 ObservedSeries::seriesAt(long loc) const
 {
-    const std::size_t li = locIndex(loc);
-    std::vector<double> out(rows);
-    for (std::size_t r = 0; r < rows; ++r)
-        out[r] = data[r * nLocs + li];
+    const SeriesView v = seriesView(loc);
+    std::vector<double> out(v.size());
+    for (std::size_t r = 0; r < v.size(); ++r)
+        out[r] = v[r];
     return out;
 }
 
 std::vector<double>
 ObservedSeries::profileAt(long iter) const
 {
+    const SeriesView v = profileView(iter);
+    return std::vector<double>(v.data(), v.data() + v.size());
+}
+
+SeriesView
+ObservedSeries::seriesView(long loc) const
+{
+    const std::size_t li = locIndex(loc);
+    return SeriesView(rows > 0 ? data.data() + li : nullptr, rows,
+                      nLocs);
+}
+
+SeriesView
+ObservedSeries::profileView(long iter) const
+{
     TDFE_ASSERT(hasIter(iter), "iteration ", iter, " not recorded");
     const std::size_t row =
         static_cast<std::size_t>(iter - iterBegin_);
-    return std::vector<double>(data.begin() + row * nLocs,
-                               data.begin() + (row + 1) * nLocs);
+    return SeriesView(data.data() + row * nLocs, nLocs, 1);
 }
 
 std::size_t

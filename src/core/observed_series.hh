@@ -18,6 +18,50 @@ class BinaryReader;
 class BinaryWriter;
 
 /**
+ * Zero-copy strided view into the observed-series store: element i
+ * lives at data()[i * stride()]. A spatial profile (one iteration's
+ * row) is contiguous (stride 1); a location's time series is a
+ * column (stride = locCount()). Views are invalidated by the next
+ * appendRow(), exactly like iterators into the backing vector.
+ */
+class SeriesView
+{
+  public:
+    SeriesView(const double *data, std::size_t size,
+               std::size_t stride)
+        : p(data), n(size), step(stride)
+    {
+    }
+
+    /** @return element @p i (0 <= i < size()). */
+    double operator[](std::size_t i) const { return p[i * step]; }
+
+    /** @return number of elements. */
+    std::size_t size() const { return n; }
+
+    /** @return true when the view covers no elements. */
+    bool empty() const { return n == 0; }
+
+    /** @return last element (size() > 0). */
+    double back() const { return p[(n - 1) * step]; }
+
+    /** @return element spacing in the backing store. */
+    std::size_t stride() const { return step; }
+
+    /**
+     * @return raw pointer to the first element. Only stride() == 1
+     * views are contiguous; callers doing pointer arithmetic must
+     * respect the stride.
+     */
+    const double *data() const { return p; }
+
+  private:
+    const double *p;
+    std::size_t n;
+    std::size_t step;
+};
+
+/**
  * Row-per-iteration value store over a fixed location lattice
  * {locBegin, locBegin+locStep, ...} with nLocs entries. Iterations
  * must be appended in order starting at iterBegin.
@@ -51,6 +95,20 @@ class ObservedSeries
 
     /** @return the spatial profile recorded at one iteration. */
     std::vector<double> profileAt(long iter) const;
+
+    /**
+     * Zero-copy view of the full series at one location, oldest
+     * first (stride = locCount()). Same elements as seriesAt()
+     * without materializing a vector; invalidated by appendRow().
+     */
+    SeriesView seriesView(long loc) const;
+
+    /**
+     * Zero-copy contiguous view of the spatial profile recorded at
+     * one iteration (stride 1). Same elements as profileAt();
+     * invalidated by appendRow().
+     */
+    SeriesView profileView(long iter) const;
 
     long locBegin() const { return locBegin_; }
     long locStep() const { return locStep_; }

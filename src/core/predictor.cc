@@ -22,34 +22,45 @@ Predictor::oneStepSeries(long loc) const
 
     const long t0 = series.iterBegin();
     const long t1 = series.iterEnd();
+    if (t1 <= t0)
+        return out;
+    // Zero-copy views: the queried location's series is one strided
+    // column; Space-axis lag sources are a stride-1 slice of the
+    // lagged iteration's row.
+    const SeriesView col = series.seriesView(loc);
     for (long t = t0; t < t1; ++t) {
         bool ok = true;
         if (cfg.axis == LagAxis::Time) {
             for (std::size_t i = 0; i < cfg.order && ok; ++i) {
                 const long src = t - static_cast<long>(i + 1) * cfg.lag;
-                if (!series.hasIter(src))
+                if (src < t0)
                     ok = false;
                 else
-                    lags[i] = series.at(loc, src);
+                    lags[i] = col[static_cast<std::size_t>(src - t0)];
             }
         } else {
             const long src_t = t - cfg.lag;
-            if (!series.hasIter(src_t))
+            if (src_t < t0)
                 ok = false;
-            for (std::size_t i = 0; i < cfg.order && ok; ++i) {
-                const long src_l =
-                    loc - static_cast<long>(i + 1) * series.locStep();
-                if (!series.hasLoc(src_l))
-                    ok = false;
-                else
-                    lags[i] = series.at(src_l, src_t);
+            if (ok) {
+                const SeriesView row = series.profileView(src_t);
+                const long li =
+                    (loc - series.locBegin()) / series.locStep();
+                for (std::size_t i = 0; i < cfg.order && ok; ++i) {
+                    const long src_li = li - static_cast<long>(i + 1);
+                    if (src_li < 0)
+                        ok = false;
+                    else
+                        lags[i] =
+                            row[static_cast<std::size_t>(src_li)];
+                }
             }
         }
         if (!ok)
             continue;
         out.iters.push_back(t);
         out.predicted.push_back(model.predict(lags));
-        out.actual.push_back(series.at(loc, t));
+        out.actual.push_back(col[static_cast<std::size_t>(t - t0)]);
     }
     return out;
 }
@@ -135,17 +146,22 @@ Predictor::peakProfile(long loc_end) const
     const long t1 = series.iterEnd();
 
     // Per-location peaks over the observed window: independent
-    // columns, computed in place without materialising each series.
+    // strided-column walks, computed in place without materialising
+    // each series (each column is one view, no per-element asserts
+    // or index arithmetic beyond the stride add).
     std::vector<double> peaks(series.locCount(), 0.0);
     parallelFor(series.locCount(), std::size_t{16},
                 [&](std::size_t k) {
-                    const long loc = series.locBegin() +
-                                     static_cast<long>(k) * step;
                     if (t1 <= t0)
                         return;
-                    double best = series.at(loc, t0);
-                    for (long t = t0 + 1; t < t1; ++t)
-                        best = std::max(best, series.at(loc, t));
+                    const long loc = series.locBegin() +
+                                     static_cast<long>(k) * step;
+                    const SeriesView col = series.seriesView(loc);
+                    const double *p = col.data();
+                    const std::size_t stride = col.stride();
+                    double best = *p;
+                    for (std::size_t r = 1; r < col.size(); ++r)
+                        best = std::max(best, p[r * stride]);
                     peaks[k] = best;
                 });
 

@@ -1,5 +1,7 @@
 #include "core/trainer.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/serial.hh"
 
@@ -9,8 +11,7 @@ namespace tdfe
 ArTrainer::ArTrainer(ArModel &model)
     : model(model), optimizer(model.order(), model.config().sgd),
       rls(model.order(), model.config().rls),
-      normBatch(model.config().batchSize, model.order()),
-      xScratch(model.order(), 0.0)
+      normBatch(model.config().batchSize, model.order())
 {
 }
 
@@ -20,24 +21,28 @@ ArTrainer::trainRound(MiniBatch &batch)
     TDFE_ASSERT(!batch.empty(), "training round on an empty batch");
 
     Standardizer &stdzr = model.standardizer();
+    const std::size_t n = batch.size();
+    const std::size_t dims = batch.dims();
+    const double *xs = batch.xData();
+    const double *ys = batch.yData();
 
     // Fold the fresh samples into the running statistics first so
     // normalization reflects everything seen so far.
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Sample &s = batch.sample(i);
-        stdzr.observe(s.x, s.y);
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        stdzr.observeRow(xs + i * dims, ys[i]);
 
-    // Zero-allocation invariant: xScratch and normBatch are sized at
-    // construction and only ever refilled here (same-size vector
-    // assignments reuse capacity), so a training round performs no
-    // heap allocation no matter how many rounds run.
+    // Zero-allocation invariant: normBatch's packed block is sized
+    // at construction and each normalized row is built in place
+    // (copy + normalizeRow straight into the design matrix), so a
+    // training round performs no heap allocation no matter how many
+    // rounds run.
     normBatch.clear();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Sample &s = batch.sample(i);
-        xScratch = s.x;
-        stdzr.normalize(xScratch);
-        normBatch.push(xScratch, stdzr.normalizeTarget(s.y));
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *src = xs + i * dims;
+        double *dst =
+            normBatch.appendRow(stdzr.normalizeTarget(ys[i]));
+        std::copy(src, src + dims, dst);
+        stdzr.normalizeRow(dst);
     }
 
     if (model.config().optimizer == OptimizerKind::Rls)

@@ -59,10 +59,10 @@ class ArTrainer
     ArModel &model;
     SgdOptimizer optimizer;
     RlsEstimator rls;
+    /** Packed normalized design matrix, rebuilt in place per round. */
     MiniBatch normBatch;
     std::size_t roundCount = 0;
     double lastValMse = 0.0;
-    std::vector<double> xScratch;
 };
 
 } // namespace tdfe

@@ -98,33 +98,32 @@ EulerSolver3D::exchangeHalos()
     const std::size_t plane =
         static_cast<std::size_t>(cfg.nx) * cfg.ny;
 
+    double *const fields[5] = {rho.data(), mx.data(), my.data(),
+                               mz.data(), en.data()};
+    const std::size_t nx = static_cast<std::size_t>(cfg.nx);
+
     auto pack = [&](int k, std::vector<double> &buf) {
         buf.resize(plane * 5);
-        std::size_t o = 0;
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t c = id(i, j, k);
-                buf[o] = rho[c];
-                buf[o + plane] = mx[c];
-                buf[o + 2 * plane] = my[c];
-                buf[o + 3 * plane] = mz[c];
-                buf[o + 4 * plane] = en[c];
-                ++o;
+        for (int f = 0; f < 5; ++f) {
+            double *__restrict dst = buf.data() + f * plane;
+            for (int j = 0; j < cfg.ny; ++j) {
+                const double *__restrict src =
+                    fields[f] + id(0, j, k);
+                for (std::size_t i = 0; i < nx; ++i)
+                    dst[i] = src[i];
+                dst += nx;
             }
         }
     };
     auto unpack = [&](int k, const std::vector<double> &buf) {
         TDFE_ASSERT(buf.size() == plane * 5, "halo size mismatch");
-        std::size_t o = 0;
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t c = id(i, j, k);
-                rho[c] = buf[o];
-                mx[c] = buf[o + plane];
-                my[c] = buf[o + 2 * plane];
-                mz[c] = buf[o + 3 * plane];
-                en[c] = buf[o + 4 * plane];
-                ++o;
+        for (int f = 0; f < 5; ++f) {
+            const double *__restrict src = buf.data() + f * plane;
+            for (int j = 0; j < cfg.ny; ++j) {
+                double *__restrict dst = fields[f] + id(0, j, k);
+                for (std::size_t i = 0; i < nx; ++i)
+                    dst[i] = src[i];
+                src += nx;
             }
         }
     };
@@ -149,74 +148,57 @@ EulerSolver3D::exchangeHalos()
 void
 EulerSolver3D::fillGhosts()
 {
-    // X faces: reflective at i=0 plane, outflow at i=nx.
+    const std::size_t nx = static_cast<std::size_t>(cfg.nx);
+    double *const fields[5] = {rho.data(), mx.data(), my.data(),
+                               mz.data(), en.data()};
+
+    // Copy @p n entries field-by-field from base+src to base+dst,
+    // negating the field at @p flip (the reflective component).
+    auto mirror_rows = [&](std::size_t dst, std::size_t src,
+                           std::size_t n, int flip) {
+        for (int f = 0; f < 5; ++f) {
+            double *__restrict d = fields[f] + dst;
+            const double *__restrict s = fields[f] + src;
+            if (f == flip) {
+                for (std::size_t i = 0; i < n; ++i)
+                    d[i] = -s[i];
+            } else {
+                for (std::size_t i = 0; i < n; ++i)
+                    d[i] = s[i];
+            }
+        }
+    };
+
+    // X faces: reflective at i=0 plane, outflow at i=nx. The ghost
+    // column is strided (one cell per row), walked with the row
+    // pitch hoisted out of id().
     for (int k = 0; k < zCount_; ++k) {
         for (int j = 0; j < cfg.ny; ++j) {
             const std::size_t lo_g = id(-1, j, k);
-            const std::size_t lo_i = id(0, j, k);
-            rho[lo_g] = rho[lo_i];
-            mx[lo_g] = -mx[lo_i];
-            my[lo_g] = my[lo_i];
-            mz[lo_g] = mz[lo_i];
-            en[lo_g] = en[lo_i];
-
-            const std::size_t hi_g = id(cfg.nx, j, k);
             const std::size_t hi_i = id(cfg.nx - 1, j, k);
-            rho[hi_g] = rho[hi_i];
-            mx[hi_g] = mx[hi_i];
-            my[hi_g] = my[hi_i];
-            mz[hi_g] = mz[hi_i];
-            en[hi_g] = en[hi_i];
+            for (int f = 0; f < 5; ++f) {
+                double *__restrict p = fields[f];
+                p[lo_g] = f == 1 ? -p[lo_g + 1] : p[lo_g + 1];
+                p[hi_i + 1] = p[hi_i];
+            }
         }
     }
-    // Y faces.
+    // Y faces: whole x rows at a time (stride-1 copies).
     for (int k = 0; k < zCount_; ++k) {
-        for (int i = 0; i < cfg.nx; ++i) {
-            const std::size_t lo_g = id(i, -1, k);
-            const std::size_t lo_i = id(i, 0, k);
-            rho[lo_g] = rho[lo_i];
-            mx[lo_g] = mx[lo_i];
-            my[lo_g] = -my[lo_i];
-            mz[lo_g] = mz[lo_i];
-            en[lo_g] = en[lo_i];
-
-            const std::size_t hi_g = id(i, cfg.ny, k);
-            const std::size_t hi_i = id(i, cfg.ny - 1, k);
-            rho[hi_g] = rho[hi_i];
-            mx[hi_g] = mx[hi_i];
-            my[hi_g] = my[hi_i];
-            mz[hi_g] = mz[hi_i];
-            en[hi_g] = en[hi_i];
-        }
+        mirror_rows(id(0, -1, k), id(0, 0, k), nx, 2);
+        mirror_rows(id(0, cfg.ny, k), id(0, cfg.ny - 1, k), nx, -1);
     }
     // Z faces: halo planes between ranks, physical boundaries at the
-    // global ends.
+    // global ends — again stride-1 x rows.
     exchangeHalos();
     if (zBegin_ == 0) {
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t g = id(i, j, -1);
-                const std::size_t c = id(i, j, 0);
-                rho[g] = rho[c];
-                mx[g] = mx[c];
-                my[g] = my[c];
-                mz[g] = -mz[c];
-                en[g] = en[c];
-            }
-        }
+        for (int j = 0; j < cfg.ny; ++j)
+            mirror_rows(id(0, j, -1), id(0, j, 0), nx, 3);
     }
     if (zBegin_ + zCount_ == cfg.nz) {
-        for (int j = 0; j < cfg.ny; ++j) {
-            for (int i = 0; i < cfg.nx; ++i) {
-                const std::size_t g = id(i, j, zCount_);
-                const std::size_t c = id(i, j, zCount_ - 1);
-                rho[g] = rho[c];
-                mx[g] = mx[c];
-                my[g] = my[c];
-                mz[g] = mz[c];
-                en[g] = en[c];
-            }
-        }
+        for (int j = 0; j < cfg.ny; ++j)
+            mirror_rows(id(0, j, zCount_), id(0, j, zCount_ - 1), nx,
+                        -1);
     }
 }
 
@@ -293,12 +275,11 @@ EulerSolver3D::step(double dt)
     std::fill(d_mz.begin(), d_mz.end(), 0.0);
     std::fill(d_en.begin(), d_en.end(), 0.0);
 
-    // Scalar Rusanov sweep over the SoA fields. The normal velocity
-    // array and the momentum delta receiving the pressure term are
-    // selected per axis; everything else is axis-independent. This
-    // is the hot loop of the whole repository, hence no Prim/Cons
-    // temporaries (see hydro/flux.hh for the reference version the
-    // tests validate against).
+    // Pointer-stride Rusanov sweeps over the SoA fields through the
+    // shared row kernel (hydro/flux.cc rusanovFaceRow): each call
+    // walks one row of faces with both cell streams stride-1. This
+    // is the hot loop of the whole repository (see hydro/flux.hh for
+    // the struct-returning reference the tests validate against).
     //
     // Each face writes to the cells on both its sides, so the
     // parallel unit must keep both endpoints inside one task: faces
@@ -306,117 +287,93 @@ EulerSolver3D::step(double dt)
     // and along Z within a j row-of-planes. Within a task, faces
     // run in the same ascending order as the serial sweep, so the
     // per-cell accumulation order — and the result — is unchanged.
-    auto face = [&](Axis3 axis, const double *wn, std::size_t off,
-                    std::size_t rc) {
-        const std::size_t lc = rc - off;
-
-        const double vn_l = wn[lc];
-        const double vn_r = wn[rc];
-        const double s_l = std::abs(vn_l) + wc[lc];
-        const double s_r = std::abs(vn_r) + wc[rc];
-        const double smax = std::max(s_l, s_r);
-
-        const double f_rho =
-            0.5 * (rho[lc] * vn_l + rho[rc] * vn_r) -
-            0.5 * smax * (rho[rc] - rho[lc]);
-        double f_mx =
-            0.5 * (mx[lc] * vn_l + mx[rc] * vn_r) -
-            0.5 * smax * (mx[rc] - mx[lc]);
-        double f_my =
-            0.5 * (my[lc] * vn_l + my[rc] * vn_r) -
-            0.5 * smax * (my[rc] - my[lc]);
-        double f_mz =
-            0.5 * (mz[lc] * vn_l + mz[rc] * vn_r) -
-            0.5 * smax * (mz[rc] - mz[lc]);
-        const double f_en =
-            0.5 * ((en[lc] + wp[lc]) * vn_l +
-                   (en[rc] + wp[rc]) * vn_r) -
-            0.5 * smax * (en[rc] - en[lc]);
-        const double p_avg = 0.5 * (wp[lc] + wp[rc]);
-        if (axis == Axis3::X)
-            f_mx += p_avg;
-        else if (axis == Axis3::Y)
-            f_my += p_avg;
-        else
-            f_mz += p_avg;
-
-        d_rho[lc] -= f_rho;
-        d_mx[lc] -= f_mx;
-        d_my[lc] -= f_my;
-        d_mz[lc] -= f_mz;
-        d_en[lc] -= f_en;
-        d_rho[rc] += f_rho;
-        d_mx[rc] += f_mx;
-        d_my[rc] += f_my;
-        d_mz[rc] += f_mz;
-        d_en[rc] += f_en;
+    auto face_row = [&](Axis3 axis, const double *wn,
+                        std::size_t base, std::size_t n,
+                        std::ptrdiff_t off) {
+        rusanovFaceRow(n, off, axis, rho.data() + base,
+                       mx.data() + base, my.data() + base,
+                       mz.data() + base, en.data() + base, wn + base,
+                       wp.data() + base, wc.data() + base,
+                       d_rho.data() + base, d_mx.data() + base,
+                       d_my.data() + base, d_mz.data() + base,
+                       d_en.data() + base);
     };
 
     {
         // X: faces differ by one i; parallel over (k, j) rows.
-        const int ni = cfg.nx + 1;
-        const std::size_t off = id(1, 0, 0) - id(0, 0, 0);
+        const std::size_t ni = static_cast<std::size_t>(cfg.nx) + 1;
         const std::size_t rows =
             static_cast<std::size_t>(zCount_) * cfg.ny;
         parallelFor(rows, std::size_t{8}, [&](std::size_t rj) {
             const int k = static_cast<int>(rj) / cfg.ny;
             const int j = static_cast<int>(rj) % cfg.ny;
-            const std::size_t row = id(0, j, k);
-            for (int i = 0; i < ni; ++i)
-                face(Axis3::X, wx.data(), off, row + i);
+            face_row(Axis3::X, wx.data(), id(0, j, k), ni,
+                     std::ptrdiff_t{1});
         });
     }
     {
         // Y: faces differ by one j; parallel over k planes.
         const int nj = cfg.ny + 1;
-        const std::size_t off = id(0, 1, 0) - id(0, 0, 0);
+        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(px);
         parallelFor(static_cast<std::size_t>(zCount_),
                     std::size_t{1}, [&](std::size_t kk) {
                         const int k = static_cast<int>(kk);
-                        for (int j = 0; j < nj; ++j) {
-                            const std::size_t row = id(0, j, k);
-                            for (int i = 0; i < cfg.nx; ++i)
-                                face(Axis3::Y, wy.data(), off,
-                                     row + i);
-                        }
+                        for (int j = 0; j < nj; ++j)
+                            face_row(Axis3::Y, wy.data(),
+                                     id(0, j, k),
+                                     static_cast<std::size_t>(
+                                         cfg.nx),
+                                     off);
                     });
     }
     {
         // Z: faces differ by one k; parallel over j rows-of-planes.
         const int nk = zCount_ + 1;
-        const std::size_t off = id(0, 0, 1) - id(0, 0, 0);
+        const std::ptrdiff_t off =
+            static_cast<std::ptrdiff_t>(px) * py;
         parallelFor(static_cast<std::size_t>(cfg.ny),
                     std::size_t{1}, [&](std::size_t jj) {
                         const int j = static_cast<int>(jj);
-                        for (int k = 0; k < nk; ++k) {
-                            const std::size_t row = id(0, j, k);
-                            for (int i = 0; i < cfg.nx; ++i)
-                                face(Axis3::Z, wz.data(), off,
-                                     row + i);
-                        }
+                        for (int k = 0; k < nk; ++k)
+                            face_row(Axis3::Z, wz.data(),
+                                     id(0, j, k),
+                                     static_cast<std::size_t>(
+                                         cfg.nx),
+                                     off);
                     });
     }
 
     const double scale = dt / cfg.dx;
-    parallelFor(static_cast<std::size_t>(zCount_), std::size_t{1},
-                [&](std::size_t kk) {
-                    const int k = static_cast<int>(kk);
-                    for (int j = 0; j < cfg.ny; ++j) {
-                        const std::size_t row = id(0, j, k);
-                        for (int i = 0; i < cfg.nx; ++i) {
-                            const std::size_t c = row + i;
-                            rho[c] += scale * d_rho[c];
-                            mx[c] += scale * d_mx[c];
-                            my[c] += scale * d_my[c];
-                            mz[c] += scale * d_mz[c];
-                            en[c] += scale * d_en[c];
-                            // Positivity floors (strong blasts on
-                            // coarse grids).
-                            if (rho[c] < 1e-12)
-                                rho[c] = 1e-12;
-                        }
-                    }
-                });
+    parallelFor(
+        static_cast<std::size_t>(zCount_), std::size_t{1},
+        [&](std::size_t kk) {
+            const int k = static_cast<int>(kk);
+            const std::size_t nx = static_cast<std::size_t>(cfg.nx);
+            for (int j = 0; j < cfg.ny; ++j) {
+                const std::size_t row = id(0, j, k);
+                double *__restrict r = rho.data() + row;
+                double *__restrict px_ = mx.data() + row;
+                double *__restrict py_ = my.data() + row;
+                double *__restrict pz_ = mz.data() + row;
+                double *__restrict e = en.data() + row;
+                const double *__restrict dr = d_rho.data() + row;
+                const double *__restrict dx_ = d_mx.data() + row;
+                const double *__restrict dy_ = d_my.data() + row;
+                const double *__restrict dz_ = d_mz.data() + row;
+                const double *__restrict de = d_en.data() + row;
+                for (std::size_t i = 0; i < nx; ++i) {
+                    r[i] += scale * dr[i];
+                    px_[i] += scale * dx_[i];
+                    py_[i] += scale * dy_[i];
+                    pz_[i] += scale * dz_[i];
+                    e[i] += scale * de[i];
+                    // Positivity floors (strong blasts on coarse
+                    // grids).
+                    if (r[i] < 1e-12)
+                        r[i] = 1e-12;
+                }
+            }
+        });
 
     t += dt;
     ++cycleCount;
@@ -455,10 +412,13 @@ double
 EulerSolver3D::totalMass() const
 {
     double acc = 0.0;
-    for (int k = 0; k < zCount_; ++k)
-        for (int j = 0; j < cfg.ny; ++j)
+    for (int k = 0; k < zCount_; ++k) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            const double *__restrict row = rho.data() + id(0, j, k);
             for (int i = 0; i < cfg.nx; ++i)
-                acc += rho[id(i, j, k)];
+                acc += row[i];
+        }
+    }
     return acc;
 }
 
@@ -466,10 +426,13 @@ double
 EulerSolver3D::totalEnergy() const
 {
     double acc = 0.0;
-    for (int k = 0; k < zCount_; ++k)
-        for (int j = 0; j < cfg.ny; ++j)
+    for (int k = 0; k < zCount_; ++k) {
+        for (int j = 0; j < cfg.ny; ++j) {
+            const double *__restrict row = en.data() + id(0, j, k);
             for (int i = 0; i < cfg.nx; ++i)
-                acc += en[id(i, j, k)];
+                acc += row[i];
+        }
+    }
     return acc;
 }
 

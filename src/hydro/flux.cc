@@ -63,4 +63,62 @@ rusanovFlux(const Prim &left, const Prim &right, Axis3 axis,
     return f;
 }
 
+void
+rusanovFaceRow(std::size_t n, std::ptrdiff_t off, Axis3 axis,
+               const double *rho, const double *mx, const double *my,
+               const double *mz, const double *en, const double *wn,
+               const double *wp, const double *wc, double *d_rho,
+               double *d_mx, double *d_my, double *d_mz, double *d_en)
+{
+    // Two stride-1 streams per field: right cells at [f], left cells
+    // at [f - off]. No Prim/Cons temporaries — this is the hot loop
+    // of the Euler solver; the struct-returning rusanovFlux above is
+    // the reference the tests validate against.
+    for (std::size_t f = 0; f < n; ++f) {
+        const std::ptrdiff_t rc = static_cast<std::ptrdiff_t>(f);
+        const std::ptrdiff_t lc = rc - off;
+
+        const double vn_l = wn[lc];
+        const double vn_r = wn[rc];
+        const double s_l = std::abs(vn_l) + wc[lc];
+        const double s_r = std::abs(vn_r) + wc[rc];
+        const double smax = std::max(s_l, s_r);
+
+        const double f_rho =
+            0.5 * (rho[lc] * vn_l + rho[rc] * vn_r) -
+            0.5 * smax * (rho[rc] - rho[lc]);
+        double f_mx =
+            0.5 * (mx[lc] * vn_l + mx[rc] * vn_r) -
+            0.5 * smax * (mx[rc] - mx[lc]);
+        double f_my =
+            0.5 * (my[lc] * vn_l + my[rc] * vn_r) -
+            0.5 * smax * (my[rc] - my[lc]);
+        double f_mz =
+            0.5 * (mz[lc] * vn_l + mz[rc] * vn_r) -
+            0.5 * smax * (mz[rc] - mz[lc]);
+        const double f_en =
+            0.5 * ((en[lc] + wp[lc]) * vn_l +
+                   (en[rc] + wp[rc]) * vn_r) -
+            0.5 * smax * (en[rc] - en[lc]);
+        const double p_avg = 0.5 * (wp[lc] + wp[rc]);
+        if (axis == Axis3::X)
+            f_mx += p_avg;
+        else if (axis == Axis3::Y)
+            f_my += p_avg;
+        else
+            f_mz += p_avg;
+
+        d_rho[lc] -= f_rho;
+        d_mx[lc] -= f_mx;
+        d_my[lc] -= f_my;
+        d_mz[lc] -= f_mz;
+        d_en[lc] -= f_en;
+        d_rho[rc] += f_rho;
+        d_mx[rc] += f_mx;
+        d_my[rc] += f_my;
+        d_mz[rc] += f_mz;
+        d_en[rc] += f_en;
+    }
+}
+
 } // namespace tdfe

@@ -8,6 +8,8 @@
 #ifndef TDFE_HYDRO_FLUX_HH
 #define TDFE_HYDRO_FLUX_HH
 
+#include <cstddef>
+
 #include "hydro/state.hh"
 
 namespace tdfe
@@ -32,6 +34,30 @@ Cons physicalFlux(const Prim &w, Axis3 axis, const IdealGasEos &eos);
  */
 Cons rusanovFlux(const Prim &left, const Prim &right, Axis3 axis,
                  const IdealGasEos &eos);
+
+/**
+ * Stride-1 Rusanov sweep over one row of @p n faces on SoA fields.
+ *
+ * All pointers are positioned at the row's first *right* cell: face
+ * f has right cell index f and left cell index f - @p off (for an X
+ * row off is 1 and the walk is fully contiguous; for Y/Z rows off is
+ * the plane pitch and the left cells form a second stride-1 stream).
+ * Each face's flux is subtracted from the left cell's deltas and
+ * added to the right cell's, faces in ascending order — the same
+ * per-cell accumulation order as a scalar sweep, so results are
+ * bitwise-stable for any partitioning that keeps a row in one task.
+ *
+ * @param wn Normal-velocity field of @p axis (wx/wy/wz).
+ * @param wp Pressure field.
+ * @param wc Sound-speed field.
+ */
+void rusanovFaceRow(std::size_t n, std::ptrdiff_t off, Axis3 axis,
+                    const double *rho, const double *mx,
+                    const double *my, const double *mz,
+                    const double *en, const double *wn,
+                    const double *wp, const double *wc, double *d_rho,
+                    double *d_mx, double *d_my, double *d_mz,
+                    double *d_en);
 
 } // namespace tdfe
 

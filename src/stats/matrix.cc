@@ -8,7 +8,7 @@ namespace tdfe
 {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
-    : nRows(rows), nCols(cols), data(rows * cols, 0.0)
+    : nRows(rows), nCols(cols), store(rows * cols, 0.0)
 {
     TDFE_ASSERT(rows > 0 && cols > 0, "matrix dimensions must be > 0");
 }
@@ -26,14 +26,28 @@ double &
 Matrix::at(std::size_t r, std::size_t c)
 {
     TDFE_ASSERT(r < nRows && c < nCols, "matrix index out of range");
-    return data[r * nCols + c];
+    return store[r * nCols + c];
 }
 
 double
 Matrix::at(std::size_t r, std::size_t c) const
 {
     TDFE_ASSERT(r < nRows && c < nCols, "matrix index out of range");
-    return data[r * nCols + c];
+    return store[r * nCols + c];
+}
+
+double *
+Matrix::rowPtr(std::size_t r)
+{
+    TDFE_ASSERT(r < nRows, "matrix row out of range");
+    return store.data() + r * nCols;
+}
+
+const double *
+Matrix::rowPtr(std::size_t r) const
+{
+    TDFE_ASSERT(r < nRows, "matrix row out of range");
+    return store.data() + r * nCols;
 }
 
 std::vector<double>
@@ -41,10 +55,12 @@ Matrix::multiply(const std::vector<double> &v) const
 {
     TDFE_ASSERT(v.size() == nCols, "multiply: size mismatch");
     std::vector<double> out(nRows, 0.0);
+    const double *__restrict m = store.data();
     for (std::size_t r = 0; r < nRows; ++r) {
         double acc = 0.0;
+        const double *__restrict row = m + r * nCols;
         for (std::size_t c = 0; c < nCols; ++c)
-            acc += data[r * nCols + c] * v[c];
+            acc += row[c] * v[c];
         out[r] = acc;
     }
     return out;
@@ -55,21 +71,53 @@ Matrix::multiplyTransposed(const std::vector<double> &v) const
 {
     TDFE_ASSERT(v.size() == nRows, "multiplyTransposed: size mismatch");
     std::vector<double> out(nCols, 0.0);
-    for (std::size_t r = 0; r < nRows; ++r)
-        for (std::size_t c = 0; c < nCols; ++c)
-            out[c] += data[r * nCols + c] * v[r];
+    multiplyTransposedInto(v.data(), out.data());
     return out;
+}
+
+void
+Matrix::multiplyTransposedInto(const double *v, double *out) const
+{
+    for (std::size_t c = 0; c < nCols; ++c)
+        out[c] = 0.0;
+    const double *__restrict m = store.data();
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *__restrict row = m + r * nCols;
+        const double vr = v[r];
+        for (std::size_t c = 0; c < nCols; ++c)
+            out[c] += row[c] * vr;
+    }
 }
 
 Matrix
 Matrix::gram() const
 {
     Matrix g(nCols, nCols);
-    for (std::size_t r = 0; r < nRows; ++r)
-        for (std::size_t i = 0; i < nCols; ++i)
-            for (std::size_t j = 0; j < nCols; ++j)
-                g.at(i, j) += data[r * nCols + i] * data[r * nCols + j];
+    gramInto(g);
     return g;
+}
+
+void
+Matrix::gramInto(Matrix &g) const
+{
+    TDFE_ASSERT(g.nRows == nCols && g.nCols == nCols,
+                "gramInto: scratch must be cols x cols");
+    double *__restrict gd = g.store.data();
+    for (std::size_t i = 0; i < nCols * nCols; ++i)
+        gd[i] = 0.0;
+    // Rank-1 row accumulation, rows in ascending order: the same
+    // summation order as the historical triple loop, but stride-1
+    // over each row for both factors.
+    const double *__restrict m = store.data();
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *__restrict row = m + r * nCols;
+        for (std::size_t i = 0; i < nCols; ++i) {
+            const double ri = row[i];
+            double *__restrict grow = gd + i * nCols;
+            for (std::size_t j = 0; j < nCols; ++j)
+                grow[j] += ri * row[j];
+        }
+    }
 }
 
 void
@@ -83,12 +131,31 @@ Matrix::addDiagonal(double value)
 std::vector<double>
 Matrix::solveSpd(const std::vector<double> &b) const
 {
-    TDFE_ASSERT(nRows == nCols, "solveSpd needs a square matrix");
     TDFE_ASSERT(b.size() == nRows, "solveSpd: rhs size mismatch");
+    std::vector<double> x(nRows, 0.0);
+    std::vector<double> scratch;
+    solveSpdInto(b.data(), x.data(), scratch);
+    return x;
+}
+
+void
+Matrix::solveSpdInto(const double *b, double *x,
+                     std::vector<double> &scratch) const
+{
+    TDFE_ASSERT(nRows == nCols, "solveSpd needs a square matrix");
 
     const std::size_t n = nRows;
-    // Lower-triangular Cholesky factor, built in a scratch copy.
-    std::vector<double> l(n * n, 0.0);
+    // Scratch layout: [0, n*n) Cholesky factor, [n*n, n*n+n) the
+    // forward-substitution intermediate. resize() is a no-op after
+    // the first call with the same model order, so steady-state
+    // solves allocate nothing.
+    scratch.resize(n * n + n);
+    double *__restrict l = scratch.data();
+    double *__restrict y = scratch.data() + n * n;
+    for (std::size_t i = 0; i < n * n; ++i)
+        l[i] = 0.0;
+
+    // Lower-triangular Cholesky factor.
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j <= i; ++j) {
             double acc = at(i, j);
@@ -107,7 +174,6 @@ Matrix::solveSpd(const std::vector<double> &b) const
     }
 
     // Forward substitution: L y = b.
-    std::vector<double> y(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         double acc = b[i];
         for (std::size_t k = 0; k < i; ++k)
@@ -116,14 +182,12 @@ Matrix::solveSpd(const std::vector<double> &b) const
     }
 
     // Back substitution: L^T x = y.
-    std::vector<double> x(n, 0.0);
     for (std::size_t ii = n; ii-- > 0;) {
         double acc = y[ii];
         for (std::size_t k = ii + 1; k < n; ++k)
             acc -= l[k * n + ii] * x[k];
         x[ii] = acc / l[ii * n + ii];
     }
-    return x;
 }
 
 } // namespace tdfe

@@ -3,6 +3,10 @@
  * Small dense matrix with the two factorizations the library needs:
  * Cholesky (for OLS normal equations) and matrix-vector products.
  * AR model orders are tiny (n <= ~32) so no external BLAS is needed.
+ *
+ * Hot callers use the raw-row interface (rowPtr/gramInto/
+ * solveSpdInto) which reuses caller-owned scratch; the returning
+ * variants remain for tests and offline code.
  */
 
 #ifndef TDFE_STATS_MATRIX_HH
@@ -28,6 +32,16 @@ class Matrix
     double &at(std::size_t r, std::size_t c);
     double at(std::size_t r, std::size_t c) const;
 
+    /** Raw pointer to row @p r (cols() contiguous doubles). @{ */
+    double *rowPtr(std::size_t r);
+    const double *rowPtr(std::size_t r) const;
+    /** @} */
+
+    /** Raw row-major storage (rows()*cols() doubles). @{ */
+    double *data() { return store.data(); }
+    const double *data() const { return store.data(); }
+    /** @} */
+
     std::size_t rows() const { return nRows; }
     std::size_t cols() const { return nCols; }
 
@@ -38,8 +52,19 @@ class Matrix
     std::vector<double>
     multiplyTransposed(const std::vector<double> &v) const;
 
+    /** transpose(this) * v written into caller storage (cols()). */
+    void multiplyTransposedInto(const double *v, double *out) const;
+
     /** @return transpose(this) * this (Gram matrix). */
     Matrix gram() const;
+
+    /**
+     * Accumulate transpose(this) * this into @p g (a cols() x cols()
+     * matrix the caller owns and reuses between solves). @p g is
+     * zeroed first; the row-by-row accumulation order matches
+     * gram(), so results are bitwise identical.
+     */
+    void gramInto(Matrix &g) const;
 
     /** Add @p value to every diagonal entry (ridge regularizer). */
     void addDiagonal(double value);
@@ -53,10 +78,20 @@ class Matrix
      */
     std::vector<double> solveSpd(const std::vector<double> &b) const;
 
+    /**
+     * Allocation-free SPD solve: factorize into @p scratch (resized
+     * to n*n + n once, then reused across calls) and write the
+     * solution into @p x (n entries). @p x may fully alias @p b —
+     * b is consumed before x is written — but must not partially
+     * overlap it. Same arithmetic as solveSpd().
+     */
+    void solveSpdInto(const double *b, double *x,
+                      std::vector<double> &scratch) const;
+
   private:
     std::size_t nRows;
     std::size_t nCols;
-    std::vector<double> data;
+    std::vector<double> store;
 };
 
 } // namespace tdfe

@@ -2,57 +2,83 @@
 
 #include "base/serial.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace tdfe
 {
 
-MiniBatch::MiniBatch(std::size_t capacity, std::size_t dims)
-    : cap(capacity), nDims(dims), storage(capacity)
+PackedBatch::PackedBatch(std::size_t capacity, std::size_t dims)
+    : cap(capacity), nDims(dims), xs(capacity * dims, 0.0),
+      ys(capacity, 0.0)
 {
     TDFE_ASSERT(capacity > 0, "mini-batch capacity must be > 0");
     TDFE_ASSERT(dims > 0, "mini-batch dimension must be > 0");
-    for (auto &s : storage)
-        s.x.resize(dims, 0.0);
 }
 
 void
-MiniBatch::push(const std::vector<double> &x, double y)
+PackedBatch::push(const double *x, double y)
 {
-    TDFE_ASSERT(!full(), "push into a full mini-batch; consume first");
+    double *dst = appendRow(y);
+    std::copy(x, x + nDims, dst);
+}
+
+void
+PackedBatch::push(const std::vector<double> &x, double y)
+{
     TDFE_ASSERT(x.size() == nDims,
                 "sample dimension ", x.size(), " != batch dimension ",
                 nDims);
-    Sample &slot = storage[used];
-    slot.x = x;
-    slot.y = y;
-    ++used;
-    ++pushes;
+    push(x.data(), y);
 }
 
-const Sample &
-MiniBatch::sample(std::size_t i) const
+double *
+PackedBatch::appendRow(double y)
+{
+    TDFE_ASSERT(!full(), "push into a full mini-batch; consume first");
+    double *dst = xs.data() + used * nDims;
+    ys[used] = y;
+    ++used;
+    ++pushes;
+    return dst;
+}
+
+const double *
+PackedBatch::row(std::size_t i) const
 {
     TDFE_ASSERT(i < used, "sample index ", i, " out of range ", used);
-    return storage[i];
+    return xs.data() + i * nDims;
+}
+
+double
+PackedBatch::target(std::size_t i) const
+{
+    TDFE_ASSERT(i < used, "sample index ", i, " out of range ", used);
+    return ys[i];
 }
 
 
 void
-MiniBatch::save(BinaryWriter &w) const
+PackedBatch::save(BinaryWriter &w) const
 {
     w.writeU64(cap);
     w.writeU64(nDims);
     w.writeU64(used);
+    // Per-sample length-prefixed rows: byte-identical to the AoS
+    // writeVec(x)/writeF64(y) format this layout replaced.
     for (std::size_t i = 0; i < used; ++i) {
-        w.writeVec(storage[i].x);
-        w.writeF64(storage[i].y);
+        w.writeU64(nDims);
+        const double *r = xs.data() + i * nDims;
+        for (std::size_t d = 0; d < nDims; ++d)
+            w.writeF64(r[d]);
+        w.writeF64(ys[i]);
     }
     w.writeU64(pushes);
 }
 
 void
-MiniBatch::load(BinaryReader &r)
+PackedBatch::load(BinaryReader &r)
 {
     const std::uint64_t ckpt_cap = r.readU64();
     const std::uint64_t ckpt_dims = r.readU64();
@@ -65,10 +91,13 @@ MiniBatch::load(BinaryReader &r)
     if (used > cap)
         TDFE_FATAL("mini-batch checkpoint overfilled: ", used);
     for (std::size_t i = 0; i < used; ++i) {
-        storage[i].x = r.readVec();
-        if (storage[i].x.size() != nDims)
+        const std::uint64_t row_dims = r.readU64();
+        if (row_dims != nDims)
             TDFE_FATAL("mini-batch checkpoint sample dims mismatch");
-        storage[i].y = r.readF64();
+        double *dst = xs.data() + i * nDims;
+        for (std::size_t d = 0; d < nDims; ++d)
+            dst[d] = r.readF64();
+        ys[i] = r.readF64();
     }
     pushes = static_cast<std::size_t>(r.readU64());
 }

@@ -4,6 +4,14 @@
  * accumulate during simulation iterations; when the batch fills, the
  * trainer consumes it in one gradient-descent round and the batch
  * resets to collect the next round.
+ *
+ * Layout: a *packed design matrix*. All feature rows live in one
+ * contiguous row-major double block (capacity x dims) with the
+ * targets in a separate column, so the training kernels (SGD
+ * gradient, RLS rank-1 updates, OLS normal equations) traverse
+ * stride-1 memory instead of chasing one heap allocation per sample.
+ * The block is sized once at construction and rows are built in
+ * place — a push never allocates.
  */
 
 #ifndef TDFE_STATS_MINIBATCH_HH
@@ -18,32 +26,37 @@ namespace tdfe
 class BinaryReader;
 class BinaryWriter;
 
-/** One supervised sample: feature vector plus scalar target. */
-struct Sample
-{
-    std::vector<double> x;
-    double y = 0.0;
-};
-
 /**
- * Bounded sample buffer with fill/consume semantics. The buffer never
- * reallocates after construction, keeping the per-iteration in-situ
- * cost constant.
+ * Bounded packed sample buffer with fill/consume semantics. The
+ * buffer never reallocates after construction, keeping the
+ * per-iteration in-situ cost constant.
  */
-class MiniBatch
+class PackedBatch
 {
   public:
     /**
      * @param capacity Samples per training round.
      * @param dims Feature dimensions per sample.
      */
-    MiniBatch(std::size_t capacity, std::size_t dims);
+    PackedBatch(std::size_t capacity, std::size_t dims);
 
     /**
-     * Append one sample. Panics if full (callers must consume or
-     * clear first) or on dimension mismatch.
+     * Append one sample from a raw feature row of dims() values.
+     * Panics if full (callers must consume or clear first).
      */
+    void push(const double *x, double y);
+
+    /** Append one sample; panics on dimension mismatch. */
     void push(const std::vector<double> &x, double y);
+
+    /**
+     * Append one sample and return the mutable row so the caller can
+     * build the features in place (e.g. copy + normalize) without an
+     * intermediate scratch vector. The row is *not* initialized; the
+     * caller must fill all dims() entries before the batch is
+     * consumed.
+     */
+    double *appendRow(double y);
 
     /** @return true once size() == capacity(). */
     bool full() const { return used == cap; }
@@ -60,8 +73,17 @@ class MiniBatch
     /** @return configured feature dimension count. */
     std::size_t dims() const { return nDims; }
 
-    /** @return sample @p i (0 <= i < size()). */
-    const Sample &sample(std::size_t i) const;
+    /** @return feature row @p i (dims() contiguous doubles). */
+    const double *row(std::size_t i) const;
+
+    /** @return target of sample @p i. */
+    double target(std::size_t i) const;
+
+    /** @return the packed row-major feature block (size()*dims()). */
+    const double *xData() const { return xs.data(); }
+
+    /** @return the target column (size() entries). */
+    const double *yData() const { return ys.data(); }
 
     /** Drop all buffered samples (capacity is retained). */
     void clear() { used = 0; }
@@ -69,7 +91,11 @@ class MiniBatch
     /** @return total samples pushed over the buffer's lifetime. */
     std::size_t lifetimePushes() const { return pushes; }
 
-    /** Checkpoint the buffered samples. @{ */
+    /**
+     * Checkpoint the buffered samples. The byte format is unchanged
+     * from the per-sample (AoS) layout this class replaced, so
+     * region/analysis checkpoints round-trip across the refactor.
+     * @{ */
     void save(BinaryWriter &w) const;
     void load(BinaryReader &r);
     /** @} */
@@ -77,10 +103,16 @@ class MiniBatch
   private:
     std::size_t cap;
     std::size_t nDims;
-    std::vector<Sample> storage;
+    /** Row-major capacity x dims feature block. */
+    std::vector<double> xs;
+    /** Target column. */
+    std::vector<double> ys;
     std::size_t used = 0;
     std::size_t pushes = 0;
 };
+
+/** Historical name: the packed layout replaced the AoS MiniBatch. */
+using MiniBatch = PackedBatch;
 
 } // namespace tdfe
 

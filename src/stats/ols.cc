@@ -19,21 +19,28 @@ fitOls(const std::vector<std::vector<double>> &xs,
     const std::size_t dims = xs.front().size();
     const std::size_t n = xs.size();
 
-    // Design matrix with a leading column of ones for the intercept.
+    // Design matrix with a leading column of ones for the intercept,
+    // filled row-at-a-time through the raw-row interface.
     Matrix design(n, dims + 1);
     for (std::size_t r = 0; r < n; ++r) {
         TDFE_ASSERT(xs[r].size() == dims, "ragged OLS rows");
-        design.at(r, 0) = 1.0;
+        double *row = design.rowPtr(r);
+        row[0] = 1.0;
+        const double *src = xs[r].data();
         for (std::size_t c = 0; c < dims; ++c)
-            design.at(r, c + 1) = xs[r][c];
+            row[c + 1] = src[c];
     }
 
-    Matrix gram = design.gram();
+    Matrix gram(dims + 1, dims + 1);
+    design.gramInto(gram);
     gram.addDiagonal(ridge);
-    const std::vector<double> rhs = design.multiplyTransposed(ys);
+    std::vector<double> rhs(dims + 1, 0.0);
+    design.multiplyTransposedInto(ys.data(), rhs.data());
 
     OlsFit fit;
-    fit.coeffs = gram.solveSpd(rhs);
+    fit.coeffs.assign(dims + 1, 0.0);
+    std::vector<double> scratch;
+    gram.solveSpdInto(rhs.data(), fit.coeffs.data(), scratch);
 
     double acc = 0.0;
     for (std::size_t r = 0; r < n; ++r)
@@ -48,8 +55,14 @@ evalLinear(const std::vector<double> &coeffs,
 {
     TDFE_ASSERT(coeffs.size() == x.size() + 1,
                 "coefficient/feature size mismatch");
+    return evalLinear(coeffs.data(), x.size(), x.data());
+}
+
+double
+evalLinear(const double *coeffs, std::size_t dims, const double *x)
+{
     double acc = coeffs[0];
-    for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t i = 0; i < dims; ++i)
         acc += coeffs[i + 1] * x[i];
     return acc;
 }

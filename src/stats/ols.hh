@@ -40,6 +40,13 @@ OlsFit fitOls(const std::vector<std::vector<double>> &xs,
 double evalLinear(const std::vector<double> &coeffs,
                   const std::vector<double> &x);
 
+/**
+ * Raw-row overload for packed hot paths: @p coeffs points at
+ * dims + 1 intercept-first coefficients, @p x at dims features.
+ */
+double evalLinear(const double *coeffs, std::size_t dims,
+                  const double *x);
+
 } // namespace tdfe
 
 #endif // TDFE_STATS_OLS_HH

@@ -37,45 +37,58 @@ double
 RlsEstimator::update(std::vector<double> &coeffs,
                      const std::vector<double> &x, double y)
 {
+    TDFE_ASSERT(x.size() == nDims, "feature size mismatch");
+    return updateRow(coeffs, x.data(), y);
+}
+
+double
+RlsEstimator::updateRow(std::vector<double> &coeffs, const double *x,
+                        double y)
+{
     const std::size_t n = nDims + 1;
     TDFE_ASSERT(coeffs.size() == n, "coefficient size mismatch");
-    TDFE_ASSERT(x.size() == nDims, "feature size mismatch");
 
-    phi[0] = 1.0;
+    double *__restrict ph = phi.data();
+    double *__restrict pp = pPhi.data();
+    double *__restrict k = gain.data();
+    double *__restrict c = coeffs.data();
+
+    ph[0] = 1.0;
     for (std::size_t i = 0; i < nDims; ++i)
-        phi[i + 1] = x[i];
+        ph[i + 1] = x[i];
 
     // pPhi = P * phi  (P is symmetric).
     double denom = cfg.forgetting;
     for (std::size_t r = 0; r < n; ++r) {
         double acc = 0.0;
-        const double *row = p.data() + r * n;
-        for (std::size_t c = 0; c < n; ++c)
-            acc += row[c] * phi[c];
-        pPhi[r] = acc;
-        denom += phi[r] * acc;
+        const double *__restrict row = p.data() + r * n;
+        for (std::size_t col = 0; col < n; ++col)
+            acc += row[col] * ph[col];
+        pp[r] = acc;
+        denom += ph[r] * acc;
     }
 
     // Gain k = P phi / (lambda + phi' P phi).
     const double inv_denom = 1.0 / denom;
     for (std::size_t r = 0; r < n; ++r)
-        gain[r] = pPhi[r] * inv_denom;
+        k[r] = pp[r] * inv_denom;
 
     // A-priori error and coefficient update.
     double pred = 0.0;
     for (std::size_t r = 0; r < n; ++r)
-        pred += coeffs[r] * phi[r];
+        pred += c[r] * ph[r];
     const double err = y - pred;
     if (std::isfinite(err)) {
         for (std::size_t r = 0; r < n; ++r)
-            coeffs[r] += gain[r] * err;
+            c[r] += k[r] * err;
 
         // P = (P - k (P phi)') / lambda, kept symmetric.
         const double inv_lambda = 1.0 / cfg.forgetting;
         for (std::size_t r = 0; r < n; ++r) {
-            double *row = p.data() + r * n;
-            for (std::size_t c = 0; c < n; ++c)
-                row[c] = (row[c] - gain[r] * pPhi[c]) * inv_lambda;
+            double *__restrict row = p.data() + r * n;
+            const double kr = k[r];
+            for (std::size_t col = 0; col < n; ++col)
+                row[col] = (row[col] - kr * pp[col]) * inv_lambda;
         }
     }
 
@@ -85,24 +98,27 @@ RlsEstimator::update(std::vector<double> &coeffs,
 
 double
 RlsEstimator::trainRound(std::vector<double> &coeffs,
-                         const MiniBatch &batch)
+                         const PackedBatch &batch)
 {
     TDFE_ASSERT(!batch.empty(), "RLS round on an empty batch");
+
+    const std::size_t n = batch.size();
+    const std::size_t dims = batch.dims();
+    const double *__restrict xrow = batch.xData();
+    const double *__restrict y = batch.yData();
 
     // Validation signal: error of the entering coefficients on the
     // whole (unseen) batch, matching SgdOptimizer::trainRound.
     double mse = 0.0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Sample &s = batch.sample(i);
-        const double r = s.y - evalLinear(coeffs, s.x);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r =
+            y[i] - evalLinear(coeffs.data(), dims, xrow + i * dims);
         mse += r * r;
     }
-    mse /= static_cast<double>(batch.size());
+    mse /= static_cast<double>(n);
 
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Sample &s = batch.sample(i);
-        update(coeffs, s.x, s.y);
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        updateRow(coeffs, xrow + i * dims, y[i]);
     return mse;
 }
 

@@ -25,7 +25,7 @@ namespace tdfe
 
 class BinaryReader;
 class BinaryWriter;
-class MiniBatch;
+class PackedBatch;
 
 /** Tunables for the recursive-least-squares estimator. */
 struct RlsConfig
@@ -69,15 +69,20 @@ class RlsEstimator
     double update(std::vector<double> &coeffs,
                   const std::vector<double> &x, double y);
 
+    /** Raw-row overload for the packed hot path (dims entries). */
+    double updateRow(std::vector<double> &coeffs, const double *x,
+                     double y);
+
     /**
      * Consume a mini-batch sample-by-sample, mirroring
-     * SgdOptimizer::trainRound.
+     * SgdOptimizer::trainRound. Both the validation pass and the
+     * update sweep run stride-1 over the packed design matrix.
      *
      * @return mean-squared error of the batch under the coefficients
      * *before* this round's updates (the rolling validation signal).
      */
     double trainRound(std::vector<double> &coeffs,
-                      const MiniBatch &batch);
+                      const PackedBatch &batch);
 
     /** @return total samples folded in. */
     std::size_t steps() const { return stepCount; }

@@ -22,34 +22,45 @@ SgdOptimizer::SgdOptimizer(std::size_t dims, const SgdConfig &config)
 
 double
 SgdOptimizer::gradient(const std::vector<double> &coeffs,
-                       const MiniBatch &batch,
+                       const PackedBatch &batch,
                        std::vector<double> &grad) const
 {
     const std::size_t n = batch.size();
+    const std::size_t dims = batch.dims();
     const double inv_n = 1.0 / static_cast<double>(n);
 
     std::fill(grad.begin(), grad.end(), 0.0);
+    // Fused single pass over the packed design matrix: each row is
+    // walked once while hot — the stride-1 dot product feeding the
+    // prediction and the gradient axpy share the same row pointer,
+    // where the AoS layout re-chased a per-sample heap vector for
+    // each of the two inner loops. Arithmetic order (ascending d,
+    // the literal 2.0*err*x*inv_n grouping) is identical to the
+    // legacy kernel, so coefficients stay bitwise-equal.
+    const double *__restrict x = batch.xData();
+    const double *__restrict y = batch.yData();
+    const double *__restrict c = coeffs.data();
+    double *__restrict g = grad.data();
     double mse = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const Sample &s = batch.sample(i);
-        double pred = coeffs[0];
-        for (std::size_t d = 0; d < s.x.size(); ++d)
-            pred += coeffs[d + 1] * s.x[d];
-        const double err = pred - s.y;
+    for (std::size_t i = 0; i < n; ++i, x += dims) {
+        double pred = c[0];
+        for (std::size_t d = 0; d < dims; ++d)
+            pred += c[d + 1] * x[d];
+        const double err = pred - y[i];
         mse += sqr(err);
-        grad[0] += 2.0 * err * inv_n;
-        for (std::size_t d = 0; d < s.x.size(); ++d)
-            grad[d + 1] += 2.0 * err * s.x[d] * inv_n;
+        g[0] += 2.0 * err * inv_n;
+        for (std::size_t d = 0; d < dims; ++d)
+            g[d + 1] += 2.0 * err * x[d] * inv_n;
     }
     // L2 penalty on slopes only; the intercept is never shrunk.
     for (std::size_t d = 1; d < coeffs.size(); ++d)
-        grad[d] += 2.0 * cfg.l2 * coeffs[d];
+        g[d] += 2.0 * cfg.l2 * c[d];
     return mse * inv_n;
 }
 
 double
 SgdOptimizer::trainRound(std::vector<double> &coeffs,
-                         const MiniBatch &batch)
+                         const PackedBatch &batch)
 {
     TDFE_ASSERT(coeffs.size() == velocity.size(),
                 "coefficient vector has wrong size");

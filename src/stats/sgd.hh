@@ -16,7 +16,7 @@ namespace tdfe
 
 class BinaryReader;
 class BinaryWriter;
-class MiniBatch;
+class PackedBatch;
 
 /** Tunables for the gradient-descent training rounds. */
 struct SgdConfig
@@ -61,7 +61,7 @@ class SgdOptimizer
      * the model trained on past batches predicts fresh data).
      */
     double trainRound(std::vector<double> &coeffs,
-                      const MiniBatch &batch);
+                      const PackedBatch &batch);
 
     /** @return total gradient steps taken. */
     std::size_t steps() const { return stepCount; }
@@ -72,9 +72,14 @@ class SgdOptimizer
     /** @} */
 
   private:
-    /** MSE and gradient of the batch at the given coefficients. */
+    /**
+     * MSE and gradient of the batch at the given coefficients.
+     * One fused stride-1 pass over the packed design matrix: each
+     * row is read once (prediction dot + gradient axpy on the same
+     * hot row pointer).
+     */
     double gradient(const std::vector<double> &coeffs,
-                    const MiniBatch &batch,
+                    const PackedBatch &batch,
                     std::vector<double> &grad) const;
 
     SgdConfig cfg;

@@ -20,7 +20,14 @@ Standardizer::observe(const std::vector<double> &x, double y)
     TDFE_ASSERT(x.size() == featureStats.size(),
                 "feature size mismatch: ", x.size(), " vs ",
                 featureStats.size());
-    for (std::size_t d = 0; d < x.size(); ++d)
+    observeRow(x.data(), y);
+}
+
+void
+Standardizer::observeRow(const double *x, double y)
+{
+    const std::size_t dims = featureStats.size();
+    for (std::size_t d = 0; d < dims; ++d)
         featureStats[d].push(x[d]);
     targetStats.push(y);
     ++samples;
@@ -55,7 +62,14 @@ Standardizer::normalize(std::vector<double> &x) const
 {
     TDFE_ASSERT(x.size() == featureStats.size(),
                 "feature size mismatch in normalize");
-    for (std::size_t d = 0; d < x.size(); ++d)
+    normalizeRow(x.data());
+}
+
+void
+Standardizer::normalizeRow(double *x) const
+{
+    const std::size_t dims = featureStats.size();
+    for (std::size_t d = 0; d < dims; ++d)
         x[d] = (x[d] - featureMean(d)) / featureStd(d);
 }
 

@@ -33,11 +33,17 @@ class Standardizer
     /** Fold one (features, target) observation into the statistics. */
     void observe(const std::vector<double> &x, double y);
 
+    /** Fold a raw feature row of dims entries (packed hot path). */
+    void observeRow(const double *x, double y);
+
     /** @return number of observations folded in. */
     std::size_t count() const { return samples; }
 
     /** Normalize a feature vector in place. */
     void normalize(std::vector<double> &x) const;
+
+    /** Normalize a raw row of dims entries in place (packed path). */
+    void normalizeRow(double *x) const;
 
     /** @return normalized target value. */
     double normalizeTarget(double y) const;

@@ -47,9 +47,9 @@ TEST(Collector, TimeAxisEmitsAlignedPairs)
     const MiniBatch &b = c.batch();
     ASSERT_EQ(b.size(), 3u);
     // First pair: target (5, 10), lags (5, 7) and (5, 4).
-    EXPECT_DOUBLE_EQ(b.sample(0).y, field(5, 10));
-    EXPECT_DOUBLE_EQ(b.sample(0).x[0], field(5, 7));
-    EXPECT_DOUBLE_EQ(b.sample(0).x[1], field(5, 4));
+    EXPECT_DOUBLE_EQ(b.target(0), field(5, 10));
+    EXPECT_DOUBLE_EQ(b.row(0)[0], field(5, 7));
+    EXPECT_DOUBLE_EQ(b.row(0)[1], field(5, 4));
 }
 
 TEST(Collector, SpaceAxisEmitsSpatialLags)
@@ -75,9 +75,9 @@ TEST(Collector, SpaceAxisEmitsSpatialLags)
     EXPECT_EQ(c.samplesEmitted(), 10u);
     const MiniBatch &b = c.batch();
     // Pair 0: target (6, 3); lags (5, 2), (4, 2).
-    EXPECT_DOUBLE_EQ(b.sample(0).y, field(6, 3));
-    EXPECT_DOUBLE_EQ(b.sample(0).x[0], field(5, 2));
-    EXPECT_DOUBLE_EQ(b.sample(0).x[1], field(4, 2));
+    EXPECT_DOUBLE_EQ(b.target(0), field(6, 3));
+    EXPECT_DOUBLE_EQ(b.row(0)[0], field(5, 2));
+    EXPECT_DOUBLE_EQ(b.row(0)[1], field(4, 2));
 }
 
 TEST(Collector, SpaceAxisClampsAtDomainMinimum)
@@ -177,10 +177,10 @@ TEST_P(CollectorPairProperty, TimeAxisPairsAreExact)
     ASSERT_GT(b.size(), 0u);
     // Reconstruct each pair's target iteration from its value.
     for (std::size_t s = 0; s < b.size(); ++s) {
-        const long t = static_cast<long>(b.sample(s).y / 1000.0);
+        const long t = static_cast<long>(b.target(s) / 1000.0);
         for (std::size_t i = 0; i < order; ++i) {
             EXPECT_DOUBLE_EQ(
-                b.sample(s).x[i],
+                b.row(s)[i],
                 field(3, t - static_cast<long>(i + 1) * lag));
         }
     }

@@ -26,8 +26,8 @@ TEST(MiniBatch, FillConsumeCycle)
     EXPECT_EQ(b.size(), 2u);
     b.push({7.0, 8.0}, 9.0);
     EXPECT_TRUE(b.full());
-    EXPECT_DOUBLE_EQ(b.sample(1).y, 6.0);
-    EXPECT_DOUBLE_EQ(b.sample(2).x[0], 7.0);
+    EXPECT_DOUBLE_EQ(b.target(1), 6.0);
+    EXPECT_DOUBLE_EQ(b.row(2)[0], 7.0);
     b.clear();
     EXPECT_TRUE(b.empty());
     EXPECT_EQ(b.capacity(), 3u);
