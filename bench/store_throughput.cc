@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Feature-store throughput and compression baseline (PR 5).
+ *
+ * Part 1 — writer sweep: append a deterministic feature-record
+ * stream in synchronous and asynchronous flush mode across a thread
+ * sweep, measuring the *exposed* store cost (seal-path time that
+ * blocked the producer, FeatureStoreWriter::exposedSeconds) and the
+ * wall time of the append loop. Gates (exit 1 on failure):
+ *
+ *   - sync and async files are byte-identical at every thread
+ *     count (FNV digest over the file bytes);
+ *   - best-of-reps async exposed cost <= --cost-gate x sync (on a
+ *     single-core host async degenerates to near-parity; the
+ *     overlap win needs real cores, as with PR 2).
+ *
+ * Part 2 — I/O-cost comparison the paper only argues qualitatively:
+ * the clover2d shock run instrumented with one break-point analysis
+ * writes its per-iteration features to a store while the full probe
+ * trace (the traditional post-hoc pipeline) is dumped via
+ * FullTrace. Gate: the store is >= --ratio-gate x smaller than the
+ * raw double dump. Writes JSON via bench_to_json (PERF.md schema).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "clover2d/app.hh"
+#include "core/region.hh"
+#include "store/reader.hh"
+#include "store/writer.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+namespace
+{
+
+/** Deterministic feature-like record stream (smooth + mild noise,
+ *  the shape real extractions produce). */
+void
+synthRecord(std::size_t i, FeatureRecord &rec)
+{
+    const double x = static_cast<double>(i);
+    rec.iteration = static_cast<long>(i);
+    rec.analysis = static_cast<long>(i & 1);
+    rec.stop = false;
+    rec.wallTime = 1e-3 * x;
+    rec.wavefront = static_cast<double>(1 + i / 97);
+    rec.predicted = 10.0 * std::exp(-1e-5 * x) +
+                    0.01 * std::sin(0.05 * x);
+    rec.mse = 1.0 / (1.0 + 1e-3 * x);
+    for (std::size_t k = 0; k < rec.coeffs.size(); ++k)
+        rec.coeffs[k] =
+            0.3 * static_cast<double>(k + 1) + 1e-7 * x;
+}
+
+struct WriteResult
+{
+    double appendWall = 0.0; ///< seconds in the append loop
+    double exposed = 0.0;    ///< writer seal-path + finish seconds
+    std::size_t bytes = 0;
+    std::uint64_t digest = 0;
+};
+
+WriteResult
+writeOnce(const std::string &path, std::size_t records,
+          std::size_t coeffs, std::size_t block, bool async)
+{
+    StoreSchema schema;
+    schema.coeffCount = coeffs;
+    StoreOptions opts;
+    opts.blockCapacity = block;
+    opts.async = async;
+    WriteResult res;
+    FeatureRecord rec;
+    rec.coeffs.resize(coeffs);
+    {
+        FeatureStoreWriter w(path, schema, opts);
+        Timer t;
+        for (std::size_t i = 0; i < records; ++i) {
+            synthRecord(i, rec);
+            w.append(rec);
+        }
+        res.appendWall = t.elapsed();
+        res.bytes = w.finish();
+        res.exposed = w.exposedSeconds();
+    }
+    std::ifstream in(path, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    res.digest = fnv1a(bytes);
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("feature-store throughput/compression baseline");
+    args.addInt("records", 200000, "records per writer-sweep run");
+    args.addInt("coeffs", 4, "coefficient columns");
+    args.addInt("block", 256, "records per block");
+    args.addInt("reps", 3, "repetitions (best-of)");
+    args.addString("threads", "1,2,4", "thread counts to sweep");
+    args.addInt("size", 48, "clover grid edge (compression part)");
+    args.addDouble("cost-gate", 1.15,
+                   "fail when async exposed > gate * sync exposed");
+    args.addDouble("ratio-gate", 4.0,
+                   "fail when trace/store size ratio is below this");
+    args.addString("json", "", "write results to this JSON file");
+    args.parse(argc, argv);
+
+    const auto records_n =
+        static_cast<std::size_t>(args.getInt("records"));
+    const auto coeffs = static_cast<std::size_t>(args.getInt("coeffs"));
+    const auto block = static_cast<std::size_t>(args.getInt("block"));
+    const int reps = static_cast<int>(args.getInt("reps"));
+    const double cost_gate = args.getDouble("cost-gate");
+    const double ratio_gate = args.getDouble("ratio-gate");
+    const std::vector<std::int64_t> threads =
+        ArgParser::parseIntList(args.getString("threads"));
+
+    banner("feature-store throughput (PR 5)",
+           "exposed append cost sync vs async + compression vs raw "
+           "trace dump");
+    std::printf("-- hardware threads: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    std::vector<BenchRecord> records;
+    bool ok = true;
+
+    // ---------------------------------------------- writer sweep
+    AsciiTable table({"threads", "sync us/rec", "async us/rec",
+                      "async/sync", "bytes/rec", "identical"});
+    for (const std::int64_t t : threads) {
+        setGlobalThreadCount(static_cast<int>(t));
+        WriteResult sync_best, async_best;
+        sync_best.exposed = async_best.exposed = 1e100;
+        std::uint64_t sync_digest = 0, async_digest = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+            // Interleave modes so host-load drift hits both.
+            const WriteResult s = writeOnce(
+                "store_tp_sync.tdfs", records_n, coeffs, block,
+                false);
+            const WriteResult a = writeOnce(
+                "store_tp_async.tdfs", records_n, coeffs, block,
+                true);
+            if (s.exposed < sync_best.exposed)
+                sync_best = s;
+            if (a.exposed < async_best.exposed)
+                async_best = a;
+            sync_digest = s.digest;
+            async_digest = a.digest;
+            if (s.digest != a.digest)
+                ok = false;
+        }
+        const double n = static_cast<double>(records_n);
+        const double ratio =
+            async_best.exposed / std::max(sync_best.exposed, 1e-12);
+        const bool identical = sync_digest == async_digest;
+        if (!identical || ratio > cost_gate)
+            ok = false;
+        table.addRow(
+            {std::to_string(t),
+             AsciiTable::fmt(1e6 * sync_best.exposed / n, 3),
+             AsciiTable::fmt(1e6 * async_best.exposed / n, 3),
+             AsciiTable::fmt(ratio, 2),
+             AsciiTable::fmt(static_cast<double>(sync_best.bytes) / n,
+                          1),
+             identical ? "yes" : "NO"});
+
+        BenchRecord rec;
+        rec.name = "writer_sweep_t" + std::to_string(t);
+        rec.metrics["threads"] = static_cast<double>(t);
+        rec.metrics["records"] = n;
+        rec.metrics["sync_exposed_s"] = sync_best.exposed;
+        rec.metrics["async_exposed_s"] = async_best.exposed;
+        rec.metrics["sync_append_wall_s"] = sync_best.appendWall;
+        rec.metrics["async_append_wall_s"] = async_best.appendWall;
+        rec.metrics["async_over_sync"] = ratio;
+        rec.metrics["bytes"] =
+            static_cast<double>(sync_best.bytes);
+        rec.metrics["files_identical"] = identical ? 1.0 : 0.0;
+        records.push_back(rec);
+    }
+    setGlobalThreadCount(1);
+    std::remove("store_tp_sync.tdfs");
+    std::remove("store_tp_async.tdfs");
+    table.print();
+
+    // ------------------------------- compression vs raw trace dump
+    clover::CloverAppConfig config;
+    config.size = static_cast<int>(args.getInt("size"));
+    config.blastEnergy = 2.0;
+    clover::CloverField field(config);
+
+    FullTrace trace(static_cast<std::size_t>(field.probeCount()));
+    Region region("store-bench", &field);
+    AnalysisConfig cfg;
+    cfg.name = "clover-breakpoint";
+    cfg.provider = [](void *domain, long loc) {
+        return static_cast<clover::CloverField *>(domain)->fieldAt(
+            loc);
+    };
+    cfg.space = IterParam(1, 20, 1);
+    cfg.time = IterParam(20, 400, 1);
+    cfg.feature = FeatureKind::BreakpointRadius;
+    cfg.searchEnd = config.size;
+    cfg.minLocation = 1;
+    cfg.ar.axis = LagAxis::Space;
+    cfg.ar.order = 3;
+    cfg.ar.lag = 2;
+    cfg.ar.batchSize = 16;
+    region.addAnalysis(std::move(cfg));
+
+    StoreSchema schema;
+    schema.coeffCount = 4; // order 3 + intercept
+    StoreOptions sopts;
+    sopts.blockCapacity = block;
+    FeatureStoreWriter store("store_tp_clover.tdfs", schema, sopts);
+    region.setFeatureStore(&store);
+
+    std::vector<double> row(
+        static_cast<std::size_t>(field.probeCount()), 0.0);
+    while (!field.finished()) {
+        region.begin();
+        clover::Timestep(field);
+        clover::HydroCycle(field);
+        region.end();
+        field.gatherProbes();
+        for (long loc = 1; loc <= field.probeCount(); ++loc)
+            row[static_cast<std::size_t>(loc - 1)] =
+                field.fieldAt(loc);
+        trace.appendRow(row);
+    }
+    region.analysis(0); // drain
+    region.setFeatureStore(nullptr);
+    const std::size_t store_bytes = store.finish();
+    const std::size_t trace_bytes =
+        trace.dump("store_tp_trace.bin");
+    const double ratio = static_cast<double>(trace_bytes) /
+                         static_cast<double>(store_bytes);
+
+    std::string verify_error;
+    const auto reader =
+        FeatureStoreReader::open("store_tp_clover.tdfs",
+                                 &verify_error);
+    const bool intact = reader && reader->verify(&verify_error) &&
+                        reader->recordCount() ==
+                            static_cast<std::size_t>(
+                                region.iteration());
+    if (!intact) {
+        std::printf("!! store verify failed: %s\n",
+                    verify_error.c_str());
+        ok = false;
+    }
+
+    std::printf("\nclover %dx%d, %ld iterations: trace %zu B, "
+                "store %zu B -> %.1fx compression (gate %.1fx)\n",
+                config.size, config.size, region.iteration(),
+                trace_bytes, store_bytes, ratio, ratio_gate);
+    if (ratio < ratio_gate)
+        ok = false;
+
+    BenchRecord comp;
+    comp.name = "clover_compression";
+    comp.metrics["grid"] = static_cast<double>(config.size);
+    comp.metrics["iterations"] =
+        static_cast<double>(region.iteration());
+    comp.metrics["trace_bytes"] =
+        static_cast<double>(trace_bytes);
+    comp.metrics["store_bytes"] =
+        static_cast<double>(store_bytes);
+    comp.metrics["compression_ratio"] = ratio;
+    comp.metrics["store_exposed_s"] = store.exposedSeconds();
+    records.push_back(comp);
+    std::remove("store_tp_clover.tdfs");
+    std::remove("store_tp_trace.bin");
+
+    const std::string json = args.getString("json");
+    if (!json.empty()) {
+        std::map<std::string, std::string> meta;
+        meta["bench"] = "store_throughput";
+        meta["hardware_threads"] =
+            std::to_string(std::thread::hardware_concurrency());
+        meta["records"] = std::to_string(records_n);
+        meta["block"] = std::to_string(block);
+        meta["cost_gate"] = AsciiTable::fmt(cost_gate, 2);
+        meta["ratio_gate"] = AsciiTable::fmt(ratio_gate, 2);
+        if (!bench_to_json(json, meta, records))
+            std::printf("!! failed to write %s\n", json.c_str());
+        else
+            std::printf("-- wrote %s\n", json.c_str());
+    }
+
+    if (!ok) {
+        std::printf("\n!! GATE FAILURE: async exposed cost, file "
+                    "identity, or compression ratio out of "
+                    "bounds\n");
+        return 1;
+    }
+    std::printf("\nall gates passed: files byte-identical, async "
+                "exposed <= %.2fx sync, compression >= %.1fx\n",
+                cost_gate, ratio_gate);
+    return 0;
+}

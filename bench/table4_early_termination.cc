@@ -25,8 +25,10 @@ main(int argc, char **argv)
                    "domain sizes (paper: 30,60,90)");
     args.addFlag("paper", "use the paper's domain sizes");
     addThreadsOption(args);
+    addStoreOptions(args);
     args.parse(argc, argv);
     applyThreadsOption(args);
+    const StoreCliOptions store = storeOptions(args);
     setLogQuiet(true);
 
     auto sizes = ArgParser::parseIntList(args.getString("sizes"));
@@ -64,6 +66,14 @@ main(int argc, char **argv)
             opt.honorStop = true;
             opt.analysis = blastAnalysis(truth, 0.4, thr, 1,
                                          size / 2, true);
+            // --store keeps one feature trace per (size,
+            // threshold) cell for post-hoc inspection.
+            if (!store.path.empty()) {
+                opt.storePath = store.path + ".s" +
+                                std::to_string(size) + "t" +
+                                AsciiTable::fmt(pct, 2);
+                opt.storeAsync = store.async;
+            }
             Timer rt;
             const blast::RunResult r =
                 blast::runBlast(truth.config, nullptr, opt);

@@ -12,10 +12,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "base/cli.hh"
 #include "blastapp/domain.hh"
 #include "core/region.hh"
+#include "par/store_merge.hh"
+#include "store/writer.hh"
 
 using namespace tdfe;
 using namespace tdfe::blast;
@@ -53,12 +56,43 @@ iterate(Domain &domain, Region &region)
     region.end();
 }
 
+/**
+ * Attach a feature store to @p region when --store was given
+ * (interrupted halves get distinct suffixes, merged at the end).
+ * Delegates to the shared rank-store helper with a null comm.
+ */
+std::unique_ptr<FeatureStoreWriter>
+attachStore(Region &region, const StoreCliOptions &cli,
+            const std::string &suffix)
+{
+    if (cli.path.empty())
+        return nullptr;
+    // analysisFor() uses order 3 -> 4 coefficient columns.
+    return attachRankStore(region, cli.path + suffix, 3 + 1,
+                           cli.async, nullptr);
+}
+
+/** Detach and close an attached store (no-op without --store). */
+void
+closeStore(Region &region, std::unique_ptr<FeatureStoreWriter> store)
+{
+    if (!store)
+        return;
+    const std::string path = store->path();
+    const std::size_t records = store->recordCount();
+    const std::size_t bytes =
+        finishRankStore(region, std::move(store), path, nullptr);
+    std::printf("feature store: %s (%zu records, %zu bytes)\n",
+                path.c_str(), records, bytes);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const StoreCliOptions storeCli = applyStoreFlags(argc, argv);
 
     BlastConfig config;
     config.size = 24;
@@ -81,8 +115,10 @@ main(int argc, char **argv)
         Domain domain(config);
         Region region("reference", &domain);
         region.addAnalysis(analysisFor(total));
+        auto store = attachStore(region, storeCli, "");
         while (!domain.finished())
             iterate(domain, region);
+        closeStore(region, std::move(store));
         ref_threshold = 0.05 * domain.initialVelocity();
         region.analysis(0).setThreshold(ref_threshold);
         ref_radius = region.analysis(0).breakPoint().radius;
@@ -97,8 +133,10 @@ main(int argc, char **argv)
         Domain domain(config);
         Region region("before-kill", &domain);
         region.addAnalysis(analysisFor(total));
+        auto store = attachStore(region, storeCli, ".part1");
         for (long i = 0; i < total / 2 && !domain.finished(); ++i)
             iterate(domain, region);
+        closeStore(region, std::move(store));
 
         std::ofstream out(ckpt_path, std::ios::binary);
         region.saveCheckpoint(out);
@@ -126,14 +164,30 @@ main(int argc, char **argv)
         std::printf("restored at region iteration %ld\n",
                     region.iteration());
 
+        auto store = attachStore(region, storeCli, ".part2");
         while (!domain.finished())
             iterate(domain, region);
+        closeStore(region, std::move(store));
         region.analysis(0).setThreshold(ref_threshold);
         const long radius = region.analysis(0).breakPoint().radius;
         std::printf("resumed: %ld iterations, radius %ld\n",
                     domain.cycle(), radius);
         std::printf("feature identical to uninterrupted run: %s\n",
                     radius == ref_radius ? "yes" : "NO");
+    }
+    if (!storeCli.path.empty()) {
+        // Stitch the interrupted run's halves into one store, the
+        // same rank-order merge the decomposed runners use. The
+        // result covers the same iterations as the uninterrupted
+        // store (inspect both with tdfstool).
+        const std::string merged = storeCli.path + ".resumed";
+        const std::size_t records = mergeRankStores(
+            {storeCli.path + ".part1", storeCli.path + ".part2"},
+            merged);
+        std::printf("merged resumed-run store: %s (%zu records)\n",
+                    merged.c_str(), records);
+        std::remove((storeCli.path + ".part1").c_str());
+        std::remove((storeCli.path + ".part2").c_str());
     }
     std::remove(ckpt_path);
     return 0;

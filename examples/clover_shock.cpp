@@ -15,10 +15,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "base/cli.hh"
 #include "clover2d/app.hh"
 #include "core/region.hh"
+#include "par/store_merge.hh"
 
 using namespace tdfe;
 using namespace tdfe::clover;
@@ -27,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const StoreCliOptions storeCli = applyStoreFlags(argc, argv);
 
     CloverAppConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 48;
@@ -70,7 +73,17 @@ main(int argc, char **argv)
     cfg.ar.order = 3;
     cfg.ar.lag = std::max<long>(2, total / 150);
     cfg.ar.batchSize = 16;
+    const std::size_t order = cfg.ar.order;
     const std::size_t id = region.addAnalysis(std::move(cfg));
+
+    // --store <path> persists every iteration's extracted features
+    // (wave front, prediction, fit coefficients, MSE) to a trace
+    // store; --store-async flushes its blocks on the thread pool.
+    std::unique_ptr<FeatureStoreWriter> store;
+    if (!storeCli.path.empty()) {
+        store = attachRankStore(region, storeCli.path, order + 1,
+                                storeCli.async, nullptr);
+    }
 
     // The instrumented run; probe peaks double as ground truth.
     std::vector<double> peak(static_cast<std::size_t>(config.size),
@@ -92,6 +105,17 @@ main(int argc, char **argv)
     CurveFitAnalysis &a = region.analysis(id);
     std::printf("mini-batch rounds: %zu, validation MSE %.2e\n",
                 a.trainingRounds(), a.lastValidationMse());
+
+    if (store) {
+        // analysis(id) above drained the pipeline, so every record
+        // is appended; close the store before the final queries.
+        region.setFeatureStore(nullptr);
+        const std::size_t bytes = store->finish();
+        std::printf("feature store: %s (%zu records, %zu bytes, "
+                    "exposed %.3f ms)\n",
+                    storeCli.path.c_str(), store->recordCount(),
+                    bytes, 1e3 * store->exposedSeconds());
+    }
 
     // Threshold sweep in the style of the paper's Table II. The 2D
     // cylindrical blast attenuates much more slowly (~r^-1/2) than

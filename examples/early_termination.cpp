@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const StoreCliOptions store = applyStoreFlags(argc, argv);
 
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
@@ -55,7 +56,15 @@ main(int argc, char **argv)
     stop.analysis.ar.lag =
         std::max<long>(1, reference.iterations / 20);
     stop.analysis.ar.convergeTol = 0.1;
+    // --store <path> persists the per-iteration features of the
+    // instrumented run (--store-async flushes on the pool).
+    stop.storePath = store.path;
+    stop.storeAsync = store.async;
     const RunResult early = runBlast(config, nullptr, stop);
+    if (!store.path.empty()) {
+        std::printf("feature store: %s (%zu bytes)\n",
+                    store.path.c_str(), early.storeBytes);
+    }
 
     std::printf("early-terminated run: %ld iterations, %.3f s "
                 "(stopped %s)\n",

@@ -22,19 +22,28 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const StoreCliOptions store = applyStoreFlags(argc, argv);
 
     const int resolution = argc > 1 ? std::atoi(argv[1]) : 8;
 
-    // One instrumented run: delay time per diagnostic.
+    // One instrumented run: delay time per diagnostic. With
+    // --store <path> the four analyses' per-dump features land in a
+    // trace store (--store-async flushes on the pool).
     WdMergerConfig config;
     config.resolution = resolution;
     WdRunOptions options;
     options.instrument = true;
     options.trainFraction = 0.25;
+    options.storePath = store.path;
+    options.storeAsync = store.async;
 
     std::printf("running wdmerger at resolution %d...\n",
                 resolution);
     const WdRunResult r = runWdMerger(config, nullptr, options);
+    if (!store.path.empty()) {
+        std::printf("feature store: %s (%zu bytes)\n",
+                    store.path.c_str(), r.storeBytes);
+    }
 
     std::printf("merger at t = %.2f, detonation at t = %.2f\n",
                 r.mergeTime, r.detonationTime);

@@ -2,8 +2,10 @@
 # Tier-1 verification: configure, build, run the tier-1 test suite,
 # then run the bench_smoke label on its own so a regression in either
 # pipeline (library correctness or bench wiring, including the
-# async_pipeline, rank_pipeline, and simd_hotpath digest/equality
-# gates) fails fast and visibly. A second Release tree then builds
+# async_pipeline, rank_pipeline, simd_hotpath, and
+# store_throughput digest/equality gates) fails fast and visibly,
+# followed by a feature-store tooling smoke (clover example writes
+# a store, tdfstool verify/export/diff it). A second Release tree then builds
 # with TDFE_NATIVE=ON (-march=native -ffast-math) and runs the
 # tier-1 tests only — the vectorized build is not bitwise-comparable
 # to the default one, so the digest-gated benches are skipped there;
@@ -24,6 +26,16 @@ cmake --build build -j"$(nproc)"
 cd build
 ctest --output-on-failure -j"$(nproc)" -L tier1 "$@"
 ctest --output-on-failure -L bench_smoke
+
+# Feature-store tooling smoke: the clover example writes a store
+# through the async pipeline, tdfstool must pronounce it intact and
+# export it, and a diff against itself must be clean.
+./example_clover_shock 32 --store check_clover.tdfs --store-async
+./tdfstool verify check_clover.tdfs
+./tdfstool info check_clover.tdfs > /dev/null
+./tdfstool export check_clover.tdfs --out check_clover.csv
+./tdfstool diff check_clover.tdfs check_clover.tdfs
+rm -f check_clover.tdfs check_clover.csv
 
 cd "$root"
 if [[ "${SKIP_NATIVE:-0}" != 1 ]]; then
@@ -46,7 +58,7 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
   cmake --build build-tsan -j"$(nproc)" --target \
       test_comm_tsan test_comm_nonblocking_tsan \
       test_async_region_tsan test_relaxed_stop_tsan \
-      test_parallel_for_tsan
+      test_parallel_for_tsan test_feature_store_tsan
   cd build-tsan
   ctest --output-on-failure -L tsan_smoke
 else

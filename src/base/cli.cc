@@ -173,6 +173,53 @@ applyThreadsOption(const ArgParser &args)
         setGlobalThreadCount(static_cast<int>(n));
 }
 
+void
+addStoreOptions(ArgParser &args)
+{
+    args.addString("store", "",
+                   "write extracted features to a trace store at "
+                   "this path (empty: disabled)");
+    args.addFlag("store-async",
+                 "flush store blocks on the thread pool instead of "
+                 "the simulation thread");
+}
+
+StoreCliOptions
+storeOptions(const ArgParser &args)
+{
+    StoreCliOptions opts;
+    opts.path = args.getString("store");
+    opts.async = args.getFlag("store-async");
+    return opts;
+}
+
+StoreCliOptions
+applyStoreFlags(int &argc, char **argv)
+{
+    StoreCliOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--store-async") {
+            opts.async = true;
+        } else if (arg == "--store") {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option --store needs a value");
+            opts.path = argv[++i];
+        } else if (arg.rfind("--store=", 0) == 0) {
+            opts.path = arg.substr(std::string("--store=").size());
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (opts.path.empty() && arg != "--store-async")
+            TDFE_FATAL("empty --store path");
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
 int
 applyThreadsFlag(int &argc, char **argv)
 {

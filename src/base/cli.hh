@@ -108,6 +108,36 @@ void applyThreadsOption(const ArgParser &args);
  */
 int applyThreadsFlag(int &argc, char **argv);
 
+/**
+ * Feature-trace-store request parsed from the command line, shared
+ * by every app front end (same pattern as the --threads helpers).
+ */
+struct StoreCliOptions
+{
+    /** Store file path; empty means no store was requested. */
+    std::string path;
+    /** Async flush mode (--store-async). */
+    bool async = false;
+};
+
+/**
+ * Register the standard feature-store options: `--store <path>`
+ * (write extracted features to a trace store; empty default
+ * disables) and the `--store-async` flag (flush store blocks on the
+ * thread pool instead of the simulation thread).
+ */
+void addStoreOptions(ArgParser &args);
+
+/** Read the parsed --store / --store-async values. */
+StoreCliOptions storeOptions(const ArgParser &args);
+
+/**
+ * Raw-argv variant for binaries without an ArgParser: strip
+ * `--store <path>` / `--store=<path>` / `--store-async` from argv,
+ * leaving every other argument for the program's own parsing.
+ */
+StoreCliOptions applyStoreFlags(int &argc, char **argv);
+
 } // namespace tdfe
 
 #endif // TDFE_BASE_CLI_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Portability guard shared by every on-disk byte format in the
+ * repository (checkpoints via base/serial, the FullTrace dump, and
+ * the feature store). All of them write raw little-endian IEEE-754
+ * payloads, so a build on a host that violates any of these
+ * assumptions would silently produce files other builds misread.
+ * Including this header turns that silent skew into a compile error.
+ */
+
+#ifndef TDFE_BASE_PORTABLE_HH
+#define TDFE_BASE_PORTABLE_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tdfe
+{
+
+static_assert(std::numeric_limits<double>::is_iec559 &&
+                  sizeof(double) == 8,
+              "on-disk formats require IEEE-754 binary64 doubles");
+static_assert(sizeof(std::uint64_t) == 8 && sizeof(std::uint32_t) == 4,
+              "on-disk formats require exact-width integers");
+
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "on-disk formats are little-endian; add byte swapping "
+              "before porting to a big-endian host");
+#else
+#error "cannot determine byte order; on-disk formats assume little-endian"
+#endif
+
+} // namespace tdfe
+
+#endif // TDFE_BASE_PORTABLE_HH

@@ -3,6 +3,10 @@
 #include <cstring>
 
 #include "base/logging.hh"
+// Compile-time guard: every raw little-endian IEEE-754 payload the
+// serial layer writes shares these assumptions with the feature
+// store and the trace dump.
+#include "base/portable.hh"
 
 namespace tdfe
 {

@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/timer.hh"
 #include "core/region.hh"
+#include "par/store_merge.hh"
 
 namespace tdfe
 {
@@ -34,6 +35,13 @@ runBlast(const BlastConfig &config, Communicator *comm,
             return static_cast<Domain *>(d)->xd(loc);
         };
         region->addAnalysis(std::move(ac));
+    }
+
+    std::unique_ptr<FeatureStoreWriter> store;
+    if (region && !options.storePath.empty()) {
+        store = attachRankStore(*region, options.storePath,
+                                options.analysis.ar.order + 1,
+                                options.storeAsync, comm);
     }
 
     const bool gather = options.instrument || options.recordTrace;
@@ -74,6 +82,13 @@ runBlast(const BlastConfig &config, Communicator *comm,
         } else {
             result.featureValue = a.extractFeature();
         }
+    }
+
+    if (store) {
+        // Every query above has drained the region, so no appends
+        // are pending.
+        result.storeBytes = finishRankStore(
+            *region, std::move(store), options.storePath, comm);
     }
     return result;
 }

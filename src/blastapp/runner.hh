@@ -9,6 +9,7 @@
 #ifndef TDFE_BLASTAPP_RUNNER_HH
 #define TDFE_BLASTAPP_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "blastapp/domain.hh"
@@ -53,6 +54,13 @@ struct RunOptions
     AnalysisConfig analysis;
     /** Iterations between collective stop syncs. */
     long syncInterval = 10;
+    /** Write extracted features to a trace store at this path
+     *  (empty: disabled; requires instrument). Under a multi-rank
+     *  communicator every rank writes "<path>.rk<rank>" and rank 0
+     *  merges them into <path> in rank order after the run. */
+    std::string storePath;
+    /** Flush store blocks on the thread pool (see StoreOptions). */
+    bool storeAsync = false;
 };
 
 /** Everything measured during one run. */
@@ -78,6 +86,8 @@ struct RunResult
     std::vector<std::vector<double>> trace;
     /** Validation MSE at the end of training. */
     double validationMse = 0.0;
+    /** Bytes of this rank's feature store (0: none written). */
+    std::size_t storeBytes = 0;
 };
 
 /**

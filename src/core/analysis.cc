@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "stats/metrics.hh"
+#include "store/feature_record.hh"
 
 namespace tdfe
 {
@@ -195,6 +196,37 @@ CurveFitAnalysis::wavefrontLocation() const
         std::max_element(row.data(), row.data() + row.size()) -
         row.data());
     return s.locBegin() + static_cast<long>(best) * s.locStep();
+}
+
+double
+CurveFitAnalysis::latestPrediction() const
+{
+    const ObservedSeries &s = observed();
+    if (s.iterCount() == 0)
+        return 0.0;
+    const SeriesView raw = s.seriesView(featureLoc());
+    if (!model_.trained())
+        return raw.back();
+    const Predictor pred(model_, s);
+    double predicted = 0.0;
+    if (!pred.oneStepAt(featureLoc(), s.iterEnd() - 1, lagScratch,
+                        predicted))
+        return raw.back();
+    return predicted;
+}
+
+void
+CurveFitAnalysis::fillFeatureRecord(FeatureRecord &rec) const
+{
+    TDFE_ASSERT(rec.coeffs.size() >= cfg.ar.order + 1,
+                "feature record has ", rec.coeffs.size(),
+                " coefficient slots, analysis needs ",
+                cfg.ar.order + 1);
+    rec.wavefront = static_cast<double>(wavefrontLocation());
+    rec.predicted = latestPrediction();
+    rec.mse = trainer_.lastValidationMse();
+    std::fill(rec.coeffs.begin(), rec.coeffs.end(), 0.0);
+    model_.rawCoefficientsInto(rec.coeffs.data());
 }
 
 

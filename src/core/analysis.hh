@@ -27,6 +27,7 @@ namespace tdfe
 
 class BinaryReader;
 class BinaryWriter;
+struct FeatureRecord;
 
 /** Data-analysis methods supported by the framework. */
 enum class AnalysisMethod
@@ -209,6 +210,26 @@ class CurveFitAnalysis
      */
     long wavefrontLocation() const;
 
+    /**
+     * One-step prediction at the feature location for the latest
+     * recorded iteration — the cheap per-iteration flavour of
+     * currentPrediction() (O(order), no allocation, no full fitted
+     * curve). Falls back to the latest observed value while lag
+     * sources or training are missing; 0 before any sample.
+     */
+    double latestPrediction() const;
+
+    /**
+     * Fill the per-feature payload of @p rec for the current state:
+     * wave-front location, latestPrediction(), rolling validation
+     * MSE, and the raw-space fit coefficients written into the first
+     * order+1 slots of rec.coeffs (whose size — the store schema's
+     * coefficient column count — must already be >= order+1; excess
+     * slots are zeroed). Identity fields (iteration, analysis id,
+     * stop, wall time) are the region's to set.
+     */
+    void fillFeatureRecord(FeatureRecord &rec) const;
+
     /** True while per-iteration work still includes training. */
     bool
     trainingActive() const
@@ -240,6 +261,9 @@ class CurveFitAnalysis
     /** Staged row awaits digestIteration() (not checkpointed: the
      *  region drains every epoch before saving). */
     bool pendingDigest = false;
+    /** Lag scratch of latestPrediction() (query-path bookkeeping,
+     *  kept across calls so the sink never allocates). */
+    mutable std::vector<double> lagScratch;
 };
 
 } // namespace tdfe

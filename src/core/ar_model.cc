@@ -43,6 +43,17 @@ ArModel::rawCoefficients() const
     return stdzr.denormalizeCoefficients(coeffsNorm);
 }
 
+void
+ArModel::rawCoefficientsInto(double *out) const
+{
+    if (!trainedFlag || stdzr.count() == 0) {
+        for (std::size_t d = 0; d <= cfg.order; ++d)
+            out[d] = 0.0;
+        return;
+    }
+    stdzr.denormalizeCoefficientsInto(coeffsNorm, out);
+}
+
 double
 ArModel::predictHomogeneous(const std::vector<double> &raw_lags) const
 {

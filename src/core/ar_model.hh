@@ -111,6 +111,14 @@ class ArModel
     std::vector<double> rawCoefficients() const;
 
     /**
+     * Write the order()+1 intercept-first raw-space coefficients
+     * into caller-owned @p out without allocating; zeros before the
+     * first training round. The feature-store sink calls this every
+     * iteration.
+     */
+    void rawCoefficientsInto(double *out) const;
+
+    /**
      * Homogeneous prediction: the raw-space slopes applied without
      * the intercept. Used when forwarding a decaying signal toward
      * its quiescent (zero) state — an affine rollout would otherwise

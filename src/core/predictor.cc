@@ -65,6 +65,41 @@ Predictor::oneStepSeries(long loc) const
     return out;
 }
 
+bool
+Predictor::oneStepAt(long loc, long t, std::vector<double> &lags,
+                     double &predicted) const
+{
+    const ArConfig &cfg = model.config();
+    lags.resize(cfg.order);
+    const long t0 = series.iterBegin();
+    const long t1 = series.iterEnd();
+    if (t < t0 || t >= t1)
+        return false;
+    if (cfg.axis == LagAxis::Time) {
+        const SeriesView col = series.seriesView(loc);
+        for (std::size_t i = 0; i < cfg.order; ++i) {
+            const long src = t - static_cast<long>(i + 1) * cfg.lag;
+            if (src < t0)
+                return false;
+            lags[i] = col[static_cast<std::size_t>(src - t0)];
+        }
+    } else {
+        const long src_t = t - cfg.lag;
+        if (src_t < t0)
+            return false;
+        const SeriesView row = series.profileView(src_t);
+        const long li = (loc - series.locBegin()) / series.locStep();
+        for (std::size_t i = 0; i < cfg.order; ++i) {
+            const long src_li = li - static_cast<long>(i + 1);
+            if (src_li < 0)
+                return false;
+            lags[i] = row[static_cast<std::size_t>(src_li)];
+        }
+    }
+    predicted = model.predict(lags);
+    return true;
+}
+
 std::vector<double>
 Predictor::forecastSeries(long loc, long t_end) const
 {

@@ -49,6 +49,20 @@ class Predictor
     FittedSeries oneStepSeries(long loc) const;
 
     /**
+     * One-step-ahead prediction at a single (loc, t): the body of
+     * one oneStepSeries() element without building the whole curve
+     * — O(order), no allocation. The feature-store sink records
+     * this every iteration.
+     *
+     * @param lags Caller scratch, resized to the model order.
+     * @param predicted Receives the prediction when available.
+     * @return false when any lag source precedes the recorded
+     *         window (prediction not possible at this point).
+     */
+    bool oneStepAt(long loc, long t, std::vector<double> &lags,
+                   double &predicted) const;
+
+    /**
      * Free-run forecast at @p loc (Time axis only): observed values
      * seed the lags; beyond the recorded window the model consumes
      * its own predictions. Returns one value per iteration in

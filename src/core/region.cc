@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "par/comm.hh"
+#include "store/writer.hh"
 
 namespace tdfe
 {
@@ -190,6 +191,55 @@ Region::finishIteration(long it)
         }
     }
     publishStop(stop_now, it);
+
+    if (store_)
+        recordFeatures(it);
+}
+
+void
+Region::recordFeatures(long it)
+{
+    // Always on the application thread (finishIteration runs at
+    // drain time under the async pipeline), so the single-producer
+    // store sees appends in iteration order. The published stop
+    // flag is whatever the protocol knows *now* — with overlapped
+    // collectives a remote stop can appear one sync window later
+    // than in blocking mode, which is the same staleness the
+    // relaxed stop query exposes.
+    storeRec.iteration = it;
+    storeRec.stop = stopFlag;
+    storeRec.wallTime = runTimer.elapsed();
+    for (std::size_t i = 0; i < analyses.size(); ++i) {
+        storeRec.analysis = static_cast<long>(i);
+        analyses[i]->fillFeatureRecord(storeRec);
+        store_->append(storeRec);
+    }
+}
+
+void
+Region::setFeatureStore(FeatureStoreWriter *store)
+{
+    // Settle any in-flight async epoch first: its deferred
+    // finishIteration must append to the sink that was attached
+    // when the iteration ran, not to the new one (and a detach
+    // must not silently drop the pending iteration's records).
+    drainQuery();
+    if (store) {
+        TDFE_ASSERT(!analyses.empty(),
+                    "register analyses before attaching a feature "
+                    "store (the schema depends on them)");
+        std::size_t need = 0;
+        for (const auto &a : analyses)
+            need = std::max(need, a->config().ar.order + 1);
+        if (store->schema().coeffCount < need) {
+            TDFE_FATAL("feature store schema has ",
+                       store->schema().coeffCount,
+                       " coefficient columns, region '", name,
+                       "' needs ", need);
+        }
+        storeRec.coeffs.assign(store->schema().coeffCount, 0.0);
+    }
+    store_ = store;
 }
 
 void

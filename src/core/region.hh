@@ -18,9 +18,12 @@
 #include "base/timer.hh"
 #include "core/analysis.hh"
 #include "par/comm.hh"
+#include "store/feature_record.hh"
 
 namespace tdfe
 {
+
+class FeatureStoreWriter;
 
 /**
  * Container of analyses attached to one instrumented code block.
@@ -186,6 +189,28 @@ class Region
      *  (diagnostics/tests; does not drain). */
     bool epochInFlight() const { return epochOpen; }
 
+    /**
+     * Attach a feature-store sink: every digested iteration appends
+     * one FeatureRecord per analysis (iteration, wall time,
+     * wave-front position, one-step prediction, fit coefficients,
+     * validation MSE, stop flag) to @p store. Appends always happen
+     * on the application thread in iteration order — under the
+     * async pipeline they run at drain time, exactly where the stop
+     * protocol does — so the store's own async mode is the only
+     * I/O-overlap knob. Register every analysis first (the store
+     * schema must carry max(order)+1 coefficient columns; fatal
+     * otherwise); pass nullptr to detach. Attaching or detaching
+     * drains any in-flight async epoch, so records always land in
+     * the sink that was attached when their iteration ran — a
+     * detach right after the last end() loses nothing. The store
+     * is borrowed, must outlive the region or be detached before
+     * destruction, and must not be finished while attached.
+     */
+    void setFeatureStore(FeatureStoreWriter *store);
+
+    /** @return the attached feature-store sink (nullptr: none). */
+    FeatureStoreWriter *featureStore() const { return store_; }
+
     /** Values of the last completed broadcast:
      *  [prediction, wavefront rank, stop flag]. */
     const double *lastBroadcast() const;
@@ -203,6 +228,10 @@ class Region
   private:
     /** Stop protocol + broadcast for completed iteration @p it. */
     void finishIteration(long it);
+
+    /** Append one record per analysis for iteration @p it to the
+     *  attached feature store. */
+    void recordFeatures(long it);
 
     /** Publish @p stop_now into the stop flag for iteration @p it. */
     void publishStop(bool stop_now, long it);
@@ -276,7 +305,14 @@ class Region
     bool epochOpen = false;
     /** @} */
 
+    /** Feature-store sink (borrowed) and its reused record. @{ */
+    FeatureStoreWriter *store_ = nullptr;
+    FeatureRecord storeRec;
+    /** @} */
+
     Timer blockTimer;
+    /** Wall clock since construction (store wall-time column). */
+    Timer runTimer;
     bool inBlock = false;
     double overhead = 0.0;
     double stepTime = 0.0;

@@ -7,6 +7,8 @@
 #include "base/logging.hh"
 #include "core/iter_param.hh"
 #include "core/region.hh"
+#include "store/reader.hh"
+#include "store/writer.hh"
 
 /** C-side region handle: owns the C++ Region. */
 struct td_region
@@ -23,6 +25,20 @@ struct td_region
 struct td_iter_param
 {
     tdfe::IterParam window;
+};
+
+/** C-side store handle: owns the writer and a reused record. */
+struct td_store
+{
+    td_store(const char *path, tdfe::StoreSchema schema,
+             tdfe::StoreOptions options)
+        : writer(path, schema, options)
+    {
+        record.coeffs.resize(schema.coeffCount, 0.0);
+    }
+
+    tdfe::FeatureStoreWriter writer;
+    tdfe::FeatureRecord record;
 };
 
 extern "C" {
@@ -225,6 +241,78 @@ double
 td_region_overhead_seconds(const td_region_t *region)
 {
     return region->region.overheadSeconds();
+}
+
+td_store_t *
+td_store_open(const char *path, int n_coeffs, int block_capacity,
+              int async)
+{
+    if (!path || n_coeffs < 0 || block_capacity < 0)
+        return nullptr;
+    tdfe::StoreSchema schema;
+    schema.coeffCount = static_cast<std::size_t>(n_coeffs);
+    tdfe::StoreOptions options;
+    if (block_capacity > 0)
+        options.blockCapacity =
+            static_cast<std::size_t>(block_capacity);
+    options.async = async != 0;
+    return new td_store(path, schema, options);
+}
+
+int
+td_store_append(td_store_t *store, long iteration, long analysis,
+                int stop, double wall_time, double wavefront,
+                double predicted, double mse, const double *coeffs)
+{
+    if (!store || (!coeffs && !store->record.coeffs.empty()))
+        return -1;
+    tdfe::FeatureRecord &rec = store->record;
+    rec.iteration = iteration;
+    rec.analysis = analysis;
+    rec.stop = stop != 0;
+    rec.wallTime = wall_time;
+    rec.wavefront = wavefront;
+    rec.predicted = predicted;
+    rec.mse = mse;
+    for (std::size_t k = 0; k < rec.coeffs.size(); ++k)
+        rec.coeffs[k] = coeffs[k];
+    store->writer.append(rec);
+    return 0;
+}
+
+long
+td_store_close(td_store_t *store)
+{
+    if (!store)
+        return -1;
+    const std::size_t bytes = store->writer.finish();
+    delete store;
+    return static_cast<long>(bytes);
+}
+
+void
+td_region_set_store(td_region_t *region, td_store_t *store)
+{
+    TDFE_ASSERT(region, "null region");
+    region->region.setFeatureStore(store ? &store->writer : nullptr);
+}
+
+int
+td_store_verify(const char *path)
+{
+    if (!path)
+        return -1;
+    const auto reader = tdfe::FeatureStoreReader::open(path);
+    return reader && reader->verify() ? 0 : -1;
+}
+
+long
+td_store_record_count(const char *path)
+{
+    if (!path)
+        return -1;
+    const auto reader = tdfe::FeatureStoreReader::open(path);
+    return reader ? static_cast<long>(reader->recordCount()) : -1;
 }
 
 int

@@ -28,6 +28,10 @@ typedef struct td_region td_region_t;
 /** Opaque (begin, end, step) window handle. */
 typedef struct td_iter_param td_iter_param_t;
 
+/** Opaque feature-trace-store handle (wraps
+ *  tdfe::FeatureStoreWriter). */
+typedef struct td_store td_store_t;
+
 /**
  * User-implemented diagnostic-variable accessor: returns the value
  * of the tracked variable at @p loc for the given simulation domain.
@@ -174,6 +178,62 @@ void td_region_set_async(td_region_t *region, int async);
  * overlap in codes that poll the stop flag every step.
  */
 void td_region_set_relaxed_stop(td_region_t *region, int relaxed);
+
+/**
+ * Create (truncate) a feature trace store at @p path: an
+ * append-only columnar file of extracted features (iteration, wall
+ * time, wave-front position, one-step prediction, fit coefficients,
+ * validation MSE, stop flag) that persists the in-situ results the
+ * paper otherwise only holds in memory.
+ *
+ * @param path Output file.
+ * @param n_coeffs Coefficient columns (AR order + 1 of the
+ *        producing analyses; the maximum when several differ).
+ * @param block_capacity Records per compressed block (0: default).
+ * @param async Nonzero defers block encode + write to the
+ *        process-wide thread pool so the simulation never blocks on
+ *        store I/O; files are byte-identical to synchronous mode.
+ * @return handle, or NULL on invalid arguments (a path that cannot
+ *         be opened is a fatal error, matching the library's
+ *         checkpoint behaviour).
+ */
+td_store_t *td_store_open(const char *path, int n_coeffs,
+                          int block_capacity, int async);
+
+/**
+ * Append one record. @p coeffs must point at n_coeffs doubles.
+ * @return 0 on success, -1 on null arguments.
+ */
+int td_store_append(td_store_t *store, long iteration, long analysis,
+                    int stop, double wall_time, double wavefront,
+                    double predicted, double mse,
+                    const double *coeffs);
+
+/**
+ * Flush pending blocks, write the footer, close, and release the
+ * handle. Detach it from any region first (td_region_set_store with
+ * NULL) — the region must not append to a closed store.
+ * @return total file bytes, or -1 for a NULL handle.
+ */
+long td_store_close(td_store_t *store);
+
+/**
+ * Attach @p store (may be NULL to detach) as the region's feature
+ * sink: every td_region_end appends one record per analysis. Call
+ * after every td_region_add_analysis; the store's n_coeffs must
+ * cover the largest analysis order + 1.
+ */
+void td_region_set_store(td_region_t *region, td_store_t *store);
+
+/**
+ * Validate the store at @p path end to end: header, footer, every
+ * block CRC, and a full decode.
+ * @return 0 when intact, -1 when missing, truncated, or corrupt.
+ */
+int td_store_verify(const char *path);
+
+/** @return records in the store at @p path, or -1 when unreadable. */
+long td_store_record_count(const char *path);
 
 /** Mark the start of the instrumented block (paper Fig. 2 line 23). */
 void td_region_begin(td_region_t *region);

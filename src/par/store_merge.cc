@@ -1,0 +1,103 @@
+#include "par/store_merge.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "core/region.hh"
+#include "par/comm.hh"
+#include "store/reader.hh"
+
+namespace tdfe
+{
+
+std::string
+rankStorePath(const std::string &base, int rank, int world_size)
+{
+    if (world_size <= 1)
+        return base;
+    return base + ".rk" + std::to_string(rank);
+}
+
+std::size_t
+mergeRankStores(const std::vector<std::string> &parts,
+                const std::string &out_path,
+                const StoreOptions &options)
+{
+    TDFE_ASSERT(!parts.empty(), "nothing to merge");
+
+    // Open every part before creating the output so a bad input
+    // cannot leave a half-written merged file behind.
+    std::vector<std::unique_ptr<FeatureStoreReader>> readers;
+    for (const std::string &p : parts) {
+        std::string error;
+        auto r = FeatureStoreReader::open(p, &error);
+        if (!r)
+            TDFE_FATAL("cannot merge feature store: ", error);
+        if (!readers.empty() &&
+            r->schema() != readers.front()->schema()) {
+            TDFE_FATAL("feature store schema mismatch merging ", p,
+                       " (", r->schema().coeffCount, " vs ",
+                       readers.front()->schema().coeffCount,
+                       " coefficient columns)");
+        }
+        readers.push_back(std::move(r));
+    }
+
+    FeatureStoreWriter writer(out_path, readers.front()->schema(),
+                              options);
+    FeatureRecord rec;
+    for (const auto &r : readers) {
+        FeatureStoreReader::Cursor c = r->cursor();
+        while (c.next(rec))
+            writer.append(rec);
+    }
+    const std::size_t merged = writer.recordCount();
+    writer.finish();
+    return merged;
+}
+
+std::unique_ptr<FeatureStoreWriter>
+attachRankStore(Region &region, const std::string &base,
+                std::size_t coeff_count, bool async,
+                Communicator *comm)
+{
+    StoreSchema schema;
+    schema.coeffCount = coeff_count;
+    StoreOptions options;
+    options.async = async;
+    auto store = std::make_unique<FeatureStoreWriter>(
+        rankStorePath(base, comm ? comm->rank() : 0,
+                      comm ? comm->size() : 1),
+        schema, options);
+    region.setFeatureStore(store.get());
+    return store;
+}
+
+std::size_t
+finishRankStore(Region &region,
+                std::unique_ptr<FeatureStoreWriter> store,
+                const std::string &base, Communicator *comm)
+{
+    TDFE_ASSERT(store, "finishRankStore needs an attached store");
+    region.setFeatureStore(nullptr);
+    const std::size_t bytes = store->finish();
+    if (comm && comm->size() > 1) {
+        // All parts on disk before rank 0 concatenates them; the
+        // exit barrier keeps the merged file complete before any
+        // rank returns to the caller.
+        comm->barrier();
+        if (comm->rank() == 0) {
+            std::vector<std::string> parts;
+            for (int r = 0; r < comm->size(); ++r)
+                parts.push_back(
+                    rankStorePath(base, r, comm->size()));
+            mergeRankStores(parts, base);
+            for (const std::string &p : parts)
+                std::remove(p.c_str());
+        }
+        comm->barrier();
+    }
+    return bytes;
+}
+
+} // namespace tdfe

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Rank-decomposed feature-store plumbing: every rank of a
+ * decomposed run writes its own store file (one writer per rank —
+ * the store is single-producer), and after the run the per-rank
+ * parts are merged into one store in rank order, mirroring how MPI
+ * codes concatenate per-rank logs. The merged file is a normal
+ * store (tdfstool, reader, range queries all work); since the same
+ * iterations appear once per rank, the reader detects the
+ * non-monotone block index and range queries transparently fall
+ * back to a sequential scan.
+ */
+
+#ifndef TDFE_PAR_STORE_MERGE_HH
+#define TDFE_PAR_STORE_MERGE_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/writer.hh"
+
+namespace tdfe
+{
+
+class Communicator;
+class Region;
+
+/**
+ * Per-rank store path: @p base itself for single-rank worlds,
+ * otherwise "<base>.rk<rank>" so ranks of one world never collide.
+ */
+std::string rankStorePath(const std::string &base, int rank,
+                          int world_size);
+
+/**
+ * Merge the store files @p parts (rank order) into @p out_path.
+ * All parts must share one schema (fatal otherwise); records are
+ * re-encoded, so the merged file uses @p options' block capacity.
+ *
+ * @return records in the merged store.
+ */
+std::size_t mergeRankStores(const std::vector<std::string> &parts,
+                            const std::string &out_path,
+                            const StoreOptions &options =
+                                StoreOptions());
+
+/**
+ * App-harness helper: create this rank's store at
+ * rankStorePath(@p base, rank, size) with @p coeff_count
+ * coefficient columns and attach it as @p region's feature sink
+ * (register every analysis first). @p comm may be null (single
+ * rank).
+ */
+std::unique_ptr<FeatureStoreWriter>
+attachRankStore(Region &region, const std::string &base,
+                std::size_t coeff_count, bool async,
+                Communicator *comm);
+
+/**
+ * Counterpart of attachRankStore, for when the run (and every
+ * region query — queries drain pending appends) is over: detach
+ * the sink, finish this rank's part, and under a multi-rank
+ * @p comm merge all parts into @p base on rank 0 (rank order,
+ * parts removed afterwards), with barriers so the merged store is
+ * complete before any rank returns.
+ *
+ * @return bytes of this rank's part file.
+ */
+std::size_t finishRankStore(Region &region,
+                            std::unique_ptr<FeatureStoreWriter> store,
+                            const std::string &base,
+                            Communicator *comm);
+
+} // namespace tdfe
+
+#endif // TDFE_PAR_STORE_MERGE_HH

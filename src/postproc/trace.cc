@@ -5,35 +5,54 @@
 #include <fstream>
 
 #include "base/logging.hh"
+#include "base/portable.hh"
+#include "base/serial.hh"
 
 namespace tdfe
 {
 
+namespace
+{
+
+/** Magic tag + version of the serial-routed dump format. */
+const char traceTag[] = "TDFETRACE";
+constexpr std::uint64_t traceVersion = 2;
+
+} // namespace
+
 FullTrace::FullTrace(std::size_t n_locs) : nLocs(n_locs)
 {
-    TDFE_ASSERT(n_locs > 0, "trace needs at least one location");
+    if (n_locs == 0)
+        TDFE_FATAL("trace needs at least one location");
 }
 
 void
 FullTrace::appendRow(const std::vector<double> &row)
 {
-    TDFE_ASSERT(row.size() == nLocs,
-                "trace row size ", row.size(), " != ", nLocs);
+    // User-supplied data: an explicit fatal, not an internal
+    // assertion — a mismatched row would silently shear every later
+    // (iteration, location) index.
+    if (row.size() != nLocs)
+        TDFE_FATAL("trace row size ", row.size(), " != ", nLocs);
     values.insert(values.end(), row.begin(), row.end());
 }
 
 double
 FullTrace::at(std::size_t iter, std::size_t loc) const
 {
-    TDFE_ASSERT(iter < iterCount() && loc < nLocs,
-                "trace index out of range");
+    if (iter >= iterCount() || loc >= nLocs)
+        TDFE_FATAL("trace index (", iter, ", ", loc,
+                   ") out of range (", iterCount(), " x ", nLocs,
+                   ")");
     return values[iter * nLocs + loc];
 }
 
 std::vector<double>
 FullTrace::seriesAt(std::size_t loc) const
 {
-    TDFE_ASSERT(loc < nLocs, "location index out of range");
+    if (loc >= nLocs)
+        TDFE_FATAL("trace location ", loc, " out of range (", nLocs,
+                   ")");
     std::vector<double> out(iterCount());
     for (std::size_t r = 0; r < out.size(); ++r)
         out[r] = values[r * nLocs + loc];
@@ -57,16 +76,15 @@ FullTrace::dump(const std::string &path) const
     if (!out)
         TDFE_FATAL("cannot open trace file for writing: ", path);
 
-    const std::uint64_t header[2] = {
-        static_cast<std::uint64_t>(nLocs),
-        static_cast<std::uint64_t>(iterCount()),
-    };
-    out.write(reinterpret_cast<const char *>(header), sizeof(header));
-    out.write(reinterpret_cast<const char *>(values.data()),
-              static_cast<std::streamsize>(values.size() *
-                                           sizeof(double)));
-    TDFE_ASSERT(out.good(), "trace write failed: ", path);
-    return sizeof(header) + values.size() * sizeof(double);
+    BinaryWriter w(out);
+    w.writeTag(traceTag);
+    w.writeU64(traceVersion);
+    w.writeU64(nLocs);
+    w.writeU64(iterCount());
+    w.writeVec(values);
+    if (!out.good())
+        TDFE_FATAL("trace write failed: ", path);
+    return static_cast<std::size_t>(out.tellp());
 }
 
 FullTrace
@@ -76,17 +94,37 @@ FullTrace::load(const std::string &path)
     if (!in)
         TDFE_FATAL("cannot open trace file for reading: ", path);
 
-    std::uint64_t header[2] = {0, 0};
-    in.read(reinterpret_cast<char *>(header), sizeof(header));
-    TDFE_ASSERT(in.good() && header[0] > 0, "corrupt trace header");
+    // The serial layer turns truncation and tag skew into fatal
+    // diagnostics; the shape checks below catch header/payload
+    // disagreement (e.g. a file cut at a row boundary). Peek the
+    // tag length first so a pre-v2 raw dump (or a foreign file)
+    // gets a trace-specific diagnostic rather than the serial
+    // layer's section-mismatch message over binary garbage.
+    BinaryReader r(in);
+    {
+        std::uint64_t tag_len = 0;
+        in.read(reinterpret_cast<char *>(&tag_len), sizeof(tag_len));
+        if (!in.good() || tag_len != sizeof(traceTag) - 1)
+            TDFE_FATAL("not a ", traceTag, " dump: ", path,
+                       " (written by a pre-store build, or not a "
+                       "trace file)");
+        in.seekg(0);
+    }
+    r.expectTag(traceTag);
+    const std::uint64_t version = r.readU64();
+    if (version != traceVersion)
+        TDFE_FATAL("unsupported trace version ", version);
+    const std::uint64_t n_locs = r.readU64();
+    const std::uint64_t n_iters = r.readU64();
+    if (n_locs == 0)
+        TDFE_FATAL("corrupt trace header: zero locations");
 
-    FullTrace trace(static_cast<std::size_t>(header[0]));
-    trace.values.resize(static_cast<std::size_t>(header[0]) *
-                        static_cast<std::size_t>(header[1]));
-    in.read(reinterpret_cast<char *>(trace.values.data()),
-            static_cast<std::streamsize>(trace.values.size() *
-                                         sizeof(double)));
-    TDFE_ASSERT(in.good(), "corrupt trace payload");
+    FullTrace trace(static_cast<std::size_t>(n_locs));
+    trace.values = r.readVec();
+    if (trace.values.size() != n_locs * n_iters)
+        TDFE_FATAL("corrupt trace payload: ", trace.values.size(),
+                   " values, header promises ", n_locs, " x ",
+                   n_iters);
     return trace;
 }
 

@@ -21,10 +21,12 @@ namespace tdfe
 class FullTrace
 {
   public:
-    /** @param n_locs Probe count per iteration. */
+    /** @param n_locs Probe count per iteration (fatal when 0). */
     explicit FullTrace(std::size_t n_locs);
 
-    /** Append one iteration's probe row. */
+    /** Append one iteration's probe row. A row whose size differs
+     *  from locCount() is a fatal user error (silent truncation or
+     *  padding would corrupt every later index computation). */
     void appendRow(const std::vector<double> &row);
 
     /** @return locations per row. */
@@ -36,7 +38,7 @@ class FullTrace
         return nLocs == 0 ? 0 : values.size() / nLocs;
     }
 
-    /** Value at (iteration, location index). */
+    /** Value at (iteration, location index); fatal out of range. */
     double at(std::size_t iter, std::size_t loc) const;
 
     /** Full time series at one location index. */
@@ -52,12 +54,16 @@ class FullTrace
     }
 
     /**
-     * Write the trace to @p path (binary: header + doubles).
+     * Write the trace to @p path through base/serial (tagged
+     * little-endian binary, shared portability guard with the
+     * feature store; see base/portable.hh).
      * @return bytes written.
      */
     std::size_t dump(const std::string &path) const;
 
-    /** Read a trace written by dump(). */
+    /** Read a trace written by dump(). Truncated or malformed
+     *  files fail loudly via the serial layer instead of returning
+     *  a partially-filled trace. */
     static FullTrace load(const std::string &path);
 
   private:

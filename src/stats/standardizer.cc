@@ -93,16 +93,26 @@ Standardizer::denormalizeCoefficients(
                 "expected intercept + ", featureStats.size(),
                 " coefficients");
     std::vector<double> raw(coeffs_norm.size(), 0.0);
+    denormalizeCoefficientsInto(coeffs_norm, raw.data());
+    return raw;
+}
+
+void
+Standardizer::denormalizeCoefficientsInto(
+    const std::vector<double> &coeffs_norm, double *out) const
+{
+    TDFE_ASSERT(coeffs_norm.size() == featureStats.size() + 1,
+                "expected intercept + ", featureStats.size(),
+                " coefficients");
     // y = mu_y + sigma_y * (b0' + sum_i bi' * (x_i - mu_i) / s_i)
     double intercept = targetMean() + targetStd() * coeffs_norm[0];
     for (std::size_t d = 0; d < featureStats.size(); ++d) {
         const double slope =
             targetStd() * coeffs_norm[d + 1] / featureStd(d);
-        raw[d + 1] = slope;
+        out[d + 1] = slope;
         intercept -= slope * featureMean(d);
     }
-    raw[0] = intercept;
-    return raw;
+    out[0] = intercept;
 }
 
 

@@ -63,6 +63,14 @@ class Standardizer
     denormalizeCoefficients(const std::vector<double> &coeffs_norm)
         const;
 
+    /**
+     * As denormalizeCoefficients, writing the dims+1 raw
+     * coefficients into caller-owned @p out (no allocation; the
+     * per-iteration feature-store sink runs through here).
+     */
+    void denormalizeCoefficientsInto(
+        const std::vector<double> &coeffs_norm, double *out) const;
+
     /** Feature standard deviation (floored away from zero). */
     double featureStd(std::size_t dim) const;
 

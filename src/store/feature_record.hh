@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The unit of the feature trace store: one extracted-feature sample
+ * per (iteration, analysis). The paper's pitch is that in-situ AR
+ * extraction replaces dumping the full-fidelity trace; the store
+ * makes the extracted side of that comparison a durable, queryable
+ * artifact instead of values that die with the process.
+ */
+
+#ifndef TDFE_STORE_FEATURE_RECORD_HH
+#define TDFE_STORE_FEATURE_RECORD_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+/**
+ * One row of the feature store. Integer fields and double fields
+ * are stored in separate column families on disk (delta+zigzag
+ * varints vs Gorilla XOR packing); `coeffs` holds the intercept-first
+ * raw-space AR coefficients and must match the store schema's
+ * coefficient column count exactly.
+ */
+struct FeatureRecord
+{
+    /** Simulation iteration the sample belongs to. */
+    long iteration = 0;
+    /** Analysis id within the region (0 for single-analysis apps). */
+    long analysis = 0;
+    /** Stop flag published by the region's protocol at this point. */
+    bool stop = false;
+    /** Wall-clock seconds since the producing region was created. */
+    double wallTime = 0.0;
+    /** Wave-front position (sampled location with the peak value). */
+    double wavefront = 0.0;
+    /** One-step predicted value at the feature location. */
+    double predicted = 0.0;
+    /** Rolling validation MSE of the fit (normalized space). */
+    double mse = 0.0;
+    /** Intercept-first raw-space fit coefficients (zeros until the
+     *  model trains). Size = StoreSchema::coeffCount. */
+    std::vector<double> coeffs;
+};
+
+/**
+ * Column layout of one store file. The integer and the non-coeff
+ * double columns are fixed; only the coefficient column count varies
+ * (model order + 1 of the producing analyses). Column names are
+ * recorded in the file footer so tools stay self-describing.
+ */
+struct StoreSchema
+{
+    /** Coefficient columns (AR order + 1, intercept first). */
+    std::size_t coeffCount = 0;
+
+    /** Fixed integer columns: iteration, analysis, stop. */
+    static constexpr std::size_t numIntColumns = 3;
+    /** Fixed double columns before the coefficients. */
+    static constexpr std::size_t numFixedDoubleColumns = 4;
+
+    std::size_t intColumns() const { return numIntColumns; }
+    std::size_t doubleColumns() const
+    {
+        return numFixedDoubleColumns + coeffCount;
+    }
+    /** Columns of one record, both families. */
+    std::size_t totalColumns() const
+    {
+        return intColumns() + doubleColumns();
+    }
+
+    /** Name of integer column @p i (tools / CSV export). */
+    static std::string
+    intColumnName(std::size_t i)
+    {
+        static const char *names[numIntColumns] = {"iteration",
+                                                   "analysis", "stop"};
+        return i < numIntColumns ? names[i] : "int?";
+    }
+
+    /** Name of double column @p i (tools / CSV export). */
+    std::string
+    doubleColumnName(std::size_t i) const
+    {
+        static const char *fixed[numFixedDoubleColumns] = {
+            "wall_time", "wavefront", "predicted", "mse"};
+        if (i < numFixedDoubleColumns)
+            return fixed[i];
+        return "coef" +
+               std::to_string(i - numFixedDoubleColumns);
+    }
+
+    bool
+    operator==(const StoreSchema &o) const
+    {
+        return coeffCount == o.coeffCount;
+    }
+    bool operator!=(const StoreSchema &o) const { return !(*this == o); }
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STORE_FEATURE_RECORD_HH

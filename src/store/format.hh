@@ -1,0 +1,86 @@
+/**
+ * @file
+ * On-disk layout constants of the feature store, shared by the
+ * writer, the reader, and tdfstool. The format is append-only and
+ * block-based in the spirit of TrailDB:
+ *
+ *   [header]  magic "TDFSTOR1", u32 version, u32 block capacity,
+ *             u32 int columns, u32 double columns        (24 bytes)
+ *   [blocks]  each: u32 record count,
+ *             per column (ints then doubles): u32 encoded length +
+ *             encoded bytes (delta+zigzag varint / Gorilla XOR),
+ *             u32 CRC-32 over everything before it in the block
+ *   [footer]  u64 block count,
+ *             per block: u64 offset, u64 size, u64 records,
+ *                        i64 first iteration, i64 last iteration,
+ *             u64 total records,
+ *             u32 sorted flag (1: appends were nondecreasing in
+ *                 iteration, enabling block-index range queries),
+ *             u32 int columns, u32 double columns, u64 coeff count,
+ *             per column: u32 name length + name bytes,
+ *             then u32 CRC-32 over the footer bytes before it
+ *   [trailer] u64 footer offset, magic "TDFSEND1"        (16 bytes)
+ *
+ * The trailer is fixed-size and at the very end, so a reader finds
+ * the footer without scanning; any truncation loses the trailer (or
+ * breaks the footer CRC) and is rejected at open.
+ */
+
+#ifndef TDFE_STORE_FORMAT_HH
+#define TDFE_STORE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdfe
+{
+
+namespace store
+{
+
+/** File-leading magic. */
+constexpr char headerMagic[8] = {'T', 'D', 'F', 'S',
+                                 'T', 'O', 'R', '1'};
+/** File-trailing magic. */
+constexpr char trailerMagic[8] = {'T', 'D', 'F', 'S',
+                                  'E', 'N', 'D', '1'};
+
+/** Format version written by this build. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** Bounds shared by writer validation and reader rejection, so a
+ *  writer can never produce a file its own reader refuses. @{ */
+constexpr std::size_t maxBlockCapacity = std::size_t{1} << 24;
+constexpr std::size_t maxDoubleColumns = 4096;
+/** @} */
+
+/** magic + version + capacity + int cols + double cols. */
+constexpr std::size_t headerBytes = 8 + 4 + 4 + 4 + 4;
+
+/** footer offset + magic. */
+constexpr std::size_t trailerBytes = 8 + 8;
+
+/** Bytes of one block-index entry inside the footer. */
+constexpr std::size_t indexEntryBytes = 8 + 8 + 8 + 8 + 8;
+
+/** One footer block-index entry. */
+struct BlockInfo
+{
+    /** Absolute file offset of the block. */
+    std::uint64_t offset = 0;
+    /** Block size in bytes, CRC included. */
+    std::uint64_t size = 0;
+    /** Records encoded in the block. */
+    std::uint64_t records = 0;
+    /** Iteration of the block's first / last record (random access
+     *  by iteration range). @{ */
+    std::int64_t firstIter = 0;
+    std::int64_t lastIter = 0;
+    /** @} */
+};
+
+} // namespace store
+
+} // namespace tdfe
+
+#endif // TDFE_STORE_FORMAT_HH

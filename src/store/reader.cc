@@ -1,0 +1,289 @@
+#include "store/reader.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "base/portable.hh"
+#include "store/codec.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+std::unique_ptr<FeatureStoreReader>
+FeatureStoreReader::open(const std::string &path, std::string *error)
+{
+    auto reject = [&](const std::string &msg)
+        -> std::unique_ptr<FeatureStoreReader> {
+        fail(error, path + ": " + msg);
+        return nullptr;
+    };
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return reject("cannot open");
+    const std::streamoff size = in.tellg();
+    if (size < static_cast<std::streamoff>(store::headerBytes +
+                                           store::trailerBytes))
+        return reject("truncated: shorter than header + trailer");
+
+    auto reader =
+        std::unique_ptr<FeatureStoreReader>(new FeatureStoreReader());
+    reader->file.resize(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(reader->file.data()), size);
+    if (!in.good())
+        return reject("short read");
+    const std::vector<std::uint8_t> &f = reader->file;
+
+    // Header.
+    if (std::memcmp(f.data(), store::headerMagic, 8) != 0)
+        return reject("bad header magic (not a feature store)");
+    store::ByteReader h(f.data() + 8, store::headerBytes - 8);
+    const std::uint32_t version = h.u32();
+    if (version != store::formatVersion)
+        return reject("unsupported format version " +
+                      std::to_string(version));
+    reader->capacity_ = h.u32();
+    const std::uint32_t n_int = h.u32();
+    const std::uint32_t n_dbl = h.u32();
+    // File-supplied counts bound every later loop and allocation,
+    // so cap them here: a corrupt header must be rejected, not
+    // obeyed.
+    if (reader->capacity_ == 0 ||
+        reader->capacity_ > store::maxBlockCapacity ||
+        n_int != StoreSchema::numIntColumns ||
+        n_dbl < StoreSchema::numFixedDoubleColumns ||
+        n_dbl > store::maxDoubleColumns)
+        return reject("implausible header column/capacity counts");
+
+    // Trailer -> footer window.
+    const std::size_t tr = f.size() - store::trailerBytes;
+    if (std::memcmp(f.data() + tr + 8, store::trailerMagic, 8) != 0)
+        return reject("bad trailer magic (truncated store?)");
+    store::ByteReader t(f.data() + tr, 8);
+    const std::uint64_t footer_off = t.u64();
+    if (footer_off < store::headerBytes || footer_off > tr)
+        return reject("footer offset out of range");
+    const std::size_t footer_len =
+        tr - static_cast<std::size_t>(footer_off);
+    if (footer_len < 4)
+        return reject("footer too small");
+
+    // Footer CRC, then parse.
+    const std::uint8_t *fp = f.data() + footer_off;
+    store::ByteReader crc_r(fp + footer_len - 4, 4);
+    if (store::crc32(fp, footer_len - 4) != crc_r.u32())
+        return reject("footer CRC mismatch");
+    store::ByteReader r(fp, footer_len - 4);
+    const std::uint64_t n_blocks = r.u64();
+    // Divide instead of multiplying: n_blocks is file-supplied and
+    // a product could wrap past the check.
+    if (n_blocks > footer_len / store::indexEntryBytes)
+        return reject("footer block count implausible");
+    reader->index.resize(static_cast<std::size_t>(n_blocks));
+    std::uint64_t record_sum = 0;
+    std::uint64_t prev_end = store::headerBytes;
+    for (store::BlockInfo &b : reader->index) {
+        b.offset = r.u64();
+        b.size = r.u64();
+        b.records = r.u64();
+        b.firstIter = r.i64();
+        b.lastIter = r.i64();
+        // b.records also bounds decodeBlock's scratch resize, so
+        // tie it to the block's actual byte size: the iteration
+        // column alone costs >= 1 varint byte per record.
+        if (b.offset != prev_end || b.size < 8 ||
+            b.offset + b.size > footer_off || b.records == 0 ||
+            b.records > reader->capacity_ || b.records > b.size)
+            return reject("block index entry out of range");
+        prev_end = b.offset + b.size;
+        record_sum += b.records;
+    }
+    if (prev_end != footer_off)
+        return reject("blocks do not tile the data section");
+    reader->records_ = static_cast<std::size_t>(r.u64());
+    if (reader->records_ != record_sum)
+        return reject("footer record count disagrees with index");
+    reader->sorted_ = r.u32() != 0;
+    if (r.u32() != n_int || r.u32() != n_dbl)
+        return reject("footer schema disagrees with header");
+    reader->schema_.coeffCount =
+        static_cast<std::size_t>(r.u64());
+    if (reader->schema_.doubleColumns() != n_dbl)
+        return reject("coefficient count disagrees with columns");
+    for (std::uint32_t i = 0; i < n_int + n_dbl; ++i) {
+        const std::uint32_t len = r.u32();
+        if (!r.ok() || len > r.remaining())
+            return reject("column name overruns footer");
+        std::string name(len, '\0');
+        r.bytes(name.data(), len);
+        reader->names_.push_back(std::move(name));
+    }
+    if (!r.ok())
+        return reject("footer truncated");
+
+    // Belt and braces: the footer flag must agree with the block
+    // boundaries it implies.
+    for (std::size_t b = 1; b < reader->index.size(); ++b)
+        if (reader->index[b].firstIter <
+            reader->index[b - 1].lastIter)
+            reader->sorted_ = false;
+
+    return reader;
+}
+
+bool
+FeatureStoreReader::decodeBlock(
+    std::size_t b, std::vector<std::vector<std::int64_t>> &ints,
+    std::vector<std::vector<double>> &dbls,
+    std::string *detail) const
+{
+    const store::BlockInfo &info = index[b];
+    const std::uint8_t *base =
+        file.data() + static_cast<std::size_t>(info.offset);
+    const std::size_t size = static_cast<std::size_t>(info.size);
+    const std::string where = "block " + std::to_string(b);
+
+    store::ByteReader crc_r(base + size - 4, 4);
+    if (store::crc32(base, size - 4) != crc_r.u32())
+        return fail(detail, where + ": CRC mismatch");
+
+    store::ByteReader r(base, size - 4);
+    const std::uint32_t n = r.u32();
+    if (n != info.records)
+        return fail(detail,
+                    where + ": record count disagrees with index");
+
+    ints.resize(schema_.intColumns());
+    dbls.resize(schema_.doubleColumns());
+    for (std::size_t c = 0; c < schema_.intColumns(); ++c) {
+        const std::uint32_t len = r.u32();
+        if (len > r.remaining())
+            return fail(detail, where + ": column overruns block");
+        ints[c].resize(n);
+        if (!store::decodeIntColumn(r.cursor(), len, n,
+                                    ints[c].data()))
+            return fail(detail, where + ": bad integer column " +
+                                    std::to_string(c));
+        r.skip(len);
+    }
+    for (std::size_t c = 0; c < schema_.doubleColumns(); ++c) {
+        const std::uint32_t len = r.u32();
+        if (len > r.remaining())
+            return fail(detail, where + ": column overruns block");
+        dbls[c].resize(n);
+        if (!store::decodeDoubleColumn(r.cursor(), len, n,
+                                       dbls[c].data()))
+            return fail(detail, where + ": bad double column " +
+                                    std::to_string(c));
+        r.skip(len);
+    }
+    if (!r.ok() || r.remaining() != 0)
+        return fail(detail, where + ": trailing bytes after columns");
+    return true;
+}
+
+bool
+FeatureStoreReader::verify(std::string *detail) const
+{
+    std::vector<std::vector<std::int64_t>> ints;
+    std::vector<std::vector<double>> dbls;
+    for (std::size_t b = 0; b < index.size(); ++b) {
+        if (!decodeBlock(b, ints, dbls, detail))
+            return false;
+        if (ints[0].front() != index[b].firstIter ||
+            ints[0].back() != index[b].lastIter)
+            return fail(detail,
+                        "block " + std::to_string(b) +
+                            ": iteration bounds disagree with index");
+    }
+    return true;
+}
+
+void
+FeatureStoreReader::Cursor::fill(std::size_t b)
+{
+    std::string detail;
+    if (!reader->decodeBlock(b, ints, dbls, &detail))
+        TDFE_FATAL("corrupt feature store: ", detail);
+    count = ints[0].size();
+    pos = 0;
+}
+
+bool
+FeatureStoreReader::Cursor::next(FeatureRecord &out)
+{
+    while (pos == count) {
+        if (block >= reader->blockCount())
+            return false;
+        fill(block++);
+    }
+    out.iteration = static_cast<long>(ints[0][pos]);
+    out.analysis = static_cast<long>(ints[1][pos]);
+    out.stop = ints[2][pos] != 0;
+    out.wallTime = dbls[0][pos];
+    out.wavefront = dbls[1][pos];
+    out.predicted = dbls[2][pos];
+    out.mse = dbls[3][pos];
+    out.coeffs.resize(reader->schema_.coeffCount);
+    for (std::size_t k = 0; k < reader->schema_.coeffCount; ++k)
+        out.coeffs[k] =
+            dbls[StoreSchema::numFixedDoubleColumns + k][pos];
+    ++pos;
+    return true;
+}
+
+FeatureStoreReader::Cursor
+FeatureStoreReader::cursorAt(std::int64_t iter_begin) const
+{
+    Cursor c(*this);
+    if (!sorted_)
+        return c;
+    // First block whose last iteration reaches the range start.
+    const auto it = std::lower_bound(
+        index.begin(), index.end(), iter_begin,
+        [](const store::BlockInfo &b, std::int64_t v) {
+            return b.lastIter < v;
+        });
+    c.block = static_cast<std::size_t>(it - index.begin());
+    return c;
+}
+
+std::size_t
+FeatureStoreReader::readRange(std::int64_t iter_begin,
+                              std::int64_t iter_end,
+                              std::vector<FeatureRecord> &out) const
+{
+    std::size_t appended = 0;
+    Cursor c = cursorAt(iter_begin);
+    FeatureRecord rec;
+    while (c.next(rec)) {
+        if (rec.iteration >= iter_end) {
+            if (sorted_)
+                break; // everything after is even later
+            continue;
+        }
+        if (rec.iteration < iter_begin)
+            continue;
+        out.push_back(rec);
+        ++appended;
+    }
+    return appended;
+}
+
+} // namespace tdfe

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Indexed reader of the feature trace store. The whole file is
+ * loaded into memory at open (stores are orders of magnitude
+ * smaller than the traces they replace — that is the point), the
+ * footer index is parsed and CRC-checked, and records are decoded
+ * block-at-a-time into caller-owned scratch: a cursor re-fills its
+ * columnar decode buffers in place, so steady-state iteration
+ * allocates nothing, matching the packed-layout conventions of the
+ * training hot path.
+ *
+ * Error model: open() and verify() report malformed input
+ * gracefully (a store file is user data, and tdfstool must be able
+ * to diagnose it); decoding through a cursor treats corruption as
+ * fatal, exactly like a corrupt checkpoint — by then the caller has
+ * asked for values that do not exist.
+ */
+
+#ifndef TDFE_STORE_READER_HH
+#define TDFE_STORE_READER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/feature_record.hh"
+#include "store/format.hh"
+
+namespace tdfe
+{
+
+/** Read-only view of one store file. */
+class FeatureStoreReader
+{
+  public:
+    /**
+     * Open @p path: load the file, validate header, trailer, and
+     * footer CRC, and parse the block index + schema.
+     * @return nullptr on any malformation, with a diagnostic in
+     *         @p error when given.
+     */
+    static std::unique_ptr<FeatureStoreReader>
+    open(const std::string &path, std::string *error = nullptr);
+
+    /** @return column layout recorded in the footer. */
+    const StoreSchema &schema() const { return schema_; }
+
+    /** @return total records across all blocks. */
+    std::size_t recordCount() const { return records_; }
+
+    /** @return number of blocks. */
+    std::size_t blockCount() const { return index.size(); }
+
+    /** @return footer index entry of block @p b. */
+    const store::BlockInfo &blockInfo(std::size_t b) const
+    {
+        return index[b];
+    }
+
+    /** @return records-per-block capacity from the header. */
+    std::size_t blockCapacity() const { return capacity_; }
+
+    /** @return file size in bytes. */
+    std::size_t fileBytes() const { return file.size(); }
+
+    /** @return column names as recorded in the footer (ints then
+     *  doubles). */
+    const std::vector<std::string> &columnNames() const
+    {
+        return names_;
+    }
+
+    /**
+     * @return true when the producer appended records in
+     * nondecreasing iteration order (footer flag, cross-checked
+     * against the block boundaries), enabling block-index random
+     * access by iteration; rank-merged stores are typically not
+     * sorted and range queries fall back to a sequential scan.
+     */
+    bool sortedByIteration() const { return sorted_; }
+
+    /**
+     * Walk every block: bounds, CRC, and full column decode.
+     * @return true when the whole store is intact; otherwise false
+     *         with a diagnostic in @p detail when given.
+     */
+    bool verify(std::string *detail = nullptr) const;
+
+    /**
+     * Sequential decoder. Obtain via cursor()/cursorAt(); the
+     * reader must outlive it. Not thread-safe; create one cursor
+     * per thread for parallel scans.
+     */
+    class Cursor
+    {
+      public:
+        /**
+         * Decode the next record into @p out (coeffs resized to the
+         * schema). @return false at end-of-store. Fatal on a
+         * corrupt block.
+         */
+        bool next(FeatureRecord &out);
+
+      private:
+        friend class FeatureStoreReader;
+        explicit Cursor(const FeatureStoreReader &r) : reader(&r) {}
+
+        /** Decode block @p b into the columnar scratch. */
+        void fill(std::size_t b);
+
+        const FeatureStoreReader *reader;
+        std::size_t block = 0; ///< next block to decode
+        std::size_t pos = 0;   ///< next record within the scratch
+        std::size_t count = 0; ///< records in the scratch
+        std::vector<std::vector<std::int64_t>> ints;
+        std::vector<std::vector<double>> dbls;
+    };
+
+    /** @return cursor at the first record. */
+    Cursor cursor() const { return Cursor(*this); }
+
+    /**
+     * @return cursor positioned at the first block that may contain
+     * iteration @p iter_begin (block-index binary search when the
+     * store is iteration-sorted; block 0 otherwise). Records before
+     * @p iter_begin inside that block are not skipped — use
+     * readRange() for exact windows.
+     */
+    Cursor cursorAt(std::int64_t iter_begin) const;
+
+    /**
+     * Append every record with iteration in [@p iter_begin,
+     * @p iter_end) to @p out, using the block index to skip
+     * non-overlapping blocks when the store is iteration-sorted.
+     * @return number of records appended.
+     */
+    std::size_t readRange(std::int64_t iter_begin,
+                          std::int64_t iter_end,
+                          std::vector<FeatureRecord> &out) const;
+
+  private:
+    FeatureStoreReader() = default;
+
+    /**
+     * Decode block @p b into columnar scratch. @return false with a
+     * diagnostic in @p detail on corruption (CRC mismatch, bad
+     * column bytes, shape skew).
+     */
+    bool decodeBlock(std::size_t b,
+                     std::vector<std::vector<std::int64_t>> &ints,
+                     std::vector<std::vector<double>> &dbls,
+                     std::string *detail) const;
+
+    std::vector<std::uint8_t> file;
+    StoreSchema schema_;
+    std::vector<store::BlockInfo> index;
+    std::vector<std::string> names_;
+    std::size_t records_ = 0;
+    std::size_t capacity_ = 0;
+    bool sorted_ = true;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STORE_READER_HH

@@ -1,0 +1,238 @@
+#include "store/writer.hh"
+
+#include "base/logging.hh"
+#include "base/portable.hh"
+#include "base/timer.hh"
+#include "store/codec.hh"
+
+namespace tdfe
+{
+
+FeatureStoreWriter::FeatureStoreWriter(const std::string &path,
+                                       StoreSchema schema,
+                                       StoreOptions options)
+    : path_(path), schema_(schema), opts_(options),
+      out(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out)
+        TDFE_FATAL("cannot open feature store for writing: ", path);
+    // Enforce the same bounds the reader enforces at open, so every
+    // file this writer produces is one its own reader accepts.
+    if (opts_.blockCapacity == 0 ||
+        opts_.blockCapacity > store::maxBlockCapacity)
+        TDFE_FATAL("feature store block capacity ",
+                   opts_.blockCapacity, " outside [1, ",
+                   store::maxBlockCapacity, "]");
+    if (schema_.doubleColumns() > store::maxDoubleColumns)
+        TDFE_FATAL("feature store schema has ",
+                   schema_.doubleColumns(),
+                   " double columns, format maximum is ",
+                   store::maxDoubleColumns);
+
+    stInt.resize(schema_.intColumns());
+    stDbl.resize(schema_.doubleColumns());
+    pdInt.resize(schema_.intColumns());
+    pdDbl.resize(schema_.doubleColumns());
+    for (auto &c : stInt)
+        c.reserve(opts_.blockCapacity);
+    for (auto &c : stDbl)
+        c.reserve(opts_.blockCapacity);
+    for (auto &c : pdInt)
+        c.reserve(opts_.blockCapacity);
+    for (auto &c : pdDbl)
+        c.reserve(opts_.blockCapacity);
+
+    std::vector<std::uint8_t> h;
+    h.reserve(store::headerBytes);
+    h.insert(h.end(), store::headerMagic, store::headerMagic + 8);
+    store::putU32(h, store::formatVersion);
+    store::putU32(h, static_cast<std::uint32_t>(opts_.blockCapacity));
+    store::putU32(h, static_cast<std::uint32_t>(schema_.intColumns()));
+    store::putU32(h,
+                  static_cast<std::uint32_t>(schema_.doubleColumns()));
+    out.write(reinterpret_cast<const char *>(h.data()),
+              static_cast<std::streamsize>(h.size()));
+    bytesWritten_ = h.size();
+}
+
+FeatureStoreWriter::~FeatureStoreWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+FeatureStoreWriter::append(const FeatureRecord &record)
+{
+    if (finished_)
+        TDFE_FATAL("append to a finished feature store: ", path_);
+    if (record.coeffs.size() != schema_.coeffCount) {
+        TDFE_FATAL("feature record has ", record.coeffs.size(),
+                   " coefficients, store schema has ",
+                   schema_.coeffCount);
+    }
+
+    if (records_ > 0 && record.iteration < lastIter_)
+        sortedAppends_ = false;
+    lastIter_ = record.iteration;
+
+    stInt[0].push_back(record.iteration);
+    stInt[1].push_back(record.analysis);
+    stInt[2].push_back(record.stop ? 1 : 0);
+    stDbl[0].push_back(record.wallTime);
+    stDbl[1].push_back(record.wavefront);
+    stDbl[2].push_back(record.predicted);
+    stDbl[3].push_back(record.mse);
+    for (std::size_t k = 0; k < schema_.coeffCount; ++k)
+        stDbl[StoreSchema::numFixedDoubleColumns + k].push_back(
+            record.coeffs[k]);
+
+    ++records_;
+    if (++staged == opts_.blockCapacity)
+        seal();
+}
+
+void
+FeatureStoreWriter::seal()
+{
+    Timer t;
+    // Strict flush order: the previous block must be on disk (or at
+    // least encoded and written by its job) before its buffers are
+    // recycled and the next flush is queued. With one job in flight
+    // at a time, sync and async mode write the same bytes in the
+    // same order — only *when* the encode runs differs.
+    drainFlush();
+    rotateStaging();
+
+    if (opts_.async && ThreadPool::global().threadCount() > 1) {
+        flushJob = ThreadPool::global().submit(
+            1, [this](std::size_t) { flushPending(); });
+    } else {
+        flushPending();
+    }
+    exposed_ += t.elapsed();
+}
+
+void
+FeatureStoreWriter::flushPending()
+{
+    const std::size_t n = pdInt[0].size();
+    encodeBuf.clear();
+    store::putU32(encodeBuf, static_cast<std::uint32_t>(n));
+    // Encode straight into encodeBuf and backpatch the 4-byte
+    // length prefix — no per-column scratch, no second copy.
+    auto backpatch = [this](std::size_t at) {
+        const std::size_t len = encodeBuf.size() - (at + 4);
+        for (int i = 0; i < 4; ++i)
+            encodeBuf[at + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    };
+    for (const auto &c : pdInt) {
+        const std::size_t at = encodeBuf.size();
+        store::putU32(encodeBuf, 0);
+        store::encodeIntColumn(c.data(), n, encodeBuf);
+        backpatch(at);
+    }
+    for (const auto &c : pdDbl) {
+        const std::size_t at = encodeBuf.size();
+        store::putU32(encodeBuf, 0);
+        store::encodeDoubleColumn(c.data(), n, encodeBuf);
+        backpatch(at);
+    }
+    store::putU32(encodeBuf,
+                  store::crc32(encodeBuf.data(), encodeBuf.size()));
+
+    store::BlockInfo info;
+    info.offset = bytesWritten_;
+    info.size = encodeBuf.size();
+    info.records = n;
+    info.firstIter = pdInt[0].front();
+    info.lastIter = pdInt[0].back();
+
+    out.write(reinterpret_cast<const char *>(encodeBuf.data()),
+              static_cast<std::streamsize>(encodeBuf.size()));
+    bytesWritten_ += encodeBuf.size();
+    index.push_back(info);
+}
+
+void
+FeatureStoreWriter::drainFlush()
+{
+    if (flushJob) {
+        ThreadPool::global().wait(flushJob);
+        flushJob.reset();
+    }
+}
+
+void
+FeatureStoreWriter::rotateStaging()
+{
+    stInt.swap(pdInt);
+    stDbl.swap(pdDbl);
+    for (auto &c : stInt)
+        c.clear();
+    for (auto &c : stDbl)
+        c.clear();
+    staged = 0;
+    ++sealed_;
+}
+
+std::size_t
+FeatureStoreWriter::finish()
+{
+    if (finished_)
+        return static_cast<std::size_t>(bytesWritten_);
+    Timer t;
+    drainFlush();
+    if (staged > 0) {
+        // Seal inline: there is nothing left to overlap with.
+        rotateStaging();
+        flushPending();
+    }
+    writeFooter();
+    out.flush();
+    if (!out.good())
+        TDFE_FATAL("feature store write failed: ", path_);
+    out.close();
+    finished_ = true;
+    exposed_ += t.elapsed();
+    return static_cast<std::size_t>(bytesWritten_);
+}
+
+void
+FeatureStoreWriter::writeFooter()
+{
+    const std::uint64_t footer_offset = bytesWritten_;
+    std::vector<std::uint8_t> f;
+    store::putU64(f, index.size());
+    for (const store::BlockInfo &b : index) {
+        store::putU64(f, b.offset);
+        store::putU64(f, b.size);
+        store::putU64(f, b.records);
+        store::putI64(f, b.firstIter);
+        store::putI64(f, b.lastIter);
+    }
+    store::putU64(f, records_);
+    store::putU32(f, sortedAppends_ ? 1 : 0);
+    store::putU32(f, static_cast<std::uint32_t>(schema_.intColumns()));
+    store::putU32(f,
+                  static_cast<std::uint32_t>(schema_.doubleColumns()));
+    store::putU64(f, schema_.coeffCount);
+    auto put_name = [&f](const std::string &name) {
+        store::putU32(f, static_cast<std::uint32_t>(name.size()));
+        f.insert(f.end(), name.begin(), name.end());
+    };
+    for (std::size_t i = 0; i < schema_.intColumns(); ++i)
+        put_name(StoreSchema::intColumnName(i));
+    for (std::size_t i = 0; i < schema_.doubleColumns(); ++i)
+        put_name(schema_.doubleColumnName(i));
+    store::putU32(f, store::crc32(f.data(), f.size()));
+
+    store::putU64(f, footer_offset);
+    f.insert(f.end(), store::trailerMagic, store::trailerMagic + 8);
+    out.write(reinterpret_cast<const char *>(f.data()),
+              static_cast<std::streamsize>(f.size()));
+    bytesWritten_ += f.size();
+}
+
+} // namespace tdfe

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Append-only writer of the feature trace store (see format.hh for
+ * the byte layout). Records are staged into columnar builders; every
+ * `blockCapacity` records the block is sealed — encoded per column
+ * and written with a CRC. In async mode the seal hands the staged
+ * columns to the process-wide ThreadPool so the encode and the
+ * file write overlap the solver, mirroring the snapshot-and-defer
+ * discipline of Region::setAsyncAnalyses: the caller only ever pays
+ * a cheap buffer swap (plus a stall if the previous block is still
+ * in flight, charged to exposedSeconds()). Blocks are flushed
+ * strictly in seal order, so sync and async mode produce
+ * byte-identical files.
+ */
+
+#ifndef TDFE_STORE_WRITER_HH
+#define TDFE_STORE_WRITER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "store/feature_record.hh"
+#include "store/format.hh"
+
+namespace tdfe
+{
+
+/** Writer behaviour knobs. */
+struct StoreOptions
+{
+    /** Records per block (encode/flush granularity). */
+    std::size_t blockCapacity = 256;
+    /** Defer block encode + write to the process-wide ThreadPool so
+     *  the producing thread never blocks on I/O. Degenerates to the
+     *  synchronous path on a single-thread pool; files are
+     *  byte-identical either way. */
+    bool async = false;
+};
+
+/**
+ * Append-only block writer. Single-producer: append() and finish()
+ * must come from one thread (the async flush runs on the pool, but
+ * its hand-off is internal). Records should be appended in
+ * nondecreasing iteration order for the reader's block-index range
+ * queries to use random access; out-of-order appends are legal
+ * (e.g. rank-merged files) and simply downgrade range queries to a
+ * sequential scan.
+ */
+class FeatureStoreWriter
+{
+  public:
+    /**
+     * Create/truncate the store at @p path and write the header.
+     * Fatal when the file cannot be opened or the options are
+     * degenerate.
+     */
+    FeatureStoreWriter(const std::string &path, StoreSchema schema,
+                       StoreOptions options = StoreOptions());
+
+    /** Finishes the store if finish() was not called explicitly. */
+    ~FeatureStoreWriter();
+
+    FeatureStoreWriter(const FeatureStoreWriter &) = delete;
+    FeatureStoreWriter &operator=(const FeatureStoreWriter &) = delete;
+
+    /**
+     * Stage one record (coeffs size must match the schema). Cheap:
+     * columnar pushes into reserved buffers; every blockCapacity-th
+     * append seals a block (encode + write, deferred in async mode).
+     * Fatal after finish().
+     */
+    void append(const FeatureRecord &record);
+
+    /**
+     * Drain any in-flight flush, seal the partial block, write the
+     * footer + trailer, and close the file. Idempotent.
+     * @return total file bytes.
+     */
+    std::size_t finish();
+
+    /** @return records appended so far. */
+    std::size_t recordCount() const { return records_; }
+
+    /** @return column layout the store was opened with. */
+    const StoreSchema &schema() const { return schema_; }
+
+    /** @return blocks sealed so far (in-flight ones included). */
+    std::size_t blocksSealed() const { return sealed_; }
+
+    /**
+     * Cumulative seconds of store work *exposed* to the producer:
+     * seal-path time (buffer swap + any stall on the previous
+     * in-flight flush + the inline encode/write in sync mode) plus
+     * finish(). Per-record staging pushes are not timed — they are
+     * a few nanoseconds and timing them would cost more than they
+     * do. This is the store's contribution to the per-step overhead
+     * the paper's tables report.
+     */
+    double exposedSeconds() const { return exposed_; }
+
+    /** @return path the store is being written to. */
+    const std::string &path() const { return path_; }
+
+  private:
+    /** Seal the staged block: swap into the pending buffers and
+     *  flush (inline, or as a pool job in async mode). */
+    void seal();
+
+    /** Encode + write the pending block (caller or pool worker;
+     *  strictly serialized by the one-job-in-flight discipline). */
+    void flushPending();
+
+    /** Wait for the in-flight flush job, if any. */
+    void drainFlush();
+
+    /** Swap the staged columns into the (drained) pending buffers
+     *  and reset the staging side for the next block. */
+    void rotateStaging();
+
+    void writeFooter();
+
+    std::string path_;
+    StoreSchema schema_;
+    StoreOptions opts_;
+    std::ofstream out;
+
+    /** Active staging columns (ints, then doubles). @{ */
+    std::vector<std::vector<std::int64_t>> stInt;
+    std::vector<std::vector<double>> stDbl;
+    std::size_t staged = 0;
+    /** @} */
+
+    /** Sealed-but-flushing columns (recycled by swap). @{ */
+    std::vector<std::vector<std::int64_t>> pdInt;
+    std::vector<std::vector<double>> pdDbl;
+    std::vector<std::uint8_t> encodeBuf;
+    ThreadPool::JobHandle flushJob;
+    /** @} */
+
+    std::vector<store::BlockInfo> index;
+    /** Iteration monotonicity across appends (footer sorted flag —
+     *  rank merges break it and downgrade range queries). @{ */
+    std::int64_t lastIter_ = 0;
+    bool sortedAppends_ = true;
+    /** @} */
+    std::size_t records_ = 0;
+    std::size_t sealed_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    double exposed_ = 0.0;
+    bool finished_ = false;
+};
+
+} // namespace tdfe
+
+#endif // TDFE_STORE_WRITER_HH

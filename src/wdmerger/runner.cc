@@ -6,6 +6,7 @@
 #include "base/timer.hh"
 #include "core/predictor.hh"
 #include "core/region.hh"
+#include "par/store_merge.hh"
 #include "stats/metrics.hh"
 
 namespace tdfe
@@ -57,6 +58,13 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         }
     }
 
+    std::unique_ptr<FeatureStoreWriter> store;
+    if (region && !options.storePath.empty()) {
+        store = attachRankStore(*region, options.storePath,
+                                options.ar.order + 1,
+                                options.storeAsync, comm);
+    }
+
     Timer timer;
     while (!app.finished()) {
         if (region)
@@ -105,6 +113,11 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
                 result.fittedIters[v] = fit.iters;
             }
         }
+    }
+
+    if (store) {
+        result.storeBytes = finishRankStore(
+            *region, std::move(store), options.storePath, comm);
     }
     return result;
 }

@@ -10,6 +10,7 @@
 #define TDFE_WDMERGER_RUNNER_HH
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "core/ar_model.hh"
@@ -52,6 +53,13 @@ struct WdRunOptions
     long syncInterval = 5;
     /** Smoothing window for the delay-time detector. */
     std::size_t smoothWindow = 5;
+    /** Write the four analyses' features to a trace store at this
+     *  path (empty: disabled; requires instrument). Multi-rank
+     *  worlds write per-rank parts merged by rank 0, as in the
+     *  blast harness. */
+    std::string storePath;
+    /** Flush store blocks on the thread pool. */
+    bool storeAsync = false;
 
     WdRunOptions()
     {
@@ -94,6 +102,8 @@ struct WdRunResult
     /** One-step fitted curves aligned with fittedIters (Fig. 7). */
     std::array<std::vector<double>, numDiagVars> fitted;
     std::array<std::vector<long>, numDiagVars> fittedIters;
+    /** Bytes of this rank's feature store (0: none written). */
+    std::size_t storeBytes = 0;
 };
 
 /**

@@ -51,7 +51,10 @@ TEST(Trace, DumpLoadRoundTrip)
     const FullTrace trace = syntheticTrace();
     const std::string path = ::testing::TempDir() + "trace_rt.bin";
     const std::size_t bytes = trace.dump(path);
-    EXPECT_EQ(bytes, 16 + 240 * sizeof(double));
+    // Serial-routed format: tag (8-byte length + "TDFETRACE") +
+    // version/nLocs/iters u64s + length-prefixed payload vector.
+    EXPECT_EQ(bytes,
+              (8 + 9) + 3 * 8 + (8 + 240 * sizeof(double)));
 
     const FullTrace loaded = FullTrace::load(path);
     ASSERT_EQ(loaded.locCount(), trace.locCount());

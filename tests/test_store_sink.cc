@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Feature-store integration tests above the raw format: the Region
+ * feature sink (records per iteration/analysis, identical feature
+ * payloads across sync/async ingest), rank-order store merging, and
+ * the td_store_* C API.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "blastapp/runner.hh"
+#include "core/region.hh"
+#include "core/td_api.h"
+#include "par/store_merge.hh"
+#include "par/thread_comm.hh"
+#include "store/reader.hh"
+#include "store/writer.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Attenuating wave, as in test_analysis_region. */
+struct WaveDomain
+{
+    double
+    value(long l, long t) const
+    {
+        const double ramp = 1.0 - std::exp(-static_cast<double>(t) /
+                                           20.0);
+        return 10.0 * std::pow(0.7, static_cast<double>(l - 1)) *
+               ramp;
+    }
+    long iter = 0;
+};
+
+AnalysisConfig
+waveAnalysis()
+{
+    AnalysisConfig ac;
+    ac.provider = [](void *domain, long loc) {
+        auto *d = static_cast<WaveDomain *>(domain);
+        return d->value(loc, d->iter);
+    };
+    ac.space = IterParam(1, 6, 1);
+    ac.time = IterParam(10, 200, 1);
+    ac.feature = FeatureKind::BreakpointRadius;
+    ac.threshold = 0.5;
+    ac.searchEnd = 25;
+    ac.minLocation = 1;
+    ac.ar.order = 2;
+    ac.ar.lag = 1;
+    ac.ar.axis = LagAxis::Space;
+    ac.ar.batchSize = 24;
+    return ac;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Instrumented wave run writing a store; @return the store path. */
+std::string
+runWaveWithStore(const std::string &name, bool async_region,
+                 bool async_store, long iters = 200)
+{
+    const std::string path = tempPath(name);
+    WaveDomain domain;
+    Region region("wave", &domain);
+    region.setAsyncAnalyses(async_region);
+    region.addAnalysis(waveAnalysis());
+
+    StoreSchema schema;
+    schema.coeffCount = 3; // order 2 + intercept
+    StoreOptions opts;
+    opts.blockCapacity = 32;
+    opts.async = async_store;
+    FeatureStoreWriter store(path, schema, opts);
+    region.setFeatureStore(&store);
+
+    for (domain.iter = 0; domain.iter <= iters; ++domain.iter) {
+        region.begin();
+        region.end();
+    }
+    // Queries drain the in-flight epoch, so the final record is
+    // appended before the store closes.
+    region.analysis(0);
+    region.setFeatureStore(nullptr);
+    store.finish();
+    return path;
+}
+
+TEST(StoreSink, RegionRecordsEveryIteration)
+{
+    const std::string path =
+        runWaveWithStore("sink.tdfs", false, false);
+    const auto r = FeatureStoreReader::open(path);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->recordCount(), 201u);
+    EXPECT_TRUE(r->verify());
+
+    auto c = r->cursor();
+    FeatureRecord rec;
+    long expect_iter = 0;
+    bool saw_trained = false;
+    while (c.next(rec)) {
+        EXPECT_EQ(rec.iteration, expect_iter++);
+        EXPECT_EQ(rec.analysis, 0);
+        EXPECT_EQ(rec.coeffs.size(), 3u);
+        EXPECT_GE(rec.wavefront, 1.0);
+        if (rec.coeffs[1] != 0.0)
+            saw_trained = true;
+    }
+    EXPECT_EQ(expect_iter, 201);
+    // The model trains inside the window, so late records carry
+    // non-zero raw coefficients.
+    EXPECT_TRUE(saw_trained);
+
+    // The last record's payload matches the final analysis state.
+    WaveDomain domain;
+    Region region("wave-ref", &domain);
+    region.addAnalysis(waveAnalysis());
+    for (domain.iter = 0; domain.iter <= 200; ++domain.iter) {
+        region.begin();
+        region.end();
+    }
+    const CurveFitAnalysis &a = region.analysis(0);
+    EXPECT_EQ(rec.mse, a.lastValidationMse());
+    EXPECT_EQ(rec.wavefront,
+              static_cast<double>(a.wavefrontLocation()));
+    const std::vector<double> coeffs = a.model().rawCoefficients();
+    ASSERT_EQ(coeffs.size(), 3u);
+    for (std::size_t k = 0; k < coeffs.size(); ++k)
+        EXPECT_EQ(rec.coeffs[k], coeffs[k]) << "coeff " << k;
+    std::remove(path.c_str());
+}
+
+TEST(StoreSink, AsyncRegionSameFeaturePayloads)
+{
+    // Features, coefficients, MSE, and stop flags are bitwise
+    // invariant across the region's sync/async ingest and the
+    // store's sync/async flush; only wall_time is clock noise.
+    setGlobalThreadCount(4);
+    const std::string sync_path =
+        runWaveWithStore("sync.tdfs", false, false);
+    const std::string async_path =
+        runWaveWithStore("async.tdfs", true, true);
+    setGlobalThreadCount(1);
+
+    const auto a = FeatureStoreReader::open(sync_path);
+    const auto b = FeatureStoreReader::open(async_path);
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    ASSERT_EQ(a->recordCount(), b->recordCount());
+    auto ca = a->cursor();
+    auto cb = b->cursor();
+    FeatureRecord ra, rb;
+    while (ca.next(ra)) {
+        ASSERT_TRUE(cb.next(rb));
+        EXPECT_EQ(ra.iteration, rb.iteration);
+        EXPECT_EQ(ra.stop, rb.stop);
+        EXPECT_EQ(ra.wavefront, rb.wavefront);
+        EXPECT_EQ(ra.predicted, rb.predicted);
+        EXPECT_EQ(ra.mse, rb.mse);
+        EXPECT_EQ(ra.coeffs, rb.coeffs);
+    }
+    std::remove(sync_path.c_str());
+    std::remove(async_path.c_str());
+}
+
+TEST(StoreSink, DetachDrainsInFlightEpoch)
+{
+    // Regression: detaching the sink right after the last end() —
+    // with no intervening query to drain the async epoch — must
+    // not drop the pending iteration's records.
+    setGlobalThreadCount(4);
+    const std::string path = tempPath("detach.tdfs");
+    {
+        WaveDomain domain;
+        Region region("wave", &domain);
+        region.setAsyncAnalyses(true);
+        region.addAnalysis(waveAnalysis());
+        StoreSchema schema;
+        schema.coeffCount = 3;
+        FeatureStoreWriter store(path, schema);
+        region.setFeatureStore(&store);
+        for (domain.iter = 0; domain.iter < 50; ++domain.iter) {
+            region.begin();
+            region.end();
+        }
+        region.setFeatureStore(nullptr); // immediate detach
+        EXPECT_EQ(store.recordCount(), 50u);
+        store.finish();
+    }
+    setGlobalThreadCount(1);
+    const auto r = FeatureStoreReader::open(path);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->recordCount(), 50u);
+    std::remove(path.c_str());
+}
+
+TEST(StoreSink, SchemaTooSmallIsFatal)
+{
+    WaveDomain domain;
+    Region region("wave", &domain);
+    region.addAnalysis(waveAnalysis()); // needs 3 coeff columns
+    StoreSchema schema;
+    schema.coeffCount = 2;
+    FeatureStoreWriter store(tempPath("small.tdfs"), schema);
+    EXPECT_DEATH(region.setFeatureStore(&store),
+                 "coefficient columns");
+}
+
+TEST(StoreMerge, RankOrderConcatenation)
+{
+    // Three "ranks" with distinguishable payloads.
+    std::vector<std::string> parts;
+    StoreSchema schema;
+    schema.coeffCount = 1;
+    for (int rank = 0; rank < 3; ++rank) {
+        const std::string part = rankStorePath(
+            tempPath("merge.tdfs"), rank, 3);
+        EXPECT_NE(part, tempPath("merge.tdfs"));
+        FeatureStoreWriter w(part, schema);
+        FeatureRecord rec;
+        rec.coeffs.assign(1, 0.0);
+        for (long i = 0; i < 40; ++i) {
+            rec.iteration = i;
+            rec.analysis = 0;
+            rec.wavefront = 100.0 * rank + static_cast<double>(i);
+            rec.coeffs[0] = static_cast<double>(rank);
+            w.append(rec);
+        }
+        w.finish();
+        parts.push_back(part);
+    }
+
+    const std::string merged = tempPath("merge.tdfs");
+    EXPECT_EQ(mergeRankStores(parts, merged), 120u);
+    const auto r = FeatureStoreReader::open(merged);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->recordCount(), 120u);
+    EXPECT_TRUE(r->verify());
+    // Same iterations repeat per rank, so the merged index is not
+    // iteration-sorted...
+    EXPECT_FALSE(r->sortedByIteration());
+    auto c = r->cursor();
+    FeatureRecord rec;
+    long row = 0;
+    while (c.next(rec)) {
+        const long rank = row / 40;
+        EXPECT_EQ(rec.iteration, row % 40);
+        EXPECT_EQ(rec.coeffs[0], static_cast<double>(rank));
+        ++row;
+    }
+    EXPECT_EQ(row, 120);
+    // ...and range queries fall back to a full scan yet stay exact:
+    // iteration 5 appears once per rank.
+    std::vector<FeatureRecord> hits;
+    EXPECT_EQ(r->readRange(5, 6, hits), 3u);
+    for (const FeatureRecord &h : hits)
+        EXPECT_EQ(h.iteration, 5);
+
+    // Single-rank worlds use the base path unchanged.
+    EXPECT_EQ(rankStorePath("x.tdfs", 0, 1), "x.tdfs");
+
+    for (const std::string &p : parts)
+        std::remove(p.c_str());
+    std::remove(merged.c_str());
+}
+
+TEST(StoreMerge, BlastRunnerMergesRankStores)
+{
+    using namespace blast;
+    BlastConfig config;
+    config.size = 12;
+    const RunResult ref = runBlast(config, nullptr, RunOptions());
+    ASSERT_GT(ref.iterations, 20);
+
+    const std::string path = tempPath("blast_store.tdfs");
+    ThreadCommWorld world(2);
+    world.run([&](Communicator &comm) {
+        RunOptions fe;
+        fe.instrument = true;
+        fe.storePath = path;
+        fe.analysis.space = IterParam(1, 8, 1);
+        fe.analysis.time = IterParam(ref.iterations / 20,
+                                     (ref.iterations * 2) / 5, 1);
+        fe.analysis.feature = FeatureKind::BreakpointRadius;
+        fe.analysis.searchEnd = config.size;
+        fe.analysis.minLocation = 1;
+        fe.analysis.ar.axis = LagAxis::Space;
+        fe.analysis.ar.order = 3;
+        fe.analysis.ar.lag = 2;
+        runBlast(config, &comm, fe);
+    });
+
+    // Rank 0 merged the per-rank parts into the base path and
+    // removed them.
+    EXPECT_FALSE(std::ifstream(path + ".rk0").good());
+    EXPECT_FALSE(std::ifstream(path + ".rk1").good());
+    const auto r = FeatureStoreReader::open(path);
+    ASSERT_TRUE(r);
+    EXPECT_TRUE(r->verify());
+    const std::size_t n =
+        static_cast<std::size_t>(ref.iterations);
+    ASSERT_EQ(r->recordCount(), 2 * n);
+
+    // Analyses are replicated across ranks, so the two halves must
+    // agree bitwise on everything except the wall clock.
+    std::vector<FeatureRecord> all;
+    {
+        auto c = r->cursor();
+        FeatureRecord rec;
+        while (c.next(rec))
+            all.push_back(rec);
+    }
+    ASSERT_EQ(all.size(), 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const FeatureRecord &a = all[i];
+        const FeatureRecord &b = all[n + i];
+        EXPECT_EQ(a.iteration, static_cast<long>(i));
+        EXPECT_EQ(a.iteration, b.iteration);
+        EXPECT_EQ(a.stop, b.stop);
+        EXPECT_EQ(a.wavefront, b.wavefront);
+        EXPECT_EQ(a.predicted, b.predicted);
+        EXPECT_EQ(a.mse, b.mse);
+        EXPECT_EQ(a.coeffs, b.coeffs);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StoreMerge, SchemaMismatchIsFatal)
+{
+    StoreSchema s1, s2;
+    s1.coeffCount = 1;
+    s2.coeffCount = 2;
+    const std::string p1 = tempPath("mismatch1.tdfs");
+    const std::string p2 = tempPath("mismatch2.tdfs");
+    {
+        FeatureStoreWriter w1(p1, s1);
+        FeatureStoreWriter w2(p2, s2);
+    }
+    EXPECT_DEATH(
+        mergeRankStores({p1, p2}, tempPath("mismatch.tdfs")),
+        "schema mismatch");
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+TEST(StoreCApi, EndToEnd)
+{
+    const std::string path = tempPath("capi.tdfs");
+    td_store_t *store =
+        td_store_open(path.c_str(), 3, 16, /*async=*/0);
+    ASSERT_NE(store, nullptr);
+    const double coeffs[3] = {1.0, -0.5, 0.25};
+    for (long i = 0; i < 50; ++i) {
+        EXPECT_EQ(td_store_append(store, i, 0, i == 49, 0.001 * i,
+                                  1.0 + i, 2.0 * i, 0.1, coeffs),
+                  0);
+    }
+    EXPECT_EQ(td_store_append(nullptr, 0, 0, 0, 0, 0, 0, 0, coeffs),
+              -1);
+    EXPECT_GT(td_store_close(store), 0);
+
+    EXPECT_EQ(td_store_verify(path.c_str()), 0);
+    EXPECT_EQ(td_store_record_count(path.c_str()), 50);
+    EXPECT_EQ(td_store_verify("/nonexistent/no.tdfs"), -1);
+    EXPECT_EQ(td_store_record_count("/nonexistent/no.tdfs"), -1);
+
+    const auto r = FeatureStoreReader::open(path);
+    ASSERT_TRUE(r);
+    auto c = r->cursor();
+    FeatureRecord rec;
+    long i = 0;
+    while (c.next(rec)) {
+        EXPECT_EQ(rec.iteration, i);
+        EXPECT_EQ(rec.stop, i == 49);
+        EXPECT_EQ(rec.predicted, 2.0 * i);
+        EXPECT_EQ(rec.coeffs[2], 0.25);
+        ++i;
+    }
+    EXPECT_EQ(i, 50);
+    std::remove(path.c_str());
+}
+
+TEST(StoreCApi, RegionSinkThroughCApi)
+{
+    static WaveDomain domain; // provider needs process lifetime
+    domain.iter = 0;
+    td_region_t *region = td_region_init("capi-wave", &domain);
+    td_iter_param_t *loc = td_iter_param_init(1, 6, 1);
+    td_iter_param_t *time = td_iter_param_init(10, 120, 1);
+    const int id = td_region_add_analysis(
+        region,
+        [](void *d, int l) {
+            auto *w = static_cast<WaveDomain *>(d);
+            return w->value(l, w->iter);
+        },
+        loc, Curve_Fitting, time, 0.5, 0);
+    ASSERT_EQ(id, 0);
+
+    const std::string path = tempPath("capi_region.tdfs");
+    td_store_t *store =
+        td_store_open(path.c_str(), 5, 0, /*async=*/1);
+    ASSERT_NE(store, nullptr);
+    td_region_set_store(region, store);
+
+    for (domain.iter = 0; domain.iter <= 120; ++domain.iter) {
+        td_region_begin(region);
+        td_region_end(region);
+    }
+    (void)td_region_feature(region, id); // drains
+    td_region_set_store(region, nullptr);
+    EXPECT_GT(td_store_close(store), 0);
+    td_region_destroy(region);
+    td_iter_param_destroy(loc);
+    td_iter_param_destroy(time);
+
+    EXPECT_EQ(td_store_verify(path.c_str()), 0);
+    EXPECT_EQ(td_store_record_count(path.c_str()), 121);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * `tdfstool` — operator CLI of the feature trace store, in the
+ * spirit of TrailDB's `tdb` utility:
+ *
+ *   tdfstool info   <store>            header/schema/block summary
+ *   tdfstool verify <store>            CRC + full-decode walk
+ *   tdfstool export <store> [--out f]  CSV dump (stdout default)
+ *   tdfstool diff   <a> <b> [--ignore cols]
+ *                                      record-wise comparison
+ *
+ * Every command exits 0 on success and 1 on any mismatch or
+ * malformed input, so scripts (scripts/check_build.sh runs a
+ * `verify` smoke) can gate on it directly.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "store/reader.hh"
+
+using tdfe::FeatureRecord;
+using tdfe::FeatureStoreReader;
+using tdfe::StoreSchema;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tdfstool <command> <store> [options]\n"
+        "  info   <store>              print header, schema, and "
+        "block index\n"
+        "  verify <store>              check every block CRC and "
+        "decode\n"
+        "  export <store> [--out f]    dump records as CSV (stdout "
+        "default)\n"
+        "  diff <a> <b> [--ignore c,c] compare two stores "
+        "record-wise,\n"
+        "                              skipping the named columns "
+        "(e.g. wall_time)\n");
+    return 1;
+}
+
+std::unique_ptr<FeatureStoreReader>
+openOrComplain(const std::string &path)
+{
+    std::string error;
+    auto reader = FeatureStoreReader::open(path, &error);
+    if (!reader)
+        std::fprintf(stderr, "tdfstool: %s\n", error.c_str());
+    return reader;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const auto r = openOrComplain(path);
+    if (!r)
+        return 1;
+    std::printf("store:        %s\n", path.c_str());
+    std::printf("file bytes:   %zu\n", r->fileBytes());
+    std::printf("records:      %zu\n", r->recordCount());
+    std::printf("blocks:       %zu (capacity %zu records)\n",
+                r->blockCount(), r->blockCapacity());
+    std::printf("sorted:       %s\n",
+                r->sortedByIteration() ? "yes (indexed range access)"
+                                       : "no (rank-merged?)");
+    std::printf("columns:      ");
+    const auto &names = r->columnNames();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::printf("%s%s", i ? "," : "", names[i].c_str());
+    std::printf("\n");
+    if (r->recordCount() > 0) {
+        const double bpr = static_cast<double>(r->fileBytes()) /
+                           static_cast<double>(r->recordCount());
+        const double raw = 8.0 * static_cast<double>(
+                                     r->schema().totalColumns());
+        std::printf("bytes/record: %.2f (raw columnar %.0f, "
+                    "%.2fx compression)\n",
+                    bpr, raw, raw / bpr);
+    }
+    std::printf("block index (offset, bytes, records, iter "
+                "range):\n");
+    for (std::size_t b = 0; b < r->blockCount(); ++b) {
+        const auto &info = r->blockInfo(b);
+        std::printf("  #%-4zu %10" PRIu64 " %8" PRIu64 " %6" PRIu64
+                    "   [%" PRId64 ", %" PRId64 "]\n",
+                    b, info.offset, info.size, info.records,
+                    info.firstIter, info.lastIter);
+    }
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    const auto r = openOrComplain(path);
+    if (!r)
+        return 1;
+    std::string detail;
+    if (!r->verify(&detail)) {
+        std::fprintf(stderr, "tdfstool: %s: %s\n", path.c_str(),
+                     detail.c_str());
+        return 1;
+    }
+    std::printf("%s: OK (%zu records in %zu blocks, all CRCs and "
+                "decodes clean)\n",
+                path.c_str(), r->recordCount(), r->blockCount());
+    return 0;
+}
+
+int
+cmdExport(const std::string &path, const std::string &out_path)
+{
+    const auto r = openOrComplain(path);
+    if (!r)
+        return 1;
+
+    std::ofstream file;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file) {
+            std::fprintf(stderr, "tdfstool: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+    }
+    std::ostream &out = out_path.empty()
+                            ? static_cast<std::ostream &>(std::cout)
+                            : file;
+
+    const auto &names = r->columnNames();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        out << (i ? "," : "") << names[i];
+    out << "\n";
+
+    char buf[64];
+    FeatureRecord rec;
+    auto c = r->cursor();
+    while (c.next(rec)) {
+        out << rec.iteration << ',' << rec.analysis << ','
+            << (rec.stop ? 1 : 0);
+        const double fixed[] = {rec.wallTime, rec.wavefront,
+                                rec.predicted, rec.mse};
+        for (const double v : fixed) {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            out << ',' << buf;
+        }
+        for (const double v : rec.coeffs) {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            out << ',' << buf;
+        }
+        out << "\n";
+    }
+    if (!out.good()) {
+        std::fprintf(stderr, "tdfstool: export write failed\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b,
+        const std::string &ignore_list)
+{
+    const auto a = openOrComplain(path_a);
+    const auto b = openOrComplain(path_b);
+    if (!a || !b)
+        return 1;
+
+    std::set<std::string> ignored;
+    {
+        std::stringstream ss(ignore_list);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                ignored.insert(item);
+    }
+    const auto skip = [&ignored](const std::string &col) {
+        return ignored.count(col) > 0;
+    };
+
+    if (a->schema() != b->schema()) {
+        std::fprintf(stderr,
+                     "schemas differ: %zu vs %zu coefficient "
+                     "columns\n",
+                     a->schema().coeffCount, b->schema().coeffCount);
+        return 1;
+    }
+    if (a->recordCount() != b->recordCount()) {
+        std::fprintf(stderr, "record counts differ: %zu vs %zu\n",
+                     a->recordCount(), b->recordCount());
+        return 1;
+    }
+
+    constexpr int maxReported = 10;
+    int mismatches = 0;
+    auto ca = a->cursor();
+    auto cb = b->cursor();
+    FeatureRecord ra, rb;
+    std::size_t row = 0;
+    auto report = [&](const std::string &col, double va, double vb) {
+        if (++mismatches <= maxReported) {
+            std::fprintf(stderr,
+                         "record %zu: %s differs (%.17g vs "
+                         "%.17g)\n",
+                         row, col.c_str(), va, vb);
+        }
+    };
+    while (ca.next(ra)) {
+        if (!cb.next(rb))
+            break;
+        if (!skip("iteration") && ra.iteration != rb.iteration)
+            report("iteration",
+                   static_cast<double>(ra.iteration),
+                   static_cast<double>(rb.iteration));
+        if (!skip("analysis") && ra.analysis != rb.analysis)
+            report("analysis", static_cast<double>(ra.analysis),
+                   static_cast<double>(rb.analysis));
+        if (!skip("stop") && ra.stop != rb.stop)
+            report("stop", ra.stop, rb.stop);
+        // Bitwise comparison through memcmp: NaNs compare equal to
+        // themselves and +0.0 differs from -0.0, exactly what a
+        // byte-level store diff should say.
+        auto diff_bits = [](double x, double y) {
+            return std::memcmp(&x, &y, sizeof(double)) != 0;
+        };
+        if (!skip("wall_time") && diff_bits(ra.wallTime, rb.wallTime))
+            report("wall_time", ra.wallTime, rb.wallTime);
+        if (!skip("wavefront") &&
+            diff_bits(ra.wavefront, rb.wavefront))
+            report("wavefront", ra.wavefront, rb.wavefront);
+        if (!skip("predicted") &&
+            diff_bits(ra.predicted, rb.predicted))
+            report("predicted", ra.predicted, rb.predicted);
+        if (!skip("mse") && diff_bits(ra.mse, rb.mse))
+            report("mse", ra.mse, rb.mse);
+        for (std::size_t k = 0; k < ra.coeffs.size(); ++k) {
+            const std::string col = "coef" + std::to_string(k);
+            if (!skip(col) && diff_bits(ra.coeffs[k], rb.coeffs[k]))
+                report(col, ra.coeffs[k], rb.coeffs[k]);
+        }
+        ++row;
+    }
+    if (mismatches > maxReported) {
+        std::fprintf(stderr, "... and %d more mismatches\n",
+                     mismatches - maxReported);
+    }
+    if (mismatches == 0) {
+        std::printf("stores match (%zu records%s)\n",
+                    a->recordCount(),
+                    ignored.empty() ? ""
+                                    : ", ignored columns excluded");
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "info")
+        return cmdInfo(argv[2]);
+    if (cmd == "verify")
+        return cmdVerify(argv[2]);
+    if (cmd == "export") {
+        std::string out;
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--out" && i + 1 < argc)
+                out = argv[++i];
+            else
+                return usage();
+        }
+        return cmdExport(argv[2], out);
+    }
+    if (cmd == "diff") {
+        if (argc < 4)
+            return usage();
+        std::string ignore;
+        for (int i = 4; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--ignore" && i + 1 < argc)
+                ignore = argv[++i];
+            else
+                return usage();
+        }
+        return cmdDiff(argv[2], argv[3], ignore);
+    }
+    return usage();
+}
