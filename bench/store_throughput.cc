@@ -14,7 +14,14 @@
  *     single-core host async degenerates to near-parity; the
  *     overlap win needs real cores, as with PR 2).
  *
- * Part 2 — I/O-cost comparison the paper only argues qualitatively:
+ * Part 2 (PR 6) — durability and failure overhead: what each
+ * DurabilityPolicy level costs per record (flush-per-seal gated
+ * within --durability-gate of the no-durability baseline;
+ * fsync-per-seal reported only — its cost belongs to the
+ * filesystem), and the degraded-mode append (sticky-failure drop
+ * path) gated at <= --degraded-gate x a healthy append.
+ *
+ * Part 3 — I/O-cost comparison the paper only argues qualitatively:
  * the clover2d shock run instrumented with one break-point analysis
  * writes its per-iteration features to a store while the full probe
  * trace (the traditional post-hoc pipeline) is dumped via
@@ -73,13 +80,16 @@ struct WriteResult
 
 WriteResult
 writeOnce(const std::string &path, std::size_t records,
-          std::size_t coeffs, std::size_t block, bool async)
+          std::size_t coeffs, std::size_t block, bool async,
+          store::DurabilityPolicy durability =
+              store::DurabilityPolicy::None)
 {
     StoreSchema schema;
     schema.coeffCount = coeffs;
     StoreOptions opts;
     opts.blockCapacity = block;
     opts.async = async;
+    opts.durability = durability;
     WriteResult res;
     FeatureRecord rec;
     rec.coeffs.resize(coeffs);
@@ -117,6 +127,10 @@ main(int argc, char **argv)
                    "fail when async exposed > gate * sync exposed");
     args.addDouble("ratio-gate", 4.0,
                    "fail when trace/store size ratio is below this");
+    args.addDouble("durability-gate", 2.0,
+                   "fail when flush-per-seal exposed > gate * none");
+    args.addDouble("degraded-gate", 0.5,
+                   "fail when degraded append > gate * healthy");
     args.addString("json", "", "write results to this JSON file");
     args.parse(argc, argv);
 
@@ -197,6 +211,106 @@ main(int argc, char **argv)
     std::remove("store_tp_sync.tdfs");
     std::remove("store_tp_async.tdfs");
     table.print();
+
+    // ----------------------------- durability-policy overhead sweep
+    // What each crash-consistency level costs per record (PR 6).
+    // flush-per-seal is one libc-to-kernel copy per sealed block
+    // and is gated within --durability-gate of the no-durability
+    // baseline; fsync-per-seal waits for the platters (or the FS
+    // journal) every block, so it is reported but not gated — its
+    // cost is the filesystem's, not the writer's.
+    const double durability_gate = args.getDouble("durability-gate");
+    std::printf("\n");
+    AsciiTable dtable(
+        {"durability", "us/rec", "vs none", "bytes/rec"});
+    double none_exposed = 0.0;
+    for (const auto policy : {store::DurabilityPolicy::None,
+                              store::DurabilityPolicy::FlushPerSeal,
+                              store::DurabilityPolicy::SyncPerSeal}) {
+        WriteResult best;
+        best.exposed = 1e100;
+        for (int rep = 0; rep < reps; ++rep) {
+            const WriteResult r =
+                writeOnce("store_tp_dur.tdfs", records_n, coeffs,
+                          block, false, policy);
+            if (r.exposed < best.exposed)
+                best = r;
+        }
+        const double n = static_cast<double>(records_n);
+        if (policy == store::DurabilityPolicy::None)
+            none_exposed = best.exposed;
+        const double vs_none =
+            best.exposed / std::max(none_exposed, 1e-12);
+        if (policy == store::DurabilityPolicy::FlushPerSeal &&
+            vs_none > durability_gate)
+            ok = false;
+        dtable.addRow(
+            {store::durabilityPolicyName(policy),
+             AsciiTable::fmt(1e6 * best.exposed / n, 3),
+             AsciiTable::fmt(vs_none, 2),
+             AsciiTable::fmt(static_cast<double>(best.bytes) / n,
+                             1)});
+        BenchRecord rec;
+        rec.name = std::string("durability_") +
+                   store::durabilityPolicyName(policy);
+        rec.metrics["exposed_s"] = best.exposed;
+        rec.metrics["us_per_rec"] = 1e6 * best.exposed / n;
+        rec.metrics["vs_none"] = vs_none;
+        rec.metrics["bytes"] = static_cast<double>(best.bytes);
+        records.push_back(rec);
+    }
+    std::remove("store_tp_dur.tdfs");
+    dtable.print();
+
+    // -------------------------------------- degraded-mode append cost
+    // After an unrecoverable I/O error the writer latches a sticky
+    // failure and every append is a drop (one relaxed atomic load
+    // plus a counter). That path must be far cheaper than a healthy
+    // append — the Region detaches on the first false return, so
+    // this bounds the worst case where a caller never looks.
+    const double degraded_gate = args.getDouble("degraded-gate");
+    double healthy_wall = 1e100, degraded_wall = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        const WriteResult h = writeOnce(
+            "store_tp_healthy.tdfs", records_n, coeffs, block,
+            false);
+        healthy_wall = std::min(healthy_wall, h.appendWall);
+
+        StoreSchema schema;
+        schema.coeffCount = coeffs;
+        StoreOptions opts;
+        opts.blockCapacity = block;
+        FeatureStoreWriter dead("/nonexistent-dir/sub/bench.tdfs",
+                                schema, opts);
+        FeatureRecord rec;
+        rec.coeffs.resize(coeffs);
+        Timer t;
+        for (std::size_t i = 0; i < records_n; ++i) {
+            synthRecord(i, rec);
+            dead.append(rec);
+        }
+        degraded_wall = std::min(degraded_wall, t.elapsed());
+        if (dead.ok() || dead.droppedRecords() != records_n)
+            ok = false;
+    }
+    std::remove("store_tp_healthy.tdfs");
+    const double degraded_ratio =
+        degraded_wall / std::max(healthy_wall, 1e-12);
+    std::printf("\ndegraded-mode append: %.3f us/rec vs healthy "
+                "%.3f us/rec (%.2fx, gate %.2fx)\n",
+                1e6 * degraded_wall /
+                    static_cast<double>(records_n),
+                1e6 * healthy_wall /
+                    static_cast<double>(records_n),
+                degraded_ratio, degraded_gate);
+    if (degraded_ratio > degraded_gate)
+        ok = false;
+    BenchRecord deg;
+    deg.name = "degraded_append";
+    deg.metrics["healthy_wall_s"] = healthy_wall;
+    deg.metrics["degraded_wall_s"] = degraded_wall;
+    deg.metrics["degraded_over_healthy"] = degraded_ratio;
+    records.push_back(deg);
 
     // ------------------------------- compression vs raw trace dump
     clover::CloverAppConfig config;
@@ -297,6 +411,9 @@ main(int argc, char **argv)
         meta["block"] = std::to_string(block);
         meta["cost_gate"] = AsciiTable::fmt(cost_gate, 2);
         meta["ratio_gate"] = AsciiTable::fmt(ratio_gate, 2);
+        meta["durability_gate"] =
+            AsciiTable::fmt(durability_gate, 2);
+        meta["degraded_gate"] = AsciiTable::fmt(degraded_gate, 2);
         if (!bench_to_json(json, meta, records))
             std::printf("!! failed to write %s\n", json.c_str());
         else
@@ -305,12 +422,15 @@ main(int argc, char **argv)
 
     if (!ok) {
         std::printf("\n!! GATE FAILURE: async exposed cost, file "
-                    "identity, or compression ratio out of "
-                    "bounds\n");
+                    "identity, durability/degraded overhead, or "
+                    "compression ratio out of bounds\n");
         return 1;
     }
     std::printf("\nall gates passed: files byte-identical, async "
-                "exposed <= %.2fx sync, compression >= %.1fx\n",
-                cost_gate, ratio_gate);
+                "exposed <= %.2fx sync, flush-per-seal <= %.2fx "
+                "none, degraded append <= %.2fx healthy, "
+                "compression >= %.1fx\n",
+                cost_gate, durability_gate, degraded_gate,
+                ratio_gate);
     return 0;
 }

@@ -67,9 +67,13 @@ attachStore(Region &region, const StoreCliOptions &cli,
 {
     if (cli.path.empty())
         return nullptr;
+    StoreOptions options;
+    options.async = cli.async;
+    options.durability =
+        store::parseDurabilityPolicy(cli.durability);
     // analysisFor() uses order 3 -> 4 coefficient columns.
     return attachRankStore(region, cli.path + suffix, 3 + 1,
-                           cli.async, nullptr);
+                           options, nullptr);
 }
 
 /** Detach and close an attached store (no-op without --store). */

@@ -78,11 +78,16 @@ main(int argc, char **argv)
 
     // --store <path> persists every iteration's extracted features
     // (wave front, prediction, fit coefficients, MSE) to a trace
-    // store; --store-async flushes its blocks on the thread pool.
+    // store; --store-async flushes its blocks on the thread pool,
+    // --store-durability picks when sealed blocks hit the disk.
     std::unique_ptr<FeatureStoreWriter> store;
     if (!storeCli.path.empty()) {
+        StoreOptions storeOptions;
+        storeOptions.async = storeCli.async;
+        storeOptions.durability =
+            store::parseDurabilityPolicy(storeCli.durability);
         store = attachRankStore(region, storeCli.path, order + 1,
-                                storeCli.async, nullptr);
+                                storeOptions, nullptr);
     }
 
     // The instrumented run; probe peaks double as ground truth.

@@ -57,9 +57,13 @@ main(int argc, char **argv)
         std::max<long>(1, reference.iterations / 20);
     stop.analysis.ar.convergeTol = 0.1;
     // --store <path> persists the per-iteration features of the
-    // instrumented run (--store-async flushes on the pool).
+    // instrumented run (--store-async flushes on the pool,
+    // --store-durability picks when sealed blocks hit the disk).
     stop.storePath = store.path;
     stop.storeAsync = store.async;
+    stop.storeDurability = store.durability;
+    stop.storeMergePolicy = store.mergePolicy;
+    stop.storeKeepParts = store.keepParts;
     const RunResult early = runBlast(config, nullptr, stop);
     if (!store.path.empty()) {
         std::printf("feature store: %s (%zu bytes)\n",

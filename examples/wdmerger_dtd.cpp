@@ -36,6 +36,9 @@ main(int argc, char **argv)
     options.trainFraction = 0.25;
     options.storePath = store.path;
     options.storeAsync = store.async;
+    options.storeDurability = store.durability;
+    options.storeMergePolicy = store.mergePolicy;
+    options.storeKeepParts = store.keepParts;
 
     std::printf("running wdmerger at resolution %d...\n",
                 resolution);

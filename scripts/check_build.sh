@@ -5,7 +5,9 @@
 # async_pipeline, rank_pipeline, simd_hotpath, and
 # store_throughput digest/equality gates) fails fast and visibly,
 # followed by a feature-store tooling smoke (clover example writes
-# a store, tdfstool verify/export/diff it). A second Release tree then builds
+# a store, tdfstool verify/export/diff it) and the fault battery
+# (fault_smoke ctest label plus a truncate/recover round trip
+# through tdfstool). A second Release tree then builds
 # with TDFE_NATIVE=ON (-march=native -ffast-math) and runs the
 # tier-1 tests only — the vectorized build is not bitwise-comparable
 # to the default one, so the digest-gated benches are skipped there;
@@ -35,7 +37,24 @@ ctest --output-on-failure -L bench_smoke
 ./tdfstool info check_clover.tdfs > /dev/null
 ./tdfstool export check_clover.tdfs --out check_clover.csv
 ./tdfstool diff check_clover.tdfs check_clover.tdfs
-rm -f check_clover.tdfs check_clover.csv
+
+# Fault battery: crash-point sweep, retry/degrade, salvage, and the
+# Region surviving its sink's death (the fault_smoke ctest label),
+# then a recovery round trip: truncate the store mid-file (a crash
+# with the footer lost), salvage it with `tdfstool recover`, and the
+# recovered store must verify clean and diff-match the original's
+# prefix record-for-record.
+ctest --output-on-failure -L fault_smoke
+bytes=$(wc -c < check_clover.tdfs)
+head -c $((bytes * 2 / 3)) check_clover.tdfs > check_torn.tdfs
+if ./tdfstool verify check_torn.tdfs 2>/dev/null; then
+  echo "!! torn store unexpectedly verified" && exit 1
+fi
+./tdfstool recover check_torn.tdfs check_recovered.tdfs
+./tdfstool verify check_recovered.tdfs
+./tdfstool info check_recovered.tdfs > /dev/null
+rm -f check_clover.tdfs check_clover.csv check_torn.tdfs \
+    check_recovered.tdfs
 
 cd "$root"
 if [[ "${SKIP_NATIVE:-0}" != 1 ]]; then

@@ -182,6 +182,17 @@ addStoreOptions(ArgParser &args)
     args.addFlag("store-async",
                  "flush store blocks on the thread pool instead of "
                  "the simulation thread");
+    args.addString("store-durability", "none",
+                   "when sealed store blocks become durable: none, "
+                   "flush (flush per seal), or fsync (fsync per "
+                   "seal)");
+    args.addString("store-merge-policy", "fail",
+                   "rank-merge treatment of unreadable store parts: "
+                   "fail (abort) or skip (salvage what decodes, "
+                   "keep the damaged part for post-mortem)");
+    args.addFlag("store-keep-parts",
+                 "keep the per-rank store part files after the "
+                 "merge");
 }
 
 StoreCliOptions
@@ -190,6 +201,9 @@ storeOptions(const ArgParser &args)
     StoreCliOptions opts;
     opts.path = args.getString("store");
     opts.async = args.getFlag("store-async");
+    opts.durability = args.getString("store-durability");
+    opts.mergePolicy = args.getString("store-merge-policy");
+    opts.keepParts = args.getFlag("store-keep-parts");
     return opts;
 }
 
@@ -197,23 +211,40 @@ StoreCliOptions
 applyStoreFlags(int &argc, char **argv)
 {
     StoreCliOptions opts;
+    // --name value and --name= value forms of the string options.
+    auto match = [&](int &i, const std::string &arg,
+                     const char *name, std::string &into) {
+        const std::string flag = std::string("--") + name;
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option ", flag, " needs a value");
+            into = argv[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            into = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--store-async") {
             opts.async = true;
-        } else if (arg == "--store") {
-            if (i + 1 >= argc)
-                TDFE_FATAL("option --store needs a value");
-            opts.path = argv[++i];
-        } else if (arg.rfind("--store=", 0) == 0) {
-            opts.path = arg.substr(std::string("--store=").size());
+        } else if (arg == "--store-keep-parts") {
+            opts.keepParts = true;
+        } else if (match(i, arg, "store-durability",
+                         opts.durability) ||
+                   match(i, arg, "store-merge-policy",
+                         opts.mergePolicy)) {
+            // value captured by match()
+        } else if (match(i, arg, "store", opts.path)) {
+            if (opts.path.empty())
+                TDFE_FATAL("empty --store path");
         } else {
             argv[out++] = argv[i];
-            continue;
         }
-        if (opts.path.empty() && arg != "--store-async")
-            TDFE_FATAL("empty --store path");
     }
     argc = out;
     argv[argc] = nullptr;

@@ -118,23 +118,39 @@ struct StoreCliOptions
     std::string path;
     /** Async flush mode (--store-async). */
     bool async = false;
+    /** Durability policy name (--store-durability): "none",
+     *  "flush", or "fsync". Kept as a string here — src/base does
+     *  not depend on src/store; the app boundary parses it with
+     *  store::parseDurabilityPolicy (fatal on typos). */
+    std::string durability = "none";
+    /** Rank-merge policy name (--store-merge-policy): "fail" or
+     *  "skip". String for the same layering reason (parsed with
+     *  parseMergePolicy at the app boundary). */
+    std::string mergePolicy = "fail";
+    /** Keep per-rank part files after the merge
+     *  (--store-keep-parts). */
+    bool keepParts = false;
 };
 
 /**
  * Register the standard feature-store options: `--store <path>`
  * (write extracted features to a trace store; empty default
- * disables) and the `--store-async` flag (flush store blocks on the
- * thread pool instead of the simulation thread).
+ * disables), the `--store-async` flag (flush store blocks on the
+ * thread pool instead of the simulation thread),
+ * `--store-durability none|flush|fsync` (when sealed blocks become
+ * durable), `--store-merge-policy fail|skip` (what the rank merge
+ * does with unreadable parts), and the `--store-keep-parts` flag
+ * (keep per-rank part files after the merge).
  */
 void addStoreOptions(ArgParser &args);
 
-/** Read the parsed --store / --store-async values. */
+/** Read the parsed --store* values. */
 StoreCliOptions storeOptions(const ArgParser &args);
 
 /**
- * Raw-argv variant for binaries without an ArgParser: strip
- * `--store <path>` / `--store=<path>` / `--store-async` from argv,
- * leaving every other argument for the program's own parsing.
+ * Raw-argv variant for binaries without an ArgParser: strip the
+ * --store* options (see addStoreOptions) from argv, leaving every
+ * other argument for the program's own parsing.
  */
 StoreCliOptions applyStoreFlags(int &argc, char **argv);
 

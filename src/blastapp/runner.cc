@@ -39,9 +39,13 @@ runBlast(const BlastConfig &config, Communicator *comm,
 
     std::unique_ptr<FeatureStoreWriter> store;
     if (region && !options.storePath.empty()) {
+        StoreOptions store_options;
+        store_options.async = options.storeAsync;
+        store_options.durability =
+            store::parseDurabilityPolicy(options.storeDurability);
         store = attachRankStore(*region, options.storePath,
                                 options.analysis.ar.order + 1,
-                                options.storeAsync, comm);
+                                store_options, comm);
     }
 
     const bool gather = options.instrument || options.recordTrace;
@@ -87,8 +91,15 @@ runBlast(const BlastConfig &config, Communicator *comm,
     if (store) {
         // Every query above has drained the region, so no appends
         // are pending.
+        result.storeDegraded =
+            region->featureStoreDegraded() || !store->ok();
+        RankMergeOptions merge;
+        merge.policy =
+            parseMergePolicy(options.storeMergePolicy);
+        merge.keepParts = options.storeKeepParts;
         result.storeBytes = finishRankStore(
-            *region, std::move(store), options.storePath, comm);
+            *region, std::move(store), options.storePath, comm,
+            merge);
     }
     return result;
 }

@@ -61,6 +61,15 @@ struct RunOptions
     std::string storePath;
     /** Flush store blocks on the thread pool (see StoreOptions). */
     bool storeAsync = false;
+    /** Store durability policy: "none", "flush", or "fsync" (see
+     *  store::DurabilityPolicy; parsed at run time, fatal on other
+     *  values). */
+    std::string storeDurability = "none";
+    /** Rank-merge policy for unreadable parts: "fail" or "skip"
+     *  (see MergePolicy). */
+    std::string storeMergePolicy = "fail";
+    /** Keep per-rank store parts after the merge. */
+    bool storeKeepParts = false;
 };
 
 /** Everything measured during one run. */
@@ -88,6 +97,9 @@ struct RunResult
     double validationMse = 0.0;
     /** Bytes of this rank's feature store (0: none written). */
     std::size_t storeBytes = 0;
+    /** True when the feature sink degraded mid-run and was
+     *  detached (the physics above are still exact). */
+    bool storeDegraded = false;
 };
 
 /**

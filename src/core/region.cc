@@ -212,7 +212,20 @@ Region::recordFeatures(long it)
     for (std::size_t i = 0; i < analyses.size(); ++i) {
         storeRec.analysis = static_cast<long>(i);
         analyses[i]->fillFeatureRecord(storeRec);
-        store_->append(storeRec);
+        if (!store_->append(storeRec)) {
+            // The store hit an unrecoverable I/O error (it already
+            // logged the detail and truncated itself back to its
+            // salvageable prefix). Detach the sink so the remaining
+            // iterations do not even pay the latch check — the
+            // simulation's physics, stop protocol, and checkpoints
+            // are untouched; only the trace is incomplete.
+            TDFE_WARN("region '", name, "': feature store sink '",
+                      store_->path(), "' degraded at iteration ", it,
+                      ", detaching; the simulation continues");
+            storeDegraded_ = true;
+            store_ = nullptr;
+            return;
+        }
     }
 }
 

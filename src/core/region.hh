@@ -205,11 +205,25 @@ class Region
      * detach right after the last end() loses nothing. The store
      * is borrowed, must outlive the region or be detached before
      * destruction, and must not be finished while attached.
+     *
+     * A store that degrades mid-run (unrecoverable I/O error) is
+     * detached automatically with a single warning and the
+     * simulation continues unchanged — see featureStoreDegraded().
      */
     void setFeatureStore(FeatureStoreWriter *store);
 
     /** @return the attached feature-store sink (nullptr: none). */
     FeatureStoreWriter *featureStore() const { return store_; }
+
+    /**
+     * @return true when an attached sink hit an unrecoverable I/O
+     * error mid-run and was detached (the append that failed logged
+     * once, the store truncated itself back to its salvageable
+     * sealed prefix, and the simulation continued untouched). The
+     * flag is sticky across detach/attach so a harness can report
+     * the degraded trace after the run.
+     */
+    bool featureStoreDegraded() const { return storeDegraded_; }
 
     /** Values of the last completed broadcast:
      *  [prediction, wavefront rank, stop flag]. */
@@ -308,6 +322,7 @@ class Region
     /** Feature-store sink (borrowed) and its reused record. @{ */
     FeatureStoreWriter *store_ = nullptr;
     FeatureRecord storeRec;
+    bool storeDegraded_ = false;
     /** @} */
 
     Timer blockTimer;

@@ -1,5 +1,6 @@
 #include "core/td_api.h"
 
+#include <cerrno>
 #include <fstream>
 #include <memory>
 #include <vector>
@@ -39,6 +40,8 @@ struct td_store
 
     tdfe::FeatureStoreWriter writer;
     tdfe::FeatureRecord record;
+    /** Backs the pointer td_store_error hands out. */
+    std::string errorMsg;
 };
 
 extern "C" {
@@ -247,6 +250,14 @@ td_store_t *
 td_store_open(const char *path, int n_coeffs, int block_capacity,
               int async)
 {
+    return td_store_open_ex(path, n_coeffs, block_capacity, async,
+                            nullptr);
+}
+
+td_store_t *
+td_store_open_ex(const char *path, int n_coeffs, int block_capacity,
+                 int async, const char *durability)
+{
     if (!path || n_coeffs < 0 || block_capacity < 0)
         return nullptr;
     tdfe::StoreSchema schema;
@@ -256,6 +267,21 @@ td_store_open(const char *path, int n_coeffs, int block_capacity,
         options.blockCapacity =
             static_cast<std::size_t>(block_capacity);
     options.async = async != 0;
+    if (durability) {
+        // Non-fatal parse: a C caller gets NULL back, not a
+        // terminated process.
+        const std::string d(durability);
+        if (d == "none")
+            options.durability = tdfe::store::DurabilityPolicy::None;
+        else if (d == "flush")
+            options.durability =
+                tdfe::store::DurabilityPolicy::FlushPerSeal;
+        else if (d == "fsync")
+            options.durability =
+                tdfe::store::DurabilityPolicy::SyncPerSeal;
+        else
+            return nullptr;
+    }
     return new td_store(path, schema, options);
 }
 
@@ -276,8 +302,40 @@ td_store_append(td_store_t *store, long iteration, long analysis,
     rec.mse = mse;
     for (std::size_t k = 0; k < rec.coeffs.size(); ++k)
         rec.coeffs[k] = coeffs[k];
-    store->writer.append(rec);
+    if (!store->writer.append(rec)) {
+        const int code = store->writer.status().code;
+        return code > 0 ? code : EIO;
+    }
     return 0;
+}
+
+int
+td_store_status(const td_store_t *store)
+{
+    if (!store)
+        return -1;
+    if (store->writer.ok())
+        return 0;
+    const int code = store->writer.status().code;
+    return code > 0 ? code : EIO;
+}
+
+const char *
+td_store_error(const td_store_t *store)
+{
+    if (!store)
+        return "";
+    auto *s = const_cast<td_store_t *>(store);
+    s->errorMsg = store->writer.status().message;
+    return s->errorMsg.c_str();
+}
+
+long
+td_store_dropped(const td_store_t *store)
+{
+    if (!store)
+        return -1;
+    return static_cast<long>(store->writer.droppedRecords());
 }
 
 long
@@ -290,11 +348,40 @@ td_store_close(td_store_t *store)
     return static_cast<long>(bytes);
 }
 
+long
+td_store_salvage(const char *src_path, const char *dst_path)
+{
+    if (!src_path || !dst_path)
+        return -1;
+    const auto reader = tdfe::FeatureStoreReader::salvage(src_path);
+    if (!reader)
+        return -1;
+    tdfe::StoreOptions options;
+    options.blockCapacity = reader->blockCapacity();
+    tdfe::FeatureStoreWriter writer(dst_path, reader->schema(),
+                                    options);
+    tdfe::FeatureRecord rec;
+    auto cursor = reader->cursor();
+    while (cursor.next(rec))
+        writer.append(rec);
+    const long recovered = static_cast<long>(writer.recordCount());
+    writer.finish();
+    return writer.ok() ? recovered : -1;
+}
+
 void
 td_region_set_store(td_region_t *region, td_store_t *store)
 {
     TDFE_ASSERT(region, "null region");
     region->region.setFeatureStore(store ? &store->writer : nullptr);
+}
+
+int
+td_region_store_degraded(const td_region_t *region)
+{
+    if (!region)
+        return 0;
+    return region->region.featureStoreDegraded() ? 1 : 0;
 }
 
 int

@@ -193,16 +193,41 @@ void td_region_set_relaxed_stop(td_region_t *region, int relaxed);
  * @param async Nonzero defers block encode + write to the
  *        process-wide thread pool so the simulation never blocks on
  *        store I/O; files are byte-identical to synchronous mode.
- * @return handle, or NULL on invalid arguments (a path that cannot
- *         be opened is a fatal error, matching the library's
- *         checkpoint behaviour).
+ * @return handle, or NULL on invalid arguments. A path that cannot
+ *         be opened is NOT fatal and still returns a handle: the
+ *         store starts degraded (td_store_status nonzero, appends
+ *         dropped) so the simulation it serves keeps running.
  */
 td_store_t *td_store_open(const char *path, int n_coeffs,
                           int block_capacity, int async);
 
 /**
+ * As td_store_open with an explicit durability policy: "none"
+ * (OS-buffered, fastest), "flush" (flush per sealed block — a
+ * process crash loses at most the in-flight block), or "fsync"
+ * (fsync per sealed block — sealed blocks survive node loss).
+ * NULL means "none". @return NULL on invalid arguments, including
+ * an unknown durability string.
+ */
+td_store_t *td_store_open_ex(const char *path, int n_coeffs,
+                             int block_capacity, int async,
+                             const char *durability);
+
+/**
  * Append one record. @p coeffs must point at n_coeffs doubles.
- * @return 0 on success, -1 on null arguments.
+ *
+ * Failure semantics: every sealed block's write is checked when it
+ * happens (not at close); transient errors (EIO-class) are retried
+ * with bounded backoff, and an unrecoverable error (ENOSPC, retry
+ * budget spent) puts the store in a sticky degraded state — it
+ * logs once, truncates the file back to its last sealed block so
+ * the prefix stays recoverable, and drops this and every later
+ * record. Nothing here ever terminates the caller.
+ *
+ * @return 0 when the record was accepted, -1 on null arguments, or
+ *         the positive errno-style code of the first unrecoverable
+ *         error when the store is degraded (the record was
+ *         dropped; see td_store_status / td_store_error).
  */
 int td_store_append(td_store_t *store, long iteration, long analysis,
                     int stop, double wall_time, double wavefront,
@@ -210,20 +235,66 @@ int td_store_append(td_store_t *store, long iteration, long analysis,
                     const double *coeffs);
 
 /**
+ * @return 0 while the store is healthy, the positive errno-style
+ * code of the first unrecoverable I/O error once it degraded
+ * (sticky), or -1 for a NULL handle.
+ */
+int td_store_status(const td_store_t *store);
+
+/**
+ * @return human-readable detail of the first unrecoverable error
+ * (includes the failing byte offset), "" while healthy. The pointer
+ * stays valid until the next call on this handle or its close.
+ */
+const char *td_store_error(const td_store_t *store);
+
+/**
+ * @return records dropped because the store degraded (appends
+ * rejected plus staged records lost with the failing block), or -1
+ * for a NULL handle.
+ */
+long td_store_dropped(const td_store_t *store);
+
+/**
  * Flush pending blocks, write the footer, close, and release the
  * handle. Detach it from any region first (td_region_set_store with
  * NULL) — the region must not append to a closed store.
- * @return total file bytes, or -1 for a NULL handle.
+ * @return total file bytes; 0 when the store degraded (the file
+ *         then holds only its salvageable sealed-block prefix, no
+ *         footer — see td_store_salvage); -1 for a NULL handle.
  */
 long td_store_close(td_store_t *store);
+
+/**
+ * Recover a damaged store: scan @p src_path forward from the
+ * header, keep every block that CRC-checks and decodes, and write
+ * the surviving records as a clean store at @p dst_path. Works on
+ * stores whose footer was never written (writer crash / degrade)
+ * or is corrupt.
+ * @return records recovered (>= 0), or -1 when @p src_path has no
+ *         salvageable header or @p dst_path cannot be written.
+ */
+long td_store_salvage(const char *src_path, const char *dst_path);
 
 /**
  * Attach @p store (may be NULL to detach) as the region's feature
  * sink: every td_region_end appends one record per analysis. Call
  * after every td_region_add_analysis; the store's n_coeffs must
  * cover the largest analysis order + 1.
+ *
+ * A sink whose store degrades mid-run is detached automatically:
+ * the region logs once, stops appending, and the simulation
+ * continues bit-for-bit unchanged — poll
+ * td_region_store_degraded to report the incomplete trace.
  */
 void td_region_set_store(td_region_t *region, td_store_t *store);
+
+/**
+ * @return nonzero when a previously attached feature sink hit an
+ * unrecoverable I/O error and was detached (sticky; the run's
+ * physics were unaffected, only the trace is incomplete).
+ */
+int td_region_store_degraded(const td_region_t *region);
 
 /**
  * Validate the store at @p path end to end: header, footer, every

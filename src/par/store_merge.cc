@@ -18,53 +18,113 @@ rankStorePath(const std::string &base, int rank, int world_size)
     return base + ".rk" + std::to_string(rank);
 }
 
+MergePolicy
+parseMergePolicy(const std::string &name)
+{
+    if (name == "fail")
+        return MergePolicy::Fail;
+    if (name == "skip")
+        return MergePolicy::Skip;
+    TDFE_FATAL("unknown store merge policy '", name,
+               "' (expected fail or skip)");
+}
+
 std::size_t
 mergeRankStores(const std::vector<std::string> &parts,
                 const std::string &out_path,
-                const StoreOptions &options)
+                const StoreOptions &options, MergePolicy policy,
+                MergeReport *report)
 {
     TDFE_ASSERT(!parts.empty(), "nothing to merge");
 
     // Open every part before creating the output so a bad input
-    // cannot leave a half-written merged file behind.
+    // cannot leave a half-written merged file behind. Under Skip a
+    // damaged part falls back to the salvage scan, and a part that
+    // yields nothing (or the wrong schema) merges as zero records.
     std::vector<std::unique_ptr<FeatureStoreReader>> readers;
+    MergeReport local_report;
+    MergeReport &rep = report ? *report : local_report;
+    rep.parts.clear();
+    const StoreSchema *schema = nullptr;
     for (const std::string &p : parts) {
+        MergeReport::Part part;
+        part.path = p;
         std::string error;
-        auto r = FeatureStoreReader::open(p, &error);
-        if (!r)
-            TDFE_FATAL("cannot merge feature store: ", error);
-        if (!readers.empty() &&
-            r->schema() != readers.front()->schema()) {
-            TDFE_FATAL("feature store schema mismatch merging ", p,
-                       " (", r->schema().coeffCount, " vs ",
-                       readers.front()->schema().coeffCount,
-                       " coefficient columns)");
+        std::unique_ptr<FeatureStoreReader> r;
+        if (policy == MergePolicy::Fail) {
+            r = FeatureStoreReader::open(p, &error);
+            if (!r)
+                TDFE_FATAL("cannot merge feature store: ", error);
+        } else {
+            r = FeatureStoreReader::openOrSalvage(p, &error,
+                                                  &part.salvaged);
+            if (!r) {
+                part.skipped = true;
+                part.detail = error;
+            }
+        }
+        if (r && schema && r->schema() != *schema) {
+            if (policy == MergePolicy::Fail) {
+                TDFE_FATAL("feature store schema mismatch merging ",
+                           p, " (", r->schema().coeffCount, " vs ",
+                           schema->coeffCount,
+                           " coefficient columns)");
+            }
+            part.skipped = true;
+            part.salvaged = false;
+            part.detail = "schema mismatch (" +
+                          std::to_string(r->schema().coeffCount) +
+                          " vs " +
+                          std::to_string(schema->coeffCount) +
+                          " coefficient columns)";
+            r.reset();
+        }
+        if (r) {
+            if (!schema)
+                schema = &r->schema();
+            part.records = r->recordCount();
+            if (part.salvaged) {
+                part.detail = "salvaged " +
+                              std::to_string(r->recordCount()) +
+                              " records";
+                TDFE_WARN("merge: part '", p, "' damaged; ",
+                          part.detail);
+            }
+        } else {
+            TDFE_WARN("merge: skipping part '", p, "': ",
+                      part.detail);
         }
         readers.push_back(std::move(r));
+        rep.parts.push_back(std::move(part));
     }
+    if (!schema)
+        TDFE_FATAL("cannot merge feature store: no readable part ",
+                   "among ", parts.size(), " (first: ", parts.front(),
+                   ")");
 
-    FeatureStoreWriter writer(out_path, readers.front()->schema(),
-                              options);
+    FeatureStoreWriter writer(out_path, *schema, options);
     FeatureRecord rec;
     for (const auto &r : readers) {
+        if (!r)
+            continue;
         FeatureStoreReader::Cursor c = r->cursor();
         while (c.next(rec))
             writer.append(rec);
     }
     const std::size_t merged = writer.recordCount();
-    writer.finish();
+    if (writer.finish() == 0)
+        TDFE_FATAL("cannot write merged feature store ", out_path,
+                   ": ", writer.status().message);
     return merged;
 }
 
 std::unique_ptr<FeatureStoreWriter>
 attachRankStore(Region &region, const std::string &base,
-                std::size_t coeff_count, bool async,
+                std::size_t coeff_count, const StoreOptions &options,
                 Communicator *comm)
 {
     StoreSchema schema;
     schema.coeffCount = coeff_count;
-    StoreOptions options;
-    options.async = async;
     auto store = std::make_unique<FeatureStoreWriter>(
         rankStorePath(base, comm ? comm->rank() : 0,
                       comm ? comm->size() : 1),
@@ -76,7 +136,8 @@ attachRankStore(Region &region, const std::string &base,
 std::size_t
 finishRankStore(Region &region,
                 std::unique_ptr<FeatureStoreWriter> store,
-                const std::string &base, Communicator *comm)
+                const std::string &base, Communicator *comm,
+                const RankMergeOptions &merge_options)
 {
     TDFE_ASSERT(store, "finishRankStore needs an attached store");
     region.setFeatureStore(nullptr);
@@ -91,9 +152,25 @@ finishRankStore(Region &region,
             for (int r = 0; r < comm->size(); ++r)
                 parts.push_back(
                     rankStorePath(base, r, comm->size()));
-            mergeRankStores(parts, base);
-            for (const std::string &p : parts)
-                std::remove(p.c_str());
+            MergeReport report;
+            mergeRankStores(parts, base, StoreOptions(),
+                            merge_options.policy, &report);
+            if (!merge_options.keepParts) {
+                // Only parts that merged cleanly are disposable;
+                // skipped or salvaged ones are the sole surviving
+                // evidence of what that rank recorded.
+                for (const MergeReport::Part &p : report.parts) {
+                    if (p.skipped || p.salvaged) {
+                        TDFE_INFORM("keeping part '", p.path,
+                                    "' for post-mortem (",
+                                    p.skipped ? "skipped"
+                                              : "salvaged",
+                                    ")");
+                        continue;
+                    }
+                    std::remove(p.path.c_str());
+                }
+            }
         }
         comm->barrier();
     }

@@ -1,0 +1,270 @@
+#include "store/file.hh"
+
+#include <cstring>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace store
+{
+
+namespace
+{
+
+IoError
+errnoError(int code, std::uint64_t offset, const std::string &what)
+{
+    IoError e;
+    e.code = code != 0 ? code : EIO;
+    e.offset = offset;
+    e.message = what + " at offset " + std::to_string(offset) +
+                ": " + std::strerror(e.code);
+    return e;
+}
+
+/**
+ * Production file: stdio-buffered writes over a POSIX descriptor.
+ * Stdio keeps the per-seal write cheap under DurabilityPolicy::None
+ * (blocks coalesce in user space) while fileno() gives the real
+ * descriptor for fsync and ftruncate. Every error is reported as a
+ * value with the exact failing offset.
+ */
+class OsFile final : public StoreFile
+{
+  public:
+    OsFile(std::FILE *fp, std::string path)
+        : fp_(fp), path_(std::move(path))
+    {
+    }
+
+    ~OsFile() override { close(); }
+
+    IoError
+    write(const void *data, std::size_t n) override
+    {
+        if (!fp_)
+            return errnoError(EBADF, offset_, "write to closed file");
+        errno = 0;
+        const std::size_t wrote = std::fwrite(data, 1, n, fp_);
+        offset_ += wrote;
+        if (wrote != n) {
+            IoError e = errnoError(errno, offset_, "short write (" +
+                                       std::to_string(wrote) + "/" +
+                                       std::to_string(n) + " bytes)");
+            // Clear the stream error so a truncate-and-rewrite retry
+            // is possible; the error has been captured as a value.
+            std::clearerr(fp_);
+            return e;
+        }
+        return IoError();
+    }
+
+    IoError
+    flush() override
+    {
+        if (!fp_)
+            return errnoError(EBADF, offset_, "flush of closed file");
+        errno = 0;
+        if (std::fflush(fp_) != 0) {
+            IoError e = errnoError(errno, offset_, "flush failed");
+            std::clearerr(fp_);
+            return e;
+        }
+        return IoError();
+    }
+
+    IoError
+    sync() override
+    {
+        IoError e = flush();
+        if (!e.ok())
+            return e;
+        errno = 0;
+        if (::fsync(fileno(fp_)) != 0)
+            return errnoError(errno, offset_, "fsync failed");
+        return IoError();
+    }
+
+    IoError
+    truncateTo(std::uint64_t size) override
+    {
+        if (!fp_)
+            return errnoError(EBADF, offset_,
+                              "truncate of closed file");
+        // Drop whatever stdio still buffers (it may be exactly the
+        // bytes being rolled back), cut the kernel file, reseek.
+        std::clearerr(fp_);
+        std::fflush(fp_); // best effort; ftruncate defines the size
+        errno = 0;
+        if (::ftruncate(fileno(fp_),
+                        static_cast<off_t>(size)) != 0)
+            return errnoError(errno, offset_, "ftruncate failed");
+        if (std::fseek(fp_, static_cast<long>(size), SEEK_SET) != 0)
+            return errnoError(errno, offset_, "seek failed");
+        offset_ = size;
+        return IoError();
+    }
+
+    IoError
+    close() override
+    {
+        if (!fp_)
+            return IoError();
+        errno = 0;
+        const int rc = std::fclose(fp_);
+        fp_ = nullptr;
+        if (rc != 0)
+            return errnoError(errno, offset_, "close failed");
+        return IoError();
+    }
+
+    std::uint64_t offset() const override { return offset_; }
+    const std::string &path() const override { return path_; }
+
+  private:
+    std::FILE *fp_;
+    std::string path_;
+    std::uint64_t offset_ = 0;
+};
+
+} // namespace
+
+DurabilityPolicy
+parseDurabilityPolicy(const std::string &name)
+{
+    if (name == "none")
+        return DurabilityPolicy::None;
+    if (name == "flush")
+        return DurabilityPolicy::FlushPerSeal;
+    if (name == "fsync")
+        return DurabilityPolicy::SyncPerSeal;
+    TDFE_FATAL("unknown store durability policy '", name,
+               "' (expected none, flush, or fsync)");
+}
+
+const char *
+durabilityPolicyName(DurabilityPolicy policy)
+{
+    switch (policy) {
+      case DurabilityPolicy::None:
+        return "none";
+      case DurabilityPolicy::FlushPerSeal:
+        return "flush";
+      case DurabilityPolicy::SyncPerSeal:
+        return "fsync";
+    }
+    return "?";
+}
+
+std::unique_ptr<StoreFile>
+openOsFile(const std::string &path, IoError *error)
+{
+    errno = 0;
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    if (!fp) {
+        if (error)
+            *error = errnoError(errno, 0, "cannot open " + path);
+        return nullptr;
+    }
+    return std::make_unique<OsFile>(fp, path);
+}
+
+FaultyFile::FaultyFile(std::unique_ptr<StoreFile> inner,
+                       FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan),
+      remaining_(plan.failCount)
+{
+    TDFE_ASSERT(inner_, "FaultyFile needs an underlying file");
+}
+
+IoError
+FaultyFile::write(const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+
+    if (plan_.kind == FaultPlan::Kind::Crash) {
+        // The crash point: forward the honest prefix, drop the rest,
+        // and keep reporting success — the writer must not be able
+        // to tell (a crashed node never gets an error code either).
+        if (offset_ < plan_.atByte) {
+            const std::size_t fwd = static_cast<std::size_t>(
+                std::min<std::uint64_t>(n, plan_.atByte - offset_));
+            const IoError e = inner_->write(bytes, fwd);
+            if (!e.ok())
+                return e;
+        }
+        offset_ += n;
+        return IoError();
+    }
+
+    if (plan_.kind == FaultPlan::Kind::ErrorAt && remaining_ > 0 &&
+        offset_ + n > plan_.atByte) {
+        --remaining_;
+        if (plan_.shortWrite && offset_ < plan_.atByte) {
+            const std::size_t fwd = static_cast<std::size_t>(
+                plan_.atByte - offset_);
+            const IoError e = inner_->write(bytes, fwd);
+            if (!e.ok())
+                return e;
+            offset_ += fwd;
+        }
+        IoError e;
+        e.code = plan_.errCode;
+        e.offset = offset_;
+        e.message = "injected " +
+                    std::string(std::strerror(plan_.errCode)) +
+                    " at offset " + std::to_string(e.offset);
+        return e;
+    }
+
+    const IoError e = inner_->write(bytes, n);
+    if (e.ok())
+        offset_ += n;
+    return e;
+}
+
+IoError
+FaultyFile::flush()
+{
+    if (plan_.kind == FaultPlan::Kind::Crash)
+        return IoError(); // the lying kernel again
+    return inner_->flush();
+}
+
+IoError
+FaultyFile::sync()
+{
+    if (plan_.kind == FaultPlan::Kind::Crash)
+        return IoError();
+    return inner_->sync();
+}
+
+IoError
+FaultyFile::truncateTo(std::uint64_t size)
+{
+    if (plan_.kind == FaultPlan::Kind::Crash) {
+        // Nothing past the crash mark ever reached the inner file;
+        // cutting the logical position is all there is to do.
+        offset_ = size;
+        if (size < plan_.atByte)
+            return inner_->truncateTo(size);
+        return IoError();
+    }
+    const IoError e = inner_->truncateTo(size);
+    if (e.ok())
+        offset_ = size;
+    return e;
+}
+
+IoError
+FaultyFile::close()
+{
+    return inner_->close();
+}
+
+} // namespace store
+
+} // namespace tdfe

@@ -24,6 +24,19 @@
  * The trailer is fixed-size and at the very end, so a reader finds
  * the footer without scanning; any truncation loses the trailer (or
  * breaks the footer CRC) and is rejected at open.
+ *
+ * Crash consistency: the layout is deliberately recoverable without
+ * its footer. Blocks are self-delimiting (the record count and the
+ * per-column lengths determine the block's extent) and individually
+ * CRC'd, the header alone fixes the schema (column names are
+ * deterministic functions of it), and the writer truncates the file
+ * back to the last sealed block when a write fails — so any crash
+ * or mid-run degrade leaves "header + N intact blocks + possibly a
+ * torn tail", and FeatureStoreReader::salvage / `tdfstool recover`
+ * rebuild the index by scanning forward and CRC-checking each
+ * block. Sealed data is recovered exactly; only the unsealed tail
+ * (at most blockCapacity-1 staged records, plus the in-flight block
+ * under DurabilityPolicy::None) can be lost.
  */
 
 #ifndef TDFE_STORE_FORMAT_HH

@@ -24,6 +24,52 @@ fail(std::string *error, const std::string &message)
 
 } // namespace
 
+bool
+FeatureStoreReader::loadAndCheckHeader(const std::string &path,
+                                       FeatureStoreReader &reader,
+                                       std::uint32_t &n_int,
+                                       std::uint32_t &n_dbl,
+                                       std::string *error)
+{
+    auto reject = [&](const std::string &msg) {
+        return fail(error, path + ": " + msg);
+    };
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return reject("cannot open");
+    const std::streamoff size = in.tellg();
+    if (size < static_cast<std::streamoff>(store::headerBytes))
+        return reject("truncated: shorter than the header");
+    reader.file.resize(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(reader.file.data()), size);
+    if (!in.good())
+        return reject("short read");
+    const std::vector<std::uint8_t> &f = reader.file;
+
+    if (std::memcmp(f.data(), store::headerMagic, 8) != 0)
+        return reject("bad header magic (not a feature store)");
+    store::ByteReader h(f.data() + 8, store::headerBytes - 8);
+    const std::uint32_t version = h.u32();
+    if (version != store::formatVersion)
+        return reject("unsupported format version " +
+                      std::to_string(version));
+    reader.capacity_ = h.u32();
+    n_int = h.u32();
+    n_dbl = h.u32();
+    // File-supplied counts bound every later loop and allocation,
+    // so cap them here: a corrupt header must be rejected, not
+    // obeyed.
+    if (reader.capacity_ == 0 ||
+        reader.capacity_ > store::maxBlockCapacity ||
+        n_int != StoreSchema::numIntColumns ||
+        n_dbl < StoreSchema::numFixedDoubleColumns ||
+        n_dbl > store::maxDoubleColumns)
+        return reject("implausible header column/capacity counts");
+    return true;
+}
+
 std::unique_ptr<FeatureStoreReader>
 FeatureStoreReader::open(const std::string &path, std::string *error)
 {
@@ -33,43 +79,15 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
         return nullptr;
     };
 
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        return reject("cannot open");
-    const std::streamoff size = in.tellg();
-    if (size < static_cast<std::streamoff>(store::headerBytes +
-                                           store::trailerBytes))
-        return reject("truncated: shorter than header + trailer");
-
     auto reader =
         std::unique_ptr<FeatureStoreReader>(new FeatureStoreReader());
-    reader->file.resize(static_cast<std::size_t>(size));
-    in.seekg(0);
-    in.read(reinterpret_cast<char *>(reader->file.data()), size);
-    if (!in.good())
-        return reject("short read");
+    std::uint32_t n_int = 0;
+    std::uint32_t n_dbl = 0;
+    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error))
+        return nullptr;
     const std::vector<std::uint8_t> &f = reader->file;
-
-    // Header.
-    if (std::memcmp(f.data(), store::headerMagic, 8) != 0)
-        return reject("bad header magic (not a feature store)");
-    store::ByteReader h(f.data() + 8, store::headerBytes - 8);
-    const std::uint32_t version = h.u32();
-    if (version != store::formatVersion)
-        return reject("unsupported format version " +
-                      std::to_string(version));
-    reader->capacity_ = h.u32();
-    const std::uint32_t n_int = h.u32();
-    const std::uint32_t n_dbl = h.u32();
-    // File-supplied counts bound every later loop and allocation,
-    // so cap them here: a corrupt header must be rejected, not
-    // obeyed.
-    if (reader->capacity_ == 0 ||
-        reader->capacity_ > store::maxBlockCapacity ||
-        n_int != StoreSchema::numIntColumns ||
-        n_dbl < StoreSchema::numFixedDoubleColumns ||
-        n_dbl > store::maxDoubleColumns)
-        return reject("implausible header column/capacity counts");
+    if (f.size() < store::headerBytes + store::trailerBytes)
+        return reject("truncated: shorter than header + trailer");
 
     // Trailer -> footer window.
     const std::size_t tr = f.size() - store::trailerBytes;
@@ -145,6 +163,104 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
             reader->sorted_ = false;
 
     return reader;
+}
+
+std::unique_ptr<FeatureStoreReader>
+FeatureStoreReader::salvage(const std::string &path,
+                            std::string *error)
+{
+    auto reader =
+        std::unique_ptr<FeatureStoreReader>(new FeatureStoreReader());
+    std::uint32_t n_int = 0;
+    std::uint32_t n_dbl = 0;
+    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error))
+        return nullptr;
+    reader->salvaged_ = true;
+    reader->schema_.coeffCount =
+        n_dbl - StoreSchema::numFixedDoubleColumns;
+    // Column names never make it into a footerless file, but they
+    // are deterministic functions of the schema — rebuild them.
+    for (std::uint32_t i = 0; i < n_int; ++i)
+        reader->names_.push_back(StoreSchema::intColumnName(i));
+    for (std::uint32_t i = 0; i < n_dbl; ++i)
+        reader->names_.push_back(
+            reader->schema_.doubleColumnName(i));
+
+    // Forward scan: keep accepting blocks while the bytes at the
+    // cursor parse, CRC-check, AND fully decode as one. The first
+    // offset that fails any of those is where the damage starts —
+    // a torn block, the beginning of a (possibly corrupt) footer,
+    // or plain garbage; everything before it is trusted exactly as
+    // much as a footer-backed block (same CRC, same decoders).
+    const std::vector<std::uint8_t> &f = reader->file;
+    const std::uint32_t n_cols = n_int + n_dbl;
+    std::vector<std::vector<std::int64_t>> ints;
+    std::vector<std::vector<double>> dbls;
+    std::int64_t last_iter = 0;
+    std::size_t off = store::headerBytes;
+    for (;;) {
+        store::ByteReader r(f.data() + off, f.size() - off);
+        const std::uint32_t count = r.u32();
+        if (!r.ok() || count == 0 || count > reader->capacity_)
+            break;
+        bool shaped = true;
+        for (std::uint32_t c = 0; c < n_cols && shaped; ++c) {
+            const std::uint32_t len = r.u32();
+            if (!r.ok() || len > r.remaining())
+                shaped = false;
+            else
+                r.skip(len);
+        }
+        if (!shaped || r.remaining() < 4)
+            break;
+        const std::size_t size = (r.cursor() - (f.data() + off)) + 4;
+
+        store::BlockInfo info;
+        info.offset = off;
+        info.size = size;
+        info.records = count;
+        reader->index.push_back(info);
+        if (!reader->decodeBlock(reader->index.size() - 1, ints,
+                                 dbls, nullptr)) {
+            reader->index.pop_back();
+            break;
+        }
+        store::BlockInfo &accepted = reader->index.back();
+        accepted.firstIter = ints[0].front();
+        accepted.lastIter = ints[0].back();
+        for (std::size_t i = 0; i < ints[0].size(); ++i) {
+            if (reader->records_ + i > 0 && ints[0][i] < last_iter)
+                reader->sorted_ = false;
+            last_iter = ints[0][i];
+        }
+        reader->records_ += count;
+        off += size;
+    }
+    reader->droppedTail_ = f.size() - off;
+    return reader;
+}
+
+std::unique_ptr<FeatureStoreReader>
+FeatureStoreReader::openOrSalvage(const std::string &path,
+                                  std::string *error,
+                                  bool *was_salvaged)
+{
+    std::string open_error;
+    auto reader = open(path, &open_error);
+    if (reader && reader->verify(&open_error)) {
+        if (was_salvaged)
+            *was_salvaged = false;
+        return reader;
+    }
+    // Footer missing/corrupt, or a footer-indexed block does not
+    // decode: fall back to the prefix scan so whatever does decode
+    // is still usable (and a cursor cannot hit the fatal path).
+    auto recovered = salvage(path, error);
+    if (!recovered && error && !open_error.empty())
+        *error = open_error + "; " + *error;
+    if (recovered && was_salvaged)
+        *was_salvaged = true;
+    return recovered;
 }
 
 bool

@@ -44,6 +44,36 @@ class FeatureStoreReader
     static std::unique_ptr<FeatureStoreReader>
     open(const std::string &path, std::string *error = nullptr);
 
+    /**
+     * Recover what a damaged store still holds. Requires only an
+     * intact header: scans forward from it, structurally walking
+     * and CRC-checking (and fully decoding) one block after
+     * another, and reconstructs the index from the blocks that
+     * survive; the scan stops at the first byte that does not parse
+     * as a valid block — exactly the sealed prefix an interrupted
+     * writer leaves behind. Column names are rebuilt from the
+     * schema (they are deterministic), and the sorted flag is
+     * recomputed from the recovered records, so a salvaged reader
+     * behaves identically to a footer-backed one over the same
+     * blocks. @return nullptr (diagnostic in @p error) only when
+     * not even the header survives.
+     */
+    static std::unique_ptr<FeatureStoreReader>
+    salvage(const std::string &path, std::string *error = nullptr);
+
+    /**
+     * open(), falling back to salvage() when the footer path fails
+     * — and also when the footer is intact but verify() finds a
+     * corrupt block, so the result is always fully decodable (a
+     * cursor over it cannot hit the fatal corruption path). Used by
+     * the skip-policy rank merge. @p was_salvaged reports which
+     * path produced the reader.
+     */
+    static std::unique_ptr<FeatureStoreReader>
+    openOrSalvage(const std::string &path,
+                  std::string *error = nullptr,
+                  bool *was_salvaged = nullptr);
+
     /** @return column layout recorded in the footer. */
     const StoreSchema &schema() const { return schema_; }
 
@@ -80,6 +110,15 @@ class FeatureStoreReader
      * sorted and range queries fall back to a sequential scan.
      */
     bool sortedByIteration() const { return sorted_; }
+
+    /** @return true when this reader was built by salvage() (no
+     *  trusted footer; the index was reconstructed by scanning). */
+    bool salvaged() const { return salvaged_; }
+
+    /** @return file bytes past the last recovered block that the
+     *  salvage scan discarded (0 for a footer-backed open: there
+     *  the footer+trailer account for every byte). */
+    std::size_t droppedTailBytes() const { return droppedTail_; }
 
     /**
      * Walk every block: bounds, CRC, and full column decode.
@@ -157,9 +196,19 @@ class FeatureStoreReader
     StoreSchema schema_;
     std::vector<store::BlockInfo> index;
     std::vector<std::string> names_;
+    /** Load @p path and validate the fixed header into @p reader.
+     *  Shared by open() and salvage(). @return false with a
+     *  diagnostic in @p error on failure. */
+    static bool loadAndCheckHeader(
+        const std::string &path, FeatureStoreReader &reader,
+        std::uint32_t &n_int, std::uint32_t &n_dbl,
+        std::string *error);
+
     std::size_t records_ = 0;
     std::size_t capacity_ = 0;
     bool sorted_ = true;
+    bool salvaged_ = false;
+    std::size_t droppedTail_ = 0;
 };
 
 } // namespace tdfe

@@ -1,5 +1,8 @@
 #include "store/writer.hh"
 
+#include <chrono>
+#include <thread>
+
 #include "base/logging.hh"
 #include "base/portable.hh"
 #include "base/timer.hh"
@@ -11,13 +14,28 @@ namespace tdfe
 FeatureStoreWriter::FeatureStoreWriter(const std::string &path,
                                        StoreSchema schema,
                                        StoreOptions options)
-    : path_(path), schema_(schema), opts_(options),
-      out(path, std::ios::binary | std::ios::trunc)
+    : path_(path), schema_(schema), opts_(options)
 {
-    if (!out)
-        TDFE_FATAL("cannot open feature store for writing: ", path);
+    store::IoError open_error;
+    file_ = store::openOsFile(path, &open_error);
+    init(open_error);
+}
+
+FeatureStoreWriter::FeatureStoreWriter(
+    std::unique_ptr<store::StoreFile> file, StoreSchema schema,
+    StoreOptions options)
+    : path_(file ? file->path() : "<null>"), schema_(schema),
+      opts_(options), file_(std::move(file))
+{
+    init(store::IoError());
+}
+
+void
+FeatureStoreWriter::init(store::IoError open_error)
+{
     // Enforce the same bounds the reader enforces at open, so every
     // file this writer produces is one its own reader accepts.
+    // These are caller bugs, not I/O weather — still fatal.
     if (opts_.blockCapacity == 0 ||
         opts_.blockCapacity > store::maxBlockCapacity)
         TDFE_FATAL("feature store block capacity ",
@@ -28,6 +46,8 @@ FeatureStoreWriter::FeatureStoreWriter(const std::string &path,
                    schema_.doubleColumns(),
                    " double columns, format maximum is ",
                    store::maxDoubleColumns);
+    if (opts_.maxRetries < 0)
+        opts_.maxRetries = 0;
 
     stInt.resize(schema_.intColumns());
     stDbl.resize(schema_.doubleColumns());
@@ -42,6 +62,17 @@ FeatureStoreWriter::FeatureStoreWriter(const std::string &path,
     for (auto &c : pdDbl)
         c.reserve(opts_.blockCapacity);
 
+    if (!file_) {
+        // Cannot even open the file (full scratch, bad directory):
+        // degrade instead of killing the producing simulation.
+        if (open_error.ok()) {
+            open_error.code = EIO;
+            open_error.message = "no file supplied";
+        }
+        fail(open_error, 0);
+        return;
+    }
+
     std::vector<std::uint8_t> h;
     h.reserve(store::headerBytes);
     h.insert(h.end(), store::headerMagic, store::headerMagic + 8);
@@ -50,9 +81,7 @@ FeatureStoreWriter::FeatureStoreWriter(const std::string &path,
     store::putU32(h, static_cast<std::uint32_t>(schema_.intColumns()));
     store::putU32(h,
                   static_cast<std::uint32_t>(schema_.doubleColumns()));
-    out.write(reinterpret_cast<const char *>(h.data()),
-              static_cast<std::streamsize>(h.size()));
-    bytesWritten_ = h.size();
+    writeChecked(h.data(), h.size(), 0);
 }
 
 FeatureStoreWriter::~FeatureStoreWriter()
@@ -61,7 +90,7 @@ FeatureStoreWriter::~FeatureStoreWriter()
         finish();
 }
 
-void
+bool
 FeatureStoreWriter::append(const FeatureRecord &record)
 {
     if (finished_)
@@ -70,6 +99,13 @@ FeatureStoreWriter::append(const FeatureRecord &record)
         TDFE_FATAL("feature record has ", record.coeffs.size(),
                    " coefficients, store schema has ",
                    schema_.coeffCount);
+    }
+    if (!ok()) {
+        // Sticky degraded state: the record is dropped and the
+        // producer keeps running. One load + one add — this is the
+        // whole per-record cost of a dead store.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
     }
 
     if (records_ > 0 && record.iteration < lastIter_)
@@ -90,6 +126,7 @@ FeatureStoreWriter::append(const FeatureRecord &record)
     ++records_;
     if (++staged == opts_.blockCapacity)
         seal();
+    return ok();
 }
 
 void
@@ -102,6 +139,13 @@ FeatureStoreWriter::seal()
     // at a time, sync and async mode write the same bytes in the
     // same order — only *when* the encode runs differs.
     drainFlush();
+    if (!ok()) {
+        // The in-flight flush died: its records are already counted
+        // as lost; the staged ones will never be written either.
+        discardStaging();
+        exposed_ += t.elapsed();
+        return;
+    }
     rotateStaging();
 
     if (opts_.async && ThreadPool::global().threadCount() > 1) {
@@ -149,10 +193,83 @@ FeatureStoreWriter::flushPending()
     info.firstIter = pdInt[0].front();
     info.lastIter = pdInt[0].back();
 
-    out.write(reinterpret_cast<const char *>(encodeBuf.data()),
-              static_cast<std::streamsize>(encodeBuf.size()));
-    bytesWritten_ += encodeBuf.size();
+    if (!writeChecked(encodeBuf.data(), encodeBuf.size(), n))
+        return;
     index.push_back(info);
+}
+
+bool
+FeatureStoreWriter::writeChecked(const std::uint8_t *data,
+                                 std::size_t n,
+                                 std::size_t lost_records)
+{
+    const std::uint64_t start = bytesWritten_;
+    store::IoError err;
+    for (int attempt = 0;; ++attempt) {
+        err = file_->write(data, n);
+        if (err.ok()) {
+            switch (opts_.durability) {
+              case store::DurabilityPolicy::None:
+                break;
+              case store::DurabilityPolicy::FlushPerSeal:
+                err = file_->flush();
+                break;
+              case store::DurabilityPolicy::SyncPerSeal:
+                err = file_->sync();
+                break;
+            }
+        }
+        if (err.ok()) {
+            bytesWritten_ += n;
+            return true;
+        }
+        if (!err.transientHint() || attempt >= opts_.maxRetries)
+            break;
+        // Roll the file back to the start of this write so the
+        // rewrite never leaves a torn prefix in the middle; if even
+        // that fails, the file state is unknowable — give up.
+        const store::IoError cut = file_->truncateTo(start);
+        if (!cut.ok()) {
+            err = cut;
+            break;
+        }
+        if (opts_.retryBackoffUs > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<long>(opts_.retryBackoffUs) << attempt));
+    }
+    // Unrecoverable: best-effort cut back to the sealed prefix so a
+    // salvage scan finds clean blocks right up to the failure.
+    file_->truncateTo(start);
+    fail(err, lost_records);
+    return false;
+}
+
+void
+FeatureStoreWriter::fail(const store::IoError &error,
+                         std::size_t lost_records)
+{
+    dropped_.fetch_add(lost_records, std::memory_order_relaxed);
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!failed_.load(std::memory_order_relaxed)) {
+            error_ = error;
+            first = true;
+        }
+    }
+    failed_.store(true, std::memory_order_release);
+    if (first) {
+        TDFE_WARN("feature store '", path_,
+                  "' degraded, further records will be dropped: ",
+                  error.message);
+    }
+}
+
+store::IoError
+FeatureStoreWriter::status() const
+{
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    return error_;
 }
 
 void
@@ -177,26 +294,53 @@ FeatureStoreWriter::rotateStaging()
     ++sealed_;
 }
 
+void
+FeatureStoreWriter::discardStaging()
+{
+    dropped_.fetch_add(staged, std::memory_order_relaxed);
+    for (auto &c : stInt)
+        c.clear();
+    for (auto &c : stDbl)
+        c.clear();
+    staged = 0;
+}
+
 std::size_t
 FeatureStoreWriter::finish()
 {
     if (finished_)
-        return static_cast<std::size_t>(bytesWritten_);
+        return ok() ? static_cast<std::size_t>(bytesWritten_) : 0;
     Timer t;
     drainFlush();
-    if (staged > 0) {
+    if (ok() && staged > 0) {
         // Seal inline: there is nothing left to overlap with.
         rotateStaging();
         flushPending();
     }
-    writeFooter();
-    out.flush();
-    if (!out.good())
-        TDFE_FATAL("feature store write failed: ", path_);
-    out.close();
+    if (ok()) {
+        writeFooter();
+    } else {
+        discardStaging();
+    }
+    if (ok()) {
+        // The footer is what makes the file complete; make it at
+        // least kernel-visible regardless of policy, durable under
+        // fsync-per-seal.
+        const store::IoError err =
+            opts_.durability == store::DurabilityPolicy::SyncPerSeal
+                ? file_->sync()
+                : file_->flush();
+        if (!err.ok())
+            fail(err, 0);
+    }
+    if (file_) {
+        const store::IoError err = file_->close();
+        if (err.ok() == false && ok())
+            fail(err, 0);
+    }
     finished_ = true;
     exposed_ += t.elapsed();
-    return static_cast<std::size_t>(bytesWritten_);
+    return ok() ? static_cast<std::size_t>(bytesWritten_) : 0;
 }
 
 void
@@ -230,9 +374,7 @@ FeatureStoreWriter::writeFooter()
 
     store::putU64(f, footer_offset);
     f.insert(f.end(), store::trailerMagic, store::trailerMagic + 8);
-    out.write(reinterpret_cast<const char *>(f.data()),
-              static_cast<std::streamsize>(f.size()));
-    bytesWritten_ += f.size();
+    writeChecked(f.data(), f.size(), 0);
 }
 
 } // namespace tdfe

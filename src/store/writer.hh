@@ -11,19 +11,35 @@
  * in flight, charged to exposedSeconds()). Blocks are flushed
  * strictly in seal order, so sync and async mode produce
  * byte-identical files.
+ *
+ * Failure semantics (the store must never take the simulation
+ * down): every sealed block's write is checked immediately, not at
+ * close. Transient failures (EIO/EINTR/EAGAIN) are retried with
+ * bounded backoff — the file is truncated back to the block start
+ * and the block rewritten, so a short write never leaves garbage in
+ * the middle. Unrecoverable failures (ENOSPC, retry budget spent)
+ * latch a sticky error: the writer logs once, truncates the file
+ * back to its last sealed block (best effort, so the sealed prefix
+ * stays salvage-clean), and every later append() returns false and
+ * drops the record. Nothing in this class calls TDFE_FATAL for I/O
+ * — fatals are reserved for caller bugs (schema mismatch, append
+ * after finish).
  */
 
 #ifndef TDFE_STORE_WRITER_HH
 #define TDFE_STORE_WRITER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/thread_pool.hh"
 #include "store/feature_record.hh"
+#include "store/file.hh"
 #include "store/format.hh"
 
 namespace tdfe
@@ -39,6 +55,15 @@ struct StoreOptions
      *  synchronous path on a single-thread pool; files are
      *  byte-identical either way. */
     bool async = false;
+    /** When sealed blocks become durable (see DurabilityPolicy). */
+    store::DurabilityPolicy durability =
+        store::DurabilityPolicy::None;
+    /** Retries per block for transient I/O failures before the
+     *  writer degrades. */
+    int maxRetries = 3;
+    /** Base backoff before retry @c k sleeps `backoff << k`
+     *  microseconds (0 disables sleeping — tests). */
+    int retryBackoffUs = 500;
 };
 
 /**
@@ -55,10 +80,20 @@ class FeatureStoreWriter
   public:
     /**
      * Create/truncate the store at @p path and write the header.
-     * Fatal when the file cannot be opened or the options are
-     * degenerate.
+     * A path that cannot be opened does NOT terminate: the writer
+     * starts in the degraded state (ok() false, appends dropped)
+     * and the producing simulation continues. Fatal only when the
+     * options are degenerate (caller bug).
      */
     FeatureStoreWriter(const std::string &path, StoreSchema schema,
+                       StoreOptions options = StoreOptions());
+
+    /**
+     * As above over a caller-supplied file — the fault-injection
+     * entry point (tests and bench wrap an OsFile in a FaultyFile).
+     */
+    FeatureStoreWriter(std::unique_ptr<store::StoreFile> file,
+                       StoreSchema schema,
                        StoreOptions options = StoreOptions());
 
     /** Finishes the store if finish() was not called explicitly. */
@@ -68,22 +103,53 @@ class FeatureStoreWriter
     FeatureStoreWriter &operator=(const FeatureStoreWriter &) = delete;
 
     /**
-     * Stage one record (coeffs size must match the schema). Cheap:
-     * columnar pushes into reserved buffers; every blockCapacity-th
-     * append seals a block (encode + write, deferred in async mode).
-     * Fatal after finish().
+     * Stage one record (coeffs size must match the schema — fatal
+     * otherwise, as is appending after finish(); both are caller
+     * bugs). Cheap: columnar pushes into reserved buffers; every
+     * blockCapacity-th append seals a block (encode + write,
+     * deferred in async mode).
+     *
+     * @return true when the record was accepted; false when the
+     * writer is degraded by an earlier unrecoverable I/O error —
+     * the record is dropped and counted in droppedRecords(), and
+     * the caller should stop appending (Region detaches its sink).
      */
-    void append(const FeatureRecord &record);
+    bool append(const FeatureRecord &record);
 
     /**
      * Drain any in-flight flush, seal the partial block, write the
      * footer + trailer, and close the file. Idempotent.
-     * @return total file bytes.
+     * @return total file bytes, or 0 when the writer is (or
+     *         becomes) degraded — the file then holds only its
+     *         salvageable sealed prefix, no footer.
      */
     std::size_t finish();
 
-    /** @return records appended so far. */
+    /** @return true while no unrecoverable I/O error is latched. */
+    bool
+    ok() const
+    {
+        return !failed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * @return the first unrecoverable I/O error (sticky; a
+     * default-constructed IoError while ok()). The offset names
+     * where in the file the failure hit.
+     */
+    store::IoError status() const;
+
+    /** @return records appended (accepted for staging) so far. */
     std::size_t recordCount() const { return records_; }
+
+    /** @return records that will never be readable from the file:
+     *  appends rejected after the writer degraded plus staged
+     *  records lost with a failed block. */
+    std::size_t
+    droppedRecords() const
+    {
+        return dropped_.load(std::memory_order_acquire);
+    }
 
     /** @return column layout the store was opened with. */
     const StoreSchema &schema() const { return schema_; }
@@ -98,7 +164,9 @@ class FeatureStoreWriter
      * finish(). Per-record staging pushes are not timed — they are
      * a few nanoseconds and timing them would cost more than they
      * do. This is the store's contribution to the per-step overhead
-     * the paper's tables report.
+     * the paper's tables report. A degraded writer's seal path
+     * collapses to a latch check, so the exposed cost of a dead
+     * store is ~0.
      */
     double exposedSeconds() const { return exposed_; }
 
@@ -106,6 +174,9 @@ class FeatureStoreWriter
     const std::string &path() const { return path_; }
 
   private:
+    /** Shared constructor body (file may be null: degraded open). */
+    void init(store::IoError open_error);
+
     /** Seal the staged block: swap into the pending buffers and
      *  flush (inline, or as a pool job in async mode). */
     void seal();
@@ -114,6 +185,22 @@ class FeatureStoreWriter
      *  strictly serialized by the one-job-in-flight discipline). */
     void flushPending();
 
+    /**
+     * Checked write of @p n bytes with the per-seal durability step
+     * and bounded transient-error retry (truncate back to the start
+     * offset, rewrite, back off). On unrecoverable failure latches
+     * the sticky error, charges @p lost_records to the drop count,
+     * and best-effort truncates the file back to the start offset
+     * so the sealed prefix stays clean. Advances bytesWritten_ on
+     * success. @return success.
+     */
+    bool writeChecked(const std::uint8_t *data, std::size_t n,
+                      std::size_t lost_records);
+
+    /** Latch the sticky error (first one wins) and log once. */
+    void fail(const store::IoError &error,
+              std::size_t lost_records);
+
     /** Wait for the in-flight flush job, if any. */
     void drainFlush();
 
@@ -121,12 +208,15 @@ class FeatureStoreWriter
      *  and reset the staging side for the next block. */
     void rotateStaging();
 
+    /** Drop the staged records (degraded path). */
+    void discardStaging();
+
     void writeFooter();
 
     std::string path_;
     StoreSchema schema_;
     StoreOptions opts_;
-    std::ofstream out;
+    std::unique_ptr<store::StoreFile> file_;
 
     /** Active staging columns (ints, then doubles). @{ */
     std::vector<std::vector<std::int64_t>> stInt;
@@ -139,6 +229,16 @@ class FeatureStoreWriter
     std::vector<std::vector<double>> pdDbl;
     std::vector<std::uint8_t> encodeBuf;
     ThreadPool::JobHandle flushJob;
+    /** @} */
+
+    /** Sticky failure latch. The flag is written by whichever
+     *  thread runs the failing flush (pool worker in async mode)
+     *  and read lock-free on the append fast path; the error detail
+     *  is guarded by errorMutex_. @{ */
+    std::atomic<bool> failed_{false};
+    mutable std::mutex errorMutex_;
+    store::IoError error_;
+    std::atomic<std::size_t> dropped_{0};
     /** @} */
 
     std::vector<store::BlockInfo> index;

@@ -60,9 +60,13 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
 
     std::unique_ptr<FeatureStoreWriter> store;
     if (region && !options.storePath.empty()) {
+        StoreOptions store_options;
+        store_options.async = options.storeAsync;
+        store_options.durability =
+            store::parseDurabilityPolicy(options.storeDurability);
         store = attachRankStore(*region, options.storePath,
                                 options.ar.order + 1,
-                                options.storeAsync, comm);
+                                store_options, comm);
     }
 
     Timer timer;
@@ -116,8 +120,14 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
     }
 
     if (store) {
+        result.storeDegraded =
+            region->featureStoreDegraded() || !store->ok();
+        RankMergeOptions merge;
+        merge.policy = parseMergePolicy(options.storeMergePolicy);
+        merge.keepParts = options.storeKeepParts;
         result.storeBytes = finishRankStore(
-            *region, std::move(store), options.storePath, comm);
+            *region, std::move(store), options.storePath, comm,
+            merge);
     }
     return result;
 }

@@ -60,6 +60,12 @@ struct WdRunOptions
     std::string storePath;
     /** Flush store blocks on the thread pool. */
     bool storeAsync = false;
+    /** Store durability policy: "none", "flush", or "fsync". */
+    std::string storeDurability = "none";
+    /** Rank-merge policy for unreadable parts: "fail" or "skip". */
+    std::string storeMergePolicy = "fail";
+    /** Keep per-rank store parts after the merge. */
+    bool storeKeepParts = false;
 
     WdRunOptions()
     {
@@ -104,6 +110,9 @@ struct WdRunResult
     std::array<std::vector<long>, numDiagVars> fittedIters;
     /** Bytes of this rank's feature store (0: none written). */
     std::size_t storeBytes = 0;
+    /** True when the feature sink degraded mid-run and was
+     *  detached (the physics above are still exact). */
+    bool storeDegraded = false;
 };
 
 /**

@@ -6,8 +6,16 @@
  * truncated-file and corrupted-CRC rejection, block-index range
  * queries against a brute-force scan, and the codec primitives.
  * The async-writer cases double as the TSan battery's store entry.
+ *
+ * Fault battery (label fault_smoke via --gtest_filter=StoreFault.*):
+ * the crash-point sweep writes through a FaultyFile that tears the
+ * file at every interesting byte-offset class and proves salvage
+ * recovers exactly the sealed-block prefix; the retry tests inject
+ * transient EIO (heals, file byte-identical) and persistent ENOSPC
+ * (sticky degrade, no abort, prefix salvageable).
  */
 
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -15,11 +23,13 @@
 #include <fstream>
 #include <gtest/gtest.h>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/thread_pool.hh"
 #include "store/codec.hh"
+#include "store/file.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
 
@@ -386,6 +396,288 @@ TEST(FeatureStore, WriterGuardsMisuse)
         EXPECT_DEATH(w.append(makeRecord(1, 2)), "finished");
     }
     std::remove(path.c_str());
+}
+
+/** Writer over a FaultyFile with the given plan. */
+std::unique_ptr<FeatureStoreWriter>
+faultyWriter(const std::string &path, std::size_t n_coeffs,
+             StoreOptions opts, store::FaultPlan plan)
+{
+    store::IoError err;
+    auto os = store::openOsFile(path, &err);
+    EXPECT_TRUE(os) << err.message;
+    StoreSchema schema;
+    schema.coeffCount = n_coeffs;
+    return std::make_unique<FeatureStoreWriter>(
+        std::make_unique<store::FaultyFile>(std::move(os), plan),
+        schema, opts);
+}
+
+/** Expect the salvage of @p path to hold records 0..n-1 of the
+ *  makeRecord stream, bit for bit. */
+void
+expectSalvagePrefix(const std::string &path, std::size_t n,
+                    std::size_t n_coeffs)
+{
+    std::string error;
+    const auto r = FeatureStoreReader::salvage(path, &error);
+    ASSERT_TRUE(r) << error;
+    EXPECT_TRUE(r->salvaged());
+    EXPECT_EQ(r->recordCount(), n);
+    auto c = r->cursor();
+    FeatureRecord rec;
+    std::size_t i = 0;
+    while (c.next(rec))
+        expectRecordsEqual(rec, makeRecord(i++, n_coeffs));
+    EXPECT_EQ(i, n);
+}
+
+TEST(StoreFault, CrashPointSweepRecoversSealedPrefix)
+{
+    constexpr std::size_t kRecords = 200;
+    constexpr std::size_t kCoeffs = 2;
+    StoreOptions opts;
+    opts.blockCapacity = 16;
+
+    // Honest reference: full bytes plus the block layout that
+    // defines the interesting crash offsets.
+    const std::string ref_path = tempPath("crash_ref.tdfs");
+    writeStore(ref_path, kRecords, kCoeffs, opts);
+    const std::string ref = fileBytes(ref_path);
+    std::vector<store::BlockInfo> blocks;
+    {
+        const auto r = FeatureStoreReader::open(ref_path);
+        ASSERT_TRUE(r);
+        for (std::size_t b = 0; b < r->blockCount(); ++b)
+            blocks.push_back(r->blockInfo(b));
+    }
+    ASSERT_GE(blocks.size(), 3u);
+    const store::BlockInfo &last = blocks.back();
+    const std::size_t footer_off =
+        static_cast<std::size_t>(last.offset + last.size);
+
+    // One representative crash byte per offset class.
+    const std::size_t crash_points[] = {
+        std::size_t{10},                                // mid-header
+        static_cast<std::size_t>(blocks[0].offset) +
+            static_cast<std::size_t>(blocks[0].size) / 2,
+        static_cast<std::size_t>(blocks[1].offset),     // boundary
+        static_cast<std::size_t>(last.offset) +
+            static_cast<std::size_t>(last.size) - 1,    // mid-last
+        footer_off + 5,                                 // mid-footer
+        ref.size() - 8,                                 // mid-trailer
+    };
+
+    for (const std::size_t at : crash_points) {
+        const std::string cut_path = tempPath("crash_cut.tdfs");
+        {
+            store::FaultPlan plan;
+            plan.kind = store::FaultPlan::Kind::Crash;
+            plan.atByte = at;
+            auto w = faultyWriter(cut_path, kCoeffs, opts, plan);
+            for (std::size_t i = 0; i < kRecords; ++i)
+                w->append(makeRecord(i, kCoeffs));
+            // The lying kernel never reports the loss; the writer
+            // believes it finished a complete store.
+            EXPECT_TRUE(w->ok()) << "at=" << at;
+            w->finish();
+        }
+
+        // The torn file is the byte-exact honest prefix.
+        EXPECT_EQ(fileBytes(cut_path), ref.substr(0, at))
+            << "at=" << at;
+
+        // Salvage recovers exactly the blocks sealed wholly below
+        // the crash point, bit for bit.
+        std::size_t sealed = 0;
+        for (const store::BlockInfo &b : blocks)
+            if (b.offset + b.size <= at)
+                sealed += static_cast<std::size_t>(b.records);
+        if (at < store::headerBytes) {
+            std::string error;
+            EXPECT_EQ(FeatureStoreReader::salvage(cut_path, &error),
+                      nullptr);
+            EXPECT_FALSE(error.empty());
+        } else {
+            expectSalvagePrefix(cut_path, sealed, kCoeffs);
+
+            // And a recovered rewrite equals the store an honest
+            // writer produces for the same record prefix.
+            const std::string rec_path =
+                tempPath("crash_rec.tdfs");
+            const auto r = FeatureStoreReader::salvage(cut_path);
+            ASSERT_TRUE(r);
+            StoreOptions rec_opts;
+            rec_opts.blockCapacity = r->blockCapacity();
+            {
+                FeatureStoreWriter w(rec_path, r->schema(),
+                                     rec_opts);
+                FeatureRecord rec;
+                auto c = r->cursor();
+                while (c.next(rec))
+                    w.append(rec);
+                EXPECT_GT(w.finish(), 0u);
+            }
+            const std::string honest_path =
+                tempPath("crash_honest.tdfs");
+            writeStore(honest_path, sealed, kCoeffs, opts);
+            EXPECT_EQ(fileBytes(rec_path), fileBytes(honest_path))
+                << "at=" << at;
+            std::remove(rec_path.c_str());
+            std::remove(honest_path.c_str());
+        }
+        std::remove(cut_path.c_str());
+    }
+    std::remove(ref_path.c_str());
+}
+
+TEST(StoreFault, TransientEioRetriesAndHeals)
+{
+    constexpr std::size_t kRecords = 120;
+    constexpr std::size_t kCoeffs = 3;
+    StoreOptions opts;
+    opts.blockCapacity = 16;
+    opts.retryBackoffUs = 0; // no sleeping in tests
+    const std::string ref_path = tempPath("eio_ref.tdfs");
+    writeStore(ref_path, kRecords, kCoeffs, opts);
+    const std::string ref = fileBytes(ref_path);
+    std::size_t block2_off;
+    {
+        const auto r = FeatureStoreReader::open(ref_path);
+        ASSERT_TRUE(r);
+        ASSERT_GE(r->blockCount(), 3u);
+        block2_off = static_cast<std::size_t>(r->blockInfo(2).offset);
+    }
+
+    // Two EIO failures (with a torn short write landing a prefix)
+    // at block 2, then the file heals: the retry loop truncates
+    // back and rewrites, and the result is byte-identical to the
+    // clean run — in sync mode and with the flush on the pool.
+    for (const bool async : {false, true}) {
+        setGlobalThreadCount(async ? 4 : 1);
+        const std::string path = tempPath("eio.tdfs");
+        store::FaultPlan plan;
+        plan.kind = store::FaultPlan::Kind::ErrorAt;
+        plan.atByte = block2_off + 7;
+        plan.errCode = EIO;
+        plan.failCount = 2;
+        plan.shortWrite = true;
+        StoreOptions wopts = opts;
+        wopts.async = async;
+        {
+            auto w = faultyWriter(path, kCoeffs, wopts, plan);
+            for (std::size_t i = 0; i < kRecords; ++i)
+                EXPECT_TRUE(w->append(makeRecord(i, kCoeffs)));
+            EXPECT_TRUE(w->ok()) << w->status().message;
+            EXPECT_GT(w->finish(), 0u);
+            EXPECT_EQ(w->droppedRecords(), 0u);
+        }
+        EXPECT_EQ(fileBytes(path), ref) << "async=" << async;
+        std::remove(path.c_str());
+    }
+    setGlobalThreadCount(1);
+    std::remove(ref_path.c_str());
+}
+
+TEST(StoreFault, PersistentEnospcDegradesWithoutAborting)
+{
+    constexpr std::size_t kRecords = 100;
+    constexpr std::size_t kCoeffs = 2;
+    StoreOptions opts;
+    opts.blockCapacity = 16;
+    opts.retryBackoffUs = 0;
+    const std::string ref_path = tempPath("enospc_ref.tdfs");
+    writeStore(ref_path, kRecords, kCoeffs, opts);
+    std::size_t block2_off;
+    {
+        const auto r = FeatureStoreReader::open(ref_path);
+        ASSERT_TRUE(r);
+        block2_off = static_cast<std::size_t>(r->blockInfo(2).offset);
+    }
+    std::remove(ref_path.c_str());
+
+    for (const bool async : {false, true}) {
+        setGlobalThreadCount(async ? 4 : 1);
+        const std::string path = tempPath("enospc.tdfs");
+        store::FaultPlan plan;
+        plan.kind = store::FaultPlan::Kind::ErrorAt;
+        plan.atByte = block2_off + 3;
+        plan.errCode = ENOSPC; // non-transient: no retry burn
+        {
+            StoreOptions wopts = opts;
+            wopts.async = async;
+            auto w = faultyWriter(path, kCoeffs, wopts, plan);
+            std::size_t accepted = 0;
+            for (std::size_t i = 0; i < kRecords; ++i)
+                if (w->append(makeRecord(i, kCoeffs)))
+                    ++accepted;
+            // The writer degraded instead of dying; the sticky
+            // status names ENOSPC and the failing offset.
+            EXPECT_FALSE(w->ok());
+            EXPECT_LT(accepted, kRecords);
+            const store::IoError err = w->status();
+            EXPECT_EQ(err.code, ENOSPC);
+            EXPECT_NE(err.message.find("offset"),
+                      std::string::npos)
+                << err.message;
+            EXPECT_EQ(w->finish(), 0u);
+            // Every record is either salvageable or counted lost.
+            EXPECT_EQ(w->droppedRecords() + 2 * 16, kRecords);
+        }
+        // The two sealed blocks below the failure survive exactly.
+        expectSalvagePrefix(path, 2 * 16, kCoeffs);
+        std::remove(path.c_str());
+    }
+    setGlobalThreadCount(1);
+}
+
+TEST(StoreFault, SalvageMatchesFooterReaderOnIntactStore)
+{
+    const std::string path = tempPath("salvage_eq.tdfs");
+    StoreOptions opts;
+    opts.blockCapacity = 8;
+    writeStore(path, 83, 3, opts);
+
+    std::string error;
+    const auto a = FeatureStoreReader::open(path, &error);
+    ASSERT_TRUE(a) << error;
+    const auto b = FeatureStoreReader::salvage(path, &error);
+    ASSERT_TRUE(b) << error;
+    EXPECT_FALSE(a->salvaged());
+    EXPECT_TRUE(b->salvaged());
+    EXPECT_EQ(a->schema(), b->schema());
+    EXPECT_EQ(a->recordCount(), b->recordCount());
+    EXPECT_EQ(a->blockCount(), b->blockCount());
+    EXPECT_EQ(a->columnNames(), b->columnNames());
+    EXPECT_EQ(a->sortedByIteration(), b->sortedByIteration());
+    // The scan stops exactly where the footer starts.
+    EXPECT_EQ(b->droppedTailBytes(),
+              a->fileBytes() -
+                  static_cast<std::size_t>(
+                      a->blockInfo(a->blockCount() - 1).offset +
+                      a->blockInfo(a->blockCount() - 1).size));
+
+    auto ca = a->cursor();
+    auto cb = b->cursor();
+    FeatureRecord ra, rb;
+    while (ca.next(ra)) {
+        ASSERT_TRUE(cb.next(rb));
+        expectRecordsEqual(ra, rb);
+    }
+    EXPECT_FALSE(cb.next(rb));
+    std::remove(path.c_str());
+}
+
+TEST(StoreFault, UnopenablePathDegradesInsteadOfAborting)
+{
+    StoreSchema schema;
+    schema.coeffCount = 1;
+    FeatureStoreWriter w("/nonexistent-dir/sub/x.tdfs", schema);
+    EXPECT_FALSE(w.ok());
+    EXPECT_NE(w.status().code, 0);
+    EXPECT_FALSE(w.append(makeRecord(0, 1)));
+    EXPECT_EQ(w.finish(), 0u);
+    EXPECT_EQ(w.droppedRecords(), 1u);
 }
 
 } // namespace

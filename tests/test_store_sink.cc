@@ -2,14 +2,17 @@
  * @file
  * Feature-store integration tests above the raw format: the Region
  * feature sink (records per iteration/analysis, identical feature
- * payloads across sync/async ingest), rank-order store merging, and
- * the td_store_* C API.
+ * payloads across sync/async ingest), graceful degradation when the
+ * sink's I/O dies mid-run (the simulation must not notice),
+ * rank-order store merging, and the td_store_* C API.
  */
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "core/td_api.h"
 #include "par/store_merge.hh"
 #include "par/thread_comm.hh"
+#include "store/file.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
 
@@ -206,6 +210,121 @@ TEST(StoreSink, DetachDrainsInFlightEpoch)
     ASSERT_TRUE(r);
     EXPECT_EQ(r->recordCount(), 50u);
     std::remove(path.c_str());
+}
+
+TEST(StoreSink, RegionSurvivesStoreDeathMidRun)
+{
+    // Reference: the identical run with no sink attached.
+    WaveDomain ref_domain;
+    Region ref_region("wave-ref", &ref_domain);
+    ref_region.addAnalysis(waveAnalysis());
+    for (ref_domain.iter = 0; ref_domain.iter <= 200;
+         ++ref_domain.iter) {
+        ref_region.begin();
+        ref_region.end();
+    }
+    const CurveFitAnalysis &ra = ref_region.analysis(0);
+
+    // Instrumented run whose store hits persistent ENOSPC a few
+    // sealed blocks in.
+    const std::string path = tempPath("dies_midrun.tdfs");
+    store::IoError open_error;
+    auto os = store::openOsFile(path, &open_error);
+    ASSERT_TRUE(os) << open_error.message;
+    store::FaultPlan plan;
+    plan.kind = store::FaultPlan::Kind::ErrorAt;
+    plan.atByte = 2000;
+    plan.errCode = ENOSPC;
+    auto faulty = std::make_unique<store::FaultyFile>(
+        std::move(os), plan);
+
+    StoreSchema schema;
+    schema.coeffCount = 3;
+    StoreOptions opts;
+    opts.blockCapacity = 32;
+    opts.retryBackoffUs = 0;
+    FeatureStoreWriter store(std::move(faulty), schema, opts);
+
+    WaveDomain domain;
+    Region region("wave", &domain);
+    region.addAnalysis(waveAnalysis());
+    region.setFeatureStore(&store);
+    EXPECT_FALSE(region.featureStoreDegraded());
+    for (domain.iter = 0; domain.iter <= 200; ++domain.iter) {
+        region.begin();
+        region.end();
+    }
+    region.analysis(0); // drains
+
+    // The sink died mid-run and the region detached it...
+    EXPECT_TRUE(region.featureStoreDegraded());
+    EXPECT_FALSE(store.ok());
+    EXPECT_EQ(store.status().code, ENOSPC);
+    EXPECT_GT(store.droppedRecords(), 0u);
+    EXPECT_EQ(store.finish(), 0u);
+
+    // ...while the analysis pipeline above it is bitwise unaffected.
+    const CurveFitAnalysis &a = region.analysis(0);
+    EXPECT_EQ(a.wavefrontLocation(), ra.wavefrontLocation());
+    EXPECT_EQ(a.lastValidationMse(), ra.lastValidationMse());
+    EXPECT_EQ(a.model().rawCoefficients(),
+              ra.model().rawCoefficients());
+
+    // The sealed-block prefix written before the death is still
+    // recoverable, record-exact from iteration 0.
+    std::string error;
+    const auto r = FeatureStoreReader::salvage(path, &error);
+    ASSERT_TRUE(r) << error;
+    EXPECT_GT(r->recordCount(), 0u);
+    EXPECT_EQ(r->recordCount() % opts.blockCapacity, 0u);
+    auto c = r->cursor();
+    FeatureRecord rec;
+    long expect_iter = 0;
+    while (c.next(rec))
+        EXPECT_EQ(rec.iteration, expect_iter++);
+    EXPECT_EQ(static_cast<std::size_t>(expect_iter),
+              r->recordCount());
+    std::remove(path.c_str());
+}
+
+TEST(StoreSink, BlastRunnerReportsDegradedStore)
+{
+    // An unwritable store path must cost the run nothing but the
+    // records: same iterations, same probe trace, same feature —
+    // plus a degraded flag the caller can alert on.
+    using namespace blast;
+    BlastConfig config;
+    config.size = 12;
+    const RunResult ref = runBlast(config, nullptr, RunOptions());
+    ASSERT_GT(ref.iterations, 20);
+
+    RunOptions fe;
+    fe.instrument = true;
+    fe.recordTrace = true;
+    fe.analysis.space = IterParam(1, 8, 1);
+    fe.analysis.time = IterParam(ref.iterations / 20,
+                                 (ref.iterations * 2) / 5, 1);
+    fe.analysis.feature = FeatureKind::BreakpointRadius;
+    fe.analysis.searchEnd = config.size;
+    fe.analysis.minLocation = 1;
+    fe.analysis.ar.axis = LagAxis::Space;
+    fe.analysis.ar.order = 3;
+    fe.analysis.ar.lag = 2;
+    const RunResult good = runBlast(config, nullptr, fe);
+    EXPECT_FALSE(good.storeDegraded);
+
+    RunOptions bad = fe;
+    bad.storePath = "/nonexistent-dir/sub/blast.tdfs";
+    const RunResult degraded = runBlast(config, nullptr, bad);
+    EXPECT_TRUE(degraded.storeDegraded);
+    EXPECT_EQ(degraded.storeBytes, 0u);
+
+    EXPECT_EQ(degraded.iterations, good.iterations);
+    EXPECT_EQ(degraded.featureValue, good.featureValue);
+    EXPECT_EQ(degraded.validationMse, good.validationMse);
+    ASSERT_EQ(degraded.trace.size(), good.trace.size());
+    for (std::size_t i = 0; i < good.trace.size(); ++i)
+        EXPECT_EQ(degraded.trace[i], good.trace[i]) << "iter " << i;
 }
 
 TEST(StoreSink, SchemaTooSmallIsFatal)
