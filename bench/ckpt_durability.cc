@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Checkpoint durability cost (PR 7): what one atomic CRC-framed
+ * checkpoint write (assemble envelope + write tmp + durability +
+ * rename) costs at each DurabilityPolicy level across a sweep of
+ * payload sizes. Checkpoints default to fsync — they are restart
+ * data, not an analysis artifact — so this table is what that
+ * paranoia buys and what dropping to "flush" or "none" saves; the
+ * PERF.md "Checkpoint durability" section quotes it. Gates (exit 1
+ * on failure):
+ *
+ *   - every written envelope reads back valid with the identical
+ *     payload (write-path correctness, all policies and sizes);
+ *   - best-of-reps "none" <= --cost-gate x "flush" at every size
+ *     (the envelope assembly itself must stay cheap; fsync is
+ *     reported only — its cost belongs to the filesystem).
+ *
+ * Writes JSON via bench_to_json (PERF.md schema).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "store/file.hh"
+
+using namespace tdfe;
+using namespace tdfe::bench;
+
+namespace
+{
+
+/** Deterministic pseudo-payload (checkpoint-like entropy). */
+std::string
+synthPayload(std::size_t bytes)
+{
+    std::string p(bytes, '\0');
+    std::uint64_t x = 0x243f6a8885a308d3ull; // pi digits, fixed seed
+    for (std::size_t i = 0; i < bytes; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p[i] = static_cast<char>(x & 0xff);
+    }
+    return p;
+}
+
+/** One timed write at @p policy (also checks the status). */
+double
+writeOnce(const std::string &path, const std::string &payload,
+          store::DurabilityPolicy policy, std::uint64_t iteration,
+          bool *ok)
+{
+    ckpt::WriteOptions opts;
+    opts.durability = policy;
+    Timer t;
+    const ckpt::CkptStatus st =
+        ckpt::writeCheckpointFile(path, payload, iteration, opts);
+    const double s = t.elapsed();
+    if (!st.ok()) {
+        std::fprintf(stderr, "write failed: %s\n",
+                     st.message.c_str());
+        *ok = false;
+    }
+    return s;
+}
+
+/** Read-back gate: the envelope at @p path must hold @p payload. */
+void
+checkReadBack(const std::string &path, const std::string &payload,
+              bool *ok)
+{
+    std::string back, error;
+    std::uint64_t iteration = 0;
+    if (!ckpt::readCheckpointFile(path, &back, &iteration, &error) ||
+        back != payload) {
+        std::fprintf(stderr, "read-back mismatch: %s\n",
+                     error.c_str());
+        *ok = false;
+    }
+}
+
+std::string
+us(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds * 1e6);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("atomic checkpoint write cost per durability");
+    args.addString("sizes", "4096,65536,1048576",
+                   "payload sizes (bytes) to sweep");
+    args.addInt("reps", 5, "repetitions (best-of)");
+    args.addString("dir", ".", "directory for the probe files");
+    args.addDouble("cost-gate", 1.5,
+                   "fail when none > gate * flush at any size");
+    args.addString("json", "", "write results to this JSON file");
+    args.parse(argc, argv);
+
+    const std::vector<std::int64_t> sizes =
+        ArgParser::parseIntList(args.getString("sizes"));
+    const int reps = static_cast<int>(args.getInt("reps"));
+    const double cost_gate = args.getDouble("cost-gate");
+    const std::string probe =
+        args.getString("dir") + "/ckpt_durability_probe.tdck";
+
+    banner("checkpoint durability cost (PR 7)",
+           "one atomic envelope write (tmp + durability + rename), "
+           "best of " + std::to_string(reps) + " reps");
+
+    const store::DurabilityPolicy policies[] = {
+        store::DurabilityPolicy::None,
+        store::DurabilityPolicy::FlushPerSeal,
+        store::DurabilityPolicy::SyncPerSeal,
+    };
+
+    AsciiTable table({"payload B", "none us", "flush us", "fsync us",
+                      "fsync/none"});
+    std::vector<BenchRecord> records;
+    bool ok = true;
+    for (const std::int64_t size : sizes) {
+        const std::string payload =
+            synthPayload(static_cast<std::size_t>(size));
+        // Warm-up round (uncounted: file creation, page-cache
+        // priming), then reps interleaved across policies so
+        // host-load drift hits all three equally; keep best-of.
+        double cost[3] = {1e100, 1e100, 1e100};
+        for (int rep = -1; rep < reps && ok; ++rep) {
+            for (int p = 0; p < 3; ++p) {
+                const double s = writeOnce(
+                    probe, payload, policies[p],
+                    static_cast<std::uint64_t>(rep + 1), &ok);
+                if (rep >= 0 && s < cost[p])
+                    cost[p] = s;
+            }
+        }
+        for (int p = 0; p < 3 && ok; ++p) {
+            ckpt::WriteOptions opts;
+            opts.durability = policies[p];
+            ckpt::writeCheckpointFile(probe, payload, 99, opts);
+            checkReadBack(probe, payload, &ok);
+        }
+        std::remove(probe.c_str());
+        if (!ok)
+            break;
+
+        const double ratio = cost[0] > 0.0 ? cost[2] / cost[0] : 0.0;
+        char rbuf[32];
+        std::snprintf(rbuf, sizeof(rbuf), "%.1f", ratio);
+        table.addRow({std::to_string(size), us(cost[0]),
+                      us(cost[1]), us(cost[2]), rbuf});
+
+        if (cost[0] > cost_gate * cost[1]) {
+            std::fprintf(stderr,
+                         "GATE: none (%.1f us) > %.2f x flush "
+                         "(%.1f us) at %lld B\n",
+                         cost[0] * 1e6, cost_gate, cost[1] * 1e6,
+                         static_cast<long long>(size));
+            ok = false;
+        }
+
+        BenchRecord rec;
+        rec.name = "payload_" + std::to_string(size);
+        rec.metrics["payloadBytes"] = static_cast<double>(size);
+        rec.metrics["noneSeconds"] = cost[0];
+        rec.metrics["flushSeconds"] = cost[1];
+        rec.metrics["fsyncSeconds"] = cost[2];
+        rec.metrics["fsyncOverNone"] = ratio;
+        records.push_back(rec);
+    }
+    table.print();
+
+    const std::string json = args.getString("json");
+    if (!json.empty() &&
+        !bench_to_json(json,
+                       {{"bench", "ckpt_durability"},
+                        {"reps", std::to_string(reps)}},
+                       records)) {
+        std::fprintf(stderr, "failed to write %s\n", json.c_str());
+        ok = false;
+    }
+    std::printf("\n%s\n", ok ? "all gates passed" : "GATES FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,24 +1,39 @@
 /**
  * @file
- * Checkpoint/restart: long-running HPC jobs are routinely killed at
- * queue limits and resumed from application checkpoints. The td
- * region participates: Region::saveCheckpoint() captures the model,
- * optimizer, collected series, pending mini-batch, and early-stop
- * state; an identically-configured region restores it and continues
- * as if never interrupted. This example demonstrates the round trip
- * on the blast experiment and verifies that the resumed run extracts
- * the same feature as an uninterrupted one.
+ * Crash-safe checkpoint/restart: long-running HPC jobs are routinely
+ * killed at queue limits and resumed from application checkpoints.
+ * The resilient harness does the whole loop: periodic CRC-framed
+ * checkpoint generations written atomically (tmp + fsync + rename,
+ * rotated keep-N), an injected mid-run "kill", and an auto-resume
+ * supervisor that restores the newest valid generation and carries
+ * on. The example verifies the paper-facing invariant: the crashed
+ * and resumed run extracts the same feature over the same number of
+ * iterations as an uninterrupted one, and — with --store — the
+ * stitched feature store is record-identical too.
+ *
+ * Flags (beyond the shared --threads/--store family):
+ *   --ckpt <prefix>       checkpoint path prefix
+ *                         (default blast_region, cwd)
+ *   --ckpt-every <n>      iterations between generations (default 5)
+ *   --ckpt-keep <n>       generations kept (default 3)
+ *   --ckpt-durability <p> none | flush | fsync
+ *   --keep-ckpt           leave the generations + manifest on disk
+ *                         (scripts/check_build.sh inspects them with
+ *                         `tdfstool ckpt-info`)
+ *   --tear-newest         tear the final pre-crash generation
+ *                         mid-payload (FaultyFile) so the resume has
+ *                         to fall back to the previous good one
  */
 
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <memory>
 
 #include "base/cli.hh"
-#include "blastapp/domain.hh"
-#include "core/region.hh"
-#include "par/store_merge.hh"
-#include "store/writer.hh"
+#include "blastapp/runner.hh"
+#include "ckpt/checkpoint.hh"
+#include "store/file.hh"
+#include "store/reader.hh"
 
 using namespace tdfe;
 using namespace tdfe::blast;
@@ -26,68 +41,51 @@ using namespace tdfe::blast;
 namespace
 {
 
-AnalysisConfig
-analysisFor(long total_iters)
+/** Consume a boolean flag from argv (true when present). */
+bool
+stripFlag(int &argc, char **argv, const char *name)
 {
-    AnalysisConfig ac;
-    ac.provider = [](void *d, long loc) {
-        return static_cast<Domain *>(d)->xd(loc);
-    };
-    ac.space = IterParam(1, 8, 1);
-    ac.time = IterParam(total_iters / 20, (total_iters * 2) / 5, 1);
-    ac.feature = FeatureKind::BreakpointRadius;
-    ac.searchEnd = 24;
-    ac.minLocation = 1;
-    ac.ar.axis = LagAxis::Space;
-    ac.ar.order = 3;
-    ac.ar.lag = 2;
-    ac.ar.batchSize = 16;
-    return ac;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) != 0)
+            continue;
+        for (int j = i; j + 1 < argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return true;
+    }
+    return false;
 }
 
-/** One blast iteration with the region attached. */
-void
-iterate(Domain &domain, Region &region)
+/** Shared run options for the reference and the resilient run. */
+RunOptions
+instrumentedOptions(long total_iters, const StoreCliOptions &store)
 {
-    region.begin();
-    TimeIncrement(domain);
-    LagrangeLeapFrog(domain);
-    domain.gatherProbes();
-    region.end();
+    RunOptions o;
+    o.instrument = true;
+    o.analysis.space = IterParam(1, 8, 1);
+    o.analysis.time =
+        IterParam(total_iters / 20, (total_iters * 2) / 5, 1);
+    o.analysis.feature = FeatureKind::BreakpointRadius;
+    o.analysis.threshold = 0.05;
+    o.analysis.searchEnd = 12;
+    o.analysis.minLocation = 1;
+    o.analysis.ar.axis = LagAxis::Space;
+    o.analysis.ar.order = 3;
+    o.analysis.ar.lag = 2;
+    o.analysis.ar.batchSize = 16;
+    o.storeAsync = store.async;
+    o.storeDurability = store.durability;
+    o.storeMergePolicy = store.mergePolicy;
+    return o;
 }
 
-/**
- * Attach a feature store to @p region when --store was given
- * (interrupted halves get distinct suffixes, merged at the end).
- * Delegates to the shared rank-store helper with a null comm.
- */
-std::unique_ptr<FeatureStoreWriter>
-attachStore(Region &region, const StoreCliOptions &cli,
-            const std::string &suffix)
+/** Record count of a finished store (0 when unreadable). */
+std::size_t
+recordCount(const std::string &path)
 {
-    if (cli.path.empty())
-        return nullptr;
-    StoreOptions options;
-    options.async = cli.async;
-    options.durability =
-        store::parseDurabilityPolicy(cli.durability);
-    // analysisFor() uses order 3 -> 4 coefficient columns.
-    return attachRankStore(region, cli.path + suffix, 3 + 1,
-                           options, nullptr);
-}
-
-/** Detach and close an attached store (no-op without --store). */
-void
-closeStore(Region &region, std::unique_ptr<FeatureStoreWriter> store)
-{
-    if (!store)
-        return;
-    const std::string path = store->path();
-    const std::size_t records = store->recordCount();
-    const std::size_t bytes =
-        finishRankStore(region, std::move(store), path, nullptr);
-    std::printf("feature store: %s (%zu records, %zu bytes)\n",
-                path.c_str(), records, bytes);
+    std::string error;
+    auto reader = FeatureStoreReader::open(path, &error);
+    return reader ? reader->recordCount() : 0;
 }
 
 } // namespace
@@ -97,102 +95,105 @@ main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
     const StoreCliOptions storeCli = applyStoreFlags(argc, argv);
+    CkptCliOptions ckptCli = applyCkptFlags(argc, argv);
+    const bool keep_ckpt = stripFlag(argc, argv, "--keep-ckpt");
+    const bool tear_newest = stripFlag(argc, argv, "--tear-newest");
+    if (ckptCli.path.empty())
+        ckptCli.path = "blast_region";
+    if (ckptCli.every <= 0)
+        ckptCli.every = 5;
 
     BlastConfig config;
-    config.size = 24;
+    config.size = 12;
 
-    // Dry run to size the windows, as in the other examples.
+    // Dry run to size the analysis windows, as in the other
+    // examples.
     long total = 0;
     {
-        Domain probe(config);
-        while (!probe.finished()) {
-            TimeIncrement(probe);
-            LagrangeLeapFrog(probe);
-            ++total;
-        }
+        const RunResult bare =
+            runBlast(config, nullptr, RunOptions());
+        total = bare.iterations;
     }
 
     // Reference: uninterrupted instrumented run.
-    double ref_threshold = 0.0;
-    long ref_radius = 0;
-    {
-        Domain domain(config);
-        Region region("reference", &domain);
-        region.addAnalysis(analysisFor(total));
-        auto store = attachStore(region, storeCli, "");
-        while (!domain.finished())
-            iterate(domain, region);
-        closeStore(region, std::move(store));
-        ref_threshold = 0.05 * domain.initialVelocity();
-        region.analysis(0).setThreshold(ref_threshold);
-        ref_radius = region.analysis(0).breakPoint().radius;
-        std::printf("uninterrupted: %ld iterations, radius %ld\n",
-                    domain.cycle(), ref_radius);
+    RunOptions ref_opts = instrumentedOptions(total, storeCli);
+    if (!storeCli.path.empty())
+        ref_opts.storePath = storeCli.path + ".reference";
+    const RunResult ref = runBlast(config, nullptr, ref_opts);
+    std::printf("uninterrupted: %ld iterations, radius %.0f\n",
+                ref.iterations, ref.featureValue);
+
+    // Crashed run: the supervisor checkpoints every --ckpt-every
+    // iterations, the test seam kills the attempt halfway (no final
+    // checkpoint, exactly like a SIGKILL), and the retry restores
+    // the newest valid generation. --tear-newest additionally tears
+    // the last pre-crash generation mid-payload, so the restore must
+    // fall back to the previous good one — at the cost of replaying
+    // a few more iterations, never of correctness.
+    RunOptions res_opts = instrumentedOptions(total, storeCli);
+    res_opts.storePath = storeCli.path; // empty: store disabled
+    res_opts.ckptPath = ckptCli.path;
+    res_opts.ckptEvery = ckptCli.every;
+    res_opts.ckptKeep = static_cast<int>(ckptCli.keep);
+    res_opts.ckptDurability = ckptCli.durability;
+    res_opts.resumeAuto = ckptCli.resumeAuto; // forced on by retries
+    res_opts.haltAfterIterations = total / 2;
+    const std::uint64_t torn_gen = static_cast<std::uint64_t>(
+        (total / 2 / ckptCli.every) * ckptCli.every);
+    if (tear_newest) {
+        res_opts.ckptWriteHook = [torn_gen](std::uint64_t iteration,
+                                            ckpt::WriteOptions &w) {
+            if (iteration != torn_gen)
+                return;
+            w.wrapFile = [](std::unique_ptr<store::StoreFile> f) {
+                store::FaultPlan plan;
+                plan.kind = store::FaultPlan::Kind::Crash;
+                plan.atByte = 36 + 40; // mid-payload
+                return std::unique_ptr<store::StoreFile>(
+                    new store::FaultyFile(std::move(f), plan));
+            };
+        };
     }
 
-    // Interrupted run: stop at 50%, checkpoint to disk, "lose" the
-    // process, restore and finish.
-    const char *ckpt_path = "blast_region.ckpt";
-    {
-        Domain domain(config);
-        Region region("before-kill", &domain);
-        region.addAnalysis(analysisFor(total));
-        auto store = attachStore(region, storeCli, ".part1");
-        for (long i = 0; i < total / 2 && !domain.finished(); ++i)
-            iterate(domain, region);
-        closeStore(region, std::move(store));
+    const RunResult res =
+        runBlastResilient(config, nullptr, res_opts);
+    std::printf("crashed at iteration %ld, resumed from %ld "
+                "(%d restart%s, %ld generations written)\n",
+                total / 2, res.resumedFromIteration, res.restarts,
+                res.restarts == 1 ? "" : "s",
+                res.checkpointsWritten);
+    if (tear_newest)
+        std::printf("torn generation %llu skipped: resume fell back "
+                    "to an older valid one\n",
+                    static_cast<unsigned long long>(torn_gen));
+    std::printf("resumed: %ld iterations, radius %.0f\n",
+                res.iterations, res.featureValue);
 
-        std::ofstream out(ckpt_path, std::ios::binary);
-        region.saveCheckpoint(out);
-        std::printf("checkpointed at iteration %ld (%zu bytes)\n",
-                    domain.cycle(),
-                    static_cast<std::size_t>(out.tellp()));
-        // NOTE: the *simulation* would checkpoint its own state
-        // here too; this example re-runs the first half instead,
-        // since the region only needs its own state back.
-    }
-    {
-        Domain domain(config);
-        // Replay the simulation half without the region (stands in
-        // for the solver's own checkpoint restore).
-        for (long i = 0; i < total / 2 && !domain.finished(); ++i) {
-            TimeIncrement(domain);
-            LagrangeLeapFrog(domain);
-            domain.gatherProbes();
-        }
-
-        Region region("after-restart", &domain);
-        region.addAnalysis(analysisFor(total));
-        std::ifstream in(ckpt_path, std::ios::binary);
-        region.loadCheckpoint(in);
-        std::printf("restored at region iteration %ld\n",
-                    region.iteration());
-
-        auto store = attachStore(region, storeCli, ".part2");
-        while (!domain.finished())
-            iterate(domain, region);
-        closeStore(region, std::move(store));
-        region.analysis(0).setThreshold(ref_threshold);
-        const long radius = region.analysis(0).breakPoint().radius;
-        std::printf("resumed: %ld iterations, radius %ld\n",
-                    domain.cycle(), radius);
-        std::printf("feature identical to uninterrupted run: %s\n",
-                    radius == ref_radius ? "yes" : "NO");
-    }
+    bool identical = res.iterations == ref.iterations &&
+                     res.featureValue == ref.featureValue &&
+                     res.validationMse == ref.validationMse;
+    if (tear_newest && res.resumedFromIteration >= 0)
+        identical = identical &&
+                    res.resumedFromIteration <
+                        static_cast<long>(torn_gen);
     if (!storeCli.path.empty()) {
-        // Stitch the interrupted run's halves into one store, the
-        // same rank-order merge the decomposed runners use. The
-        // result covers the same iterations as the uninterrupted
-        // store (inspect both with tdfstool).
-        const std::string merged = storeCli.path + ".resumed";
-        const std::size_t records = mergeRankStores(
-            {storeCli.path + ".part1", storeCli.path + ".part2"},
-            merged);
-        std::printf("merged resumed-run store: %s (%zu records)\n",
-                    merged.c_str(), records);
-        std::remove((storeCli.path + ".part1").c_str());
-        std::remove((storeCli.path + ".part2").c_str());
+        const std::size_t ref_records =
+            recordCount(storeCli.path + ".reference");
+        const std::size_t res_records = recordCount(storeCli.path);
+        std::printf("feature stores: reference %zu records, "
+                    "stitched %zu records\n",
+                    ref_records, res_records);
+        identical = identical && ref_records == res_records &&
+                    ref_records > 0;
     }
-    std::remove(ckpt_path);
-    return 0;
+    std::printf("resumed run identical to uninterrupted run: %s\n",
+                identical ? "yes" : "NO");
+
+    if (!keep_ckpt) {
+        for (const ckpt::Generation &g :
+             ckpt::listGenerations(ckptCli.path))
+            std::remove(g.path.c_str());
+        std::remove((ckptCli.path + ".manifest").c_str());
+    }
+    return identical ? 0 : 1;
 }

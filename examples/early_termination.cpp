@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
     const StoreCliOptions store = applyStoreFlags(argc, argv);
+    const CkptCliOptions ckpt = applyCkptFlags(argc, argv);
 
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
@@ -64,7 +65,23 @@ main(int argc, char **argv)
     stop.storeDurability = store.durability;
     stop.storeMergePolicy = store.mergePolicy;
     stop.storeKeepParts = store.keepParts;
+    // --ckpt <prefix> writes crash-safe checkpoint generations every
+    // --ckpt-every iterations; --resume-auto restores the newest
+    // valid one at startup (kill the run mid-flight and rerun with
+    // the same flags to see it pick up where it left off).
+    stop.ckptPath = ckpt.path;
+    stop.ckptEvery = ckpt.every;
+    stop.ckptKeep = static_cast<int>(ckpt.keep);
+    stop.ckptDurability = ckpt.durability;
+    stop.resumeAuto = ckpt.resumeAuto;
     const RunResult early = runBlast(config, nullptr, stop);
+    if (!ckpt.path.empty()) {
+        std::printf("checkpoints: %ld generations under %s\n",
+                    early.checkpointsWritten, ckpt.path.c_str());
+        if (early.resumed)
+            std::printf("resumed from checkpoint at iteration %ld\n",
+                        early.resumedFromIteration);
+    }
     if (!store.path.empty()) {
         std::printf("feature store: %s (%zu bytes)\n",
                     store.path.c_str(), early.storeBytes);

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
     const StoreCliOptions store = applyStoreFlags(argc, argv);
+    const CkptCliOptions ckpt = applyCkptFlags(argc, argv);
 
     const int resolution = argc > 1 ? std::atoi(argv[1]) : 8;
 
@@ -39,10 +40,28 @@ main(int argc, char **argv)
     options.storeDurability = store.durability;
     options.storeMergePolicy = store.mergePolicy;
     options.storeKeepParts = store.keepParts;
+    // --ckpt <prefix> routes the instrumented run through the
+    // resilient supervisor: crash-safe generations every
+    // --ckpt-every dumps, auto-resume from the newest valid one.
+    options.ckptPath = ckpt.path;
+    options.ckptEvery = ckpt.every;
+    options.ckptKeep = static_cast<int>(ckpt.keep);
+    options.ckptDurability = ckpt.durability;
+    options.resumeAuto = ckpt.resumeAuto;
 
     std::printf("running wdmerger at resolution %d...\n",
                 resolution);
-    const WdRunResult r = runWdMerger(config, nullptr, options);
+    const WdRunResult r =
+        ckpt.path.empty()
+            ? runWdMerger(config, nullptr, options)
+            : runWdMergerResilient(config, nullptr, options);
+    if (!ckpt.path.empty()) {
+        std::printf("checkpoints: %ld generations under %s\n",
+                    r.checkpointsWritten, ckpt.path.c_str());
+        if (r.resumed)
+            std::printf("resumed from checkpoint at dump %ld\n",
+                        r.resumedFromIteration);
+    }
     if (!store.path.empty()) {
         std::printf("feature store: %s (%zu bytes)\n",
                     store.path.c_str(), r.storeBytes);

@@ -7,7 +7,9 @@
 # followed by a feature-store tooling smoke (clover example writes
 # a store, tdfstool verify/export/diff it) and the fault battery
 # (fault_smoke ctest label plus a truncate/recover round trip
-# through tdfstool). A second Release tree then builds
+# through tdfstool and a crash -> auto-resume round trip through
+# the checkpoint example + tdfstool ckpt-info). A second Release
+# tree then builds
 # with TDFE_NATIVE=ON (-march=native -ffast-math) and runs the
 # tier-1 tests only — the vectorized build is not bitwise-comparable
 # to the default one, so the digest-gated benches are skipped there;
@@ -56,6 +58,24 @@ fi
 rm -f check_clover.tdfs check_clover.csv check_torn.tdfs \
     check_recovered.tdfs
 
+# Crash -> auto-resume round trip: the checkpoint example injects a
+# mid-run kill with a torn final generation, the supervisor must
+# fall back to the previous good generation and finish identical to
+# the uninterrupted run (the example exits 1 otherwise). The kept
+# generations must pass `tdfstool ckpt-info`, and a truncated copy
+# must fail it.
+./example_checkpoint_restart --store check_resume.tdfs \
+    --ckpt check_ckpt --tear-newest --keep-ckpt
+newest_ckpt=$(ls check_ckpt.*.tdck | sort | tail -n 1)
+./tdfstool ckpt-info "$newest_ckpt" > /dev/null
+bytes=$(wc -c < "$newest_ckpt")
+head -c $((bytes / 2)) "$newest_ckpt" > check_torn.tdck
+if ./tdfstool ckpt-info check_torn.tdck > /dev/null 2>&1; then
+  echo "!! torn checkpoint unexpectedly verified" && exit 1
+fi
+rm -f check_resume.tdfs check_resume.tdfs.reference \
+    check_ckpt.*.tdck check_ckpt.manifest check_torn.tdck
+
 cd "$root"
 if [[ "${SKIP_NATIVE:-0}" != 1 ]]; then
   cmake -B build-native -S . -DTDFE_NATIVE=ON \
@@ -77,7 +97,8 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
   cmake --build build-tsan -j"$(nproc)" --target \
       test_comm_tsan test_comm_nonblocking_tsan \
       test_async_region_tsan test_relaxed_stop_tsan \
-      test_parallel_for_tsan test_feature_store_tsan
+      test_parallel_for_tsan test_feature_store_tsan \
+      test_ckpt_resilience_tsan test_faulty_comm_tsan
   cd build-tsan
   ctest --output-on-failure -L tsan_smoke
 else

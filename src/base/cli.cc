@@ -251,6 +251,88 @@ applyStoreFlags(int &argc, char **argv)
     return opts;
 }
 
+void
+addCkptOptions(ArgParser &args)
+{
+    args.addString("ckpt", "",
+                   "write crash-safe checkpoints to "
+                   "\"<prefix>.NNNNNN.tdck\" (empty: disabled)");
+    args.addInt("ckpt-every", 0,
+                "iterations between checkpoint generations (0: "
+                "only on SIGINT/SIGTERM)");
+    args.addInt("ckpt-keep", 3,
+                "checkpoint generations kept on disk");
+    args.addString("ckpt-durability", "fsync",
+                   "when a checkpoint generation becomes durable: "
+                   "none, flush, or fsync");
+    args.addFlag("resume-auto",
+                 "restore from the newest valid checkpoint "
+                 "generation before the run");
+}
+
+CkptCliOptions
+ckptOptions(const ArgParser &args)
+{
+    CkptCliOptions opts;
+    opts.path = args.getString("ckpt");
+    opts.every = args.getInt("ckpt-every");
+    opts.keep = args.getInt("ckpt-keep");
+    opts.durability = args.getString("ckpt-durability");
+    opts.resumeAuto = args.getFlag("resume-auto");
+    return opts;
+}
+
+CkptCliOptions
+applyCkptFlags(int &argc, char **argv)
+{
+    CkptCliOptions opts;
+    auto match = [&](int &i, const std::string &arg,
+                     const char *name, std::string &into) {
+        const std::string flag = std::string("--") + name;
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option ", flag, " needs a value");
+            into = argv[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            into = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    };
+    auto to_count = [](const char *name, const std::string &value) {
+        char *end = nullptr;
+        const long long n = std::strtoll(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || n < 0)
+            TDFE_FATAL("invalid --", name, " value '", value, "'");
+        return static_cast<std::int64_t>(n);
+    };
+    int out = 1;
+    std::string every, keep;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--resume-auto") {
+            opts.resumeAuto = true;
+        } else if (match(i, arg, "ckpt-durability",
+                         opts.durability)) {
+            // value captured by match()
+        } else if (match(i, arg, "ckpt-every", every)) {
+            opts.every = to_count("ckpt-every", every);
+        } else if (match(i, arg, "ckpt-keep", keep)) {
+            opts.keep = to_count("ckpt-keep", keep);
+        } else if (match(i, arg, "ckpt", opts.path)) {
+            if (opts.path.empty())
+                TDFE_FATAL("empty --ckpt prefix");
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
 int
 applyThreadsFlag(int &argc, char **argv)
 {

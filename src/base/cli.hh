@@ -154,6 +154,49 @@ StoreCliOptions storeOptions(const ArgParser &args);
  */
 StoreCliOptions applyStoreFlags(int &argc, char **argv);
 
+/**
+ * Crash-safe-checkpoint request parsed from the command line (the
+ * resilient-harness knobs; see src/ckpt and the runners'
+ * RunOptions).
+ */
+struct CkptCliOptions
+{
+    /** Checkpoint path prefix; empty means no checkpointing. */
+    std::string path;
+    /** Iterations between checkpoints (--ckpt-every; 0: only on
+     *  SIGINT/SIGTERM). */
+    std::int64_t every = 0;
+    /** Generations kept on disk (--ckpt-keep). */
+    std::int64_t keep = 3;
+    /** Durability policy name (--ckpt-durability): "none",
+     *  "flush", or "fsync". A string for the same layering reason
+     *  as StoreCliOptions::durability. */
+    std::string durability = "fsync";
+    /** Resume from the newest valid generation (--resume-auto). */
+    bool resumeAuto = false;
+};
+
+/**
+ * Register the standard checkpoint options: `--ckpt <prefix>`
+ * (write crash-safe checkpoints to "<prefix>.NNNNNN.tdck"; empty
+ * default disables), `--ckpt-every <n>` (iterations between
+ * generations; 0 checkpoints only on SIGINT/SIGTERM),
+ * `--ckpt-keep <n>` (generations retained),
+ * `--ckpt-durability none|flush|fsync`, and the `--resume-auto`
+ * flag (restore from the newest valid generation before the run).
+ */
+void addCkptOptions(ArgParser &args);
+
+/** Read the parsed --ckpt* / --resume-auto values. */
+CkptCliOptions ckptOptions(const ArgParser &args);
+
+/**
+ * Raw-argv variant for binaries without an ArgParser: strip the
+ * checkpoint options (see addCkptOptions) from argv, leaving every
+ * other argument for the program's own parsing.
+ */
+CkptCliOptions applyCkptFlags(int &argc, char **argv);
+
 } // namespace tdfe
 
 #endif // TDFE_BASE_CLI_HH

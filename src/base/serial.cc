@@ -2,7 +2,6 @@
 
 #include <cstring>
 
-#include "base/logging.hh"
 // Compile-time guard: every raw little-endian IEEE-754 payload the
 // serial layer writes shares these assumptions with the feature
 // store and the trace dump.
@@ -10,6 +9,17 @@
 
 namespace tdfe
 {
+
+namespace
+{
+
+// A length prefix larger than this cannot come from a checkpoint we
+// wrote (the biggest vector is a design matrix of a few thousand
+// doubles); treat it as corruption instead of attempting a huge
+// allocation off garbage bytes.
+constexpr std::uint64_t maxSaneLength = 1ull << 32;
+
+} // namespace
 
 void
 BinaryWriter::writeU64(std::uint64_t v)
@@ -55,13 +65,32 @@ BinaryWriter::writeTag(const std::string &tag)
 }
 
 void
+BinaryReader::fail(const std::string &message)
+{
+    if (!ok_)
+        return;
+    ok_ = false;
+    error_ = message;
+}
+
+bool
 BinaryReader::readBytes(void *dst, std::size_t n)
 {
+    if (!ok_) {
+        std::memset(dst, 0, n);
+        return false;
+    }
     in.read(static_cast<char *>(dst),
             static_cast<std::streamsize>(n));
-    if (static_cast<std::size_t>(in.gcount()) != n)
-        TDFE_FATAL("checkpoint truncated: wanted ", n, " bytes, got ",
-                   in.gcount());
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got != n) {
+        if (got < n)
+            std::memset(static_cast<char *>(dst) + got, 0, n - got);
+        fail("checkpoint truncated: wanted " + std::to_string(n) +
+             " bytes, got " + std::to_string(got));
+        return false;
+    }
+    return true;
 }
 
 std::uint64_t
@@ -100,6 +129,13 @@ std::vector<double>
 BinaryReader::readVec()
 {
     const std::uint64_t n = readU64();
+    if (!ok_)
+        return {};
+    if (n > maxSaneLength) {
+        fail("checkpoint corrupt: vector length " + std::to_string(n) +
+             " is implausible");
+        return {};
+    }
     std::vector<double> v(n, 0.0);
     if (n > 0)
         readBytes(v.data(), n * sizeof(double));
@@ -110,12 +146,20 @@ void
 BinaryReader::expectTag(const std::string &tag)
 {
     const std::uint64_t n = readU64();
+    if (!ok_)
+        return;
+    if (n > maxSaneLength) {
+        fail("checkpoint corrupt: tag length " + std::to_string(n) +
+             " is implausible (expected section '" + tag + "')");
+        return;
+    }
     std::string got(n, '\0');
     if (n > 0)
         readBytes(got.data(), n);
-    if (got != tag)
-        TDFE_FATAL("checkpoint section mismatch: expected '", tag,
-                   "', found '", got, "'");
+    if (ok_ && got != tag) {
+        fail("checkpoint section mismatch: expected '" + tag +
+             "', found '" + got + "'");
+    }
 }
 
 } // namespace tdfe

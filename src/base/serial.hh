@@ -7,6 +7,18 @@
  * that built the objects the first time), and only *mutable state*
  * travels through the checkpoint, guarded by magic/version tags and
  * shape checks on load.
+ *
+ * Error model: a damaged checkpoint (truncation, tag skew, corrupt
+ * lengths) is an environment fact a resilient harness must survive,
+ * not a library bug — so the reader never fatals on it. The first
+ * mismatch latches a sticky error (ok() turns false, error() says
+ * what and where) and every subsequent read returns zeros without
+ * touching the stream, so a load path can finish cheaply and the
+ * caller (Region::loadCheckpoint, the auto-resume supervisor) can
+ * fall back to an older checkpoint generation. *Shape* disagreements
+ * observed through a healthy reader — a checkpoint for a different
+ * model order or lattice — remain fatal in the component load()
+ * functions: that is caller misconfiguration, not file damage.
  */
 
 #ifndef TDFE_BASE_SERIAL_HH
@@ -40,14 +52,19 @@ class BinaryWriter
     /** Length-prefixed byte tag (magic / section names). */
     void writeTag(const std::string &tag);
 
+    /** @return true while every write has reached the stream (the
+     *  stream's failbit latches like the reader's error). */
+    bool ok() const { return out.good(); }
+
   private:
     std::ostream &out;
 };
 
 /**
- * Sequential binary reader. Every mismatch (bad tag, short read,
- * shape disagreement) raises fatal(): a corrupt checkpoint is a
- * user-environment error, not a library bug.
+ * Sequential binary reader with a sticky error latch: short reads,
+ * tag mismatches, and implausible lengths set ok() false and record
+ * a message instead of fatal()ing; later reads return zeros. Check
+ * ok() after a load to learn whether the values are real.
  */
 class BinaryReader
 {
@@ -55,27 +72,38 @@ class BinaryReader
     /** @param in Source stream (must outlive the reader). */
     explicit BinaryReader(std::istream &in) : in(in) {}
 
-    /** Fixed-width primitives. @{ */
+    /** Fixed-width primitives (0 once the reader has failed). @{ */
     std::uint64_t readU64();
     std::int64_t readI64();
     double readF64();
     bool readBool();
     /** @} */
 
-    /** Length-prefixed double vector. */
+    /** Length-prefixed double vector (empty after a failure). */
     std::vector<double> readVec();
 
     /**
-     * Read a tag and check it against the expectation; fatal() on
-     * mismatch so section skew fails loudly at the boundary where
-     * it happened.
+     * Read a tag and check it against the expectation; a mismatch
+     * latches the error (section skew reported at the boundary
+     * where it happened) and subsequent reads return zeros.
      */
     void expectTag(const std::string &tag);
 
+    /** @return true while no read has failed. */
+    bool ok() const { return ok_; }
+
+    /** @return the first failure's description ("" while ok). */
+    const std::string &error() const { return error_; }
+
+    /** Latch a failure (first one wins; loaders may add context). */
+    void fail(const std::string &message);
+
   private:
-    void readBytes(void *dst, std::size_t n);
+    bool readBytes(void *dst, std::size_t n);
 
     std::istream &in;
+    bool ok_ = true;
+    std::string error_;
 };
 
 } // namespace tdfe

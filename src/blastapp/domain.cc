@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serial.hh"
 #include "par/comm.hh"
 
 namespace tdfe
@@ -112,6 +113,34 @@ LagrangeLeapFrog(Domain &domain)
     TDFE_ASSERT(domain.dt > 0.0,
                 "LagrangeLeapFrog before TimeIncrement");
     domain.solver_.step(domain.dt);
+}
+
+void
+Domain::save(BinaryWriter &w) const
+{
+    w.writeTag("blastdom");
+    w.writeF64(dt);
+    w.writeVec(probeLine);
+    w.writeF64(vInit);
+    solver_.save(w);
+}
+
+void
+Domain::load(BinaryReader &r)
+{
+    r.expectTag("blastdom");
+    const double ckpt_dt = r.readF64();
+    std::vector<double> probes = r.readVec();
+    if (!r.ok())
+        return;
+    if (probes.size() != probeLine.size()) {
+        TDFE_FATAL("blast checkpoint probe line has ", probes.size(),
+                   " locations, domain has ", probeLine.size());
+    }
+    dt = ckpt_dt;
+    probeLine = std::move(probes);
+    vInit = r.readF64();
+    solver_.load(r);
 }
 
 } // namespace blast

@@ -33,6 +33,8 @@
 namespace tdfe
 {
 
+class BinaryReader;
+class BinaryWriter;
 class Communicator;
 
 namespace blast
@@ -120,6 +122,14 @@ class Domain
 
     /** @return the communicator (may be nullptr). */
     Communicator *comm() const { return comm_; }
+
+    /**
+     * Checkpoint the domain's mutable state (dt, probe line,
+     * initial-velocity peak, solver state). Reconstruct with the
+     * same config/comm first; load() resumes bitwise-exactly. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
 
     /** Friends implementing the LULESH-shaped driver API. @{ */
     friend void TimeIncrement(Domain &domain);

@@ -9,10 +9,13 @@
 #ifndef TDFE_BLASTAPP_RUNNER_HH
 #define TDFE_BLASTAPP_RUNNER_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "blastapp/domain.hh"
+#include "ckpt/checkpoint.hh"
 #include "core/analysis.hh"
 #include "core/threshold.hh"
 
@@ -70,6 +73,40 @@ struct RunOptions
     std::string storeMergePolicy = "fail";
     /** Keep per-rank store parts after the merge. */
     bool storeKeepParts = false;
+
+    /** Crash-safe checkpointing + auto-resume (the resilient
+     *  harness; see src/ckpt). @{ */
+    /** Checkpoint path prefix (empty: checkpointing disabled).
+     *  Generations land at "<prefix>.NNNNNN.tdck"; under a
+     *  multi-rank comm each rank uses "<prefix>.rk<rank>". */
+    std::string ckptPath;
+    /** Iterations between checkpoints (0: only on interrupt). */
+    long ckptEvery = 0;
+    /** Generations kept; >= 2 so a torn newest generation still
+     *  has a previous-good fallback. */
+    int ckptKeep = 3;
+    /** Checkpoint durability: "none", "flush", or "fsync". The
+     *  default is the paranoid one — checkpoints are restart data,
+     *  not an analysis artifact. */
+    std::string ckptDurability = "fsync";
+    /** Restore from the newest valid checkpoint before the loop
+     *  (no-op when none exists). */
+    bool resumeAuto = false;
+    /** Restart attempts runBlastResilient may consume after an
+     *  injected crash before giving up. */
+    int maxRestarts = 8;
+    /** Comm watchdog deadline for the region's stop protocol
+     *  (seconds; 0 disables). See Region::setCommDeadline. */
+    double commDeadlineSeconds = 0.0;
+    /** Test seam: crash the attempt (leave the loop without a
+     *  final checkpoint, as a kill would) after this many loop
+     *  iterations of this attempt (0: disabled). */
+    long haltAfterIterations = 0;
+    /** Test seam: per-generation fault injection on checkpoint
+     *  writes (see CheckpointSet::setWriteHook). */
+    std::function<void(std::uint64_t, ckpt::WriteOptions &)>
+        ckptWriteHook;
+    /** @} */
 };
 
 /** Everything measured during one run. */
@@ -100,6 +137,34 @@ struct RunResult
     /** True when the feature sink degraded mid-run and was
      *  detached (the physics above are still exact). */
     bool storeDegraded = false;
+
+    /** Resilience bookkeeping (see RunOptions' ckpt knobs). @{ */
+    /** True when a SIGINT/SIGTERM stopped the loop (after an
+     *  orderly final checkpoint + store seal). */
+    bool interrupted = false;
+    /** True when the test seam crashed this attempt (no final
+     *  checkpoint — simulating a kill). */
+    bool halted = false;
+    /** True when this run restored state from a checkpoint. */
+    bool resumed = false;
+    /** Iteration the restored checkpoint was taken at (-1: none). */
+    long resumedFromIteration = -1;
+    /** Checkpoint generations written during the run. */
+    long checkpointsWritten = 0;
+    /** True when a checkpoint write failed (sticky; the run
+     *  continued — checkpoint I/O never fatals). */
+    bool ckptDegraded = false;
+    /** First checkpoint failure's message. */
+    std::string ckptError;
+    /** True when the comm watchdog fired: a stop-protocol
+     *  collective missed its deadline and the region fell back to
+     *  its last published decision (results unchanged — analyses
+     *  are replicated). */
+    bool commDegraded = false;
+    /** Restart attempts runBlastResilient consumed (0: the first
+     *  attempt completed). */
+    int restarts = 0;
+    /** @} */
 };
 
 /**
@@ -112,6 +177,22 @@ struct RunResult
  */
 RunResult runBlast(const BlastConfig &config, Communicator *comm,
                    const RunOptions &options);
+
+/**
+ * Auto-resume supervisor around runBlast: run attempts until one
+ * completes, restoring each retry from the newest valid checkpoint
+ * (requires options.ckptPath). An injected crash (haltAfterIterations)
+ * consumes a restart; a real SIGINT/SIGTERM ends the supervision with
+ * result.interrupted set. When a feature store is configured, each
+ * attempt writes its own "<store>.seg<k>" segment and the segments
+ * are stitched — dropping the post-checkpoint overlap re-recorded by
+ * the resumed attempt — into options.storePath at the end, so the
+ * final store is record-identical to an uninterrupted run
+ * (single-rank only; the crash-sweep test relies on this).
+ */
+RunResult runBlastResilient(const BlastConfig &config,
+                            Communicator *comm,
+                            const RunOptions &options);
 
 } // namespace blast
 

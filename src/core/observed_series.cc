@@ -128,6 +128,8 @@ ObservedSeries::load(BinaryReader &r)
     const long ls = static_cast<long>(r.readI64());
     const std::uint64_t nl = r.readU64();
     const long ib = static_cast<long>(r.readI64());
+    if (!r.ok())
+        return; // damaged stream: values are zeros, caller checks ok()
     if (lb != locBegin_ || ls != locStep_ || nl != nLocs ||
         ib != iterBegin_) {
         TDFE_FATAL("observed-series checkpoint lattice mismatch "
@@ -135,6 +137,11 @@ ObservedSeries::load(BinaryReader &r)
     }
     rows = static_cast<std::size_t>(r.readU64());
     data = r.readVec();
+    if (!r.ok()) {
+        rows = 0;
+        data.clear();
+        return;
+    }
     if (data.size() != rows * nLocs)
         TDFE_FATAL("observed-series checkpoint shape mismatch");
 }

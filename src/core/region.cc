@@ -156,7 +156,7 @@ Region::finishIteration(long it)
         broadcastBuf[0] = lead.currentPrediction();
         broadcastBuf[1] = static_cast<double>(wavefrontRank_);
         broadcastBuf[2] = want_stop ? 1.0 : 0.0;
-        if (comm) {
+        if (comm && !commDegraded_) {
             if (blockingSync_) {
                 comm->bcast(broadcastBuf, 3, 0);
                 wavefrontRank_ =
@@ -169,7 +169,8 @@ Region::finishIteration(long it)
     }
 
     bool stop_now = want_stop;
-    if (comm && (it % syncInterval) == syncInterval - 1) {
+    if (comm && !commDegraded_ &&
+        (it % syncInterval) == syncInterval - 1) {
         // Keep all ranks agreed on the stop decision. Analyses are
         // replicated, so this is belt-and-braces, but it is the MPI
         // traffic whose cost the paper's overhead tables include.
@@ -268,10 +269,18 @@ Region::completeSync(bool block)
 {
     if (!syncPending)
         return;
-    if (block)
-        syncReq.wait();
-    else if (!syncReq.test())
+    if (block) {
+        if (commDeadline_ > 0.0) {
+            if (!syncReq.waitFor(commDeadline_)) {
+                degradeComm();
+                return;
+            }
+        } else {
+            syncReq.wait();
+        }
+    } else if (!syncReq.test()) {
         return;
+    }
     syncReq.reset();
     syncPending = false;
     // Attribute a remote-triggered stop to the iteration the
@@ -285,13 +294,44 @@ Region::completeBcast(bool block)
 {
     if (!bcastPending)
         return;
-    if (block)
-        bcastReq.wait();
-    else if (!bcastReq.test())
+    if (block) {
+        if (commDeadline_ > 0.0) {
+            if (!bcastReq.waitFor(commDeadline_)) {
+                degradeComm();
+                return;
+            }
+        } else {
+            bcastReq.wait();
+        }
+    } else if (!bcastReq.test()) {
         return;
+    }
     bcastReq.reset();
     bcastPending = false;
     wavefrontRank_ = static_cast<int>(broadcastBuf[1]);
+}
+
+void
+Region::degradeComm()
+{
+    if (commDegraded_)
+        return;
+    commDegraded_ = true;
+    TDFE_WARN("region '", name, "': stop-protocol collective did not "
+              "complete within ", commDeadline_, "s (silent rank?); "
+              "adopting the last published stop decision and "
+              "disabling further stop collectives");
+    // Dropping the requests is safe by the CommRequest contract:
+    // results only ever land from our own test()/wait() calls, and
+    // our post-time contributions still complete the collectives
+    // for any rank that is alive.
+    syncReq.reset();
+    syncPending = false;
+    bcastReq.reset();
+    bcastPending = false;
+    // Broadcast values fall back to this rank's local computation
+    // (already staged in broadcastBuf) — the analyses are
+    // replicated, so these match what the collective would publish.
 }
 
 void
@@ -435,7 +475,7 @@ Region::setBlockingSync(bool blocking)
 }
 
 
-void
+bool
 Region::saveCheckpoint(std::ostream &out) const
 {
     // Settle everything in flight: the epoch drain runs the
@@ -461,9 +501,18 @@ Region::saveCheckpoint(std::ostream &out) const
     w.writeF64(stepTime);
     for (const auto &a : analyses)
         a->save(w);
+    out.flush();
+    if (!w.ok()) {
+        self->ckptError_ =
+            "checkpoint write failed (stream error on '" + name +
+            "')";
+        return false;
+    }
+    self->ckptError_.clear();
+    return true;
 }
 
-void
+bool
 Region::loadCheckpoint(std::istream &in)
 {
     drainQuery();
@@ -475,13 +524,20 @@ Region::loadCheckpoint(std::istream &in)
     BinaryReader r(in);
     r.expectTag("TDFECKPT");
     const std::uint64_t version = r.readU64();
-    if (version != 2)
-        TDFE_FATAL("unsupported checkpoint version ", version);
+    if (r.ok() && version != 2) {
+        r.fail("unsupported checkpoint version " +
+               std::to_string(version));
+    }
     const std::uint64_t count = r.readU64();
-    if (count != analyses.size()) {
-        TDFE_FATAL("checkpoint has ", count, " analyses, region has ",
-                   analyses.size(),
-                   " (reconstruct the region identically first)");
+    if (r.ok() && count != analyses.size()) {
+        r.fail("checkpoint has " + std::to_string(count) +
+               " analyses, region has " +
+               std::to_string(analyses.size()) +
+               " (reconstruct the region identically first)");
+    }
+    if (!r.ok()) {
+        ckptError_ = r.error();
+        return false;
     }
     iter = static_cast<long>(r.readI64());
     stopFlag = r.readBool();
@@ -494,6 +550,12 @@ Region::loadCheckpoint(std::istream &in)
     stepTime = r.readF64();
     for (auto &a : analyses)
         a->load(r);
+    if (!r.ok()) {
+        ckptError_ = r.error();
+        return false;
+    }
+    ckptError_.clear();
+    return true;
 }
 
 } // namespace tdfe

@@ -234,10 +234,38 @@ class Region
      * Restore by constructing an identically-configured Region
      * (same analyses in the same order) and calling
      * loadCheckpoint(); the checkpoint carries only mutable state.
+     *
+     * Neither direction fatals on I/O or file damage: both return
+     * false with the reason in checkpointError() (a failed load
+     * leaves the region's mutable state unspecified — reconstruct
+     * it or fall back to another checkpoint; the resilient harness
+     * builds a fresh region per restart attempt anyway). A *shape*
+     * mismatch through a healthy stream — a checkpoint for a
+     * differently-configured analysis — still fatals in the
+     * analysis loaders: that is caller misconfiguration, not file
+     * damage.
      * @{ */
-    void saveCheckpoint(std::ostream &out) const;
-    void loadCheckpoint(std::istream &in);
+    bool saveCheckpoint(std::ostream &out) const;
+    bool loadCheckpoint(std::istream &in);
     /** @} */
+
+    /** Reason of the last failed save/loadCheckpoint ("" if none). */
+    const std::string &checkpointError() const { return ckptError_; }
+
+    /**
+     * Arm the comm watchdog: a posted stop-protocol collective that
+     * a blocking harvest cannot complete within @p seconds marks the
+     * comm degraded — the region adopts its last published stop
+     * decision, drops the posted requests, and stops posting
+     * further collectives instead of hanging on a silent rank.
+     * Analyses are replicated across ranks, so local decisions
+     * match the collective ones and results stay identical.
+     * 0 disables (default): harvests wait indefinitely.
+     */
+    void setCommDeadline(double seconds) { commDeadline_ = seconds; }
+
+    /** @return true once the watchdog has fired (sticky). */
+    bool commDegraded() const { return commDegraded_; }
 
   private:
     /** Stop protocol + broadcast for completed iteration @p it. */
@@ -258,6 +286,10 @@ class Region
     /** Harvest the posted convergence broadcast (wave-front rank and
      *  broadcast values land on completion). */
     void completeBcast(bool block);
+
+    /** Watchdog fired: keep the last published decision, drop the
+     *  posted requests, never post again (sticky). */
+    void degradeComm();
 
     /** Query-path harvests: like the above with block = true, but
      *  any actual stall is charged to the exposed overhead (a
@@ -324,6 +356,14 @@ class Region
     FeatureRecord storeRec;
     bool storeDegraded_ = false;
     /** @} */
+
+    /** Comm watchdog state (see setCommDeadline). @{ */
+    double commDeadline_ = 0.0;
+    bool commDegraded_ = false;
+    /** @} */
+
+    /** Reason of the last failed checkpoint save/load. */
+    std::string ckptError_;
 
     Timer blockTimer;
     /** Wall clock since construction (store wall-time column). */

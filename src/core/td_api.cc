@@ -3,9 +3,11 @@
 #include <cerrno>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "base/logging.hh"
+#include "ckpt/checkpoint.hh"
 #include "core/iter_param.hh"
 #include "core/region.hh"
 #include "store/reader.hh"
@@ -20,6 +22,9 @@ struct td_region
     }
 
     tdfe::Region region;
+    /** Last checkpoint/restore outcome (td_ckpt_status/_error). */
+    int ckptStatus = 0;
+    std::string ckptErrorMsg;
 };
 
 /** C-side window handle. */
@@ -406,22 +411,74 @@ int
 td_region_checkpoint(const td_region_t *region, const char *path)
 {
     TDFE_ASSERT(region && path, "null region or path");
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
+    // The handle's status fields are bookkeeping, not region state.
+    td_region_t *self = const_cast<td_region_t *>(region);
+
+    std::ostringstream os(std::ios::binary);
+    if (!region->region.saveCheckpoint(os)) {
+        self->ckptStatus = -1;
+        self->ckptErrorMsg = region->region.checkpointError();
         return -1;
-    region->region.saveCheckpoint(out);
-    return out.good() ? 0 : -1;
+    }
+    const tdfe::ckpt::CkptStatus st = tdfe::ckpt::writeCheckpointFile(
+        path, os.str(),
+        static_cast<std::uint64_t>(region->region.iteration()));
+    self->ckptStatus = st.code;
+    self->ckptErrorMsg = st.message;
+    return st.ok() ? 0 : -1;
 }
 
 int
 td_region_restore(td_region_t *region, const char *path)
 {
     TDFE_ASSERT(region && path, "null region or path");
+    std::string payload, error;
+    std::uint64_t iteration = 0;
+    if (tdfe::ckpt::readCheckpointFile(path, &payload, &iteration,
+                                       &error)) {
+        std::istringstream is(payload, std::ios::binary);
+        if (!region->region.loadCheckpoint(is)) {
+            region->ckptStatus = -1;
+            region->ckptErrorMsg = region->region.checkpointError();
+            return -1;
+        }
+        region->ckptStatus = 0;
+        region->ckptErrorMsg.clear();
+        return 0;
+    }
+
+    // Not a CRC-framed envelope: fall back to the legacy raw-stream
+    // format older checkpoints were written in.
     std::ifstream in(path, std::ios::binary);
-    if (!in)
+    if (!in) {
+        region->ckptStatus = -1;
+        region->ckptErrorMsg = error;
         return -1;
-    region->region.loadCheckpoint(in);
+    }
+    if (!region->region.loadCheckpoint(in)) {
+        region->ckptStatus = -1;
+        region->ckptErrorMsg = region->region.checkpointError();
+        return -1;
+    }
+    region->ckptStatus = 0;
+    region->ckptErrorMsg.clear();
     return 0;
+}
+
+int
+td_ckpt_status(const td_region_t *region)
+{
+    if (!region)
+        return -1;
+    return region->ckptStatus;
+}
+
+const char *
+td_ckpt_error(const td_region_t *region)
+{
+    if (!region)
+        return "null region handle";
+    return region->ckptErrorMsg.c_str();
 }
 
 } // extern "C"

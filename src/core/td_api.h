@@ -340,24 +340,63 @@ int td_region_wavefront_rank(const td_region_t *region);
 double td_region_overhead_seconds(const td_region_t *region);
 
 /**
- * Write the region's mutable state (models, collected data,
- * optimizer and early-stop state) to @p path. Restore by building
- * an identically-configured region and calling td_region_restore.
+ * @name Checkpoint failure semantics
  *
- * @return 0 on success, -1 when the file cannot be written.
+ * Checkpoint I/O never terminates the process. td_region_checkpoint
+ * writes a CRC-framed envelope atomically (temp file, fsync,
+ * rename), so a crash mid-write leaves either the previous file or
+ * no file — never a torn one; td_region_restore verifies the CRCs
+ * before any state is touched, and damage (truncation, bit rot,
+ * wrong magic) is reported through the return value and
+ * td_ckpt_status / td_ckpt_error rather than a fatal diagnostic.
+ * The one remaining fatal case is caller misconfiguration: restoring
+ * a checkpoint whose CRCs verify into a region built with different
+ * analyses or model orders dies with a diagnostic, because that is
+ * a program bug, not data damage.
+ * @{
+ */
+
+/**
+ * Write the region's mutable state (models, collected data,
+ * optimizer and early-stop state) to @p path as an atomic,
+ * CRC-framed checkpoint. Restore by building an
+ * identically-configured region and calling td_region_restore.
+ *
+ * @return 0 on success, -1 on any I/O or serialization failure
+ * (never fatal; details via td_ckpt_status / td_ckpt_error).
  */
 int td_region_checkpoint(const td_region_t *region,
                          const char *path);
 
 /**
  * Restore state written by td_region_checkpoint into an
- * identically-configured region.
+ * identically-configured region. Envelope CRCs are verified first;
+ * files written by older library versions (raw stream, no envelope)
+ * are still accepted.
  *
- * @return 0 on success, -1 when the file cannot be read. Shape
- * mismatches (different analyses or model orders) terminate with a
- * fatal diagnostic.
+ * @return 0 on success, -1 when the file cannot be read or is
+ * damaged (the region's state is unspecified after a failed restore
+ * — rebuild the region before retrying). Shape mismatches against a
+ * CRC-clean checkpoint (different analyses or model orders)
+ * terminate with a fatal diagnostic.
  */
 int td_region_restore(td_region_t *region, const char *path);
+
+/**
+ * @return outcome of the last td_region_checkpoint /
+ *         td_region_restore on this handle: 0 success, nonzero
+ *         failure (-1 for a NULL handle).
+ */
+int td_ckpt_status(const td_region_t *region);
+
+/**
+ * @return human-readable detail of the last checkpoint/restore
+ *         failure ("" after success). Owned by the handle; valid
+ *         until the next checkpoint call or destroy.
+ */
+const char *td_ckpt_error(const td_region_t *region);
+
+/** @} */
 
 #ifdef __cplusplus
 } // extern "C"

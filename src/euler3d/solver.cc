@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serial.hh"
 #include "base/thread_pool.hh"
 #include "hydro/flux.hh"
 #include "par/comm.hh"
@@ -434,6 +435,44 @@ EulerSolver3D::totalEnergy() const
         }
     }
     return acc;
+}
+
+void
+EulerSolver3D::save(BinaryWriter &w) const
+{
+    w.writeTag("euler3d");
+    w.writeVec(rho);
+    w.writeVec(mx);
+    w.writeVec(my);
+    w.writeVec(mz);
+    w.writeVec(en);
+    w.writeF64(t);
+    w.writeI64(cycleCount);
+    // lastDt feeds the dtGrowth limiter: without it the first
+    // resumed step could grow dt differently than the uninterrupted
+    // run and break bitwise identity.
+    w.writeF64(lastDt);
+}
+
+void
+EulerSolver3D::load(BinaryReader &r)
+{
+    r.expectTag("euler3d");
+    std::vector<double> *const fields[] = {&rho, &mx, &my, &mz, &en};
+    for (std::vector<double> *field : fields) {
+        std::vector<double> v = r.readVec();
+        if (!r.ok())
+            return;
+        if (v.size() != field->size()) {
+            TDFE_FATAL("euler3d checkpoint field has ", v.size(),
+                       " cells, solver has ", field->size(),
+                       " (different grid or decomposition?)");
+        }
+        *field = std::move(v);
+    }
+    t = r.readF64();
+    cycleCount = static_cast<long>(r.readI64());
+    lastDt = r.readF64();
 }
 
 } // namespace tdfe

@@ -23,6 +23,8 @@
 namespace tdfe
 {
 
+class BinaryReader;
+class BinaryWriter;
 class Communicator;
 
 /** Configuration of a blast-capable Euler run. */
@@ -111,6 +113,18 @@ class EulerSolver3D
 
     /** @return the EOS in use. */
     const IdealGasEos &eos() const { return eos_; }
+
+    /**
+     * Checkpoint the mutable hydro state: conserved fields (with
+     * ghosts), time, cycle count, and the dt-growth limiter's last
+     * dt. Configuration and decomposition are not saved —
+     * reconstruct with the same config/comm, then load(); primitive
+     * scratch is recomputed on the next step. A field-size mismatch
+     * through a healthy reader (different grid) is fatal; stream
+     * damage latches on the reader instead. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
 
   private:
     std::size_t id(int i, int j, int k) const;

@@ -60,6 +60,22 @@ class CommOp
 
     /** Block until the collective completes (results landed). */
     virtual void wait() = 0;
+
+    /**
+     * Block up to @p seconds for completion. @return true once the
+     * collective has completed (results landed), false on timeout —
+     * the operation is then still outstanding and the caller owns
+     * the degrade decision (typically: adopt the last known value
+     * and drop the request). The default suits backends whose ops
+     * cannot stall (they complete inline): it just waits.
+     */
+    virtual bool
+    waitFor(double seconds)
+    {
+        (void)seconds;
+        wait();
+        return true;
+    }
 };
 
 /**
@@ -97,6 +113,18 @@ class CommRequest
     {
         if (op)
             op->wait();
+    }
+
+    /**
+     * Block up to @p seconds; @return true once complete (null
+     * request: true immediately). On false the request is still
+     * attached — the comm-watchdog caller decides whether to keep
+     * polling or degrade and reset().
+     */
+    bool
+    waitFor(double seconds)
+    {
+        return !op || op->waitFor(seconds);
     }
 
     /** Detach from the operation (outstanding ops complete anyway). */

@@ -1,0 +1,133 @@
+#include "par/faulty_comm.hh"
+
+#include <memory>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace
+{
+
+/**
+ * The swallowed post of a silenced rank: never completes. wait()
+ * fatals instead of hanging — a deliberate tripwire: any code path
+ * that can face a silent peer must go through the watchdog
+ * (waitFor) and own a degrade decision, never an unbounded wait.
+ */
+class SilentOp : public CommOp
+{
+  public:
+    bool test() override { return false; }
+
+    void
+    wait() override
+    {
+        TDFE_FATAL("wait() on a silenced rank's collective would "
+                   "hang forever; use waitFor() and degrade");
+    }
+
+    bool
+    waitFor(double seconds) override
+    {
+        (void)seconds;
+        return false;
+    }
+};
+
+/**
+ * Slow-but-alive: holds the completion back for a fixed number of
+ * polls. Only test() is throttled — a real timed wait outlasts a
+ * bounded delay, so waitFor()/wait() see the true completion; this
+ * is what lets the watchdog distinguish slow from dead.
+ */
+class DelayedOp : public CommOp
+{
+  public:
+    DelayedOp(CommRequest inner, int polls)
+        : inner_(std::move(inner)), held_(polls)
+    {
+    }
+
+    bool
+    test() override
+    {
+        if (held_ > 0) {
+            --held_;
+            return false;
+        }
+        return inner_.test();
+    }
+
+    void
+    wait() override
+    {
+        held_ = 0;
+        inner_.wait();
+    }
+
+    bool
+    waitFor(double seconds) override
+    {
+        held_ = 0;
+        return inner_.waitFor(seconds);
+    }
+
+  private:
+    CommRequest inner_;
+    int held_;
+};
+
+} // namespace
+
+bool
+FaultyComm::swallowNext()
+{
+    const int op_index = posted_++;
+    if (op_index >= plan_.silentAfterOp) {
+        silent_ = true;
+        return true;
+    }
+    return false;
+}
+
+CommRequest
+FaultyComm::decorate(CommRequest inner_request)
+{
+    // posted_ was bumped by swallowNext(); the op that just posted
+    // has index posted_ - 1.
+    if (posted_ - 1 >= plan_.delayAfterOp && plan_.delayPolls > 0) {
+        return CommRequest(std::make_shared<DelayedOp>(
+            std::move(inner_request), plan_.delayPolls));
+    }
+    return inner_request;
+}
+
+CommRequest
+FaultyComm::iallreduce(double value, ReduceOp op, double *result)
+{
+    if (swallowNext())
+        return CommRequest(std::make_shared<SilentOp>());
+    return decorate(inner_.iallreduce(value, op, result));
+}
+
+CommRequest
+FaultyComm::iallreduceVec(double *data, std::size_t count,
+                          ReduceOp op)
+{
+    if (swallowNext())
+        return CommRequest(std::make_shared<SilentOp>());
+    return decorate(inner_.iallreduceVec(data, count, op));
+}
+
+CommRequest
+FaultyComm::ibcast(double *data, std::size_t count, int root)
+{
+    if (swallowNext())
+        return CommRequest(std::make_shared<SilentOp>());
+    return decorate(inner_.ibcast(data, count, root));
+}
+
+} // namespace tdfe

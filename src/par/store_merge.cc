@@ -1,6 +1,7 @@
 #include "par/store_merge.hh"
 
 #include <cstdio>
+#include <limits>
 
 #include "base/logging.hh"
 #include "core/region.hh"
@@ -116,6 +117,79 @@ mergeRankStores(const std::vector<std::string> &parts,
         TDFE_FATAL("cannot write merged feature store ", out_path,
                    ": ", writer.status().message);
     return merged;
+}
+
+std::size_t
+stitchSegmentStores(const std::vector<std::string> &parts,
+                    const std::string &out_path,
+                    const StoreOptions &options)
+{
+    TDFE_ASSERT(!parts.empty(), "nothing to stitch");
+
+    // Crashed attempts die without sealing their segment, so every
+    // segment goes through the salvage path; a segment that decodes
+    // nothing at all (e.g. the crash hit before the first block
+    // sealed) is skipped, not fatal — the next attempt re-recorded
+    // its records anyway.
+    std::vector<std::unique_ptr<FeatureStoreReader>> readers;
+    const StoreSchema *schema = nullptr;
+    for (const std::string &p : parts) {
+        std::string error;
+        bool salvaged = false;
+        std::unique_ptr<FeatureStoreReader> r =
+            FeatureStoreReader::openOrSalvage(p, &error, &salvaged);
+        if (!r) {
+            TDFE_WARN("stitch: skipping segment '", p, "': ", error);
+        } else if (schema && r->schema() != *schema) {
+            TDFE_WARN("stitch: skipping segment '", p,
+                      "': schema mismatch");
+            r.reset();
+        } else if (!schema) {
+            schema = &r->schema();
+        }
+        readers.push_back(std::move(r));
+    }
+    if (!schema)
+        TDFE_FATAL("cannot stitch feature store: no readable segment ",
+                   "among ", parts.size(), " (first: ", parts.front(),
+                   ")");
+
+    // Segment k's cutoff = the first iteration the next readable
+    // segment recorded: everything from there on was re-recorded by
+    // the resumed attempt, which is the authoritative copy.
+    const long no_cutoff = std::numeric_limits<long>::max();
+    std::vector<long> cutoff(readers.size(), no_cutoff);
+    FeatureRecord rec;
+    for (std::size_t i = readers.size(); i-- > 0;) {
+        if (!readers[i])
+            continue;
+        FeatureStoreReader::Cursor c = readers[i]->cursor();
+        long first = no_cutoff;
+        if (c.next(rec))
+            first = rec.iteration;
+        for (std::size_t j = i; j-- > 0;)
+            if (readers[j]) {
+                cutoff[j] = first;
+                break;
+            }
+    }
+
+    FeatureStoreWriter writer(out_path, *schema, options);
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+        if (!readers[i])
+            continue;
+        FeatureStoreReader::Cursor c = readers[i]->cursor();
+        while (c.next(rec)) {
+            if (rec.iteration >= cutoff[i])
+                break;
+            writer.append(rec);
+        }
+    }
+    const std::size_t stitched = writer.recordCount();
+    if (writer.finish() == 0)
+        TDFE_FATAL("cannot write stitched feature store ", out_path,
+                   ": ", writer.status().message);
+    return stitched;
 }
 
 std::unique_ptr<FeatureStoreWriter>

@@ -132,6 +132,26 @@ struct RankMergeOptions
 };
 
 /**
+ * Stitch per-attempt store segments of a crash/resume run (oldest
+ * first) into one store at @p out_path. Each segment is one
+ * attempt's output; crashed attempts leave footerless segments, so
+ * every segment is opened through the salvage scan. Because a
+ * resumed attempt restarts from its checkpoint, the tail of segment
+ * k overlaps the head of segment k+1 — segment k contributes only
+ * records with iteration strictly below segment k+1's first
+ * recorded iteration, which makes the stitched store record-equal
+ * to an uninterrupted run's (modulo wallTime, which is measured
+ * per attempt). Unreadable segments are skipped with a warning;
+ * fatal only when no segment yields a schema.
+ *
+ * @return records in the stitched store.
+ */
+std::size_t stitchSegmentStores(const std::vector<std::string> &parts,
+                                const std::string &out_path,
+                                const StoreOptions &options =
+                                    StoreOptions());
+
+/**
  * Counterpart of attachRankStore, for when the run (and every
  * region query — queries drain pending appends) is over: detach
  * the sink, finish this rank's part, and under a multi-rank

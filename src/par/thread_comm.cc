@@ -1,6 +1,7 @@
 #include "par/thread_comm.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "base/logging.hh"
@@ -114,6 +115,20 @@ class ThreadNbOp : public CommOp
         std::unique_lock<std::mutex> lock(world.mtx);
         world.nbCv.wait(lock, [&] { return op->complete; });
         copyOut();
+    }
+
+    bool
+    waitFor(double seconds) override
+    {
+        std::unique_lock<std::mutex> lock(world.mtx);
+        const bool done = world.nbCv.wait_for(
+            lock,
+            std::chrono::duration<double>(std::max(seconds, 0.0)),
+            [&] { return op->complete; });
+        if (!done)
+            return false; // timed out: no result, buffers untouched
+        copyOut();
+        return true;
     }
 
   private:

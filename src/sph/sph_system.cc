@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
+#include "base/serial.hh"
 #include "base/thread_pool.hh"
 #include "par/comm.hh"
 #include "sph/kernel.hh"
@@ -354,6 +355,57 @@ SphSystem::angularMomentumZ() const
                (part.x[i] * part.vy[i] - part.y[i] * part.vx[i]);
     }
     return acc;
+}
+
+namespace
+{
+
+/** The double SoA fields a checkpoint carries, in a fixed order.
+ *  body ids are setup data (the application rebuilds them); the
+ *  cell list and gravity tree are derived and rebuilt lazily. */
+std::vector<std::vector<double> *>
+checkpointFields(ParticleSet &p)
+{
+    return {&p.x,  &p.y,  &p.z,  &p.vx, &p.vy,  &p.vz,
+            &p.ax, &p.ay, &p.az, &p.m,  &p.u,   &p.du,
+            &p.rho, &p.p, &p.cs, &p.phi};
+}
+
+} // namespace
+
+void
+SphSystem::save(BinaryWriter &w) const
+{
+    w.writeTag("sphsys");
+    auto &mutable_part = const_cast<ParticleSet &>(part);
+    for (const std::vector<double> *field :
+         checkpointFields(mutable_part))
+        w.writeVec(*field);
+    w.writeF64(t);
+    w.writeI64(cycleCount);
+    // forcesFresh decides whether the next step's opening kick can
+    // reuse the stored accelerations — part of the KDK state.
+    w.writeBool(forcesFresh);
+}
+
+void
+SphSystem::load(BinaryReader &r)
+{
+    r.expectTag("sphsys");
+    for (std::vector<double> *field : checkpointFields(part)) {
+        std::vector<double> v = r.readVec();
+        if (!r.ok())
+            return;
+        if (v.size() != field->size()) {
+            TDFE_FATAL("SPH checkpoint field has ", v.size(),
+                       " particles, system has ", field->size(),
+                       " (different setup?)");
+        }
+        *field = std::move(v);
+    }
+    t = r.readF64();
+    cycleCount = static_cast<long>(r.readI64());
+    forcesFresh = r.readBool();
 }
 
 } // namespace tdfe

@@ -24,6 +24,8 @@
 namespace tdfe
 {
 
+class BinaryReader;
+class BinaryWriter;
 class Communicator;
 
 /** Engine-level tunables. */
@@ -107,6 +109,16 @@ class SphSystem
 
     /** @return the configuration. */
     const SphConfig &config() const { return cfg; }
+
+    /**
+     * Checkpoint the mutable particle state (all double SoA fields,
+     * time, cycle count, force-freshness flag). The body-id vector
+     * is setup data the application reconstructs; the cell list and
+     * gravity tree are rebuilt on the next force evaluation. A
+     * particle-count mismatch through a healthy reader is fatal. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
 
   private:
     /** Slice [begin, end) of this rank for parallel loops. */

@@ -82,16 +82,24 @@ PackedBatch::load(BinaryReader &r)
 {
     const std::uint64_t ckpt_cap = r.readU64();
     const std::uint64_t ckpt_dims = r.readU64();
+    if (!r.ok())
+        return; // damaged stream: values are zeros, caller checks ok()
     if (ckpt_cap != cap || ckpt_dims != nDims) {
         TDFE_FATAL("mini-batch checkpoint shape (", ckpt_cap, ", ",
                    ckpt_dims, ") != configured (", cap, ", ", nDims,
                    ")");
     }
     used = static_cast<std::size_t>(r.readU64());
+    if (!r.ok()) {
+        used = 0;
+        return;
+    }
     if (used > cap)
         TDFE_FATAL("mini-batch checkpoint overfilled: ", used);
     for (std::size_t i = 0; i < used; ++i) {
         const std::uint64_t row_dims = r.readU64();
+        if (!r.ok())
+            return;
         if (row_dims != nDims)
             TDFE_FATAL("mini-batch checkpoint sample dims mismatch");
         double *dst = xs.data() + i * nDims;

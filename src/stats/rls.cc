@@ -134,6 +134,8 @@ void
 RlsEstimator::load(BinaryReader &r)
 {
     std::vector<double> pm = r.readVec();
+    if (!r.ok())
+        return; // damaged stream: values are zeros, caller checks ok()
     if (pm.size() != p.size()) {
         TDFE_FATAL("RLS checkpoint size ", pm.size(),
                    " != configured ", p.size());

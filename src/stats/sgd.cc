@@ -107,6 +107,8 @@ void
 SgdOptimizer::load(BinaryReader &r)
 {
     std::vector<double> v = r.readVec();
+    if (!r.ok())
+        return; // damaged stream: values are zeros, caller checks ok()
     if (v.size() != velocity.size()) {
         TDFE_FATAL("SGD checkpoint size ", v.size(),
                    " != configured ", velocity.size());

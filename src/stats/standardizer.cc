@@ -130,6 +130,8 @@ void
 Standardizer::load(BinaryReader &r)
 {
     const std::uint64_t dims = r.readU64();
+    if (!r.ok())
+        return; // damaged stream: values are zeros, caller checks ok()
     if (dims != featureStats.size()) {
         TDFE_FATAL("standardizer checkpoint dims ", dims,
                    " != configured ", featureStats.size());

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
+#include "base/serial.hh"
 #include "sph/kernel.hh"
 
 namespace tdfe
@@ -386,6 +387,41 @@ const std::vector<double> &
 WdMergerApp::history(DiagVar var) const
 {
     return history_[static_cast<int>(var)];
+}
+
+void
+WdMergerApp::save(BinaryWriter &w) const
+{
+    w.writeTag("wdmerger");
+    sys.save(w);
+    // rhoCentralRef is recomputed by the constructor, but the relax
+    // phase makes that expensive — carrying it keeps the detonation
+    // trigger identical without re-deriving anything.
+    w.writeF64(rhoCentralRef);
+    w.writeBool(mergedFlag);
+    w.writeBool(detonatedFlag);
+    w.writeF64(mergeTime_);
+    w.writeF64(detonationTime_);
+    w.writeF64(detonationBudget);
+    w.writeU64(ignitionSite);
+    for (const std::vector<double> &h : history_)
+        w.writeVec(h);
+}
+
+void
+WdMergerApp::load(BinaryReader &r)
+{
+    r.expectTag("wdmerger");
+    sys.load(r);
+    rhoCentralRef = r.readF64();
+    mergedFlag = r.readBool();
+    detonatedFlag = r.readBool();
+    mergeTime_ = r.readF64();
+    detonationTime_ = r.readF64();
+    detonationBudget = r.readF64();
+    ignitionSite = static_cast<std::size_t>(r.readU64());
+    for (std::vector<double> &h : history_)
+        h = r.readVec();
 }
 
 } // namespace wd

@@ -24,6 +24,9 @@
 namespace tdfe
 {
 
+class BinaryReader;
+class BinaryWriter;
+
 namespace wd
 {
 
@@ -153,6 +156,17 @@ class WdMergerApp
 
     /** @return the configuration. */
     const WdMergerConfig &config() const { return cfg; }
+
+    /**
+     * Checkpoint the application's mutable state: the SPH system,
+     * the merger/detonation bookkeeping, and the diagnostic
+     * histories. Reconstruct with the same config/comm first (the
+     * constructor rebuilds the relaxed star model and body ids);
+     * load() then overwrites the evolved state and resumes
+     * bitwise-exactly. @{ */
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r);
+    /** @} */
 
   private:
     void applyDrag(double dt);

@@ -1,8 +1,11 @@
 #include "wdmerger/runner.hh"
 
+#include <cstdio>
 #include <memory>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "base/serial.hh"
 #include "base/timer.hh"
 #include "core/predictor.hh"
 #include "core/region.hh"
@@ -14,6 +17,79 @@ namespace tdfe
 
 namespace wd
 {
+
+namespace
+{
+
+// Same payload framing as the blast harness (see there): domain
+// state plus, when instrumented, the region's checkpoint, behind a
+// tag/version.
+std::string
+buildResumePayload(const WdMergerApp &app, const Region *region)
+{
+    std::ostringstream os(std::ios::binary);
+    BinaryWriter w(os);
+    w.writeTag("TDRESUME");
+    w.writeU64(1); // payload format version
+    w.writeBool(region != nullptr);
+    app.save(w);
+    if (region)
+        region->saveCheckpoint(os);
+    return os.str();
+}
+
+bool
+restoreResumePayload(const std::string &payload, WdMergerApp &app,
+                     Region *region, std::string *error)
+{
+    std::istringstream is(payload, std::ios::binary);
+    BinaryReader r(is);
+    r.expectTag("TDRESUME");
+    const std::uint64_t version = r.readU64();
+    if (r.ok() && version != 1) {
+        r.fail("unsupported resume payload version " +
+               std::to_string(version));
+    }
+    const bool has_region = r.readBool();
+    if (!r.ok()) {
+        *error = r.error();
+        return false;
+    }
+    if (has_region != (region != nullptr)) {
+        *error = "checkpoint instrumentation mismatch (saved "
+                 "with/without a region)";
+        return false;
+    }
+    app.load(r);
+    if (!r.ok()) {
+        *error = r.error();
+        return false;
+    }
+    if (region && !region->loadCheckpoint(is)) {
+        *error = region->checkpointError();
+        return false;
+    }
+    return true;
+}
+
+void
+writeCheckpoint(ckpt::CheckpointSet &set, const WdMergerApp &app,
+                const Region *region, WdRunResult &result)
+{
+    const std::string payload = buildResumePayload(app, region);
+    if (set.save(static_cast<std::uint64_t>(app.dumpIndex()),
+                 payload)) {
+        ++result.checkpointsWritten;
+    }
+    if (set.degraded() && !result.ckptDegraded) {
+        result.ckptDegraded = true;
+        result.ckptError = set.status().message;
+        TDFE_WARN("wdmerger run: checkpoint write failed (",
+                  result.ckptError, "); the run continues");
+    }
+}
+
+} // namespace
 
 WdRunResult
 runWdMerger(const WdMergerConfig &config, Communicator *comm,
@@ -32,6 +108,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         region->setBlockingSync(options.blockingSync);
         region->setAsyncAnalyses(options.asyncAnalyses);
         region->setRelaxedStopQuery(options.relaxedStop);
+        region->setCommDeadline(options.commDeadlineSeconds);
 
         const long span =
             static_cast<long>(options.ar.order) * options.ar.lag;
@@ -58,6 +135,38 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         }
     }
 
+    std::unique_ptr<ckpt::CheckpointSet> ckpt_set;
+    if (!options.ckptPath.empty()) {
+        ckpt_set = std::make_unique<ckpt::CheckpointSet>(
+            rankStorePath(options.ckptPath, comm ? comm->rank() : 0,
+                          comm ? comm->size() : 1),
+            options.ckptKeep,
+            store::parseDurabilityPolicy(options.ckptDurability));
+        if (options.ckptWriteHook)
+            ckpt_set->setWriteHook(options.ckptWriteHook);
+    }
+
+    if (options.resumeAuto && ckpt_set) {
+        std::string payload, from_path;
+        std::uint64_t at_iter = 0;
+        if (ckpt_set->openNewestValid(&payload, &at_iter,
+                                      &from_path)) {
+            std::string error;
+            if (restoreResumePayload(payload, app, region.get(),
+                                     &error)) {
+                result.resumed = true;
+                result.resumedFromIteration =
+                    static_cast<long>(at_iter);
+                TDFE_INFORM("wdmerger run: resumed from '",
+                            from_path, "' (dump ", at_iter, ")");
+            } else {
+                TDFE_WARN("wdmerger run: checkpoint '", from_path,
+                          "' not usable (", error,
+                          "); starting from scratch");
+            }
+        }
+    }
+
     std::unique_ptr<FeatureStoreWriter> store;
     if (region && !options.storePath.empty()) {
         StoreOptions store_options;
@@ -69,6 +178,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
                                 store_options, comm);
     }
 
+    long attempt_dumps = 0;
     Timer timer;
     while (!app.finished()) {
         if (region)
@@ -81,6 +191,24 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
                 break;
             }
         }
+
+        ++attempt_dumps;
+        if (ckpt_set && options.ckptEvery > 0 &&
+            app.dumpIndex() % options.ckptEvery == 0) {
+            writeCheckpoint(*ckpt_set, app, region.get(), result);
+        }
+        if (options.haltAfterIterations > 0 &&
+            attempt_dumps >= options.haltAfterIterations) {
+            result.halted = true;
+            break;
+        }
+        if (ckpt::interruptRequested()) {
+            if (ckpt_set)
+                writeCheckpoint(*ckpt_set, app, region.get(),
+                                result);
+            result.interrupted = true;
+            break;
+        }
     }
     result.seconds = timer.elapsed();
 
@@ -92,6 +220,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         result.history[v] = app.history(static_cast<DiagVar>(v));
 
     if (region) {
+        result.commDegraded = region->commDegraded();
         result.overheadSeconds = region->overheadSeconds();
         for (int v = 0; v < numDiagVars; ++v) {
             const CurveFitAnalysis &a =
@@ -119,6 +248,11 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         }
     }
 
+    if (ckpt_set && !result.ckptDegraded && ckpt_set->degraded()) {
+        result.ckptDegraded = true;
+        result.ckptError = ckpt_set->status().message;
+    }
+
     if (store) {
         result.storeDegraded =
             region->featureStoreDegraded() || !store->ok();
@@ -130,6 +264,52 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
             merge);
     }
     return result;
+}
+
+WdRunResult
+runWdMergerResilient(const WdMergerConfig &config, Communicator *comm,
+                     const WdRunOptions &options)
+{
+    TDFE_ASSERT(!options.ckptPath.empty(),
+                "resilient runs need a checkpoint path");
+    const bool segmented = !options.storePath.empty();
+    TDFE_ASSERT(!segmented || !comm || comm->size() <= 1,
+                "segmented store stitching supports single-rank "
+                "runs only");
+
+    WdRunOptions attempt = options;
+    std::vector<std::string> segments;
+    int restarts = 0;
+    for (;;) {
+        if (segmented) {
+            attempt.storePath = options.storePath + ".seg" +
+                                std::to_string(segments.size());
+            segments.push_back(attempt.storePath);
+        }
+        WdRunResult result = runWdMerger(config, comm, attempt);
+        result.restarts = restarts;
+
+        if (result.halted && !ckpt::interruptRequested() &&
+            restarts < options.maxRestarts) {
+            ++restarts;
+            attempt.haltAfterIterations = 0;
+            attempt.resumeAuto = true;
+            TDFE_INFORM("wdmerger supervisor: attempt crashed at "
+                        "dump ", result.dumps, "; restarting ",
+                        "(attempt ", restarts + 1, ")");
+            continue;
+        }
+
+        if (segmented) {
+            result.storeBytes = stitchSegmentStores(
+                segments, options.storePath, StoreOptions());
+            if (!options.storeKeepParts) {
+                for (const std::string &seg : segments)
+                    std::remove(seg.c_str());
+            }
+        }
+        return result;
+    }
 }
 
 } // namespace wd

@@ -10,9 +10,12 @@
 #define TDFE_WDMERGER_RUNNER_HH
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
 #include "core/ar_model.hh"
 #include "wdmerger/app.hh"
 
@@ -67,6 +70,30 @@ struct WdRunOptions
     /** Keep per-rank store parts after the merge. */
     bool storeKeepParts = false;
 
+    /** Crash-safe checkpointing + auto-resume; the knobs mirror
+     *  blast::RunOptions (see there and src/ckpt). @{ */
+    /** Checkpoint path prefix (empty: disabled). */
+    std::string ckptPath;
+    /** Dumps between checkpoints (0: only on interrupt). */
+    long ckptEvery = 0;
+    /** Generations kept (>= 2 for a previous-good fallback). */
+    int ckptKeep = 3;
+    /** Checkpoint durability: "none", "flush", or "fsync". */
+    std::string ckptDurability = "fsync";
+    /** Restore from the newest valid checkpoint before the loop. */
+    bool resumeAuto = false;
+    /** Restart budget of runWdMergerResilient. */
+    int maxRestarts = 8;
+    /** Comm watchdog deadline (seconds; 0 disables). */
+    double commDeadlineSeconds = 0.0;
+    /** Test seam: crash the attempt after this many dumps (0:
+     *  disabled). */
+    long haltAfterIterations = 0;
+    /** Test seam: per-generation checkpoint fault injection. */
+    std::function<void(std::uint64_t, ckpt::WriteOptions &)>
+        ckptWriteHook;
+    /** @} */
+
     WdRunOptions()
     {
         // Each analysis sees one sample per dump, so mini-batches
@@ -113,6 +140,18 @@ struct WdRunResult
     /** True when the feature sink degraded mid-run and was
      *  detached (the physics above are still exact). */
     bool storeDegraded = false;
+
+    /** Resilience bookkeeping; mirrors blast::RunResult. @{ */
+    bool interrupted = false;
+    bool halted = false;
+    bool resumed = false;
+    long resumedFromIteration = -1;
+    long checkpointsWritten = 0;
+    bool ckptDegraded = false;
+    std::string ckptError;
+    bool commDegraded = false;
+    int restarts = 0;
+    /** @} */
 };
 
 /**
@@ -126,6 +165,15 @@ struct WdRunResult
 WdRunResult runWdMerger(const WdMergerConfig &config,
                         Communicator *comm,
                         const WdRunOptions &options);
+
+/**
+ * Auto-resume supervisor around runWdMerger; semantics match
+ * blast::runBlastResilient (requires options.ckptPath; per-attempt
+ * store segments stitched into options.storePath, single-rank only).
+ */
+WdRunResult runWdMergerResilient(const WdMergerConfig &config,
+                                 Communicator *comm,
+                                 const WdRunOptions &options);
 
 } // namespace wd
 

@@ -42,32 +42,44 @@ TEST(Serial, PrimitivesRoundTrip)
     r.expectTag("section"); // must not die
 }
 
-TEST(SerialDeathTest, TruncatedStreamIsFatal)
+TEST(Serial, TruncatedStreamIsRecoverable)
 {
     std::stringstream ss;
     BinaryWriter w(ss);
     w.writeU64(7);
     BinaryReader r(ss);
     r.readU64();
-    EXPECT_DEATH(
-        {
-            BinaryReader r2(ss);
-            r2.readF64();
-        },
-        "truncated");
+    EXPECT_TRUE(r.ok());
+
+    BinaryReader r2(ss);
+    EXPECT_EQ(r2.readF64(), 0.0); // zero-filled, not fatal
+    EXPECT_FALSE(r2.ok());
+    EXPECT_NE(r2.error().find("truncated"), std::string::npos);
 }
 
-TEST(SerialDeathTest, WrongTagIsFatal)
+TEST(Serial, WrongTagIsRecoverable)
 {
     std::stringstream ss;
     BinaryWriter w(ss);
     w.writeTag("alpha");
-    EXPECT_DEATH(
-        {
-            BinaryReader r(ss);
-            r.expectTag("beta");
-        },
-        "section mismatch");
+    BinaryReader r(ss);
+    r.expectTag("beta");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("section mismatch"), std::string::npos);
+}
+
+TEST(Serial, FirstErrorSticks)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeTag("alpha");
+    BinaryReader r(ss);
+    r.expectTag("beta");
+    const std::string first = r.error();
+    r.readU64(); // reads past damage keep returning zeros
+    r.readF64();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), first);
 }
 
 /** Toy simulation: noisy damped travelling wave. */
@@ -247,24 +259,48 @@ TEST(Checkpoint, CheckpointAtStepZeroIsAFullRun)
               b.analysis(0).trainingRounds());
 }
 
-TEST(CheckpointDeathTest, AnalysisCountMismatchIsFatal)
+TEST(Checkpoint, AnalysisCountMismatchIsRecoverable)
 {
     ToySim sim_a;
     Region a("a", &sim_a);
     a.addAnalysis(toyAnalysis());
     drive(a, sim_a, 0, 40);
     std::stringstream ckpt;
-    a.saveCheckpoint(ckpt);
+    EXPECT_TRUE(a.saveCheckpoint(ckpt));
 
-    EXPECT_DEATH(
-        {
-            ToySim sim_b;
-            Region b("b", &sim_b);
-            b.addAnalysis(toyAnalysis());
-            b.addAnalysis(toyAnalysis());
-            b.loadCheckpoint(ckpt);
-        },
-        "analyses");
+    // The stream-level shape of the checkpoint (analysis count) is
+    // indistinguishable from stream damage, so it surfaces as a
+    // recoverable load failure, not a fatal (the resilient harness
+    // starts fresh on it).
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis());
+    b.addAnalysis(toyAnalysis());
+    EXPECT_FALSE(b.loadCheckpoint(ckpt));
+    EXPECT_NE(b.checkpointError().find("analyses"),
+              std::string::npos);
+}
+
+TEST(Checkpoint, DamagedStreamIsRecoverable)
+{
+    ToySim sim_a;
+    Region a("a", &sim_a);
+    a.addAnalysis(toyAnalysis());
+    drive(a, sim_a, 0, 40);
+    std::stringstream ckpt;
+    EXPECT_TRUE(a.saveCheckpoint(ckpt));
+
+    // Truncate the serialized state mid-payload.
+    const std::string bytes = ckpt.str();
+    std::stringstream torn(
+        bytes.substr(0, bytes.size() / 2),
+        std::ios::in | std::ios::out | std::ios::binary);
+
+    ToySim sim_b;
+    Region b("b", &sim_b);
+    b.addAnalysis(toyAnalysis());
+    EXPECT_FALSE(b.loadCheckpoint(torn));
+    EXPECT_FALSE(b.checkpointError().empty());
 }
 
 TEST(CheckpointDeathTest, ReconfiguredModelOrderIsFatal)
