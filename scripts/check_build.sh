@@ -2,10 +2,10 @@
 # Tier-1 verification: configure, build, run the tier-1 test suite,
 # then run the bench_smoke label on its own so a regression in either
 # pipeline (library correctness or bench wiring, including the
-# async_pipeline, rank_pipeline, simd_hotpath, and
-# store_throughput digest/equality gates) fails fast and visibly,
+# async_pipeline, rank_pipeline, simd_hotpath, store_throughput,
+# and store_query digest/equality gates) fails fast and visibly,
 # followed by a feature-store tooling smoke (clover example writes
-# a store, tdfstool verify/export/diff it) and the fault battery
+# a store, tdfstool verify/export/diff/query it) and the fault battery
 # (fault_smoke ctest label plus a truncate/recover round trip
 # through tdfstool and a crash -> auto-resume round trip through
 # the checkpoint example + tdfstool ckpt-info). A second Release
@@ -33,12 +33,30 @@ ctest --output-on-failure -L bench_smoke
 
 # Feature-store tooling smoke: the clover example writes a store
 # through the async pipeline, tdfstool must pronounce it intact and
-# export it, and a diff against itself must be clean.
+# export it, and a diff against itself must be clean. The query
+# subcommand must agree with the unfiltered record count, prune to
+# a plausible subset under a filter, and reject a bad predicate.
 ./example_clover_shock 32 --store check_clover.tdfs --store-async
 ./tdfstool verify check_clover.tdfs
 ./tdfstool info check_clover.tdfs > /dev/null
 ./tdfstool export check_clover.tdfs --out check_clover.csv
 ./tdfstool diff check_clover.tdfs check_clover.tdfs
+records=$(./tdfstool query check_clover.tdfs --agg count)
+exported=$(($(wc -l < check_clover.csv) - 1)) # minus the header
+if [[ "$records" != "$exported" ]]; then
+  echo "!! query count $records != exported rows $exported" && exit 1
+fi
+filtered=$(./tdfstool query check_clover.tdfs --iter 10:20 \
+    --agg count)
+if (( filtered <= 0 || filtered >= records )); then
+  echo "!! filtered query count $filtered out of range" && exit 1
+fi
+./tdfstool query check_clover.tdfs --where "mse<1" \
+    --project iteration,mse --agg mean > /dev/null
+if ./tdfstool query check_clover.tdfs --where "bogus<1" \
+    > /dev/null 2>&1; then
+  echo "!! bad predicate unexpectedly accepted" && exit 1
+fi
 
 # Fault battery: crash-point sweep, retry/degrade, salvage, and the
 # Region surviving its sink's death (the fault_smoke ctest label),
@@ -98,6 +116,7 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
       test_comm_tsan test_comm_nonblocking_tsan \
       test_async_region_tsan test_relaxed_stop_tsan \
       test_parallel_for_tsan test_feature_store_tsan \
+      test_store_query_tsan \
       test_ckpt_resilience_tsan test_faulty_comm_tsan
   cd build-tsan
   ctest --output-on-failure -L tsan_smoke

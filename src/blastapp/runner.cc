@@ -20,6 +20,19 @@ namespace blast
 namespace
 {
 
+/** Writer knobs from the run flags — one builder so the per-rank
+ *  parts, the rank-0 merge, and the crash-resume stitch all honor
+ *  the same --store-async / --store-durability settings. */
+StoreOptions
+storeOptionsFrom(const RunOptions &options)
+{
+    StoreOptions store_options;
+    store_options.async = options.storeAsync;
+    store_options.durability =
+        store::parseDurabilityPolicy(options.storeDurability);
+    return store_options;
+}
+
 /**
  * Combined resume payload: the domain's hydro state plus (when
  * instrumented) the region's analysis/protocol state, in one byte
@@ -158,13 +171,9 @@ runBlast(const BlastConfig &config, Communicator *comm,
 
     std::unique_ptr<FeatureStoreWriter> store;
     if (region && !options.storePath.empty()) {
-        StoreOptions store_options;
-        store_options.async = options.storeAsync;
-        store_options.durability =
-            store::parseDurabilityPolicy(options.storeDurability);
         store = attachRankStore(*region, options.storePath,
                                 options.analysis.ar.order + 1,
-                                store_options, comm);
+                                storeOptionsFrom(options), comm);
     }
 
     const bool gather = options.instrument || options.recordTrace;
@@ -245,6 +254,7 @@ runBlast(const BlastConfig &config, Communicator *comm,
         merge.policy =
             parseMergePolicy(options.storeMergePolicy);
         merge.keepParts = options.storeKeepParts;
+        merge.storeOptions = storeOptionsFrom(options);
         result.storeBytes = finishRankStore(
             *region, std::move(store), options.storePath, comm,
             merge);
@@ -290,7 +300,8 @@ runBlastResilient(const BlastConfig &config, Communicator *comm,
 
         if (segmented) {
             result.storeBytes = stitchSegmentStores(
-                segments, options.storePath, StoreOptions());
+                segments, options.storePath,
+                storeOptionsFrom(options));
             if (!options.storeKeepParts) {
                 for (const std::string &seg : segments)
                     std::remove(seg.c_str());

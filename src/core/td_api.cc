@@ -1,7 +1,9 @@
 #include "core/td_api.h"
 
 #include <cerrno>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "ckpt/checkpoint.hh"
 #include "core/iter_param.hh"
 #include "core/region.hh"
+#include "store/query.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
 
@@ -48,6 +51,65 @@ struct td_store
     /** Backs the pointer td_store_error hands out. */
     std::string errorMsg;
 };
+
+namespace
+{
+
+/** Shared filter builder of the td_store_query_* functions: a
+ *  negative bound/id disables that clause; @p where is NULL/empty
+ *  or a comma-separated conjunction of "col<op>value" predicates
+ *  (see td_api.h). @return false on a predicate that won't parse. */
+bool
+buildQueryFilter(long iter_begin, long iter_end, long analysis,
+                 int stop, const char *where, tdfe::EventFilter &out)
+{
+    if (iter_begin >= 0)
+        out.iterBegin = iter_begin;
+    if (iter_end >= 0)
+        out.iterEnd = iter_end;
+    if (analysis >= 0)
+        out.analysisIs(analysis);
+    if (stop >= 0)
+        out.stopIs(stop != 0);
+    const std::string spec = where ? where : "";
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string one = spec.substr(pos, comma - pos);
+        if (!one.empty()) {
+            tdfe::MetricPredicate p;
+            std::string error;
+            if (!tdfe::parseMetricPredicate(one, p, &error)) {
+                TDFE_WARN("td_store_query: ", error);
+                return false;
+            }
+            out.where(p);
+        }
+        pos = comma + 1;
+    }
+    return true;
+}
+
+/** Fixed metric column of @p rec by metricColumnIndex() index. */
+double
+metricValue(const tdfe::FeatureRecord &rec, std::size_t column)
+{
+    switch (column) {
+      case 0:
+        return rec.wallTime;
+      case 1:
+        return rec.wavefront;
+      case 2:
+        return rec.predicted;
+      case 3:
+        return rec.mse;
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace
 
 extern "C" {
 
@@ -405,6 +467,74 @@ td_store_record_count(const char *path)
         return -1;
     const auto reader = tdfe::FeatureStoreReader::open(path);
     return reader ? static_cast<long>(reader->recordCount()) : -1;
+}
+
+long
+td_store_query_count(const char *path, long iter_begin, long iter_end,
+                     long analysis, int stop, const char *where)
+{
+    if (!path)
+        return -1;
+    tdfe::EventFilter filter;
+    if (!buildQueryFilter(iter_begin, iter_end, analysis, stop, where,
+                          filter))
+        return -1;
+    const auto reader = tdfe::FeatureStoreReader::open(path);
+    if (!reader)
+        return -1;
+    tdfe::QueryCursor cursor(*reader, std::move(filter));
+    tdfe::FeatureRecord rec;
+    long matched = 0;
+    while (cursor.next(rec))
+        ++matched;
+    return matched;
+}
+
+long
+td_store_query_stat(const char *path, long iter_begin, long iter_end,
+                    long analysis, int stop, const char *where,
+                    const char *column, double *out_min,
+                    double *out_max, double *out_mean)
+{
+    if (!path || !column)
+        return -1;
+    const std::size_t col = tdfe::metricColumnIndex(column);
+    if (col == std::numeric_limits<std::size_t>::max())
+        return -1;
+    tdfe::EventFilter filter;
+    if (!buildQueryFilter(iter_begin, iter_end, analysis, stop, where,
+                          filter))
+        return -1;
+    const auto reader = tdfe::FeatureStoreReader::open(path);
+    if (!reader)
+        return -1;
+    tdfe::QueryCursor cursor(*reader, std::move(filter));
+    tdfe::FeatureRecord rec;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    long matched = 0;
+    long finite = 0;
+    double lo = nan;
+    double hi = nan;
+    double sum = 0.0;
+    while (cursor.next(rec)) {
+        ++matched;
+        const double v = metricValue(rec, col);
+        if (std::isnan(v))
+            continue;
+        if (finite == 0 || v < lo)
+            lo = v;
+        if (finite == 0 || v > hi)
+            hi = v;
+        sum += v;
+        ++finite;
+    }
+    if (out_min)
+        *out_min = lo;
+    if (out_max)
+        *out_max = hi;
+    if (out_mean)
+        *out_mean = finite ? sum / static_cast<double>(finite) : nan;
+    return matched;
 }
 
 int

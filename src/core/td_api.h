@@ -306,6 +306,49 @@ int td_store_verify(const char *path);
 /** @return records in the store at @p path, or -1 when unreadable. */
 long td_store_record_count(const char *path);
 
+/**
+ * Count the records in the store at @p path matching a filter,
+ * reading as little as the store's block statistics allow: blocks
+ * the footer's zone map (or, on an iteration-sorted store, the
+ * block index) proves empty of matches are never decoded — or even
+ * read off disk.
+ *
+ * Filter clauses are ANDed; each can be disabled independently:
+ *   - iteration window [@p iter_begin, @p iter_end): a negative
+ *     bound leaves that side of the window open;
+ *   - @p analysis: exact analysis id, or -1 for any;
+ *   - @p stop: exact stop-flag value (0 or 1), or -1 for any;
+ *   - @p where: NULL/empty for none, else a comma-separated
+ *     conjunction of "column<op>value" predicates over the fixed
+ *     metric columns wall_time / wavefront / predicted / mse with
+ *     operators < <= > >= == != (e.g. "mse<0.001,wavefront>=12").
+ *     A record whose metric is NaN never matches a predicate on
+ *     that column, != included.
+ *
+ * @return matching records (>= 0), or -1 when the store is
+ *         unreadable or @p where does not parse.
+ */
+long td_store_query_count(const char *path, long iter_begin,
+                          long iter_end, long analysis, int stop,
+                          const char *where);
+
+/**
+ * As td_store_query_count, additionally reducing one metric column
+ * over the matching records: the minimum, maximum, and mean of
+ * @p column ("wall_time", "wavefront", "predicted" or "mse") are
+ * stored through the non-NULL out pointers. NaN values are skipped
+ * by the reduction; when no matching record has a non-NaN value in
+ * the column, all three results are NaN.
+ * @return matching records (>= 0), or -1 on an unreadable store,
+ *         unknown @p column, or a @p where clause that does not
+ *         parse.
+ */
+long td_store_query_stat(const char *path, long iter_begin,
+                         long iter_end, long analysis, int stop,
+                         const char *where, const char *column,
+                         double *out_min, double *out_max,
+                         double *out_mean);
+
 /** Mark the start of the instrumented block (paper Fig. 2 line 23). */
 void td_region_begin(td_region_t *region);
 

@@ -103,14 +103,41 @@ mergeRankStores(const std::vector<std::string> &parts,
                    "among ", parts.size(), " (first: ", parts.front(),
                    ")");
 
+    // Iteration-sorted k-way merge: repeatedly emit the head record
+    // with the smallest iteration, ties broken toward the lower
+    // part (rank) index so equal-iteration records keep rank order.
+    // Every part a rank writes is iteration-sorted, so the merged
+    // store keeps the footer's sorted flag and stays binary-
+    // searchable (cursorAt/readRange skip to the right blocks
+    // instead of falling back to a sequential scan). A linear
+    // min-scan over the heads is plenty: parts = world size, and
+    // re-encoding each record dwarfs the scan.
+    struct Head
+    {
+        FeatureStoreReader::Cursor cur;
+        FeatureRecord rec;
+        bool live;
+        Head(FeatureStoreReader::Cursor c) : cur(std::move(c))
+        {
+            live = cur.next(rec);
+        }
+    };
+    std::vector<Head> heads;
+    for (const auto &r : readers)
+        if (r)
+            heads.emplace_back(r->cursor());
+
     FeatureStoreWriter writer(out_path, *schema, options);
-    FeatureRecord rec;
-    for (const auto &r : readers) {
-        if (!r)
-            continue;
-        FeatureStoreReader::Cursor c = r->cursor();
-        while (c.next(rec))
-            writer.append(rec);
+    for (;;) {
+        Head *best = nullptr;
+        for (Head &h : heads)
+            if (h.live &&
+                (!best || h.rec.iteration < best->rec.iteration))
+                best = &h;
+        if (!best)
+            break;
+        writer.append(best->rec);
+        best->live = best->cur.next(best->rec);
     }
     const std::size_t merged = writer.recordCount();
     if (writer.finish() == 0)
@@ -154,24 +181,25 @@ stitchSegmentStores(const std::vector<std::string> &parts,
                    "among ", parts.size(), " (first: ", parts.front(),
                    ")");
 
-    // Segment k's cutoff = the first iteration the next readable
+    // Segment k's cutoff = the smallest first iteration any later
     // segment recorded: everything from there on was re-recorded by
-    // the resumed attempt, which is the authoritative copy.
+    // a resumed attempt, which is the authoritative copy. One
+    // backward pass carries that minimum, so a readable-but-empty
+    // segment (crash before its first block sealed) is transparent
+    // — it neither resets the cutoff of the segments before it (the
+    // old chaining bug, which duplicated the overlap) nor blocks a
+    // later segment's cutoff from reaching them.
     const long no_cutoff = std::numeric_limits<long>::max();
     std::vector<long> cutoff(readers.size(), no_cutoff);
     FeatureRecord rec;
+    long next_first = no_cutoff;
     for (std::size_t i = readers.size(); i-- > 0;) {
         if (!readers[i])
             continue;
+        cutoff[i] = next_first;
         FeatureStoreReader::Cursor c = readers[i]->cursor();
-        long first = no_cutoff;
-        if (c.next(rec))
-            first = rec.iteration;
-        for (std::size_t j = i; j-- > 0;)
-            if (readers[j]) {
-                cutoff[j] = first;
-                break;
-            }
+        if (c.next(rec) && rec.iteration < next_first)
+            next_first = rec.iteration;
     }
 
     FeatureStoreWriter writer(out_path, *schema, options);
@@ -227,7 +255,7 @@ finishRankStore(Region &region,
                 parts.push_back(
                     rankStorePath(base, r, comm->size()));
             MergeReport report;
-            mergeRankStores(parts, base, StoreOptions(),
+            mergeRankStores(parts, base, merge_options.storeOptions,
                             merge_options.policy, &report);
             if (!merge_options.keepParts) {
                 // Only parts that merged cleanly are disposable;

@@ -3,12 +3,12 @@
  * Rank-decomposed feature-store plumbing: every rank of a
  * decomposed run writes its own store file (one writer per rank —
  * the store is single-producer), and after the run the per-rank
- * parts are merged into one store in rank order, mirroring how MPI
- * codes concatenate per-rank logs. The merged file is a normal
- * store (tdfstool, reader, range queries all work); since the same
- * iterations appear once per rank, the reader detects the
- * non-monotone block index and range queries transparently fall
- * back to a sequential scan.
+ * parts are merged into one store by an iteration-sorted k-way
+ * merge (ties in rank order, so equal-iteration records still read
+ * like concatenated per-rank logs). Each part is iteration-sorted,
+ * so the merged file is too: it keeps the footer's sorted flag,
+ * and cursorAt/readRange/filtered queries binary-search its block
+ * index like any single-rank store's.
  *
  * Failure semantics: the merge is policy-driven. MergePolicy::Fail
  * keeps the historical behavior (any unreadable part is fatal);
@@ -87,9 +87,11 @@ struct MergeReport
 };
 
 /**
- * Merge the store files @p parts (rank order) into @p out_path.
- * All parts must share one schema; records are re-encoded, so the
- * merged file uses @p options' block capacity.
+ * Merge the store files @p parts into @p out_path by iteration-
+ * sorted k-way merge (ties toward the lower part index). All parts
+ * must share one schema; records are re-encoded, so the merged
+ * file uses @p options' block capacity — and stays iteration-
+ * sorted (queryable by block index) as long as every part is.
  *
  * Under MergePolicy::Fail any unreadable part or schema mismatch is
  * fatal (and the output is never created — all parts are opened
@@ -129,6 +131,12 @@ struct RankMergeOptions
      *  --store-keep-parts escape hatch; parts that failed to merge
      *  under Skip are always kept for post-mortem). */
     bool keepParts = false;
+    /** Writer options of the merged output file (block capacity,
+     *  durability, async). Callers pass the same options they gave
+     *  attachRankStore so the merged store honors the run's
+     *  --store-durability / --store-async flags instead of
+     *  silently reverting to defaults. */
+    StoreOptions storeOptions;
 };
 
 /**

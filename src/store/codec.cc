@@ -1,6 +1,9 @@
 #include "store/codec.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "base/portable.hh"
 
@@ -281,6 +284,212 @@ decodeIntColumn(const std::uint8_t *data, std::size_t len,
         out[i] = static_cast<std::int64_t>(prev);
     }
     return r.ok() && r.remaining() == 0;
+}
+
+void
+encodeIntColumnDict(const std::int64_t *vals, std::size_t n,
+                    std::vector<std::uint8_t> &out)
+{
+    // Dictionary-build pass: sorted distinct values, then each
+    // record as a fixed-width index into them.
+    std::vector<std::int64_t> dict(vals, vals + n);
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+    putVarint(out, dict.size());
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < dict.size(); ++i) {
+        // First entry zigzags against 0; later ones store the
+        // (positive, sorted) gap to the previous entry.
+        putVarint(out, i == 0
+                           ? zigzagEncode(dict[0])
+                           : static_cast<std::uint64_t>(
+                                 dict[i] - prev));
+        prev = dict[i];
+    }
+
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < dict.size())
+        ++bits;
+    if (bits == 0)
+        return; // constant column: the dictionary alone decodes it
+    BitWriter bw(out);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto it =
+            std::lower_bound(dict.begin(), dict.end(), vals[i]);
+        bw.writeBits(
+            static_cast<std::uint64_t>(it - dict.begin()), bits);
+    }
+    bw.finish();
+}
+
+bool
+decodeIntColumnDict(const std::uint8_t *data, std::size_t len,
+                    std::size_t n, std::int64_t *out)
+{
+    ByteReader r(data, len);
+    const std::uint64_t dict_n = r.varint();
+    if (!r.ok() || dict_n == 0 || dict_n > n)
+        return false;
+    std::vector<std::int64_t> dict(
+        static_cast<std::size_t>(dict_n));
+    // Unsigned accumulation: crafted gaps wrap instead of UB.
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < dict.size(); ++i) {
+        prev = i == 0 ? static_cast<std::uint64_t>(
+                            zigzagDecode(r.varint()))
+                      : prev + r.varint();
+        dict[i] = static_cast<std::int64_t>(prev);
+    }
+    if (!r.ok())
+        return false;
+    unsigned bits = 0;
+    while ((std::uint64_t{1} << bits) < dict_n)
+        ++bits;
+    if (bits == 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = dict[0];
+        return r.remaining() == 0;
+    }
+    if (r.remaining() != (n * bits + 7) / 8)
+        return false; // short or trailing-garbage index section
+    BitReader br(r.cursor(), r.remaining());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t idx = br.readBits(bits);
+        if (!br.ok() || idx >= dict_n)
+            return false;
+        out[i] = dict[static_cast<std::size_t>(idx)];
+    }
+    return br.ok();
+}
+
+void
+encodeIntColumnRle(const std::int64_t *vals, std::size_t n,
+                   std::vector<std::uint8_t> &out)
+{
+    for (std::size_t i = 0; i < n;) {
+        std::size_t run = 1;
+        while (i + run < n && vals[i + run] == vals[i])
+            ++run;
+        putVarint(out, zigzagEncode(vals[i]));
+        putVarint(out, run);
+        i += run;
+    }
+}
+
+bool
+decodeIntColumnRle(const std::uint8_t *data, std::size_t len,
+                   std::size_t n, std::int64_t *out)
+{
+    ByteReader r(data, len);
+    std::size_t filled = 0;
+    while (filled < n) {
+        const std::int64_t v = zigzagDecode(r.varint());
+        const std::uint64_t run = r.varint();
+        if (!r.ok() || run == 0 || run > n - filled)
+            return false;
+        for (std::uint64_t k = 0; k < run; ++k)
+            out[filled++] = v;
+    }
+    return r.ok() && r.remaining() == 0;
+}
+
+void
+encodeIntColumnTagged(const std::int64_t *vals, std::size_t n,
+                      std::vector<std::uint8_t> &out)
+{
+    // Trial-encode every candidate and keep the smallest payload.
+    // The extra encodes cost microseconds per sealed block; the
+    // store is orders of magnitude smaller than the trace it
+    // replaces, so the write path can afford to shop around.
+    std::vector<std::uint8_t> delta;
+    encodeIntColumn(vals, n, delta);
+
+    IntCodec best = IntCodec::DeltaVarint;
+    const std::vector<std::uint8_t> *best_bytes = &delta;
+
+    // Dictionary only pays off (and only stays cheap to build) on
+    // genuinely low-cardinality columns; a quick bounded distinct
+    // count guards the sort in encodeIntColumnDict.
+    std::vector<std::uint8_t> dict;
+    constexpr std::size_t maxDictValues = 256;
+    if (n > 0) {
+        std::vector<std::int64_t> probe(vals, vals + n);
+        std::sort(probe.begin(), probe.end());
+        const std::size_t distinct = static_cast<std::size_t>(
+            std::unique(probe.begin(), probe.end()) -
+            probe.begin());
+        if (distinct <= maxDictValues) {
+            encodeIntColumnDict(vals, n, dict);
+            if (dict.size() < best_bytes->size()) {
+                best = IntCodec::Dict;
+                best_bytes = &dict;
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> rle;
+    encodeIntColumnRle(vals, n, rle);
+    if (rle.size() < best_bytes->size()) {
+        best = IntCodec::Rle;
+        best_bytes = &rle;
+    }
+
+    out.push_back(static_cast<std::uint8_t>(best));
+    out.insert(out.end(), best_bytes->begin(), best_bytes->end());
+}
+
+bool
+decodeIntColumnTagged(const std::uint8_t *data, std::size_t len,
+                      std::size_t n, std::int64_t *out)
+{
+    if (len < 1)
+        return false;
+    const std::uint8_t codec = data[0];
+    ++data;
+    --len;
+    switch (static_cast<IntCodec>(codec)) {
+      case IntCodec::DeltaVarint:
+        return decodeIntColumn(data, len, n, out);
+      case IntCodec::Dict:
+        return decodeIntColumnDict(data, len, n, out);
+      case IntCodec::Rle:
+        return decodeIntColumnRle(data, len, n, out);
+    }
+    return false;
+}
+
+BlockZone
+computeBlockZone(const std::vector<std::vector<std::int64_t>> &ints,
+                 const std::vector<std::vector<double>> &dbls)
+{
+    BlockZone z;
+    for (std::size_t c = 0; c < zoneIntColumns; ++c) {
+        const std::vector<std::int64_t> &col = ints[c];
+        z.intMin[c] = col[0];
+        z.intMax[c] = col[0];
+        for (const std::int64_t v : col) {
+            if (v < z.intMin[c])
+                z.intMin[c] = v;
+            if (v > z.intMax[c])
+                z.intMax[c] = v;
+        }
+    }
+    for (std::size_t c = 0; c < zoneDoubleColumns; ++c) {
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (const double v : dbls[c]) {
+            if (std::isnan(v))
+                continue;
+            if (v < lo)
+                lo = v;
+            if (v > hi)
+                hi = v;
+        }
+        z.dblMin[c] = lo;
+        z.dblMax[c] = hi;
+    }
+    return z;
 }
 
 void

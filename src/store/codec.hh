@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "store/format.hh"
+
 namespace tdfe
 {
 
@@ -109,6 +111,60 @@ void encodeIntColumn(const std::int64_t *vals, std::size_t n,
  */
 bool decodeIntColumn(const std::uint8_t *data, std::size_t len,
                      std::size_t n, std::int64_t *out);
+
+/**
+ * Dictionary encoding (v2): varint dictionary size, the sorted
+ * distinct values delta-varint encoded, then one bit-packed index
+ * per record (ceil(log2(size)) bits, 0 bits for a constant
+ * column). Only worthwhile — and only attempted by the trial
+ * selector — for low-cardinality columns. @{
+ */
+void encodeIntColumnDict(const std::int64_t *vals, std::size_t n,
+                         std::vector<std::uint8_t> &out);
+bool decodeIntColumnDict(const std::uint8_t *data, std::size_t len,
+                         std::size_t n, std::int64_t *out);
+/** @} */
+
+/**
+ * Run-length encoding (v2): (zigzag varint value, varint run
+ * length) pairs until @p n records are covered. @{
+ */
+void encodeIntColumnRle(const std::int64_t *vals, std::size_t n,
+                        std::vector<std::uint8_t> &out);
+bool decodeIntColumnRle(const std::uint8_t *data, std::size_t len,
+                        std::size_t n, std::int64_t *out);
+/** @} */
+
+/**
+ * v2 integer column encode: trial-encode with every candidate codec
+ * and append [u8 codec id][smallest payload] to @p out. Ties break
+ * toward the lower codec id, so the choice is deterministic and
+ * files stay byte-identical across runs and flush modes.
+ */
+void encodeIntColumnTagged(const std::int64_t *vals, std::size_t n,
+                           std::vector<std::uint8_t> &out);
+
+/**
+ * Decode a v2 [codec id][payload] integer column. @return false on
+ * an unknown codec id or malformed payload.
+ */
+bool decodeIntColumnTagged(const std::uint8_t *data,
+                           std::size_t len, std::size_t n,
+                           std::int64_t *out);
+
+/**
+ * Min/max of the zone-mapped columns of one block, computed from
+ * columnar values (staged by the writer or decoded by salvage /
+ * verify). Requires at least zoneIntColumns integer columns and
+ * zoneDoubleColumns double columns, each non-empty. Doubles skip
+ * NaNs; an all-NaN column yields the empty interval (+inf, -inf),
+ * which no range predicate overlaps. One shared implementation so
+ * the footer entry the writer seals, the entry salvage rebuilds,
+ * and the entry verify recomputes can never drift apart.
+ */
+BlockZone computeBlockZone(
+    const std::vector<std::vector<std::int64_t>> &ints,
+    const std::vector<std::vector<double>> &dbls);
 
 /**
  * Gorilla-style XOR packing of @p n doubles, appended to @p out:

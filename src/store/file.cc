@@ -1,6 +1,7 @@
 #include "store/file.hh"
 
 #include <cstring>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "base/logging.hh"
@@ -130,6 +131,57 @@ class OsFile final : public StoreFile
     std::uint64_t offset_ = 0;
 };
 
+/**
+ * Production read file: pread over one descriptor, so concurrent
+ * cursors never race on a shared file position.
+ */
+class OsReadFile final : public ReadFile
+{
+  public:
+    OsReadFile(int fd, std::uint64_t size, std::string path)
+        : fd_(fd), size_(size), path_(std::move(path))
+    {
+    }
+
+    ~OsReadFile() override { ::close(fd_); }
+
+    IoError
+    readAt(std::uint64_t offset, void *dst,
+           std::size_t n) const override
+    {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        std::size_t done = 0;
+        while (done < n) {
+            errno = 0;
+            const ssize_t got =
+                ::pread(fd_, out + done, n - done,
+                        static_cast<off_t>(offset + done));
+            if (got > 0) {
+                done += static_cast<std::size_t>(got);
+                continue;
+            }
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got == 0)
+                return errnoError(EIO, offset + done,
+                                  "short read (" +
+                                      std::to_string(done) + "/" +
+                                      std::to_string(n) +
+                                      " bytes)");
+            return errnoError(errno, offset + done, "read failed");
+        }
+        return IoError();
+    }
+
+    std::uint64_t size() const override { return size_; }
+    const std::string &path() const override { return path_; }
+
+  private:
+    int fd_;
+    std::uint64_t size_;
+    std::string path_;
+};
+
 } // namespace
 
 DurabilityPolicy
@@ -170,6 +222,28 @@ openOsFile(const std::string &path, IoError *error)
         return nullptr;
     }
     return std::make_unique<OsFile>(fp, path);
+}
+
+std::unique_ptr<ReadFile>
+openOsReadFile(const std::string &path, IoError *error)
+{
+    errno = 0;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (error)
+            *error = errnoError(errno, 0, "cannot open " + path);
+        return nullptr;
+    }
+    errno = 0;
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+        if (error)
+            *error = errnoError(errno, 0, "cannot size " + path);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<OsReadFile>(
+        fd, static_cast<std::uint64_t>(size), path);
 }
 
 FaultyFile::FaultyFile(std::unique_ptr<StoreFile> inner,

@@ -134,6 +134,39 @@ std::unique_ptr<StoreFile> openOsFile(const std::string &path,
                                       IoError *error = nullptr);
 
 /**
+ * Read-side counterpart of StoreFile: random-access reads over an
+ * immutable store file, so the reader fetches exactly the blocks a
+ * query selects instead of slurping the whole file. readAt() must
+ * be safe to call concurrently from many threads (one cursor per
+ * thread is the reader's parallel-scan contract) — the production
+ * implementation is a pread over one shared descriptor.
+ */
+class ReadFile
+{
+  public:
+    virtual ~ReadFile() = default;
+
+    /** Read exactly @p n bytes at @p offset into @p dst. A short
+     *  read (EOF inside the range) is an error: the caller always
+     *  knows the file extent it indexed. */
+    virtual IoError readAt(std::uint64_t offset, void *dst,
+                           std::size_t n) const = 0;
+
+    /** @return total file size in bytes. */
+    virtual std::uint64_t size() const = 0;
+
+    /** @return path for diagnostics. */
+    virtual const std::string &path() const = 0;
+};
+
+/**
+ * Open @p path read-only. @return nullptr with the reason in
+ * @p error when it cannot be opened or sized.
+ */
+std::unique_ptr<ReadFile> openOsReadFile(const std::string &path,
+                                         IoError *error = nullptr);
+
+/**
  * Deterministic fault plan of a FaultyFile. Offsets are logical
  * append offsets (bytes the writer believes it has written), so a
  * plan is reproducible regardless of buffering underneath.

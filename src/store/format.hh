@@ -8,7 +8,7 @@
  *             u32 int columns, u32 double columns        (24 bytes)
  *   [blocks]  each: u32 record count,
  *             per column (ints then doubles): u32 encoded length +
- *             encoded bytes (delta+zigzag varint / Gorilla XOR),
+ *             encoded bytes,
  *             u32 CRC-32 over everything before it in the block
  *   [footer]  u64 block count,
  *             per block: u64 offset, u64 size, u64 records,
@@ -18,8 +18,24 @@
  *                 iteration, enabling block-index range queries),
  *             u32 int columns, u32 double columns, u64 coeff count,
  *             per column: u32 name length + name bytes,
+ *             (v2+) per block a zone map entry: i64 min + i64 max
+ *                 for each of the 3 integer columns, then raw f64
+ *                 bits of min + max for each of the 4 fixed double
+ *                 columns (NaNs excluded; an all-NaN column stores
+ *                 min > max so no predicate can select the block),
  *             then u32 CRC-32 over the footer bytes before it
  *   [trailer] u64 footer offset, magic "TDFSEND1"        (16 bytes)
+ *
+ * Version history. v1 encodes integer columns as delta+zigzag
+ * varints and has no zone map. v2 prefixes every integer column's
+ * payload with a one-byte codec id — delta varint, dictionary, or
+ * run-length, whichever trial-encodes smallest for that block (the
+ * low-cardinality columns analysis/stop typically dictionary- or
+ * RLE-pack to a handful of bytes) — and appends the per-block zone
+ * map to the footer so filtered queries can skip whole blocks
+ * without reading them. Double columns are Gorilla XOR in both.
+ * Readers of this build open v1 and v2; v1-only readers reject v2
+ * cleanly at the header version check.
  *
  * The trailer is fixed-size and at the very end, so a reader finds
  * the footer without scanning; any truncation loses the trailer (or
@@ -59,7 +75,10 @@ constexpr char trailerMagic[8] = {'T', 'D', 'F', 'S',
                                   'E', 'N', 'D', '1'};
 
 /** Format version written by this build. */
-constexpr std::uint32_t formatVersion = 1;
+constexpr std::uint32_t formatVersion = 2;
+
+/** Oldest format version this build's reader still opens. */
+constexpr std::uint32_t minSupportedFormatVersion = 1;
 
 /** Bounds shared by writer validation and reader rejection, so a
  *  writer can never produce a file its own reader refuses. @{ */
@@ -76,6 +95,34 @@ constexpr std::size_t trailerBytes = 8 + 8;
 /** Bytes of one block-index entry inside the footer. */
 constexpr std::size_t indexEntryBytes = 8 + 8 + 8 + 8 + 8;
 
+/** Columns covered by a zone-map entry: the fixed integer columns
+ *  (iteration, analysis, stop) and the fixed double columns
+ *  (wall_time, wavefront, predicted, mse). Coefficient columns are
+ *  not zone-mapped — no filter predicate ranges over them. These
+ *  mirror StoreSchema's fixed column counts (static_asserted where
+ *  both are visible). @{ */
+constexpr std::size_t zoneIntColumns = 3;
+constexpr std::size_t zoneDoubleColumns = 4;
+/** @} */
+
+/** Bytes of one per-block zone-map entry (v2+ footers). */
+constexpr std::size_t zoneEntryBytes =
+    zoneIntColumns * 16 + zoneDoubleColumns * 16;
+
+/** Per-int-column codec id leading a v2 column payload. */
+enum class IntCodec : std::uint8_t
+{
+    /** Delta + zigzag LEB128 varints (the v1 encoding). */
+    DeltaVarint = 0,
+    /** Sorted value dictionary + bit-packed indices (TrailDB's
+     *  trail_encode_model dictionary-build pass); wins on
+     *  low-cardinality columns like analysis id. */
+    Dict = 1,
+    /** (value, run length) pairs; wins on long constant runs like
+     *  the stop flag. */
+    Rle = 2,
+};
+
 /** One footer block-index entry. */
 struct BlockInfo
 {
@@ -90,6 +137,20 @@ struct BlockInfo
     std::int64_t firstIter = 0;
     std::int64_t lastIter = 0;
     /** @} */
+};
+
+/**
+ * One footer zone-map entry (v2+): per-column min/max over the
+ * block's records, the pushdown side of the query engine. Doubles
+ * exclude NaNs; a column with no finite-or-infinite value stores
+ * min > max, which no range predicate can overlap.
+ */
+struct BlockZone
+{
+    std::int64_t intMin[zoneIntColumns] = {0, 0, 0};
+    std::int64_t intMax[zoneIntColumns] = {0, 0, 0};
+    double dblMin[zoneDoubleColumns] = {0, 0, 0, 0};
+    double dblMax[zoneDoubleColumns] = {0, 0, 0, 0};
 };
 
 } // namespace store

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 
 #include "base/logging.hh"
 #include "base/portable.hh"
@@ -22,7 +21,42 @@ fail(std::string *error, const std::string &message)
     return false;
 }
 
+double
+bitsToDouble(std::uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
 } // namespace
+
+void
+FeatureStoreReader::materialize(
+    const StoreSchema &schema,
+    const std::vector<std::vector<std::int64_t>> &ints,
+    const std::vector<std::vector<double>> &dbls, std::size_t i,
+    FeatureRecord &out)
+{
+    out.iteration = static_cast<long>(ints[0][i]);
+    out.analysis = static_cast<long>(ints[1][i]);
+    out.stop = ints[2][i] != 0;
+    out.wallTime = dbls[0][i];
+    out.wavefront = dbls[1][i];
+    out.predicted = dbls[2][i];
+    out.mse = dbls[3][i];
+    out.coeffs.resize(schema.coeffCount);
+    for (std::size_t k = 0; k < schema.coeffCount; ++k)
+        out.coeffs[k] =
+            dbls[StoreSchema::numFixedDoubleColumns + k][i];
+}
+
+// The fixed zone-mapped column counts are the schema's fixed column
+// counts; this is where both headers are visible.
+static_assert(store::zoneIntColumns == StoreSchema::numIntColumns &&
+                  store::zoneDoubleColumns ==
+                      StoreSchema::numFixedDoubleColumns,
+              "zone map must cover exactly the fixed columns");
 
 bool
 FeatureStoreReader::loadAndCheckHeader(const std::string &path,
@@ -35,26 +69,28 @@ FeatureStoreReader::loadAndCheckHeader(const std::string &path,
         return fail(error, path + ": " + msg);
     };
 
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        return reject("cannot open");
-    const std::streamoff size = in.tellg();
-    if (size < static_cast<std::streamoff>(store::headerBytes))
+    store::IoError io;
+    reader.file_ = store::openOsReadFile(path, &io);
+    if (!reader.file_)
+        return reject("cannot open: " + io.message);
+    if (reader.file_->size() < store::headerBytes)
         return reject("truncated: shorter than the header");
-    reader.file.resize(static_cast<std::size_t>(size));
-    in.seekg(0);
-    in.read(reinterpret_cast<char *>(reader.file.data()), size);
-    if (!in.good())
-        return reject("short read");
-    const std::vector<std::uint8_t> &f = reader.file;
+    std::uint8_t header[store::headerBytes];
+    io = reader.file_->readAt(0, header, store::headerBytes);
+    if (!io.ok())
+        return reject("header read failed: " + io.message);
 
-    if (std::memcmp(f.data(), store::headerMagic, 8) != 0)
+    if (std::memcmp(header, store::headerMagic, 8) != 0)
         return reject("bad header magic (not a feature store)");
-    store::ByteReader h(f.data() + 8, store::headerBytes - 8);
-    const std::uint32_t version = h.u32();
-    if (version != store::formatVersion)
-        return reject("unsupported format version " +
-                      std::to_string(version));
+    store::ByteReader h(header + 8, store::headerBytes - 8);
+    reader.version_ = h.u32();
+    if (reader.version_ < store::minSupportedFormatVersion ||
+        reader.version_ > store::formatVersion)
+        return reject(
+            "unsupported format version " +
+            std::to_string(reader.version_) + " (this build reads " +
+            std::to_string(store::minSupportedFormatVersion) +
+            ".." + std::to_string(store::formatVersion) + ")");
     reader.capacity_ = h.u32();
     n_int = h.u32();
     n_dbl = h.u32();
@@ -85,15 +121,22 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
     std::uint32_t n_dbl = 0;
     if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error))
         return nullptr;
-    const std::vector<std::uint8_t> &f = reader->file;
-    if (f.size() < store::headerBytes + store::trailerBytes)
+    const std::size_t file_size = reader->fileBytes();
+    if (file_size < store::headerBytes + store::trailerBytes)
         return reject("truncated: shorter than header + trailer");
 
-    // Trailer -> footer window.
-    const std::size_t tr = f.size() - store::trailerBytes;
-    if (std::memcmp(f.data() + tr + 8, store::trailerMagic, 8) != 0)
+    // Trailer -> footer window. Everything open() needs lives in
+    // [footer offset, end); one read fetches it — block data stays
+    // on disk until a cursor asks.
+    const std::size_t tr = file_size - store::trailerBytes;
+    std::uint8_t trailer[store::trailerBytes];
+    store::IoError io =
+        reader->file_->readAt(tr, trailer, store::trailerBytes);
+    if (!io.ok())
+        return reject("trailer read failed: " + io.message);
+    if (std::memcmp(trailer + 8, store::trailerMagic, 8) != 0)
         return reject("bad trailer magic (truncated store?)");
-    store::ByteReader t(f.data() + tr, 8);
+    store::ByteReader t(trailer, 8);
     const std::uint64_t footer_off = t.u64();
     if (footer_off < store::headerBytes || footer_off > tr)
         return reject("footer offset out of range");
@@ -101,9 +144,13 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
         tr - static_cast<std::size_t>(footer_off);
     if (footer_len < 4)
         return reject("footer too small");
+    std::vector<std::uint8_t> footer(footer_len);
+    io = reader->file_->readAt(footer_off, footer.data(), footer_len);
+    if (!io.ok())
+        return reject("footer read failed: " + io.message);
 
     // Footer CRC, then parse.
-    const std::uint8_t *fp = f.data() + footer_off;
+    const std::uint8_t *fp = footer.data();
     store::ByteReader crc_r(fp + footer_len - 4, 4);
     if (store::crc32(fp, footer_len - 4) != crc_r.u32())
         return reject("footer CRC mismatch");
@@ -152,6 +199,20 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
         r.bytes(name.data(), len);
         reader->names_.push_back(std::move(name));
     }
+    if (reader->version_ >= 2) {
+        reader->zones_.resize(reader->index.size());
+        for (store::BlockZone &z : reader->zones_) {
+            for (std::size_t c = 0; c < store::zoneIntColumns; ++c) {
+                z.intMin[c] = r.i64();
+                z.intMax[c] = r.i64();
+            }
+            for (std::size_t c = 0; c < store::zoneDoubleColumns;
+                 ++c) {
+                z.dblMin[c] = bitsToDouble(r.u64());
+                z.dblMax[c] = bitsToDouble(r.u64());
+            }
+        }
+    }
     if (!r.ok())
         return reject("footer truncated");
 
@@ -186,20 +247,35 @@ FeatureStoreReader::salvage(const std::string &path,
         reader->names_.push_back(
             reader->schema_.doubleColumnName(i));
 
+    // Salvage cannot know block extents up front, so it reads the
+    // whole tail once and walks it in memory — the one reader path
+    // that still slurps, acceptable for a recovery tool.
+    const std::size_t file_size = reader->fileBytes();
+    std::vector<std::uint8_t> tail(file_size - store::headerBytes);
+    if (!tail.empty()) {
+        const store::IoError io = reader->file_->readAt(
+            store::headerBytes, tail.data(), tail.size());
+        if (!io.ok()) {
+            fail(error, path + ": tail read failed: " + io.message);
+            return nullptr;
+        }
+    }
+
     // Forward scan: keep accepting blocks while the bytes at the
     // cursor parse, CRC-check, AND fully decode as one. The first
     // offset that fails any of those is where the damage starts —
     // a torn block, the beginning of a (possibly corrupt) footer,
     // or plain garbage; everything before it is trusted exactly as
-    // much as a footer-backed block (same CRC, same decoders).
-    const std::vector<std::uint8_t> &f = reader->file;
+    // much as a footer-backed block (same CRC, same decoders). The
+    // zone map is rebuilt from the decoded columns on the way, so
+    // pushdown works over salvaged stores of either version.
     const std::uint32_t n_cols = n_int + n_dbl;
     std::vector<std::vector<std::int64_t>> ints;
     std::vector<std::vector<double>> dbls;
     std::int64_t last_iter = 0;
-    std::size_t off = store::headerBytes;
+    std::size_t off = 0; // relative to the tail buffer
     for (;;) {
-        store::ByteReader r(f.data() + off, f.size() - off);
+        store::ByteReader r(tail.data() + off, tail.size() - off);
         const std::uint32_t count = r.u32();
         if (!r.ok() || count == 0 || count > reader->capacity_)
             break;
@@ -213,21 +289,24 @@ FeatureStoreReader::salvage(const std::string &path,
         }
         if (!shaped || r.remaining() < 4)
             break;
-        const std::size_t size = (r.cursor() - (f.data() + off)) + 4;
+        const std::size_t size =
+            (r.cursor() - (tail.data() + off)) + 4;
 
         store::BlockInfo info;
-        info.offset = off;
+        info.offset = store::headerBytes + off;
         info.size = size;
         info.records = count;
         reader->index.push_back(info);
-        if (!reader->decodeBlock(reader->index.size() - 1, ints,
-                                 dbls, nullptr)) {
+        if (!reader->decodeBlockBytes(reader->index.size() - 1,
+                                      tail.data() + off, ints, dbls,
+                                      nullptr)) {
             reader->index.pop_back();
             break;
         }
         store::BlockInfo &accepted = reader->index.back();
         accepted.firstIter = ints[0].front();
         accepted.lastIter = ints[0].back();
+        reader->zones_.push_back(store::computeBlockZone(ints, dbls));
         for (std::size_t i = 0; i < ints[0].size(); ++i) {
             if (reader->records_ + i > 0 && ints[0][i] < last_iter)
                 reader->sorted_ = false;
@@ -236,7 +315,7 @@ FeatureStoreReader::salvage(const std::string &path,
         reader->records_ += count;
         off += size;
     }
-    reader->droppedTail_ = f.size() - off;
+    reader->droppedTail_ = tail.size() - off;
     return reader;
 }
 
@@ -265,21 +344,37 @@ FeatureStoreReader::openOrSalvage(const std::string &path,
 
 bool
 FeatureStoreReader::decodeBlock(
-    std::size_t b, std::vector<std::vector<std::int64_t>> &ints,
+    std::size_t b, std::vector<std::uint8_t> &raw,
+    std::vector<std::vector<std::int64_t>> &ints,
     std::vector<std::vector<double>> &dbls,
     std::string *detail) const
 {
     const store::BlockInfo &info = index[b];
-    const std::uint8_t *base =
-        file.data() + static_cast<std::size_t>(info.offset);
+    raw.resize(static_cast<std::size_t>(info.size));
+    const store::IoError io =
+        file_->readAt(info.offset, raw.data(), raw.size());
+    if (!io.ok())
+        return fail(detail, "block " + std::to_string(b) +
+                                ": read failed: " + io.message);
+    return decodeBlockBytes(b, raw.data(), ints, dbls, detail);
+}
+
+bool
+FeatureStoreReader::decodeBlockBytes(
+    std::size_t b, const std::uint8_t *raw,
+    std::vector<std::vector<std::int64_t>> &ints,
+    std::vector<std::vector<double>> &dbls,
+    std::string *detail) const
+{
+    const store::BlockInfo &info = index[b];
     const std::size_t size = static_cast<std::size_t>(info.size);
     const std::string where = "block " + std::to_string(b);
 
-    store::ByteReader crc_r(base + size - 4, 4);
-    if (store::crc32(base, size - 4) != crc_r.u32())
+    store::ByteReader crc_r(raw + size - 4, 4);
+    if (store::crc32(raw, size - 4) != crc_r.u32())
         return fail(detail, where + ": CRC mismatch");
 
-    store::ByteReader r(base, size - 4);
+    store::ByteReader r(raw, size - 4);
     const std::uint32_t n = r.u32();
     if (n != info.records)
         return fail(detail,
@@ -292,8 +387,13 @@ FeatureStoreReader::decodeBlock(
         if (len > r.remaining())
             return fail(detail, where + ": column overruns block");
         ints[c].resize(n);
-        if (!store::decodeIntColumn(r.cursor(), len, n,
-                                    ints[c].data()))
+        const bool good =
+            version_ >= 2
+                ? store::decodeIntColumnTagged(r.cursor(), len, n,
+                                               ints[c].data())
+                : store::decodeIntColumn(r.cursor(), len, n,
+                                         ints[c].data());
+        if (!good)
             return fail(detail, where + ": bad integer column " +
                                     std::to_string(c));
         r.skip(len);
@@ -311,22 +411,63 @@ FeatureStoreReader::decodeBlock(
     }
     if (!r.ok() || r.remaining() != 0)
         return fail(detail, where + ": trailing bytes after columns");
+    blocksDecoded_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+bool
+FeatureStoreReader::blockIterBounds(std::size_t b, std::int64_t &lo,
+                                    std::int64_t &hi) const
+{
+    if (const store::BlockZone *z = zone(b)) {
+        lo = z->intMin[0];
+        hi = z->intMax[0];
+        return true;
+    }
+    if (sorted_) {
+        lo = index[b].firstIter;
+        hi = index[b].lastIter;
+        return true;
+    }
+    return false;
 }
 
 bool
 FeatureStoreReader::verify(std::string *detail) const
 {
+    std::vector<std::uint8_t> raw;
     std::vector<std::vector<std::int64_t>> ints;
     std::vector<std::vector<double>> dbls;
     for (std::size_t b = 0; b < index.size(); ++b) {
-        if (!decodeBlock(b, ints, dbls, detail))
+        if (!decodeBlock(b, raw, ints, dbls, detail))
             return false;
         if (ints[0].front() != index[b].firstIter ||
             ints[0].back() != index[b].lastIter)
             return fail(detail,
                         "block " + std::to_string(b) +
                             ": iteration bounds disagree with index");
+        if (const store::BlockZone *z = zone(b)) {
+            // The zone map is derived data; recompute and compare
+            // so a corrupt or stale entry cannot silently drop
+            // blocks from filtered queries. Plain == suffices for
+            // the doubles: entries never hold NaN (the empty
+            // interval is (+inf, -inf)), and the writer computes
+            // them with the same helper from the same values.
+            const store::BlockZone want =
+                store::computeBlockZone(ints, dbls);
+            bool same = true;
+            for (std::size_t c = 0; c < store::zoneIntColumns; ++c)
+                same = same && z->intMin[c] == want.intMin[c] &&
+                       z->intMax[c] == want.intMax[c];
+            for (std::size_t c = 0; c < store::zoneDoubleColumns;
+                 ++c)
+                same = same && z->dblMin[c] == want.dblMin[c] &&
+                       z->dblMax[c] == want.dblMax[c];
+            if (!same)
+                return fail(detail,
+                            "block " + std::to_string(b) +
+                                ": zone map disagrees with data");
+        }
     }
     return true;
 }
@@ -335,7 +476,7 @@ void
 FeatureStoreReader::Cursor::fill(std::size_t b)
 {
     std::string detail;
-    if (!reader->decodeBlock(b, ints, dbls, &detail))
+    if (!reader->decodeBlock(b, raw, ints, dbls, &detail))
         TDFE_FATAL("corrupt feature store: ", detail);
     count = ints[0].size();
     pos = 0;
@@ -349,17 +490,7 @@ FeatureStoreReader::Cursor::next(FeatureRecord &out)
             return false;
         fill(block++);
     }
-    out.iteration = static_cast<long>(ints[0][pos]);
-    out.analysis = static_cast<long>(ints[1][pos]);
-    out.stop = ints[2][pos] != 0;
-    out.wallTime = dbls[0][pos];
-    out.wavefront = dbls[1][pos];
-    out.predicted = dbls[2][pos];
-    out.mse = dbls[3][pos];
-    out.coeffs.resize(reader->schema_.coeffCount);
-    for (std::size_t k = 0; k < reader->schema_.coeffCount; ++k)
-        out.coeffs[k] =
-            dbls[StoreSchema::numFixedDoubleColumns + k][pos];
+    materialize(reader->schema_, ints, dbls, pos, out);
     ++pos;
     return true;
 }
@@ -386,18 +517,39 @@ FeatureStoreReader::readRange(std::int64_t iter_begin,
                               std::vector<FeatureRecord> &out) const
 {
     std::size_t appended = 0;
-    Cursor c = cursorAt(iter_begin);
+    std::size_t b = 0;
+    if (sorted_) {
+        const auto it = std::lower_bound(
+            index.begin(), index.end(), iter_begin,
+            [](const store::BlockInfo &blk, std::int64_t v) {
+                return blk.lastIter < v;
+            });
+        b = static_cast<std::size_t>(it - index.begin());
+    }
+    std::vector<std::uint8_t> raw;
+    std::vector<std::vector<std::int64_t>> ints;
+    std::vector<std::vector<double>> dbls;
     FeatureRecord rec;
-    while (c.next(rec)) {
-        if (rec.iteration >= iter_end) {
-            if (sorted_)
-                break; // everything after is even later
-            continue;
+    for (; b < index.size(); ++b) {
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        if (blockIterBounds(b, lo, hi)) {
+            if (sorted_ && lo >= iter_end)
+                break; // every later block is even later
+            if (hi < iter_begin || lo >= iter_end)
+                continue; // pruned: never read, never decoded
         }
-        if (rec.iteration < iter_begin)
-            continue;
-        out.push_back(rec);
-        ++appended;
+        std::string detail;
+        if (!decodeBlock(b, raw, ints, dbls, &detail))
+            TDFE_FATAL("corrupt feature store: ", detail);
+        for (std::size_t i = 0; i < ints[0].size(); ++i) {
+            const std::int64_t iter = ints[0][i];
+            if (iter < iter_begin || iter >= iter_end)
+                continue;
+            materialize(schema_, ints, dbls, i, rec);
+            out.push_back(rec);
+            ++appended;
+        }
     }
     return appended;
 }

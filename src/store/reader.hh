@@ -1,13 +1,16 @@
 /**
  * @file
- * Indexed reader of the feature trace store. The whole file is
- * loaded into memory at open (stores are orders of magnitude
- * smaller than the traces they replace — that is the point), the
- * footer index is parsed and CRC-checked, and records are decoded
- * block-at-a-time into caller-owned scratch: a cursor re-fills its
- * columnar decode buffers in place, so steady-state iteration
- * allocates nothing, matching the packed-layout conventions of the
- * training hot path.
+ * Indexed reader of the feature trace store. open() reads only the
+ * header, the footer index, and the trailer; block payloads are
+ * fetched on demand, one pread per decoded block, through the same
+ * store::ReadFile seam the writer uses on its side — so a filtered
+ * query that the zone map prunes to three blocks reads three blocks
+ * off disk, not the file. Records decode block-at-a-time into
+ * caller-owned scratch: a cursor re-fills its columnar decode
+ * buffers in place, so steady-state iteration allocates nothing,
+ * matching the packed-layout conventions of the training hot path.
+ * Cursors may run concurrently (one per thread): the reader's state
+ * is immutable after open and ReadFile::readAt is thread-safe.
  *
  * Error model: open() and verify() report malformed input
  * gracefully (a store file is user data, and tdfstool must be able
@@ -19,6 +22,7 @@
 #ifndef TDFE_STORE_READER_HH
 #define TDFE_STORE_READER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -26,18 +30,22 @@
 #include <vector>
 
 #include "store/feature_record.hh"
+#include "store/file.hh"
 #include "store/format.hh"
 
 namespace tdfe
 {
+
+class QueryCursor;
 
 /** Read-only view of one store file. */
 class FeatureStoreReader
 {
   public:
     /**
-     * Open @p path: load the file, validate header, trailer, and
-     * footer CRC, and parse the block index + schema.
+     * Open @p path: read and validate header, trailer, and footer
+     * (CRC-checked), and parse the block index, zone map (v2+), and
+     * schema. Block data stays on disk until a cursor asks for it.
      * @return nullptr on any malformation, with a diagnostic in
      *         @p error when given.
      */
@@ -52,11 +60,12 @@ class FeatureStoreReader
      * survive; the scan stops at the first byte that does not parse
      * as a valid block — exactly the sealed prefix an interrupted
      * writer leaves behind. Column names are rebuilt from the
-     * schema (they are deterministic), and the sorted flag is
-     * recomputed from the recovered records, so a salvaged reader
-     * behaves identically to a footer-backed one over the same
-     * blocks. @return nullptr (diagnostic in @p error) only when
-     * not even the header survives.
+     * schema (they are deterministic), the sorted flag is recomputed
+     * from the recovered records, and the zone map is rebuilt from
+     * the decoded blocks, so a salvaged reader behaves identically
+     * to a footer-backed one over the same blocks — filtered-query
+     * pushdown included. @return nullptr (diagnostic in @p error)
+     * only when not even the header survives.
      */
     static std::unique_ptr<FeatureStoreReader>
     salvage(const std::string &path, std::string *error = nullptr);
@@ -77,6 +86,10 @@ class FeatureStoreReader
     /** @return column layout recorded in the footer. */
     const StoreSchema &schema() const { return schema_; }
 
+    /** @return on-disk format version (1: no zone map, delta-varint
+     *  integer columns; 2: zone-mapped, per-block codec choice). */
+    std::uint32_t formatVersion() const { return version_; }
+
     /** @return total records across all blocks. */
     std::size_t recordCount() const { return records_; }
 
@@ -89,11 +102,26 @@ class FeatureStoreReader
         return index[b];
     }
 
+    /**
+     * @return zone-map entry of block @p b, or nullptr when the
+     * store carries none (v1 footer-backed opens — salvage rebuilds
+     * zones for both versions). Pushdown treats a missing zone map
+     * as "may match": only the always-present per-block iteration
+     * bounds prune then.
+     */
+    const store::BlockZone *zone(std::size_t b) const
+    {
+        return zones_.empty() ? nullptr : &zones_[b];
+    }
+
     /** @return records-per-block capacity from the header. */
     std::size_t blockCapacity() const { return capacity_; }
 
     /** @return file size in bytes. */
-    std::size_t fileBytes() const { return file.size(); }
+    std::size_t fileBytes() const
+    {
+        return static_cast<std::size_t>(file_->size());
+    }
 
     /** @return column names as recorded in the footer (ints then
      *  doubles). */
@@ -105,9 +133,10 @@ class FeatureStoreReader
     /**
      * @return true when the producer appended records in
      * nondecreasing iteration order (footer flag, cross-checked
-     * against the block boundaries), enabling block-index random
-     * access by iteration; rank-merged stores are typically not
-     * sorted and range queries fall back to a sequential scan.
+     * against the block boundaries), enabling block-index binary
+     * search and early exit in range queries. Unsorted stores (e.g.
+     * legacy rank-concatenated merges) still prune per block via
+     * the index's iteration bounds — they only lose the early exit.
      */
     bool sortedByIteration() const { return sorted_; }
 
@@ -121,9 +150,28 @@ class FeatureStoreReader
     std::size_t droppedTailBytes() const { return droppedTail_; }
 
     /**
-     * Walk every block: bounds, CRC, and full column decode.
-     * @return true when the whole store is intact; otherwise false
-     *         with a diagnostic in @p detail when given.
+     * Blocks decoded through this reader since open (or the last
+     * resetIoStats), summed over all cursors — the observable the
+     * pushdown gates measure: a selective query over a cold reader
+     * must leave this well below blockCount(). @{
+     */
+    std::size_t
+    blocksDecoded() const
+    {
+        return blocksDecoded_.load(std::memory_order_relaxed);
+    }
+    void
+    resetIoStats() const
+    {
+        blocksDecoded_.store(0, std::memory_order_relaxed);
+    }
+    /** @} */
+
+    /**
+     * Walk every block: bounds, CRC, full column decode, and (when
+     * a zone map is present) zone-entry agreement with the decoded
+     * min/max. @return true when the whole store is intact;
+     * otherwise false with a diagnostic in @p detail when given.
      */
     bool verify(std::string *detail = nullptr) const;
 
@@ -153,6 +201,7 @@ class FeatureStoreReader
         std::size_t block = 0; ///< next block to decode
         std::size_t pos = 0;   ///< next record within the scratch
         std::size_t count = 0; ///< records in the scratch
+        std::vector<std::uint8_t> raw;
         std::vector<std::vector<std::int64_t>> ints;
         std::vector<std::vector<double>> dbls;
     };
@@ -171,9 +220,14 @@ class FeatureStoreReader
 
     /**
      * Append every record with iteration in [@p iter_begin,
-     * @p iter_end) to @p out, using the block index to skip
-     * non-overlapping blocks when the store is iteration-sorted.
-     * @return number of records appended.
+     * @p iter_end) to @p out. Blocks whose iteration bounds do not
+     * overlap the window are neither read nor decoded. Exact bounds
+     * come from the zone map when present (v2, or any salvaged
+     * store) and from the index's first/last iterations when the
+     * store is sorted; only a v1 footer-backed unsorted store has
+     * no per-block bounds and decodes everything. Sortedness
+     * additionally buys the binary-searched start block and the
+     * early exit. @return records appended.
      */
     std::size_t readRange(std::int64_t iter_begin,
                           std::int64_t iter_end,
@@ -182,21 +236,50 @@ class FeatureStoreReader
   private:
     FeatureStoreReader() = default;
 
+    friend class QueryCursor;
+
     /**
-     * Decode block @p b into columnar scratch. @return false with a
-     * diagnostic in @p detail on corruption (CRC mismatch, bad
-     * column bytes, shape skew).
+     * Read block @p b off disk into @p raw and decode it into
+     * columnar scratch. @return false with a diagnostic in
+     * @p detail on corruption (CRC mismatch, bad column bytes,
+     * shape skew). Thread-safe: all reader state touched is
+     * immutable or atomic.
      */
-    bool decodeBlock(std::size_t b,
+    bool decodeBlock(std::size_t b, std::vector<std::uint8_t> &raw,
                      std::vector<std::vector<std::int64_t>> &ints,
                      std::vector<std::vector<double>> &dbls,
                      std::string *detail) const;
 
-    std::vector<std::uint8_t> file;
+    /** Decode @p raw (already loaded block bytes) as block @p b. */
+    bool decodeBlockBytes(
+        std::size_t b, const std::uint8_t *raw,
+        std::vector<std::vector<std::int64_t>> &ints,
+        std::vector<std::vector<double>> &dbls,
+        std::string *detail) const;
+
+    /** Copy record @p i of decoded columns into @p out. */
+    static void
+    materialize(const StoreSchema &schema,
+                const std::vector<std::vector<std::int64_t>> &ints,
+                const std::vector<std::vector<double>> &dbls,
+                std::size_t i, FeatureRecord &out);
+
+    /**
+     * Tightest known iteration bounds of block @p b: the zone map's
+     * min/max when present, else the index's first/last iteration
+     * when the store is sorted (then they coincide with min/max).
+     * @return false when no bound is known (v1 footer-backed
+     * unsorted store) — the caller must decode the block.
+     */
+    bool blockIterBounds(std::size_t b, std::int64_t &lo,
+                         std::int64_t &hi) const;
+
+    std::unique_ptr<store::ReadFile> file_;
     StoreSchema schema_;
     std::vector<store::BlockInfo> index;
+    std::vector<store::BlockZone> zones_;
     std::vector<std::string> names_;
-    /** Load @p path and validate the fixed header into @p reader.
+    /** Open @p path and validate the fixed header into @p reader.
      *  Shared by open() and salvage(). @return false with a
      *  diagnostic in @p error on failure. */
     static bool loadAndCheckHeader(
@@ -204,11 +287,13 @@ class FeatureStoreReader
         std::uint32_t &n_int, std::uint32_t &n_dbl,
         std::string *error);
 
+    std::uint32_t version_ = store::formatVersion;
     std::size_t records_ = 0;
     std::size_t capacity_ = 0;
     bool sorted_ = true;
     bool salvaged_ = false;
     std::size_t droppedTail_ = 0;
+    mutable std::atomic<std::size_t> blocksDecoded_{0};
 };
 
 } // namespace tdfe

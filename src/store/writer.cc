@@ -1,6 +1,7 @@
 #include "store/writer.hh"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "base/logging.hh"
@@ -174,7 +175,7 @@ FeatureStoreWriter::flushPending()
     for (const auto &c : pdInt) {
         const std::size_t at = encodeBuf.size();
         store::putU32(encodeBuf, 0);
-        store::encodeIntColumn(c.data(), n, encodeBuf);
+        store::encodeIntColumnTagged(c.data(), n, encodeBuf);
         backpatch(at);
     }
     for (const auto &c : pdDbl) {
@@ -196,6 +197,7 @@ FeatureStoreWriter::flushPending()
     if (!writeChecked(encodeBuf.data(), encodeBuf.size(), n))
         return;
     index.push_back(info);
+    zones.push_back(store::computeBlockZone(pdInt, pdDbl));
 }
 
 bool
@@ -370,6 +372,21 @@ FeatureStoreWriter::writeFooter()
         put_name(StoreSchema::intColumnName(i));
     for (std::size_t i = 0; i < schema_.doubleColumns(); ++i)
         put_name(schema_.doubleColumnName(i));
+    auto put_dbl_bits = [&f](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        store::putU64(f, bits);
+    };
+    for (const store::BlockZone &z : zones) {
+        for (std::size_t c = 0; c < store::zoneIntColumns; ++c) {
+            store::putI64(f, z.intMin[c]);
+            store::putI64(f, z.intMax[c]);
+        }
+        for (std::size_t c = 0; c < store::zoneDoubleColumns; ++c) {
+            put_dbl_bits(z.dblMin[c]);
+            put_dbl_bits(z.dblMax[c]);
+        }
+    }
     store::putU32(f, store::crc32(f.data(), f.size()));
 
     store::putU64(f, footer_offset);

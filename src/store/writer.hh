@@ -242,6 +242,9 @@ class FeatureStoreWriter
     /** @} */
 
     std::vector<store::BlockInfo> index;
+    /** Per-sealed-block column min/max, written to the v2 footer as
+     *  the zone map (grows in lockstep with index). */
+    std::vector<store::BlockZone> zones;
     /** Iteration monotonicity across appends (footer sorted flag —
      *  rank merges break it and downgrade range queries). @{ */
     std::int64_t lastIter_ = 0;

@@ -21,6 +21,19 @@ namespace wd
 namespace
 {
 
+// As in the blast harness: one builder so the per-rank parts, the
+// rank-0 merge, and the crash-resume stitch all honor the same
+// --store-async / --store-durability settings.
+StoreOptions
+storeOptionsFrom(const WdRunOptions &options)
+{
+    StoreOptions store_options;
+    store_options.async = options.storeAsync;
+    store_options.durability =
+        store::parseDurabilityPolicy(options.storeDurability);
+    return store_options;
+}
+
 // Same payload framing as the blast harness (see there): domain
 // state plus, when instrumented, the region's checkpoint, behind a
 // tag/version.
@@ -169,13 +182,9 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
 
     std::unique_ptr<FeatureStoreWriter> store;
     if (region && !options.storePath.empty()) {
-        StoreOptions store_options;
-        store_options.async = options.storeAsync;
-        store_options.durability =
-            store::parseDurabilityPolicy(options.storeDurability);
         store = attachRankStore(*region, options.storePath,
                                 options.ar.order + 1,
-                                store_options, comm);
+                                storeOptionsFrom(options), comm);
     }
 
     long attempt_dumps = 0;
@@ -259,6 +268,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         RankMergeOptions merge;
         merge.policy = parseMergePolicy(options.storeMergePolicy);
         merge.keepParts = options.storeKeepParts;
+        merge.storeOptions = storeOptionsFrom(options);
         result.storeBytes = finishRankStore(
             *region, std::move(store), options.storePath, comm,
             merge);
@@ -302,7 +312,8 @@ runWdMergerResilient(const WdMergerConfig &config, Communicator *comm,
 
         if (segmented) {
             result.storeBytes = stitchSegmentStores(
-                segments, options.storePath, StoreOptions());
+                segments, options.storePath,
+                storeOptionsFrom(options));
             if (!options.storeKeepParts) {
                 for (const std::string &seg : segments)
                     std::remove(seg.c_str());

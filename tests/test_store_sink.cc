@@ -369,21 +369,22 @@ TEST(StoreMerge, RankOrderConcatenation)
     ASSERT_TRUE(r);
     EXPECT_EQ(r->recordCount(), 120u);
     EXPECT_TRUE(r->verify());
-    // Same iterations repeat per rank, so the merged index is not
-    // iteration-sorted...
-    EXPECT_FALSE(r->sortedByIteration());
+    // The k-way merge emits iteration-major order (ties in rank
+    // order), so the merged store keeps the sorted flag even though
+    // the same iterations repeat across ranks...
+    EXPECT_TRUE(r->sortedByIteration());
     auto c = r->cursor();
     FeatureRecord rec;
     long row = 0;
     while (c.next(rec)) {
-        const long rank = row / 40;
-        EXPECT_EQ(rec.iteration, row % 40);
+        const long rank = row % 3;
+        EXPECT_EQ(rec.iteration, row / 3);
         EXPECT_EQ(rec.coeffs[0], static_cast<double>(rank));
         ++row;
     }
     EXPECT_EQ(row, 120);
-    // ...and range queries fall back to a full scan yet stay exact:
-    // iteration 5 appears once per rank.
+    // ...and range queries binary-search the block index yet stay
+    // exact: iteration 5 appears once per rank.
     std::vector<FeatureRecord> hits;
     EXPECT_EQ(r->readRange(5, 6, hits), 3u);
     for (const FeatureRecord &h : hits)
@@ -434,8 +435,10 @@ TEST(StoreMerge, BlastRunnerMergesRankStores)
         static_cast<std::size_t>(ref.iterations);
     ASSERT_EQ(r->recordCount(), 2 * n);
 
-    // Analyses are replicated across ranks, so the two halves must
-    // agree bitwise on everything except the wall clock.
+    // Analyses are replicated across ranks, and the iteration-
+    // sorted merge pairs the two ranks' records per iteration
+    // (rank 0 first), so adjacent rows must agree bitwise on
+    // everything except the wall clock.
     std::vector<FeatureRecord> all;
     {
         auto c = r->cursor();
@@ -444,9 +447,10 @@ TEST(StoreMerge, BlastRunnerMergesRankStores)
             all.push_back(rec);
     }
     ASSERT_EQ(all.size(), 2 * n);
+    EXPECT_TRUE(r->sortedByIteration());
     for (std::size_t i = 0; i < n; ++i) {
-        const FeatureRecord &a = all[i];
-        const FeatureRecord &b = all[n + i];
+        const FeatureRecord &a = all[2 * i];
+        const FeatureRecord &b = all[2 * i + 1];
         EXPECT_EQ(a.iteration, static_cast<long>(i));
         EXPECT_EQ(a.iteration, b.iteration);
         EXPECT_EQ(a.stop, b.stop);

@@ -6,27 +6,40 @@
  *   tdfstool info   <store>            header/schema/block summary
  *   tdfstool verify <store>            CRC + full-decode walk
  *   tdfstool export <store> [--out f]  CSV dump (stdout default)
+ *   tdfstool query  <store> [--iter a:b] [--analysis k] [--stop 0|1]
+ *                   [--where col<op>v]... [--project cols]
+ *                   [--agg count|min|max|mean]
+ *                                      filtered scan (zone-map
+ *                                      pushdown; see store/query.hh)
  *   tdfstool diff   <a> <b> [--ignore cols]
  *                                      record-wise comparison
  *   tdfstool recover <damaged> <out>   salvage a damaged store into
  *                                      a clean one
  *   tdfstool ckpt-info <file.tdck>     inspect a checkpoint envelope
  *                                      (CRCs fully verified)
+ *   tdfstool help                      this text, to stdout, exit 0
  *
  * Every command exits 0 on success and 1 on any mismatch or
  * malformed input, so scripts (scripts/check_build.sh runs a
- * `verify` smoke and a truncate/recover round trip) can gate on it
- * directly. `recover` succeeds whenever the salvage scan ran — even
- * when it recovered zero records — because for an operator, "the
- * file held nothing recoverable" is an answer, not a tool failure;
- * the record count is printed for scripts that want to gate on it.
+ * `verify` smoke, a `query` smoke, and a truncate/recover round
+ * trip) can gate on it directly; usage errors print the usage text
+ * to stderr and exit 1, while an explicit `help` / `--help` / `-h`
+ * prints it to stdout and exits 0, as operators expect. `recover`
+ * succeeds whenever the salvage scan ran — even when it recovered
+ * zero records — because for an operator, "the file held nothing
+ * recoverable" is an answer, not a tool failure; the record count
+ * is printed for scripts that want to gate on it.
  */
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -34,6 +47,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hh"
+#include "store/query.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
 
@@ -46,11 +60,11 @@ using tdfe::StoreSchema;
 namespace
 {
 
-int
-usage()
+void
+printUsage(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: tdfstool <command> <store> [options]\n"
         "  info   <store>              print header, schema, and "
         "block index\n"
@@ -58,6 +72,34 @@ usage()
         "decode\n"
         "  export <store> [--out f]    dump records as CSV (stdout "
         "default)\n"
+        "  query  <store> [filters]    filtered scan; non-matching "
+        "blocks are\n"
+        "                              skipped via the footer zone "
+        "map\n"
+        "         --iter a:b           iteration window [a, b) "
+        "(either side\n"
+        "                              may be empty for an open "
+        "end)\n"
+        "         --analysis k         only analysis id k\n"
+        "         --stop 0|1           only records with that stop "
+        "flag\n"
+        "         --where col<op>v     metric predicate, e.g. "
+        "mse<0.5 or\n"
+        "                              wavefront>=12; repeatable "
+        "(ANDed);\n"
+        "                              columns: wall_time, "
+        "wavefront,\n"
+        "                              predicted, mse; ops: < <= > "
+        ">= == !=\n"
+        "                              (NaN values never match)\n"
+        "         --project c,c        output only these columns\n"
+        "         --agg count|min|max|mean\n"
+        "                              aggregate instead of "
+        "listing: count\n"
+        "                              of matches, or the "
+        "per-projected-column\n"
+        "                              min/max/mean (NaNs "
+        "excluded)\n"
         "  diff <a> <b> [--ignore c,c] compare two stores "
         "record-wise,\n"
         "                              skipping the named columns "
@@ -69,7 +111,15 @@ usage()
         "  ckpt-info <file.tdck>       inspect a crash-safe "
         "checkpoint envelope\n"
         "                              (exit 1 when torn or "
-        "corrupt)\n");
+        "corrupt)\n"
+        "  help                        print this text and exit "
+        "0\n");
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return 1;
 }
 
@@ -187,6 +237,219 @@ cmdExport(const std::string &path, const std::string &out_path)
     if (!out.good()) {
         std::fprintf(stderr, "tdfstool: export write failed\n");
         return 1;
+    }
+    return 0;
+}
+
+/**
+ * Resolve a projected column of @p rec by footer name. Integer
+ * columns report @p integral so the CSV prints them without a
+ * decimal point. @return false for a name the store does not have.
+ */
+bool
+columnValue(const FeatureRecord &rec, const std::string &name,
+            double &v, bool &integral)
+{
+    integral = true;
+    if (name == "iteration") {
+        v = static_cast<double>(rec.iteration);
+        return true;
+    }
+    if (name == "analysis") {
+        v = static_cast<double>(rec.analysis);
+        return true;
+    }
+    if (name == "stop") {
+        v = rec.stop ? 1.0 : 0.0;
+        return true;
+    }
+    integral = false;
+    if (name == "wall_time") {
+        v = rec.wallTime;
+        return true;
+    }
+    if (name == "wavefront") {
+        v = rec.wavefront;
+        return true;
+    }
+    if (name == "predicted") {
+        v = rec.predicted;
+        return true;
+    }
+    if (name == "mse") {
+        v = rec.mse;
+        return true;
+    }
+    if (name.rfind("coef", 0) == 0) {
+        char *end = nullptr;
+        const long k = std::strtol(name.c_str() + 4, &end, 10);
+        if (end != name.c_str() + 4 && *end == '\0' && k >= 0 &&
+            static_cast<std::size_t>(k) < rec.coeffs.size()) {
+            v = rec.coeffs[static_cast<std::size_t>(k)];
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    const std::string path = argv[2];
+    tdfe::EventFilter filter;
+    std::string project;
+    std::string agg;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--iter" && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr,
+                             "tdfstool: --iter wants a:b, got "
+                             "'%s'\n",
+                             spec.c_str());
+                return 1;
+            }
+            const std::string lo = spec.substr(0, colon);
+            const std::string hi = spec.substr(colon + 1);
+            if (!lo.empty())
+                filter.iterBegin = std::atoll(lo.c_str());
+            if (!hi.empty())
+                filter.iterEnd = std::atoll(hi.c_str());
+        } else if (arg == "--analysis" && i + 1 < argc) {
+            filter.analysisIs(std::atoll(argv[++i]));
+        } else if (arg == "--stop" && i + 1 < argc) {
+            filter.stopIs(std::string(argv[++i]) != "0");
+        } else if (arg == "--where" && i + 1 < argc) {
+            tdfe::MetricPredicate pred;
+            std::string error;
+            if (!tdfe::parseMetricPredicate(argv[++i], pred,
+                                            &error)) {
+                std::fprintf(stderr, "tdfstool: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            filter.where(pred);
+        } else if (arg == "--project" && i + 1 < argc) {
+            project = argv[++i];
+        } else if (arg == "--agg" && i + 1 < argc) {
+            agg = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (!agg.empty() && agg != "count" && agg != "min" &&
+        agg != "max" && agg != "mean") {
+        std::fprintf(stderr,
+                     "tdfstool: --agg wants count, min, max, or "
+                     "mean, got '%s'\n",
+                     agg.c_str());
+        return 1;
+    }
+
+    const auto r = openOrComplain(path);
+    if (!r)
+        return 1;
+
+    std::vector<std::string> cols;
+    if (project.empty()) {
+        cols = r->columnNames();
+    } else {
+        std::stringstream ss(project);
+        std::string item;
+        const auto &known = r->columnNames();
+        while (std::getline(ss, item, ',')) {
+            if (item.empty())
+                continue;
+            if (std::find(known.begin(), known.end(), item) ==
+                known.end()) {
+                std::fprintf(stderr,
+                             "tdfstool: store has no column "
+                             "'%s'\n",
+                             item.c_str());
+                return 1;
+            }
+            cols.push_back(item);
+        }
+        if (cols.empty()) {
+            std::fprintf(stderr,
+                         "tdfstool: --project named no columns\n");
+            return 1;
+        }
+    }
+
+    tdfe::QueryCursor cursor(*r, filter);
+    FeatureRecord rec;
+    char buf[64];
+
+    if (agg == "count") {
+        std::size_t n = 0;
+        while (cursor.next(rec))
+            ++n;
+        std::printf("%zu\n", n);
+        return 0;
+    }
+
+    if (!agg.empty()) {
+        // Per-projected-column streaming aggregate; NaNs are
+        // excluded, matching the query engine's predicate
+        // semantics. A column with no non-NaN value prints "nan".
+        std::vector<double> mins(cols.size(), 0.0);
+        std::vector<double> maxs(cols.size(), 0.0);
+        std::vector<double> sums(cols.size(), 0.0);
+        std::vector<std::size_t> counts(cols.size(), 0);
+        while (cursor.next(rec)) {
+            for (std::size_t c = 0; c < cols.size(); ++c) {
+                double v = 0.0;
+                bool integral = false;
+                columnValue(rec, cols[c], v, integral);
+                if (std::isnan(v))
+                    continue;
+                if (counts[c] == 0 || v < mins[c])
+                    mins[c] = v;
+                if (counts[c] == 0 || v > maxs[c])
+                    maxs[c] = v;
+                sums[c] += v;
+                ++counts[c];
+            }
+        }
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            std::printf("%s%s", c ? "," : "", cols[c].c_str());
+        std::printf("\n");
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            double v = std::numeric_limits<double>::quiet_NaN();
+            if (counts[c] > 0) {
+                v = agg == "min" ? mins[c]
+                    : agg == "max"
+                        ? maxs[c]
+                        : sums[c] /
+                              static_cast<double>(counts[c]);
+            }
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            std::printf("%s%s", c ? "," : "", buf);
+        }
+        std::printf("\n");
+        return 0;
+    }
+
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        std::printf("%s%s", c ? "," : "", cols[c].c_str());
+    std::printf("\n");
+    while (cursor.next(rec)) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            double v = 0.0;
+            bool integral = false;
+            columnValue(rec, cols[c], v, integral);
+            if (integral) {
+                std::printf("%s%lld", c ? "," : "",
+                            static_cast<long long>(v));
+            } else {
+                std::snprintf(buf, sizeof(buf), "%.17g", v);
+                std::printf("%s%s", c ? "," : "", buf);
+            }
+        }
+        std::printf("\n");
     }
     return 0;
 }
@@ -351,9 +614,15 @@ cmdCkptInfo(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        printUsage(stdout);
+        return 0;
+    }
+    if (argc < 3)
+        return usage();
 
     if (cmd == "info")
         return cmdInfo(argv[2]);
@@ -370,6 +639,8 @@ main(int argc, char **argv)
         }
         return cmdExport(argv[2], out);
     }
+    if (cmd == "query")
+        return cmdQuery(argc, argv);
     if (cmd == "diff") {
         if (argc < 4)
             return usage();
