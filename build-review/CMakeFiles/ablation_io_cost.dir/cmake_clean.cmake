@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_io_cost.dir/bench/ablation_io_cost.cc.o"
+  "CMakeFiles/ablation_io_cost.dir/bench/ablation_io_cost.cc.o.d"
+  "ablation_io_cost"
+  "ablation_io_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_io_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

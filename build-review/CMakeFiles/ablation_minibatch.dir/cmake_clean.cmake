@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minibatch.dir/bench/ablation_minibatch.cc.o"
+  "CMakeFiles/ablation_minibatch.dir/bench/ablation_minibatch.cc.o.d"
+  "ablation_minibatch"
+  "ablation_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

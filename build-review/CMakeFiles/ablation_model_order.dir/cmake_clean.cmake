@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_order.dir/bench/ablation_model_order.cc.o"
+  "CMakeFiles/ablation_model_order.dir/bench/ablation_model_order.cc.o.d"
+  "ablation_model_order"
+  "ablation_model_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

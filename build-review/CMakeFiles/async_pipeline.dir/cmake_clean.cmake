@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_pipeline.dir/bench/async_pipeline.cc.o"
+  "CMakeFiles/async_pipeline.dir/bench/async_pipeline.cc.o.d"
+  "async_pipeline"
+  "async_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

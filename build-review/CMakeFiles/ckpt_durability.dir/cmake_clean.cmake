@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_durability.dir/bench/ckpt_durability.cc.o"
+  "CMakeFiles/ckpt_durability.dir/bench/ckpt_durability.cc.o.d"
+  "ckpt_durability"
+  "ckpt_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

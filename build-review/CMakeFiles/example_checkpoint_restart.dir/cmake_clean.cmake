@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_restart.dir/examples/checkpoint_restart.cpp.o"
+  "CMakeFiles/example_checkpoint_restart.dir/examples/checkpoint_restart.cpp.o.d"
+  "example_checkpoint_restart"
+  "example_checkpoint_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

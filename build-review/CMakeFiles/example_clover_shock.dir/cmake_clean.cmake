@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clover_shock.dir/examples/clover_shock.cpp.o"
+  "CMakeFiles/example_clover_shock.dir/examples/clover_shock.cpp.o.d"
+  "example_clover_shock"
+  "example_clover_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clover_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_clover_shock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_feature.dir/examples/custom_feature.cpp.o"
+  "CMakeFiles/example_custom_feature.dir/examples/custom_feature.cpp.o.d"
+  "example_custom_feature"
+  "example_custom_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

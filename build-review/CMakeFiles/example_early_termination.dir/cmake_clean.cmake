@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_early_termination.dir/examples/early_termination.cpp.o"
+  "CMakeFiles/example_early_termination.dir/examples/early_termination.cpp.o.d"
+  "example_early_termination"
+  "example_early_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_early_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ensemble_dtd.dir/examples/ensemble_dtd.cpp.o"
+  "CMakeFiles/example_ensemble_dtd.dir/examples/ensemble_dtd.cpp.o.d"
+  "example_ensemble_dtd"
+  "example_ensemble_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ensemble_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lagrangian_shock.dir/examples/lagrangian_shock.cpp.o"
+  "CMakeFiles/example_lagrangian_shock.dir/examples/lagrangian_shock.cpp.o.d"
+  "example_lagrangian_shock"
+  "example_lagrangian_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lagrangian_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

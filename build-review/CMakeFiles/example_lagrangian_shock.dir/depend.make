@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lagrangian_shock.
+# This may be replaced when dependencies are built.

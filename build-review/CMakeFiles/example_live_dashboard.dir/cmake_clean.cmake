@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_dashboard.dir/examples/live_dashboard.cpp.o"
+  "CMakeFiles/example_live_dashboard.dir/examples/live_dashboard.cpp.o.d"
+  "example_live_dashboard"
+  "example_live_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lulesh_deformation.dir/examples/lulesh_deformation.cpp.o"
+  "CMakeFiles/example_lulesh_deformation.dir/examples/lulesh_deformation.cpp.o.d"
+  "example_lulesh_deformation"
+  "example_lulesh_deformation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lulesh_deformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

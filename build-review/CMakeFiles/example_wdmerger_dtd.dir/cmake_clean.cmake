@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wdmerger_dtd.dir/examples/wdmerger_dtd.cpp.o"
+  "CMakeFiles/example_wdmerger_dtd.dir/examples/wdmerger_dtd.cpp.o.d"
+  "example_wdmerger_dtd"
+  "example_wdmerger_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wdmerger_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

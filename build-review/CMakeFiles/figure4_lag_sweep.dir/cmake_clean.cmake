@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_lag_sweep.dir/bench/figure4_lag_sweep.cc.o"
+  "CMakeFiles/figure4_lag_sweep.dir/bench/figure4_lag_sweep.cc.o.d"
+  "figure4_lag_sweep"
+  "figure4_lag_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_lag_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

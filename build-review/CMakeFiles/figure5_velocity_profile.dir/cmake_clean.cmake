@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_velocity_profile.dir/bench/figure5_velocity_profile.cc.o"
+  "CMakeFiles/figure5_velocity_profile.dir/bench/figure5_velocity_profile.cc.o.d"
+  "figure5_velocity_profile"
+  "figure5_velocity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_velocity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

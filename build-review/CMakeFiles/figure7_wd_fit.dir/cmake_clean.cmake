@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_wd_fit.dir/bench/figure7_wd_fit.cc.o"
+  "CMakeFiles/figure7_wd_fit.dir/bench/figure7_wd_fit.cc.o.d"
+  "figure7_wd_fit"
+  "figure7_wd_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_wd_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure7_wd_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_wd_diagnostics.dir/bench/figure8_wd_diagnostics.cc.o"
+  "CMakeFiles/figure8_wd_diagnostics.dir/bench/figure8_wd_diagnostics.cc.o.d"
+  "figure8_wd_diagnostics"
+  "figure8_wd_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_wd_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

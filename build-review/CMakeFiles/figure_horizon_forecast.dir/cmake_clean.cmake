@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_horizon_forecast.dir/bench/figure_horizon_forecast.cc.o"
+  "CMakeFiles/figure_horizon_forecast.dir/bench/figure_horizon_forecast.cc.o.d"
+  "figure_horizon_forecast"
+  "figure_horizon_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_horizon_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_backbone.dir/bench/par_backbone.cc.o"
+  "CMakeFiles/par_backbone.dir/bench/par_backbone.cc.o.d"
+  "par_backbone"
+  "par_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for par_backbone.
+# This may be replaced when dependencies are built.

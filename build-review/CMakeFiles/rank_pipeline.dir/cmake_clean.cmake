@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_pipeline.dir/bench/rank_pipeline.cc.o"
+  "CMakeFiles/rank_pipeline.dir/bench/rank_pipeline.cc.o.d"
+  "rank_pipeline"
+  "rank_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_hotpath.dir/bench/simd_hotpath.cc.o"
+  "CMakeFiles/simd_hotpath.dir/bench/simd_hotpath.cc.o.d"
+  "simd_hotpath"
+  "simd_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_live.dir/bench/store_live.cc.o"
+  "CMakeFiles/store_live.dir/bench/store_live.cc.o.d"
+  "store_live"
+  "store_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

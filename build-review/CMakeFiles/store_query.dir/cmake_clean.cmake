@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_query.dir/bench/store_query.cc.o"
+  "CMakeFiles/store_query.dir/bench/store_query.cc.o.d"
+  "store_query"
+  "store_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_throughput.dir/bench/store_throughput.cc.o"
+  "CMakeFiles/store_throughput.dir/bench/store_throughput.cc.o.d"
+  "store_throughput"
+  "store_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

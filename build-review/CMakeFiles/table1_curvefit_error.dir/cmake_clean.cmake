@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_curvefit_error.dir/bench/table1_curvefit_error.cc.o"
+  "CMakeFiles/table1_curvefit_error.dir/bench/table1_curvefit_error.cc.o.d"
+  "table1_curvefit_error"
+  "table1_curvefit_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_curvefit_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

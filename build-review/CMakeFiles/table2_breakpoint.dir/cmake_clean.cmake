@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_breakpoint.dir/bench/table2_breakpoint.cc.o"
+  "CMakeFiles/table2_breakpoint.dir/bench/table2_breakpoint.cc.o.d"
+  "table2_breakpoint"
+  "table2_breakpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_breakpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_early_termination.dir/bench/table4_early_termination.cc.o"
+  "CMakeFiles/table4_early_termination.dir/bench/table4_early_termination.cc.o.d"
+  "table4_early_termination"
+  "table4_early_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_early_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_wd_curvefit.dir/bench/table5_wd_curvefit.cc.o"
+  "CMakeFiles/table5_wd_curvefit.dir/bench/table5_wd_curvefit.cc.o.d"
+  "table5_wd_curvefit"
+  "table5_wd_curvefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_wd_curvefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_delay_time.dir/bench/table6_delay_time.cc.o"
+  "CMakeFiles/table6_delay_time.dir/bench/table6_delay_time.cc.o.d"
+  "table6_delay_time"
+  "table6_delay_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_delay_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

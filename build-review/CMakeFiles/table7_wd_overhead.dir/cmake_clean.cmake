@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_wd_overhead.dir/bench/table7_wd_overhead.cc.o"
+  "CMakeFiles/table7_wd_overhead.dir/bench/table7_wd_overhead.cc.o.d"
+  "table7_wd_overhead"
+  "table7_wd_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_wd_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/cli.cc" "CMakeFiles/tdfe.dir/src/base/cli.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/cli.cc.o.d"
+  "/root/repo/src/base/csv.cc" "CMakeFiles/tdfe.dir/src/base/csv.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/csv.cc.o.d"
+  "/root/repo/src/base/logging.cc" "CMakeFiles/tdfe.dir/src/base/logging.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "CMakeFiles/tdfe.dir/src/base/rng.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/rng.cc.o.d"
+  "/root/repo/src/base/serial.cc" "CMakeFiles/tdfe.dir/src/base/serial.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/serial.cc.o.d"
+  "/root/repo/src/base/table.cc" "CMakeFiles/tdfe.dir/src/base/table.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/table.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "CMakeFiles/tdfe.dir/src/base/thread_pool.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/base/thread_pool.cc.o.d"
+  "/root/repo/src/blastapp/domain.cc" "CMakeFiles/tdfe.dir/src/blastapp/domain.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/blastapp/domain.cc.o.d"
+  "/root/repo/src/blastapp/runner.cc" "CMakeFiles/tdfe.dir/src/blastapp/runner.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/blastapp/runner.cc.o.d"
+  "/root/repo/src/ckpt/checkpoint.cc" "CMakeFiles/tdfe.dir/src/ckpt/checkpoint.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/ckpt/checkpoint.cc.o.d"
+  "/root/repo/src/clover2d/app.cc" "CMakeFiles/tdfe.dir/src/clover2d/app.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/clover2d/app.cc.o.d"
+  "/root/repo/src/clover2d/solver.cc" "CMakeFiles/tdfe.dir/src/clover2d/solver.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/clover2d/solver.cc.o.d"
+  "/root/repo/src/core/analysis.cc" "CMakeFiles/tdfe.dir/src/core/analysis.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/analysis.cc.o.d"
+  "/root/repo/src/core/ar_model.cc" "CMakeFiles/tdfe.dir/src/core/ar_model.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/ar_model.cc.o.d"
+  "/root/repo/src/core/changepoint.cc" "CMakeFiles/tdfe.dir/src/core/changepoint.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/changepoint.cc.o.d"
+  "/root/repo/src/core/collector.cc" "CMakeFiles/tdfe.dir/src/core/collector.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/collector.cc.o.d"
+  "/root/repo/src/core/early_stop.cc" "CMakeFiles/tdfe.dir/src/core/early_stop.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/early_stop.cc.o.d"
+  "/root/repo/src/core/observed_series.cc" "CMakeFiles/tdfe.dir/src/core/observed_series.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/observed_series.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "CMakeFiles/tdfe.dir/src/core/predictor.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/predictor.cc.o.d"
+  "/root/repo/src/core/region.cc" "CMakeFiles/tdfe.dir/src/core/region.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/region.cc.o.d"
+  "/root/repo/src/core/td_api.cc" "CMakeFiles/tdfe.dir/src/core/td_api.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/td_api.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "CMakeFiles/tdfe.dir/src/core/threshold.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/threshold.cc.o.d"
+  "/root/repo/src/core/tracker.cc" "CMakeFiles/tdfe.dir/src/core/tracker.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/tracker.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "CMakeFiles/tdfe.dir/src/core/trainer.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/core/trainer.cc.o.d"
+  "/root/repo/src/euler3d/sedov.cc" "CMakeFiles/tdfe.dir/src/euler3d/sedov.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/euler3d/sedov.cc.o.d"
+  "/root/repo/src/euler3d/solver.cc" "CMakeFiles/tdfe.dir/src/euler3d/solver.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/euler3d/solver.cc.o.d"
+  "/root/repo/src/hydro/eos.cc" "CMakeFiles/tdfe.dir/src/hydro/eos.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/hydro/eos.cc.o.d"
+  "/root/repo/src/hydro/flux.cc" "CMakeFiles/tdfe.dir/src/hydro/flux.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/hydro/flux.cc.o.d"
+  "/root/repo/src/lagrangian/solver1d.cc" "CMakeFiles/tdfe.dir/src/lagrangian/solver1d.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/lagrangian/solver1d.cc.o.d"
+  "/root/repo/src/par/faulty_comm.cc" "CMakeFiles/tdfe.dir/src/par/faulty_comm.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/par/faulty_comm.cc.o.d"
+  "/root/repo/src/par/serial_comm.cc" "CMakeFiles/tdfe.dir/src/par/serial_comm.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/par/serial_comm.cc.o.d"
+  "/root/repo/src/par/store_merge.cc" "CMakeFiles/tdfe.dir/src/par/store_merge.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/par/store_merge.cc.o.d"
+  "/root/repo/src/par/thread_comm.cc" "CMakeFiles/tdfe.dir/src/par/thread_comm.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/par/thread_comm.cc.o.d"
+  "/root/repo/src/postproc/ground_truth.cc" "CMakeFiles/tdfe.dir/src/postproc/ground_truth.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/postproc/ground_truth.cc.o.d"
+  "/root/repo/src/postproc/offline_fit.cc" "CMakeFiles/tdfe.dir/src/postproc/offline_fit.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/postproc/offline_fit.cc.o.d"
+  "/root/repo/src/postproc/trace.cc" "CMakeFiles/tdfe.dir/src/postproc/trace.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/postproc/trace.cc.o.d"
+  "/root/repo/src/sph/cell_list.cc" "CMakeFiles/tdfe.dir/src/sph/cell_list.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/sph/cell_list.cc.o.d"
+  "/root/repo/src/sph/gravity.cc" "CMakeFiles/tdfe.dir/src/sph/gravity.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/sph/gravity.cc.o.d"
+  "/root/repo/src/sph/kernel.cc" "CMakeFiles/tdfe.dir/src/sph/kernel.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/sph/kernel.cc.o.d"
+  "/root/repo/src/sph/polytrope.cc" "CMakeFiles/tdfe.dir/src/sph/polytrope.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/sph/polytrope.cc.o.d"
+  "/root/repo/src/sph/sph_system.cc" "CMakeFiles/tdfe.dir/src/sph/sph_system.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/sph/sph_system.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "CMakeFiles/tdfe.dir/src/stats/matrix.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/matrix.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "CMakeFiles/tdfe.dir/src/stats/metrics.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/metrics.cc.o.d"
+  "/root/repo/src/stats/minibatch.cc" "CMakeFiles/tdfe.dir/src/stats/minibatch.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/minibatch.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "CMakeFiles/tdfe.dir/src/stats/ols.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/ols.cc.o.d"
+  "/root/repo/src/stats/rls.cc" "CMakeFiles/tdfe.dir/src/stats/rls.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/rls.cc.o.d"
+  "/root/repo/src/stats/sgd.cc" "CMakeFiles/tdfe.dir/src/stats/sgd.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/sgd.cc.o.d"
+  "/root/repo/src/stats/standardizer.cc" "CMakeFiles/tdfe.dir/src/stats/standardizer.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/stats/standardizer.cc.o.d"
+  "/root/repo/src/store/codec.cc" "CMakeFiles/tdfe.dir/src/store/codec.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/codec.cc.o.d"
+  "/root/repo/src/store/file.cc" "CMakeFiles/tdfe.dir/src/store/file.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/file.cc.o.d"
+  "/root/repo/src/store/live.cc" "CMakeFiles/tdfe.dir/src/store/live.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/live.cc.o.d"
+  "/root/repo/src/store/manifest.cc" "CMakeFiles/tdfe.dir/src/store/manifest.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/manifest.cc.o.d"
+  "/root/repo/src/store/query.cc" "CMakeFiles/tdfe.dir/src/store/query.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/query.cc.o.d"
+  "/root/repo/src/store/reader.cc" "CMakeFiles/tdfe.dir/src/store/reader.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/reader.cc.o.d"
+  "/root/repo/src/store/writer.cc" "CMakeFiles/tdfe.dir/src/store/writer.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/store/writer.cc.o.d"
+  "/root/repo/src/wdmerger/app.cc" "CMakeFiles/tdfe.dir/src/wdmerger/app.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/wdmerger/app.cc.o.d"
+  "/root/repo/src/wdmerger/dtd.cc" "CMakeFiles/tdfe.dir/src/wdmerger/dtd.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/wdmerger/dtd.cc.o.d"
+  "/root/repo/src/wdmerger/runner.cc" "CMakeFiles/tdfe.dir/src/wdmerger/runner.cc.o" "gcc" "CMakeFiles/tdfe.dir/src/wdmerger/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfstool.dir/tools/tdfstool.cc.o"
+  "CMakeFiles/tdfstool.dir/tools/tdfstool.cc.o.d"
+  "tdfstool"
+  "tdfstool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfstool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_region.dir/tests/test_analysis_region.cc.o"
+  "CMakeFiles/test_analysis_region.dir/tests/test_analysis_region.cc.o.d"
+  "test_analysis_region"
+  "test_analysis_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ar_model.dir/tests/test_ar_model.cc.o"
+  "CMakeFiles/test_ar_model.dir/tests/test_ar_model.cc.o.d"
+  "test_ar_model"
+  "test_ar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_region.dir/tests/test_async_region.cc.o"
+  "CMakeFiles/test_async_region.dir/tests/test_async_region.cc.o.d"
+  "test_async_region"
+  "test_async_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

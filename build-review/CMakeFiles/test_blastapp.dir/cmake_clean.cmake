@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blastapp.dir/tests/test_blastapp.cc.o"
+  "CMakeFiles/test_blastapp.dir/tests/test_blastapp.cc.o.d"
+  "test_blastapp"
+  "test_blastapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blastapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

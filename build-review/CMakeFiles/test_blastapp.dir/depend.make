@@ -1,0 +1,2 @@
+# Empty dependencies file for test_blastapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_changepoint.dir/tests/test_changepoint.cc.o"
+  "CMakeFiles/test_changepoint.dir/tests/test_changepoint.cc.o.d"
+  "test_changepoint"
+  "test_changepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_changepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

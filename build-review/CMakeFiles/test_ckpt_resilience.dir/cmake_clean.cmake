@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_resilience.dir/tests/test_ckpt_resilience.cc.o"
+  "CMakeFiles/test_ckpt_resilience.dir/tests/test_ckpt_resilience.cc.o.d"
+  "test_ckpt_resilience"
+  "test_ckpt_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clover2d.dir/tests/test_clover2d.cc.o"
+  "CMakeFiles/test_clover2d.dir/tests/test_clover2d.cc.o.d"
+  "test_clover2d"
+  "test_clover2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clover2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_nonblocking.dir/tests/test_comm_nonblocking.cc.o"
+  "CMakeFiles/test_comm_nonblocking.dir/tests/test_comm_nonblocking.cc.o.d"
+  "test_comm_nonblocking"
+  "test_comm_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtd.dir/tests/test_dtd.cc.o"
+  "CMakeFiles/test_dtd.dir/tests/test_dtd.cc.o.d"
+  "test_dtd"
+  "test_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

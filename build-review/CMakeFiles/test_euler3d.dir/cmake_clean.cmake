@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euler3d.dir/tests/test_euler3d.cc.o"
+  "CMakeFiles/test_euler3d.dir/tests/test_euler3d.cc.o.d"
+  "test_euler3d"
+  "test_euler3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euler3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

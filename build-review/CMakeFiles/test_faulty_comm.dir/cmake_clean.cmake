@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faulty_comm.dir/tests/test_faulty_comm.cc.o"
+  "CMakeFiles/test_faulty_comm.dir/tests/test_faulty_comm.cc.o.d"
+  "test_faulty_comm"
+  "test_faulty_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faulty_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_store.dir/tests/test_feature_store.cc.o"
+  "CMakeFiles/test_feature_store.dir/tests/test_feature_store.cc.o.d"
+  "test_feature_store"
+  "test_feature_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydro.dir/tests/test_hydro.cc.o"
+  "CMakeFiles/test_hydro.dir/tests/test_hydro.cc.o.d"
+  "test_hydro"
+  "test_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_blast.dir/tests/test_integration_blast.cc.o"
+  "CMakeFiles/test_integration_blast.dir/tests/test_integration_blast.cc.o.d"
+  "test_integration_blast"
+  "test_integration_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

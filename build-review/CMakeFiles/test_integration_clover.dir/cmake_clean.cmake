@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_clover.dir/tests/test_integration_clover.cc.o"
+  "CMakeFiles/test_integration_clover.dir/tests/test_integration_clover.cc.o.d"
+  "test_integration_clover"
+  "test_integration_clover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_clover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_wd.dir/tests/test_integration_wd.cc.o"
+  "CMakeFiles/test_integration_wd.dir/tests/test_integration_wd.cc.o.d"
+  "test_integration_wd"
+  "test_integration_wd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_wd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

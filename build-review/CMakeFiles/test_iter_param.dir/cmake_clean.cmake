@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iter_param.dir/tests/test_iter_param.cc.o"
+  "CMakeFiles/test_iter_param.dir/tests/test_iter_param.cc.o.d"
+  "test_iter_param"
+  "test_iter_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iter_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

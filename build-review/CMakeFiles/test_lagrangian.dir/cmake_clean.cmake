@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lagrangian.dir/tests/test_lagrangian.cc.o"
+  "CMakeFiles/test_lagrangian.dir/tests/test_lagrangian.cc.o.d"
+  "test_lagrangian"
+  "test_lagrangian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lagrangian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minibatch_sgd.dir/tests/test_minibatch_sgd.cc.o"
+  "CMakeFiles/test_minibatch_sgd.dir/tests/test_minibatch_sgd.cc.o.d"
+  "test_minibatch_sgd"
+  "test_minibatch_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minibatch_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

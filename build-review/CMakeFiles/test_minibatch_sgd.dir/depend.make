@@ -1,0 +1,2 @@
+# Empty dependencies file for test_minibatch_sgd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observed_series.dir/tests/test_observed_series.cc.o"
+  "CMakeFiles/test_observed_series.dir/tests/test_observed_series.cc.o.d"
+  "test_observed_series"
+  "test_observed_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observed_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

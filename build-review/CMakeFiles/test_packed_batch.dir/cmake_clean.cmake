@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed_batch.dir/tests/test_packed_batch.cc.o"
+  "CMakeFiles/test_packed_batch.dir/tests/test_packed_batch.cc.o.d"
+  "test_packed_batch"
+  "test_packed_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_for.dir/tests/test_parallel_for.cc.o"
+  "CMakeFiles/test_parallel_for.dir/tests/test_parallel_for.cc.o.d"
+  "test_parallel_for"
+  "test_parallel_for.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_for.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postproc.dir/tests/test_postproc.cc.o"
+  "CMakeFiles/test_postproc.dir/tests/test_postproc.cc.o.d"
+  "test_postproc"
+  "test_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

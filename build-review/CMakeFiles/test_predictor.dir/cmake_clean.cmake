@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor.dir/tests/test_predictor.cc.o"
+  "CMakeFiles/test_predictor.dir/tests/test_predictor.cc.o.d"
+  "test_predictor"
+  "test_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_ar.dir/tests/test_property_ar.cc.o"
+  "CMakeFiles/test_property_ar.dir/tests/test_property_ar.cc.o.d"
+  "test_property_ar"
+  "test_property_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_multi.dir/tests/test_region_multi.cc.o"
+  "CMakeFiles/test_region_multi.dir/tests/test_region_multi.cc.o.d"
+  "test_region_multi"
+  "test_region_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relaxed_stop.dir/tests/test_relaxed_stop.cc.o"
+  "CMakeFiles/test_relaxed_stop.dir/tests/test_relaxed_stop.cc.o.d"
+  "test_relaxed_stop"
+  "test_relaxed_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relaxed_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

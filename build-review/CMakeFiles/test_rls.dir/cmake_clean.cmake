@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rls.dir/tests/test_rls.cc.o"
+  "CMakeFiles/test_rls.dir/tests/test_rls.cc.o.d"
+  "test_rls"
+  "test_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

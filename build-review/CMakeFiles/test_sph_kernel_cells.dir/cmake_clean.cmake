@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sph_kernel_cells.dir/tests/test_sph_kernel_cells.cc.o"
+  "CMakeFiles/test_sph_kernel_cells.dir/tests/test_sph_kernel_cells.cc.o.d"
+  "test_sph_kernel_cells"
+  "test_sph_kernel_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sph_kernel_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

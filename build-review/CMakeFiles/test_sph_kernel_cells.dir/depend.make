@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sph_kernel_cells.
+# This may be replaced when dependencies are built.

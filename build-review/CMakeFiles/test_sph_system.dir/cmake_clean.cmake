@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sph_system.dir/tests/test_sph_system.cc.o"
+  "CMakeFiles/test_sph_system.dir/tests/test_sph_system.cc.o.d"
+  "test_sph_system"
+  "test_sph_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sph_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_core.dir/tests/test_stats_core.cc.o"
+  "CMakeFiles/test_stats_core.dir/tests/test_stats_core.cc.o.d"
+  "test_stats_core"
+  "test_stats_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

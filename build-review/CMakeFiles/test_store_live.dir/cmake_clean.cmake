@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_live.dir/tests/test_store_live.cc.o"
+  "CMakeFiles/test_store_live.dir/tests/test_store_live.cc.o.d"
+  "test_store_live"
+  "test_store_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

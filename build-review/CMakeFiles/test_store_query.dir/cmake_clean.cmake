@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_query.dir/tests/test_store_query.cc.o"
+  "CMakeFiles/test_store_query.dir/tests/test_store_query.cc.o.d"
+  "test_store_query"
+  "test_store_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

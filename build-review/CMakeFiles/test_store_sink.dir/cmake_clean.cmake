@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_sink.dir/tests/test_store_sink.cc.o"
+  "CMakeFiles/test_store_sink.dir/tests/test_store_sink.cc.o.d"
+  "test_store_sink"
+  "test_store_sink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_td_api.dir/tests/test_td_api.cc.o"
+  "CMakeFiles/test_td_api.dir/tests/test_td_api.cc.o.d"
+  "test_td_api"
+  "test_td_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_td_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

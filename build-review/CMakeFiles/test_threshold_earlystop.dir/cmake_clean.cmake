@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_earlystop.dir/tests/test_threshold_earlystop.cc.o"
+  "CMakeFiles/test_threshold_earlystop.dir/tests/test_threshold_earlystop.cc.o.d"
+  "test_threshold_earlystop"
+  "test_threshold_earlystop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_earlystop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

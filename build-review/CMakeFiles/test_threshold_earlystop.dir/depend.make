@@ -1,0 +1,2 @@
+# Empty dependencies file for test_threshold_earlystop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wdmerger.dir/tests/test_wdmerger.cc.o"
+  "CMakeFiles/test_wdmerger.dir/tests/test_wdmerger.cc.o.d"
+  "test_wdmerger"
+  "test_wdmerger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wdmerger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

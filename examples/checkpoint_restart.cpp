@@ -76,6 +76,7 @@ instrumentedOptions(long total_iters, const StoreCliOptions &store)
     o.storeAsync = store.async;
     o.storeDurability = store.durability;
     o.storeMergePolicy = store.mergePolicy;
+    o.storeLive = store.live;
     return o;
 }
 

@@ -84,6 +84,7 @@ main(int argc, char **argv)
     if (!storeCli.path.empty()) {
         StoreOptions storeOptions;
         storeOptions.async = storeCli.async;
+        storeOptions.live = storeCli.live;
         storeOptions.durability =
             store::parseDurabilityPolicy(storeCli.durability);
         store = attachRankStore(region, storeCli.path, order + 1,

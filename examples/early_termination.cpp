@@ -65,6 +65,7 @@ main(int argc, char **argv)
     stop.storeDurability = store.durability;
     stop.storeMergePolicy = store.mergePolicy;
     stop.storeKeepParts = store.keepParts;
+    stop.storeLive = store.live;
     // --ckpt <prefix> writes crash-safe checkpoint generations every
     // --ckpt-every iterations; --resume-auto restores the newest
     // valid one at startup (kill the run mid-flight and rerun with

@@ -40,6 +40,7 @@ main(int argc, char **argv)
     options.storeDurability = store.durability;
     options.storeMergePolicy = store.mergePolicy;
     options.storeKeepParts = store.keepParts;
+    options.storeLive = store.live;
     // --ckpt <prefix> routes the instrumented run through the
     // resilient supervisor: crash-safe generations every
     // --ckpt-every dumps, auto-resume from the newest valid one.

@@ -94,6 +94,48 @@ fi
 rm -f check_resume.tdfs check_resume.tdfs.reference \
     check_ckpt.*.tdck check_ckpt.manifest check_torn.tdck
 
+# Live serving smoke: first the dashboard demo (in-process writer +
+# tail, exits nonzero unless the tail delivers every record exactly
+# once), then the cross-process crash drill — a live clover run is
+# tailed concurrently by tdfstool and SIGKILLed mid-write; the tail
+# must end cleanly on its own (stall deadline -> salvaged static
+# view), and every record it delivered must be a textual prefix of
+# a full query over the recovered store. That is the PR-9 contract:
+# a reader never sees a record a crash can take back.
+./example_live_dashboard --records 2048 --block 128 \
+    --store check_dash.tdfs
+./example_clover_shock 96 --store check_live.tdfs --store-live \
+    > /dev/null &
+writer_pid=$!
+./tdfstool tail check_live.tdfs --stall 5 > check_tailed.csv &
+tail_pid=$!
+# Kill only once the tail has demonstrably delivered records (header
+# + at least one row): a fixed sleep races the first block seal on a
+# loaded single-core machine. The clover run is long enough (~4 s
+# alone, slower still sharing the core with the tail) that it cannot
+# finish before the first sealed block flows through.
+for _ in $(seq 1 120); do
+  rows=$(wc -l < check_tailed.csv 2>/dev/null || echo 0)
+  if (( rows >= 2 )); then break; fi
+  sleep 0.25
+done
+kill -9 "$writer_pid" 2>/dev/null || true
+wait "$writer_pid" 2>/dev/null || true
+wait "$tail_pid" # must exit 0: a lost writer ends the tail cleanly
+if ./tdfstool verify check_live.tdfs 2>/dev/null; then
+  echo "!! killed live store unexpectedly verified" && exit 1
+fi
+./tdfstool recover check_live.tdfs check_live_salvaged.tdfs
+./tdfstool verify check_live_salvaged.tdfs
+./tdfstool query check_live_salvaged.tdfs > check_live_full.csv
+tailed_rows=$(wc -l < check_tailed.csv)
+if (( tailed_rows < 2 )); then
+  echo "!! live tail delivered no records before the kill" && exit 1
+fi
+head -n "$tailed_rows" check_live_full.csv | diff - check_tailed.csv
+rm -f check_live.tdfs check_live.tdfs.live check_live_salvaged.tdfs \
+    check_tailed.csv check_live_full.csv
+
 cd "$root"
 if [[ "${SKIP_NATIVE:-0}" != 1 ]]; then
   cmake -B build-native -S . -DTDFE_NATIVE=ON \
@@ -117,7 +159,8 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
       test_async_region_tsan test_relaxed_stop_tsan \
       test_parallel_for_tsan test_feature_store_tsan \
       test_store_query_tsan \
-      test_ckpt_resilience_tsan test_faulty_comm_tsan
+      test_ckpt_resilience_tsan test_faulty_comm_tsan \
+      test_store_live_tsan
   cd build-tsan
   ctest --output-on-failure -L tsan_smoke
 else

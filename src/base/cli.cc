@@ -193,6 +193,10 @@ addStoreOptions(ArgParser &args)
     args.addFlag("store-keep-parts",
                  "keep the per-rank store part files after the "
                  "merge");
+    args.addFlag("store-live",
+                 "publish a live manifest (\"<store>.live\") after "
+                 "sealed blocks so concurrent readers (tdfstool "
+                 "tail) can follow the run");
 }
 
 StoreCliOptions
@@ -204,6 +208,7 @@ storeOptions(const ArgParser &args)
     opts.durability = args.getString("store-durability");
     opts.mergePolicy = args.getString("store-merge-policy");
     opts.keepParts = args.getFlag("store-keep-parts");
+    opts.live = args.getFlag("store-live");
     return opts;
 }
 
@@ -234,6 +239,8 @@ applyStoreFlags(int &argc, char **argv)
             opts.async = true;
         } else if (arg == "--store-keep-parts") {
             opts.keepParts = true;
+        } else if (arg == "--store-live") {
+            opts.live = true;
         } else if (match(i, arg, "store-durability",
                          opts.durability) ||
                    match(i, arg, "store-merge-policy",

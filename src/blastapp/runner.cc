@@ -30,6 +30,7 @@ storeOptionsFrom(const RunOptions &options)
     store_options.async = options.storeAsync;
     store_options.durability =
         store::parseDurabilityPolicy(options.storeDurability);
+    store_options.live = options.storeLive;
     return store_options;
 }
 

@@ -73,6 +73,11 @@ struct RunOptions
     std::string storeMergePolicy = "fail";
     /** Keep per-rank store parts after the merge. */
     bool storeKeepParts = false;
+    /** Publish a live manifest after sealed blocks so concurrent
+     *  tail readers can follow the run (see store/live.hh). Under a
+     *  multi-rank communicator the per-rank parts publish — a tail
+     *  follows "<path>.rk<rank>"; the merged store appears whole. */
+    bool storeLive = false;
 
     /** Crash-safe checkpointing + auto-resume (the resilient
      *  harness; see src/ckpt). @{ */

@@ -1,5 +1,6 @@
 #include "core/td_api.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include "ckpt/checkpoint.hh"
 #include "core/iter_param.hh"
 #include "core/region.hh"
+#include "store/live.hh"
 #include "store/query.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
@@ -50,6 +52,20 @@ struct td_store
     tdfe::FeatureRecord record;
     /** Backs the pointer td_store_error hands out. */
     std::string errorMsg;
+};
+
+/** C-side live-view handle: the manifest follower plus the tail
+ *  cursor streaming its snapshots (see store/live.hh). */
+struct td_store_view
+{
+    td_store_view(const char *path, tdfe::LiveViewOptions options)
+        : live(path, options), tail(live)
+    {
+    }
+
+    tdfe::LiveStoreReader live;
+    tdfe::TailCursor tail;
+    tdfe::FeatureRecord record;
 };
 
 namespace
@@ -352,6 +368,37 @@ td_store_open_ex(const char *path, int n_coeffs, int block_capacity,
     return new td_store(path, schema, options);
 }
 
+td_store_t *
+td_store_open_live(const char *path, int n_coeffs,
+                   int block_capacity, int async,
+                   const char *durability)
+{
+    if (!path || n_coeffs < 0 || block_capacity < 0)
+        return nullptr;
+    tdfe::StoreSchema schema;
+    schema.coeffCount = static_cast<std::size_t>(n_coeffs);
+    tdfe::StoreOptions options;
+    if (block_capacity > 0)
+        options.blockCapacity =
+            static_cast<std::size_t>(block_capacity);
+    options.async = async != 0;
+    options.live = true;
+    if (durability) {
+        const std::string d(durability);
+        if (d == "none")
+            options.durability = tdfe::store::DurabilityPolicy::None;
+        else if (d == "flush")
+            options.durability =
+                tdfe::store::DurabilityPolicy::FlushPerSeal;
+        else if (d == "fsync")
+            options.durability =
+                tdfe::store::DurabilityPolicy::SyncPerSeal;
+        else
+            return nullptr;
+    }
+    return new td_store(path, schema, options);
+}
+
 int
 td_store_append(td_store_t *store, long iteration, long analysis,
                 int stop, double wall_time, double wavefront,
@@ -535,6 +582,115 @@ td_store_query_stat(const char *path, long iter_begin, long iter_end,
     if (out_mean)
         *out_mean = finite ? sum / static_cast<double>(finite) : nan;
     return matched;
+}
+
+td_store_view_t *
+td_store_view_open(const char *path, double stall_deadline_seconds)
+{
+    if (!path)
+        return nullptr;
+    tdfe::LiveViewOptions options;
+    options.stallDeadlineSeconds = stall_deadline_seconds;
+    return new td_store_view(path, options);
+}
+
+int
+td_store_view_refresh(td_store_view_t *view)
+{
+    if (!view)
+        return -1;
+    return view->live.refresh() ? 1 : 0;
+}
+
+int
+td_store_view_wait(td_store_view_t *view, double timeout_seconds)
+{
+    if (!view)
+        return -1;
+    return view->live.waitForAdvance(timeout_seconds) ? 1 : 0;
+}
+
+int
+td_store_view_state(const td_store_view_t *view)
+{
+    if (!view)
+        return -1;
+    switch (view->live.state()) {
+      case tdfe::LiveState::Waiting:
+        return 0;
+      case tdfe::LiveState::Live:
+        return 1;
+      case tdfe::LiveState::Final:
+        return 2;
+      case tdfe::LiveState::WriterLost:
+        return 3;
+    }
+    return -1;
+}
+
+long
+td_store_view_generation(const td_store_view_t *view)
+{
+    if (!view)
+        return -1;
+    return static_cast<long>(view->live.generation());
+}
+
+long
+td_store_view_records(const td_store_view_t *view)
+{
+    if (!view)
+        return -1;
+    return static_cast<long>(view->live.view().recordCount());
+}
+
+int
+td_store_view_next(td_store_view_t *view, long *iteration,
+                   long *analysis, int *stop, double *wall_time,
+                   double *wavefront, double *predicted, double *mse,
+                   double *coeffs, int max_coeffs)
+{
+    if (!view)
+        return -1;
+    tdfe::FeatureRecord &rec = view->record;
+    if (!view->tail.next(rec))
+        return 0;
+    if (iteration)
+        *iteration = rec.iteration;
+    if (analysis)
+        *analysis = rec.analysis;
+    if (stop)
+        *stop = rec.stop ? 1 : 0;
+    if (wall_time)
+        *wall_time = rec.wallTime;
+    if (wavefront)
+        *wavefront = rec.wavefront;
+    if (predicted)
+        *predicted = rec.predicted;
+    if (mse)
+        *mse = rec.mse;
+    if (coeffs && max_coeffs > 0) {
+        const std::size_t n =
+            std::min(rec.coeffs.size(),
+                     static_cast<std::size_t>(max_coeffs));
+        for (std::size_t k = 0; k < n; ++k)
+            coeffs[k] = rec.coeffs[k];
+    }
+    return 1;
+}
+
+int
+td_store_view_done(const td_store_view_t *view)
+{
+    if (!view)
+        return -1;
+    return view->tail.done() ? 1 : 0;
+}
+
+void
+td_store_view_close(td_store_view_t *view)
+{
+    delete view;
 }
 
 int

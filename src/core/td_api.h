@@ -32,6 +32,9 @@ typedef struct td_iter_param td_iter_param_t;
  *  tdfe::FeatureStoreWriter). */
 typedef struct td_store td_store_t;
 
+/** Opaque live-view handle (see td_store_view_open). */
+typedef struct td_store_view td_store_view_t;
+
 /**
  * User-implemented diagnostic-variable accessor: returns the value
  * of the tracked variable at @p loc for the given simulation domain.
@@ -348,6 +351,95 @@ long td_store_query_stat(const char *path, long iter_begin,
                          const char *where, const char *column,
                          double *out_min, double *out_max,
                          double *out_mean);
+
+/**
+ * As td_store_open_ex, additionally publishing a live manifest
+ * sidecar ("<path>.live") after sealed blocks so concurrent
+ * readers (td_store_view_*, `tdfstool tail`) can follow the store
+ * while it is being written. Publication rides the flush path,
+ * never the append hot path, and a publication failure degrades
+ * only the live side — the trace itself keeps writing.
+ */
+td_store_t *td_store_open_live(const char *path, int n_coeffs,
+                               int block_capacity, int async,
+                               const char *durability);
+
+/**
+ * Crash-consistent live read handle over a store being written (or
+ * already finished). Each successful refresh pins a snapshot-
+ * isolated view of the sealed prefix the writer last published:
+ * records stream in store order, exactly once, and a torn or
+ * half-written state is never observable — a refresh that fails
+ * validation keeps the previous snapshot serving. A writer that
+ * stops publishing trips the stall deadline and the view degrades
+ * to a static salvage-consistent prefix instead of blocking
+ * forever. Handles are single-threaded.
+ *
+ * @param path Store path (the manifest sidecar is derived).
+ * @param stall_deadline_seconds Seconds without progress before
+ *        td_store_view_wait declares the writer lost (<= 0: wait
+ *        forever).
+ * @return handle, or NULL only on a NULL @p path. A store that does
+ *         not exist yet is fine — the view attaches when the writer
+ *         appears.
+ */
+td_store_view_t *td_store_view_open(const char *path,
+                                    double stall_deadline_seconds);
+
+/**
+ * One non-blocking poll: adopt the newest published manifest (or
+ * the store's footer when no manifest exists but the store is
+ * complete). @return 1 when the view advanced, 0 otherwise, -1 for
+ * a NULL handle.
+ */
+int td_store_view_refresh(td_store_view_t *view);
+
+/**
+ * Poll with bounded exponential backoff until the view advances,
+ * the store settles, or @p timeout_seconds passes (< 0: bounded
+ * only by the stall deadline). @return 1 when the view advanced,
+ * 0 otherwise, -1 for a NULL handle.
+ */
+int td_store_view_wait(td_store_view_t *view,
+                       double timeout_seconds);
+
+/**
+ * @return lifecycle state: 0 waiting (no snapshot yet), 1 live
+ * (following a writer), 2 final (store complete; snapshot is the
+ * whole store), 3 writer lost (stalled; snapshot is a static
+ * salvage-consistent prefix), -1 for a NULL handle.
+ */
+int td_store_view_state(const td_store_view_t *view);
+
+/** @return manifest generation pinned (0 before the first),
+ *  -1 for a NULL handle. */
+long td_store_view_generation(const td_store_view_t *view);
+
+/** @return records in the current snapshot, -1 for a NULL handle. */
+long td_store_view_records(const td_store_view_t *view);
+
+/**
+ * Pull the next sealed record of the live tail (store order,
+ * exactly once across snapshot advances). Out pointers may be NULL
+ * to skip a field; @p coeffs receives min(n_coeffs of the store,
+ * @p max_coeffs) values.
+ * @return 1 when a record was produced, 0 when every sealed record
+ *         visible so far has been consumed (td_store_view_wait and
+ *         retry, or stop if td_store_view_done), -1 for a NULL
+ *         handle.
+ */
+int td_store_view_next(td_store_view_t *view, long *iteration,
+                       long *analysis, int *stop, double *wall_time,
+                       double *wavefront, double *predicted,
+                       double *mse, double *coeffs, int max_coeffs);
+
+/** @return 1 when the tail can never produce again (store settled
+ *  and fully consumed), 0 otherwise, -1 for a NULL handle. */
+int td_store_view_done(const td_store_view_t *view);
+
+/** Release the handle (NULL is a no-op). Pinned snapshots owned by
+ *  this handle are dropped. */
+void td_store_view_close(td_store_view_t *view);
 
 /** Mark the start of the instrumented block (paper Fig. 2 line 23). */
 void td_region_begin(td_region_t *region);

@@ -246,6 +246,51 @@ openOsReadFile(const std::string &path, IoError *error)
         fd, static_cast<std::uint64_t>(size), path);
 }
 
+std::unique_ptr<ReadFile>
+openReadFileVia(const ReadFileFactory &factory,
+                const std::string &path, IoError *error)
+{
+    if (factory)
+        return factory(path, error);
+    return openOsReadFile(path, error);
+}
+
+FaultyReadFile::FaultyReadFile(std::unique_ptr<ReadFile> inner,
+                               ReadFaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan),
+      remaining_(plan.failCount)
+{
+    TDFE_ASSERT(inner_, "FaultyReadFile needs an underlying file");
+}
+
+IoError
+FaultyReadFile::readAt(std::uint64_t offset, void *dst,
+                       std::size_t n) const
+{
+    if (plan_.kind == ReadFaultPlan::Kind::ErrorAt &&
+        offset + n > plan_.atByte &&
+        remaining_.load(std::memory_order_relaxed) > 0 &&
+        remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        std::uint64_t at = offset;
+        if (plan_.shortRead && offset < plan_.atByte) {
+            const std::size_t fwd =
+                static_cast<std::size_t>(plan_.atByte - offset);
+            const IoError e = inner_->readAt(offset, dst, fwd);
+            if (!e.ok())
+                return e;
+            at = plan_.atByte;
+        }
+        IoError e;
+        e.code = plan_.errCode;
+        e.offset = at;
+        e.message = "injected read " +
+                    std::string(std::strerror(plan_.errCode)) +
+                    " at offset " + std::to_string(at);
+        return e;
+    }
+    return inner_->readAt(offset, dst, n);
+}
+
 FaultyFile::FaultyFile(std::unique_ptr<StoreFile> inner,
                        FaultPlan plan)
     : inner_(std::move(inner)), plan_(plan),

@@ -18,11 +18,13 @@
 #ifndef TDFE_STORE_FILE_HH
 #define TDFE_STORE_FILE_HH
 
+#include <atomic>
 #include <cerrno>
 #include <climits>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -165,6 +167,89 @@ class ReadFile
  */
 std::unique_ptr<ReadFile> openOsReadFile(const std::string &path,
                                          IoError *error = nullptr);
+
+/**
+ * Pluggable read-side file opener. The reader and the live view
+ * accept one of these so tests can interpose FaultyReadFile (or an
+ * unopenable path) on every open/refresh; a default-constructed
+ * (empty) factory means openOsReadFile.
+ */
+using ReadFileFactory = std::function<std::unique_ptr<ReadFile>(
+    const std::string &, IoError *)>;
+
+/** @return @p factory(path, error), or openOsReadFile(path, error)
+ *  when @p factory is empty — the one place the default is chosen,
+ *  so every read path honors injection identically. */
+std::unique_ptr<ReadFile> openReadFileVia(
+    const ReadFileFactory &factory, const std::string &path,
+    IoError *error = nullptr);
+
+/**
+ * Read-side counterpart of FaultPlan: the failures a reader sees
+ * from HPC scratch filesystems — transient EIO on a block fetch,
+ * short reads near a torn tail. Offsets are absolute file offsets
+ * (the read side is random-access, so logical append offsets do not
+ * apply).
+ */
+struct ReadFaultPlan
+{
+    enum class Kind
+    {
+        /** Pass-through. */
+        None,
+        /**
+         * Reads touching [atByte, ∞) fail with @c errCode after
+         * optionally delivering the bytes below the mark
+         * (shortRead). Fires @c failCount times across all readers,
+         * then heals — the transient-retry / refresh-retry knob.
+         */
+        ErrorAt,
+    };
+
+    Kind kind = Kind::None;
+    /** Absolute byte offset the fault triggers at. */
+    std::uint64_t atByte = 0;
+    /** errno delivered by ErrorAt (EIO, ...). */
+    int errCode = EIO;
+    /** ErrorAt firings before the file heals (INT_MAX: never). */
+    int failCount = INT_MAX;
+    /** Deliver the bytes below atByte before failing (the short
+     *  read a reader racing a truncation observes). */
+    bool shortRead = false;
+};
+
+/**
+ * Deterministic fault-injection wrapper around another ReadFile.
+ * readAt stays safe to call from many threads (the fault counter is
+ * atomic), matching the contract cursors rely on.
+ */
+class FaultyReadFile final : public ReadFile
+{
+  public:
+    FaultyReadFile(std::unique_ptr<ReadFile> inner,
+                   ReadFaultPlan plan);
+
+    IoError readAt(std::uint64_t offset, void *dst,
+                   std::size_t n) const override;
+    std::uint64_t size() const override { return inner_->size(); }
+    const std::string &path() const override
+    {
+        return inner_->path();
+    }
+
+    /** @return ErrorAt faults still pending (0: healed). */
+    int
+    remainingFaults() const
+    {
+        const int r = remaining_.load(std::memory_order_relaxed);
+        return r > 0 ? r : 0;
+    }
+
+  private:
+    std::unique_ptr<ReadFile> inner_;
+    ReadFaultPlan plan_;
+    mutable std::atomic<int> remaining_;
+};
 
 /**
  * Deterministic fault plan of a FaultyFile. Offsets are logical

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The live manifest: a compact CRC-framed sidecar ("<store>.live")
+ * the writer republishes atomically (tmp + rename) after sealed
+ * blocks, carrying everything a reader needs to serve the sealed
+ * prefix of a store that is still being appended to — schema,
+ * sealed-block index, zone map, record count, and a monotonically
+ * increasing generation. The data file's unsealed tail is never
+ * described and therefore never trusted; a reader that pins one
+ * manifest sees one immutable prefix, which is what makes live
+ * views snapshot-isolated (see live.hh).
+ *
+ * Layout (little-endian, one frame):
+ *
+ *   magic "TDFSLIV1" (8)
+ *   u32 manifest version, u32 store format version
+ *   u64 generation          monotone per publication
+ *   u32 flags               bit 0: final (writer finished or
+ *                           degraded — no further generations),
+ *                           bit 1: writer degraded (the store holds
+ *                           only a partial trace)
+ *   u32 block capacity, u32 int cols, u32 double cols,
+ *   u64 coeff count
+ *   u64 block count, u64 record count
+ *   u64 data bytes          extent of the sealed prefix in the data
+ *                           file (header + all indexed blocks)
+ *   u32 sorted flag
+ *   per block: the footer's index entry (offset, size, records,
+ *              first/last iteration) followed by its zone-map entry
+ *   u32 CRC-32 over everything before it
+ *
+ * The frame is rewritten whole every time; rename() makes each
+ * publication atomic, so a reader observes either the previous or
+ * the next manifest, never a blend. A torn or half-written frame
+ * (possible only under injected faults or non-POSIX semantics)
+ * fails the CRC and is ignored — the reader keeps its current
+ * snapshot and polls again.
+ */
+
+#ifndef TDFE_STORE_MANIFEST_HH
+#define TDFE_STORE_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.hh"
+
+namespace tdfe
+{
+
+namespace store
+{
+
+/** Sidecar magic. */
+constexpr char manifestMagic[8] = {'T', 'D', 'F', 'S',
+                                   'L', 'I', 'V', '1'};
+
+/** Manifest framing version written by this build. */
+constexpr std::uint32_t manifestVersion = 1;
+
+/** LiveManifest::flags bits. @{ */
+constexpr std::uint32_t manifestFlagFinal = 1u << 0;
+constexpr std::uint32_t manifestFlagDegraded = 1u << 1;
+/** @} */
+
+/** @return the sidecar path of @p store_path ("<store>.live"). */
+std::string manifestPathFor(const std::string &store_path);
+
+/** In-memory form of one published manifest. */
+struct LiveManifest
+{
+    /** Store format version of the data file (see format.hh). */
+    std::uint32_t storeVersion = formatVersion;
+    /** Publication counter; strictly increasing per writer. */
+    std::uint64_t generation = 0;
+    /** manifestFlag* bits. */
+    std::uint32_t flags = 0;
+    /** Header fields of the data file (readers cross-check). @{ */
+    std::uint64_t blockCapacity = 0;
+    std::uint32_t intColumns = 0;
+    std::uint32_t doubleColumns = 0;
+    std::uint64_t coeffCount = 0;
+    /** @} */
+    /** Records across the indexed blocks. */
+    std::uint64_t recordCount = 0;
+    /** Sealed-prefix extent in the data file: header + blocks. */
+    std::uint64_t dataBytes = 0;
+    /** Appends were nondecreasing in iteration. */
+    bool sorted = true;
+    /** Sealed-block index, exactly the footer's entries. */
+    std::vector<BlockInfo> index;
+    /** Per-block zone map, parallel to @c index. */
+    std::vector<BlockZone> zones;
+
+    bool final() const { return (flags & manifestFlagFinal) != 0; }
+    bool
+    degraded() const
+    {
+        return (flags & manifestFlagDegraded) != 0;
+    }
+};
+
+/** Serialize @p m into @p out (cleared first), CRC frame included. */
+void encodeManifest(const LiveManifest &m,
+                    std::vector<std::uint8_t> &out);
+
+/**
+ * Parse @p n bytes at @p data into @p out. Validates the magic, the
+ * framing version, the CRC, and the structural plausibility of the
+ * index (blocks tile [headerBytes, dataBytes), record counts agree)
+ * — the same paranoia FeatureStoreReader::open applies to footers,
+ * because a manifest is user data read mid-write. @return false
+ * with a diagnostic in @p error on any malformation.
+ */
+bool decodeManifest(const std::uint8_t *data, std::size_t n,
+                    LiveManifest &out, std::string *error = nullptr);
+
+} // namespace store
+
+} // namespace tdfe
+
+#endif // TDFE_STORE_MANIFEST_HH

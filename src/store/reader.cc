@@ -59,18 +59,17 @@ static_assert(store::zoneIntColumns == StoreSchema::numIntColumns &&
               "zone map must cover exactly the fixed columns");
 
 bool
-FeatureStoreReader::loadAndCheckHeader(const std::string &path,
-                                       FeatureStoreReader &reader,
-                                       std::uint32_t &n_int,
-                                       std::uint32_t &n_dbl,
-                                       std::string *error)
+FeatureStoreReader::loadAndCheckHeader(
+    const std::string &path, FeatureStoreReader &reader,
+    std::uint32_t &n_int, std::uint32_t &n_dbl, std::string *error,
+    const store::ReadFileFactory &file_factory)
 {
     auto reject = [&](const std::string &msg) {
         return fail(error, path + ": " + msg);
     };
 
     store::IoError io;
-    reader.file_ = store::openOsReadFile(path, &io);
+    reader.file_ = store::openReadFileVia(file_factory, path, &io);
     if (!reader.file_)
         return reject("cannot open: " + io.message);
     if (reader.file_->size() < store::headerBytes)
@@ -107,7 +106,8 @@ FeatureStoreReader::loadAndCheckHeader(const std::string &path,
 }
 
 std::unique_ptr<FeatureStoreReader>
-FeatureStoreReader::open(const std::string &path, std::string *error)
+FeatureStoreReader::open(const std::string &path, std::string *error,
+                         const store::ReadFileFactory &file_factory)
 {
     auto reject = [&](const std::string &msg)
         -> std::unique_ptr<FeatureStoreReader> {
@@ -119,7 +119,8 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
         std::unique_ptr<FeatureStoreReader>(new FeatureStoreReader());
     std::uint32_t n_int = 0;
     std::uint32_t n_dbl = 0;
-    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error))
+    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error,
+                            file_factory))
         return nullptr;
     const std::size_t file_size = reader->fileBytes();
     if (file_size < store::headerBytes + store::trailerBytes)
@@ -228,13 +229,15 @@ FeatureStoreReader::open(const std::string &path, std::string *error)
 
 std::unique_ptr<FeatureStoreReader>
 FeatureStoreReader::salvage(const std::string &path,
-                            std::string *error)
+                            std::string *error,
+                            const store::ReadFileFactory &file_factory)
 {
     auto reader =
         std::unique_ptr<FeatureStoreReader>(new FeatureStoreReader());
     std::uint32_t n_int = 0;
     std::uint32_t n_dbl = 0;
-    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error))
+    if (!loadAndCheckHeader(path, *reader, n_int, n_dbl, error,
+                            file_factory))
         return nullptr;
     reader->salvaged_ = true;
     reader->schema_.coeffCount =
@@ -320,12 +323,12 @@ FeatureStoreReader::salvage(const std::string &path,
 }
 
 std::unique_ptr<FeatureStoreReader>
-FeatureStoreReader::openOrSalvage(const std::string &path,
-                                  std::string *error,
-                                  bool *was_salvaged)
+FeatureStoreReader::openOrSalvage(
+    const std::string &path, std::string *error, bool *was_salvaged,
+    const store::ReadFileFactory &file_factory)
 {
     std::string open_error;
-    auto reader = open(path, &open_error);
+    auto reader = open(path, &open_error, file_factory);
     if (reader && reader->verify(&open_error)) {
         if (was_salvaged)
             *was_salvaged = false;
@@ -334,7 +337,7 @@ FeatureStoreReader::openOrSalvage(const std::string &path,
     // Footer missing/corrupt, or a footer-indexed block does not
     // decode: fall back to the prefix scan so whatever does decode
     // is still usable (and a cursor cannot hit the fatal path).
-    auto recovered = salvage(path, error);
+    auto recovered = salvage(path, error, file_factory);
     if (!recovered && error && !open_error.empty())
         *error = open_error + "; " + *error;
     if (recovered && was_salvaged)

@@ -46,11 +46,16 @@ class FeatureStoreReader
      * Open @p path: read and validate header, trailer, and footer
      * (CRC-checked), and parse the block index, zone map (v2+), and
      * schema. Block data stays on disk until a cursor asks for it.
+     * A zero-block store (header + footer, no sealed blocks — what
+     * a writer that never filled a block finishes into) is valid
+     * and opens as an empty reader. @p file_factory interposes on
+     * the underlying open/read (fault injection; empty: OS files).
      * @return nullptr on any malformation, with a diagnostic in
      *         @p error when given.
      */
     static std::unique_ptr<FeatureStoreReader>
-    open(const std::string &path, std::string *error = nullptr);
+    open(const std::string &path, std::string *error = nullptr,
+         const store::ReadFileFactory &file_factory = {});
 
     /**
      * Recover what a damaged store still holds. Requires only an
@@ -68,7 +73,8 @@ class FeatureStoreReader
      * only when not even the header survives.
      */
     static std::unique_ptr<FeatureStoreReader>
-    salvage(const std::string &path, std::string *error = nullptr);
+    salvage(const std::string &path, std::string *error = nullptr,
+            const store::ReadFileFactory &file_factory = {});
 
     /**
      * open(), falling back to salvage() when the footer path fails
@@ -81,7 +87,8 @@ class FeatureStoreReader
     static std::unique_ptr<FeatureStoreReader>
     openOrSalvage(const std::string &path,
                   std::string *error = nullptr,
-                  bool *was_salvaged = nullptr);
+                  bool *was_salvaged = nullptr,
+                  const store::ReadFileFactory &file_factory = {});
 
     /** @return column layout recorded in the footer. */
     const StoreSchema &schema() const { return schema_; }
@@ -117,10 +124,11 @@ class FeatureStoreReader
     /** @return records-per-block capacity from the header. */
     std::size_t blockCapacity() const { return capacity_; }
 
-    /** @return file size in bytes. */
+    /** @return file size in bytes (0 for the fileless empty reader
+     *  a live view pins before the store's first block exists). */
     std::size_t fileBytes() const
     {
-        return static_cast<std::size_t>(file_->size());
+        return file_ ? static_cast<std::size_t>(file_->size()) : 0;
     }
 
     /** @return column names as recorded in the footer (ints then
@@ -210,6 +218,21 @@ class FeatureStoreReader
     Cursor cursor() const { return Cursor(*this); }
 
     /**
+     * @return cursor positioned at the first record of block @p b
+     * (end-of-store when @p b >= blockCount()). Blocks are sealed
+     * immutably, so a tail reader that consumed blocks [0, b) of an
+     * earlier snapshot resumes a newer snapshot of the same store
+     * here without re-decoding anything.
+     */
+    Cursor
+    cursorAtBlock(std::size_t b) const
+    {
+        Cursor c(*this);
+        c.block = b;
+        return c;
+    }
+
+    /**
      * @return cursor positioned at the first block that may contain
      * iteration @p iter_begin (block-index binary search when the
      * store is iteration-sorted; block 0 otherwise). Records before
@@ -237,6 +260,8 @@ class FeatureStoreReader
     FeatureStoreReader() = default;
 
     friend class QueryCursor;
+    /** Builds footerless snapshot readers from a live manifest. */
+    friend class LiveStoreReader;
 
     /**
      * Read block @p b off disk into @p raw and decode it into
@@ -279,13 +304,15 @@ class FeatureStoreReader
     std::vector<store::BlockInfo> index;
     std::vector<store::BlockZone> zones_;
     std::vector<std::string> names_;
-    /** Open @p path and validate the fixed header into @p reader.
-     *  Shared by open() and salvage(). @return false with a
+    /** Open @p path (through @p file_factory when nonempty) and
+     *  validate the fixed header into @p reader. Shared by open(),
+     *  salvage(), and the live attach path. @return false with a
      *  diagnostic in @p error on failure. */
     static bool loadAndCheckHeader(
         const std::string &path, FeatureStoreReader &reader,
         std::uint32_t &n_int, std::uint32_t &n_dbl,
-        std::string *error);
+        std::string *error,
+        const store::ReadFileFactory &file_factory);
 
     std::uint32_t version_ = store::formatVersion;
     std::size_t records_ = 0;

@@ -1,6 +1,8 @@
 #include "store/writer.hh"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -8,6 +10,7 @@
 #include "base/portable.hh"
 #include "base/timer.hh"
 #include "store/codec.hh"
+#include "store/manifest.hh"
 
 namespace tdfe
 {
@@ -83,6 +86,11 @@ FeatureStoreWriter::init(store::IoError open_error)
     store::putU32(h,
                   static_cast<std::uint32_t>(schema_.doubleColumns()));
     writeChecked(h.data(), h.size(), 0);
+    // Generation 1 is the empty prefix: publishing it right after
+    // the header lets a live view attach before the first block is
+    // sealed (it pins a valid zero-block snapshot).
+    if (ok())
+        publishManifest(false, true);
 }
 
 FeatureStoreWriter::~FeatureStoreWriter()
@@ -198,6 +206,7 @@ FeatureStoreWriter::flushPending()
         return;
     index.push_back(info);
     zones.push_back(store::computeBlockZone(pdInt, pdDbl));
+    publishManifest(false, false);
 }
 
 bool
@@ -294,6 +303,7 @@ FeatureStoreWriter::rotateStaging()
         c.clear();
     staged = 0;
     ++sealed_;
+    pendingSorted_ = sortedAppends_;
 }
 
 void
@@ -340,6 +350,11 @@ FeatureStoreWriter::finish()
         if (err.ok() == false && ok())
             fail(err, 0);
     }
+    // Final generation: tells attached views the store has settled
+    // (cleanly, or degraded to its sealed prefix) and no further
+    // generations will come. Published after the data file is closed
+    // so everything the manifest describes is kernel-visible.
+    publishManifest(true, true);
     finished_ = true;
     exposed_ += t.elapsed();
     return ok() ? static_cast<std::size_t>(bytesWritten_) : 0;
@@ -392,6 +407,120 @@ FeatureStoreWriter::writeFooter()
     store::putU64(f, footer_offset);
     f.insert(f.end(), store::trailerMagic, store::trailerMagic + 8);
     writeChecked(f.data(), f.size(), 0);
+}
+
+void
+FeatureStoreWriter::publishManifest(bool final_manifest, bool force)
+{
+    if (!opts_.live || !liveOk())
+        return;
+    if (!force && opts_.livePublishEvery > 1 &&
+        index.size() % opts_.livePublishEvery != 0)
+        return;
+
+    // A manifest must never run ahead of what another process can
+    // read: under the buffered policy the sealed block may still sit
+    // in stdio buffers, so push it to the kernel first. (finish()
+    // flushes/closes the data file before its final publication.)
+    if (!final_manifest && file_ &&
+        opts_.durability == store::DurabilityPolicy::None) {
+        const store::IoError err = file_->flush();
+        if (!err.ok()) {
+            liveFail(err);
+            return;
+        }
+    }
+
+    store::LiveManifest m;
+    m.storeVersion = store::formatVersion;
+    m.generation = ++liveGeneration_;
+    if (final_manifest)
+        m.flags |= store::manifestFlagFinal;
+    if (!ok())
+        m.flags |= store::manifestFlagDegraded;
+    m.blockCapacity = opts_.blockCapacity;
+    m.intColumns = static_cast<std::uint32_t>(schema_.intColumns());
+    m.doubleColumns =
+        static_cast<std::uint32_t>(schema_.doubleColumns());
+    m.coeffCount = schema_.coeffCount;
+    std::uint64_t sealed_records = 0;
+    for (const store::BlockInfo &b : index)
+        sealed_records += b.records;
+    m.recordCount = sealed_records;
+    m.dataBytes = index.empty()
+                      ? store::headerBytes
+                      : index.back().offset + index.back().size;
+    m.sorted = pendingSorted_;
+    m.index = index;
+    m.zones = zones;
+    store::encodeManifest(m, manifestBuf_);
+
+    // Whole-frame rewrite into a tmp sibling, then rename over the
+    // previous generation: readers observe either manifest, never a
+    // blend, without any reader/writer locking.
+    const std::string live_path = store::manifestPathFor(path_);
+    const std::string tmp_path = live_path + ".tmp";
+    store::IoError err;
+    std::unique_ptr<store::StoreFile> out =
+        opts_.liveFileFactory ? opts_.liveFileFactory(tmp_path, &err)
+                              : store::openOsFile(tmp_path, &err);
+    if (!out) {
+        if (err.ok()) {
+            err.code = EIO;
+            err.message = "cannot open " + tmp_path;
+        }
+        liveFail(err);
+        return;
+    }
+    err = out->write(manifestBuf_.data(), manifestBuf_.size());
+    if (err.ok())
+        err = opts_.durability ==
+                      store::DurabilityPolicy::SyncPerSeal
+                  ? out->sync()
+                  : out->flush();
+    const store::IoError close_err = out->close();
+    if (err.ok())
+        err = close_err;
+    if (err.ok() && std::rename(tmp_path.c_str(),
+                                live_path.c_str()) != 0) {
+        err.code = errno ? errno : EIO;
+        err.message = "rename " + tmp_path + ": " +
+                      std::strerror(err.code);
+    }
+    if (!err.ok()) {
+        std::remove(tmp_path.c_str());
+        liveFail(err);
+        return;
+    }
+    livePublished_.fetch_add(1, std::memory_order_release);
+}
+
+void
+FeatureStoreWriter::liveFail(const store::IoError &error)
+{
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!liveFailed_.load(std::memory_order_relaxed)) {
+            liveError_ = error;
+            first = true;
+        }
+    }
+    liveFailed_.store(true, std::memory_order_release);
+    if (first) {
+        TDFE_WARN("feature store '", path_,
+                  "' live manifest publication failed; live views "
+                  "will no longer advance (the trace itself is "
+                  "unaffected): ",
+                  error.message);
+    }
+}
+
+store::IoError
+FeatureStoreWriter::liveStatus() const
+{
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    return liveError_;
 }
 
 } // namespace tdfe

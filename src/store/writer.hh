@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,26 @@ struct StoreOptions
     /** Base backoff before retry @c k sleeps `backoff << k`
      *  microseconds (0 disables sleeping — tests). */
     int retryBackoffUs = 500;
+    /**
+     * Publish a live manifest ("<path>.live", see manifest.hh)
+     * after sealed blocks so concurrent LiveStoreReader views can
+     * follow the store while it is being written. Publication rides
+     * the flush path (the pool worker in async mode), never the
+     * append hot path, and a publication failure degrades only the
+     * live side (liveOk()) — the store itself keeps writing.
+     */
+    bool live = false;
+    /** Seals between manifest publications (live mode). 1 publishes
+     *  every sealed block; larger values amortize the O(blocks)
+     *  manifest rewrite on very long runs. finish() always
+     *  publishes a final manifest regardless. */
+    std::size_t livePublishEvery = 1;
+    /** Test seam: how the manifest tmp file is opened (empty: OS
+     *  file). Fault plans injected here exercise the sticky live
+     *  degrade without touching the data file. */
+    std::function<std::unique_ptr<store::StoreFile>(
+        const std::string &, store::IoError *)>
+        liveFileFactory;
 };
 
 /**
@@ -173,6 +194,30 @@ class FeatureStoreWriter
     /** @return path the store is being written to. */
     const std::string &path() const { return path_; }
 
+    /**
+     * @return true while live-manifest publication (when requested
+     * via StoreOptions::live) has not failed. Sticky like the store
+     * degrade, but independent of it: a dead manifest path stops
+     * live serving, not the trace — append() and finish() proceed
+     * untouched. Always true when live mode is off.
+     */
+    bool
+    liveOk() const
+    {
+        return !liveFailed_.load(std::memory_order_acquire);
+    }
+
+    /** @return the first manifest-publication error (sticky; a
+     *  default-constructed IoError while liveOk()). */
+    store::IoError liveStatus() const;
+
+    /** @return manifest generations successfully published. */
+    std::uint64_t
+    livePublished() const
+    {
+        return livePublished_.load(std::memory_order_acquire);
+    }
+
   private:
     /** Shared constructor body (file may be null: degraded open). */
     void init(store::IoError open_error);
@@ -213,6 +258,22 @@ class FeatureStoreWriter
 
     void writeFooter();
 
+    /**
+     * Atomically publish the live manifest describing the current
+     * sealed prefix (tmp + rename; see manifest.hh). Runs on the
+     * flush path — the pool worker in async mode — and inside
+     * finish() for the final generation, so index/zones access is
+     * serialized by the one-job-in-flight discipline. Respects
+     * livePublishEvery unless @p force. On failure latches the
+     * sticky live degrade (warn once) and never touches the data
+     * file or the append path.
+     */
+    void publishManifest(bool final_manifest, bool force);
+
+    /** Latch the sticky live-publication error (first one wins) and
+     *  log once. The store itself keeps writing. */
+    void liveFail(const store::IoError &error);
+
     std::string path_;
     StoreSchema schema_;
     StoreOptions opts_;
@@ -249,12 +310,26 @@ class FeatureStoreWriter
      *  rank merges break it and downgrade range queries). @{ */
     std::int64_t lastIter_ = 0;
     bool sortedAppends_ = true;
+    /** Snapshot of sortedAppends_ taken at rotateStaging so the
+     *  async flush worker never races the producer's appends. */
+    bool pendingSorted_ = true;
     /** @} */
     std::size_t records_ = 0;
     std::size_t sealed_ = 0;
     std::uint64_t bytesWritten_ = 0;
     double exposed_ = 0.0;
     bool finished_ = false;
+
+    /** Live-manifest publication state. The flag is sticky and read
+     *  lock-free; the error detail shares errorMutex_. Generation
+     *  and scratch are touched only on the (serialized) flush path.
+     *  @{ */
+    std::atomic<bool> liveFailed_{false};
+    store::IoError liveError_;
+    std::atomic<std::uint64_t> livePublished_{0};
+    std::uint64_t liveGeneration_ = 0;
+    std::vector<std::uint8_t> manifestBuf_;
+    /** @} */
 };
 
 } // namespace tdfe

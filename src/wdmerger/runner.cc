@@ -29,6 +29,7 @@ storeOptionsFrom(const WdRunOptions &options)
 {
     StoreOptions store_options;
     store_options.async = options.storeAsync;
+    store_options.live = options.storeLive;
     store_options.durability =
         store::parseDurabilityPolicy(options.storeDurability);
     return store_options;

@@ -69,6 +69,9 @@ struct WdRunOptions
     std::string storeMergePolicy = "fail";
     /** Keep per-rank store parts after the merge. */
     bool storeKeepParts = false;
+    /** Publish a live manifest after sealed blocks (tail readers;
+     *  see store/live.hh). */
+    bool storeLive = false;
 
     /** Crash-safe checkpointing + auto-resume; the knobs mirror
      *  blast::RunOptions (see there and src/ckpt). @{ */

@@ -668,6 +668,129 @@ TEST(StoreFault, SalvageMatchesFooterReaderOnIntactStore)
     std::remove(path.c_str());
 }
 
+TEST(StoreFault, ReadFaultsFailOpenGracefullyThenHeal)
+{
+    const std::string path = tempPath("readfault.tdfs");
+    StoreOptions opts;
+    opts.blockCapacity = 16;
+    writeStore(path, 100, 2, opts);
+
+    // Persistent EIO from byte 0: the header read fails and open()
+    // reports it as a value, never a fatal.
+    auto with_fault = [](std::uint64_t at) {
+        return [at](const std::string &p,
+                    store::IoError *err)
+                   -> std::unique_ptr<store::ReadFile> {
+            auto f = store::openOsReadFile(p, err);
+            if (!f)
+                return nullptr;
+            store::ReadFaultPlan plan;
+            plan.kind = store::ReadFaultPlan::Kind::ErrorAt;
+            plan.atByte = at;
+            plan.errCode = EIO;
+            return std::make_unique<store::FaultyReadFile>(
+                std::move(f), plan);
+        };
+    };
+    std::string error;
+    EXPECT_EQ(FeatureStoreReader::open(path, &error, with_fault(0)),
+              nullptr);
+    EXPECT_NE(error.find("header read failed"), std::string::npos)
+        << error;
+
+    // A fault inside the trailer window kills only the footer path;
+    // salvage (which stops reading below it) still recovers every
+    // sealed block.
+    const std::size_t file_size = fileBytes(path).size();
+    error.clear();
+    EXPECT_EQ(FeatureStoreReader::open(path, &error,
+                                       with_fault(file_size - 10)),
+              nullptr);
+    EXPECT_NE(error.find("read failed"), std::string::npos) << error;
+
+    // A mid-file fault with a short read (the torn-tail race): the
+    // salvage slurp fails as a value too.
+    {
+        auto factory = [file_size](const std::string &p,
+                                   store::IoError *err)
+            -> std::unique_ptr<store::ReadFile> {
+            auto f = store::openOsReadFile(p, err);
+            if (!f)
+                return nullptr;
+            store::ReadFaultPlan plan;
+            plan.kind = store::ReadFaultPlan::Kind::ErrorAt;
+            plan.atByte = file_size / 2;
+            plan.errCode = EIO;
+            plan.shortRead = true;
+            return std::make_unique<store::FaultyReadFile>(
+                std::move(f), plan);
+        };
+        error.clear();
+        EXPECT_EQ(FeatureStoreReader::salvage(path, &error, factory),
+                  nullptr);
+        EXPECT_FALSE(error.empty());
+    }
+
+    // Transient fault budget: two opens fail, the third heals and
+    // the healed reader verifies and streams every record.
+    int budget = 2;
+    auto healing = [&budget](const std::string &p,
+                             store::IoError *err)
+        -> std::unique_ptr<store::ReadFile> {
+        auto f = store::openOsReadFile(p, err);
+        if (!f || budget-- <= 0)
+            return f;
+        store::ReadFaultPlan plan;
+        plan.kind = store::ReadFaultPlan::Kind::ErrorAt;
+        plan.atByte = 0;
+        plan.errCode = EIO;
+        return std::make_unique<store::FaultyReadFile>(std::move(f),
+                                                       plan);
+    };
+    EXPECT_EQ(FeatureStoreReader::open(path, &error, healing),
+              nullptr);
+    EXPECT_EQ(FeatureStoreReader::open(path, &error, healing),
+              nullptr);
+    const auto r = FeatureStoreReader::open(path, &error, healing);
+    ASSERT_TRUE(r) << error;
+    EXPECT_TRUE(r->verify(&error)) << error;
+    auto c = r->cursor();
+    FeatureRecord rec;
+    std::size_t i = 0;
+    while (c.next(rec))
+        expectRecordsEqual(rec, makeRecord(i++, 2));
+    EXPECT_EQ(i, 100u);
+    std::remove(path.c_str());
+}
+
+TEST(StoreFault, FaultyReadFileCountsDownAndHeals)
+{
+    const std::string path = tempPath("countdown.tdfs");
+    writeStore(path, 10, 1, StoreOptions());
+    store::IoError err;
+    auto inner = store::openOsReadFile(path, &err);
+    ASSERT_TRUE(inner) << err.message;
+    store::ReadFaultPlan plan;
+    plan.kind = store::ReadFaultPlan::Kind::ErrorAt;
+    plan.atByte = 4;
+    plan.errCode = EIO;
+    plan.failCount = 2;
+    store::FaultyReadFile f(std::move(inner), plan);
+
+    std::uint8_t buf[8];
+    // Reads below the mark never fault.
+    EXPECT_TRUE(f.readAt(0, buf, 4).ok());
+    EXPECT_EQ(f.remainingFaults(), 2);
+    // Reads crossing it burn the budget...
+    EXPECT_EQ(f.readAt(0, buf, 8).code, EIO);
+    EXPECT_EQ(f.readAt(4, buf, 4).code, EIO);
+    EXPECT_EQ(f.remainingFaults(), 0);
+    // ...then the file heals.
+    EXPECT_TRUE(f.readAt(0, buf, 8).ok());
+    EXPECT_EQ(std::memcmp(buf, store::headerMagic, 8), 0);
+    std::remove(path.c_str());
+}
+
 TEST(StoreFault, UnopenablePathDegradesInsteadOfAborting)
 {
     StoreSchema schema;

@@ -11,6 +11,11 @@
  *                   [--agg count|min|max|mean]
  *                                      filtered scan (zone-map
  *                                      pushdown; see store/query.hh)
+ *   tdfstool tail   <store> [filters] [--stall s] [--max n]
+ *                                      follow a store being written
+ *                                      (--store-live), streaming
+ *                                      each sealed record as CSV
+ *                                      (see store/live.hh)
  *   tdfstool diff   <a> <b> [--ignore cols]
  *                                      record-wise comparison
  *   tdfstool recover <damaged> <out>   salvage a damaged store into
@@ -47,6 +52,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hh"
+#include "store/live.hh"
 #include "store/query.hh"
 #include "store/reader.hh"
 #include "store/writer.hh"
@@ -100,6 +106,26 @@ printUsage(std::FILE *to)
         "per-projected-column\n"
         "                              min/max/mean (NaNs "
         "excluded)\n"
+        "  tail   <store> [filters]    follow a store being written "
+        "(the\n"
+        "                              writer publishes with "
+        "--store-live),\n"
+        "                              printing each sealed record "
+        "as CSV;\n"
+        "                              accepts the query filters "
+        "and\n"
+        "                              --project above, plus:\n"
+        "         --stall s            exit after s seconds without "
+        "progress\n"
+        "                              (default 10; 0 waits "
+        "forever)\n"
+        "         --max n              exit after n records\n"
+        "                              exits 0 when the writer "
+        "finishes or\n"
+        "                              is lost — the printed stream "
+        "is a\n"
+        "                              consistent sealed prefix "
+        "either way\n"
         "  diff <a> <b> [--ignore c,c] compare two stores "
         "record-wise,\n"
         "                              skipping the named columns "
@@ -292,6 +318,121 @@ columnValue(const FeatureRecord &rec, const std::string &name,
     return false;
 }
 
+/**
+ * Try to consume argv[@p i] (advancing @p i past any value) as one
+ * of the filter/projection flags `query` and `tail` share: --iter,
+ * --analysis, --stop, --where, --project.
+ * @return 1 when consumed, 0 when the flag is not ours, -1 on a
+ *         malformed value (message already printed).
+ */
+int
+consumeFilterArg(int argc, char **argv, int &i,
+                 tdfe::EventFilter &filter, std::string &project)
+{
+    const std::string arg = argv[i];
+    if (arg == "--iter" && i + 1 < argc) {
+        const std::string spec = argv[++i];
+        const std::size_t colon = spec.find(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr,
+                         "tdfstool: --iter wants a:b, got '%s'\n",
+                         spec.c_str());
+            return -1;
+        }
+        const std::string lo = spec.substr(0, colon);
+        const std::string hi = spec.substr(colon + 1);
+        if (!lo.empty())
+            filter.iterBegin = std::atoll(lo.c_str());
+        if (!hi.empty())
+            filter.iterEnd = std::atoll(hi.c_str());
+        return 1;
+    }
+    if (arg == "--analysis" && i + 1 < argc) {
+        filter.analysisIs(std::atoll(argv[++i]));
+        return 1;
+    }
+    if (arg == "--stop" && i + 1 < argc) {
+        filter.stopIs(std::string(argv[++i]) != "0");
+        return 1;
+    }
+    if (arg == "--where" && i + 1 < argc) {
+        tdfe::MetricPredicate pred;
+        std::string error;
+        if (!tdfe::parseMetricPredicate(argv[++i], pred, &error)) {
+            std::fprintf(stderr, "tdfstool: %s\n", error.c_str());
+            return -1;
+        }
+        filter.where(pred);
+        return 1;
+    }
+    if (arg == "--project" && i + 1 < argc) {
+        project = argv[++i];
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Resolve a --project list against @p known (footer column names):
+ * empty @p project selects every column. @return false (message
+ * printed) on an unknown or empty selection.
+ */
+bool
+resolveColumns(const std::vector<std::string> &known,
+               const std::string &project,
+               std::vector<std::string> &cols)
+{
+    if (project.empty()) {
+        cols = known;
+        return true;
+    }
+    std::stringstream ss(project);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        if (std::find(known.begin(), known.end(), item) ==
+            known.end()) {
+            std::fprintf(stderr,
+                         "tdfstool: store has no column '%s'\n",
+                         item.c_str());
+            return false;
+        }
+        cols.push_back(item);
+    }
+    if (cols.empty()) {
+        std::fprintf(stderr,
+                     "tdfstool: --project named no columns\n");
+        return false;
+    }
+    return true;
+}
+
+/** Print one CSV row of @p rec projected to @p cols (export-format
+ *  values: integral columns without a decimal point, doubles
+ *  round-tripping at %.17g) — shared by `query` and `tail` so a
+ *  tailed stream is textually a prefix of an export/query of the
+ *  same records. */
+void
+printProjected(const FeatureRecord &rec,
+               const std::vector<std::string> &cols)
+{
+    char buf[64];
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        double v = 0.0;
+        bool integral = false;
+        columnValue(rec, cols[c], v, integral);
+        if (integral) {
+            std::printf("%s%lld", c ? "," : "",
+                        static_cast<long long>(v));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            std::printf("%s%s", c ? "," : "", buf);
+        }
+    }
+    std::printf("\n");
+}
+
 int
 cmdQuery(int argc, char **argv)
 {
@@ -300,40 +441,14 @@ cmdQuery(int argc, char **argv)
     std::string project;
     std::string agg;
     for (int i = 3; i < argc; ++i) {
+        const int took =
+            consumeFilterArg(argc, argv, i, filter, project);
+        if (took < 0)
+            return 1;
+        if (took > 0)
+            continue;
         const std::string arg = argv[i];
-        if (arg == "--iter" && i + 1 < argc) {
-            const std::string spec = argv[++i];
-            const std::size_t colon = spec.find(':');
-            if (colon == std::string::npos) {
-                std::fprintf(stderr,
-                             "tdfstool: --iter wants a:b, got "
-                             "'%s'\n",
-                             spec.c_str());
-                return 1;
-            }
-            const std::string lo = spec.substr(0, colon);
-            const std::string hi = spec.substr(colon + 1);
-            if (!lo.empty())
-                filter.iterBegin = std::atoll(lo.c_str());
-            if (!hi.empty())
-                filter.iterEnd = std::atoll(hi.c_str());
-        } else if (arg == "--analysis" && i + 1 < argc) {
-            filter.analysisIs(std::atoll(argv[++i]));
-        } else if (arg == "--stop" && i + 1 < argc) {
-            filter.stopIs(std::string(argv[++i]) != "0");
-        } else if (arg == "--where" && i + 1 < argc) {
-            tdfe::MetricPredicate pred;
-            std::string error;
-            if (!tdfe::parseMetricPredicate(argv[++i], pred,
-                                            &error)) {
-                std::fprintf(stderr, "tdfstool: %s\n",
-                             error.c_str());
-                return 1;
-            }
-            filter.where(pred);
-        } else if (arg == "--project" && i + 1 < argc) {
-            project = argv[++i];
-        } else if (arg == "--agg" && i + 1 < argc) {
+        if (arg == "--agg" && i + 1 < argc) {
             agg = argv[++i];
         } else {
             return usage();
@@ -353,31 +468,8 @@ cmdQuery(int argc, char **argv)
         return 1;
 
     std::vector<std::string> cols;
-    if (project.empty()) {
-        cols = r->columnNames();
-    } else {
-        std::stringstream ss(project);
-        std::string item;
-        const auto &known = r->columnNames();
-        while (std::getline(ss, item, ',')) {
-            if (item.empty())
-                continue;
-            if (std::find(known.begin(), known.end(), item) ==
-                known.end()) {
-                std::fprintf(stderr,
-                             "tdfstool: store has no column "
-                             "'%s'\n",
-                             item.c_str());
-                return 1;
-            }
-            cols.push_back(item);
-        }
-        if (cols.empty()) {
-            std::fprintf(stderr,
-                         "tdfstool: --project named no columns\n");
-            return 1;
-        }
-    }
+    if (!resolveColumns(r->columnNames(), project, cols))
+        return 1;
 
     tdfe::QueryCursor cursor(*r, filter);
     FeatureRecord rec;
@@ -436,21 +528,91 @@ cmdQuery(int argc, char **argv)
     for (std::size_t c = 0; c < cols.size(); ++c)
         std::printf("%s%s", c ? "," : "", cols[c].c_str());
     std::printf("\n");
-    while (cursor.next(rec)) {
-        for (std::size_t c = 0; c < cols.size(); ++c) {
-            double v = 0.0;
-            bool integral = false;
-            columnValue(rec, cols[c], v, integral);
-            if (integral) {
-                std::printf("%s%lld", c ? "," : "",
-                            static_cast<long long>(v));
-            } else {
-                std::snprintf(buf, sizeof(buf), "%.17g", v);
-                std::printf("%s%s", c ? "," : "", buf);
-            }
+    while (cursor.next(rec))
+        printProjected(rec, cols);
+    return 0;
+}
+
+int
+cmdTail(int argc, char **argv)
+{
+    const std::string path = argv[2];
+    tdfe::EventFilter filter;
+    std::string project;
+    double stall = 10.0;
+    long max_records = -1;
+    for (int i = 3; i < argc; ++i) {
+        const int took =
+            consumeFilterArg(argc, argv, i, filter, project);
+        if (took < 0)
+            return 1;
+        if (took > 0)
+            continue;
+        const std::string arg = argv[i];
+        if (arg == "--stall" && i + 1 < argc) {
+            stall = std::atof(argv[++i]);
+        } else if (arg == "--max" && i + 1 < argc) {
+            max_records = std::atoll(argv[++i]);
+        } else {
+            return usage();
         }
-        std::printf("\n");
     }
+
+    tdfe::LiveViewOptions options;
+    options.stallDeadlineSeconds = stall;
+    tdfe::LiveStoreReader live(path, options);
+    tdfe::TailCursor tail(live, filter);
+
+    // First advance = attach: the column set is only known once a
+    // manifest (or footer) has been adopted.
+    if (!live.attached())
+        live.waitForAdvance();
+    if (!live.attached()) {
+        std::fprintf(stderr,
+                     "tdfstool: %s: no live store appeared within "
+                     "the stall deadline (%s)\n",
+                     path.c_str(),
+                     tdfe::liveStateName(live.state()));
+        return 1;
+    }
+
+    std::vector<std::string> cols;
+    if (!resolveColumns(live.view().reader().columnNames(), project,
+                        cols))
+        return 1;
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        std::printf("%s%s", c ? "," : "", cols[c].c_str());
+    std::printf("\n");
+
+    FeatureRecord rec;
+    long printed = 0;
+    for (;;) {
+        if (tail.next(rec)) {
+            printProjected(rec, cols);
+            // Line-buffered consumers (dashboards, the check_build
+            // prefix gate) see each record as it seals.
+            std::fflush(stdout);
+            if (max_records >= 0 && ++printed >= max_records)
+                break;
+            continue;
+        }
+        if (tail.done())
+            break;
+        // Drained for now: block until the writer publishes again,
+        // finishes, or the stall deadline degrades us to a static
+        // view — the loop then drains that and done() ends it.
+        live.waitForAdvance();
+    }
+
+    const tdfe::LiveState end_state = live.state();
+    std::fprintf(stderr,
+                 "tdfstool: tail of %s ended (%s, %zu records "
+                 "delivered)\n",
+                 path.c_str(), tdfe::liveStateName(end_state),
+                 tail.recordsDelivered());
+    // Both a finished writer and a lost one end the tail cleanly —
+    // the records delivered are a consistent sealed prefix either
+    // way. Only failing to ever see a store is an error (above).
     return 0;
 }
 
@@ -641,6 +803,8 @@ main(int argc, char **argv)
     }
     if (cmd == "query")
         return cmdQuery(argc, argv);
+    if (cmd == "tail")
+        return cmdTail(argc, argv);
     if (cmd == "diff") {
         if (argc < 4)
             return usage();
