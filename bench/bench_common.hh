@@ -135,12 +135,18 @@ struct BenchRecord
  * "notes"}, ...]}`. Values are emitted with enough digits to
  * round-trip doubles, so baselines diff cleanly between runs.
  *
+ * When @p metricsJson is non-empty it must be a complete JSON
+ * document (obs::metricsSnapshotJson()) and is embedded verbatim as
+ * a top-level "telemetry" member, so a BENCH_*.json carries the
+ * counter evidence of the run that produced it.
+ *
  * @return true when the file was written.
  */
 inline bool
 bench_to_json(const std::string &path,
               const std::map<std::string, std::string> &meta,
-              const std::vector<BenchRecord> &records)
+              const std::vector<BenchRecord> &records,
+              const std::string &metricsJson = std::string())
 {
     std::ofstream out(path);
     if (!out)
@@ -199,7 +205,10 @@ bench_to_json(const std::string &path,
         }
         out << "\n      }\n    }";
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ]";
+    if (!metricsJson.empty())
+        out << ",\n  \"telemetry\": " << metricsJson;
+    out << "\n}\n";
     return static_cast<bool>(out);
 }
 

@@ -97,6 +97,7 @@ main(int argc, char **argv)
     applyThreadsFlag(argc, argv);
     const StoreCliOptions storeCli = applyStoreFlags(argc, argv);
     CkptCliOptions ckptCli = applyCkptFlags(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
     const bool keep_ckpt = stripFlag(argc, argv, "--keep-ckpt");
     const bool tear_newest = stripFlag(argc, argv, "--tear-newest");
     if (ckptCli.path.empty())
@@ -138,6 +139,7 @@ main(int argc, char **argv)
     res_opts.ckptKeep = static_cast<int>(ckptCli.keep);
     res_opts.ckptDurability = ckptCli.durability;
     res_opts.resumeAuto = ckptCli.resumeAuto; // forced on by retries
+    res_opts.metricsEvery = obsCli.metricsEvery;
     res_opts.haltAfterIterations = total / 2;
     const std::uint64_t torn_gen = static_cast<std::uint64_t>(
         (total / 2 / ckptCli.every) * ckptCli.every);
@@ -196,5 +198,6 @@ main(int argc, char **argv)
             std::remove(g.path.c_str());
         std::remove((ckptCli.path + ".manifest").c_str());
     }
+    finishObsOptions(obsCli);
     return identical ? 0 : 1;
 }

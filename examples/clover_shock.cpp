@@ -20,6 +20,8 @@
 #include "base/cli.hh"
 #include "clover2d/app.hh"
 #include "core/region.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 #include "par/store_merge.hh"
 
 using namespace tdfe;
@@ -30,6 +32,10 @@ main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
     const StoreCliOptions storeCli = applyStoreFlags(argc, argv);
+    // --metrics-out <file> snapshots every counter at exit,
+    // --trace-out <file> records spans for Perfetto, and
+    // --metrics-every <n> prints a heartbeat line from the loop.
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     CloverAppConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 48;
@@ -94,11 +100,20 @@ main(int argc, char **argv)
     // The instrumented run; probe peaks double as ground truth.
     std::vector<double> peak(static_cast<std::size_t>(config.size),
                              0.0);
+    obs::Heartbeat heartbeat(
+        static_cast<std::uint64_t>(obsCli.metricsEvery));
+    std::uint64_t cycle = 0;
     while (!field.finished()) {
         region.begin();
-        Timestep(field);
-        HydroCycle(field);
+        {
+            static obs::Counter steps("solver.steps_total");
+            obs::SpanTimer step("solver.step", "solver");
+            Timestep(field);
+            HydroCycle(field);
+            steps.add();
+        }
         region.end();
+        heartbeat.tick(++cycle);
         if (region.shouldStop()) // relaxed: no drain, no stall
             break;
         field.gatherProbes();
@@ -144,5 +159,6 @@ main(int argc, char **argv)
         std::printf("%-14.1f %-12ld %-12ld\n", pct, extracted,
                     truth_radius);
     }
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -35,6 +35,7 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     // 1. In-situ peak tracking through the Region API.
     RingDomain sim;
@@ -86,5 +87,6 @@ main(int argc, char **argv)
     std::printf("envelope drops below 2.2 after step %ld "
                 "(%ld profile evaluations, clamped=%d)\n",
                 bp.radius, bp.evaluations, bp.clamped ? 1 : 0);
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
     applyThreadsFlag(argc, argv);
     const StoreCliOptions store = applyStoreFlags(argc, argv);
     const CkptCliOptions ckpt = applyCkptFlags(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
@@ -75,6 +76,9 @@ main(int argc, char **argv)
     stop.ckptKeep = static_cast<int>(ckpt.keep);
     stop.ckptDurability = ckpt.durability;
     stop.resumeAuto = ckpt.resumeAuto;
+    // --metrics-every prints a counter heartbeat from the run loop;
+    // --metrics-out / --trace-out dump the full telemetry at exit.
+    stop.metricsEvery = obsCli.metricsEvery;
     const RunResult early = runBlast(config, nullptr, stop);
     if (!ckpt.path.empty()) {
         std::printf("checkpoints: %ld generations under %s\n",
@@ -101,5 +105,6 @@ main(int argc, char **argv)
                     100.0 * (reference.seconds - early.seconds) /
                         reference.seconds);
     }
+    finishObsOptions(obsCli);
     return 0;
 }

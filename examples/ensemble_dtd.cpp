@@ -36,6 +36,7 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     const int count = argc > 1 ? std::atoi(argv[1]) : 8;
     const int resolution = argc > 2 ? std::atoi(argv[2]) : 6;
@@ -129,5 +130,6 @@ main(int argc, char **argv)
                     "law)\n",
                     slope);
     }
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     Lagrangian1Config config;
     config.zones = argc > 1 ? std::atoi(argv[1]) : 60;
@@ -99,5 +100,6 @@ main(int argc, char **argv)
                 1e3 * region.overheadSeconds(), region.iteration(),
                 1e6 * region.overheadSeconds() /
                     static_cast<double>(region.iteration()));
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -42,6 +42,7 @@ main(int argc, char **argv)
     ArgParser args("Follow a live feature store while it is written "
                    "(snapshot-isolated tail; see store/live.hh)");
     addThreadsOption(args);
+    addObsOptions(args);
     args.addInt("records", 4096, "records the writer appends");
     args.addInt("block", 256, "records per sealed block");
     args.addString("store", "live_dashboard.tdfs",
@@ -50,6 +51,8 @@ main(int argc, char **argv)
                 "microseconds between appends (writer pacing)");
     args.parse(argc, argv);
     applyThreadsOption(args);
+    const ObsCliOptions obsCli = obsOptions(args);
+    applyObsOptions(obsCli);
 
     const long total = args.getInt("records");
     const std::size_t block =
@@ -164,5 +167,6 @@ main(int argc, char **argv)
     }
     std::remove(path.c_str());
     std::remove(store::manifestPathFor(path).c_str());
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -28,6 +28,15 @@ int
 main(int argc, char **argv)
 {
     tdfe::applyThreadsFlag(argc, argv);
+    // Telemetry through the C API: --metrics-out/--trace-out parse
+    // here, but enable/export go through td_metrics_* / td_trace_*
+    // exactly as a C simulation would call them.
+    const tdfe::ObsCliOptions obsCli =
+        tdfe::applyObsFlags(argc, argv);
+    if (obsCli.enabled())
+        td_metrics_enable(1);
+    if (!obsCli.traceOut.empty())
+        td_trace_enable(1);
 
     BlastConfig config;
     config.size = argc > 1 ? std::atoi(argv[1]) : 24;
@@ -86,5 +95,13 @@ main(int argc, char **argv)
     td_iter_param_destroy(lulesh_iter);
     td_region_destroy(lulesh_region);
     delete locDom;
+    if (!obsCli.metricsOut.empty() &&
+        td_metrics_write(obsCli.metricsOut.c_str()) != 0)
+        std::printf("metrics write failed: %s\n",
+                    obsCli.metricsOut.c_str());
+    if (!obsCli.traceOut.empty() &&
+        td_trace_export(obsCli.traceOut.c_str()) != 0)
+        std::printf("trace export failed: %s\n",
+                    obsCli.traceOut.c_str());
     return 0;
 }

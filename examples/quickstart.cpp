@@ -31,6 +31,10 @@ int
 main(int argc, char **argv)
 {
     applyThreadsFlag(argc, argv);
+    // --metrics-out / --trace-out / --metrics-every work here like
+    // everywhere else (see src/obs): every layer under begin()/end()
+    // is instrumented, the flags only turn recording on.
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     ToySim sim;
 
@@ -72,5 +76,6 @@ main(int argc, char **argv)
                 9);
     std::printf("in-situ memory footprint: %zu bytes\n",
                 a.observed().memoryBytes());
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     applyThreadsFlag(argc, argv);
     const StoreCliOptions store = applyStoreFlags(argc, argv);
     const CkptCliOptions ckpt = applyCkptFlags(argc, argv);
+    const ObsCliOptions obsCli = applyObsFlags(argc, argv);
 
     const int resolution = argc > 1 ? std::atoi(argv[1]) : 8;
 
@@ -49,6 +50,7 @@ main(int argc, char **argv)
     options.ckptKeep = static_cast<int>(ckpt.keep);
     options.ckptDurability = ckpt.durability;
     options.resumeAuto = ckpt.resumeAuto;
+    options.metricsEvery = obsCli.metricsEvery;
 
     std::printf("running wdmerger at resolution %d...\n",
                 resolution);
@@ -101,5 +103,6 @@ main(int argc, char **argv)
             std::printf("  %5.1f: %zu\n", dtd.binCentre(b), bins[b]);
     std::printf("mean delay time: %.1f (range %.1f..%.1f)\n",
                 dtd.mean(), dtd.min(), dtd.max());
+    finishObsOptions(obsCli);
     return 0;
 }

@@ -58,6 +58,24 @@ if ./tdfstool query check_clover.tdfs --where "bogus<1" \
   echo "!! bad predicate unexpectedly accepted" && exit 1
 fi
 
+# Telemetry smoke: the same example run with metrics + tracing on
+# (2 pool threads so the async overlap spans are recorded) must
+# emit a heartbeat line, and the exported documents must pass the
+# tdfstool validators; a non-telemetry JSON must be rejected.
+./example_clover_shock 32 --threads 2 --metrics-out check_obs.json \
+    --trace-out check_obs_trace.json --metrics-every 100 \
+    > check_obs.log 2>&1
+grep -q "heartbeat iter=" check_obs.log
+./tdfstool metrics check_obs.json > /dev/null
+./tdfstool trace check_obs_trace.json > /dev/null
+grep -q "region.digests_total" check_obs.json
+echo '{"schema": "bogus"}' > check_obs_bad.json
+if ./tdfstool metrics check_obs_bad.json > /dev/null 2>&1; then
+  echo "!! bogus metrics document unexpectedly accepted" && exit 1
+fi
+rm -f check_obs.json check_obs_trace.json check_obs.log \
+    check_obs_bad.json
+
 # Fault battery: crash-point sweep, retry/degrade, salvage, and the
 # Region surviving its sink's death (the fault_smoke ctest label),
 # then a recovery round trip: truncate the store mid-file (a crash
@@ -160,7 +178,7 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]] &&
       test_parallel_for_tsan test_feature_store_tsan \
       test_store_query_tsan \
       test_ckpt_resilience_tsan test_faulty_comm_tsan \
-      test_store_live_tsan
+      test_store_live_tsan test_obs_tsan test_obs_determinism_tsan
   cd build-tsan
   ctest --output-on-failure -L tsan_smoke
 else

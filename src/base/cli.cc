@@ -7,6 +7,8 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace tdfe
 {
@@ -338,6 +340,101 @@ applyCkptFlags(int &argc, char **argv)
     argc = out;
     argv[argc] = nullptr;
     return opts;
+}
+
+void
+addObsOptions(ArgParser &args)
+{
+    args.addString("metrics-out", "",
+                   "write the metrics snapshot (tdfe.metrics.v1 "
+                   "JSON) here at exit (empty: disabled)");
+    args.addString("trace-out", "",
+                   "write a Chrome trace_event JSON here at exit, "
+                   "loadable in Perfetto (empty: disabled)");
+    args.addInt("metrics-every", 0,
+                "emit a one-line metrics heartbeat every N "
+                "iterations (0: disabled)");
+}
+
+ObsCliOptions
+obsOptions(const ArgParser &args)
+{
+    ObsCliOptions opts;
+    opts.metricsOut = args.getString("metrics-out");
+    opts.traceOut = args.getString("trace-out");
+    opts.metricsEvery = args.getInt("metrics-every");
+    return opts;
+}
+
+ObsCliOptions
+applyObsFlags(int &argc, char **argv)
+{
+    ObsCliOptions opts;
+    auto match = [&](int &i, const std::string &arg,
+                     const char *name, std::string &into) {
+        const std::string flag = std::string("--") + name;
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                TDFE_FATAL("option ", flag, " needs a value");
+            into = argv[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            into = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    };
+    int out = 1;
+    std::string every;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (match(i, arg, "metrics-out", opts.metricsOut) ||
+            match(i, arg, "trace-out", opts.traceOut)) {
+            // value captured by match()
+        } else if (match(i, arg, "metrics-every", every)) {
+            char *end = nullptr;
+            const long long n =
+                std::strtoll(every.c_str(), &end, 10);
+            if (every.empty() || *end != '\0' || n < 0)
+                TDFE_FATAL("invalid --metrics-every value '", every,
+                           "'");
+            opts.metricsEvery = static_cast<std::int64_t>(n);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    applyObsOptions(opts);
+    return opts;
+}
+
+void
+applyObsOptions(const ObsCliOptions &opts)
+{
+    if (opts.enabled())
+        obs::setMetricsEnabled(true);
+    if (!opts.traceOut.empty())
+        obs::setTraceEnabled(true);
+}
+
+bool
+finishObsOptions(const ObsCliOptions &opts)
+{
+    bool ok = true;
+    if (!opts.metricsOut.empty() &&
+        !obs::writeMetricsJson(opts.metricsOut)) {
+        TDFE_WARN("cannot write metrics snapshot to '",
+                  opts.metricsOut, "'");
+        ok = false;
+    }
+    if (!opts.traceOut.empty() &&
+        !obs::writeChromeTrace(opts.traceOut)) {
+        TDFE_WARN("cannot write trace to '", opts.traceOut, "'");
+        ok = false;
+    }
+    return ok;
 }
 
 int

@@ -202,6 +202,67 @@ CkptCliOptions ckptOptions(const ArgParser &args);
  */
 CkptCliOptions applyCkptFlags(int &argc, char **argv);
 
+/**
+ * Telemetry request parsed from the command line (src/obs), shared
+ * by every runner and example.
+ */
+struct ObsCliOptions
+{
+    /** Metrics-snapshot JSON destination (--metrics-out; empty
+     *  disables the file, not the metrics). */
+    std::string metricsOut;
+    /** Chrome trace JSON destination (--trace-out). Requesting it
+     *  turns span recording on. */
+    std::string traceOut;
+    /** Iterations between heartbeat inform() lines
+     *  (--metrics-every; 0 disables the heartbeat). */
+    std::int64_t metricsEvery = 0;
+
+    /** @return true when any telemetry output was requested. */
+    bool
+    enabled() const
+    {
+        return !metricsOut.empty() || !traceOut.empty() ||
+               metricsEvery > 0;
+    }
+};
+
+/**
+ * Register the standard telemetry options: `--metrics-out
+ * <file.json>` (write the tdfe.metrics.v1 snapshot at exit;
+ * `tdfstool metrics` pretty-prints it), `--trace-out <file.json>`
+ * (write a Chrome trace_event file loadable in Perfetto), and
+ * `--metrics-every <n>` (one-line heartbeat via inform() every n
+ * iterations).
+ */
+void addObsOptions(ArgParser &args);
+
+/** Read the parsed --metrics-* and --trace-out values. */
+ObsCliOptions obsOptions(const ArgParser &args);
+
+/**
+ * Raw-argv variant for binaries without an ArgParser: strip the
+ * telemetry options (see addObsOptions) from argv, leaving every
+ * other argument for the program's own parsing, and enable
+ * metric/span recording per the request (see applyObsOptions).
+ */
+ObsCliOptions applyObsFlags(int &argc, char **argv);
+
+/**
+ * Enable metric accumulation when @p opts requests any telemetry
+ * and span recording when a trace file was requested. Call before
+ * the run; pairs with finishObsOptions after it.
+ */
+void applyObsOptions(const ObsCliOptions &opts);
+
+/**
+ * Write the requested output files (metrics snapshot JSON, Chrome
+ * trace JSON). Warns and keeps going when a file cannot be written
+ * — telemetry must never fail a run. @return true when everything
+ * requested was written.
+ */
+bool finishObsOptions(const ObsCliOptions &opts);
+
 } // namespace tdfe
 
 #endif // TDFE_BASE_CLI_HH

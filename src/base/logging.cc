@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/metrics.hh"
+
 namespace tdfe
 {
 
@@ -44,6 +46,27 @@ bool
 logQuiet()
 {
     return quietFlag.load(std::memory_order_relaxed);
+}
+
+bool
+warnOnce(std::atomic<bool> &fired, const char *subsystem,
+         const std::string &message)
+{
+    // seq_cst exchange: exactly one caller wins even when several
+    // threads hit the degrade path at once.
+    if (fired.exchange(true))
+        return false;
+    warnDegraded(subsystem, message);
+    return true;
+}
+
+void
+warnDegraded(const char *subsystem, const std::string &message)
+{
+    // Count before warning so a test that greps the warning can
+    // also rely on the counter being visible.
+    obs::addDegrade(subsystem);
+    detail::emitLog(LogLevel::Warn, "", 0, message);
 }
 
 void

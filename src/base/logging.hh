@@ -12,6 +12,7 @@
 #ifndef TDFE_BASE_LOGGING_HH
 #define TDFE_BASE_LOGGING_HH
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -57,6 +58,30 @@ void setLogQuiet(bool quiet);
 
 /** @return true if Inform/Warn output is currently suppressed. */
 bool logQuiet();
+
+/**
+ * One-shot degrade warning: the shared convention behind every
+ * "warn once, then stay quiet" sticky-degrade path (store writer
+ * failure, checkpoint degrade, live-manifest loss, comm watchdog).
+ *
+ * The first caller to flip @p fired warns with @p message and
+ * counts one `degrade_total.<subsystem>` metric (obs::addDegrade);
+ * later calls are silent no-ops. @p fired is the caller's latch —
+ * typically a member next to the degraded state it describes — so
+ * independent subsystems (or writer instances) each warn once.
+ *
+ * @return true when this call fired (useful for extra bookkeeping
+ * the caller wants to do exactly once).
+ */
+bool warnOnce(std::atomic<bool> &fired, const char *subsystem,
+              const std::string &message);
+
+/**
+ * As warnOnce but for sites that already guard one-shot-ness
+ * themselves (e.g. behind an existing degraded flag + mutex): warn
+ * unconditionally and count the `degrade_total.<subsystem>` metric.
+ */
+void warnDegraded(const char *subsystem, const std::string &message);
 
 } // namespace tdfe
 

@@ -1,5 +1,6 @@
 #include "blastapp/runner.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "base/timer.hh"
 #include "ckpt/checkpoint.hh"
 #include "core/region.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "par/store_merge.hh"
 
 namespace tdfe
@@ -98,11 +101,11 @@ writeCheckpoint(ckpt::CheckpointSet &set, const Domain &domain,
                  payload)) {
         ++result.checkpointsWritten;
     }
+    // CheckpointSet::save warns (once) on the first failure; here we
+    // only latch the result bookkeeping.
     if (set.degraded() && !result.ckptDegraded) {
         result.ckptDegraded = true;
         result.ckptError = set.status().message;
-        TDFE_WARN("blast run: checkpoint write failed (",
-                  result.ckptError, "); the run continues");
     }
 }
 
@@ -180,13 +183,21 @@ runBlast(const BlastConfig &config, Communicator *comm,
     const bool gather = options.instrument || options.recordTrace;
 
     long attempt_iters = 0;
+    obs::Heartbeat heartbeat(
+        static_cast<std::uint64_t>(std::max(options.metricsEvery,
+                                            0L)));
     Timer timer;
     while (!domain.finished()) {
         if (region)
             region->begin();
 
-        TimeIncrement(domain);
-        LagrangeLeapFrog(domain);
+        {
+            static obs::Counter steps("solver.steps_total");
+            obs::SpanTimer step("solver.step", "solver");
+            TimeIncrement(domain);
+            LagrangeLeapFrog(domain);
+            steps.add();
+        }
         if (gather)
             domain.gatherProbes();
         if (options.recordTrace)
@@ -201,6 +212,7 @@ runBlast(const BlastConfig &config, Communicator *comm,
         }
 
         ++attempt_iters;
+        heartbeat.tick(static_cast<std::uint64_t>(domain.cycle()));
         if (ckpt_set && options.ckptEvery > 0 &&
             domain.cycle() % options.ckptEvery == 0) {
             writeCheckpoint(*ckpt_set, domain, region.get(), result);
@@ -260,6 +272,7 @@ runBlast(const BlastConfig &config, Communicator *comm,
             *region, std::move(store), options.storePath, comm,
             merge);
     }
+    result.report = obs::captureRunReport();
     return result;
 }
 

@@ -18,6 +18,7 @@
 #include "ckpt/checkpoint.hh"
 #include "core/analysis.hh"
 #include "core/threshold.hh"
+#include "obs/report.hh"
 
 namespace tdfe
 {
@@ -103,6 +104,11 @@ struct RunOptions
     /** Comm watchdog deadline for the region's stop protocol
      *  (seconds; 0 disables). See Region::setCommDeadline. */
     double commDeadlineSeconds = 0.0;
+    /** Iterations between metrics heartbeat lines (--metrics-every;
+     *  0 disables). Requires telemetry to be enabled (see
+     *  obs::setMetricsEnabled / applyObsFlags) to show non-zero
+     *  counters. */
+    long metricsEvery = 0;
     /** Test seam: crash the attempt (leave the loop without a
      *  final checkpoint, as a kill would) after this many loop
      *  iterations of this attempt (0: disabled). */
@@ -170,6 +176,10 @@ struct RunResult
      *  attempt completed). */
     int restarts = 0;
     /** @} */
+
+    /** End-of-run telemetry (empty unless metrics were enabled;
+     *  see src/obs and --metrics-out). */
+    obs::RunReport report;
 };
 
 /**

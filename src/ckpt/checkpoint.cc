@@ -12,7 +12,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "base/logging.hh"
 #include "base/portable.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/codec.hh"
 
 namespace tdfe
@@ -358,6 +361,7 @@ bool
 CheckpointSet::save(std::uint64_t iteration,
                     const std::string &payload)
 {
+    obs::SpanTimer span("ckpt.save", "ckpt");
     WriteOptions opts;
     opts.durability = durability_;
     if (writeHook_)
@@ -373,9 +377,18 @@ CheckpointSet::save(std::uint64_t iteration,
             degraded_ = true;
             status_ = st;
         }
+        warnOnce(warned_, "ckpt",
+                 detail::concatMessage(
+                     "checkpoint set '", prefix_,
+                     "' degraded (the run continues): ",
+                     st.message));
         return false;
     }
     ++saved_;
+    static obs::Counter writes("ckpt.writes_total");
+    writes.add();
+    static obs::Counter bytes("ckpt.bytes_written_total");
+    bytes.add(payload.size());
     pruneOld();
     rewriteManifest();
     return true;

@@ -30,6 +30,7 @@
 #ifndef TDFE_CKPT_CHECKPOINT_HH
 #define TDFE_CKPT_CHECKPOINT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -192,6 +193,8 @@ class CheckpointSet
     store::DurabilityPolicy durability_;
     std::function<void(std::uint64_t, WriteOptions &)> writeHook_;
     bool degraded_ = false;
+    /** warnOnce latch for the degrade warning (base/logging). */
+    std::atomic<bool> warned_{false};
     CkptStatus status_;
     std::uint64_t saved_ = 0;
 };

@@ -4,6 +4,8 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "par/comm.hh"
 #include "store/writer.hh"
 
@@ -56,7 +58,13 @@ Region::end()
     inBlock = false;
     stepTime += blockTimer.elapsed();
 
-    Timer work;
+    // The exposed-overhead accumulators double as trace spans: every
+    // `overhead +=` in this file folds in a SpanTimer::stop() whose
+    // span name carries the "region.exposed." prefix, so summing
+    // those spans in an exported trace reconstructs overheadSeconds
+    // exactly (same doubles, same order — gated by bench/obs_overhead
+    // to 1e-9 after the JSON round trip).
+    obs::SpanTimer work("region.exposed.end", "region");
 
     // Opportunistic harvest: fold any collective that completed
     // while the solver ran (a test under the lock, no stall). Keeps
@@ -80,16 +88,27 @@ Region::end()
         // Snapshot phase, synchronous and one analysis at a time:
         // the providers only ever run here, on the caller's thread,
         // so even non-pure providers are safe under the pipeline.
-        for (auto &a : analyses)
-            a->snapshotIteration(iter, domain);
+        {
+            static obs::Counter snapshots("region.snapshots_total");
+            obs::SpanTimer snap("region.snapshot", "region");
+            for (auto &a : analyses)
+                a->snapshotIteration(iter, domain);
+            snapshots.add(analyses.size());
+        }
 
         // Digest phase: one pool task per analysis trains against
         // the snapshot while the caller returns to the solver. The
-        // protocol for this iteration runs at drain time.
+        // protocol for this iteration runs at drain time. The
+        // "region.digest" spans land on pool-worker tids — in a
+        // trace they are the work *hidden* under the next solver
+        // step, the visual counterpart of the exposed spans above.
         epochIter = iter;
         epochHandle = ThreadPool::global().submit(
             analyses.size(), [this](std::size_t a) {
+                static obs::Counter digests("region.digests_total");
+                obs::SpanTimer span("region.digest", "region");
                 analyses[a]->digestIteration();
+                digests.add();
             });
         epochOpen = true;
     } else {
@@ -101,6 +120,7 @@ Region::end()
         // setSerialAnalyses() opts out for providers that are not
         // pure reads. Single-analysis regions take the serial fast
         // path inside parallelFor.
+        static obs::Counter ingests("region.ingests_total");
         if (serialAnalyses) {
             for (auto &a : analyses)
                 a->onIteration(iter, domain);
@@ -110,11 +130,12 @@ Region::end()
                             analyses[a]->onIteration(iter, domain);
                         });
         }
+        ingests.add(analyses.size());
         finishIteration(iter);
     }
 
     ++iter;
-    overhead += work.elapsed();
+    overhead += work.stop();
 }
 
 void
@@ -157,11 +178,14 @@ Region::finishIteration(long it)
         broadcastBuf[1] = static_cast<double>(wavefrontRank_);
         broadcastBuf[2] = want_stop ? 1.0 : 0.0;
         if (comm && !commDegraded_) {
+            static obs::Counter posts("comm.posts_total");
             if (blockingSync_) {
+                posts.add();
                 comm->bcast(broadcastBuf, 3, 0);
                 wavefrontRank_ =
                     static_cast<int>(broadcastBuf[1]);
             } else {
+                posts.add();
                 bcastReq = comm->ibcast(broadcastBuf, 3, 0);
                 bcastPending = true;
             }
@@ -174,6 +198,8 @@ Region::finishIteration(long it)
         // Keep all ranks agreed on the stop decision. Analyses are
         // replicated, so this is belt-and-braces, but it is the MPI
         // traffic whose cost the paper's overhead tables include.
+        static obs::Counter posts("comm.posts_total");
+        posts.add();
         if (blockingSync_) {
             stop_now = comm->allreduce(stop_now ? 1.0 : 0.0,
                                        ReduceOp::Max) > 0.5;
@@ -220,9 +246,12 @@ Region::recordFeatures(long it)
             // iterations do not even pay the latch check — the
             // simulation's physics, stop protocol, and checkpoints
             // are untouched; only the trace is incomplete.
-            TDFE_WARN("region '", name, "': feature store sink '",
-                      store_->path(), "' degraded at iteration ", it,
-                      ", detaching; the simulation continues");
+            warnDegraded(
+                "store_sink",
+                detail::concatMessage(
+                    "region '", name, "': feature store sink '",
+                    store_->path(), "' degraded at iteration ", it,
+                    ", detaching; the simulation continues"));
             storeDegraded_ = true;
             store_ = nullptr;
             return;
@@ -283,6 +312,8 @@ Region::completeSync(bool block)
     }
     syncReq.reset();
     syncPending = false;
+    static obs::Counter completions("comm.completions_total");
+    completions.add();
     // Attribute a remote-triggered stop to the iteration the
     // reduction was evaluated for — exactly where blocking mode
     // would have published it, however late the harvest runs.
@@ -308,6 +339,8 @@ Region::completeBcast(bool block)
     }
     bcastReq.reset();
     bcastPending = false;
+    static obs::Counter completions("comm.completions_total");
+    completions.add();
     wavefrontRank_ = static_cast<int>(broadcastBuf[1]);
 }
 
@@ -317,10 +350,13 @@ Region::degradeComm()
     if (commDegraded_)
         return;
     commDegraded_ = true;
-    TDFE_WARN("region '", name, "': stop-protocol collective did not "
-              "complete within ", commDeadline_, "s (silent rank?); "
-              "adopting the last published stop decision and "
-              "disabling further stop collectives");
+    warnDegraded(
+        "comm",
+        detail::concatMessage(
+            "region '", name, "': stop-protocol collective did not "
+            "complete within ", commDeadline_, "s (silent rank?); "
+            "adopting the last published stop decision and "
+            "disabling further stop collectives"));
     // Dropping the requests is safe by the CommRequest contract:
     // results only ever land from our own test()/wait() calls, and
     // our post-time contributions still complete the collectives
@@ -343,9 +379,11 @@ Region::completeSyncQuery()
         completeSync(false);
         return;
     }
-    Timer stall;
+    static obs::Counter stalls("comm.stalls_total");
+    stalls.add();
+    obs::SpanTimer stall("region.exposed.sync_stall", "region");
     completeSync(true);
-    overhead += stall.elapsed();
+    overhead += stall.stop();
 }
 
 void
@@ -357,9 +395,11 @@ Region::completeBcastQuery()
         completeBcast(false);
         return;
     }
-    Timer stall;
+    static obs::Counter stalls("comm.stalls_total");
+    stalls.add();
+    obs::SpanTimer stall("region.exposed.bcast_stall", "region");
     completeBcast(true);
-    overhead += stall.elapsed();
+    overhead += stall.stop();
 }
 
 void
@@ -381,9 +421,11 @@ Region::drainQuery()
     // The stall (wait + deferred protocol) blocks the caller, so it
     // counts as exposed overhead; work already hidden under the
     // solver does not.
-    Timer stall;
+    static obs::Counter drains("region.drains_total");
+    drains.add();
+    obs::SpanTimer stall("region.exposed.drain", "region");
     drainNow();
-    overhead += stall.elapsed();
+    overhead += stall.stop();
 }
 
 void

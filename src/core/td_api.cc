@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -13,6 +15,8 @@
 #include "ckpt/checkpoint.hh"
 #include "core/iter_param.hh"
 #include "core/region.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/live.hh"
 #include "store/query.hh"
 #include "store/reader.hh"
@@ -765,6 +769,51 @@ td_ckpt_error(const td_region_t *region)
     if (!region)
         return "null region handle";
     return region->ckptErrorMsg.c_str();
+}
+
+void
+td_metrics_enable(int enable)
+{
+    tdfe::obs::setMetricsEnabled(enable != 0);
+}
+
+void
+td_trace_enable(int enable)
+{
+    tdfe::obs::setTraceEnabled(enable != 0);
+}
+
+char *
+td_metrics_snapshot_json(void)
+{
+    const std::string json = tdfe::obs::metricsSnapshotJson();
+    char *out = static_cast<char *>(std::malloc(json.size() + 1));
+    if (!out)
+        return nullptr;
+    std::memcpy(out, json.c_str(), json.size() + 1);
+    return out;
+}
+
+int
+td_metrics_write(const char *path)
+{
+    if (!path)
+        return -1;
+    return tdfe::obs::writeMetricsJson(path) ? 0 : -1;
+}
+
+int
+td_trace_export(const char *path)
+{
+    if (!path)
+        return -1;
+    return tdfe::obs::writeChromeTrace(path) ? 0 : -1;
+}
+
+void
+td_metrics_reset(void)
+{
+    tdfe::obs::resetMetrics();
 }
 
 } // extern "C"

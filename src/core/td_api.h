@@ -533,6 +533,57 @@ const char *td_ckpt_error(const td_region_t *region);
 
 /** @} */
 
+/**
+ * @name Telemetry (src/obs)
+ *
+ * Process-wide metric counters and trace spans over every layer the
+ * library touches (solver harnesses, region protocol, feature
+ * store, checkpoints). Both are off by default and cost one relaxed
+ * branch per site while off; enabling them never changes results —
+ * counters and spans observe the run, they do not steer it.
+ *
+ * Metric-name stability: the names exported in the
+ * "tdfe.metrics.v1" snapshot (solver.steps_total,
+ * region.*_total, comm.*_total, store.writer.*_total,
+ * store.reader.*_total, ckpt.*_total, degrade_total.<subsystem>)
+ * are a stable interface — dashboards may key on them. New names
+ * may appear in any release; existing names only disappear with a
+ * schema-version bump.
+ * @{
+ */
+
+/** Turn metric accumulation on or off (off by default). */
+void td_metrics_enable(int enable);
+
+/** Turn trace-span recording on or off (off by default). */
+void td_trace_enable(int enable);
+
+/**
+ * @return the current metrics snapshot as a malloc()ed
+ * "tdfe.metrics.v1" JSON string (free() it), or NULL on allocation
+ * failure. Counters merge per-thread shards in registration order,
+ * so two identical deterministic runs produce identical snapshots.
+ */
+char *td_metrics_snapshot_json(void);
+
+/**
+ * Write the metrics snapshot JSON to @p path.
+ * @return 0 on success, -1 on a NULL path or I/O failure.
+ */
+int td_metrics_write(const char *path);
+
+/**
+ * Export every recorded span as a Chrome trace_event JSON file
+ * (load it in Perfetto / chrome://tracing).
+ * @return 0 on success, -1 on a NULL path or I/O failure.
+ */
+int td_trace_export(const char *path);
+
+/** Zero every counter/gauge/histogram (test isolation). */
+void td_metrics_reset(void);
+
+/** @} */
+
 #ifdef __cplusplus
 } // extern "C"
 

@@ -1,0 +1,294 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point; surrogate
+                    // pairs are beyond what our emitters produce.
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xC0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3F));
+                    } else {
+                        out += char(0xE0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3F));
+                        out += char(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.items.push_back(std::move(item));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            if (text.compare(pos, 4, "true") != 0)
+                return fail("bad literal");
+            pos += 4;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (text.compare(pos, 5, "false") != 0)
+                return fail("bad literal");
+            pos += 5;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (text.compare(pos, 4, "null") != 0)
+                return fail("bad literal");
+            pos += 4;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        // Number: delegate validation of the digits to strtod but
+        // bound the token ourselves so trailing garbage is caught.
+        const std::size_t start = pos;
+        if (c == '-' || c == '+')
+            ++pos;
+        bool sawDigit = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(text[pos])))
+                sawDigit = true;
+            ++pos;
+        }
+        if (!sawDigit) {
+            pos = start;
+            return fail("expected value");
+        }
+        const std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0') {
+            pos = start;
+            return fail("bad number");
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberAt(const std::string &key, double def) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isNumber()) ? v->number : def;
+}
+
+std::string
+JsonValue::stringAt(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isString()) ? v->text : std::string();
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out,
+          std::string &error)
+{
+    Parser p(text);
+    out = JsonValue();
+    if (!p.parseValue(out, 0)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        error = "trailing garbage at byte " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out,
+              std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool readOk = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!readOk) {
+        error = "read error on " + path;
+        return false;
+    }
+    return parseJson(text, out, error);
+}
+
+} // namespace obs
+
+} // namespace tdfe

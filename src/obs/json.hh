@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the telemetry tools.
+ *
+ * This exists so `tdfstool metrics`, `bench/obs_overhead`, and the
+ * obs tests can *validate and read back* the documents the library
+ * emits (tdfe.metrics.v1, tdfe.trace.v1) without any external
+ * dependency. It is a strict-enough general JSON parser (objects,
+ * arrays, strings with escapes, numbers, true/false/null), but it
+ * is tuned for telemetry-sized inputs — values are owned copies,
+ * object lookup is linear — not a general-purpose library.
+ */
+
+#ifndef TDFE_OBS_JSON_HH
+#define TDFE_OBS_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+/** One parsed JSON value (tree node). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    /** Object members in document order (duplicate keys kept). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** @return member @p key of an object, or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** @return number value of member @p key (@p def if absent or
+     *  not a number). */
+    double numberAt(const std::string &key, double def = 0.0) const;
+
+    /** @return string value of member @p key ("" if absent). */
+    std::string stringAt(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document. @return true and fill @p out
+ * on success; on failure @return false and set @p error to a
+ * message with a byte offset.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Read @p path and parse it. @return as parseJson; a missing or
+ *  unreadable file is reported through @p error too. */
+bool parseJsonFile(const std::string &path, JsonValue &out,
+                   std::string &error);
+
+} // namespace obs
+
+} // namespace tdfe
+
+#endif // TDFE_OBS_JSON_HH

@@ -1,0 +1,384 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+namespace
+{
+
+std::atomic<bool> enabledFlag{false};
+
+/**
+ * One thread's accumulation cells. Fixed capacity so the arrays
+ * never reallocate: the owning thread writes relaxed stores, a
+ * snapshot reads relaxed loads, and the only synchronization is the
+ * registry mutex taken at registration and snapshot time. Shards
+ * are owned by the registry and outlive their threads, so counts
+ * from exited pool workers keep contributing.
+ */
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, maxCounters> counters{};
+    std::array<std::atomic<std::uint64_t>,
+               maxHistograms * histogramBuckets>
+        buckets{};
+    std::array<std::atomic<std::uint64_t>, maxHistograms> histCount{};
+    std::array<std::atomic<double>, maxHistograms> histSum{};
+    std::array<std::atomic<double>, maxHistograms> histMin{};
+    std::array<std::atomic<double>, maxHistograms> histMax{};
+
+    Shard()
+    {
+        for (auto &m : histMin)
+            m.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+        for (auto &m : histMax)
+            m.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    }
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    /** name -> slot, per kind; names registered once, never freed. */
+    std::map<std::string, std::uint32_t> counterSlots;
+    std::map<std::string, std::uint32_t> gaugeSlots;
+    std::map<std::string, std::uint32_t> histogramSlots;
+    /** Gauges are process-level cells, not sharded. */
+    std::array<std::atomic<double>, maxGauges> gauges{};
+    /** Shards in registration order (deterministic merge order). */
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+/** The calling thread's shard, registered on first use. */
+Shard &
+localShard()
+{
+    thread_local Shard *shard = nullptr;
+    if (!shard) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.shards.push_back(std::make_unique<Shard>());
+        shard = r.shards.back().get();
+    }
+    return *shard;
+}
+
+std::uint32_t
+registerSlot(std::map<std::string, std::uint32_t> &slots,
+             std::size_t cap, const char *kind, const char *name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = slots.find(name);
+    if (it != slots.end())
+        return it->second;
+    if (slots.size() >= cap) {
+        TDFE_PANIC("obs: ", kind, " registry full (", cap,
+                   " slots) registering '", name, "'");
+    }
+    const auto slot = static_cast<std::uint32_t>(slots.size());
+    slots.emplace(name, slot);
+    return slot;
+}
+
+/** Relaxed non-RMW add: the cell is thread-private by design. */
+inline void
+shardAdd(std::atomic<std::uint64_t> &cell, std::uint64_t delta)
+{
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+}
+
+/** Bucket of @p v seconds: power-of-two nanosecond decades. */
+inline std::uint32_t
+bucketOf(double v)
+{
+    const double ns = v * 1e9;
+    if (!(ns > 1.0))
+        return 0;
+    int exp = 0;
+    std::frexp(ns, &exp); // ns in [2^(exp-1), 2^exp)
+    const int b = exp - 1;
+    return static_cast<std::uint32_t>(std::min<int>(
+        std::max(b, 0), static_cast<int>(histogramBuckets) - 1));
+}
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return enabledFlag.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    enabledFlag.store(enabled, std::memory_order_relaxed);
+}
+
+Counter::Counter(const char *name)
+    : slot_(registerSlot(registry().counterSlots, maxCounters,
+                         "counter", name))
+{
+}
+
+void
+Counter::add(std::uint64_t delta)
+{
+    if (!metricsEnabled())
+        return;
+    shardAdd(localShard().counters[slot_], delta);
+}
+
+Gauge::Gauge(const char *name)
+    : slot_(registerSlot(registry().gaugeSlots, maxGauges, "gauge",
+                         name))
+{
+}
+
+void
+Gauge::set(double value)
+{
+    if (!metricsEnabled())
+        return;
+    registry().gauges[slot_].store(value, std::memory_order_relaxed);
+}
+
+double
+Gauge::get() const
+{
+    return registry().gauges[slot_].load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const char *name)
+    : slot_(registerSlot(registry().histogramSlots, maxHistograms,
+                         "histogram", name))
+{
+}
+
+void
+Histogram::observe(double value)
+{
+    if (!metricsEnabled() || std::isnan(value))
+        return;
+    Shard &s = localShard();
+    shardAdd(s.buckets[slot_ * histogramBuckets + bucketOf(value)],
+             1);
+    shardAdd(s.histCount[slot_], 1);
+    auto &sum = s.histSum[slot_];
+    sum.store(sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+    auto &mn = s.histMin[slot_];
+    if (value < mn.load(std::memory_order_relaxed))
+        mn.store(value, std::memory_order_relaxed);
+    auto &mx = s.histMax[slot_];
+    if (value > mx.load(std::memory_order_relaxed))
+        mx.store(value, std::memory_order_relaxed);
+}
+
+void
+addDegrade(const char *subsystem)
+{
+    // Registered lazily by runtime name: degrade sites are a small
+    // fixed set, so this cannot exhaust the registry; the map lookup
+    // is fine on what is by definition a cold path.
+    Counter c((std::string("degrade_total.") + subsystem).c_str());
+    c.add();
+}
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    MetricsSnapshot snap;
+
+    snap.counters.reserve(r.counterSlots.size());
+    for (const auto &[name, slot] : r.counterSlots) {
+        std::uint64_t total = 0;
+        for (const auto &shard : r.shards)
+            total += shard->counters[slot].load(
+                std::memory_order_relaxed);
+        snap.counters.emplace_back(name, total);
+    }
+
+    snap.gauges.reserve(r.gaugeSlots.size());
+    for (const auto &[name, slot] : r.gaugeSlots)
+        snap.gauges.emplace_back(
+            name, r.gauges[slot].load(std::memory_order_relaxed));
+
+    snap.histograms.reserve(r.histogramSlots.size());
+    for (const auto &[name, slot] : r.histogramSlots) {
+        HistogramStats h;
+        h.name = name;
+        double mn = std::numeric_limits<double>::infinity();
+        double mx = -std::numeric_limits<double>::infinity();
+        std::array<std::uint64_t, histogramBuckets> buckets{};
+        for (const auto &shard : r.shards) {
+            h.count += shard->histCount[slot].load(
+                std::memory_order_relaxed);
+            h.sum += shard->histSum[slot].load(
+                std::memory_order_relaxed);
+            mn = std::min(mn, shard->histMin[slot].load(
+                                  std::memory_order_relaxed));
+            mx = std::max(mx, shard->histMax[slot].load(
+                                  std::memory_order_relaxed));
+            for (std::size_t b = 0; b < histogramBuckets; ++b)
+                buckets[b] +=
+                    shard->buckets[slot * histogramBuckets + b].load(
+                        std::memory_order_relaxed);
+        }
+        h.min = h.count ? mn : 0.0;
+        h.max = h.count ? mx : 0.0;
+        for (std::size_t b = 0; b < histogramBuckets; ++b)
+            if (buckets[b])
+                h.buckets.emplace_back(
+                    static_cast<std::uint32_t>(b), buckets[b]);
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name, double def) const
+{
+    for (const auto &[n, v] : gauges)
+        if (n == name)
+            return v;
+    return def;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    auto num = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return std::string(buf);
+    };
+    // Metric names come from the fixed in-tree catalog (identifier
+    // characters and dots), so no escaping is needed; quote anyway
+    // for forward safety on ", \ and control bytes.
+    auto esc = [](const std::string &s) {
+        std::string out;
+        for (const char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    std::string j = "{\n  \"schema\": \"tdfe.metrics.v1\",\n"
+                    "  \"counters\": {";
+    bool first = true;
+    for (const auto &[n, v] : counters) {
+        j += first ? "\n" : ",\n";
+        j += "    \"" + esc(n) + "\": " + std::to_string(v);
+        first = false;
+    }
+    j += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[n, v] : gauges) {
+        j += first ? "\n" : ",\n";
+        j += "    \"" + esc(n) + "\": " + num(v);
+        first = false;
+    }
+    j += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const HistogramStats &h : histograms) {
+        j += first ? "\n" : ",\n";
+        j += "    \"" + esc(h.name) + "\": {\"count\": " +
+             std::to_string(h.count) + ", \"sum\": " + num(h.sum) +
+             ", \"min\": " + num(h.min) + ", \"max\": " + num(h.max) +
+             ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (i)
+                j += ", ";
+            j += "[" + std::to_string(h.buckets[i].first) + ", " +
+                 std::to_string(h.buckets[i].second) + "]";
+        }
+        j += "]}";
+        first = false;
+    }
+    j += "\n  }\n}\n";
+    return j;
+}
+
+std::string
+metricsSnapshotJson()
+{
+    return snapshotMetrics().toJson();
+}
+
+bool
+writeMetricsJson(const std::string &path)
+{
+    const std::string j = metricsSnapshotJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(j.data(), 1, j.size(), f) == j.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+void
+resetMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &g : r.gauges)
+        g.store(0.0, std::memory_order_relaxed);
+    for (const auto &shard : r.shards) {
+        for (auto &c : shard->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &b : shard->buckets)
+            b.store(0, std::memory_order_relaxed);
+        for (auto &c : shard->histCount)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &s : shard->histSum)
+            s.store(0.0, std::memory_order_relaxed);
+        for (auto &m : shard->histMin)
+            m.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+        for (auto &m : shard->histMax)
+            m.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    }
+}
+
+} // namespace obs
+
+} // namespace tdfe

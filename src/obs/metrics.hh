@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Metrics half of the telemetry layer (src/obs): a process-wide
+ * registry of named counters, gauges, and histograms with
+ * per-thread sharded accumulation.
+ *
+ * Design constraints, in order:
+ *
+ *  1. The hot path must never perturb the simulation. An update is
+ *     one relaxed atomic load (the enable gate) plus a store into a
+ *     thread-private shard cell — no locks, no allocation after the
+ *     first touch, no cross-thread cache-line traffic. Metrics can
+ *     therefore stay enabled on the solver/store hot paths and the
+ *     physics digests remain bitwise identical (gated by
+ *     bench/obs_overhead).
+ *  2. Deterministic aggregation. snapshotMetrics() merges shards in
+ *     a fixed registration order under the registry lock. Integer
+ *     counters and histogram bucket counts are exact sums and thus
+ *     independent of scheduling; two identical runs report identical
+ *     values for deterministic counters (records appended, blocks
+ *     sealed, blocks decoded, ...). Histogram double sums are the
+ *     one order-sensitive aggregate and are documented as
+ *     last-ulp-approximate across schedules.
+ *  3. Stable names. Metric names are part of the tool surface
+ *     (PERF.md catalogs them; tdfstool metrics and the BENCH JSONs
+ *     key on them) — treat renames like file-format changes.
+ *
+ * Handles are cheap value types meant to be function-local statics
+ * at the instrumentation site:
+ *
+ *     static obs::Counter seals("store.writer.blocks_sealed_total");
+ *     seals.add();
+ *
+ * Registration is idempotent by name, so several sites may share a
+ * metric. The registry is fixed-capacity (see maxCounters etc.);
+ * exhausting it is a caller bug and panics.
+ */
+
+#ifndef TDFE_OBS_METRICS_HH
+#define TDFE_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+/** Registry capacity (handles registered process-wide, not values).
+ *  Fixed so shard cell arrays never reallocate under a concurrent
+ *  snapshot. @{ */
+constexpr std::size_t maxCounters = 256;
+constexpr std::size_t maxGauges = 64;
+constexpr std::size_t maxHistograms = 64;
+/** @} */
+
+/** Histogram bucket count: bucket b counts observations in
+ *  [1ns * 2^b, 1ns * 2^(b+1)), so 48 buckets span ~1ns to ~3days —
+ *  every duration the library can plausibly observe. */
+constexpr std::size_t histogramBuckets = 48;
+
+/** @return true while metric updates are recorded (default off —
+ *  the registry itself always works; only the update sites gate). */
+bool metricsEnabled();
+
+/** Turn metric recording on or off (a relaxed global; flipping it
+ *  mid-run simply stops/starts accumulation). */
+void setMetricsEnabled(bool enabled);
+
+/**
+ * Monotonic event count. add() accumulates into the calling
+ * thread's shard; the true total exists only at snapshot time.
+ */
+class Counter
+{
+  public:
+    /** Register (or find) the counter named @p name. The name must
+     *  be a string with static storage duration. */
+    explicit Counter(const char *name);
+
+    /** Count @p delta events (hot-path safe, see file comment). */
+    void add(std::uint64_t delta = 1);
+
+  private:
+    std::uint32_t slot_;
+};
+
+/**
+ * Last-write-wins instantaneous value (process-level, not sharded:
+ * gauges are set from bookkeeping code, not hot loops).
+ */
+class Gauge
+{
+  public:
+    explicit Gauge(const char *name);
+
+    void set(double value);
+    double get() const;
+
+  private:
+    std::uint32_t slot_;
+};
+
+/**
+ * Distribution of double observations (typically span durations in
+ * seconds) in power-of-two buckets, with exact count and
+ * shard-merged sum/min/max.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name);
+
+    /** Record one observation (hot-path safe; NaN is dropped). */
+    void observe(double value);
+
+  private:
+    std::uint32_t slot_;
+};
+
+/** Aggregated state of one histogram at snapshot time. */
+struct HistogramStats
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** Sparse buckets: (bucket index, count), index as documented
+     *  at histogramBuckets. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
+
+/**
+ * Point-in-time aggregation of every registered metric, merged
+ * across shards in registration order and sorted by name.
+ */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramStats> histograms;
+
+    /** @return value of counter @p name (0 when absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** @return value of gauge @p name (@p def when absent). */
+    double gauge(const std::string &name, double def = 0.0) const;
+
+    /**
+     * Serialize as the tdfe.metrics.v1 JSON document (see PERF.md;
+     * `tdfstool metrics` pretty-prints it and obs::parseJson reads
+     * it back):
+     *
+     *   {"schema": "tdfe.metrics.v1",
+     *    "counters": {...}, "gauges": {...},
+     *    "histograms": {"name": {"count":, "sum":, "min":, "max":,
+     *                            "buckets": [[b, n], ...]}, ...}}
+     */
+    std::string toJson() const;
+};
+
+/** Aggregate all shards now (locks out registration + other
+ *  snapshots; updates racing the snapshot land in the next one). */
+MetricsSnapshot snapshotMetrics();
+
+/** snapshotMetrics().toJson() in one call. */
+std::string metricsSnapshotJson();
+
+/** Write the snapshot JSON to @p path. @return success. */
+bool writeMetricsJson(const std::string &path);
+
+/**
+ * Zero every counter/gauge/histogram cell in every shard (the
+ * registered names survive). Callers must quiesce concurrent
+ * updaters first — the reset itself is safe, but updates racing it
+ * land unpredictably on either side. Benches and the determinism
+ * tests reset between reps.
+ */
+void resetMetrics();
+
+/**
+ * Count one degrade event for @p subsystem: increments the
+ * `degrade_total.<subsystem>` counter (registered on first use —
+ * the one registry entry point keyed by a runtime name; @p
+ * subsystem must come from the small fixed set of degrade sites,
+ * see the catalog in PERF.md). base/logging's warnOnce()/
+ * warnDegraded() call this so every one-shot degrade warning is
+ * also a counter.
+ */
+void addDegrade(const char *subsystem);
+
+} // namespace obs
+
+} // namespace tdfe
+
+#endif // TDFE_OBS_METRICS_HH

@@ -1,0 +1,74 @@
+#include "obs/report.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+namespace
+{
+
+/** Sum of every degrade_total.* counter in @p snap. */
+std::uint64_t
+totalDegrades(const MetricsSnapshot &snap)
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : snap.counters)
+        if (name.rfind("degrade_total.", 0) == 0)
+            total += value;
+    return total;
+}
+
+std::string
+headline(const MetricsSnapshot &snap)
+{
+    std::ostringstream os;
+    os << "steps=" << snap.counter("solver.steps_total")
+       << " records=" << snap.counter("store.writer.records_total")
+       << " seals="
+       << snap.counter("store.writer.blocks_sealed_total")
+       << " bytes="
+       << snap.counter("store.writer.bytes_written_total")
+       << " stalls=" << snap.counter("comm.stalls_total")
+       << " degrades=" << totalDegrades(snap);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+RunReport::summary() const
+{
+    if (!enabled)
+        return "telemetry disabled";
+    return headline(metrics);
+}
+
+RunReport
+captureRunReport()
+{
+    RunReport report;
+    report.enabled = metricsEnabled();
+    if (report.enabled)
+        report.metrics = snapshotMetrics();
+    return report;
+}
+
+bool
+Heartbeat::tick(std::uint64_t iter)
+{
+    if (!every_ || !iter || iter % every_ != 0)
+        return false;
+    TDFE_INFORM("heartbeat iter=", iter, " ",
+                headline(snapshotMetrics()));
+    return true;
+}
+
+} // namespace obs
+
+} // namespace tdfe

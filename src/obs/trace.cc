@@ -1,0 +1,256 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+namespace
+{
+
+std::atomic<bool> enabledFlag{false};
+std::atomic<std::size_t> ringCapacity{std::size_t(1) << 16};
+std::atomic<std::uint64_t> droppedTotal{0};
+
+/**
+ * One thread's event ring. Only the owning thread writes; the
+ * exporter reads under the registry mutex using the release/acquire
+ * pair on `size` to see fully written slots. Drop-newest on full:
+ * existing slots are never rewritten, so no write-write race with a
+ * concurrent export is possible.
+ */
+struct TraceBuffer
+{
+    explicit TraceBuffer(std::size_t cap, std::uint32_t tid)
+        : events(cap), tid(tid)
+    {
+    }
+
+    std::vector<TraceEvent> events;
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid;
+
+    void
+    push(const char *name, const char *cat, double start, double dur)
+    {
+        const std::size_t n = size.load(std::memory_order_relaxed);
+        if (n >= events.size()) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            droppedTotal.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        events[n] = TraceEvent{name, cat, start, dur, tid};
+        size.store(n + 1, std::memory_order_release);
+    }
+};
+
+struct TraceRegistry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers;
+    std::uint32_t nextTid = 1;
+};
+
+TraceRegistry &
+traceRegistry()
+{
+    static TraceRegistry *r = new TraceRegistry();
+    return *r;
+}
+
+TraceBuffer &
+localBuffer()
+{
+    thread_local TraceBuffer *buf = nullptr;
+    if (!buf) {
+        TraceRegistry &r = traceRegistry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.buffers.push_back(std::make_unique<TraceBuffer>(
+            ringCapacity.load(std::memory_order_relaxed),
+            r.nextTid++));
+        buf = r.buffers.back().get();
+    }
+    return *buf;
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    return enabledFlag.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool enabled)
+{
+    // Touch the epoch before the first span so traceNow() deltas
+    // never cross the lazy-init of the static.
+    traceEpoch();
+    enabledFlag.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setTraceCapacity(std::size_t events)
+{
+    ringCapacity.store(events ? events : 1,
+                       std::memory_order_relaxed);
+}
+
+double
+traceNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - traceEpoch())
+        .count();
+}
+
+SpanTimer::SpanTimer(const char *name, const char *cat)
+    : name_(name), cat_(cat), start_(traceNow())
+{
+}
+
+SpanTimer::~SpanTimer()
+{
+    if (!stopped_)
+        stop();
+}
+
+double
+SpanTimer::stop()
+{
+    if (stopped_)
+        return 0.0;
+    stopped_ = true;
+    // The subtraction runs unconditionally: the elapsed double the
+    // caller accumulates is identical with tracing on or off.
+    const double dur = traceNow() - start_;
+    if (traceEnabled())
+        localBuffer().push(name_, cat_, start_, dur);
+    return dur;
+}
+
+void
+recordSpan(const char *name, const char *cat, double start,
+           double dur)
+{
+    if (traceEnabled())
+        localBuffer().push(name, cat, start, dur);
+}
+
+void
+recordInstant(const char *name, const char *cat)
+{
+    if (traceEnabled())
+        localBuffer().push(name, cat, traceNow(), -1.0);
+}
+
+std::string
+exportChromeTrace()
+{
+    auto num = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return std::string(buf);
+    };
+    std::string j = "{\n\"schema\": \"tdfe.trace.v1\",\n"
+                    "\"displayTimeUnit\": \"ms\",\n"
+                    "\"traceEvents\": [";
+    bool first = true;
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto &buf : r.buffers) {
+        const std::size_t n =
+            buf->size.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent &e = buf->events[i];
+            j += first ? "\n" : ",\n";
+            first = false;
+            const bool instant = e.dur < 0.0;
+            j += std::string("{\"name\": \"") + e.name +
+                 "\", \"cat\": \"" + e.cat + "\", \"ph\": \"" +
+                 (instant ? "i" : "X") + "\", \"pid\": 1, \"tid\": " +
+                 std::to_string(e.tid) +
+                 ", \"ts\": " + num(e.start * 1e6);
+            if (instant)
+                j += ", \"s\": \"t\"";
+            else
+                j += ", \"dur\": " + num(e.dur * 1e6);
+            j += "}";
+        }
+        const std::uint64_t dropped =
+            buf->dropped.load(std::memory_order_relaxed);
+        if (dropped) {
+            j += first ? "\n" : ",\n";
+            first = false;
+            j += "{\"name\": \"obs.trace.dropped\", \"cat\": "
+                 "\"obs\", \"ph\": \"i\", \"pid\": 1, \"tid\": " +
+                 std::to_string(buf->tid) +
+                 ", \"ts\": " + num(traceNow() * 1e6) +
+                 ", \"s\": \"t\", \"args\": {\"count\": " +
+                 std::to_string(dropped) + "}}";
+        }
+    }
+    j += "\n]\n}\n";
+    return j;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    const std::string j = exportChromeTrace();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(j.data(), 1, j.size(), f) == j.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+void
+clearTrace()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto &buf : r.buffers) {
+        buf->size.store(0, std::memory_order_release);
+        buf->dropped.store(0, std::memory_order_relaxed);
+    }
+    droppedTotal.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+traceEventCount()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::size_t total = 0;
+    for (const auto &buf : r.buffers)
+        total += buf->size.load(std::memory_order_acquire);
+    return total;
+}
+
+std::uint64_t
+traceDroppedCount()
+{
+    return droppedTotal.load(std::memory_order_relaxed);
+}
+
+} // namespace obs
+
+} // namespace tdfe

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tracing half of the telemetry layer (src/obs): scoped span timers
+ * recording begin/end into per-thread ring buffers, exported as
+ * Chrome `trace_event` JSON (load in Perfetto or chrome://tracing).
+ *
+ * Two layers, deliberately separate:
+ *
+ *  - SpanTimer is the *measurement*: it reads the steady clock at
+ *    construction and at stop(), and returns the elapsed seconds —
+ *    exactly like base/timer.hh's Timer, and it does so whether or
+ *    not tracing is enabled. Code that folds the measured time into
+ *    simulation-visible state (e.g. `Region::overheadSeconds`)
+ *    accumulates SpanTimer::stop()'s return value, so the doubles
+ *    the simulation sees are identical with tracing on or off; only
+ *    the *event recording* is gated. This is what lets
+ *    bench/obs_overhead demand the trace-derived exposed-analysis
+ *    time match `overheadSeconds` byte-identically.
+ *  - The ring buffer is the *recording*: fixed-capacity per-thread
+ *    event arrays. The owning thread writes the event slot first and
+ *    publishes with a release store of the size; the exporter reads
+ *    the size with an acquire load, so the TSan battery sees a clean
+ *    happens-before edge and no lock ever appears on the hot path.
+ *    When a buffer fills, new events are dropped (drop-newest) and
+ *    counted — old events are never overwritten, so a truncated
+ *    trace is still well-nested.
+ *
+ * Span names are part of the tool surface like metric names (see
+ * PERF.md "Telemetry" for the taxonomy). The `region.exposed.*`
+ * prefix is load-bearing: summing those spans' durations per region
+ * reconstructs `Region::overheadSeconds`.
+ */
+
+#ifndef TDFE_OBS_TRACE_HH
+#define TDFE_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tdfe
+{
+
+namespace obs
+{
+
+/** @return true while span begin/end events are recorded. */
+bool traceEnabled();
+
+/** Turn span recording on or off (relaxed global, like metrics). */
+void setTraceEnabled(bool enabled);
+
+/** Per-thread ring capacity in events. Takes effect for buffers
+ *  created after the call (threads that already traced keep their
+ *  size). Default 1 << 16 events per thread. */
+void setTraceCapacity(std::size_t events);
+
+/** Seconds since an arbitrary process-wide steady epoch; the time
+ *  base of every recorded event. */
+double traceNow();
+
+/**
+ * One recorded complete span ("ph":"X"): [start, start+dur) seconds
+ * on the trace clock, on thread @p tid.
+ */
+struct TraceEvent
+{
+    /** Span name; static storage duration (interned literals). */
+    const char *name;
+    /** Category; static storage duration. */
+    const char *cat;
+    double start;
+    double dur;
+    std::uint32_t tid;
+};
+
+/**
+ * Scoped measurement of one span. Always measures; records a
+ * TraceEvent at stop time only when tracing is enabled.
+ *
+ *     obs::SpanTimer span("region.exposed.end", "region");
+ *     ... work ...
+ *     overhead += span.stop();   // same double, traced or not
+ *
+ * The destructor stops an unstopped span (for pure scope timing
+ * where nobody wants the value). stop() is idempotent.
+ */
+class SpanTimer
+{
+  public:
+    /** Start the span now. @p name / @p cat must have static
+     *  storage duration. */
+    explicit SpanTimer(const char *name, const char *cat = "tdfe");
+
+    SpanTimer(const SpanTimer &) = delete;
+    SpanTimer &operator=(const SpanTimer &) = delete;
+
+    ~SpanTimer();
+
+    /** End the span, record it (if tracing), and @return elapsed
+     *  seconds — computed identically whether tracing is on. */
+    double stop();
+
+  private:
+    const char *name_;
+    const char *cat_;
+    double start_;
+    bool stopped_ = false;
+};
+
+/** Record an externally timed complete span (begin at @p start on
+ *  the traceNow() clock, @p dur seconds, calling thread's tid).
+ *  No-op when tracing is disabled. */
+void recordSpan(const char *name, const char *cat, double start,
+                double dur);
+
+/** Record an instant event ("ph":"i") at traceNow(). */
+void recordInstant(const char *name, const char *cat = "tdfe");
+
+/**
+ * Serialize every thread's buffered events as a Chrome trace_event
+ * JSON document: {"schema": "tdfe.trace.v1", "displayTimeUnit":
+ * "ms", "traceEvents": [{"name", "cat", "ph", "pid", "tid", "ts",
+ * "dur"}, ...]}. "ts"/"dur" are microseconds printed with %.17g so
+ * durations round-trip to ~1e-15 s. Events are emitted per thread
+ * in record order; dropped-event counts appear as
+ * "obs.trace.dropped" instant events per affected thread.
+ */
+std::string exportChromeTrace();
+
+/** exportChromeTrace() to @p path. @return success. */
+bool writeChromeTrace(const std::string &path);
+
+/** Discard all buffered events in every thread's ring (buffers and
+ *  tids survive). Quiesce recorders first, as with resetMetrics. */
+void clearTrace();
+
+/** Total events currently buffered across threads (diagnostic). */
+std::size_t traceEventCount();
+
+/** Total events dropped because a ring was full. */
+std::uint64_t traceDroppedCount();
+
+} // namespace obs
+
+} // namespace tdfe
+
+#endif // TDFE_OBS_TRACE_HH

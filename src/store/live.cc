@@ -329,17 +329,23 @@ LiveStoreReader::degradeToStatic()
         publish(std::move(snap), was_salvaged
                                      ? LiveState::WriterLost
                                      : LiveState::Final);
-        TDFE_WARN("live view of '", path_, "' stalled; serving a ",
-                  was_salvaged ? "salvaged" : "footer-backed",
-                  " static prefix (", prev_records, " -> ",
-                  now_records, " records)");
+        warnDegraded(
+            "live_view",
+            detail::concatMessage(
+                "live view of '", path_, "' stalled; serving a ",
+                was_salvaged ? "salvaged" : "footer-backed",
+                " static prefix (", prev_records, " -> ",
+                now_records, " records)"));
         return;
     }
     // Nothing better recoverable: freeze what we have.
     state_.store(LiveState::WriterLost, std::memory_order_release);
-    TDFE_WARN("live view of '", path_,
-              "' stalled with no recoverable store; frozen at ",
-              prev_records, " records");
+    warnDegraded(
+        "live_view",
+        detail::concatMessage(
+            "live view of '", path_,
+            "' stalled with no recoverable store; frozen at ",
+            prev_records, " records"));
 }
 
 bool

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace tdfe
 {
@@ -229,8 +230,12 @@ QueryCursor::next(FeatureRecord &out)
                 block_ = reader_->blockCount();
                 return false;
             }
-            if (!blockMayMatch(b))
+            if (!blockMayMatch(b)) {
+                static obs::Counter skipped(
+                    "store.reader.blocks_zone_skipped_total");
+                skipped.add();
                 continue;
+            }
             std::string detail;
             if (!reader_->decodeBlock(b, raw_, ints_, dbls_,
                                       &detail))

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/portable.hh"
+#include "obs/metrics.hh"
 #include "store/codec.hh"
 
 namespace tdfe
@@ -359,6 +360,8 @@ FeatureStoreReader::decodeBlock(
     if (!io.ok())
         return fail(detail, "block " + std::to_string(b) +
                                 ": read failed: " + io.message);
+    static obs::Counter reads("store.reader.blocks_read_total");
+    reads.add();
     return decodeBlockBytes(b, raw.data(), ints, dbls, detail);
 }
 
@@ -415,6 +418,8 @@ FeatureStoreReader::decodeBlockBytes(
     if (!r.ok() || r.remaining() != 0)
         return fail(detail, where + ": trailing bytes after columns");
     blocksDecoded_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter decodes("store.reader.blocks_decoded_total");
+    decodes.add();
     return true;
 }
 

@@ -9,6 +9,8 @@
 #include "base/logging.hh"
 #include "base/portable.hh"
 #include "base/timer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/codec.hh"
 #include "store/manifest.hh"
 
@@ -114,6 +116,9 @@ FeatureStoreWriter::append(const FeatureRecord &record)
         // producer keeps running. One load + one add — this is the
         // whole per-record cost of a dead store.
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter drops(
+            "store.writer.records_dropped_total");
+        drops.add();
         return false;
     }
 
@@ -133,6 +138,8 @@ FeatureStoreWriter::append(const FeatureRecord &record)
             record.coeffs[k]);
 
     ++records_;
+    static obs::Counter records("store.writer.records_total");
+    records.add();
     if (++staged == opts_.blockCapacity)
         seal();
     return ok();
@@ -141,7 +148,9 @@ FeatureStoreWriter::append(const FeatureRecord &record)
 void
 FeatureStoreWriter::seal()
 {
-    Timer t;
+    // Span + exposed accumulator share one clock read, the same
+    // derivation contract as Region's "region.exposed.*" spans.
+    obs::SpanTimer t("store.exposed.seal", "store");
     // Strict flush order: the previous block must be on disk (or at
     // least encoded and written by its job) before its buffers are
     // recycled and the next flush is queued. With one job in flight
@@ -152,7 +161,7 @@ FeatureStoreWriter::seal()
         // The in-flight flush died: its records are already counted
         // as lost; the staged ones will never be written either.
         discardStaging();
-        exposed_ += t.elapsed();
+        exposed_ += t.stop();
         return;
     }
     rotateStaging();
@@ -163,12 +172,18 @@ FeatureStoreWriter::seal()
     } else {
         flushPending();
     }
-    exposed_ += t.elapsed();
+    const double secs = t.stop();
+    exposed_ += secs;
+    static obs::Histogram sealLatency("store.writer.seal_seconds");
+    sealLatency.observe(secs);
 }
 
 void
 FeatureStoreWriter::flushPending()
 {
+    // On an async store this runs on a pool worker: in a trace the
+    // span sits on the worker tid, under the next solver step.
+    obs::SpanTimer span("store.flush", "store");
     const std::size_t n = pdInt[0].size();
     encodeBuf.clear();
     store::putU32(encodeBuf, static_cast<std::uint32_t>(n));
@@ -219,23 +234,31 @@ FeatureStoreWriter::writeChecked(const std::uint8_t *data,
     for (int attempt = 0;; ++attempt) {
         err = file_->write(data, n);
         if (err.ok()) {
+            static obs::Counter syncs("store.writer.syncs_total");
             switch (opts_.durability) {
               case store::DurabilityPolicy::None:
                 break;
               case store::DurabilityPolicy::FlushPerSeal:
                 err = file_->flush();
+                syncs.add();
                 break;
               case store::DurabilityPolicy::SyncPerSeal:
                 err = file_->sync();
+                syncs.add();
                 break;
             }
         }
         if (err.ok()) {
             bytesWritten_ += n;
+            static obs::Counter bytes(
+                "store.writer.bytes_written_total");
+            bytes.add(n);
             return true;
         }
         if (!err.transientHint() || attempt >= opts_.maxRetries)
             break;
+        static obs::Counter retries("store.writer.retries_total");
+        retries.add();
         // Roll the file back to the start of this write so the
         // rewrite never leaves a torn prefix in the middle; if even
         // that fails, the file state is unknowable — give up.
@@ -260,20 +283,22 @@ FeatureStoreWriter::fail(const store::IoError &error,
                          std::size_t lost_records)
 {
     dropped_.fetch_add(lost_records, std::memory_order_relaxed);
-    bool first = false;
+    if (lost_records) {
+        static obs::Counter drops(
+            "store.writer.records_dropped_total");
+        drops.add(lost_records);
+    }
     {
         std::lock_guard<std::mutex> lock(errorMutex_);
-        if (!failed_.load(std::memory_order_relaxed)) {
+        if (!failed_.load(std::memory_order_relaxed))
             error_ = error;
-            first = true;
-        }
     }
     failed_.store(true, std::memory_order_release);
-    if (first) {
-        TDFE_WARN("feature store '", path_,
-                  "' degraded, further records will be dropped: ",
-                  error.message);
-    }
+    warnOnce(warned_, "store",
+             detail::concatMessage(
+                 "feature store '", path_,
+                 "' degraded, further records will be dropped: ",
+                 error.message));
 }
 
 store::IoError
@@ -303,6 +328,8 @@ FeatureStoreWriter::rotateStaging()
         c.clear();
     staged = 0;
     ++sealed_;
+    static obs::Counter seals("store.writer.blocks_sealed_total");
+    seals.add();
     pendingSorted_ = sortedAppends_;
 }
 
@@ -310,6 +337,11 @@ void
 FeatureStoreWriter::discardStaging()
 {
     dropped_.fetch_add(staged, std::memory_order_relaxed);
+    if (staged) {
+        static obs::Counter drops(
+            "store.writer.records_dropped_total");
+        drops.add(staged);
+    }
     for (auto &c : stInt)
         c.clear();
     for (auto &c : stDbl)
@@ -322,7 +354,7 @@ FeatureStoreWriter::finish()
 {
     if (finished_)
         return ok() ? static_cast<std::size_t>(bytesWritten_) : 0;
-    Timer t;
+    obs::SpanTimer t("store.exposed.finish", "store");
     drainFlush();
     if (ok() && staged > 0) {
         // Seal inline: there is nothing left to overlap with.
@@ -356,7 +388,7 @@ FeatureStoreWriter::finish()
     // so everything the manifest describes is kernel-visible.
     publishManifest(true, true);
     finished_ = true;
-    exposed_ += t.elapsed();
+    exposed_ += t.stop();
     return ok() ? static_cast<std::size_t>(bytesWritten_) : 0;
 }
 
@@ -493,27 +525,27 @@ FeatureStoreWriter::publishManifest(bool final_manifest, bool force)
         return;
     }
     livePublished_.fetch_add(1, std::memory_order_release);
+    static obs::Counter publishes(
+        "store.writer.live_publishes_total");
+    publishes.add();
 }
 
 void
 FeatureStoreWriter::liveFail(const store::IoError &error)
 {
-    bool first = false;
     {
         std::lock_guard<std::mutex> lock(errorMutex_);
-        if (!liveFailed_.load(std::memory_order_relaxed)) {
+        if (!liveFailed_.load(std::memory_order_relaxed))
             liveError_ = error;
-            first = true;
-        }
     }
     liveFailed_.store(true, std::memory_order_release);
-    if (first) {
-        TDFE_WARN("feature store '", path_,
-                  "' live manifest publication failed; live views "
-                  "will no longer advance (the trace itself is "
-                  "unaffected): ",
-                  error.message);
-    }
+    warnOnce(liveWarned_, "live",
+             detail::concatMessage(
+                 "feature store '", path_,
+                 "' live manifest publication failed; live views "
+                 "will no longer advance (the trace itself is "
+                 "unaffected): ",
+                 error.message));
 }
 
 store::IoError

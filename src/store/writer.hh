@@ -300,6 +300,8 @@ class FeatureStoreWriter
     mutable std::mutex errorMutex_;
     store::IoError error_;
     std::atomic<std::size_t> dropped_{0};
+    /** warnOnce latch for the degrade warning (base/logging). */
+    std::atomic<bool> warned_{false};
     /** @} */
 
     std::vector<store::BlockInfo> index;
@@ -325,6 +327,8 @@ class FeatureStoreWriter
      *  and scratch are touched only on the (serialized) flush path.
      *  @{ */
     std::atomic<bool> liveFailed_{false};
+    /** warnOnce latch for the live-degrade warning. */
+    std::atomic<bool> liveWarned_{false};
     store::IoError liveError_;
     std::atomic<std::uint64_t> livePublished_{0};
     std::uint64_t liveGeneration_ = 0;

@@ -1,5 +1,6 @@
 #include "wdmerger/runner.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "base/timer.hh"
 #include "core/predictor.hh"
 #include "core/region.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "par/store_merge.hh"
 #include "stats/metrics.hh"
 
@@ -95,11 +98,11 @@ writeCheckpoint(ckpt::CheckpointSet &set, const WdMergerApp &app,
                  payload)) {
         ++result.checkpointsWritten;
     }
+    // CheckpointSet::save warns (once) on the first failure; here we
+    // only latch the result bookkeeping.
     if (set.degraded() && !result.ckptDegraded) {
         result.ckptDegraded = true;
         result.ckptError = set.status().message;
-        TDFE_WARN("wdmerger run: checkpoint write failed (",
-                  result.ckptError, "); the run continues");
     }
 }
 
@@ -189,11 +192,19 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
     }
 
     long attempt_dumps = 0;
+    obs::Heartbeat heartbeat(
+        static_cast<std::uint64_t>(std::max(options.metricsEvery,
+                                            0L)));
     Timer timer;
     while (!app.finished()) {
         if (region)
             region->begin();
-        app.advanceDump();
+        {
+            static obs::Counter steps("solver.steps_total");
+            obs::SpanTimer step("solver.step", "solver");
+            app.advanceDump();
+            steps.add();
+        }
         if (region) {
             region->end();
             if (options.honorStop && region->shouldStop()) {
@@ -203,6 +214,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
         }
 
         ++attempt_dumps;
+        heartbeat.tick(static_cast<std::uint64_t>(app.dumpIndex()));
         if (ckpt_set && options.ckptEvery > 0 &&
             app.dumpIndex() % options.ckptEvery == 0) {
             writeCheckpoint(*ckpt_set, app, region.get(), result);
@@ -274,6 +286,7 @@ runWdMerger(const WdMergerConfig &config, Communicator *comm,
             *region, std::move(store), options.storePath, comm,
             merge);
     }
+    result.report = obs::captureRunReport();
     return result;
 }
 

@@ -17,6 +17,7 @@
 
 #include "ckpt/checkpoint.hh"
 #include "core/ar_model.hh"
+#include "obs/report.hh"
 #include "wdmerger/app.hh"
 
 namespace tdfe
@@ -89,6 +90,9 @@ struct WdRunOptions
     int maxRestarts = 8;
     /** Comm watchdog deadline (seconds; 0 disables). */
     double commDeadlineSeconds = 0.0;
+    /** Dumps between metrics heartbeat lines (--metrics-every;
+     *  0 disables; see blast::RunOptions::metricsEvery). */
+    long metricsEvery = 0;
     /** Test seam: crash the attempt after this many dumps (0:
      *  disabled). */
     long haltAfterIterations = 0;
@@ -155,6 +159,10 @@ struct WdRunResult
     bool commDegraded = false;
     int restarts = 0;
     /** @} */
+
+    /** End-of-run telemetry (empty unless metrics were enabled;
+     *  see src/obs and --metrics-out). */
+    obs::RunReport report;
 };
 
 /**

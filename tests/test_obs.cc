@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the telemetry layer (src/obs): metrics registry
+ * semantics, trace ring behavior, SpanTimer measurement contract,
+ * the warnOnce degrade path, and the in-tree JSON reader the tools
+ * validate telemetry documents with.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+using namespace tdfe;
+
+/** Enable metrics for one test body and restore the default. */
+struct MetricsOn
+{
+    MetricsOn()
+    {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+    }
+    ~MetricsOn() { obs::setMetricsEnabled(false); }
+};
+
+TEST(ObsMetrics, CounterGatedByEnableFlag)
+{
+    obs::resetMetrics();
+    obs::Counter c("test.gated_total");
+
+    obs::setMetricsEnabled(false);
+    c.add();
+    EXPECT_EQ(obs::snapshotMetrics().counter("test.gated_total"), 0u);
+
+    obs::setMetricsEnabled(true);
+    c.add(3);
+    c.add();
+    obs::setMetricsEnabled(false);
+    EXPECT_EQ(obs::snapshotMetrics().counter("test.gated_total"), 4u);
+}
+
+TEST(ObsMetrics, HandlesSharingANameShareTheCell)
+{
+    MetricsOn on;
+    obs::Counter a("test.shared_total");
+    obs::Counter b("test.shared_total");
+    a.add(2);
+    b.add(5);
+    EXPECT_EQ(obs::snapshotMetrics().counter("test.shared_total"),
+              7u);
+}
+
+TEST(ObsMetrics, GaugeLastWriteWinsAndDefaults)
+{
+    MetricsOn on;
+    obs::Gauge g("test.gauge");
+    g.set(1.5);
+    g.set(-2.25);
+    const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    EXPECT_DOUBLE_EQ(snap.gauge("test.gauge"), -2.25);
+    EXPECT_DOUBLE_EQ(snap.gauge("test.absent", 7.0), 7.0);
+}
+
+TEST(ObsMetrics, HistogramStatsAreExactAndDropNan)
+{
+    MetricsOn on;
+    obs::Histogram h("test.hist_seconds");
+    h.observe(1e-6);
+    h.observe(2e-6);
+    h.observe(1e-3);
+    h.observe(std::nan(""));
+
+    const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    ASSERT_FALSE(snap.histograms.empty());
+    const obs::HistogramStats *stats = nullptr;
+    for (const auto &hs : snap.histograms)
+        if (hs.name == "test.hist_seconds")
+            stats = &hs;
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->count, 3u);
+    EXPECT_DOUBLE_EQ(stats->sum, 1e-6 + 2e-6 + 1e-3);
+    EXPECT_DOUBLE_EQ(stats->min, 1e-6);
+    EXPECT_DOUBLE_EQ(stats->max, 1e-3);
+    std::uint64_t bucketed = 0;
+    for (const auto &[bucket, n] : stats->buckets) {
+        EXPECT_LT(bucket, obs::histogramBuckets);
+        bucketed += n;
+    }
+    EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(ObsMetrics, ResetZeroesValuesButKeepsNames)
+{
+    MetricsOn on;
+    obs::Counter c("test.reset_total");
+    obs::Gauge g("test.reset_gauge");
+    c.add(9);
+    g.set(4.0);
+    obs::resetMetrics();
+    const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    EXPECT_EQ(snap.counter("test.reset_total"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauge("test.reset_gauge"), 0.0);
+    // The names survive the reset (still registered).
+    bool found = false;
+    for (const auto &[name, value] : snap.counters)
+        found = found || name == "test.reset_total";
+    EXPECT_TRUE(found);
+}
+
+TEST(ObsMetrics, IdenticalRunsProduceIdenticalSnapshots)
+{
+    auto run = [] {
+        MetricsOn on;
+        obs::Counter c("test.determinism_total");
+        obs::Histogram h("test.determinism_seconds");
+        for (int i = 0; i < 100; ++i) {
+            c.add(static_cast<std::uint64_t>(i % 3));
+            h.observe(1e-6 * (1 + i % 7));
+        }
+        return obs::snapshotMetrics();
+    };
+    const obs::MetricsSnapshot a = run();
+    const obs::MetricsSnapshot b = run();
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+TEST(ObsMetrics, ConcurrentCountsMergeExactly)
+{
+    MetricsOn on;
+    constexpr int threads = 4;
+    constexpr int perThread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([] {
+            obs::Counter c("test.concurrent_total");
+            for (int i = 0; i < perThread; ++i)
+                c.add();
+        });
+    for (auto &th : pool)
+        th.join();
+    // Shards of exited threads keep contributing to the merge.
+    EXPECT_EQ(obs::snapshotMetrics().counter("test.concurrent_total"),
+              static_cast<std::uint64_t>(threads) * perThread);
+}
+
+TEST(ObsMetrics, JsonRoundTripsThroughTheInTreeParser)
+{
+    MetricsOn on;
+    obs::Counter c("test.json_total");
+    obs::Gauge g("test.json_gauge");
+    obs::Histogram h("test.json_seconds");
+    c.add(42);
+    g.set(0.125);
+    h.observe(3e-6);
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(obs::metricsSnapshotJson(), doc,
+                               error))
+        << error;
+    EXPECT_EQ(doc.stringAt("schema"), "tdfe.metrics.v1");
+    const obs::JsonValue *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->numberAt("test.json_total"), 42.0);
+    const obs::JsonValue *gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->numberAt("test.json_gauge"), 0.125);
+    const obs::JsonValue *hist =
+        doc.find("histograms")->find("test.json_seconds");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->numberAt("count"), 1.0);
+    EXPECT_DOUBLE_EQ(hist->numberAt("sum"), 3e-6);
+}
+
+TEST(ObsTrace, SpanTimerMeasuresWhetherOrNotTracingIsOn)
+{
+    obs::setTraceEnabled(false);
+    obs::SpanTimer off("test.span.off", "test");
+    const double offSecs = off.stop();
+    EXPECT_GE(offSecs, 0.0);
+    // stop() is idempotent: repeat calls measure nothing (return
+    // 0.0, safe to accumulate) and record nothing further.
+    EXPECT_DOUBLE_EQ(off.stop(), 0.0);
+
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    const std::size_t before = obs::traceEventCount();
+    obs::SpanTimer onSpan("test.span.on", "test");
+    const double onSecs = onSpan.stop();
+    EXPECT_GE(onSecs, 0.0);
+    EXPECT_DOUBLE_EQ(onSpan.stop(), 0.0);
+    EXPECT_EQ(obs::traceEventCount(), before + 1);
+    obs::setTraceEnabled(false);
+}
+
+TEST(ObsTrace, ExportedTraceParsesAndCarriesSpansAndInstants)
+{
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    {
+        obs::SpanTimer outer("test.outer", "test");
+        {
+            obs::SpanTimer inner("test.inner", "test");
+        } // destructor stops (scope timing)
+        obs::recordInstant("test.marker", "test");
+    }
+    obs::setTraceEnabled(false);
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(obs::exportChromeTrace(), doc, error))
+        << error;
+    EXPECT_EQ(doc.stringAt("schema"), "tdfe.trace.v1");
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool sawOuter = false, sawInner = false, sawMarker = false;
+    double outerStart = 0, outerEnd = 0, innerStart = 0, innerEnd = 0;
+    for (const obs::JsonValue &e : events->items) {
+        const std::string name = e.stringAt("name");
+        if (name == "test.outer") {
+            sawOuter = true;
+            EXPECT_EQ(e.stringAt("ph"), "X");
+            outerStart = e.numberAt("ts");
+            outerEnd = outerStart + e.numberAt("dur");
+        } else if (name == "test.inner") {
+            sawInner = true;
+            innerStart = e.numberAt("ts");
+            innerEnd = innerStart + e.numberAt("dur");
+        } else if (name == "test.marker") {
+            sawMarker = true;
+            EXPECT_EQ(e.stringAt("ph"), "i");
+        }
+    }
+    EXPECT_TRUE(sawOuter);
+    EXPECT_TRUE(sawInner);
+    EXPECT_TRUE(sawMarker);
+    // The inner span nests inside the outer one.
+    EXPECT_GE(innerStart, outerStart);
+    EXPECT_LE(innerEnd, outerEnd);
+}
+
+TEST(ObsTrace, FullRingDropsNewestAndCountsTheLoss)
+{
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+    const std::uint64_t droppedBefore = obs::traceDroppedCount();
+
+    // Capacity applies to buffers created later, so exercise it from
+    // a fresh thread.
+    obs::setTraceCapacity(8);
+    std::thread recorder([] {
+        for (int i = 0; i < 40; ++i)
+            obs::recordSpan("test.flood", "test", obs::traceNow(),
+                            1e-9);
+    });
+    recorder.join();
+    obs::setTraceCapacity(std::size_t(1) << 16);
+    obs::setTraceEnabled(false);
+
+    EXPECT_GE(obs::traceDroppedCount(), droppedBefore + 32);
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(obs::exportChromeTrace(), doc, error))
+        << error;
+    std::size_t floods = 0;
+    bool sawDropMarker = false;
+    for (const obs::JsonValue &e :
+         doc.find("traceEvents")->items) {
+        if (e.stringAt("name") == "test.flood")
+            ++floods;
+        if (e.stringAt("name") == "obs.trace.dropped")
+            sawDropMarker = true;
+    }
+    // Drop-newest: the first 8 events survive, none are overwritten.
+    EXPECT_EQ(floods, 8u);
+    EXPECT_TRUE(sawDropMarker);
+}
+
+TEST(ObsDegrade, WarnOnceFiresOnceAndCountsTheDegrade)
+{
+    obs::resetMetrics();
+    obs::setMetricsEnabled(true);
+    setLogQuiet(true);
+
+    std::atomic<bool> latch{false};
+    EXPECT_TRUE(warnOnce(latch, "store", "test degrade"));
+    EXPECT_FALSE(warnOnce(latch, "store", "suppressed"));
+    EXPECT_FALSE(warnOnce(latch, "store", "suppressed again"));
+    EXPECT_EQ(obs::snapshotMetrics().counter("degrade_total.store"),
+              1u);
+
+    // Independent latches count independently.
+    std::atomic<bool> other{false};
+    EXPECT_TRUE(warnOnce(other, "store", "second site"));
+    EXPECT_EQ(obs::snapshotMetrics().counter("degrade_total.store"),
+              2u);
+
+    setLogQuiet(false);
+    obs::setMetricsEnabled(false);
+}
+
+TEST(ObsJson, ParsesEscapesNestingAndNumbers)
+{
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(
+        "{\"a\": [1, -2.5e3, true, null], "
+        "\"s\": \"q\\\"uote\\\\slash\\n\", "
+        "\"o\": {\"k\": 7}}",
+        doc, error))
+        << error;
+    const obs::JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items.size(), 4u);
+    EXPECT_DOUBLE_EQ(a->items[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(a->items[1].number, -2500.0);
+    EXPECT_TRUE(a->items[2].isBool() && a->items[2].boolean);
+    EXPECT_TRUE(a->items[3].isNull());
+    EXPECT_EQ(doc.stringAt("s"), "q\"uote\\slash\n");
+    EXPECT_DOUBLE_EQ(doc.find("o")->numberAt("k"), 7.0);
+}
+
+TEST(ObsJson, RejectsMalformedDocuments)
+{
+    obs::JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("{\"a\": }", doc, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(obs::parseJson("{} trailing", doc, error));
+    EXPECT_FALSE(obs::parseJson("{\"a\": 1", doc, error));
+    EXPECT_FALSE(obs::parseJson("", doc, error));
+    EXPECT_FALSE(
+        obs::parseJsonFile("/nonexistent/telemetry.json", doc,
+                           error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

@@ -22,6 +22,10 @@
  *                                      a clean one
  *   tdfstool ckpt-info <file.tdck>     inspect a checkpoint envelope
  *                                      (CRCs fully verified)
+ *   tdfstool metrics <file.json>       validate + pretty-print a
+ *                                      --metrics-out snapshot
+ *   tdfstool trace <file.json>         validate a --trace-out Chrome
+ *                                      trace, per-span roll-up
  *   tdfstool help                      this text, to stdout, exit 0
  *
  * Every command exits 0 on success and 1 on any mismatch or
@@ -52,6 +56,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hh"
+#include "obs/json.hh"
 #include "store/live.hh"
 #include "store/query.hh"
 #include "store/reader.hh"
@@ -138,6 +143,16 @@ printUsage(std::FILE *to)
         "checkpoint envelope\n"
         "                              (exit 1 when torn or "
         "corrupt)\n"
+        "  metrics <file.json>         validate and pretty-print a "
+        "--metrics-out\n"
+        "                              snapshot (tdfe.metrics.v1; "
+        "exit 1 when\n"
+        "                              malformed)\n"
+        "  trace <file.json>           validate a --trace-out "
+        "Chrome trace and\n"
+        "                              print a per-span roll-up "
+        "(exit 1 when\n"
+        "                              malformed)\n"
         "  help                        print this text and exit "
         "0\n");
 }
@@ -771,6 +786,165 @@ cmdCkptInfo(const std::string &path)
     return 0;
 }
 
+int
+cmdMetrics(const std::string &path)
+{
+    tdfe::obs::JsonValue doc;
+    std::string error;
+    if (!tdfe::obs::parseJsonFile(path, doc, error)) {
+        std::fprintf(stderr, "tdfstool: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    if (!doc.isObject() ||
+        doc.stringAt("schema") != "tdfe.metrics.v1") {
+        std::fprintf(stderr,
+                     "tdfstool: %s: not a tdfe.metrics.v1 "
+                     "snapshot (schema \"%s\")\n",
+                     path.c_str(), doc.stringAt("schema").c_str());
+        return 1;
+    }
+    const tdfe::obs::JsonValue *counters = doc.find("counters");
+    const tdfe::obs::JsonValue *gauges = doc.find("gauges");
+    const tdfe::obs::JsonValue *hists = doc.find("histograms");
+    if (!counters || !counters->isObject() || !gauges ||
+        !gauges->isObject() || !hists || !hists->isObject()) {
+        std::fprintf(stderr,
+                     "tdfstool: %s: missing counters/gauges/"
+                     "histograms sections\n",
+                     path.c_str());
+        return 1;
+    }
+
+    // Longest name first so the value column lines up.
+    std::size_t width = 12;
+    for (const auto &m : counters->members)
+        width = std::max(width, m.first.size());
+    for (const auto &m : gauges->members)
+        width = std::max(width, m.first.size());
+    for (const auto &m : hists->members)
+        width = std::max(width, m.first.size());
+    const int w = static_cast<int>(width);
+
+    std::printf("metrics:    %s\n", path.c_str());
+    std::printf("counters:   %zu\n", counters->members.size());
+    for (const auto &m : counters->members) {
+        if (!m.second.isNumber()) {
+            std::fprintf(stderr,
+                         "tdfstool: %s: counter %s is not a "
+                         "number\n",
+                         path.c_str(), m.first.c_str());
+            return 1;
+        }
+        std::printf("  %-*s %15.0f\n", w, m.first.c_str(),
+                    m.second.number);
+    }
+    std::printf("gauges:     %zu\n", gauges->members.size());
+    for (const auto &m : gauges->members)
+        std::printf("  %-*s %15g\n", w, m.first.c_str(),
+                    m.second.number);
+    std::printf("histograms: %zu\n", hists->members.size());
+    for (const auto &m : hists->members) {
+        const tdfe::obs::JsonValue &h = m.second;
+        if (!h.isObject() || !h.find("count") || !h.find("sum")) {
+            std::fprintf(stderr,
+                         "tdfstool: %s: histogram %s is "
+                         "malformed\n",
+                         path.c_str(), m.first.c_str());
+            return 1;
+        }
+        const double count = h.numberAt("count");
+        std::printf("  %-*s %15.0f", w, m.first.c_str(), count);
+        if (count > 0.0) {
+            std::printf("  sum %.6g  min %.3g  max %.3g  mean "
+                        "%.3g",
+                        h.numberAt("sum"), h.numberAt("min"),
+                        h.numberAt("max"),
+                        h.numberAt("sum") / count);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdTrace(const std::string &path)
+{
+    tdfe::obs::JsonValue doc;
+    std::string error;
+    if (!tdfe::obs::parseJsonFile(path, doc, error)) {
+        std::fprintf(stderr, "tdfstool: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    if (!doc.isObject() ||
+        doc.stringAt("schema") != "tdfe.trace.v1") {
+        std::fprintf(stderr,
+                     "tdfstool: %s: not a tdfe.trace.v1 file "
+                     "(schema \"%s\")\n",
+                     path.c_str(), doc.stringAt("schema").c_str());
+        return 1;
+    }
+    const tdfe::obs::JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "tdfstool: %s: missing traceEvents array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    // Per-span-name roll-up: count and total duration, plus the
+    // thread set — enough to eyeball the overlap story without
+    // opening Perfetto.
+    struct SpanStat
+    {
+        std::size_t count = 0;
+        double durUs = 0.0;
+    };
+    std::map<std::string, SpanStat> spans;
+    std::set<double> tids;
+    std::size_t instants = 0;
+    for (const tdfe::obs::JsonValue &e : events->items) {
+        if (!e.isObject() || e.stringAt("name").empty()) {
+            std::fprintf(stderr,
+                         "tdfstool: %s: malformed trace event\n",
+                         path.c_str());
+            return 1;
+        }
+        const std::string ph = e.stringAt("ph");
+        if (ph != "X" && ph != "i") {
+            std::fprintf(stderr,
+                         "tdfstool: %s: unexpected event phase "
+                         "\"%s\"\n",
+                         path.c_str(), ph.c_str());
+            return 1;
+        }
+        tids.insert(e.numberAt("tid"));
+        if (ph == "i") {
+            ++instants;
+            continue;
+        }
+        SpanStat &s = spans[e.stringAt("name")];
+        ++s.count;
+        s.durUs += e.numberAt("dur");
+    }
+
+    std::size_t width = 12;
+    for (const auto &m : spans)
+        width = std::max(width, m.first.size());
+    std::printf("trace:    %s\n", path.c_str());
+    std::printf("events:   %zu (%zu spans, %zu instants) on %zu "
+                "threads\n",
+                events->items.size(),
+                events->items.size() - instants, instants,
+                tids.size());
+    for (const auto &m : spans)
+        std::printf("  %-*s %8zu x  %12.1f us total\n",
+                    static_cast<int>(width), m.first.c_str(),
+                    m.second.count, m.second.durUs);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -827,6 +1001,16 @@ main(int argc, char **argv)
         if (argc != 3)
             return usage();
         return cmdCkptInfo(argv[2]);
+    }
+    if (cmd == "metrics") {
+        if (argc != 3)
+            return usage();
+        return cmdMetrics(argv[2]);
+    }
+    if (cmd == "trace") {
+        if (argc != 3)
+            return usage();
+        return cmdTrace(argv[2]);
     }
     return usage();
 }
